@@ -1,0 +1,97 @@
+/// \file ablation_scheduler.cpp
+/// \brief Ablation study of the Sec. 3.5/3.6 scheduler optimizations.
+///
+/// Toggles each design choice independently on depth-25 supremacy
+/// circuits and reports its effect on the two quantities that set the
+/// run time: global-to-local swaps (communication) and clusters (kernel
+/// sweeps). The paper's qualitative claims:
+///   - CZ specialization halves communication (Sec. 3.5: 2x for 36q);
+///   - the swap-target search can remove further swaps (Sec. 3.6.1);
+///   - boundary adjustment removes small trailing clusters (step 3);
+///   - full diagonal specialization (median instances) is cheaper than
+///     the worst case (Fig. 5 dashed vs solid);
+///   - larger kmax means fewer clusters (Table 1).
+#include "bench/common.hpp"
+#include "circuit/supremacy.hpp"
+#include "sched/schedule.hpp"
+
+namespace {
+
+using namespace quasar;
+using namespace quasar::bench;
+
+struct Row {
+  const char* label;
+  ScheduleOptions options;
+};
+
+void sweep(int qubits, int num_local) {
+  const auto [rows, cols] = supremacy_grid_for_qubits(qubits);
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = 25;
+  so.seed = 1;
+  const Circuit c = make_supremacy_circuit(so);
+
+  ScheduleOptions base;
+  base.num_local = num_local;
+  base.kmax = 5;
+  base.build_matrices = false;
+
+  std::vector<Row> rows_to_run;
+  rows_to_run.push_back({"full optimizations (worst-case spec)", base});
+  {
+    ScheduleOptions o = base;
+    o.specialization = SpecializationMode::kNone;
+    rows_to_run.push_back({"no gate specialization at all", o});
+  }
+  {
+    ScheduleOptions o = base;
+    o.specialization = SpecializationMode::kFull;
+    rows_to_run.push_back({"full diagonal spec (median instance)", o});
+  }
+  {
+    ScheduleOptions o = base;
+    o.swap_search = false;
+    rows_to_run.push_back({"no swap-target search", o});
+  }
+  {
+    ScheduleOptions o = base;
+    o.adjust_swaps = false;
+    rows_to_run.push_back({"no boundary adjustment (step 3)", o});
+  }
+  {
+    ScheduleOptions o = base;
+    o.qubit_mapping = true;
+    rows_to_run.push_back({"+ cache-aware qubit mapping", o});
+  }
+  {
+    ScheduleOptions o = base;
+    o.kmax = 3;
+    rows_to_run.push_back({"kmax = 3 instead of 5", o});
+  }
+
+  std::printf("%d qubits (%zu gates), %d local:\n", qubits, c.num_gates(),
+              num_local);
+  std::printf("  %-40s %6s %9s %14s\n", "configuration", "swaps", "clusters",
+              "gates/cluster");
+  for (const Row& row : rows_to_run) {
+    const Schedule s = make_schedule(c, row.options);
+    std::printf("  %-40s %6d %9zu %14.1f\n", row.label, s.num_swaps(),
+                s.num_clusters(),
+                static_cast<double>(c.num_gates()) /
+                    static_cast<double>(s.num_clusters()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  heading("scheduler ablation (depth-25 supremacy circuits)");
+  sweep(30, 25);
+  sweep(36, 30);
+  sweep(42, 36);
+  return 0;
+}

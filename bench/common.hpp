@@ -1,0 +1,89 @@
+/// \file common.hpp
+/// \brief Shared helpers for the table/figure harnesses.
+///
+/// Every harness prints (a) the quantity the paper's table/figure shows,
+/// regenerated from this implementation (measured on the host or modeled
+/// for the paper's machines), and (b) the paper's reported value where
+/// one exists, so EXPERIMENTS.md can record paper-vs-measured directly
+/// from the bench output.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "core/rng.hpp"
+#include "core/timing.hpp"
+#include "core/types.hpp"
+#include "gates/standard.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar::bench {
+
+/// Reads an integer environment override, e.g. QUASAR_BENCH_QUBITS.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+/// Number of state-vector qubits used by host kernel measurements.
+/// Default 22 (64 MiB state, >100x the LLC); override with
+/// QUASAR_BENCH_QUBITS.
+inline int bench_qubits() { return env_int("QUASAR_BENCH_QUBITS", 22); }
+
+/// Dense random k-qubit unitary for kernel timing.
+inline GateMatrix random_dense_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 3; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cz().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+
+/// Measures the sustained GFLOPS of applying a dense k-qubit gate at the
+/// given bit-locations to a 2^n state.
+inline double measure_kernel_gflops(int n, const std::vector<int>& locations,
+                                    int num_threads = 0,
+                                    double min_seconds = 0.15) {
+  Rng rng(0xbe7c + locations.front());
+  const int k = static_cast<int>(locations.size());
+  const GateMatrix u = random_dense_unitary(k, rng);
+  const PreparedGate gate = prepare_gate(u, locations);
+  AlignedVector<Amplitude> state(index_pow2(n), Amplitude{0.0, 0.0});
+  state[0] = 1.0;
+  ApplyOptions options;
+  options.num_threads = num_threads;
+  apply_gate(state.data(), n, gate, options);  // warm up / page in
+  const double secs = time_best_of(
+      [&] { apply_gate(state.data(), n, gate, options); }, min_seconds);
+  const double flops =
+      flops_per_amplitude(k) * static_cast<double>(index_pow2(n));
+  return flops / secs * 1e-9;
+}
+
+/// Low-order locations: {0..k-1}; high-order: the top k locations.
+inline std::vector<int> low_order_locations(int k) {
+  std::vector<int> q(k);
+  for (int i = 0; i < k; ++i) q[i] = i;
+  return q;
+}
+
+inline std::vector<int> high_order_locations(int k, int n) {
+  std::vector<int> q(k);
+  for (int i = 0; i < k; ++i) q[i] = n - k + i;
+  return q;
+}
+
+/// Section header in the bench output.
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace quasar::bench

@@ -1,0 +1,45 @@
+/// \file fig10_edison_scaling.cpp
+/// \brief Regenerates Fig. 10: strong scaling of the k-qubit kernels on a
+/// two-socket Edison node (up to 24 Ivy Bridge cores).
+///
+/// Paper reading: kernels with k <= 4 are bandwidth-limited (speedup
+/// flattens near the socket's saturation point); the 5-qubit kernel
+/// scales furthest; k = 4 scales almost perfectly within one 12-core
+/// socket, which is why the paper uses one MPI process per socket and
+/// k = 4 kernels on Edison.
+#include "bench/common.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "perfmodel/machine.hpp"
+
+int main() {
+  using namespace quasar;
+  using namespace quasar::bench;
+
+  heading("Fig. 10 — model: speedup vs cores, two-socket Edison node");
+  const MachineModel edison = edison_node();
+  std::printf("%6s |", "cores");
+  for (int k = 1; k <= 5; ++k) std::printf("   k=%d ", k);
+  std::printf("\n");
+  for (int cores : {1, 2, 4, 8, 12, 16, 20, 24}) {
+    std::printf("%6d |", cores);
+    for (int k = 1; k <= 5; ++k) {
+      const double speedup = kernel_gflops_cores(edison, k, cores) /
+                             kernel_gflops_cores(edison, k, 1);
+      std::printf(" %5.1f ", speedup);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper Fig. 10: k=5 reaches ~23x at 24 cores; k<=4 flatten "
+              "once the memory pipeline saturates)\n");
+
+  heading("suggested kernel size (Sec. 4.2.1 reasoning)");
+  for (int k = 3; k <= 5; ++k) {
+    const double low = kernel_gflops(edison, k, false);
+    const double high = kernel_gflops(edison, k, true);
+    std::printf("  k=%d: %7.1f GFLOPS low-order, %7.1f high-order "
+                "(penalty %.1fx)\n", k, low, high, low / high);
+  }
+  std::printf("  => k = 4 balances scaling and the high-order penalty, "
+              "matching the paper's choice for Edison.\n");
+  return 0;
+}

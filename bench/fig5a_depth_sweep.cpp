@@ -1,0 +1,61 @@
+/// \file fig5a_depth_sweep.cpp
+/// \brief Regenerates Fig. 5a: communication required by 42-qubit
+/// supremacy circuits as a function of circuit depth (10..50).
+///
+/// Top panel: number of global-to-local swaps our scheduler needs, for
+/// 29..32 local qubits — the paper's key observation is that this is a
+/// small staircase, mostly independent of the local qubit count.
+/// Bottom panel: number of global gates that communicate if executed
+/// one-by-one as in [5], worst case (dashed: all random single-qubit
+/// gates dense) and median (solid: T gates diagonal).
+#include "bench/common.hpp"
+#include "circuit/supremacy.hpp"
+#include "sched/schedule.hpp"
+
+int main() {
+  using namespace quasar;
+  using namespace quasar::bench;
+
+  const auto [rows, cols] = supremacy_grid_for_qubits(42);
+  const int depth_max = env_int("QUASAR_BENCH_DEPTH_MAX", 50);
+
+  heading("Fig. 5a — #swaps (ours) vs circuit depth, 42 qubits");
+  std::printf("%6s |%s\n", "depth", "  l=29  l=30  l=31  l=32");
+  for (int depth = 10; depth <= depth_max; depth += 5) {
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = depth;
+    so.seed = 1;
+    const Circuit c = make_supremacy_circuit(so);
+    std::printf("%6d |", depth);
+    for (int l = 29; l <= 32; ++l) {
+      ScheduleOptions o;
+      o.num_local = l;
+      o.kmax = 5;
+      o.build_matrices = false;
+      o.specialization = SpecializationMode::kWorstCase;
+      std::printf("  %4d", make_schedule(c, o).num_swaps());
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: 1..3 swaps over this range, nearly independent of "
+              "the local qubit count)\n");
+
+  heading("Fig. 5a lower — #global gates per-gate scheme of [5]");
+  std::printf("%6s |%12s %12s\n", "depth", "worst(dash)", "median(solid)");
+  for (int depth = 10; depth <= depth_max; depth += 5) {
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = depth;
+    so.seed = 1;
+    const Circuit c = make_supremacy_circuit(so);
+    std::printf("%6d |%12d %12d\n", depth,
+                count_global_gates(c, 30, SpecializationMode::kWorstCase),
+                count_global_gates(c, 30, SpecializationMode::kFull));
+  }
+  std::printf("(paper: grows linearly to ~200 (worst) / ~140 (median) at "
+              "depth 50)\n");
+  return 0;
+}

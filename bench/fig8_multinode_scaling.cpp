@@ -1,0 +1,90 @@
+/// \file fig8_multinode_scaling.cpp
+/// \brief Regenerates Fig. 8: multi-node strong scaling of the full
+/// simulator — 36 qubits on {16, 32, 64} and 42 qubits on
+/// {1024, 2048, 4096} Cori II nodes.
+///
+/// Two parts: (a) the calibrated model at the paper's full scale (the
+/// figure's curves); (b) a bit-exact virtual-cluster run of a scaled-down
+/// instance, showing that the schedule's swap count really is flat as the
+/// node count grows — the property behind the good strong scaling.
+#include "bench/common.hpp"
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "perfmodel/run_model.hpp"
+#include "runtime/distributed.hpp"
+
+namespace {
+
+using namespace quasar;
+using namespace quasar::bench;
+
+void model_scaling(int qubits, const std::vector<int>& node_counts) {
+  const auto [rows, cols] = supremacy_grid_for_qubits(qubits);
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = 25;
+  so.seed = 1;
+  const Circuit c = make_supremacy_circuit(so);
+  const MachineModel knl = cori_knl_node();
+  const InterconnectModel net = aries_dragonfly();
+
+  std::printf("%d qubits, depth 25 (%zu gates):\n", qubits, c.num_gates());
+  std::printf("%7s %7s %7s %9s %9s %7s %8s\n", "nodes", "local", "swaps",
+              "kernel_s", "comm_s", "total", "speedup");
+  double base_time = -1.0;
+  for (int nodes : node_counts) {
+    const int l = qubits - ilog2(static_cast<Index>(nodes));
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 5;
+    o.build_matrices = false;
+    const Schedule s = make_schedule(c, o);
+    const RunPrediction p = model_run(c, s, knl, net, nodes);
+    if (base_time < 0) base_time = p.total_seconds();
+    std::printf("%7d %7d %7d %9.2f %9.2f %7.2f %7.2fx\n", nodes, l,
+                p.swaps, p.kernel_seconds, p.comm_seconds,
+                p.total_seconds(), base_time / p.total_seconds());
+  }
+}
+
+}  // namespace
+
+int main() {
+  heading("Fig. 8 — model at paper scale (Cori II)");
+  model_scaling(36, {16, 32, 64});
+  std::printf("\n");
+  model_scaling(42, {1024, 2048, 4096});
+  std::printf("(paper Fig. 8: both curves reach ~2.5-3.5x speedup at 4x "
+              "nodes — sublinear because the all-to-all does not speed up "
+              "with node count)\n");
+
+  heading("bit-exact scaled-down run on the virtual cluster");
+  SupremacyOptions so;
+  so.rows = 5;
+  so.cols = 4;
+  so.depth = 25;
+  so.seed = 1;
+  so.initial_hadamards = false;
+  const Circuit c = strip_trailing_diagonals(make_supremacy_circuit(so));
+  const int n = 20;
+  std::printf("%dx%d depth-25 circuit (%zu gates) on growing virtual "
+              "clusters:\n", so.rows, so.cols, c.num_gates());
+  std::printf("%7s %7s %7s %16s %14s\n", "ranks", "local", "swaps",
+              "bytes/rank sent", "entropy");
+  for (int g = 2; g <= 6; g += 2) {
+    const int l = n - g;
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 5;
+    DistributedSimulator sim(n, l);
+    sim.init_uniform();
+    const Schedule s = make_schedule(c, o);
+    sim.run(c, s);
+    std::printf("%7d %7d %7d %13.1f MB %14.6f\n", 1 << g, l, s.num_swaps(),
+                sim.stats().bytes_sent_per_rank / 1e6, sim.entropy());
+  }
+  std::printf("(the swap count stays flat while per-rank volume shrinks "
+              "with the local state — the scaling driver of Fig. 8)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// \file fig9_edison_cache.cpp
+/// \brief Regenerates Fig. 9: k-qubit kernel performance on a two-socket
+/// Edison node, low- vs high-order qubits (8-way caches).
+#include "bench/common.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "perfmodel/machine.hpp"
+
+int main() {
+  using namespace quasar;
+  using namespace quasar::bench;
+
+  heading("Fig. 9 — model for a two-socket Edison node (24 cores)");
+  const MachineModel edison = edison_node();
+  std::printf("%3s |%12s %12s   (GFLOPS)\n", "k", "low-order", "high-order");
+  for (int k = 1; k <= 5; ++k) {
+    std::printf("%3d |%12.1f %12.1f\n", k, kernel_gflops(edison, k, false),
+                kernel_gflops(edison, k, true));
+  }
+  std::printf("(paper Fig. 9: negligible drop for k <= 3 — all 2^k strides "
+              "map to distinct ways of the 8-way Ivy Bridge caches — then "
+              "a visible drop at k = 4, 5; low-order tops out ~230-280 "
+              "GFLOPS)\n");
+
+  heading("single-socket Edison model (Fig. 2a machine)");
+  const MachineModel socket = edison_socket();
+  std::printf("%3s |%12s %12s\n", "k", "low-order", "high-order");
+  for (int k = 1; k <= 5; ++k) {
+    std::printf("%3d |%12.1f %12.1f\n", k, kernel_gflops(socket, k, false),
+                kernel_gflops(socket, k, true));
+  }
+  std::printf("(Sec. 4.2.1: a single-socket 30-qubit supremacy run gains "
+              "3x in time-to-solution from these kernels)\n");
+  return 0;
+}

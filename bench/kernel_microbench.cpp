@@ -1,0 +1,135 @@
+/// \file kernel_microbench.cpp
+/// \brief google-benchmark microbenchmarks of the gate kernels: per-k
+/// sweep rates, low- vs high-order placements, backend and blocking
+/// comparisons, and the diagonal/swap fast paths.
+#include <benchmark/benchmark.h>
+
+#include "core/aligned.hpp"
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/naive.hpp"
+#include "kernels/swap.hpp"
+
+namespace {
+
+using namespace quasar;
+
+constexpr int kStateQubits = 20;  // 16 MiB state: out-of-cache, quick
+
+GateMatrix dense_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 3; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cz().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+
+AlignedVector<Amplitude>& shared_state() {
+  static AlignedVector<Amplitude> state = [] {
+    AlignedVector<Amplitude> s(index_pow2(kStateQubits), Amplitude{});
+    s[0] = 1.0;
+    return s;
+  }();
+  return state;
+}
+
+void report(benchmark::State& state, int k) {
+  const double amps = static_cast<double>(index_pow2(kStateQubits));
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      amps * static_cast<double>(state.iterations())));
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops_per_amplitude(k) * amps * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GateKernel(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool high_order = state.range(1) != 0;
+  Rng rng(k * 7 + 1);
+  std::vector<int> locations(k);
+  for (int i = 0; i < k; ++i) {
+    locations[i] = high_order ? kStateQubits - k + i : i;
+  }
+  const PreparedGate gate = prepare_gate(dense_unitary(k, rng), locations);
+  auto& psi = shared_state();
+  for (auto _ : state) {
+    apply_gate(psi.data(), kStateQubits, gate, {});
+  }
+  report(state, k);
+}
+BENCHMARK(BM_GateKernel)
+    ->ArgsProduct({{1, 2, 3, 4, 5}, {0, 1}})
+    ->ArgNames({"k", "high"});
+
+void BM_ScalarKernel(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(k * 11 + 3);
+  std::vector<int> locations(k);
+  for (int i = 0; i < k; ++i) locations[i] = i;
+  const PreparedGate gate = prepare_gate(dense_unitary(k, rng), locations);
+  auto& psi = shared_state();
+  for (auto _ : state) {
+    apply_gate_scalar(psi.data(), kStateQubits, gate);
+  }
+  report(state, k);
+}
+BENCHMARK(BM_ScalarKernel)->DenseRange(1, 5)->ArgName("k");
+
+void BM_BlockRows(benchmark::State& state) {
+  const int br = static_cast<int>(state.range(0));
+  Rng rng(17);
+  const PreparedGate gate =
+      prepare_gate(dense_unitary(5, rng), {4, 5, 6, 7, 8});
+  auto& psi = shared_state();
+  ApplyOptions options;
+  options.block_rows = br;
+  for (auto _ : state) {
+    apply_gate(psi.data(), kStateQubits, gate, options);
+  }
+  report(state, 5);
+}
+BENCHMARK(BM_BlockRows)->RangeMultiplier(2)->Range(1, 8)->ArgName("rows");
+
+void BM_DiagonalKernel(benchmark::State& state) {
+  const PreparedGate cz = prepare_gate(gates::cz(), {3, 12});
+  auto& psi = shared_state();
+  for (auto _ : state) {
+    apply_diagonal(psi.data(), kStateQubits, cz, {});
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(index_pow2(kStateQubits)) *
+                          2 * static_cast<std::int64_t>(kBytesPerAmplitude));
+}
+BENCHMARK(BM_DiagonalKernel);
+
+void BM_BitSwap(benchmark::State& state) {
+  auto& psi = shared_state();
+  for (auto _ : state) {
+    apply_bit_swap(psi.data(), kStateQubits, 2, kStateQubits - 2);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(index_pow2(kStateQubits)) *
+                          static_cast<std::int64_t>(kBytesPerAmplitude));
+}
+BENCHMARK(BM_BitSwap);
+
+void BM_NaiveTwoVector(benchmark::State& state) {
+  Rng rng(23);
+  const GateMatrix u = gates::random_su2(rng);
+  static AlignedVector<Amplitude> out(index_pow2(kStateQubits));
+  auto& psi = shared_state();
+  for (auto _ : state) {
+    apply_single_qubit_two_vector(psi.data(), out.data(), kStateQubits, u,
+                                  kStateQubits / 2);
+  }
+  report(state, 1);
+}
+BENCHMARK(BM_NaiveTwoVector);
+
+}  // namespace

@@ -1,0 +1,90 @@
+/// \file outlook_49qubits.cpp
+/// \brief Regenerates the paper's Sec. 5 outlook claims numerically.
+///
+/// 1. "With the same amount of compute resources, the simulation of 46
+///    qubits is feasible when using single-precision": memory accounting
+///    for Cori II, double vs float.
+/// 2. "The simulation of a 49-qubit circuit would require only two
+///    global-to-local swap operations": we *schedule* the real 49-qubit
+///    depth-25 circuit and report the swap count.
+/// 3. "The low amount of communication may allow the use of, e.g.,
+///    solid-state drives": a time model for an SSD-backed 49-qubit run.
+#include "bench/common.hpp"
+#include "circuit/supremacy.hpp"
+#include "perfmodel/run_model.hpp"
+
+int main() {
+  using namespace quasar;
+  using namespace quasar::bench;
+
+  heading("Sec. 5 outlook (1) — qubits per memory budget");
+  const double cori_pb = 1.0;  // Cori II aggregate ~1 PB (Sec. 4.1)
+  std::printf("%8s | %22s | %22s\n", "qubits", "double (16 B/amp)",
+              "single (8 B/amp)");
+  for (int n = 44; n <= 50; ++n) {
+    const double d_pb = index_pow2(n) * 16.0 / 1e15;
+    const double f_pb = index_pow2(n) * 8.0 / 1e15;
+    std::printf("%8d | %15.3f PB %s | %15.3f PB %s\n", n, d_pb,
+                d_pb <= cori_pb ? "fits " : "      ", f_pb,
+                f_pb <= cori_pb ? "fits " : "      ");
+  }
+  std::printf("(45 qubits double = 0.563 PB — the paper's run; 46 qubits "
+              "fits only in single precision, as claimed)\n");
+
+  heading("Sec. 5 outlook (2) — scheduling the 49-qubit circuit");
+  {
+    const auto [rows, cols] = supremacy_grid_for_qubits(49);
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = 25;
+    so.seed = 1;
+    const Circuit c = make_supremacy_circuit(so);
+    for (int l : {32, 34, 36}) {
+      ScheduleOptions o;
+      o.num_local = l;
+      o.kmax = 5;
+      o.build_matrices = false;
+      const Schedule s = make_schedule(c, o);
+      std::printf("  %d local qubits (%d 'nodes'): %d global-to-local "
+                  "swap(s), %zu clusters\n",
+                  l, 1 << (49 - l), s.num_swaps(), s.num_clusters());
+    }
+    std::printf("(paper: two swaps suffice for the entire depth-25 "
+                "49-qubit circuit)\n");
+  }
+
+  heading("Sec. 5 outlook (3) — SSD-backed 49-qubit projection");
+  {
+    // 49 qubits double precision: 9.0 PB state. Suppose 8,192 nodes each
+    // hold 1.1 TB on NVMe (aggregate ~9 PB) at a conservative streaming
+    // rate, and MCDRAM/DRAM stages the working set. Each swap moves the
+    // whole state once over the network *and* re-streams it from/to SSD.
+    const double state_pb = index_pow2(49) * 16.0 / 1e15;
+    const int nodes = 8192;
+    const double per_node_bytes = index_pow2(49) * 16.0 / nodes;
+    const double ssd_gbs = 2.0;   // per-node NVMe streaming, GB/s
+    const InterconnectModel net = aries_dragonfly();
+    const double net_s = net.alltoall_seconds(nodes, per_node_bytes);
+    const double ssd_s = 2.0 * per_node_bytes / (ssd_gbs * 1e9);
+    const int swaps = 2;
+    // Between swaps, each stage streams the state past the kernels once
+    // per cluster; with ~25 clusters per stage (Table 1 scaling) and a
+    // 4-qubit-kernel rate of ~2x DRAM bandwidth, kernels are SSD-bound:
+    const int clusters_per_stage = 25;
+    const double stage_s = clusters_per_stage * 2.0 * per_node_bytes /
+                           (ssd_gbs * 1e9);
+    const double total = swaps * (net_s + ssd_s) + (swaps + 1) * stage_s;
+    std::printf("  state: %.2f PB across %d nodes (%.1f TB/node on SSD)\n",
+                state_pb, nodes, per_node_bytes / 1e12);
+    std::printf("  per swap: %.0f s network all-to-all + %.0f s SSD "
+                "restage\n", net_s, ssd_s);
+    std::printf("  per stage: ~%d cluster sweeps, SSD-bound: %.0f s\n",
+                clusters_per_stage, stage_s);
+    std::printf("  projected total: %.1f hours — slow but *possible*, "
+                "which is the paper's point: communication, not capacity, "
+                "was the blocker, and scheduling removed it\n",
+                total / 3600.0);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// \file sec421_single_node.cpp
+/// \brief Regenerates Sec. 4.2.1's claim: "Running a single-socket
+/// simulation of a 30-qubit quantum supremacy circuit yields an
+/// improvement in time-to-solution by 3x."
+///
+/// Measures three execution strategies on a supremacy circuit sized for
+/// this host (QUASAR_BENCH_SEC421_QUBITS, default 20 = 16 MiB state):
+///   1. gate-by-gate, in-place SIMD kernels (the pre-fusion baseline);
+///   2. fused clusters (kmax sweep) without qubit mapping;
+///   3. fused clusters with the Sec. 3.6.2 qubit mapping.
+#include "bench/common.hpp"
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "sched/executor.hpp"
+#include "simulator/simulator.hpp"
+
+int main() {
+  using namespace quasar;
+  using namespace quasar::bench;
+
+  const int n = env_int("QUASAR_BENCH_SEC421_QUBITS", 20);
+  // Grid as square as possible with n = rows*cols.
+  int rows = 1;
+  for (int r = 1; r * r <= n; ++r) {
+    if (n % r == 0) rows = r;
+  }
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = n / rows;
+  so.depth = 25;
+  so.seed = 1;
+  so.initial_hadamards = false;
+  const Circuit c = strip_trailing_diagonals(make_supremacy_circuit(so));
+
+  heading("Sec. 4.2.1 — single-node time-to-solution");
+  std::printf("workload: %dx%d depth-25 supremacy circuit (%d qubits, %zu "
+              "gates), backend %s\n",
+              so.rows, so.cols, n, c.num_gates(), simd_backend_name());
+
+  StateVector state(n);
+  auto run_once = [&](auto&& fn) {
+    state.set_uniform_superposition();
+    Timer t;
+    fn();
+    return t.seconds();
+  };
+
+  Simulator sim(state);
+  const double gate_by_gate =
+      run_once([&] { sim.run(c); });
+  std::printf("  gate-by-gate:              %8.3f s (1.0x)\n", gate_by_gate);
+
+  for (int kmax : {3, 4, 5}) {
+    ScheduleOptions o;
+    o.num_local = n;
+    o.kmax = kmax;
+    const Schedule schedule = make_schedule(c, o);
+    const double fused =
+        run_once([&] { run_fused(state, c, schedule); });
+    std::printf("  fused kmax=%d (%3zu sweeps): %8.3f s (%.1fx)\n", kmax,
+                schedule.num_clusters(), fused, gate_by_gate / fused);
+  }
+  {
+    ScheduleOptions o;
+    o.num_local = n;
+    o.kmax = 5;
+    o.qubit_mapping = true;
+    const Schedule schedule = make_schedule(c, o);
+    const double fused =
+        run_once([&] { run_fused(state, c, schedule); });
+    std::printf("  fused kmax=5 + mapping:    %8.3f s (%.1fx)\n", fused,
+                gate_by_gate / fused);
+  }
+  std::printf("(paper: 3x on one Edison socket at 30 qubits; the ratio of "
+              "total sweeps — %zu gates vs ~%zu clusters — bounds the "
+              "bandwidth-limited gain)\n",
+              c.num_gates(),
+              make_schedule(c, [&] {
+                ScheduleOptions o;
+                o.num_local = n;
+                o.kmax = 5;
+                o.build_matrices = false;
+                return o;
+              }()).num_clusters());
+  return 0;
+}

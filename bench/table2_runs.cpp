@@ -1,0 +1,158 @@
+/// \file table2_runs.cpp
+/// \brief Regenerates Table 2: full supremacy-circuit runs — time,
+/// communication fraction, and speedup over the per-gate baseline of [5]
+/// — plus the Sec. 4.2.2 Edison comparison.
+///
+/// Part 1 models the paper's four Cori II configurations end-to-end from
+/// real schedules (the state is never allocated; scheduling is exact at
+/// 45 qubits). Part 2 *executes* a scaled-down instance bit-exactly on
+/// the virtual cluster — ours vs the baseline scheme — and reports
+/// measured wall-clock and communication volumes.
+#include "bench/common.hpp"
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "perfmodel/run_model.hpp"
+#include "runtime/baseline.hpp"
+#include "runtime/distributed.hpp"
+
+namespace {
+
+using namespace quasar;
+using namespace quasar::bench;
+
+struct PaperRow {
+  int qubits;
+  const char* grid;
+  int gates;
+  int nodes;
+  double time_s;
+  double comm_pct;   // -1: not reported
+  double speedup;    // -1: not reported
+};
+
+const PaperRow kPaperRows[] = {
+    {30, "6x5", 369, 1, 9.58, 0.0, 14.8},
+    {36, "6x6", 447, 64, 28.92, 42.9, 12.8},
+    {42, "7x6", 528, 4096, 79.53, 71.8, 12.4},
+    {45, "9x5", 569, 8192, 552.61, 78.0, -1.0},
+};
+
+}  // namespace
+
+int main() {
+  heading("Table 2 — modeled at paper scale (Cori II, KNL nodes)");
+  std::printf("%7s %6s %7s | %9s %8s %8s | paper: time comm%% speedup\n",
+              "qubits", "nodes", "swaps", "time[s]", "comm%", "speedup");
+  const MachineModel knl = cori_knl_node();
+  const InterconnectModel net = aries_dragonfly();
+
+  for (const PaperRow& row : kPaperRows) {
+    const auto [rows, cols] = supremacy_grid_for_qubits(row.qubits);
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = 25;
+    so.seed = 1;
+    so.initial_hadamards = false;  // simulators start from the uniform state
+    const Circuit c = strip_trailing_diagonals(make_supremacy_circuit(so));
+
+    const int l = row.qubits - ilog2(static_cast<Index>(row.nodes));
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 5;
+    o.build_matrices = false;
+    const Schedule s = make_schedule(c, o);
+    const RunPrediction ours = model_run(c, s, knl, net, row.nodes);
+    const RunPrediction base = model_baseline_run(
+        c, l, SpecializationMode::kWorstCase, knl, net, row.nodes);
+    const double speedup = base.total_seconds() / ours.total_seconds();
+
+    std::printf("%7d %6d %7d | %9.2f %8.1f %7.1fx | %10.2f %5.1f %6.1fx\n",
+                row.qubits, row.nodes, s.num_swaps(), ours.total_seconds(),
+                100.0 * ours.comm_fraction(), speedup, row.time_s,
+                row.comm_pct, row.speedup < 0 ? 0.0 : row.speedup);
+  }
+  std::printf("(45-qubit run: paper reports 0.428 PFLOPS sustained and no "
+              "baseline comparison — the baseline could not run at that "
+              "size)\n");
+
+  heading("Sec. 4.2.2 — 36 qubits on 64 Edison sockets (model)");
+  {
+    const auto [rows, cols] = supremacy_grid_for_qubits(36);
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = 25;
+    so.seed = 1;
+    so.initial_hadamards = false;
+    const Circuit c = strip_trailing_diagonals(make_supremacy_circuit(so));
+    ScheduleOptions o;
+    o.num_local = 30;
+    o.kmax = 4;  // Fig. 10: the right kernel size on Edison
+    o.build_matrices = false;
+    const Schedule s = make_schedule(c, o);
+    const RunPrediction ours =
+        model_run(c, s, edison_socket(), net, 64);
+    const RunPrediction base = model_baseline_run(
+        c, 30, SpecializationMode::kWorstCase, edison_socket(), net, 64);
+    std::printf("modeled: %.1f s total (paper: 99 s incl. 8.1 s entropy; "
+                "90.9 s simulation); speedup over [5]: %.1fx (paper: >4x "
+                "on identical hardware)\n",
+                ours.total_seconds(),
+                base.total_seconds() / ours.total_seconds());
+  }
+
+  heading("measured — scaled-down bit-exact run on the virtual cluster");
+  {
+    SupremacyOptions so;
+    so.rows = env_int("QUASAR_BENCH_ROWS", 5);
+    so.cols = env_int("QUASAR_BENCH_COLS", 4);
+    so.depth = 25;
+    so.seed = 1;
+    so.initial_hadamards = false;
+    const Circuit c = strip_trailing_diagonals(make_supremacy_circuit(so));
+    const int n = so.rows * so.cols;
+    const int l = n - 4;  // 16 virtual ranks
+
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 5;
+    Timer ours_timer;
+    const Schedule s = make_schedule(c, o);
+    DistributedSimulator ours(n, l);
+    ours.init_uniform();
+    ours.run(c, s);
+    const double ours_seconds = ours_timer.seconds();
+
+    Timer base_timer;
+    BaselineOptions bo;
+    bo.specialization = SpecializationMode::kWorstCase;
+    BaselineSimulator base(n, l, bo);
+    base.init_uniform();
+    base.run(c);
+    const double base_seconds = base_timer.seconds();
+
+    const double diff = ours.gather().max_abs_diff(base.gather());
+    std::printf("%dx%d depth-25 (%d qubits, %zu gates) on 16 virtual "
+                "ranks:\n", so.rows, so.cols, n, c.num_gates());
+    std::printf("  ours:     %6.2f s wall, %3d all-to-alls, %7.1f MB/rank "
+                "sent\n", ours_seconds,
+                static_cast<int>(ours.stats().alltoalls),
+                ours.stats().bytes_sent_per_rank / 1e6);
+    std::printf("  baseline: %6.2f s wall, %3d pairwise exchanges, %7.1f "
+                "MB/rank sent\n", base_seconds,
+                static_cast<int>(base.stats().pairwise_exchanges),
+                base.stats().bytes_sent_per_rank / 1e6);
+    std::printf("  wall-clock speedup %.1fx, comm-volume reduction %.1fx, "
+                "state agreement %.1e\n",
+                base_seconds / ours_seconds,
+                static_cast<double>(base.stats().bytes_sent_per_rank) /
+                    static_cast<double>(ours.stats().bytes_sent_per_rank),
+                diff);
+    std::printf("(in-process 'communication' is memcpy, so the measured "
+                "wall-clock speedup reflects the kernel-fusion gain; the "
+                "communication-volume ratio is the network-side gain the "
+                "paper banks at scale)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file distributed_demo.cpp
+/// \brief Walks through the multi-node machinery of Secs. 3.4/3.5.
+///
+/// 1. Shows the Fig. 3 picture: a global-to-local swap is one all-to-all
+///    block exchange.
+/// 2. Runs the same circuit through our swap-based simulator and the
+///    baseline per-gate pairwise-exchange simulator of [5]/[19] and
+///    compares states (bit-identical physics) and communication volumes
+///    (an order of magnitude apart — the paper's core claim).
+#include <cstdio>
+
+#include "circuit/supremacy.hpp"
+#include "runtime/baseline.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/report.hpp"
+
+int main() {
+  using namespace quasar;
+
+  // --- Fig. 3: the block-exchange picture -----------------------------
+  std::printf("Fig. 3 reproduction: 2-qubit global-to-local swap on 4 "
+              "ranks.\nEach rank sends its i-th quarter to rank i:\n\n");
+  {
+    VirtualCluster cluster(4, 2);  // 4 ranks x 4 amplitudes
+    // Tag every amplitude with rank*10 + block so the motion is visible.
+    for (int r = 0; r < 4; ++r) {
+      for (Index i = 0; i < 4; ++i) {
+        cluster.rank_data(r)[i] = Amplitude(r, static_cast<double>(i));
+      }
+    }
+    cluster.alltoall_swap({2, 3});
+    std::printf("  after the all-to-all, rank r block b holds what rank b "
+                "block r held:\n");
+    for (int r = 0; r < 4; ++r) {
+      std::printf("  rank %d:", r);
+      for (Index i = 0; i < 4; ++i) {
+        const Amplitude a = cluster.rank_data(r)[i];
+        std::printf("  (from rank %.0f, block %.0f)", a.real(), a.imag());
+      }
+      std::printf("\n");
+    }
+  }
+
+  // --- Ours vs the baseline scheme ------------------------------------
+  SupremacyOptions options;
+  options.rows = 4;
+  options.cols = 5;
+  options.depth = 25;
+  options.seed = 3;
+  const Circuit circuit = make_supremacy_circuit(options);
+  const int n = 20, l = 16;  // 16 virtual ranks
+
+  std::printf("\nWorkload: %dx%d depth-%d supremacy circuit (%zu gates), "
+              "%d ranks with %d local qubits.\n",
+              options.rows, options.cols, options.depth, circuit.num_gates(),
+              1 << (n - l), l);
+
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 5;
+  const Schedule schedule = make_schedule(circuit, sched);
+  std::printf("\n%s\n", schedule_summary(circuit, schedule).c_str());
+
+  DistributedSimulator ours(n, l);
+  ours.init_basis(0);
+  ours.run(circuit, schedule);
+
+  BaselineOptions base_options;
+  base_options.specialization = SpecializationMode::kWorstCase;
+  BaselineSimulator baseline(n, l, base_options);
+  baseline.init_basis(0);
+  baseline.run(circuit);
+
+  const double diff = ours.gather().max_abs_diff(baseline.gather());
+  std::printf("state agreement with the baseline simulator: max |diff| = "
+              "%.2e\n\n", diff);
+
+  const CommStats& a = ours.stats();
+  const CommStats& b = baseline.stats();
+  std::printf("communication per rank (ours):     %llu all-to-alls, %.1f MB\n",
+              (unsigned long long)a.alltoalls, a.bytes_sent_per_rank / 1e6);
+  std::printf("communication per rank (baseline): %llu pairwise exchanges, "
+              "%.1f MB\n",
+              (unsigned long long)b.pairwise_exchanges,
+              b.bytes_sent_per_rank / 1e6);
+  if (a.bytes_sent_per_rank > 0) {
+    std::printf("volume reduction: %.1fx  (the paper reports ~12.5x for "
+                "depth-25 42-qubit circuits, Sec. 4.1.2)\n",
+                static_cast<double>(b.bytes_sent_per_rank) /
+                    static_cast<double>(a.bytes_sent_per_rank));
+  }
+  return 0;
+}

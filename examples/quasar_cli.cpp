@@ -1,0 +1,240 @@
+/// \file quasar_cli.cpp
+/// \brief Command-line front end: generate, inspect, schedule, and run
+/// circuits from the text format (circuit/io.hpp).
+///
+///   quasar_cli generate --rows 4 --cols 4 --depth 20 [--seed S]
+///                       [--no-initial-h] [--strip] > circuit.txt
+///   quasar_cli info circuit.txt
+///   quasar_cli schedule circuit.txt --local 12 [--kmax 5]
+///                       [--mode worst|full|none] [--render]
+///   quasar_cli run circuit.txt [--local L] [--samples N] [--seed S]
+///                       [--uniform-init] [--fp32]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "circuit/analysis.hpp"
+#include "circuit/io.hpp"
+#include "circuit/supremacy.hpp"
+#include "sched/schedule_io.hpp"
+#include "core/timing.hpp"
+#include "fp32/simulator_f32.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/report.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/simulator.hpp"
+
+namespace {
+
+using namespace quasar;
+
+/// Minimal flag parser: positional args plus --key [value] pairs.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+Circuit load_circuit(const std::string& path) {
+  std::ifstream in(path);
+  QUASAR_CHECK(in.good(), "cannot open circuit file: " + path);
+  return read_circuit(in);
+}
+
+SpecializationMode parse_mode(const std::string& mode) {
+  if (mode == "worst") return SpecializationMode::kWorstCase;
+  if (mode == "full") return SpecializationMode::kFull;
+  if (mode == "none") return SpecializationMode::kNone;
+  throw Error("unknown specialization mode: " + mode);
+}
+
+int cmd_generate(const Args& args) {
+  SupremacyOptions options;
+  options.rows = args.get_int("rows", 4);
+  options.cols = args.get_int("cols", 4);
+  options.depth = args.get_int("depth", 20);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  options.initial_hadamards = !args.has("no-initial-h");
+  Circuit circuit = make_supremacy_circuit(options);
+  if (args.has("strip")) circuit = strip_trailing_diagonals(circuit);
+  write_circuit(std::cout, circuit);
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  QUASAR_CHECK(!args.positional().empty(), "info: missing circuit file");
+  const Circuit circuit = load_circuit(args.positional()[0]);
+  const CircuitStats stats = analyze(circuit);
+  std::cout << "qubits:        " << circuit.num_qubits() << "\n"
+            << "gates:         " << stats.num_gates << "\n"
+            << "  single-qubit " << stats.num_single_qubit << "\n"
+            << "  two-qubit    " << stats.num_two_qubit << "\n"
+            << "  diagonal     " << stats.num_diagonal << "\n"
+            << "layered depth: " << stats.depth << "\n";
+  for (const auto& [name, count] : stats.by_name) {
+    std::cout << "  " << name << " x " << count << "\n";
+  }
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  QUASAR_CHECK(!args.positional().empty(), "schedule: missing circuit file");
+  const Circuit circuit = load_circuit(args.positional()[0]);
+  ScheduleOptions options;
+  options.num_local = args.get_int("local", circuit.num_qubits());
+  options.kmax = args.get_int("kmax", 5);
+  options.specialization = parse_mode(args.get("mode", "worst"));
+  options.qubit_mapping = args.has("mapping");
+  options.build_matrices = false;
+  Timer timer;
+  options.build_matrices = args.has("save");  // matrices only if persisted
+  const Schedule schedule = make_schedule(circuit, options);
+  std::cout << "scheduled in " << timer.seconds() << " s\n"
+            << schedule_summary(circuit, schedule);
+  if (args.has("save")) {
+    std::ofstream out(args.get("save", ""));
+    QUASAR_CHECK(out.good(), "cannot open schedule output file");
+    write_schedule(out, schedule);
+    std::cout << "schedule written to " << args.get("save", "") << "\n";
+  }
+  if (args.has("render")) {
+    for (std::size_t s = 0; s < schedule.stages.size(); ++s) {
+      std::cout << render_stage(circuit, schedule, s);
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  QUASAR_CHECK(!args.positional().empty(), "run: missing circuit file");
+  const Circuit circuit = load_circuit(args.positional()[0]);
+  const int n = circuit.num_qubits();
+  QUASAR_CHECK(n <= 28, "run: circuit too wide for this machine");
+  const int samples = args.get_int("samples", 0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
+
+  if (args.has("fp32")) {
+    QUASAR_CHECK(!args.has("local"),
+                 "run: --fp32 is single-address-space only");
+    StateVectorF state(n);
+    if (args.has("uniform-init")) state.set_uniform_superposition();
+    SimulatorF simulator(state);
+    Timer timer;
+    simulator.run(circuit);
+    std::cout << "fp32 run: " << timer.seconds() << " s, norm^2 "
+              << state.norm_squared() << ", entropy " << state.entropy()
+              << "\n";
+    return 0;
+  }
+
+  const int local = args.get_int("local", n);
+  if (local < n) {
+    StorageOptions storage;
+    if (args.has("disk")) storage.medium = StorageMedium::kDisk;
+    DistributedSimulator sim(n, local, {}, storage);
+    if (args.has("uniform-init")) {
+      sim.init_uniform();
+    } else {
+      sim.init_basis(0);
+    }
+    Timer timer;
+    if (args.has("schedule")) {
+      std::ifstream in(args.get("schedule", ""));
+      QUASAR_CHECK(in.good(), "cannot open schedule file");
+      sim.run(circuit, read_schedule(in, circuit));
+    } else {
+      ScheduleOptions options;
+      options.num_local = local;
+      options.kmax = args.get_int("kmax", 5);
+      options.specialization = parse_mode(args.get("mode", "worst"));
+      sim.run(circuit, options);
+    }
+    std::cout << "distributed run (" << (1 << (n - local)) << " ranks): "
+              << timer.seconds() << " s, norm^2 " << sim.norm_squared()
+              << ", entropy " << sim.entropy() << "\n";
+    const CommStats& stats = sim.stats();
+    std::cout << "comm: " << stats.alltoalls << " all-to-alls, "
+              << stats.bytes_sent_per_rank / 1e6 << " MB/rank\n";
+    if (samples > 0) {
+      const StateVector state = sim.gather();
+      for (Index s : sample_outcomes(state, samples, rng)) {
+        std::cout << s << "\n";
+      }
+    }
+    return 0;
+  }
+
+  StateVector state(n);
+  if (args.has("uniform-init")) state.set_uniform_superposition();
+  Simulator simulator(state);
+  Timer timer;
+  simulator.run(circuit);
+  std::cout << "run: " << timer.seconds() << " s, norm^2 "
+            << state.norm_squared() << ", entropy " << entropy(state)
+            << " (Porter-Thomas: " << porter_thomas_entropy(n) << ")\n";
+  for (Index s : sample_outcomes(state, samples, rng)) {
+    std::cout << s << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: quasar_cli <generate|info|schedule|run> [args]\n"
+      "  generate --rows R --cols C --depth D [--seed S] [--no-initial-h]"
+      " [--strip]\n"
+      "  info <circuit.txt>\n"
+      "  schedule <circuit.txt> --local L [--kmax K] [--mode worst|full|"
+      "none] [--mapping] [--render] [--save plan.txt]\n"
+      "  run <circuit.txt> [--local L] [--schedule plan.txt] [--samples N]"
+      " [--seed S] [--uniform-init] [--fp32] [--disk]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "run") return cmd_run(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

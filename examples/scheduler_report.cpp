@@ -1,0 +1,78 @@
+/// \file scheduler_report.cpp
+/// \brief Renders the circuit constructions of Fig. 1 and the scheduler
+/// output of Fig. 4 as ASCII art.
+///
+///   ./scheduler_report [rows cols depth num_local]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "sched/report.hpp"
+
+namespace {
+
+/// Prints one CZ pattern as a grid diagram (Fig. 1 style).
+void print_pattern(int pattern, int rows, int cols) {
+  using namespace quasar;
+  const auto bonds = supremacy_cz_pattern(pattern, rows, cols);
+  std::vector<std::string> canvas(2 * rows - 1,
+                                  std::string(2 * cols - 1, ' '));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) canvas[2 * r][2 * c] = 'o';
+  }
+  for (const Bond& b : bonds) {
+    const int ra = b.a / cols, ca = b.a % cols;
+    const int rb = b.b / cols, cb = b.b % cols;
+    if (ra == rb) {
+      canvas[2 * ra][ca + cb] = '-';
+    } else {
+      canvas[ra + rb][2 * ca] = '|';
+    }
+  }
+  std::printf("  pattern %d (cycle %d, %d+8k):\n", pattern + 1, pattern + 1,
+              pattern + 1);
+  for (const auto& line : canvas) std::printf("    %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace quasar;
+  SupremacyOptions options;
+  options.rows = argc > 2 ? std::atoi(argv[1]) : 4;
+  options.cols = argc > 2 ? std::atoi(argv[2]) : 4;
+  options.depth = argc > 3 ? std::atoi(argv[3]) : 16;
+  options.seed = 0;
+  const int n = options.rows * options.cols;
+  const int num_local = argc > 4 ? std::atoi(argv[4]) : (n * 3) / 4;
+
+  std::printf("=== Fig. 1: the eight CZ patterns on a %dx%d grid ===\n\n",
+              options.rows, options.cols);
+  for (int p = 0; p < 8; ++p) print_pattern(p, options.rows, options.cols);
+
+  const Circuit circuit = make_supremacy_circuit(options);
+  const CircuitStats stats = analyze(circuit);
+  std::printf("\n=== circuit statistics ===\n");
+  std::printf("gates: %zu  (1-qubit: %zu, 2-qubit: %zu, diagonal: %zu), "
+              "layered depth %d\n",
+              stats.num_gates, stats.num_single_qubit, stats.num_two_qubit,
+              stats.num_diagonal, stats.depth);
+  for (const auto& [name, count] : stats.by_name) {
+    std::printf("  %-6s x %zu\n", name.c_str(), count);
+  }
+
+  std::printf("\n=== Sec. 3.6 scheduling (%d local of %d qubits) ===\n\n",
+              num_local, n);
+  ScheduleOptions sched;
+  sched.num_local = num_local;
+  sched.kmax = 4;
+  sched.build_matrices = false;
+  const Schedule schedule = make_schedule(circuit, sched);
+  std::printf("%s\n", schedule_summary(circuit, schedule).c_str());
+
+  std::printf("=== Fig. 4: stage/cluster rendering (stage 0) ===\n\n");
+  std::printf("%s", render_stage(circuit, schedule, 0).c_str());
+  return 0;
+}

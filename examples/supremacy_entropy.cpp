@@ -1,0 +1,97 @@
+/// \file supremacy_entropy.cpp
+/// \brief The paper's flagship workload at workstation scale.
+///
+/// Generates a quantum-supremacy random circuit (Fig. 1), schedules it
+/// (Sec. 3.6), executes it on a virtual multi-rank cluster with
+/// global-to-local swaps (Sec. 3.4/3.5), and computes the entropy of the
+/// output distribution — the same quantity the paper's 36-qubit Edison
+/// run reports (Sec. 4.2.2) — comparing it against the Porter–Thomas
+/// prediction. Finally it extrapolates the run to Cori II scale with the
+/// calibrated performance model.
+///
+///   ./supremacy_entropy [rows cols depth [num_local]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "core/timing.hpp"
+#include "perfmodel/run_model.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/report.hpp"
+#include "simulator/measure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quasar;
+  SupremacyOptions options;
+  options.rows = argc > 2 ? std::atoi(argv[1]) : 5;
+  options.cols = argc > 2 ? std::atoi(argv[2]) : 4;
+  options.depth = argc > 3 ? std::atoi(argv[3]) : 25;
+  options.seed = 1;
+  options.initial_hadamards = false;  // Sec. 3.6: start from the uniform state
+  const int n = options.rows * options.cols;
+  const int num_local = argc > 4 ? std::atoi(argv[4]) : n - 4;
+  if (n > 26 || num_local < 1 || num_local > n || n - num_local > num_local) {
+    std::fprintf(stderr,
+                 "usage: %s [rows cols depth [num_local]]  (rows*cols <= 26, "
+                 "g <= l)\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const Circuit raw = make_supremacy_circuit(options);
+  const Circuit circuit = strip_trailing_diagonals(raw);
+  std::printf(
+      "supremacy circuit: %dx%d grid (%d qubits), depth %d, %zu gates "
+      "(%zu after dropping trailing diagonals)\n",
+      options.rows, options.cols, n, options.depth, raw.num_gates(),
+      circuit.num_gates());
+
+  ScheduleOptions sched;
+  sched.num_local = num_local;
+  sched.kmax = 5;
+  sched.specialization = SpecializationMode::kWorstCase;
+  Timer sched_timer;
+  const Schedule schedule = make_schedule(circuit, sched);
+  std::printf("scheduling took %.3f s (the paper's pre-computation: 1-3 s)\n",
+              sched_timer.seconds());
+  std::printf("%s", schedule_summary(circuit, schedule).c_str());
+
+  DistributedSimulator sim(n, num_local);
+  sim.init_uniform();  // the skipped cycle-0 Hadamard layer
+  Timer run_timer;
+  sim.run(circuit, schedule);
+  const double sim_seconds = run_timer.seconds();
+
+  Timer entropy_timer;
+  const Real s = sim.entropy();
+  const Real s_pt = porter_thomas_entropy(n);
+  const double entropy_seconds = entropy_timer.seconds();
+
+  std::printf("\nsimulated %d ranks x %d local qubits in %.3f s; entropy "
+              "reduction took %.3f s\n",
+              1 << (n - num_local), num_local, sim_seconds, entropy_seconds);
+  std::printf("entropy  = %.6f\n", s);
+  std::printf("PorterTh = %.6f  (random-circuit prediction)\n", s_pt);
+  std::printf("uniform  = %.6f  (upper bound n ln 2)\n",
+              n * std::log(2.0));
+  std::printf("norm^2   = %.12f\n", sim.norm_squared());
+
+  const CommStats& stats = sim.stats();
+  std::printf("\ncommunication: %llu all-to-all(s), %.1f MB sent per rank, "
+              "%llu local swap sweeps, %llu rank renumberings\n",
+              (unsigned long long)stats.alltoalls,
+              stats.bytes_sent_per_rank / 1e6,
+              (unsigned long long)stats.local_swap_sweeps,
+              (unsigned long long)stats.rank_renumberings);
+
+  // Extrapolate the same schedule shape to Cori II (Sec. 4.1.2).
+  const int nodes = 1 << (n - num_local);
+  const RunPrediction model = model_run(circuit, schedule, cori_knl_node(),
+                                        aries_dragonfly(), nodes);
+  std::printf("\nCori II model at %d KNL nodes: %.2f s total (%.0f%% comm), "
+              "%.4f PFLOPS sustained\n",
+              nodes, model.total_seconds(), 100.0 * model.comm_fraction(),
+              model.sustained_pflops());
+  return 0;
+}

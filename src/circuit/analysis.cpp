@@ -1,0 +1,68 @@
+#include "circuit/analysis.hpp"
+
+#include <algorithm>
+
+namespace quasar {
+
+CircuitStats analyze(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.num_gates = circuit.num_gates();
+  for (const GateOp& op : circuit.ops()) {
+    if (op.arity() == 1) ++stats.num_single_qubit;
+    if (op.arity() == 2) ++stats.num_two_qubit;
+    if (op.diagonal) ++stats.num_diagonal;
+    ++stats.by_name[gate_name(op.kind)];
+  }
+  const auto layers = layerize(circuit);
+  stats.depth = layers.empty()
+                    ? 0
+                    : 1 + *std::max_element(layers.begin(), layers.end());
+  return stats;
+}
+
+std::vector<int> layerize(const Circuit& circuit) {
+  std::vector<int> layer(circuit.num_gates(), 0);
+  std::vector<int> qubit_frontier(circuit.num_qubits(), 0);
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    const GateOp& op = circuit.op(i);
+    int l = 0;
+    for (Qubit q : op.qubits) l = std::max(l, qubit_frontier[q]);
+    layer[i] = l;
+    for (Qubit q : op.qubits) qubit_frontier[q] = l + 1;
+  }
+  return layer;
+}
+
+std::vector<std::vector<std::size_t>> gates_by_qubit(const Circuit& circuit) {
+  std::vector<std::vector<std::size_t>> result(circuit.num_qubits());
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    for (Qubit q : circuit.op(i).qubits) result[q].push_back(i);
+  }
+  return result;
+}
+
+Circuit strip_trailing_diagonals(const Circuit& circuit) {
+  // Walk backwards: a diagonal gate is droppable while every qubit it
+  // touches has seen no kept gate yet.
+  std::vector<bool> keep(circuit.num_gates(), true);
+  std::vector<bool> sealed(circuit.num_qubits(), false);
+  for (std::size_t i = circuit.num_gates(); i-- > 0;) {
+    const GateOp& op = circuit.op(i);
+    bool blocked = false;
+    for (Qubit q : op.qubits) blocked |= sealed[q];
+    if (op.diagonal && !blocked) {
+      keep[i] = false;
+    } else {
+      for (Qubit q : op.qubits) sealed[q] = true;
+    }
+  }
+  Circuit out(circuit.num_qubits());
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    if (!keep[i]) continue;
+    const GateOp& op = circuit.op(i);
+    out.append(op.kind, op.qubits, op.matrix, op.cycle);
+  }
+  return out;
+}
+
+}  // namespace quasar

@@ -1,0 +1,43 @@
+/// \file analysis.hpp
+/// \brief Structural circuit analyses used by the scheduler and reports.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace quasar {
+
+/// Summary statistics of a circuit.
+struct CircuitStats {
+  std::size_t num_gates = 0;
+  std::size_t num_single_qubit = 0;
+  std::size_t num_two_qubit = 0;
+  std::size_t num_diagonal = 0;
+  int depth = 0;  ///< greedy-layered depth (gates on disjoint qubits share a layer)
+  std::map<std::string, std::size_t> by_name;
+};
+
+/// Computes summary statistics.
+CircuitStats analyze(const Circuit& circuit);
+
+/// Greedy layering: assigns each gate the earliest layer after all earlier
+/// gates sharing a qubit. Returns per-gate layer indices.
+std::vector<int> layerize(const Circuit& circuit);
+
+/// Per-gate index lists per qubit, in program order. gates_on[q] lists the
+/// indices of ops touching qubit q; this is the dependency structure the
+/// stage finder walks (gates on the same qubit never commute for
+/// supremacy circuits by design, Sec. 3.6.1).
+std::vector<std::vector<std::size_t>> gates_by_qubit(const Circuit& circuit);
+
+/// Removes trailing diagonal gates: any diagonal gate with no later gate
+/// on any of its qubits alters only phases, not the output probabilities,
+/// so a simulator interested in p_i = |a_i|^2 can skip it (paper
+/// Sec. 3.6: "we do not simulate the final CZ gates"). Applied
+/// repeatedly until a fixpoint.
+Circuit strip_trailing_diagonals(const Circuit& circuit);
+
+}  // namespace quasar

@@ -1,0 +1,104 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+GateOp::GateOp(GateKind kind, std::vector<Qubit> qubits,
+               std::shared_ptr<const GateMatrix> matrix, int cycle)
+    : kind(kind), qubits(std::move(qubits)), matrix(std::move(matrix)),
+      cycle(cycle) {
+  QUASAR_CHECK(this->matrix != nullptr, "GateOp requires a matrix");
+  QUASAR_CHECK(this->matrix->num_qubits() ==
+                   static_cast<int>(this->qubits.size()),
+               "GateOp matrix dimension does not match qubit count");
+  diagonal = this->matrix->is_diagonal();
+  phased_permutation = this->matrix->phased_permutation().has_value();
+  diagonal_on = this->matrix->diagonal_qubits();
+}
+
+bool GateOp::acts_diagonally_on(Qubit q) const {
+  for (std::size_t j = 0; j < qubits.size(); ++j) {
+    if (qubits[j] == q) return diagonal_on[j];
+  }
+  return true;
+}
+
+bool GateOp::touches(Qubit q) const {
+  return std::find(qubits.begin(), qubits.end(), q) != qubits.end();
+}
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  QUASAR_CHECK(num_qubits >= 1 && num_qubits <= 62,
+               "Circuit supports 1..62 qubits");
+}
+
+void Circuit::append(GateKind kind, std::vector<Qubit> qubits,
+                     std::shared_ptr<const GateMatrix> matrix, int cycle) {
+  QUASAR_CHECK(!qubits.empty(), "gate must act on at least one qubit");
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    QUASAR_CHECK(qubits[i] >= 0 && qubits[i] < num_qubits_,
+                 "gate qubit out of range");
+    for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+      QUASAR_CHECK(qubits[i] != qubits[j], "gate qubits must be distinct");
+    }
+  }
+  ops_.emplace_back(kind, std::move(qubits), std::move(matrix), cycle);
+}
+
+void Circuit::append_standard(GateKind kind, std::vector<Qubit> qubits,
+                              int cycle) {
+  append(kind, std::move(qubits), shared_standard_matrix(kind), cycle);
+}
+
+void Circuit::append_custom(std::vector<Qubit> qubits, GateMatrix matrix,
+                            int cycle) {
+  QUASAR_CHECK(matrix.is_unitary(1e-9),
+               "append_custom requires a unitary matrix");
+  append(GateKind::kCustom, std::move(qubits),
+         std::make_shared<const GateMatrix>(std::move(matrix)), cycle);
+}
+
+void Circuit::rz(Qubit q, Real theta) {
+  append(GateKind::kRz, {q},
+         std::make_shared<const GateMatrix>(gates::rz(theta)));
+}
+
+void Circuit::ry(Qubit q, Real theta) {
+  append(GateKind::kRy, {q},
+         std::make_shared<const GateMatrix>(gates::ry(theta)));
+}
+
+void Circuit::rx(Qubit q, Real theta) {
+  append(GateKind::kRx, {q},
+         std::make_shared<const GateMatrix>(gates::rx(theta)));
+}
+
+void Circuit::cphase(Qubit control, Qubit target, Real theta) {
+  append(GateKind::kCPhase, {control, target},
+         std::make_shared<const GateMatrix>(gates::cphase(theta)));
+}
+
+void Circuit::extend(const Circuit& other) {
+  QUASAR_CHECK(other.num_qubits_ == num_qubits_,
+               "extend: qubit count mismatch");
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+std::shared_ptr<const GateMatrix> shared_standard_matrix(GateKind kind) {
+  static std::mutex mutex;
+  static std::unordered_map<int, std::shared_ptr<const GateMatrix>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = cache.try_emplace(static_cast<int>(kind));
+  if (inserted) {
+    it->second = std::make_shared<const GateMatrix>(standard_matrix(kind));
+  }
+  return it->second;
+}
+
+}  // namespace quasar

@@ -1,0 +1,105 @@
+/// \file circuit.hpp
+/// \brief Quantum circuit intermediate representation.
+///
+/// A Circuit is an ordered list of GateOps on program qubits. Gate order
+/// matters only per qubit: gates on disjoint qubit sets commute trivially
+/// (paper Sec. 3.6.1), which is exactly the freedom the scheduler exploits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "gates/standard.hpp"
+
+namespace quasar {
+
+/// One gate application. `qubits[j]` is the program qubit carrying the
+/// matrix's gate-local qubit j. Diagonal-action flags are cached from the
+/// matrix at construction because the scheduler queries them constantly.
+struct GateOp {
+  GateKind kind = GateKind::kCustom;
+  std::vector<Qubit> qubits;
+  std::shared_ptr<const GateMatrix> matrix;
+  /// True iff the whole matrix is diagonal (phases only).
+  bool diagonal = false;
+  /// True iff the matrix is a phased permutation (X, Y, CNOT, SWAP, any
+  /// diagonal). Such a gate applied entirely to global qubits is a rank
+  /// renumbering (Sec. 3.5) and needs no communication.
+  bool phased_permutation = false;
+  /// Per gate-local qubit: does the matrix act diagonally on it?
+  std::vector<bool> diagonal_on;
+  /// Generator metadata: clock cycle the gate belongs to (-1 if untagged).
+  int cycle = -1;
+
+  /// Builds an op and caches the diagonal-action flags.
+  GateOp(GateKind kind, std::vector<Qubit> qubits,
+         std::shared_ptr<const GateMatrix> matrix, int cycle = -1);
+
+  /// Number of qubits the gate acts on.
+  int arity() const { return static_cast<int>(qubits.size()); }
+
+  /// True iff the gate acts diagonally on program qubit q (also true when
+  /// the gate does not touch q at all).
+  bool acts_diagonally_on(Qubit q) const;
+
+  /// True iff the gate touches program qubit q.
+  bool touches(Qubit q) const;
+};
+
+/// An ordered gate list over a fixed number of program qubits.
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::size_t num_gates() const noexcept { return ops_.size(); }
+  const std::vector<GateOp>& ops() const noexcept { return ops_; }
+  const GateOp& op(std::size_t i) const { return ops_[i]; }
+
+  /// Appends a gate with an explicit matrix. Validates qubit indices,
+  /// distinctness, and that the matrix dimension matches the qubit count.
+  void append(GateKind kind, std::vector<Qubit> qubits,
+              std::shared_ptr<const GateMatrix> matrix, int cycle = -1);
+
+  /// Appends a parameterless standard gate (matrix taken from the shared
+  /// registry, so repeated T gates share one matrix instance).
+  void append_standard(GateKind kind, std::vector<Qubit> qubits,
+                       int cycle = -1);
+
+  /// Appends a custom-unitary gate.
+  void append_custom(std::vector<Qubit> qubits, GateMatrix matrix,
+                     int cycle = -1);
+
+  // Convenience builders used by examples and tests.
+  void h(Qubit q) { append_standard(GateKind::kH, {q}); }
+  void x(Qubit q) { append_standard(GateKind::kX, {q}); }
+  void y(Qubit q) { append_standard(GateKind::kY, {q}); }
+  void z(Qubit q) { append_standard(GateKind::kZ, {q}); }
+  void t(Qubit q) { append_standard(GateKind::kT, {q}); }
+  void s(Qubit q) { append_standard(GateKind::kS, {q}); }
+  void sqrt_x(Qubit q) { append_standard(GateKind::kSqrtX, {q}); }
+  void sqrt_y(Qubit q) { append_standard(GateKind::kSqrtY, {q}); }
+  void cz(Qubit a, Qubit b) { append_standard(GateKind::kCZ, {a, b}); }
+  void cnot(Qubit control, Qubit target) {
+    append_standard(GateKind::kCNot, {control, target});
+  }
+  void swap(Qubit a, Qubit b) { append_standard(GateKind::kSwap, {a, b}); }
+  void rz(Qubit q, Real theta);
+  void ry(Qubit q, Real theta);
+  void rx(Qubit q, Real theta);
+  void cphase(Qubit control, Qubit target, Real theta);
+
+  /// Appends all gates of another circuit (qubit counts must match).
+  void extend(const Circuit& other);
+
+ private:
+  int num_qubits_;
+  std::vector<GateOp> ops_;
+};
+
+/// Shared canonical matrix for a parameterless standard gate kind.
+/// All circuits appending e.g. kT share one immutable matrix instance.
+std::shared_ptr<const GateMatrix> shared_standard_matrix(GateKind kind);
+
+}  // namespace quasar

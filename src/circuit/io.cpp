@@ -1,0 +1,146 @@
+#include "circuit/io.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+namespace {
+
+const std::map<std::string, GateKind>& name_to_kind() {
+  static const std::map<std::string, GateKind> table = {
+      {"H", GateKind::kH},         {"X", GateKind::kX},
+      {"Y", GateKind::kY},         {"Z", GateKind::kZ},
+      {"T", GateKind::kT},         {"Tdg", GateKind::kTdg},
+      {"S", GateKind::kS},         {"Sdg", GateKind::kSdg},
+      {"X_1_2", GateKind::kSqrtX}, {"Y_1_2", GateKind::kSqrtY},
+      {"CZ", GateKind::kCZ},       {"CNOT", GateKind::kCNot},
+      {"SWAP", GateKind::kSwap},
+  };
+  return table;
+}
+
+bool is_parameterless_standard(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+    case GateKind::kCPhase:
+    case GateKind::kCustom:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void write_circuit(std::ostream& os, const Circuit& circuit) {
+  os << "qubits " << circuit.num_qubits() << "\n";
+  os << std::setprecision(17);
+  for (const GateOp& op : circuit.ops()) {
+    if (is_parameterless_standard(op.kind)) {
+      os << gate_name(op.kind);
+    } else {
+      os << "U" << op.arity();
+    }
+    for (Qubit q : op.qubits) os << ' ' << q;
+    if (!is_parameterless_standard(op.kind)) {
+      const GateMatrix& m = *op.matrix;
+      for (Index r = 0; r < m.dim(); ++r) {
+        for (Index c = 0; c < m.dim(); ++c) {
+          os << ' ' << m.at(r, c).real() << ' ' << m.at(r, c).imag();
+        }
+      }
+    }
+    if (op.cycle >= 0) os << " @" << op.cycle;
+    os << "\n";
+  }
+}
+
+std::string circuit_to_string(const Circuit& circuit) {
+  std::ostringstream os;
+  write_circuit(os, circuit);
+  return os.str();
+}
+
+Circuit read_circuit(std::istream& is) {
+  std::string header;
+  int n = 0;
+  if (!(is >> header >> n) || header != "qubits") {
+    throw Error("circuit parse error: expected 'qubits <n>' header");
+  }
+  Circuit circuit(n);
+  std::string line;
+  std::getline(is, line);  // consume rest of header line
+  while (std::getline(is, line)) {
+    // Strip comments and blanks.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name)) continue;
+
+    int cycle = -1;
+    auto read_qubits = [&](int arity) {
+      std::vector<Qubit> qs(arity);
+      for (int i = 0; i < arity; ++i) {
+        if (!(ls >> qs[i])) {
+          throw Error("circuit parse error: missing qubit in: " + line);
+        }
+      }
+      return qs;
+    };
+    auto read_cycle_tag = [&]() {
+      std::string tok;
+      if (ls >> tok) {
+        if (tok.size() < 2 || tok[0] != '@') {
+          throw Error("circuit parse error: unexpected token '" + tok +
+                      "' in: " + line);
+        }
+        cycle = std::stoi(tok.substr(1));
+      }
+    };
+
+    if (name.size() >= 2 && name[0] == 'U' &&
+        std::isdigit(static_cast<unsigned char>(name[1]))) {
+      const int arity = std::stoi(name.substr(1));
+      QUASAR_CHECK(arity >= 1 && arity <= 10, "custom gate arity 1..10");
+      auto qs = read_qubits(arity);
+      const Index dim = index_pow2(arity);
+      std::vector<Amplitude> entries(dim * dim);
+      for (auto& e : entries) {
+        double re = 0.0, im = 0.0;
+        if (!(ls >> re >> im)) {
+          throw Error("circuit parse error: missing matrix entry in: " + line);
+        }
+        e = Amplitude{re, im};
+      }
+      read_cycle_tag();
+      circuit.append(GateKind::kCustom, std::move(qs),
+                     std::make_shared<const GateMatrix>(dim, std::move(entries)),
+                     cycle);
+      continue;
+    }
+
+    const auto it = name_to_kind().find(name);
+    if (it == name_to_kind().end()) {
+      throw Error("circuit parse error: unknown gate '" + name + "'");
+    }
+    auto qs = read_qubits(standard_arity(it->second));
+    read_cycle_tag();
+    circuit.append_standard(it->second, std::move(qs), cycle);
+  }
+  return circuit;
+}
+
+Circuit circuit_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_circuit(is);
+}
+
+}  // namespace quasar

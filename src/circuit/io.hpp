@@ -1,0 +1,35 @@
+/// \file io.hpp
+/// \brief Plain-text circuit serialization.
+///
+/// Format (one gate per line, little-endian qubit order as everywhere):
+///
+///     qubits <n>
+///     H 5
+///     CZ 3 4
+///     U2 0 1  <8 re,im pairs row-major>   # custom 2-qubit unitary
+///
+/// Cycle tags are emitted as a trailing "@<cycle>" when present. The
+/// format exists so circuit instances (e.g. generated supremacy circuits)
+/// can be stored, diffed, and re-loaded by the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace quasar {
+
+/// Writes a circuit in the text format.
+void write_circuit(std::ostream& os, const Circuit& circuit);
+
+/// Serializes to a string.
+std::string circuit_to_string(const Circuit& circuit);
+
+/// Parses the text format. Throws quasar::Error on malformed input.
+Circuit read_circuit(std::istream& is);
+
+/// Parses from a string.
+Circuit circuit_from_string(const std::string& text);
+
+}  // namespace quasar

@@ -1,0 +1,138 @@
+#include "circuit/supremacy.hpp"
+
+#include <array>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace quasar {
+
+namespace {
+
+/// Pattern table: each entry selects an orientation and the parities of
+/// the bond coordinates. Horizontal bond (r, c)-(r, c+1) has class
+/// (c % 2, r % 2); vertical bond (r, c)-(r+1, c) has class (r % 2, c % 2).
+/// Each class is a matching (no qubit twice: the two bonds at a qubit in
+/// the same orientation differ in their first-parity), and the four
+/// classes per orientation cover all bonds of that orientation. The order
+/// alternates orientations every two cycles so consecutive cycles change
+/// the active qubit set, exercising the single-qubit-gate rules the same
+/// way the circuits of [5] do.
+struct PatternSpec {
+  bool horizontal;
+  int first_parity;   // parity of c (horizontal) or r (vertical)
+  int second_parity;  // parity of r (horizontal) or c (vertical)
+};
+
+constexpr std::array<PatternSpec, 8> kPatterns = {{
+    {true, 0, 0},   // 1: horizontal, even column, even row
+    {true, 1, 1},   // 2: horizontal, odd column, odd row
+    {false, 0, 0},  // 3: vertical, even row, even column
+    {false, 1, 1},  // 4: vertical, odd row, odd column
+    {true, 0, 1},   // 5: horizontal, even column, odd row
+    {true, 1, 0},   // 6: horizontal, odd column, even row
+    {false, 0, 1},  // 7: vertical, even row, odd column
+    {false, 1, 0},  // 8: vertical, odd row, even column
+}};
+
+}  // namespace
+
+std::vector<Bond> supremacy_cz_pattern(int pattern, int rows, int cols) {
+  QUASAR_CHECK(pattern >= 0 && pattern < 8, "pattern index must be in 0..7");
+  QUASAR_CHECK(rows >= 1 && cols >= 1, "grid must be non-empty");
+  const PatternSpec& spec = kPatterns[pattern];
+  std::vector<Bond> bonds;
+  auto qubit = [cols](int r, int c) { return r * cols + c; };
+  if (spec.horizontal) {
+    for (int r = 0; r < rows; ++r) {
+      if (r % 2 != spec.second_parity) continue;
+      for (int c = 0; c + 1 < cols; ++c) {
+        if (c % 2 != spec.first_parity) continue;
+        bonds.push_back({qubit(r, c), qubit(r, c + 1)});
+      }
+    }
+  } else {
+    for (int r = 0; r + 1 < rows; ++r) {
+      if (r % 2 != spec.first_parity) continue;
+      for (int c = 0; c < cols; ++c) {
+        if (c % 2 != spec.second_parity) continue;
+        bonds.push_back({qubit(r, c), qubit(r + 1, c)});
+      }
+    }
+  }
+  return bonds;
+}
+
+Circuit make_supremacy_circuit(const SupremacyOptions& options) {
+  QUASAR_CHECK(options.rows >= 1 && options.cols >= 1,
+               "supremacy grid must be non-empty");
+  QUASAR_CHECK(options.depth >= 1, "supremacy depth must be >= 1");
+  const int n = options.rows * options.cols;
+  QUASAR_CHECK(n >= 2, "supremacy circuits need at least 2 qubits");
+  Circuit circuit(n);
+  Rng rng(options.seed);
+
+  if (options.initial_hadamards) {
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.append_standard(GateKind::kH, {q}, /*cycle=*/0);
+    }
+  }
+
+  // Per-qubit state for the single-qubit-gate rules.
+  std::vector<GateKind> last_single(n, GateKind::kH);
+  std::vector<int> singles_applied(n, 1);  // the cycle-0 Hadamard
+  std::vector<bool> cz_prev(n, false);
+
+  constexpr std::array<GateKind, 3> kRandomGates = {
+      GateKind::kT, GateKind::kSqrtX, GateKind::kSqrtY};
+
+  for (int cycle = 1; cycle <= options.depth; ++cycle) {
+    const auto bonds =
+        supremacy_cz_pattern((cycle - 1) % 8, options.rows, options.cols);
+    std::vector<bool> cz_now(n, false);
+    for (const Bond& bond : bonds) {
+      cz_now[bond.a] = true;
+      cz_now[bond.b] = true;
+    }
+    // Single-qubit gates: on qubits that had a CZ last cycle but not now.
+    for (Qubit q = 0; q < n; ++q) {
+      if (!cz_prev[q] || cz_now[q]) continue;
+      GateKind pick;
+      if (singles_applied[q] == 1) {
+        pick = GateKind::kT;  // the second single-qubit gate is always T
+      } else {
+        // Uniform over the two gates different from the previous one.
+        std::array<GateKind, 2> choices{};
+        int count = 0;
+        for (GateKind g : kRandomGates) {
+          if (g != last_single[q]) choices[count++] = g;
+        }
+        QUASAR_ASSERT(count == 2);
+        pick = choices[rng.uniform_int(2)];
+      }
+      circuit.append_standard(pick, {q}, cycle);
+      last_single[q] = pick;
+      ++singles_applied[q];
+    }
+    for (const Bond& bond : bonds) {
+      circuit.append_standard(GateKind::kCZ, {bond.a, bond.b}, cycle);
+    }
+    cz_prev = cz_now;
+  }
+  return circuit;
+}
+
+std::pair<int, int> supremacy_grid_for_qubits(int num_qubits) {
+  switch (num_qubits) {
+    case 30: return {6, 5};
+    case 36: return {6, 6};
+    case 42: return {7, 6};
+    case 45: return {9, 5};
+    case 49: return {7, 7};
+    default:
+      throw Error("no canonical supremacy grid for this qubit count; use "
+                  "SupremacyOptions directly");
+  }
+}
+
+}  // namespace quasar

@@ -1,0 +1,54 @@
+/// \file supremacy.hpp
+/// \brief Generator for Google quantum-supremacy random circuits (Fig. 1).
+///
+/// Construction rules (paper Fig. 1 caption, following Boixo et al. [5]):
+///  - clock cycle 0 applies a Hadamard to every qubit;
+///  - cycles 1..depth apply one of eight CZ patterns, cycling; the eight
+///    patterns partition all nearest-neighbour bonds of the 2D grid, so
+///    every possible two-qubit interaction happens once per 8 cycles;
+///  - in each cycle, a single-qubit gate is applied to every qubit that
+///    performed a CZ in the previous cycle but not in the current one;
+///    the gate is randomly T, X^1/2, or Y^1/2, except that (a) the second
+///    single-qubit gate on a qubit (the first being the cycle-0 H) is
+///    always T, and (b) a randomly chosen gate must differ from the
+///    previous single-qubit gate on that qubit.
+///
+/// Qubit (r, c) of the grid maps to program qubit r*cols + c.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace quasar {
+
+/// Parameters for a supremacy circuit instance.
+struct SupremacyOptions {
+  int rows = 4;          ///< grid rows
+  int cols = 4;          ///< grid columns
+  int depth = 25;        ///< number of CZ cycles (cycles 1..depth)
+  std::uint64_t seed = 0;  ///< RNG seed for the single-qubit gate choices
+  bool initial_hadamards = true;  ///< include the cycle-0 H layer
+};
+
+/// A nearest-neighbour bond between two grid qubits.
+struct Bond {
+  Qubit a;
+  Qubit b;
+};
+
+/// Returns the CZ bonds activated by pattern `pattern` (0..7) on an
+/// rows x cols grid. Within one pattern no qubit appears twice; the union
+/// over the eight patterns is exactly the set of all grid bonds.
+std::vector<Bond> supremacy_cz_pattern(int pattern, int rows, int cols);
+
+/// Generates a supremacy circuit. Each GateOp carries its clock cycle in
+/// GateOp::cycle. Deterministic in (rows, cols, depth, seed).
+Circuit make_supremacy_circuit(const SupremacyOptions& options);
+
+/// Grid sizes used in the paper's evaluation (Table 2): 30 = 6x5,
+/// 36 = 6x6, 42 = 7x6, 45 = 9x5, 49 = 7x7. Throws for other counts.
+std::pair<int, int> supremacy_grid_for_qubits(int num_qubits);
+
+}  // namespace quasar

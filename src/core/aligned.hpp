@@ -1,0 +1,60 @@
+/// \file aligned.hpp
+/// \brief 64-byte-aligned storage for state vectors and SIMD temporaries.
+///
+/// AVX-512 loads want 64-byte alignment; we also page-touch large buffers
+/// in parallel on construction (NUMA first-touch, paper Sec. 3.3) from
+/// StateVector rather than here.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace quasar {
+
+/// Minimum alignment for SIMD-visible arrays (one cache line).
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Standard-allocator wrapper around aligned operator new.
+template <typename T, std::size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+
+  /// Explicit rebind: allocator_traits cannot synthesize it because of
+  /// the non-type Alignment parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector with cache-line-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace quasar

@@ -1,0 +1,123 @@
+/// \file bits.hpp
+/// \brief Bit-manipulation utilities for state-vector index arithmetic.
+///
+/// Applying a k-qubit gate walks all indices whose bits at the k gate
+/// positions are free while the remaining n-k bits form the "c" substring
+/// of the paper (Sec. 3.2). The helpers here expand a dense counter into
+/// such an index (insert_zero_bit / IndexExpander), extract the gate-local
+/// sub-index, and build masks.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Returns floor(log2(x)) for x > 0.
+constexpr int ilog2(Index x) noexcept {
+  return 63 - std::countl_zero(x);
+}
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool is_pow2(Index x) noexcept { return std::has_single_bit(x); }
+
+/// Inserts a zero bit at position `pos`: bits [0,pos) stay, bits [pos,..)
+/// shift up by one. insert_zero_bit(0b1011, 2) == 0b10011.
+constexpr Index insert_zero_bit(Index x, int pos) noexcept {
+  const Index low_mask = (Index{1} << pos) - 1;
+  return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/// Extracts the bit at position `pos` (0 or 1).
+constexpr int get_bit(Index x, int pos) noexcept {
+  return static_cast<int>((x >> pos) & 1u);
+}
+
+/// Sets (value=1) or clears (value=0) the bit at `pos`.
+constexpr Index set_bit(Index x, int pos, int value) noexcept {
+  const Index mask = Index{1} << pos;
+  return value ? (x | mask) : (x & ~mask);
+}
+
+/// Expands dense counters into state-vector indices that have zeros at a
+/// fixed, sorted set of bit positions. Given gate qubit positions
+/// q0 < q1 < ... < q(k-1), expand(i) inserts zero bits at those positions,
+/// enumerating exactly the paper's "c" index substrings in increasing order.
+class IndexExpander {
+ public:
+  /// \param sorted_positions strictly ascending bit positions (gate qubits).
+  explicit IndexExpander(const std::vector<int>& sorted_positions) {
+    QUASAR_CHECK(sorted_positions.size() <= kMaxPositions,
+                 "too many gate qubits for IndexExpander");
+    k_ = static_cast<int>(sorted_positions.size());
+    for (int j = 0; j < k_; ++j) {
+      if (j > 0) {
+        QUASAR_CHECK(sorted_positions[j] > sorted_positions[j - 1],
+                     "IndexExpander positions must be strictly ascending");
+      }
+      positions_[j] = sorted_positions[j];
+    }
+  }
+
+  /// Number of zeroed positions.
+  int count() const noexcept { return k_; }
+
+  /// Expands dense counter i (0 <= i < 2^(n-k)) into an n-bit index with
+  /// zero bits at all configured positions.
+  Index expand(Index i) const noexcept {
+    Index x = i;
+    for (int j = 0; j < k_; ++j) x = insert_zero_bit(x, positions_[j]);
+    return x;
+  }
+
+  /// Collapses an expanded index back to the dense counter (inverse of
+  /// expand for indices with zeros at the configured positions).
+  Index collapse(Index x) const noexcept {
+    for (int j = k_ - 1; j >= 0; --j) {
+      const Index low_mask = (Index{1} << positions_[j]) - 1;
+      x = ((x >> 1) & ~low_mask) | (x & low_mask);
+    }
+    return x;
+  }
+
+ private:
+  static constexpr std::size_t kMaxPositions = 16;
+  std::array<int, kMaxPositions> positions_{};
+  int k_ = 0;
+};
+
+/// Combines the bits of `index` at positions qs (ascending significance in
+/// the output: qs[0] -> output bit 0) into the paper's gate-local index
+/// "x = x_{i_{k-1}} ... x_{i_1} x_{i_0}".
+inline Index gather_bits(Index index, const std::vector<int>& qs) noexcept {
+  Index x = 0;
+  for (std::size_t j = 0; j < qs.size(); ++j) {
+    x |= static_cast<Index>(get_bit(index, qs[j])) << j;
+  }
+  return x;
+}
+
+/// Scatters the low bits of `x` to positions qs inside a zero base index.
+inline Index scatter_bits(Index x, const std::vector<int>& qs) noexcept {
+  Index out = 0;
+  for (std::size_t j = 0; j < qs.size(); ++j) {
+    out |= static_cast<Index>(get_bit(x, static_cast<int>(j))) << qs[j];
+  }
+  return out;
+}
+
+/// Precomputed offsets for a k-qubit gate: offset(t) = scatter_bits(t, qs)
+/// for t in [0, 2^k). offsets[t] added to an expanded base index gives the
+/// state-vector position of gate-local amplitude t.
+inline std::vector<Index> make_gate_offsets(const std::vector<int>& qs) {
+  const Index m = Index{1} << qs.size();
+  std::vector<Index> offsets(m);
+  for (Index t = 0; t < m; ++t) offsets[t] = scatter_bits(t, qs);
+  return offsets;
+}
+
+}  // namespace quasar

@@ -1,0 +1,15 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace quasar::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "quasar check failed: " << message << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace quasar::detail

@@ -1,0 +1,48 @@
+/// \file error.hpp
+/// \brief Error handling: a library exception type and check macros.
+///
+/// quasar reports precondition violations by throwing quasar::Error so that
+/// embedding applications (and the test suite) can recover; internal
+/// invariants use QUASAR_ASSERT which is compiled out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace quasar {
+
+/// Exception thrown on invalid arguments or violated API preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace quasar
+
+/// Validates a user-facing precondition; throws quasar::Error on failure.
+/// Always enabled, including in release builds.
+#define QUASAR_CHECK(expr, message)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::quasar::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
+                                            (message));                    \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define QUASAR_ASSERT(expr) ((void)0)
+#else
+#define QUASAR_ASSERT(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::quasar::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
+                                            "internal invariant violated"); \
+    }                                                                      \
+  } while (false)
+#endif

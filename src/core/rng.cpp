@@ -1,0 +1,41 @@
+#include "core/rng.hpp"
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+namespace {
+/// splitmix64 step; used to decorrelate seeds before feeding mt19937_64.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  engine_.seed(splitmix64(s));
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) {
+  QUASAR_CHECK(bound > 0, "uniform_int bound must be positive");
+  return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+}
+
+double Rng::uniform_real() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+Rng Rng::split(std::uint64_t stream) {
+  std::uint64_t mix = engine_() ^ (0xa02bdbf7bb3c0a7ull * (stream + 1));
+  return Rng(mix);
+}
+
+}  // namespace quasar

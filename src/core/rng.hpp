@@ -1,0 +1,43 @@
+/// \file rng.hpp
+/// \brief Deterministic, splittable random number generation.
+///
+/// Circuit generation (Fig. 1 randomness) and sampling must be reproducible
+/// across runs and across the single-node / distributed simulators, so all
+/// randomness flows through Rng instances seeded explicitly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Deterministic RNG. Thin wrapper over std::mt19937_64 with convenience
+/// draws and a split() operation for creating statistically independent
+/// child streams (used to give each MPI-style rank its own stream).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t uniform_int(std::uint64_t bound);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Standard normal draw.
+  double normal();
+
+  /// Derives an independent child generator. Children with distinct
+  /// `stream` values (under the same parent state) do not correlate.
+  Rng split(std::uint64_t stream);
+
+  /// Underlying engine, for use with std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace quasar

@@ -1,0 +1,9 @@
+// timing.hpp is header-only; this TU anchors the target so every quasar
+// library links a concrete quasar_core object.
+#include "core/timing.hpp"
+
+namespace quasar {
+namespace {
+[[maybe_unused]] Timer anchor_timer;
+}  // namespace
+}  // namespace quasar

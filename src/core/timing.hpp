@@ -1,0 +1,42 @@
+/// \file timing.hpp
+/// \brief Wall-clock timing used by the autotuner and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace quasar {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` have elapsed (and at
+/// least once), returning the best (minimum) per-call seconds observed.
+/// Used by the kernel autotuner's benchmarking feedback loop (Sec. 3.2).
+template <typename Fn>
+double time_best_of(Fn&& fn, double min_seconds = 0.05) {
+  Timer total;
+  double best = 1e300;
+  do {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  } while (total.seconds() < min_seconds);
+  return best;
+}
+
+}  // namespace quasar

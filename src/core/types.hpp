@@ -1,0 +1,32 @@
+/// \file types.hpp
+/// \brief Fundamental scalar and index types used throughout quasar.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace quasar {
+
+/// Complex double-precision amplitude. One amplitude occupies 16 bytes,
+/// which is the unit the paper's memory accounting (Sec. 2) is based on:
+/// a 45-qubit state vector holds 2^45 amplitudes = 0.5 PB.
+using Amplitude = std::complex<double>;
+
+/// Real scalar used for probabilities, norms, and entropies.
+using Real = double;
+
+/// Index into a state vector. 2^n amplitudes for n qubits; n <= 62 fits.
+using Index = std::uint64_t;
+
+/// A qubit label. Program-level qubits and bit-locations (the physical
+/// position of a qubit inside the state-vector index, Sec. 3.6.2) share
+/// this type; APIs document which one they mean.
+using Qubit = int;
+
+/// Number of bytes per stored amplitude.
+inline constexpr Index kBytesPerAmplitude = sizeof(Amplitude);
+
+/// Returns 2^n as an Index. Precondition: 0 <= n < 64.
+constexpr Index index_pow2(int n) noexcept { return Index{1} << n; }
+
+}  // namespace quasar

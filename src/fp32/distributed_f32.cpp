@@ -1,0 +1,344 @@
+#include "fp32/distributed_f32.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "runtime/conditional.hpp"
+
+namespace quasar {
+
+DistributedSimulatorF::DistributedSimulatorF(int num_qubits, int num_local,
+                                             int num_threads)
+    : num_qubits_(num_qubits), num_local_(num_local),
+      num_threads_(num_threads) {
+  QUASAR_CHECK(num_local >= 1 && num_local <= num_qubits,
+               "DistributedSimulatorF: num_local must be in [1, n]");
+  QUASAR_CHECK(num_qubits - num_local <= 12,
+               "DistributedSimulatorF: at most 2^12 simulated ranks");
+  QUASAR_CHECK(num_qubits - num_local <= num_local,
+               "DistributedSimulatorF: needs g <= l");
+  buffers_.resize(num_ranks());
+  for (auto& buffer : buffers_) {
+    buffer.assign(local_size(), AmplitudeF{0.0f, 0.0f});
+  }
+  pending_phase_.assign(num_ranks(), Amplitude{1.0, 0.0});
+  mapping_.resize(num_qubits);
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+}
+
+void DistributedSimulatorF::init_basis(Index index) {
+  QUASAR_CHECK(index < index_pow2(num_qubits_), "basis index out of range");
+  for (auto& buffer : buffers_) {
+    std::fill(buffer.begin(), buffer.end(), AmplitudeF{0.0f, 0.0f});
+  }
+  buffers_[index >> num_local_][index & (local_size() - 1)] = 1.0f;
+  std::fill(pending_phase_.begin(), pending_phase_.end(),
+            Amplitude{1.0, 0.0});
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+}
+
+void DistributedSimulatorF::init_uniform() {
+  const float value = static_cast<float>(std::pow(2.0, -0.5 * num_qubits_));
+  for (auto& buffer : buffers_) {
+    std::fill(buffer.begin(), buffer.end(), AmplitudeF{value, 0.0f});
+  }
+  std::fill(pending_phase_.begin(), pending_phase_.end(),
+            Amplitude{1.0, 0.0});
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+}
+
+void DistributedSimulatorF::run(const Circuit& circuit,
+                                const Schedule& schedule) {
+  QUASAR_CHECK(schedule.num_qubits == num_qubits_ &&
+                   schedule.num_local == num_local_,
+               "run: schedule was built for a different configuration");
+  QUASAR_CHECK(schedule.options.build_matrices,
+               "run: schedule lacks fused matrices");
+  for (const Stage& stage : schedule.stages) {
+    transition(mapping_, stage.qubit_to_location);
+    mapping_ = stage.qubit_to_location;
+    for (const StageItem& item : stage.items) {
+      if (item.kind == StageItem::Kind::kCluster) {
+        const Cluster& cluster = stage.clusters[item.cluster];
+        const PreparedGateF prepared =
+            prepare_gate_f32(*cluster.matrix, cluster.qubits);
+        for (int r = 0; r < num_ranks(); ++r) {
+          apply_gate_f32(buffers_[r].data(), num_local_, prepared,
+                         num_threads_);
+        }
+      } else {
+        apply_global_op(circuit.op(item.op), stage);
+      }
+    }
+  }
+}
+
+void DistributedSimulatorF::apply_global_op(const GateOp& op,
+                                            const Stage& stage) {
+  const int l = num_local_;
+  std::vector<bool> fixed(op.arity(), false);
+  std::vector<int> global_bits, local_locations;
+  for (int j = 0; j < op.arity(); ++j) {
+    const int loc = stage.location(op.qubits[j]);
+    if (loc >= l) {
+      fixed[j] = true;
+      global_bits.push_back(loc - l);
+    } else {
+      local_locations.push_back(loc);
+    }
+  }
+  QUASAR_ASSERT(!global_bits.empty());
+
+  if (!op.diagonal && local_locations.empty()) {
+    // Rank renumbering for a global phased permutation (Sec. 3.5).
+    const auto perm = op.matrix->phased_permutation();
+    QUASAR_CHECK(perm.has_value(),
+                 "apply_global_op: dense all-global gate in the executor");
+    std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
+    std::vector<Amplitude> next_phase(num_ranks());
+    for (int r = 0; r < num_ranks(); ++r) {
+      Index col = 0;
+      for (std::size_t j = 0; j < global_bits.size(); ++j) {
+        col |= static_cast<Index>(
+                   get_bit(static_cast<Index>(r), global_bits[j]))
+               << j;
+      }
+      const Index row = perm->target[col];
+      Index dest = static_cast<Index>(r);
+      for (std::size_t j = 0; j < global_bits.size(); ++j) {
+        dest = set_bit(dest, global_bits[j],
+                       get_bit(row, static_cast<int>(j)));
+      }
+      next[dest] = std::move(buffers_[r]);
+      next_phase[dest] = pending_phase_[r] * perm->phase[col];
+    }
+    buffers_ = std::move(next);
+    pending_phase_ = std::move(next_phase);
+    ++stats_.rank_renumberings;
+    return;
+  }
+
+  std::map<Index, ConditionalGate> cache;
+  for (int r = 0; r < num_ranks(); ++r) {
+    Index pattern = 0;
+    for (std::size_t i = 0; i < global_bits.size(); ++i) {
+      pattern |= static_cast<Index>(
+                     get_bit(static_cast<Index>(r), global_bits[i]))
+                 << i;
+    }
+    auto it = cache.find(pattern);
+    if (it == cache.end()) {
+      it = cache.emplace(pattern,
+                         condition_gate(*op.matrix, fixed, pattern)).first;
+    }
+    const ConditionalGate& cond = it->second;
+    if (cond.is_identity) continue;
+    if (cond.matrix.num_qubits() == 0) {
+      pending_phase_[r] *= cond.phase;
+      continue;
+    }
+    const PreparedGateF prepared =
+        prepare_gate_f32(cond.matrix, local_locations);
+    apply_gate_f32(buffers_[r].data(), num_local_, prepared, num_threads_);
+  }
+}
+
+void DistributedSimulatorF::flush_phases() {
+  for (int r = 0; r < num_ranks(); ++r) {
+    if (pending_phase_[r] != Amplitude{1.0, 0.0}) {
+      apply_global_phase_f32(
+          buffers_[r].data(), num_local_,
+          AmplitudeF{static_cast<float>(pending_phase_[r].real()),
+                     static_cast<float>(pending_phase_[r].imag())},
+          num_threads_);
+      pending_phase_[r] = Amplitude{1.0, 0.0};
+    }
+  }
+}
+
+void DistributedSimulatorF::alltoall_swap(
+    const std::vector<int>& global_locations) {
+  const int q = static_cast<int>(global_locations.size());
+  const int l = num_local_;
+  const Index block = index_pow2(l - q);
+  const Index top_count = index_pow2(q);
+
+  std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
+  for (auto& buffer : next) buffer.resize(local_size());
+  for (int r = 0; r < num_ranks(); ++r) {
+    Index r_swapped = 0;
+    for (int i = 0; i < q; ++i) {
+      r_swapped |= static_cast<Index>(
+                       get_bit(static_cast<Index>(r),
+                               global_locations[i] - l))
+                   << i;
+    }
+    for (Index h = 0; h < top_count; ++h) {
+      Index dest_rank = static_cast<Index>(r);
+      for (int i = 0; i < q; ++i) {
+        dest_rank =
+            set_bit(dest_rank, global_locations[i] - l, get_bit(h, i));
+      }
+      std::memcpy(next[dest_rank].data() + r_swapped * block,
+                  buffers_[r].data() + h * block,
+                  block * sizeof(AmplitudeF));
+    }
+  }
+  buffers_.swap(next);
+  ++stats_.alltoalls;
+  // Half the bytes of the double-precision swap: the Sec. 5 win.
+  stats_.bytes_sent_per_rank +=
+      (local_size() - block) * sizeof(AmplitudeF);
+}
+
+void DistributedSimulatorF::transition(const std::vector<int>& from,
+                                       const std::vector<int>& to) {
+  if (from == to) return;
+  const int n = num_qubits_;
+  const int l = num_local_;
+  std::vector<int> cur = from;
+  std::vector<Qubit> at(n);
+  for (Qubit q = 0; q < n; ++q) at[cur[q]] = q;
+
+  auto do_local_swap = [&](int p, int s) {
+    if (p == s) return;
+    for (auto& buffer : buffers_) {
+      apply_bit_swap_f32(buffer.data(), l, p, s, num_threads_);
+    }
+    ++stats_.local_swap_sweeps;
+    const Qubit qp = at[p], qs = at[s];
+    std::swap(at[p], at[s]);
+    cur[qp] = s;
+    cur[qs] = p;
+  };
+
+  std::vector<Qubit> incoming, outgoing;
+  for (Qubit q = 0; q < n; ++q) {
+    const bool was_global = cur[q] >= l;
+    const bool is_global = to[q] >= l;
+    if (was_global && !is_global) incoming.push_back(q);
+    if (!was_global && is_global) outgoing.push_back(q);
+  }
+  const int q_move = static_cast<int>(incoming.size());
+
+  if (q_move > 0) {
+    flush_phases();  // phases must not cross the all-to-all (see runtime)
+    std::size_t next_out = 0;
+    for (int slot = l - q_move; slot < l; ++slot) {
+      const bool already =
+          std::find(outgoing.begin(), outgoing.end(), at[slot]) !=
+          outgoing.end();
+      if (already) continue;
+      while (cur[outgoing[next_out]] >= l - q_move) ++next_out;
+      do_local_swap(cur[outgoing[next_out]], slot);
+      ++next_out;
+    }
+    std::vector<int> global_locations;
+    for (Qubit q : incoming) global_locations.push_back(cur[q]);
+    std::sort(global_locations.begin(), global_locations.end());
+    alltoall_swap(global_locations);
+    for (int i = 0; i < q_move; ++i) {
+      const int gloc = global_locations[i];
+      const int lloc = l - q_move + i;
+      const Qubit qg = at[gloc], ql = at[lloc];
+      std::swap(at[gloc], at[lloc]);
+      cur[qg] = lloc;
+      cur[ql] = gloc;
+    }
+  }
+
+  for (int loc = 0; loc < l; ++loc) {
+    Qubit wanted = -1;
+    for (Qubit q = 0; q < n; ++q) {
+      if (to[q] == loc) {
+        wanted = q;
+        break;
+      }
+    }
+    QUASAR_ASSERT(wanted >= 0);
+    if (cur[wanted] != loc) do_local_swap(cur[wanted], loc);
+  }
+
+  bool global_moves = false;
+  for (Qubit q = 0; q < n; ++q) global_moves |= cur[q] != to[q];
+  if (global_moves) {
+    const int g = n - l;
+    std::vector<int> perm(g);
+    for (int j = 0; j < g; ++j) {
+      const Qubit q = at[l + j];
+      perm[to[q] - l] = j;
+    }
+    bool identity = true;
+    for (int j = 0; j < g; ++j) identity &= perm[j] == j;
+    if (!identity) {
+      std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
+      std::vector<Amplitude> next_phase(num_ranks());
+      for (int r = 0; r < num_ranks(); ++r) {
+        Index src = 0;
+        for (int j = 0; j < g; ++j) {
+          src |= static_cast<Index>(get_bit(static_cast<Index>(r), j))
+                 << perm[j];
+        }
+        next[r] = std::move(buffers_[src]);
+        next_phase[r] = pending_phase_[src];
+      }
+      buffers_ = std::move(next);
+      pending_phase_ = std::move(next_phase);
+      ++stats_.rank_renumberings;
+    }
+  }
+}
+
+StateVectorF DistributedSimulatorF::gather() const {
+  QUASAR_CHECK(num_qubits_ <= 28, "gather: state too large to reassemble");
+  StateVectorF out(num_qubits_);
+  const Index local_mask = local_size() - 1;
+  for (Index p = 0; p < out.size(); ++p) {
+    Index machine = 0;
+    for (int q = 0; q < num_qubits_; ++q) {
+      machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
+    }
+    const int rank = static_cast<int>(machine >> num_local_);
+    const AmplitudeF raw = buffers_[rank][machine & local_mask];
+    const Amplitude phased =
+        Amplitude{raw.real(), raw.imag()} * pending_phase_[rank];
+    out[p] = AmplitudeF{static_cast<float>(phased.real()),
+                        static_cast<float>(phased.imag())};
+  }
+  return out;
+}
+
+Real DistributedSimulatorF::norm_squared() const {
+  Real total = 0.0;
+  for (const auto& buffer : buffers_) {
+    for (const AmplitudeF& v : buffer) {
+      total += static_cast<Real>(v.real()) * v.real() +
+               static_cast<Real>(v.imag()) * v.imag();
+    }
+  }
+  return total;
+}
+
+Real DistributedSimulatorF::entropy() const {
+  Real total = 0.0;
+  for (const auto& buffer : buffers_) {
+    const AmplitudeF* data = buffer.data();
+    Real partial = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : partial)
+    for (std::int64_t i = 0;
+         i < static_cast<std::int64_t>(buffer.size()); ++i) {
+      const Real p = static_cast<Real>(data[i].real()) * data[i].real() +
+                     static_cast<Real>(data[i].imag()) * data[i].imag();
+      if (p > 0.0) partial -= p * std::log(p);
+    }
+    total += partial;
+  }
+  return total;
+}
+
+}  // namespace quasar

@@ -1,0 +1,348 @@
+#include "fp32/kernels_f32.hpp"
+
+#include <immintrin.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+namespace {
+
+int resolve_threads_f32(int requested, Index iterations) {
+  int threads = requested > 0 ? requested : omp_get_max_threads();
+  if (iterations < static_cast<Index>(threads)) {
+    threads = static_cast<int>(iterations > 0 ? iterations : 1);
+  }
+  return threads;
+}
+
+inline void gather_f32(const AmplitudeF* state, Index base,
+                       const Index* offsets, Index dim, Index run,
+                       AmplitudeF* tmp) {
+  if (run == 1) {
+    for (Index t = 0; t < dim; ++t) tmp[t] = state[base + offsets[t]];
+    return;
+  }
+  for (Index t = 0; t < dim; t += run) {
+    std::memcpy(tmp + t, state + base + offsets[t],
+                run * sizeof(AmplitudeF));
+  }
+}
+
+inline void scatter_f32(AmplitudeF* state, Index base, const Index* offsets,
+                        Index dim, Index run, const AmplitudeF* tmp) {
+  if (run == 1) {
+    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] = tmp[t];
+    return;
+  }
+  for (Index t = 0; t < dim; t += run) {
+    std::memcpy(state + base + offsets[t], tmp + t,
+                run * sizeof(AmplitudeF));
+  }
+}
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+/// 8 complex<float> lanes per vector.
+struct F32Avx512 {
+  using Vec = __m512;
+  static constexpr int kWidth = 8;
+  static Vec load(const float* p) { return _mm512_load_ps(p); }
+  static void store(float* p, Vec v) { _mm512_store_ps(p, v); }
+  static Vec set1(float x) { return _mm512_set1_ps(x); }
+  static Vec zero() { return _mm512_setzero_ps(); }
+  static Vec fmadd(Vec a, Vec b, Vec c) { return _mm512_fmadd_ps(a, b, c); }
+};
+#define QUASAR_F32_SIMD 1
+using F32Traits = F32Avx512;
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+/// 4 complex<float> lanes per vector.
+struct F32Avx2 {
+  using Vec = __m256;
+  static constexpr int kWidth = 4;
+  static Vec load(const float* p) { return _mm256_load_ps(p); }
+  static void store(float* p, Vec v) { _mm256_store_ps(p, v); }
+  static Vec set1(float x) { return _mm256_set1_ps(x); }
+  static Vec zero() { return _mm256_setzero_ps(); }
+  static Vec fmadd(Vec a, Vec b, Vec c) { return _mm256_fmadd_ps(a, b, c); }
+};
+#define QUASAR_F32_SIMD 1
+using F32Traits = F32Avx2;
+
+#else
+#define QUASAR_F32_SIMD 0
+#endif
+
+#if QUASAR_F32_SIMD
+
+/// Register-resident column GEMV over a gathered (or in-place contiguous)
+/// block, float lanes. Requires dim >= kWidth.
+template <bool kDirect>
+void gemv_f32(AmplitudeF* state, int num_qubits, const PreparedGateF& gate,
+              int num_threads) {
+  using Vec = F32Traits::Vec;
+  constexpr int kW = F32Traits::kWidth;
+  constexpr Index kMaxAcc = 16;
+  const Index dim = gate.dim;
+  const Index row_vecs = dim / kW;
+  QUASAR_ASSERT(row_vecs >= 1 && row_vecs <= kMaxAcc);
+
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const Index run = gate.contig_run;
+  const float* col_a = gate.col_a.data();
+  const float* col_b = gate.col_b.data();
+  const int threads = resolve_threads_f32(num_threads, outer);
+
+#pragma omp parallel num_threads(threads)
+  {
+    AlignedVector<AmplitudeF> tmp(kDirect ? 0 : dim);
+#pragma omp for schedule(static)
+    for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(outer); ++ii) {
+      AmplitudeF* block;
+      if constexpr (kDirect) {
+        block = state + static_cast<Index>(ii) * dim;
+      } else {
+        const Index base = expander.expand(static_cast<Index>(ii));
+        gather_f32(state, base, offsets, dim, run, tmp.data());
+        block = tmp.data();
+      }
+      const float* blockf = reinterpret_cast<const float*>(block);
+      Vec acc[kMaxAcc];
+      for (Index b = 0; b < row_vecs; ++b) acc[b] = F32Traits::zero();
+      for (Index col = 0; col < dim; ++col) {
+        const Vec vr = F32Traits::set1(blockf[2 * col]);
+        const Vec vi = F32Traits::set1(blockf[2 * col + 1]);
+        const float* ca = col_a + col * dim * 2;
+        const float* cb = col_b + col * dim * 2;
+        for (Index b = 0; b < row_vecs; ++b) {
+          acc[b] =
+              F32Traits::fmadd(F32Traits::load(ca + b * 2 * kW), vr, acc[b]);
+          acc[b] =
+              F32Traits::fmadd(F32Traits::load(cb + b * 2 * kW), vi, acc[b]);
+        }
+      }
+      float* outf = reinterpret_cast<float*>(block);
+      for (Index b = 0; b < row_vecs; ++b) {
+        F32Traits::store(outf + b * 2 * kW, acc[b]);
+      }
+      if constexpr (!kDirect) {
+        const Index base = expander.expand(static_cast<Index>(ii));
+        scatter_f32(state, base, offsets, dim, run, tmp.data());
+      }
+    }
+  }
+}
+
+#endif  // QUASAR_F32_SIMD
+
+}  // namespace
+
+PreparedGateF prepare_gate_f32(const GateMatrix& matrix,
+                               const std::vector<int>& bit_locations) {
+  QUASAR_CHECK(matrix.num_qubits() ==
+                   static_cast<int>(bit_locations.size()),
+               "prepare_gate_f32: arity mismatch");
+  QUASAR_CHECK(matrix.num_qubits() >= 1, "prepare_gate_f32: empty gate");
+
+  PreparedGateF g;
+  g.k = matrix.num_qubits();
+  g.dim = index_pow2(g.k);
+
+  std::vector<int> order(g.k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return bit_locations[a] < bit_locations[b];
+  });
+  g.qubits.resize(g.k);
+  for (int j = 0; j < g.k; ++j) {
+    g.qubits[j] = bit_locations[order[j]];
+    if (j > 0) {
+      QUASAR_CHECK(g.qubits[j] != g.qubits[j - 1],
+                   "prepare_gate_f32: bit-locations must be distinct");
+    }
+  }
+  g.matrix = matrix.permute_qubits(order);
+  g.offsets = make_gate_offsets(g.qubits);
+
+  int low = 0;
+  while (low < g.k && g.qubits[low] == low) ++low;
+  g.contig_run = index_pow2(low);
+
+  g.diagonal = g.matrix.is_diagonal();
+  if (g.diagonal) {
+    for (const Amplitude& d : g.matrix.diagonal()) {
+      g.diag.push_back(AmplitudeF{static_cast<float>(d.real()),
+                                  static_cast<float>(d.imag())});
+    }
+  }
+
+  g.col_a.resize(g.dim * g.dim * 2);
+  g.col_b.resize(g.dim * g.dim * 2);
+  for (Index i = 0; i < g.dim; ++i) {
+    for (Index l = 0; l < g.dim; ++l) {
+      const Amplitude m = g.matrix.at(l, i);
+      const Index e = (i * g.dim + l) * 2;
+      g.col_a[e + 0] = static_cast<float>(m.real());
+      g.col_a[e + 1] = static_cast<float>(m.imag());
+      g.col_b[e + 0] = static_cast<float>(-m.imag());
+      g.col_b[e + 1] = static_cast<float>(m.real());
+    }
+  }
+  return g;
+}
+
+void apply_gate_f32_scalar(AmplitudeF* state, int num_qubits,
+                           const PreparedGateF& gate, int num_threads) {
+  QUASAR_CHECK(gate.k <= num_qubits, "gate wider than the state");
+  QUASAR_CHECK(gate.qubits.back() < num_qubits,
+               "gate bit-location out of range");
+  const Index dim = gate.dim;
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const GateMatrix& m = gate.matrix;
+  const int threads = resolve_threads_f32(num_threads, outer);
+
+#pragma omp parallel num_threads(threads)
+  {
+    std::vector<AmplitudeF> in(dim), out(dim);
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+      const Index base = expander.expand(static_cast<Index>(i));
+      for (Index t = 0; t < dim; ++t) in[t] = state[base + offsets[t]];
+      for (Index l = 0; l < dim; ++l) {
+        AmplitudeF acc{0.0f, 0.0f};
+        for (Index t = 0; t < dim; ++t) {
+          const Amplitude e = m.at(l, t);
+          acc += AmplitudeF{static_cast<float>(e.real()),
+                            static_cast<float>(e.imag())} *
+                 in[t];
+        }
+        out[l] = acc;
+      }
+      for (Index t = 0; t < dim; ++t) state[base + offsets[t]] = out[t];
+    }
+  }
+}
+
+void apply_diagonal_f32(AmplitudeF* state, int num_qubits,
+                        const PreparedGateF& gate, int num_threads) {
+  QUASAR_CHECK(gate.diagonal, "apply_diagonal_f32: gate is not diagonal");
+  const Index dim = gate.dim;
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const AmplitudeF* diag = gate.diag.data();
+  const int threads = resolve_threads_f32(num_threads, outer);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+    const Index base = expander.expand(static_cast<Index>(i));
+    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] *= diag[t];
+  }
+}
+
+void apply_bit_swap_f32(AmplitudeF* state, int num_qubits, int p, int q,
+                        int num_threads) {
+  QUASAR_CHECK(p >= 0 && p < num_qubits && q >= 0 && q < num_qubits &&
+                   p != q,
+               "apply_bit_swap_f32: invalid bit-locations");
+  if (p > q) std::swap(p, q);
+  const IndexExpander expander(std::vector<int>{p, q});
+  const Index outer = index_pow2(num_qubits - 2);
+  const Index off_p = index_pow2(p);
+  const Index off_q = index_pow2(q);
+  const int threads = resolve_threads_f32(num_threads, outer);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+    const Index base = expander.expand(static_cast<Index>(i));
+    std::swap(state[base + off_p], state[base + off_q]);
+  }
+}
+
+void apply_global_phase_f32(AmplitudeF* state, int num_qubits,
+                            AmplitudeF phase, int num_threads) {
+  const Index size = index_pow2(num_qubits);
+  const int threads = resolve_threads_f32(num_threads, size);
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(size); ++i) {
+    state[i] *= phase;
+  }
+}
+
+void apply_gate_f32(AmplitudeF* state, int num_qubits,
+                    const PreparedGateF& gate, int num_threads) {
+  QUASAR_CHECK(state != nullptr, "apply_gate_f32: null state");
+  QUASAR_CHECK(gate.k >= 1 && gate.k <= num_qubits,
+               "apply_gate_f32: gate does not fit the state");
+  QUASAR_CHECK(gate.qubits.back() < num_qubits,
+               "apply_gate_f32: bit-location out of range");
+  if (gate.diagonal) {
+    apply_diagonal_f32(state, num_qubits, gate, num_threads);
+    return;
+  }
+#if QUASAR_F32_SIMD
+  constexpr int kW = F32Traits::kWidth;
+  // Gates narrower than one float vector (k <= 2 with AVX-512) are
+  // widened with identity spectator qubits on the lowest free
+  // bit-locations so the GEMV has full lanes — the same trick the
+  // double-precision dispatcher uses for 1-qubit gates.
+  if (gate.dim < static_cast<Index>(kW)) {
+    int want_k = gate.k;
+    Index want_dim = gate.dim;
+    while (want_dim < static_cast<Index>(kW)) {
+      ++want_k;
+      want_dim *= 2;
+    }
+    if (num_qubits >= want_k) {
+      std::vector<int> widened_locations;
+      std::vector<bool> taken(num_qubits, false);
+      for (int q : gate.qubits) taken[q] = true;
+      for (int q = 0; q < num_qubits &&
+                      static_cast<int>(widened_locations.size()) <
+                          want_k - gate.k;
+           ++q) {
+        if (!taken[q]) widened_locations.push_back(q);
+      }
+      // Gate qubits keep their cluster-local positions appended last;
+      // embed() places matrix qubit j at the given position.
+      std::vector<int> positions;
+      std::vector<int> all_locations = widened_locations;
+      all_locations.insert(all_locations.end(), gate.qubits.begin(),
+                           gate.qubits.end());
+      std::sort(all_locations.begin(), all_locations.end());
+      for (int q : gate.qubits) {
+        const auto it = std::lower_bound(all_locations.begin(),
+                                         all_locations.end(), q);
+        positions.push_back(static_cast<int>(it - all_locations.begin()));
+      }
+      const PreparedGateF widened = prepare_gate_f32(
+          gate.matrix.embed(want_k, positions), all_locations);
+      apply_gate_f32(state, num_qubits, widened, num_threads);
+      return;
+    }
+  }
+  const Index row_vecs = gate.dim / kW;
+  if (row_vecs >= 1 && row_vecs <= 16) {
+    if (gate.contig_run == gate.dim) {
+      gemv_f32<true>(state, num_qubits, gate, num_threads);
+    } else {
+      gemv_f32<false>(state, num_qubits, gate, num_threads);
+    }
+    return;
+  }
+#endif
+  apply_gate_f32_scalar(state, num_qubits, gate, num_threads);
+}
+
+}  // namespace quasar

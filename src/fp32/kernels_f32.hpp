@@ -1,0 +1,68 @@
+/// \file kernels_f32.hpp
+/// \brief Single-precision k-qubit gate kernels (paper Sec. 5).
+///
+/// Same structure as the double-precision kernels: sorted-qubit matrix
+/// permutation, sign-folded column-major FMA expansion, gather ->
+/// register GEMV -> scatter, diagonal fast path. Gate matrices stay in
+/// double (they are tiny); only the state-vector arithmetic is float.
+/// With AVX-512 a vector holds 8 complex<float> lanes — twice the lanes
+/// of the double kernel at the same bandwidth, which is where the
+/// paper's "46 qubits with the same resources" headroom comes from.
+#pragma once
+
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "core/bits.hpp"
+#include "fp32/statevector_f32.hpp"
+#include "gates/matrix.hpp"
+
+namespace quasar {
+
+/// A gate prepared for single-precision application.
+struct PreparedGateF {
+  int k = 0;
+  Index dim = 0;
+  /// Bit-locations, strictly ascending.
+  std::vector<int> qubits;
+  /// Permuted matrix in double (reference path / diagnostics).
+  GateMatrix matrix = GateMatrix::identity(0);
+  std::vector<Index> offsets;
+  Index contig_run = 1;
+  /// Column-major float expansion: (Re, Im) and (-Im, Re) interleaved.
+  AlignedVector<float> col_a;
+  AlignedVector<float> col_b;
+  bool diagonal = false;
+  AlignedVector<AmplitudeF> diag;
+
+  IndexExpander expander() const { return IndexExpander(qubits); }
+};
+
+/// Prepares a (double-precision) gate matrix for float application.
+PreparedGateF prepare_gate_f32(const GateMatrix& matrix,
+                               const std::vector<int>& bit_locations);
+
+/// Applies a prepared gate in place to a float state of `num_qubits`
+/// qubits. Dispatches to the diagonal path, the AVX-512/AVX2 GEMV, or
+/// the scalar fallback. `num_threads` 0 = OpenMP default.
+void apply_gate_f32(AmplitudeF* state, int num_qubits,
+                    const PreparedGateF& gate, int num_threads = 0);
+
+/// Scalar reference path (always available; the differential oracle for
+/// the SIMD float kernels).
+void apply_gate_f32_scalar(AmplitudeF* state, int num_qubits,
+                           const PreparedGateF& gate, int num_threads = 0);
+
+/// Diagonal (phase-only) application; requires gate.diagonal.
+void apply_diagonal_f32(AmplitudeF* state, int num_qubits,
+                        const PreparedGateF& gate, int num_threads = 0);
+
+/// Swaps two bit-locations of the state index (float state).
+void apply_bit_swap_f32(AmplitudeF* state, int num_qubits, int p, int q,
+                        int num_threads = 0);
+
+/// Multiplies every amplitude by a scalar phase (float state).
+void apply_global_phase_f32(AmplitudeF* state, int num_qubits,
+                            AmplitudeF phase, int num_threads = 0);
+
+}  // namespace quasar

@@ -1,0 +1,28 @@
+#include "fp32/simulator_f32.hpp"
+
+namespace quasar {
+
+SimulatorF::SimulatorF(StateVectorF& state, int num_threads)
+    : state_(&state), num_threads_(num_threads) {}
+
+void SimulatorF::apply(const GateMatrix& matrix,
+                       const std::vector<int>& qubits) {
+  apply(prepare_gate_f32(matrix, qubits));
+}
+
+void SimulatorF::apply(const PreparedGateF& gate) {
+  apply_gate_f32(state_->data(), state_->num_qubits(), gate, num_threads_);
+}
+
+void SimulatorF::apply(const GateOp& op) {
+  std::vector<int> locations(op.qubits.begin(), op.qubits.end());
+  apply(prepare_gate_f32(*op.matrix, locations));
+}
+
+void SimulatorF::run(const Circuit& circuit) {
+  QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
+               "SimulatorF::run: circuit/state qubit count mismatch");
+  for (const GateOp& op : circuit.ops()) apply(op);
+}
+
+}  // namespace quasar

@@ -1,0 +1,30 @@
+/// \file simulator_f32.hpp
+/// \brief Single-precision circuit simulator (paper Sec. 5).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "fp32/kernels_f32.hpp"
+#include "fp32/statevector_f32.hpp"
+
+namespace quasar {
+
+/// Single-address-space simulator over a single-precision state.
+/// API mirrors Simulator; gate matrices remain double precision and are
+/// rounded to float at preparation time.
+class SimulatorF {
+ public:
+  explicit SimulatorF(StateVectorF& state, int num_threads = 0);
+
+  void apply(const GateMatrix& matrix, const std::vector<int>& qubits);
+  void apply(const PreparedGateF& gate);
+  void apply(const GateOp& op);
+
+  /// Runs a circuit gate by gate.
+  void run(const Circuit& circuit);
+
+ private:
+  StateVectorF* state_;
+  int num_threads_;
+};
+
+}  // namespace quasar

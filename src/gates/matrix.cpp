@@ -1,0 +1,203 @@
+#include "gates/matrix.hpp"
+
+#include <cmath>
+
+#include "core/bits.hpp"
+
+namespace quasar {
+
+GateMatrix GateMatrix::identity(int num_qubits) {
+  GateMatrix m = zero(num_qubits);
+  for (Index i = 0; i < m.dim_; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+GateMatrix GateMatrix::zero(int num_qubits) {
+  QUASAR_CHECK(num_qubits >= 0 && num_qubits <= 16,
+               "GateMatrix supports 0..16 qubits");
+  GateMatrix m;
+  m.num_qubits_ = num_qubits;
+  m.dim_ = index_pow2(num_qubits);
+  m.data_.assign(m.dim_ * m.dim_, Amplitude{0.0, 0.0});
+  return m;
+}
+
+GateMatrix::GateMatrix(Index dim, std::vector<Amplitude> entries) {
+  QUASAR_CHECK(is_pow2(dim), "GateMatrix dimension must be a power of two");
+  QUASAR_CHECK(entries.size() == dim * dim,
+               "GateMatrix entry count must be dim*dim");
+  dim_ = dim;
+  num_qubits_ = ilog2(dim);
+  data_.assign(entries.begin(), entries.end());
+}
+
+GateMatrix::GateMatrix(Index dim, std::initializer_list<Amplitude> entries)
+    : GateMatrix(dim, std::vector<Amplitude>(entries)) {}
+
+GateMatrix GateMatrix::operator*(const GateMatrix& rhs) const {
+  QUASAR_CHECK(dim_ == rhs.dim_, "matrix product dimension mismatch");
+  GateMatrix out = zero(num_qubits_);
+  for (Index r = 0; r < dim_; ++r) {
+    for (Index k = 0; k < dim_; ++k) {
+      const Amplitude a = at(r, k);
+      if (a == Amplitude{}) continue;
+      for (Index c = 0; c < dim_; ++c) out.at(r, c) += a * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+GateMatrix GateMatrix::adjoint() const {
+  GateMatrix out = zero(num_qubits_);
+  for (Index r = 0; r < dim_; ++r) {
+    for (Index c = 0; c < dim_; ++c) out.at(c, r) = std::conj(at(r, c));
+  }
+  return out;
+}
+
+GateMatrix GateMatrix::kron(const GateMatrix& rhs) const {
+  GateMatrix out = zero(num_qubits_ + rhs.num_qubits_);
+  for (Index r1 = 0; r1 < dim_; ++r1) {
+    for (Index c1 = 0; c1 < dim_; ++c1) {
+      const Amplitude a = at(r1, c1);
+      if (a == Amplitude{}) continue;
+      for (Index r2 = 0; r2 < rhs.dim_; ++r2) {
+        for (Index c2 = 0; c2 < rhs.dim_; ++c2) {
+          out.at(r1 * rhs.dim_ + r2, c1 * rhs.dim_ + c2) = a * rhs.at(r2, c2);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+GateMatrix GateMatrix::permute_qubits(const std::vector<int>& perm) const {
+  QUASAR_CHECK(static_cast<int>(perm.size()) == num_qubits_,
+               "permutation size must equal qubit count");
+  std::vector<bool> seen(num_qubits_, false);
+  for (int p : perm) {
+    QUASAR_CHECK(p >= 0 && p < num_qubits_ && !seen[p],
+                 "permute_qubits requires a permutation of [0, k)");
+    seen[p] = true;
+  }
+  // Output index bit j corresponds to input index bit perm[j].
+  auto map_index = [&](Index out_idx) {
+    Index in_idx = 0;
+    for (int j = 0; j < num_qubits_; ++j) {
+      in_idx |= static_cast<Index>(get_bit(out_idx, j)) << perm[j];
+    }
+    return in_idx;
+  };
+  GateMatrix out = zero(num_qubits_);
+  for (Index r = 0; r < dim_; ++r) {
+    const Index ri = map_index(r);
+    for (Index c = 0; c < dim_; ++c) out.at(r, c) = at(ri, map_index(c));
+  }
+  return out;
+}
+
+GateMatrix GateMatrix::embed(int cluster_qubits,
+                             const std::vector<int>& gate_qubits) const {
+  QUASAR_CHECK(static_cast<int>(gate_qubits.size()) == num_qubits_,
+               "embed: gate qubit count mismatch");
+  std::vector<bool> seen(cluster_qubits, false);
+  for (int q : gate_qubits) {
+    QUASAR_CHECK(q >= 0 && q < cluster_qubits && !seen[q],
+                 "embed: gate qubits must be distinct cluster positions");
+    seen[q] = true;
+  }
+  const Index out_dim = index_pow2(cluster_qubits);
+  GateMatrix out = zero(cluster_qubits);
+  const Index gate_dim = dim_;
+  // For every assignment of the spectator bits, copy the gate block.
+  for (Index r_out = 0; r_out < out_dim; ++r_out) {
+    Index r_gate = 0;
+    for (int j = 0; j < num_qubits_; ++j) {
+      r_gate |= static_cast<Index>(get_bit(r_out, gate_qubits[j])) << j;
+    }
+    for (Index c_gate = 0; c_gate < gate_dim; ++c_gate) {
+      const Amplitude a = at(r_gate, c_gate);
+      if (a == Amplitude{}) continue;
+      // Column index: spectator bits equal r_out's, gate bits from c_gate.
+      Index c_out = r_out;
+      for (int j = 0; j < num_qubits_; ++j) {
+        c_out = set_bit(c_out, gate_qubits[j],
+                        get_bit(c_gate, j));
+      }
+      out.at(r_out, c_out) = a;
+    }
+  }
+  return out;
+}
+
+Real GateMatrix::distance(const GateMatrix& other) const {
+  QUASAR_CHECK(dim_ == other.dim_, "distance: dimension mismatch");
+  Real sum = 0.0;
+  for (Index i = 0; i < dim_ * dim_; ++i) {
+    sum += std::norm(data_[i] - other.data_[i]);
+  }
+  return std::sqrt(sum);
+}
+
+bool GateMatrix::is_unitary(Real tol) const {
+  const GateMatrix product = (*this) * adjoint();
+  return product.distance(identity(num_qubits_)) <= tol * std::sqrt(
+             static_cast<Real>(dim_));
+}
+
+bool GateMatrix::is_diagonal(Real tol) const {
+  for (Index r = 0; r < dim_; ++r) {
+    for (Index c = 0; c < dim_; ++c) {
+      if (r != c && std::abs(at(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<bool> GateMatrix::diagonal_qubits(Real tol) const {
+  std::vector<bool> result(num_qubits_, true);
+  for (Index r = 0; r < dim_; ++r) {
+    for (Index c = 0; c < dim_; ++c) {
+      if (std::abs(at(r, c)) <= tol) continue;
+      for (int j = 0; j < num_qubits_; ++j) {
+        if (get_bit(r, j) != get_bit(c, j)) result[j] = false;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Amplitude> GateMatrix::diagonal() const {
+  QUASAR_CHECK(is_diagonal(), "diagonal() requires a diagonal matrix");
+  std::vector<Amplitude> d(dim_);
+  for (Index i = 0; i < dim_; ++i) d[i] = at(i, i);
+  return d;
+}
+
+std::optional<GateMatrix::PhasedPermutation> GateMatrix::phased_permutation(
+    Real tol) const {
+  PhasedPermutation result;
+  result.target.assign(dim_, dim_);
+  result.phase.assign(dim_, Amplitude{0.0, 0.0});
+  std::vector<bool> row_used(dim_, false);
+  for (Index c = 0; c < dim_; ++c) {
+    for (Index r = 0; r < dim_; ++r) {
+      const Amplitude v = at(r, c);
+      if (std::abs(v) <= tol) continue;
+      if (result.target[c] != dim_) return std::nullopt;  // 2nd entry
+      if (std::abs(std::abs(v) - 1.0) > tol) return std::nullopt;
+      if (row_used[r]) return std::nullopt;
+      result.target[c] = r;
+      result.phase[c] = v;
+      row_used[r] = true;
+    }
+    if (result.target[c] == dim_) return std::nullopt;  // zero column
+  }
+  return result;
+}
+
+void GateMatrix::scale(Amplitude factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+}  // namespace quasar

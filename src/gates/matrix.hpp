@@ -1,0 +1,119 @@
+/// \file matrix.hpp
+/// \brief Dense complex matrices for k-qubit gates and their algebra.
+///
+/// Gates are 2^k x 2^k unitaries. Cluster fusion (paper Sec. 3.6.1 step 2)
+/// multiplies many small gates, each embedded into the cluster's qubit
+/// set, into one k-qubit matrix that the kernels then apply in a single
+/// sweep over the state vector. Qubit-index convention: gate-local qubit j
+/// corresponds to bit j of the row/column index (qubit 0 is the least
+/// significant bit), matching the state-vector convention in Sec. 2.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Dense, row-major complex matrix of dimension 2^k (k = qubit count).
+class GateMatrix {
+ public:
+  /// Identity on k qubits.
+  static GateMatrix identity(int num_qubits);
+
+  /// Zero matrix on k qubits (building block for accumulation).
+  static GateMatrix zero(int num_qubits);
+
+  /// Builds from a row-major list of dim*dim entries; dim must be a power
+  /// of two. Throws quasar::Error otherwise.
+  GateMatrix(Index dim, std::vector<Amplitude> entries);
+
+  /// Convenience constructor for literal 2x2 / 4x4 matrices in tests and
+  /// the standard gate library.
+  GateMatrix(Index dim, std::initializer_list<Amplitude> entries);
+
+  /// Number of qubits the matrix acts on (log2 of dimension).
+  int num_qubits() const noexcept { return num_qubits_; }
+
+  /// Matrix dimension (2^num_qubits).
+  Index dim() const noexcept { return dim_; }
+
+  /// Element access, row-major.
+  Amplitude& at(Index row, Index col) { return data_[row * dim_ + col]; }
+  const Amplitude& at(Index row, Index col) const {
+    return data_[row * dim_ + col];
+  }
+  /// Contiguous row-major storage.
+  const Amplitude* data() const noexcept { return data_.data(); }
+
+  /// Matrix product this * rhs (apply rhs first).
+  GateMatrix operator*(const GateMatrix& rhs) const;
+
+  /// Conjugate transpose.
+  GateMatrix adjoint() const;
+
+  /// Kronecker product: (*this) ⊗ rhs, with rhs occupying the low qubits.
+  GateMatrix kron(const GateMatrix& rhs) const;
+
+  /// Reorders the tensor factors: output gate-local qubit j carries what
+  /// this matrix's qubit perm[j] carried. perm must be a permutation of
+  /// [0, num_qubits). Used to sort gate qubits ascending before the sweep
+  /// so the kernels see monotone strides (paper Sec. 3.2).
+  GateMatrix permute_qubits(const std::vector<int>& perm) const;
+
+  /// Embeds this gate, acting on `gate_qubits` (positions within a
+  /// cluster of `cluster_qubits` total), into a 2^cluster_qubits matrix
+  /// that is identity elsewhere. gate_qubits[j] is the cluster-local
+  /// position carrying this matrix's qubit j.
+  GateMatrix embed(int cluster_qubits, const std::vector<int>& gate_qubits) const;
+
+  /// Frobenius distance to another matrix.
+  Real distance(const GateMatrix& other) const;
+
+  /// True iff unitary within tolerance.
+  bool is_unitary(Real tol = 1e-10) const;
+
+  /// True iff all off-diagonal entries are below tolerance. Diagonal gates
+  /// applied to global qubits require no communication (paper Sec. 3.5).
+  bool is_diagonal(Real tol = 1e-12) const;
+
+  /// Returns, for each gate-local qubit, whether the matrix acts
+  /// "diagonally" on it: no entry connects basis states that differ in that
+  /// qubit's bit. A CNOT acts diagonally on its control but not its
+  /// target; this is what makes control qubits free to keep global.
+  std::vector<bool> diagonal_qubits(Real tol = 1e-12) const;
+
+  /// The diagonal as a vector; precondition: is_diagonal().
+  std::vector<Amplitude> diagonal() const;
+
+  /// If the matrix is a phased permutation — exactly one unit-magnitude
+  /// entry per column — returns, for each input basis state (column),
+  /// the output basis state it maps to and the phase it picks up.
+  /// X, Y, CNOT, SWAP, and every diagonal gate qualify; H does not.
+  /// Applied to global qubits, such a gate is a rank renumbering plus
+  /// per-rank phases and needs no communication (paper Sec. 3.5).
+  struct PhasedPermutation {
+    std::vector<Index> target;     ///< target[col] = row of the nonzero
+    std::vector<Amplitude> phase;  ///< phase[col] = that entry's value
+  };
+  std::optional<PhasedPermutation> phased_permutation(
+      Real tol = 1e-12) const;
+
+  /// Multiplies every entry by a scalar (global-phase absorption,
+  /// paper Sec. 3.5: a T gate on a global qubit becomes a phase folded
+  /// into the next matrix).
+  void scale(Amplitude factor);
+
+ private:
+  GateMatrix() = default;
+
+  Index dim_ = 0;
+  int num_qubits_ = 0;
+  AlignedVector<Amplitude> data_;
+};
+
+}  // namespace quasar

@@ -1,0 +1,176 @@
+#include "gates/standard.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.hpp"
+
+namespace quasar {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865475244008443621048490;
+const Amplitude kI{0.0, 1.0};
+}  // namespace
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return "H";
+    case GateKind::kX: return "X";
+    case GateKind::kY: return "Y";
+    case GateKind::kZ: return "Z";
+    case GateKind::kT: return "T";
+    case GateKind::kTdg: return "Tdg";
+    case GateKind::kS: return "S";
+    case GateKind::kSdg: return "Sdg";
+    case GateKind::kSqrtX: return "X_1_2";
+    case GateKind::kSqrtY: return "Y_1_2";
+    case GateKind::kRx: return "Rx";
+    case GateKind::kRy: return "Ry";
+    case GateKind::kRz: return "Rz";
+    case GateKind::kPhase: return "P";
+    case GateKind::kCZ: return "CZ";
+    case GateKind::kCNot: return "CNOT";
+    case GateKind::kSwap: return "SWAP";
+    case GateKind::kCPhase: return "CP";
+    case GateKind::kCustom: return "U";
+  }
+  return "?";
+}
+
+namespace gates {
+
+GateMatrix h() {
+  return GateMatrix(2, {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+}
+
+GateMatrix x() { return GateMatrix(2, {0.0, 1.0, 1.0, 0.0}); }
+
+GateMatrix y() { return GateMatrix(2, {0.0, -kI, kI, 0.0}); }
+
+GateMatrix z() { return GateMatrix(2, {1.0, 0.0, 0.0, -1.0}); }
+
+GateMatrix t() {
+  return GateMatrix(
+      2, {1.0, 0.0, 0.0, std::polar(1.0, std::numbers::pi / 4.0)});
+}
+
+GateMatrix tdg() {
+  return GateMatrix(
+      2, {1.0, 0.0, 0.0, std::polar(1.0, -std::numbers::pi / 4.0)});
+}
+
+GateMatrix s() { return GateMatrix(2, {1.0, 0.0, 0.0, kI}); }
+
+GateMatrix sdg() { return GateMatrix(2, {1.0, 0.0, 0.0, -kI}); }
+
+GateMatrix sqrt_x() {
+  const Amplitude p{0.5, 0.5}, m{0.5, -0.5};
+  return GateMatrix(2, {p, m, m, p});
+}
+
+GateMatrix sqrt_y() {
+  const Amplitude p{0.5, 0.5}, n{-0.5, -0.5};
+  return GateMatrix(2, {p, n, p, p});
+}
+
+GateMatrix rx(Real theta) {
+  const Real c = std::cos(theta / 2), sn = std::sin(theta / 2);
+  return GateMatrix(2, {Amplitude{c, 0}, Amplitude{0, -sn},
+                        Amplitude{0, -sn}, Amplitude{c, 0}});
+}
+
+GateMatrix ry(Real theta) {
+  const Real c = std::cos(theta / 2), sn = std::sin(theta / 2);
+  return GateMatrix(2, {Amplitude{c, 0}, Amplitude{-sn, 0},
+                        Amplitude{sn, 0}, Amplitude{c, 0}});
+}
+
+GateMatrix rz(Real theta) {
+  return GateMatrix(2, {std::polar(1.0, -theta / 2), 0.0, 0.0,
+                        std::polar(1.0, theta / 2)});
+}
+
+GateMatrix phase(Real theta) {
+  return GateMatrix(2, {1.0, 0.0, 0.0, std::polar(1.0, theta)});
+}
+
+GateMatrix cz() {
+  GateMatrix m = GateMatrix::identity(2);
+  m.at(3, 3) = -1.0;
+  return m;
+}
+
+GateMatrix cnot() {
+  // Qubit 0 = control (low bit), qubit 1 = target.
+  GateMatrix m = GateMatrix::zero(2);
+  m.at(0, 0) = 1.0;  // |00> -> |00>
+  m.at(2, 2) = 1.0;  // |10> -> |10>  (control low bit = 0)
+  m.at(1, 3) = 1.0;  // |11> -> |01>
+  m.at(3, 1) = 1.0;  // |01> -> |11>
+  return m;
+}
+
+GateMatrix swap() {
+  GateMatrix m = GateMatrix::zero(2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 2) = 1.0;
+  m.at(2, 1) = 1.0;
+  m.at(3, 3) = 1.0;
+  return m;
+}
+
+GateMatrix cphase(Real theta) {
+  GateMatrix m = GateMatrix::identity(2);
+  m.at(3, 3) = std::polar(1.0, theta);
+  return m;
+}
+
+GateMatrix random_su2(Rng& rng) {
+  const Real alpha = rng.uniform_real() * 2 * std::numbers::pi;
+  const Real beta = rng.uniform_real() * 2 * std::numbers::pi;
+  const Real gamma = std::acos(std::sqrt(rng.uniform_real()));
+  const Real delta = rng.uniform_real() * 2 * std::numbers::pi;
+  // U = e^{i alpha} Rz(beta) Ry(2 gamma) Rz(delta)
+  GateMatrix u = rz(beta) * ry(2 * gamma) * rz(delta);
+  u.scale(std::polar(1.0, alpha));
+  return u;
+}
+
+}  // namespace gates
+
+GateMatrix standard_matrix(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return gates::h();
+    case GateKind::kX: return gates::x();
+    case GateKind::kY: return gates::y();
+    case GateKind::kZ: return gates::z();
+    case GateKind::kT: return gates::t();
+    case GateKind::kTdg: return gates::tdg();
+    case GateKind::kS: return gates::s();
+    case GateKind::kSdg: return gates::sdg();
+    case GateKind::kSqrtX: return gates::sqrt_x();
+    case GateKind::kSqrtY: return gates::sqrt_y();
+    case GateKind::kCZ: return gates::cz();
+    case GateKind::kCNot: return gates::cnot();
+    case GateKind::kSwap: return gates::swap();
+    default:
+      throw Error("standard_matrix: gate kind requires parameters or a "
+                  "custom matrix: " + gate_name(kind));
+  }
+}
+
+int standard_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCZ:
+    case GateKind::kCNot:
+    case GateKind::kSwap:
+    case GateKind::kCPhase:
+      return 2;
+    case GateKind::kCustom:
+      throw Error("standard_arity: custom gates have caller-defined arity");
+    default:
+      return 1;
+  }
+}
+
+}  // namespace quasar

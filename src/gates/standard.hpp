@@ -1,0 +1,100 @@
+/// \file standard.hpp
+/// \brief The standard gate library used by supremacy circuits and examples.
+///
+/// Matches the definitions in Sec. 2 of the paper: H, T, X^1/2, Y^1/2, CZ,
+/// plus the usual Paulis, rotations, and controlled gates needed by the
+/// example algorithms and tests.
+#pragma once
+
+#include <string>
+
+#include "gates/matrix.hpp"
+
+namespace quasar {
+
+/// Identifies a named gate. `kCustom` marks gates carrying an arbitrary
+/// caller-provided matrix. The scheduler keys its global-gate
+/// specializations (Sec. 3.5) off the *matrix structure*, not this enum,
+/// so custom gates benefit too; the enum exists for printing, circuit I/O,
+/// and the supremacy generator's "previous gate" rules.
+enum class GateKind {
+  kH,
+  kX,
+  kY,
+  kZ,
+  kT,
+  kTdg,
+  kS,
+  kSdg,
+  kSqrtX,   ///< X^(1/2) as defined in the paper.
+  kSqrtY,   ///< Y^(1/2) as defined in the paper.
+  kRx,
+  kRy,
+  kRz,
+  kPhase,   ///< diag(1, e^{i theta})
+  kCZ,
+  kCNot,
+  kSwap,
+  kCPhase,  ///< diag(1,1,1,e^{i theta})
+  kCustom,
+};
+
+/// Human-readable gate name ("H", "T", "X_1_2", ...).
+std::string gate_name(GateKind kind);
+
+class Rng;
+
+namespace gates {
+
+/// Hadamard.
+GateMatrix h();
+/// Pauli X (bit flip).
+GateMatrix x();
+/// Pauli Y.
+GateMatrix y();
+/// Pauli Z.
+GateMatrix z();
+/// T gate: diag(1, e^{i pi/4}).
+GateMatrix t();
+/// T-dagger.
+GateMatrix tdg();
+/// S gate: diag(1, i).
+GateMatrix s();
+/// S-dagger.
+GateMatrix sdg();
+/// X^(1/2) = 1/2 [[1+i, 1-i], [1-i, 1+i]]  (paper Sec. 2).
+GateMatrix sqrt_x();
+/// Y^(1/2) = 1/2 [[1+i, -1-i], [1+i, 1+i]]  (paper Sec. 2).
+GateMatrix sqrt_y();
+/// Rotation about X by theta.
+GateMatrix rx(Real theta);
+/// Rotation about Y by theta.
+GateMatrix ry(Real theta);
+/// Rotation about Z by theta (diagonal).
+GateMatrix rz(Real theta);
+/// Phase gate diag(1, e^{i theta}) (diagonal).
+GateMatrix phase(Real theta);
+/// Controlled-Z: diag(1,1,1,-1); symmetric in its two qubits.
+GateMatrix cz();
+/// Controlled-NOT; qubit 0 is the control, qubit 1 the target.
+GateMatrix cnot();
+/// Swap of two qubits.
+GateMatrix swap();
+/// Controlled phase diag(1,1,1,e^{i theta}).
+GateMatrix cphase(Real theta);
+/// Haar-ish random single-qubit unitary (for property tests): built from
+/// random Euler angles drawn via the supplied generator.
+GateMatrix random_su2(::quasar::Rng& rng);
+
+}  // namespace gates
+
+/// Returns the canonical matrix for a parameterless standard gate kind.
+/// Throws quasar::Error for parameterized kinds (kRx/kRy/kRz/kPhase/
+/// kCPhase) and kCustom.
+GateMatrix standard_matrix(GateKind kind);
+
+/// Number of qubits a standard gate kind acts on (1 or 2). Throws for
+/// kCustom.
+int standard_arity(GateKind kind);
+
+}  // namespace quasar

@@ -1,0 +1,78 @@
+/// \file apply.hpp
+/// \brief Public kernel API: in-place k-qubit gate application.
+///
+/// This is the paper's layered kernel stack (Sec. 3): single-core SIMD
+/// kernels, an OpenMP layer over a flat index space (the flat loop plays
+/// the role of the paper's `collapse` directive — there is never a short
+/// outer loop), and gather/scatter handling for arbitrary qubit positions.
+#pragma once
+
+#include "core/types.hpp"
+#include "kernels/prepared_gate.hpp"
+
+namespace quasar {
+
+/// Which instruction-set implementation to use.
+enum class KernelBackend {
+  kAuto,    ///< best compiled-in backend (AVX-512 > AVX2 > scalar)
+  kScalar,  ///< portable scalar kernels (differential-test oracle)
+  kSimd,    ///< force the SIMD backend; throws if none was compiled in
+};
+
+/// Options controlling a gate application sweep.
+struct ApplyOptions {
+  KernelBackend backend = KernelBackend::kAuto;
+  /// OpenMP thread count; 0 means the OpenMP default.
+  int num_threads = 0;
+  /// Register-blocking factor (output rows per block, in SIMD vectors);
+  /// 0 selects the autotuned/heuristic value. Powers of two up to 8.
+  int block_rows = 0;
+};
+
+/// Name of the best compiled-in SIMD backend ("avx512", "avx2", "scalar").
+const char* simd_backend_name();
+
+/// SIMD width of the compiled backend in complex<double> lanes
+/// (4 for AVX-512, 2 for AVX2, 1 for scalar).
+int simd_complex_width();
+
+/// Applies a prepared k-qubit gate in place to `state` of `num_qubits`
+/// qubits. All gate bit-locations must be < num_qubits. Dispatches to the
+/// diagonal fast path, the specialized 1-qubit kernel, the SIMD
+/// gather/GEMV/scatter kernel, or the scalar fallback.
+void apply_gate(Amplitude* state, int num_qubits, const PreparedGate& gate,
+                const ApplyOptions& options = {});
+
+/// Scalar reference implementation (any k). Always available; used as the
+/// differential-testing oracle for the SIMD paths.
+void apply_gate_scalar(Amplitude* state, int num_qubits,
+                       const PreparedGate& gate, int num_threads = 0);
+
+/// Diagonal (phase-only) application; requires gate.diagonal.
+void apply_diagonal(Amplitude* state, int num_qubits,
+                    const PreparedGate& gate, const ApplyOptions& options = {});
+
+/// Multiplies the whole state by a scalar phase (global-phase absorption).
+void apply_global_phase(Amplitude* state, int num_qubits, Amplitude phase,
+                        int num_threads = 0);
+
+/// Number of floating-point operations one sweep of a dense k-qubit gate
+/// performs per state-vector amplitude: 2^k complex MACs = 8*2^k - 2 FLOP
+/// (4 mul + 2 add per multiply, 2 add per accumulate; matches the paper's
+/// 14 FLOP for k = 1).
+constexpr double flops_per_amplitude(int k) {
+  return 8.0 * static_cast<double>(Index{1} << k) - 2.0;
+}
+
+/// Operational intensity in FLOP/byte of the in-place dense k-qubit
+/// kernel: each amplitude is read and written once (16+16 bytes).
+constexpr double operational_intensity(int k) {
+  return flops_per_amplitude(k) / 32.0;
+}
+
+namespace detail {
+/// Resolved thread count for a sweep of `iterations` independent tasks.
+int resolve_threads(int requested, Index iterations);
+}  // namespace detail
+
+}  // namespace quasar

@@ -1,0 +1,99 @@
+#include "kernels/autotune.hpp"
+
+#include <array>
+
+#include "core/aligned.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/timing.hpp"
+#include "gates/standard.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+namespace {
+constexpr int kMaxK = 12;
+
+std::array<KernelConfig, kMaxK + 1>& config_table() {
+  static std::array<KernelConfig, kMaxK + 1> table = [] {
+    std::array<KernelConfig, kMaxK + 1> t{};
+    for (auto& c : t) c = KernelConfig{};  // block_rows 0 = all rows
+    return t;
+  }();
+  return table;
+}
+
+/// Random k-qubit unitary for timing (product of embedded SU(2)s and CZs,
+/// dense enough to defeat any sparsity shortcuts).
+GateMatrix random_dense_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 3; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cz().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+}  // namespace
+
+KernelConfig& kernel_config(int k) {
+  QUASAR_CHECK(k >= 1 && k <= kMaxK, "kernel_config: k out of range");
+  return config_table()[k];
+}
+
+std::vector<AutotuneResult> autotune_kernels(int num_qubits, int max_k,
+                                             int num_threads) {
+  QUASAR_CHECK(num_qubits >= max_k + 2 && num_qubits <= 28,
+               "autotune: scratch state must fit and exceed the gates");
+  const Index size = index_pow2(num_qubits);
+  AlignedVector<Amplitude> state(size, Amplitude{0.0, 0.0});
+  state[0] = 1.0;
+  Rng rng(0xa070);
+
+  std::vector<AutotuneResult> results;
+  const int width = simd_complex_width();
+  for (int k = 2; k <= max_k; ++k) {
+    const GateMatrix u = random_dense_unitary(k, rng);
+    // Mid-range qubit positions: representative strides.
+    std::vector<int> qubits(k);
+    for (int j = 0; j < k; ++j) qubits[j] = j + (num_qubits - k) / 2;
+    const PreparedGate gate = prepare_gate(u, qubits);
+
+    const int row_vecs = static_cast<int>(gate.dim) / width;
+    std::vector<int> candidates;
+    for (int br = 1; br <= row_vecs && br <= 16; br *= 2) {
+      candidates.push_back(br);
+    }
+    if (candidates.empty()) candidates.push_back(0);
+
+    double best = -1.0;
+    int best_br = candidates.front();
+    const double flops =
+        flops_per_amplitude(k) * static_cast<double>(size);
+    for (int br : candidates) {
+      ApplyOptions options;
+      options.block_rows = br;
+      options.num_threads = num_threads;
+      const double secs = time_best_of(
+          [&] { apply_gate(state.data(), num_qubits, gate, options); },
+          0.02);
+      const double gflops = flops / secs * 1e-9;
+      results.push_back({k, br, gflops, false});
+      if (gflops > best) {
+        best = gflops;
+        best_br = br;
+      }
+    }
+    for (auto& r : results) {
+      if (r.k == k && r.block_rows == best_br) r.selected = true;
+    }
+    kernel_config(k).block_rows = best_br;
+    kernel_config(k).tuned = true;
+  }
+  return results;
+}
+
+}  // namespace quasar

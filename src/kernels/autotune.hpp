@@ -1,0 +1,43 @@
+/// \file autotune.hpp
+/// \brief Kernel auto-tuning: the benchmarking feedback loop of Sec. 3.2.
+///
+/// The paper generates kernel variants and picks the register-blocking
+/// factor by benchmarking. Here the variants are template instantiations
+/// parameterized by the block-rows count; autotune_kernels() times each
+/// variant on a scratch state and records the winner per gate width k.
+#pragma once
+
+#include <vector>
+
+namespace quasar {
+
+/// Tunable parameters of the k-qubit kernel.
+struct KernelConfig {
+  /// Output-row block size in SIMD vectors (accumulator count). 0 = all
+  /// rows at once (no blocking).
+  int block_rows = 0;
+  /// True once set by the autotuner (otherwise heuristic default).
+  bool tuned = false;
+};
+
+/// Mutable per-k configuration used by apply_gate when ApplyOptions does
+/// not override it. k in [1, 12].
+KernelConfig& kernel_config(int k);
+
+/// Result row from one autotuning measurement.
+struct AutotuneResult {
+  int k = 0;
+  int block_rows = 0;
+  double gflops = 0.0;
+  bool selected = false;
+};
+
+/// Benchmarks the block-rows variants for k in [2, max_k] on a scratch
+/// state of `num_qubits` qubits and installs the winners into
+/// kernel_config(). Returns all measurements (for reporting). Thread
+/// count 0 means the OpenMP default.
+std::vector<AutotuneResult> autotune_kernels(int num_qubits = 22,
+                                             int max_k = 6,
+                                             int num_threads = 0);
+
+}  // namespace quasar

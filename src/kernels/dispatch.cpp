@@ -1,0 +1,78 @@
+/// \file dispatch.cpp
+/// \brief Backend selection for gate application.
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/simd.hpp"
+
+namespace quasar {
+
+const char* simd_backend_name() {
+  if (detail::have_avx512()) return "avx512";
+  if (detail::have_avx2()) return "avx2";
+  return "scalar";
+}
+
+int simd_complex_width() {
+  if (detail::have_avx512()) return 4;
+  if (detail::have_avx2()) return 2;
+  return 1;
+}
+
+void apply_gate(Amplitude* state, int num_qubits, const PreparedGate& gate,
+                const ApplyOptions& options) {
+  QUASAR_CHECK(state != nullptr, "apply_gate: null state");
+  QUASAR_CHECK(gate.k >= 1 && gate.k <= num_qubits,
+               "apply_gate: gate does not fit the state");
+  QUASAR_CHECK(gate.qubits.back() < num_qubits,
+               "apply_gate: bit-location out of range");
+
+  // Phase-only gates never need the dense sweep (paper Sec. 3.5).
+  if (gate.diagonal) {
+    apply_diagonal(state, num_qubits, gate, options);
+    return;
+  }
+
+  // A 1-qubit gate on bit-location 0 or 1 defeats both SIMD shapes
+  // (strides below the vector width). Embed it as a 2-qubit gate on
+  // locations {0, 1} — identity on the spectator — which the contiguous
+  // GEMV path handles at full speed.
+  if (gate.k == 1 && options.backend != KernelBackend::kScalar &&
+      num_qubits >= 2 &&
+      index_pow2(gate.qubits[0]) < static_cast<Index>(simd_complex_width())) {
+    const PreparedGate widened =
+        prepare_gate(gate.matrix.embed(2, {gate.qubits[0]}), {0, 1});
+    apply_gate(state, num_qubits, widened, options);
+    return;
+  }
+
+  const int block_rows = options.block_rows > 0
+                             ? options.block_rows
+                             : kernel_config(gate.k).block_rows;
+
+  switch (options.backend) {
+    case KernelBackend::kScalar:
+      apply_gate_scalar(state, num_qubits, gate, options.num_threads);
+      return;
+    case KernelBackend::kSimd:
+      QUASAR_CHECK(detail::have_avx512() || detail::have_avx2(),
+                   "no SIMD backend was compiled in");
+      [[fallthrough]];
+    case KernelBackend::kAuto: {
+      bool done = false;
+      if (detail::have_avx512()) {
+        done = detail::apply_gate_avx512(state, num_qubits, gate,
+                                         options.num_threads, block_rows);
+      } else if (detail::have_avx2()) {
+        done = detail::apply_gate_avx2(state, num_qubits, gate,
+                                       options.num_threads, block_rows);
+      }
+      if (!done) {
+        apply_gate_scalar(state, num_qubits, gate, options.num_threads);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace quasar

@@ -1,0 +1,56 @@
+#include "kernels/naive.hpp"
+
+#include <omp.h>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+void apply_single_qubit_two_vector(const Amplitude* in, Amplitude* out,
+                                   int num_qubits, const GateMatrix& gate,
+                                   int qubit, int num_threads) {
+  QUASAR_CHECK(gate.num_qubits() == 1, "expected a single-qubit gate");
+  QUASAR_CHECK(qubit >= 0 && qubit < num_qubits, "qubit out of range");
+  const Index size = index_pow2(num_qubits);
+  const Index mask = index_pow2(qubit);
+  const Amplitude m00 = gate.at(0, 0), m01 = gate.at(0, 1);
+  const Amplitude m10 = gate.at(1, 0), m11 = gate.at(1, 1);
+  const int threads = detail::resolve_threads(num_threads, size);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t j = 0; j < static_cast<std::int64_t>(size); ++j) {
+    const Index idx = static_cast<Index>(j);
+    const Index partner = idx ^ mask;
+    if (idx & mask) {
+      out[idx] = m10 * in[partner] + m11 * in[idx];
+    } else {
+      out[idx] = m00 * in[idx] + m01 * in[partner];
+    }
+  }
+}
+
+void apply_single_qubit_inplace_naive(Amplitude* state, int num_qubits,
+                                      const GateMatrix& gate, int qubit,
+                                      int num_threads) {
+  QUASAR_CHECK(gate.num_qubits() == 1, "expected a single-qubit gate");
+  QUASAR_CHECK(qubit >= 0 && qubit < num_qubits, "qubit out of range");
+  const Index pairs = index_pow2(num_qubits - 1);
+  const Index stride = index_pow2(qubit);
+  const Amplitude m00 = gate.at(0, 0), m01 = gate.at(0, 1);
+  const Amplitude m10 = gate.at(1, 0), m11 = gate.at(1, 1);
+  const int threads = detail::resolve_threads(num_threads, pairs);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t p = 0; p < static_cast<std::int64_t>(pairs); ++p) {
+    const Index pi = static_cast<Index>(p);
+    const Index i0 = ((pi & ~(stride - 1)) << 1) | (pi & (stride - 1));
+    const Index i1 = i0 | stride;
+    const Amplitude a = state[i0], b = state[i1];
+    state[i0] = m00 * a + m01 * b;
+    state[i1] = m10 * a + m11 * b;
+  }
+}
+
+}  // namespace quasar

@@ -1,0 +1,28 @@
+/// \file naive.hpp
+/// \brief Unoptimized baseline kernels for the roofline study (Fig. 2).
+///
+/// These implement the "standard implementation" of Sec. 3.1 — two state
+/// vectors, one gate at a time, straightforward complex arithmetic — and
+/// the plain in-place variant, so the benchmark harness can show the
+/// optimization steps 1..3 of the paper's roofline plots as measured
+/// points rather than only model values.
+#pragma once
+
+#include "core/types.hpp"
+#include "gates/matrix.hpp"
+
+namespace quasar {
+
+/// Step-0 baseline (Sec. 3.1): out-of-place single-qubit gate. Reads
+/// `in`, writes `out`; both of size 2^num_qubits.
+void apply_single_qubit_two_vector(const Amplitude* in, Amplitude* out,
+                                   int num_qubits, const GateMatrix& gate,
+                                   int qubit, int num_threads = 0);
+
+/// Step-1 baseline: in-place single-qubit gate, straightforward complex
+/// arithmetic (Eq. (1) of the paper: no FMA re-ordering, no blocking).
+void apply_single_qubit_inplace_naive(Amplitude* state, int num_qubits,
+                                      const GateMatrix& gate, int qubit,
+                                      int num_threads = 0);
+
+}  // namespace quasar

@@ -1,0 +1,67 @@
+#include "kernels/prepared_gate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+PreparedGate prepare_gate(const GateMatrix& matrix,
+                          const std::vector<int>& bit_locations) {
+  QUASAR_CHECK(matrix.num_qubits() ==
+                   static_cast<int>(bit_locations.size()),
+               "prepare_gate: matrix arity must match bit-location count");
+  QUASAR_CHECK(matrix.num_qubits() >= 1, "prepare_gate: empty gate");
+
+  PreparedGate g;
+  g.k = matrix.num_qubits();
+  g.dim = index_pow2(g.k);
+
+  // Sort bit-locations ascending and permute the matrix to match:
+  // output gate-local qubit j carries input qubit order[j].
+  std::vector<int> order(g.k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return bit_locations[a] < bit_locations[b];
+  });
+  g.qubits.resize(g.k);
+  for (int j = 0; j < g.k; ++j) {
+    g.qubits[j] = bit_locations[order[j]];
+    if (j > 0) {
+      QUASAR_CHECK(g.qubits[j] != g.qubits[j - 1],
+                   "prepare_gate: bit-locations must be distinct");
+    }
+  }
+  g.matrix = matrix.permute_qubits(order);
+  g.offsets = make_gate_offsets(g.qubits);
+
+  // Contiguity of the gather: count gate qubits occupying 0,1,2,...
+  int low = 0;
+  while (low < g.k && g.qubits[low] == low) ++low;
+  g.contig_run = index_pow2(low);
+
+  // Diagonal fast path.
+  g.diagonal = g.matrix.is_diagonal();
+  if (g.diagonal) {
+    const auto d = g.matrix.diagonal();
+    g.diag.assign(d.begin(), d.end());
+  }
+
+  // Column-major FMA expansion (see header).
+  g.col_a.resize(g.dim * g.dim * 2);
+  g.col_b.resize(g.dim * g.dim * 2);
+  for (Index i = 0; i < g.dim; ++i) {    // column = input index
+    for (Index l = 0; l < g.dim; ++l) {  // row = output index
+      const Amplitude m = g.matrix.at(l, i);
+      const Index e = (i * g.dim + l) * 2;
+      g.col_a[e + 0] = m.real();
+      g.col_a[e + 1] = m.imag();
+      g.col_b[e + 0] = -m.imag();
+      g.col_b[e + 1] = m.real();
+    }
+  }
+  return g;
+}
+
+}  // namespace quasar

@@ -1,0 +1,85 @@
+/// \file scalar.cpp
+/// \brief Portable scalar kernels: the differential-testing oracle and the
+/// fallback for gates wider than the SIMD kernels support.
+#include <omp.h>
+
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+namespace detail {
+
+int resolve_threads(int requested, Index iterations) {
+  int threads = requested > 0 ? requested : omp_get_max_threads();
+  // Never spawn more threads than independent iterations.
+  if (iterations < static_cast<Index>(threads)) {
+    threads = static_cast<int>(iterations > 0 ? iterations : 1);
+  }
+  return threads;
+}
+
+}  // namespace detail
+
+void apply_gate_scalar(Amplitude* state, int num_qubits,
+                       const PreparedGate& gate, int num_threads) {
+  QUASAR_CHECK(gate.k <= num_qubits, "gate wider than the state");
+  QUASAR_CHECK(gate.qubits.back() < num_qubits,
+               "gate bit-location out of range");
+  const Index dim = gate.dim;
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const GateMatrix& m = gate.matrix;
+  const int threads = detail::resolve_threads(num_threads, outer);
+
+#pragma omp parallel num_threads(threads)
+  {
+    // Per-thread temporaries; dim <= 2^16 by GateMatrix construction but
+    // in practice k <= 10 for anything reachable through the dispatcher.
+    std::vector<Amplitude> in(dim), out(dim);
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+      const Index base = expander.expand(static_cast<Index>(i));
+      for (Index t = 0; t < dim; ++t) in[t] = state[base + offsets[t]];
+      for (Index l = 0; l < dim; ++l) {
+        Amplitude acc{0.0, 0.0};
+        for (Index t = 0; t < dim; ++t) acc += m.at(l, t) * in[t];
+        out[l] = acc;
+      }
+      for (Index t = 0; t < dim; ++t) state[base + offsets[t]] = out[t];
+    }
+  }
+}
+
+void apply_diagonal(Amplitude* state, int num_qubits, const PreparedGate& gate,
+                    const ApplyOptions& options) {
+  QUASAR_CHECK(gate.diagonal, "apply_diagonal requires a diagonal gate");
+  QUASAR_CHECK(gate.k <= num_qubits, "gate wider than the state");
+  QUASAR_CHECK(gate.qubits.back() < num_qubits,
+               "gate bit-location out of range");
+  const Index dim = gate.dim;
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const Amplitude* diag = gate.diag.data();
+  const int threads = detail::resolve_threads(options.num_threads, outer);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+    const Index base = expander.expand(static_cast<Index>(i));
+    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] *= diag[t];
+  }
+}
+
+void apply_global_phase(Amplitude* state, int num_qubits, Amplitude phase,
+                        int num_threads) {
+  const Index size = index_pow2(num_qubits);
+  const int threads = detail::resolve_threads(num_threads, size);
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(size); ++i) {
+    state[i] *= phase;
+  }
+}
+
+}  // namespace quasar

@@ -1,0 +1,320 @@
+/// \file simd.cpp
+/// \brief Explicitly vectorized k-qubit gate kernels (paper Sec. 3.2).
+///
+/// The complex multiply-accumulate is implemented with the paper's
+/// instruction re-ordering, Eqs. (2)/(3): with the matrix pre-expanded
+/// into sign-folded arrays, each complex MAC is exactly two FMAs and the
+/// only shuffle is one in-register re/im swap per loaded state vector,
+/// amortized over all 2^k uses (the paper: "v_l can be permuted once upon
+/// loading ... as it is re-used for 2^k such complex multiplications").
+///
+/// Two kernel shapes:
+///  - k = 1 strided kernel: vectorizes across consecutive outer indices;
+///    requires the gate bit-location >= log2(W) so W consecutive
+///    amplitudes share the same gate bit.
+///  - general k kernel: gathers the 2^k amplitudes into an aligned
+///    temporary, performs a register-resident column-major GEMV using the
+///    FMA expansion, and scatters back. Register blocking over output
+///    rows (block_rows accumulators) mirrors the paper's blocking, with
+///    the block size chosen by the autotuner.
+#include "kernels/simd.hpp"
+
+#include <immintrin.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar::detail {
+
+namespace {
+
+/// Copies the 2^k gate-local amplitudes between the state vector and a
+/// contiguous temporary: bulk memcpy for contiguous runs, direct
+/// assignments for scattered singles (a libc memcpy call per 16 bytes
+/// costs more than the copy).
+inline void gather(const Amplitude* state, Index base, const Index* offsets,
+                   Index dim, Index run, Amplitude* tmp) {
+  if (run == 1) {
+    for (Index t = 0; t < dim; ++t) tmp[t] = state[base + offsets[t]];
+    return;
+  }
+  for (Index t = 0; t < dim; t += run) {
+    std::memcpy(tmp + t, state + base + offsets[t],
+                run * sizeof(Amplitude));
+  }
+}
+
+inline void scatter(Amplitude* state, Index base, const Index* offsets,
+                    Index dim, Index run, const Amplitude* tmp) {
+  if (run == 1) {
+    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] = tmp[t];
+    return;
+  }
+  for (Index t = 0; t < dim; t += run) {
+    std::memcpy(state + base + offsets[t], tmp + t,
+                run * sizeof(Amplitude));
+  }
+}
+
+}  // namespace
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+struct Avx2Traits {
+  using Vec = __m256d;
+  /// Complex<double> lanes per vector.
+  static constexpr int kWidth = 2;
+  static Vec load(const double* p) { return _mm256_load_pd(p); }
+  static void store(double* p, Vec v) { _mm256_store_pd(p, v); }
+  static Vec set1(double x) { return _mm256_set1_pd(x); }
+  static Vec zero() { return _mm256_setzero_pd(); }
+  static Vec fmadd(Vec a, Vec b, Vec c) { return _mm256_fmadd_pd(a, b, c); }
+  /// Swaps re/im within each complex lane.
+  static Vec swap_reim(Vec v) { return _mm256_permute_pd(v, 0x5); }
+  /// Repeats the pair (a, b) across all complex lanes.
+  static Vec pair(double a, double b) { return _mm256_setr_pd(a, b, a, b); }
+};
+
+}  // namespace
+
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+namespace {
+
+struct Avx512Traits {
+  using Vec = __m512d;
+  static constexpr int kWidth = 4;
+  static Vec load(const double* p) { return _mm512_load_pd(p); }
+  static void store(double* p, Vec v) { _mm512_store_pd(p, v); }
+  static Vec set1(double x) { return _mm512_set1_pd(x); }
+  static Vec zero() { return _mm512_setzero_pd(); }
+  static Vec fmadd(Vec a, Vec b, Vec c) { return _mm512_fmadd_pd(a, b, c); }
+  static Vec swap_reim(Vec v) { return _mm512_permute_pd(v, 0x55); }
+  static Vec pair(double a, double b) {
+    return _mm512_setr_pd(a, b, a, b, a, b, a, b);
+  }
+};
+
+}  // namespace
+
+#endif  // __AVX512F__ && __AVX512DQ__
+
+namespace {
+
+/// k = 1 kernel, vectorized across outer indices. Gate bit-location q must
+/// satisfy 2^q >= Traits::kWidth. For each vector of W consecutive "low"
+/// amplitudes a and their stride-2^q partners b:
+///   a' = m00 a + m01 b,  b' = m10 a + m11 b
+/// with each complex scalar-times-vector done as two FMAs using the
+/// pre-folded (Re m) broadcast and (-Im m, Im m) pair vectors.
+template <typename Traits>
+void apply_k1(Amplitude* state, int num_qubits, const PreparedGate& gate,
+              int num_threads) {
+  using Vec = typename Traits::Vec;
+  constexpr int kW = Traits::kWidth;
+  const int q = gate.qubits[0];
+  const Index stride = index_pow2(q);
+  const Index pairs = index_pow2(num_qubits - 1);
+  const GateMatrix& m = gate.matrix;
+
+  const Vec m00r = Traits::set1(m.at(0, 0).real());
+  const Vec m01r = Traits::set1(m.at(0, 1).real());
+  const Vec m10r = Traits::set1(m.at(1, 0).real());
+  const Vec m11r = Traits::set1(m.at(1, 1).real());
+  const Vec m00i = Traits::pair(-m.at(0, 0).imag(), m.at(0, 0).imag());
+  const Vec m01i = Traits::pair(-m.at(0, 1).imag(), m.at(0, 1).imag());
+  const Vec m10i = Traits::pair(-m.at(1, 0).imag(), m.at(1, 0).imag());
+  const Vec m11i = Traits::pair(-m.at(1, 1).imag(), m.at(1, 1).imag());
+
+  double* const data = reinterpret_cast<double*>(state);
+  const Index chunks = pairs / kW;
+  const int threads = resolve_threads(num_threads, chunks);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(chunks); ++ci) {
+    const Index p = static_cast<Index>(ci) * kW;
+    const Index i0 = ((p & ~(stride - 1)) << 1) | (p & (stride - 1));
+    double* pa = data + 2 * i0;
+    double* pb = data + 2 * (i0 + stride);
+    const Vec va = Traits::load(pa);
+    const Vec vb = Traits::load(pb);
+    const Vec vas = Traits::swap_reim(va);
+    const Vec vbs = Traits::swap_reim(vb);
+    Vec outa = Traits::fmadd(va, m00r, Traits::zero());
+    outa = Traits::fmadd(vas, m00i, outa);
+    outa = Traits::fmadd(vb, m01r, outa);
+    outa = Traits::fmadd(vbs, m01i, outa);
+    Vec outb = Traits::fmadd(va, m10r, Traits::zero());
+    outb = Traits::fmadd(vas, m10i, outb);
+    outb = Traits::fmadd(vb, m11r, outb);
+    outb = Traits::fmadd(vbs, m11i, outb);
+    Traits::store(pa, outa);
+    Traits::store(pb, outb);
+  }
+}
+
+/// Fully-contiguous fast path: when the gate occupies bit-locations
+/// 0..k-1, the 2^k gate-local amplitudes are consecutive in memory and
+/// all output rows fit in registers, so the GEMV reads and writes the
+/// state directly — no gather/scatter, no temporaries. This is the
+/// common case after the qubit-mapping optimization (Sec. 3.6.2) pushes
+/// busy qubits to low-order bit-locations.
+template <typename Traits>
+void apply_gemv_direct(Amplitude* state, int num_qubits,
+                       const PreparedGate& gate, int num_threads) {
+  using Vec = typename Traits::Vec;
+  constexpr int kW = Traits::kWidth;
+  constexpr Index kMaxAcc = 16;
+  const Index dim = gate.dim;
+  const Index row_vecs = dim / kW;
+  QUASAR_ASSERT(row_vecs <= kMaxAcc);
+
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const double* col_a = gate.col_a.data();
+  const double* col_b = gate.col_b.data();
+  const int threads = resolve_threads(num_threads, outer);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(outer); ++ii) {
+    double* const block =
+        reinterpret_cast<double*>(state + static_cast<Index>(ii) * dim);
+    Vec acc[kMaxAcc];
+    for (Index b = 0; b < row_vecs; ++b) acc[b] = Traits::zero();
+    for (Index col = 0; col < dim; ++col) {
+      const Vec vr = Traits::set1(block[2 * col]);
+      const Vec vi = Traits::set1(block[2 * col + 1]);
+      const double* ca = col_a + col * dim * 2;
+      const double* cb = col_b + col * dim * 2;
+      for (Index b = 0; b < row_vecs; ++b) {
+        acc[b] = Traits::fmadd(Traits::load(ca + b * 2 * kW), vr, acc[b]);
+        acc[b] = Traits::fmadd(Traits::load(cb + b * 2 * kW), vi, acc[b]);
+      }
+    }
+    // All inputs were consumed above; stores cannot clobber pending reads.
+    for (Index b = 0; b < row_vecs; ++b) {
+      Traits::store(block + b * 2 * kW, acc[b]);
+    }
+  }
+}
+
+/// General k kernel: gather -> register-blocked column GEMV -> scatter.
+/// Requires dim >= Traits::kWidth. block_rows accumulators of W complex
+/// each are live at a time; the matrix columns stream through L1.
+template <typename Traits>
+void apply_gemv(Amplitude* state, int num_qubits, const PreparedGate& gate,
+                int num_threads, int block_rows) {
+  using Vec = typename Traits::Vec;
+  constexpr int kW = Traits::kWidth;
+  const Index dim = gate.dim;
+  const Index row_vecs = dim / kW;  // output row vectors per GEMV
+  Index br = block_rows > 0 ? static_cast<Index>(block_rows) : row_vecs;
+  if (br > row_vecs) br = row_vecs;
+  // kMaxAcc bounds the compiler-visible accumulator array.
+  constexpr Index kMaxAcc = 16;
+  if (br > kMaxAcc) br = kMaxAcc;
+
+  const Index outer = index_pow2(num_qubits - gate.k);
+  const IndexExpander expander = gate.expander();
+  const Index* offsets = gate.offsets.data();
+  const Index run = gate.contig_run;
+  const double* col_a = gate.col_a.data();
+  const double* col_b = gate.col_b.data();
+  const int threads = resolve_threads(num_threads, outer);
+
+#pragma omp parallel num_threads(threads)
+  {
+    AlignedVector<Amplitude> tmp(dim), out(dim);
+    double* const tmpd = reinterpret_cast<double*>(tmp.data());
+    double* const outd = reinterpret_cast<double*>(out.data());
+#pragma omp for schedule(static)
+    for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(outer); ++ii) {
+      const Index base = expander.expand(static_cast<Index>(ii));
+      gather(state, base, offsets, dim, run, tmp.data());
+      for (Index l0 = 0; l0 < row_vecs; l0 += br) {
+        const Index nb = std::min(br, row_vecs - l0);
+        Vec acc[kMaxAcc];
+        for (Index b = 0; b < nb; ++b) acc[b] = Traits::zero();
+        for (Index col = 0; col < dim; ++col) {
+          const Vec vr = Traits::set1(tmpd[2 * col]);
+          const Vec vi = Traits::set1(tmpd[2 * col + 1]);
+          const double* ca = col_a + (col * dim + l0 * kW) * 2;
+          const double* cb = col_b + (col * dim + l0 * kW) * 2;
+          for (Index b = 0; b < nb; ++b) {
+            acc[b] = Traits::fmadd(Traits::load(ca + b * 2 * kW), vr, acc[b]);
+            acc[b] = Traits::fmadd(Traits::load(cb + b * 2 * kW), vi, acc[b]);
+          }
+        }
+        for (Index b = 0; b < nb; ++b) {
+          Traits::store(outd + (l0 + b) * 2 * kW, acc[b]);
+        }
+      }
+      scatter(state, base, offsets, dim, run, out.data());
+    }
+  }
+}
+
+template <typename Traits>
+bool apply_gate_impl(Amplitude* state, int num_qubits,
+                     const PreparedGate& gate, int num_threads,
+                     int block_rows) {
+  constexpr int kW = Traits::kWidth;
+  if (gate.k == 1) {
+    if (index_pow2(gate.qubits[0]) < static_cast<Index>(kW)) return false;
+    if (index_pow2(num_qubits - 1) < static_cast<Index>(kW)) return false;
+    apply_k1<Traits>(state, num_qubits, gate, num_threads);
+    return true;
+  }
+  if (gate.k < 1 || gate.k > 8) return false;
+  if (gate.dim < static_cast<Index>(kW)) return false;
+  const Index row_vecs = gate.dim / kW;
+  const bool want_all_rows =
+      block_rows <= 0 || static_cast<Index>(block_rows) >= row_vecs;
+  if (gate.contig_run == gate.dim && want_all_rows && row_vecs <= 16) {
+    apply_gemv_direct<Traits>(state, num_qubits, gate, num_threads);
+  } else {
+    apply_gemv<Traits>(state, num_qubits, gate, num_threads, block_rows);
+  }
+  return true;
+}
+
+}  // namespace
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+bool have_avx512() { return true; }
+bool apply_gate_avx512(Amplitude* state, int num_qubits,
+                       const PreparedGate& gate, int num_threads,
+                       int block_rows) {
+  return apply_gate_impl<Avx512Traits>(state, num_qubits, gate, num_threads,
+                                       block_rows);
+}
+#else
+bool have_avx512() { return false; }
+bool apply_gate_avx512(Amplitude*, int, const PreparedGate&, int, int) {
+  throw Error("AVX-512 backend was not compiled in");
+}
+#endif
+
+#if defined(__AVX2__) && defined(__FMA__)
+bool have_avx2() { return true; }
+bool apply_gate_avx2(Amplitude* state, int num_qubits,
+                     const PreparedGate& gate, int num_threads,
+                     int block_rows) {
+  return apply_gate_impl<Avx2Traits>(state, num_qubits, gate, num_threads,
+                                     block_rows);
+}
+#else
+bool have_avx2() { return false; }
+bool apply_gate_avx2(Amplitude*, int, const PreparedGate&, int, int) {
+  throw Error("AVX2 backend was not compiled in");
+}
+#endif
+
+}  // namespace quasar::detail

@@ -1,0 +1,30 @@
+/// \file simd.hpp
+/// \brief Internal interface to the compiled SIMD kernel backends.
+///
+/// Not part of the public API; tests include it to differential-test each
+/// compiled backend against the scalar oracle.
+#pragma once
+
+#include "core/types.hpp"
+#include "kernels/prepared_gate.hpp"
+
+namespace quasar::detail {
+
+/// True if an AVX-512 (resp. AVX2+FMA) backend was compiled in.
+bool have_avx512();
+bool have_avx2();
+
+/// Applies `gate` with the AVX-512 backend. Returns false when the gate
+/// shape is not supported by this backend (caller falls back to scalar):
+/// k = 1 with bit-location < 2, or k outside [1, 8].
+/// Precondition: have_avx512().
+bool apply_gate_avx512(Amplitude* state, int num_qubits,
+                       const PreparedGate& gate, int num_threads,
+                       int block_rows);
+
+/// Same for the AVX2 backend (k = 1 needs bit-location >= 1).
+bool apply_gate_avx2(Amplitude* state, int num_qubits,
+                     const PreparedGate& gate, int num_threads,
+                     int block_rows);
+
+}  // namespace quasar::detail

@@ -1,0 +1,64 @@
+#include "kernels/swap.hpp"
+
+#include <omp.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+void apply_bit_swap(Amplitude* state, int num_qubits, int p, int q,
+                    int num_threads) {
+  QUASAR_CHECK(p >= 0 && p < num_qubits && q >= 0 && q < num_qubits && p != q,
+               "apply_bit_swap: invalid bit-locations");
+  if (p > q) std::swap(p, q);
+  // Only indices with bit p != bit q move; iterate over the other n-2
+  // bits and swap the (p=1,q=0) amplitude with the (p=0,q=1) one.
+  const IndexExpander expander(std::vector<int>{p, q});
+  const Index outer = index_pow2(num_qubits - 2);
+  const Index off_p = index_pow2(p);
+  const Index off_q = index_pow2(q);
+  const int threads = detail::resolve_threads(num_threads, outer);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
+    const Index base = expander.expand(static_cast<Index>(i));
+    std::swap(state[base + off_p], state[base + off_q]);
+  }
+}
+
+int apply_bit_permutation(Amplitude* state, int num_qubits,
+                          const std::vector<int>& perm, int num_threads) {
+  QUASAR_CHECK(static_cast<int>(perm.size()) == num_qubits,
+               "apply_bit_permutation: permutation size mismatch");
+  std::vector<bool> seen(num_qubits, false);
+  for (int p : perm) {
+    QUASAR_CHECK(p >= 0 && p < num_qubits && !seen[p],
+                 "apply_bit_permutation: not a permutation");
+    seen[p] = true;
+  }
+  // current[j] = which input bit currently lives at location j.
+  std::vector<int> current(num_qubits);
+  for (int j = 0; j < num_qubits; ++j) current[j] = j;
+  std::vector<int> location(num_qubits);  // inverse of current
+  for (int j = 0; j < num_qubits; ++j) location[j] = j;
+
+  int swaps = 0;
+  for (int j = 0; j < num_qubits; ++j) {
+    const int want = perm[j];
+    if (current[j] == want) continue;
+    const int src = location[want];
+    apply_bit_swap(state, num_qubits, j, src, num_threads);
+    std::swap(current[j], current[src]);
+    location[current[j]] = j;
+    location[current[src]] = src;
+    ++swaps;
+  }
+  return swaps;
+}
+
+}  // namespace quasar

@@ -1,0 +1,28 @@
+/// \file swap.hpp
+/// \brief Dedicated bit-location swap kernels.
+///
+/// Swapping two bit-locations of the state index is a pure data movement
+/// (no arithmetic); the multi-node layer uses these local swaps to move
+/// the qubits it wants to exchange into the highest local bit-locations
+/// before the all-to-all, and to restore data locality afterwards
+/// (paper Sec. 3.4, last paragraph).
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Swaps bit-locations p and q of the state index, in place.
+/// Equivalent to applying a SWAP gate to (p, q) but with no arithmetic.
+void apply_bit_swap(Amplitude* state, int num_qubits, int p, int q,
+                    int num_threads = 0);
+
+/// Applies a general bit-location permutation: output index bit j takes
+/// input index bit perm[j]. Decomposed into transpositions, each executed
+/// with apply_bit_swap. Returns the number of pairwise swap sweeps used.
+int apply_bit_permutation(Amplitude* state, int num_qubits,
+                          const std::vector<int>& perm, int num_threads = 0);
+
+}  // namespace quasar

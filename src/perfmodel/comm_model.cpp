@@ -1,0 +1,31 @@
+#include "perfmodel/comm_model.hpp"
+
+#include <cmath>
+
+namespace quasar {
+
+double InterconnectModel::alltoall_bw_gbs(int nodes) const {
+  if (nodes <= 1) return 1e9;  // no network involved
+  const double ratio = static_cast<double>(nodes) / base_nodes;
+  return base_bw_gbs * std::pow(ratio, -decay);
+}
+
+double InterconnectModel::alltoall_seconds(int nodes,
+                                           double bytes_per_node) const {
+  if (nodes <= 1) return 0.0;
+  return bytes_per_node * 1e-9 / alltoall_bw_gbs(nodes) +
+         sync_per_sqrt_node * std::sqrt(static_cast<double>(nodes));
+}
+
+double InterconnectModel::pairwise_gate_seconds(
+    int nodes, double bytes_per_node) const {
+  if (nodes <= 1) return 0.0;
+  // Average over global qubits: ~1/2 the cost of a full swap (Fig. 5
+  // caption), plus the same per-collective synchronization.
+  return 0.5 * bytes_per_node * 1e-9 / alltoall_bw_gbs(nodes) +
+         sync_per_sqrt_node * std::sqrt(static_cast<double>(nodes));
+}
+
+InterconnectModel aries_dragonfly() { return InterconnectModel{}; }
+
+}  // namespace quasar

@@ -1,0 +1,46 @@
+/// \file comm_model.hpp
+/// \brief Interconnect model for the Cray Aries dragonfly (Sec. 4.1/4.2).
+///
+/// Calibrated against the paper's published runs (Table 2):
+///   36 qubits,   64 nodes: 1 swap, 17.2 GB/node, 12.4 s comm
+///   42 qubits, 4096 nodes: 2 swaps, 17.2 GB/node each, 57.1 s comm
+///   45 qubits, 8192 nodes: 2 swaps, 68.7 GB/node each, 431 s comm
+/// The effective per-node all-to-all bandwidth shrinks with node count
+/// (bisection pressure on the dragonfly) and each collective pays a
+/// synchronization/imbalance cost that grows with the machine size.
+#pragma once
+
+#include <cstdint>
+
+namespace quasar {
+
+/// Parameters of the all-to-all model; defaults fit the paper's runs.
+struct InterconnectModel {
+  /// Effective per-node all-to-all bandwidth at the reference node count.
+  double base_bw_gbs = 1.45;
+  /// Reference node count for base_bw_gbs.
+  int base_nodes = 64;
+  /// Power-law exponent of the bandwidth decay with node count.
+  double decay = 0.28;
+  /// Synchronization / load-imbalance seconds per collective, per
+  /// sqrt(nodes).
+  double sync_per_sqrt_node = 0.08;
+
+  /// Effective per-node bandwidth for a world all-to-all on `nodes`.
+  double alltoall_bw_gbs(int nodes) const;
+
+  /// Seconds for one all-to-all moving `bytes_per_node` from every node.
+  double alltoall_seconds(int nodes, double bytes_per_node) const;
+
+  /// Seconds for one baseline dense global gate (2 pairwise half-state
+  /// exchanges, Sec. 3.4): same volume as a swap, but point-to-point, so
+  /// it runs at pair bandwidth — except that, averaged over global
+  /// qubits, it is ~2x faster than the all-to-all (Sec. 4.1.2: low-order
+  /// global qubits enjoy locality in the dragonfly).
+  double pairwise_gate_seconds(int nodes, double bytes_per_node) const;
+};
+
+/// The Cray Aries instance used for both Edison and Cori II.
+InterconnectModel aries_dragonfly();
+
+}  // namespace quasar

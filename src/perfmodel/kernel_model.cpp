@@ -1,0 +1,59 @@
+#include "perfmodel/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/types.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+double kernel_gflops(const MachineModel& machine, int k, bool high_order) {
+  const double bw_bound = operational_intensity(k) * machine.achievable_bw();
+  const double compute_bound = machine.achievable_gflops();
+  double perf = std::min(bw_bound, compute_bound);
+  if (high_order) {
+    const double stride_sets = static_cast<double>(Index{1} << k);
+    const double ways = machine.effective_cache_ways;
+    if (stride_sets > ways) perf /= stride_sets / ways;
+  }
+  return perf;
+}
+
+double kernel_gflops_cores(const MachineModel& machine, int k, int cores,
+                           bool high_order) {
+  MachineModel scaled = machine;
+  const double frac = static_cast<double>(cores) / machine.cores;
+  scaled.peak_gflops = machine.peak_gflops * frac;
+  // Memory bandwidth saturates once ~1/3 of the cores stream (a few
+  // cores already fill the memory pipeline).
+  const double bw_frac = std::min(1.0, 3.0 * frac);
+  scaled.fast_bw_gbs = machine.fast_bw_gbs * bw_frac;
+  scaled.dram_bw_gbs = machine.dram_bw_gbs * bw_frac;
+  return kernel_gflops(scaled, k, high_order);
+}
+
+double kernel_seconds(const MachineModel& machine, int k, int num_qubits,
+                      bool high_order) {
+  const double flops = flops_per_amplitude(k) *
+                       static_cast<double>(index_pow2(num_qubits));
+  return flops / (kernel_gflops(machine, k, high_order) * 1e9);
+}
+
+double kernel_seconds_spilled(const MachineModel& machine, int k,
+                              int num_qubits) {
+  const double state_bytes =
+      static_cast<double>(index_pow2(num_qubits)) * kBytesPerAmplitude;
+  if (machine.fast_mem_bytes <= 0.0 ||
+      state_bytes <= machine.fast_mem_bytes) {
+    return kernel_seconds(machine, k, num_qubits);
+  }
+  // Sec. 4.1.2: the 4-qubit kernel reaches ~1/2 MCDRAM bandwidth, i.e.
+  // ~2x DRAM bandwidth, so spilling out of MCDRAM costs ~2x.
+  MachineModel spilled = machine;
+  spilled.fast_bw_gbs = machine.dram_bw_gbs;
+  spilled.bw_efficiency = 1.0;  // streaming DRAM reaches its nominal rate
+  return kernel_seconds(spilled, k, num_qubits);
+}
+
+}  // namespace quasar

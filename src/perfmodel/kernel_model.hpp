@@ -1,0 +1,30 @@
+/// \file kernel_model.hpp
+/// \brief Predicted k-qubit kernel performance (Figs. 6, 7, 9, 10).
+#pragma once
+
+#include "perfmodel/machine.hpp"
+
+namespace quasar {
+
+/// Predicted GFLOPS of the k-qubit kernel on `machine`. `high_order`
+/// applies the cache-associativity penalty of Sec. 3.3: once the 2^k
+/// gathered strides exceed the effective cache ways, each matrix-vector
+/// multiplication re-misses, dividing throughput by ~2^k/ways (Fig. 6/9).
+double kernel_gflops(const MachineModel& machine, int k, bool high_order);
+
+/// Predicted GFLOPS when only `cores` of the machine's cores are used
+/// (strong scaling, Figs. 7 and 10): bandwidth saturates at ~1/3 of the
+/// cores while the compute ceiling scales linearly.
+double kernel_gflops_cores(const MachineModel& machine, int k, int cores,
+                           bool high_order = false);
+
+/// Seconds to sweep one dense k-qubit kernel over a 2^n state.
+double kernel_seconds(const MachineModel& machine, int k, int num_qubits,
+                      bool high_order = false);
+
+/// Seconds for the 2x-slower regime when the state exceeds fast memory
+/// (KNL: spill out of MCDRAM, Sec. 4.1.2).
+double kernel_seconds_spilled(const MachineModel& machine, int k,
+                              int num_qubits);
+
+}  // namespace quasar

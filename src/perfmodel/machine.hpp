@@ -1,0 +1,67 @@
+/// \file machine.hpp
+/// \brief Machine descriptions for the performance model.
+///
+/// Edison and Cori II numbers come straight from the paper (Fig. 2,
+/// Sec. 4.1/4.2); the host model is detected and measured at runtime so
+/// the benches can print "model vs measured" for the machine they
+/// actually run on. Efficiency factors (achievable fractions of peak and
+/// of nominal bandwidth) are calibrated against the paper's Figs. 6/9 and
+/// documented in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+namespace quasar {
+
+/// A node- or socket-level machine description.
+struct MachineModel {
+  std::string name;
+  int cores = 1;
+  double ghz = 1.0;
+  /// Theoretical peak, GFLOP/s (all cores).
+  double peak_gflops = 1.0;
+  /// SIMD width in complex<double> lanes (2 = AVX, 4 = AVX-512).
+  int simd_complex_width = 1;
+  bool fma = false;
+  /// Nominal main-memory bandwidth, GB/s.
+  double dram_bw_gbs = 1.0;
+  /// Fast-memory bandwidth (MCDRAM), GB/s; equals dram_bw_gbs if absent.
+  double fast_bw_gbs = 1.0;
+  /// Fast-memory capacity in bytes (0 when absent).
+  double fast_mem_bytes = 0.0;
+  /// Effective last-level-cache associativity per core as seen by the
+  /// strided gather (KNL: 16-way L2 shared by 2 cores => 8).
+  int effective_cache_ways = 8;
+  /// Fraction of nominal bandwidth a streaming kernel achieves.
+  double bw_efficiency = 0.6;
+  /// Fraction of peak the compute-bound kernels achieve.
+  double compute_efficiency = 0.35;
+
+  /// Achievable streaming bandwidth (fast memory when present), GB/s.
+  double achievable_bw() const { return fast_bw_gbs * bw_efficiency; }
+  /// Achievable compute rate, GFLOP/s.
+  double achievable_gflops() const { return peak_gflops * compute_efficiency; }
+};
+
+/// One 12-core Intel Xeon E5-2695 v2 socket of Edison (Fig. 2a:
+/// 230.4 GFLOPS peak with AVX, 52 GB/s stream TRIAD; Ivy Bridge 8-way
+/// L1/L2 caches).
+MachineModel edison_socket();
+
+/// A full 2-socket, 24-core Edison node (Fig. 9/10).
+MachineModel edison_node();
+
+/// One 68-core Intel Xeon Phi 7250 (KNL) node of Cori II (Fig. 2b:
+/// 3133.4 GFLOPS peak, 460 GB/s MCDRAM, 115.2 GB/s DRAM, 16 GB MCDRAM;
+/// 16-way L2 shared between 2 cores).
+MachineModel cori_knl_node();
+
+/// Describes the machine this process runs on: core count and SIMD width
+/// from the build/runtime, bandwidth measured with a short STREAM-triad
+/// sweep when `measure_bandwidth` (otherwise a conservative guess).
+MachineModel host_machine(bool measure_bandwidth = true);
+
+/// Measured STREAM-triad bandwidth of this host in GB/s.
+double measure_stream_triad_gbs();
+
+}  // namespace quasar

@@ -1,0 +1,61 @@
+#include "perfmodel/roofline.hpp"
+
+#include <algorithm>
+
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+double step_ceiling(const MachineModel& machine, OptStep step) {
+  const double width = machine.simd_complex_width;
+  const double fma_factor = machine.fma ? 2.0 : 1.0;
+  const double step3 = machine.peak_gflops * machine.compute_efficiency;
+  // Step 2 vectorizes but register spills and shuffles cost ~40%;
+  // steps 0/1 run scalar (no vector lanes, no packed FMA), additionally
+  // capped below step 2 — un-blocked scalar code never beats the
+  // vectorized kernel in practice.
+  const double step2 = 0.6 * step3;
+  const double scalar = machine.peak_gflops / (width * fma_factor);
+  switch (step) {
+    case OptStep::kBaseline:
+    case OptStep::kStep1:
+      return std::min(scalar, 0.8 * step2);
+    case OptStep::kStep2:
+      return step2;
+    case OptStep::kStep3:
+      return step3;
+  }
+  return machine.peak_gflops;
+}
+
+double roofline_attainable(const MachineModel& machine, double oi,
+                           OptStep step) {
+  double bw = machine.achievable_bw();
+  if (step == OptStep::kBaseline) {
+    // Two state vectors: the output store also costs a read-for-ownership
+    // and the effective intensity halves.
+    oi *= 0.5;
+    bw = machine.dram_bw_gbs * machine.bw_efficiency;
+  }
+  return std::min(step_ceiling(machine, step), oi * bw);
+}
+
+std::vector<RooflinePoint> roofline_model_points(
+    const MachineModel& machine) {
+  std::vector<RooflinePoint> points;
+  const double oi1 = operational_intensity(1);
+  const double oi4 = operational_intensity(4);
+  points.push_back({"1-qubit baseline (two vectors)", oi1,
+                    roofline_attainable(machine, oi1, OptStep::kBaseline)});
+  points.push_back({"1-qubit step1 (in-place)", oi1,
+                    roofline_attainable(machine, oi1, OptStep::kStep1)});
+  points.push_back({"4-qubit step1 (fused, scalar)", oi4,
+                    roofline_attainable(machine, oi4, OptStep::kStep1)});
+  points.push_back({"4-qubit step2 (vectorized)", oi4,
+                    roofline_attainable(machine, oi4, OptStep::kStep2)});
+  points.push_back({"4-qubit step3 (blocked)", oi4,
+                    roofline_attainable(machine, oi4, OptStep::kStep3)});
+  return points;
+}
+
+}  // namespace quasar

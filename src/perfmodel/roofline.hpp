@@ -1,0 +1,41 @@
+/// \file roofline.hpp
+/// \brief Roofline model (Fig. 2) over MachineModel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+
+namespace quasar {
+
+/// The optimization steps annotated in Fig. 2.
+enum class OptStep {
+  kBaseline,   ///< Sec. 3.1 two-vector implementation
+  kStep1,      ///< lazy evaluation / in-place fused kernels
+  kStep2,      ///< + explicit vectorization and FMA re-ordering
+  kStep3,      ///< + register blocking and matrix pre-permutation
+};
+
+/// Roofline-attainable GFLOPS at a given operational intensity:
+/// min(ceiling(step), OI x achievable bandwidth).
+double roofline_attainable(const MachineModel& machine, double oi,
+                           OptStep step);
+
+/// The compute ceiling a given optimization step can reach, GFLOPS:
+/// baseline/step1 run scalar (peak / SIMD width, and /2 without FMA use);
+/// step2 adds the vector units; step3 adds the blocking efficiency.
+double step_ceiling(const MachineModel& machine, OptStep step);
+
+/// One row of the roofline table.
+struct RooflinePoint {
+  std::string label;
+  double oi = 0.0;
+  double gflops = 0.0;
+};
+
+/// Model points for the 1- and 4-qubit kernels at every optimization step
+/// on `machine` (the data behind Fig. 2a/2b).
+std::vector<RooflinePoint> roofline_model_points(const MachineModel& machine);
+
+}  // namespace quasar

@@ -1,0 +1,126 @@
+#include "perfmodel/run_model.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+
+namespace {
+
+/// Seconds for one diagonal (phase-only) sweep of a 2^l state: pure
+/// streaming, one read + one write per amplitude.
+double diagonal_sweep_seconds(const MachineModel& node, int local_qubits) {
+  const double bytes =
+      2.0 * static_cast<double>(index_pow2(local_qubits)) *
+      kBytesPerAmplitude;
+  return bytes * 1e-9 / node.achievable_bw();
+}
+
+bool is_high_order(const std::vector<int>& locations) {
+  // The associativity penalty applies when the gathered strides are
+  // large; the lowest gate location sets the smallest stride.
+  return !locations.empty() && locations.front() >= kHighOrderThreshold;
+}
+
+}  // namespace
+
+RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
+                        const MachineModel& node,
+                        const InterconnectModel& net, int nodes) {
+  QUASAR_CHECK(nodes >= 1 && is_pow2(static_cast<Index>(nodes)),
+               "model_run: nodes must be a power of two");
+  const int l = schedule.num_local;
+  QUASAR_CHECK(schedule.num_qubits - l == ilog2(static_cast<Index>(nodes)),
+               "model_run: nodes must equal 2^(n - num_local)");
+
+  RunPrediction p;
+  p.swaps = schedule.num_swaps();
+  const double per_node_amps = static_cast<double>(index_pow2(l));
+
+  for (const Stage& stage : schedule.stages) {
+    for (const StageItem& item : stage.items) {
+      if (item.kind == StageItem::Kind::kCluster) {
+        const Cluster& cluster = stage.clusters[item.cluster];
+        if (cluster.diagonal) {
+          p.kernel_seconds += diagonal_sweep_seconds(node, l);
+          p.total_flops += 6.0 * per_node_amps * nodes;
+          continue;
+        }
+        double secs = kernel_seconds_spilled(node, cluster.width(), l);
+        if (is_high_order(cluster.qubits)) {
+          const double stride_sets =
+              static_cast<double>(index_pow2(cluster.width()));
+          if (stride_sets > node.effective_cache_ways) {
+            secs *= stride_sets / node.effective_cache_ways;
+          }
+        }
+        p.kernel_seconds += secs;
+        p.total_flops +=
+            flops_per_amplitude(cluster.width()) * per_node_amps * nodes;
+      } else {
+        // Specialized global op: at worst a rank-conditional diagonal or
+        // small local sweep; phases are free.
+        const GateOp& op = circuit.op(item.op);
+        bool has_local = false;
+        for (Qubit q : op.qubits) has_local |= stage.location(q) < l;
+        if (has_local) {
+          p.kernel_seconds += diagonal_sweep_seconds(node, l);
+          p.total_flops += 6.0 * per_node_amps * nodes;
+        }
+      }
+    }
+  }
+
+  const double bytes_per_node = per_node_amps * kBytesPerAmplitude;
+  p.comm_seconds = p.swaps * net.alltoall_seconds(nodes, bytes_per_node);
+  return p;
+}
+
+RunPrediction model_baseline_run(const Circuit& circuit, int num_local,
+                                 SpecializationMode mode,
+                                 const MachineModel& node,
+                                 const InterconnectModel& net, int nodes) {
+  QUASAR_CHECK(nodes >= 1 && is_pow2(static_cast<Index>(nodes)),
+               "model_baseline_run: nodes must be a power of two");
+  QUASAR_CHECK(circuit.num_qubits() - num_local ==
+                   ilog2(static_cast<Index>(nodes)),
+               "model_baseline_run: nodes must equal 2^(n - num_local)");
+
+  RunPrediction p;
+  const double per_node_amps =
+      static_cast<double>(index_pow2(num_local));
+  const double bytes_per_node = per_node_amps * kBytesPerAmplitude;
+
+  for (const GateOp& op : circuit.ops()) {
+    bool dense_global = false;
+    for (int j = 0; j < op.arity(); ++j) {
+      if (op.qubits[j] >= num_local && requires_local(op, j, mode)) {
+        dense_global = true;
+      }
+    }
+    if (dense_global) {
+      ++p.comm_gates;
+      p.comm_seconds += net.pairwise_gate_seconds(nodes, bytes_per_node);
+      // The exchanged halves still get the 2x2 applied locally.
+      p.kernel_seconds += kernel_seconds_spilled(node, 1, num_local);
+      p.total_flops += flops_per_amplitude(1) * per_node_amps * nodes;
+      continue;
+    }
+    bool any_global = false;
+    for (Qubit q : op.qubits) any_global |= q >= num_local;
+    if (any_global && op.diagonal) {
+      p.kernel_seconds += diagonal_sweep_seconds(node, num_local);
+      p.total_flops += 6.0 * per_node_amps * nodes;
+      continue;
+    }
+    // Purely local gate-by-gate sweep (no fusion in the baseline).
+    const int k = op.arity();
+    p.kernel_seconds += kernel_seconds_spilled(node, k, num_local);
+    p.total_flops += flops_per_amplitude(k) * per_node_amps * nodes;
+  }
+  return p;
+}
+
+}  // namespace quasar

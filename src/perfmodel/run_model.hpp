@@ -1,0 +1,54 @@
+/// \file run_model.hpp
+/// \brief End-to-end run-time prediction (Table 2, Fig. 8, Sec. 4.2.2).
+///
+/// Combines the kernel model (per-cluster sweep times on one node) with
+/// the interconnect model (per-swap all-to-all times) to predict the
+/// time-to-solution of a scheduled circuit at full machine scale, and the
+/// baseline [5] cost of the same circuit for the speedup column.
+#pragma once
+
+#include "perfmodel/comm_model.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar {
+
+/// Predicted wall-clock decomposition of one run.
+struct RunPrediction {
+  double kernel_seconds = 0.0;
+  double comm_seconds = 0.0;
+  int swaps = 0;
+  int comm_gates = 0;       ///< baseline only: dense global gates
+  double total_flops = 0.0; ///< across the whole machine
+
+  double total_seconds() const { return kernel_seconds + comm_seconds; }
+  double comm_fraction() const {
+    const double t = total_seconds();
+    return t > 0.0 ? comm_seconds / t : 0.0;
+  }
+  /// Sustained PFLOPS over the whole run.
+  double sustained_pflops() const {
+    const double t = total_seconds();
+    return t > 0.0 ? total_flops / t * 1e-15 : 0.0;
+  }
+};
+
+/// Predicts our simulator's run: per-node cluster sweeps + one all-to-all
+/// per stage transition. `nodes` must be a power of two and match
+/// 2^(circuit qubits - schedule.num_local).
+RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
+                        const MachineModel& node,
+                        const InterconnectModel& net, int nodes);
+
+/// Predicts the baseline scheme of [5]: gate-by-gate sweeps, two pairwise
+/// half-state exchanges per dense global gate.
+RunPrediction model_baseline_run(const Circuit& circuit, int num_local,
+                                 SpecializationMode mode,
+                                 const MachineModel& node,
+                                 const InterconnectModel& net, int nodes);
+
+/// Bit-location above which a sweep is treated as "high-order" for the
+/// cache-associativity penalty (strides past the L2 capacity per way).
+inline constexpr int kHighOrderThreshold = 13;
+
+}  // namespace quasar

@@ -1,0 +1,110 @@
+#include "runtime/baseline.hpp"
+
+#include <map>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "runtime/conditional.hpp"
+
+namespace quasar {
+
+BaselineSimulator::BaselineSimulator(int num_qubits, int num_local,
+                                     BaselineOptions options)
+    : cluster_(num_qubits, num_local), options_(options) {}
+
+void BaselineSimulator::init_basis(Index index) { cluster_.init_basis(index); }
+
+void BaselineSimulator::init_uniform() { cluster_.init_uniform(); }
+
+void BaselineSimulator::run(const Circuit& circuit) {
+  QUASAR_CHECK(circuit.num_qubits() == num_qubits(),
+               "baseline run: qubit count mismatch");
+  for (const GateOp& op : circuit.ops()) apply_op(op);
+}
+
+void BaselineSimulator::apply_op(const GateOp& op) {
+  const int l = num_local();
+
+  // Classify qubits: global-dense qubits force communication.
+  std::vector<int> dense_global;  // gate-local indices
+  bool any_global = false;
+  for (int j = 0; j < op.arity(); ++j) {
+    if (op.qubits[j] >= l) {
+      any_global = true;
+      if (requires_local(op, j, options_.specialization)) {
+        dense_global.push_back(j);
+      }
+    }
+  }
+
+  if (!any_global) {
+    // Purely local: every rank applies it to its slice.
+    std::vector<int> locations(op.qubits.begin(), op.qubits.end());
+    const PreparedGate prepared = prepare_gate(*op.matrix, locations);
+    for (int r = 0; r < cluster_.num_ranks(); ++r) {
+      apply_gate(cluster_.rank_data(r), l, prepared, options_.apply);
+    }
+    return;
+  }
+
+  if (dense_global.empty()) {
+    // Diagonal on all its global qubits: apply the rank-conditional
+    // sub-gate in place (qHiPSTER-style diagonal handling).
+    std::vector<bool> fixed(op.arity(), false);
+    std::vector<int> global_bits, local_locations;
+    for (int j = 0; j < op.arity(); ++j) {
+      if (op.qubits[j] >= l) {
+        fixed[j] = true;
+        global_bits.push_back(op.qubits[j] - l);
+      } else {
+        local_locations.push_back(op.qubits[j]);
+      }
+    }
+    std::map<Index, ConditionalGate> cache;
+    for (int r = 0; r < cluster_.num_ranks(); ++r) {
+      Index pattern = 0;
+      for (std::size_t i = 0; i < global_bits.size(); ++i) {
+        pattern |= static_cast<Index>(
+                       get_bit(static_cast<Index>(r), global_bits[i]))
+                   << i;
+      }
+      auto it = cache.find(pattern);
+      if (it == cache.end()) {
+        it = cache.emplace(pattern,
+                           condition_gate(*op.matrix, fixed, pattern)).first;
+      }
+      const ConditionalGate& cond = it->second;
+      if (cond.is_identity) continue;
+      if (cond.matrix.num_qubits() == 0) {
+        apply_global_phase(cluster_.rank_data(r), l, cond.phase,
+                           options_.apply.num_threads);
+        continue;
+      }
+      const PreparedGate prepared =
+          prepare_gate(cond.matrix, local_locations);
+      apply_gate(cluster_.rank_data(r), l, prepared, options_.apply);
+    }
+    return;
+  }
+
+  QUASAR_CHECK(dense_global.size() == 1 && op.arity() == 1,
+               "baseline scheme: only single-qubit dense global gates are "
+               "supported (supremacy circuits need no more)");
+  cluster_.pairwise_global_gate(*op.matrix, op.qubits[0], options_.apply);
+}
+
+StateVector BaselineSimulator::gather() const {
+  const int n = num_qubits();
+  QUASAR_CHECK(n <= 28, "gather: state too large to reassemble");
+  StateVector out(n);
+  const Index size = cluster_.local_size();
+  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+    const Amplitude* data = cluster_.rank_data(r);
+    for (Index i = 0; i < size; ++i) {
+      out[(static_cast<Index>(r) << num_local()) | i] = data[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace quasar

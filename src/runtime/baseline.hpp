@@ -1,0 +1,59 @@
+/// \file baseline.hpp
+/// \brief The state-of-the-art baseline the paper compares against.
+///
+/// Implements the communication scheme of [19] as used by [5]/qHiPSTER:
+/// a fixed qubit layout (no global-to-local swaps), gates executed one by
+/// one, and every dense gate on a global qubit paid for with two pairwise
+/// half-state exchanges. Diagonal global gates are applied in place
+/// (qHiPSTER exploits diagonality too); the `specialization` option
+/// controls whether single-qubit diagonal gates count as dense, matching
+/// the worst-case/median distinction of Fig. 5.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "runtime/virtual_cluster.hpp"
+#include "sched/schedule.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Options for the baseline run.
+struct BaselineOptions {
+  /// kWorstCase: single-qubit gates always communicate when global (the
+  /// regime of [5]); kFull: diagonal single-qubit gates are free.
+  SpecializationMode specialization = SpecializationMode::kWorstCase;
+  ApplyOptions apply;
+};
+
+/// Gate-by-gate distributed simulator with pairwise-exchange global
+/// gates. Supports the gate set of supremacy circuits and all gates whose
+/// dense action touches at most one global qubit (single-qubit dense
+/// gates); wider dense-global gates throw quasar::Error.
+class BaselineSimulator {
+ public:
+  BaselineSimulator(int num_qubits, int num_local,
+                    BaselineOptions options = {});
+
+  int num_qubits() const noexcept { return cluster_.num_qubits(); }
+  int num_local() const noexcept { return cluster_.num_local(); }
+
+  void init_basis(Index index);
+  void init_uniform();
+
+  /// Runs the circuit gate by gate under the identity layout.
+  void run(const Circuit& circuit);
+
+  /// Reassembles the state vector (program order == layout order here).
+  StateVector gather() const;
+
+  Real norm_squared() const { return cluster_.norm_squared(); }
+  const CommStats& stats() const { return cluster_.stats(); }
+
+ private:
+  void apply_op(const GateOp& op);
+
+  VirtualCluster cluster_;
+  BaselineOptions options_;
+};
+
+}  // namespace quasar

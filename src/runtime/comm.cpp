@@ -1,0 +1,14 @@
+#include "runtime/comm.hpp"
+
+namespace quasar {
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  alltoalls += other.alltoalls;
+  pairwise_exchanges += other.pairwise_exchanges;
+  bytes_sent_per_rank += other.bytes_sent_per_rank;
+  local_swap_sweeps += other.local_swap_sweeps;
+  rank_renumberings += other.rank_renumberings;
+  return *this;
+}
+
+}  // namespace quasar

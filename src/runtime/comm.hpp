@@ -1,0 +1,32 @@
+/// \file comm.hpp
+/// \brief Communication accounting shared by the multi-node simulators.
+///
+/// The in-process virtual cluster is bit-exact about *what* moves; the
+/// perfmodel layer converts these counts into modeled wall-clock for the
+/// machines of the paper (Sec. 4). One full global-to-local swap is one
+/// all-to-all; one dense global gate in the baseline scheme is two
+/// pairwise half-state exchanges — the same volume (Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+
+namespace quasar {
+
+/// Tallies of the communication a run performed.
+struct CommStats {
+  /// World or group all-to-alls executed (global-to-local swaps).
+  std::uint64_t alltoalls = 0;
+  /// Pairwise half-state exchange rounds (baseline global gates; one
+  /// dense global gate = 2 rounds).
+  std::uint64_t pairwise_exchanges = 0;
+  /// Bytes sent per rank, summed over operations (send side only).
+  std::uint64_t bytes_sent_per_rank = 0;
+  /// Local bit-swap sweeps executed around the all-to-alls.
+  std::uint64_t local_swap_sweeps = 0;
+  /// Rank renumberings (zero-cost global permutations).
+  std::uint64_t rank_renumberings = 0;
+
+  CommStats& operator+=(const CommStats& other);
+};
+
+}  // namespace quasar

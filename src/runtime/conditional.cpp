@@ -1,0 +1,66 @@
+#include "runtime/conditional.hpp"
+
+#include <cmath>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+
+namespace quasar {
+
+ConditionalGate condition_gate(const GateMatrix& matrix,
+                               const std::vector<bool>& fixed,
+                               Index fixed_bits) {
+  const int k = matrix.num_qubits();
+  QUASAR_CHECK(static_cast<int>(fixed.size()) == k,
+               "condition_gate: flag count must match arity");
+  const auto diag = matrix.diagonal_qubits();
+  std::vector<int> free_qubits;
+  int fixed_count = 0;
+  for (int j = 0; j < k; ++j) {
+    if (fixed[j]) {
+      QUASAR_CHECK(diag[j],
+                   "condition_gate: matrix acts non-diagonally on a fixed "
+                   "(global) qubit — it cannot be specialized");
+      ++fixed_count;
+    } else {
+      free_qubits.push_back(j);
+    }
+  }
+
+  // Build the base index with the fixed bits in place.
+  Index base = 0;
+  {
+    int fi = 0;
+    for (int j = 0; j < k; ++j) {
+      if (fixed[j]) {
+        base = set_bit(base, j, get_bit(fixed_bits, fi));
+        ++fi;
+      }
+    }
+  }
+
+  ConditionalGate result;
+  const int free_k = static_cast<int>(free_qubits.size());
+  GateMatrix sub = GateMatrix::zero(free_k);
+  const Index dim = index_pow2(free_k);
+  for (Index r = 0; r < dim; ++r) {
+    Index row = base;
+    for (int j = 0; j < free_k; ++j) {
+      row = set_bit(row, free_qubits[j], get_bit(r, j));
+    }
+    for (Index c = 0; c < dim; ++c) {
+      Index col = base;
+      for (int j = 0; j < free_k; ++j) {
+        col = set_bit(col, free_qubits[j], get_bit(c, j));
+      }
+      sub.at(r, c) = matrix.at(row, col);
+    }
+  }
+  result.is_identity =
+      sub.distance(GateMatrix::identity(free_k)) < 1e-14;
+  if (free_k == 0) result.phase = sub.at(0, 0);
+  result.matrix = std::move(sub);
+  return result;
+}
+
+}  // namespace quasar

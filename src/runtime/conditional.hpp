@@ -1,0 +1,38 @@
+/// \file conditional.hpp
+/// \brief Global-gate specialization (paper Sec. 3.5).
+///
+/// A gate that acts diagonally on its global qubits block-diagonalizes
+/// over the global bit values: on a rank whose global bits are b, the
+/// gate reduces to the sub-matrix M_b on its local qubits. Examples from
+/// the paper: a global CZ becomes a conditional phase or a local Z; a
+/// global T becomes a pure phase absorbed later; a CNOT with a global
+/// control becomes a rank-conditional X.
+#pragma once
+
+#include <vector>
+
+#include "gates/matrix.hpp"
+
+namespace quasar {
+
+/// Result of conditioning a gate on fixed values of some of its qubits.
+struct ConditionalGate {
+  /// Sub-matrix on the remaining (non-fixed) gate qubits. 0-qubit (1x1)
+  /// when every qubit was fixed; then `phase` carries the entry.
+  GateMatrix matrix = GateMatrix::identity(0);
+  /// True when the sub-matrix is the identity (nothing to apply).
+  bool is_identity = false;
+  /// Convenience: matrix.at(0,0) when the sub-matrix is 0-qubit.
+  Amplitude phase{1.0, 0.0};
+};
+
+/// Conditions `matrix` on fixed bit values for the gate-local qubits
+/// flagged in `fixed`; `fixed_bits` packs the values in ascending
+/// gate-local qubit order (bit i of fixed_bits = value of the i-th fixed
+/// qubit). Throws quasar::Error unless the matrix acts diagonally on
+/// every fixed qubit.
+ConditionalGate condition_gate(const GateMatrix& matrix,
+                               const std::vector<bool>& fixed,
+                               Index fixed_bits);
+
+}  // namespace quasar

@@ -1,0 +1,378 @@
+#include "runtime/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "kernels/swap.hpp"
+#include "runtime/conditional.hpp"
+
+namespace quasar {
+
+DistributedSimulator::DistributedSimulator(int num_qubits, int num_local,
+                                           ApplyOptions options,
+                                           StorageOptions storage)
+    : cluster_(num_qubits, num_local, std::move(storage)),
+      options_(options) {
+  mapping_.resize(num_qubits);
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+  pending_phase_.assign(cluster_.num_ranks(), Amplitude{1.0, 0.0});
+}
+
+void DistributedSimulator::init_basis(Index index) {
+  cluster_.init_basis(index);
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+  std::fill(pending_phase_.begin(), pending_phase_.end(),
+            Amplitude{1.0, 0.0});
+}
+
+void DistributedSimulator::init_uniform() {
+  cluster_.init_uniform();
+  std::iota(mapping_.begin(), mapping_.end(), 0);
+  std::fill(pending_phase_.begin(), pending_phase_.end(),
+            Amplitude{1.0, 0.0});
+}
+
+void DistributedSimulator::run(const Circuit& circuit,
+                               const Schedule& schedule) {
+  QUASAR_CHECK(schedule.num_qubits == num_qubits() &&
+                   schedule.num_local == num_local(),
+               "run: schedule was built for a different configuration");
+  QUASAR_CHECK(schedule.options.build_matrices,
+               "run: schedule lacks fused matrices "
+               "(ScheduleOptions::build_matrices was false)");
+  for (const Stage& stage : schedule.stages) {
+    transition(mapping_, stage.qubit_to_location);
+    mapping_ = stage.qubit_to_location;
+    execute_stage(circuit, stage);
+  }
+}
+
+void DistributedSimulator::run(const Circuit& circuit,
+                               const ScheduleOptions& options) {
+  run(circuit, make_schedule(circuit, options));
+}
+
+void DistributedSimulator::execute_stage(const Circuit& circuit,
+                                         const Stage& stage) {
+  const int l = num_local();
+  for (const StageItem& item : stage.items) {
+    if (item.kind == StageItem::Kind::kCluster) {
+      const Cluster& cluster = stage.clusters[item.cluster];
+      QUASAR_ASSERT(cluster.matrix.has_value());
+      const PreparedGate prepared =
+          prepare_gate(*cluster.matrix, cluster.qubits);
+      for (int r = 0; r < cluster_.num_ranks(); ++r) {
+        apply_gate(cluster_.rank_data(r), l, prepared, options_);
+      }
+    } else {
+      apply_global_op(circuit.op(item.op), stage);
+    }
+  }
+}
+
+void DistributedSimulator::apply_global_op(const GateOp& op,
+                                           const Stage& stage) {
+  const int l = num_local();
+  // Which gate-local qubits sit on global locations, and where the local
+  // ones live.
+  std::vector<bool> fixed(op.arity(), false);
+  std::vector<int> global_bits;   // rank-bit positions, ascending gate order
+  std::vector<int> local_locations;
+  for (int j = 0; j < op.arity(); ++j) {
+    const int loc = stage.location(op.qubits[j]);
+    if (loc >= l) {
+      fixed[j] = true;
+      global_bits.push_back(loc - l);
+    } else {
+      local_locations.push_back(loc);
+    }
+  }
+  QUASAR_ASSERT(!global_bits.empty());
+
+  // A non-diagonal phased permutation entirely on global qubits (X, Y,
+  // CNOT, SWAP): pure rank renumbering plus per-rank phases — zero data
+  // volume (Sec. 3.5).
+  if (!op.diagonal && local_locations.empty()) {
+    const auto perm = op.matrix->phased_permutation();
+    QUASAR_CHECK(perm.has_value(),
+                 "apply_global_op: a dense all-global gate reached the "
+                 "executor; the scheduler should have forced a swap");
+    const int ranks = cluster_.num_ranks();
+    std::vector<Index> source_of(ranks);
+    std::vector<Amplitude> next_phase(ranks);
+    for (int r = 0; r < ranks; ++r) {
+      Index col = 0;
+      for (std::size_t j = 0; j < global_bits.size(); ++j) {
+        col |= static_cast<Index>(
+                   get_bit(static_cast<Index>(r), global_bits[j]))
+               << j;
+      }
+      const Index row = perm->target[col];
+      Index dest = static_cast<Index>(r);
+      for (std::size_t j = 0; j < global_bits.size(); ++j) {
+        dest = set_bit(dest, global_bits[j],
+                       get_bit(row, static_cast<int>(j)));
+      }
+      source_of[dest] = static_cast<Index>(r);
+      next_phase[dest] = pending_phase_[r] * perm->phase[col];
+    }
+    cluster_.permute_ranks(source_of);
+    pending_phase_ = std::move(next_phase);
+    return;
+  }
+
+  // The conditioned sub-gate depends only on the rank's bits at
+  // global_bits; cache per bit pattern.
+  std::map<Index, ConditionalGate> cache;
+  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+    Index pattern = 0;
+    for (std::size_t i = 0; i < global_bits.size(); ++i) {
+      pattern |= static_cast<Index>(
+                     get_bit(static_cast<Index>(r), global_bits[i]))
+                 << i;
+    }
+    auto it = cache.find(pattern);
+    if (it == cache.end()) {
+      it = cache.emplace(pattern,
+                         condition_gate(*op.matrix, fixed, pattern)).first;
+    }
+    const ConditionalGate& cond = it->second;
+    if (cond.is_identity) continue;
+    if (cond.matrix.num_qubits() == 0) {
+      // Pure phase: deferred and absorbed at gather/analysis time
+      // (Sec. 3.5: "a global phase, which can be absorbed").
+      pending_phase_[r] *= cond.phase;
+      continue;
+    }
+    const PreparedGate prepared = prepare_gate(cond.matrix, local_locations);
+    apply_gate(cluster_.rank_data(r), l, prepared, options_);
+  }
+}
+
+void DistributedSimulator::transition(const std::vector<int>& from,
+                                      const std::vector<int>& to) {
+  if (from == to) return;
+  const int n = num_qubits();
+  const int l = num_local();
+  std::vector<int> cur = from;
+  std::vector<Qubit> at(n);  // location -> qubit
+  for (Qubit q = 0; q < n; ++q) at[cur[q]] = q;
+
+  auto do_local_swap = [&](int p, int s) {
+    if (p == s) return;
+    cluster_.local_swap(p, s, options_);
+    const Qubit qp = at[p], qs = at[s];
+    std::swap(at[p], at[s]);
+    cur[qp] = s;
+    cur[qs] = p;
+  };
+
+  // Qubits crossing the local/global boundary.
+  std::vector<Qubit> incoming, outgoing;  // to-local / to-global
+  for (Qubit q = 0; q < n; ++q) {
+    const bool was_global = cur[q] >= l;
+    const bool is_global = to[q] >= l;
+    if (was_global && !is_global) incoming.push_back(q);
+    if (!was_global && is_global) outgoing.push_back(q);
+  }
+  QUASAR_ASSERT(incoming.size() == outgoing.size());
+  const int q_move = static_cast<int>(incoming.size());
+
+  if (q_move > 0) {
+    // Deferred phases are per-rank scalars; an all-to-all moves
+    // amplitudes between ranks, so the phases must be materialized
+    // first (the paper instead folds them into the next gate matrix;
+    // flushing here is equivalent and keeps cluster matrices shared
+    // across ranks).
+    for (int r = 0; r < cluster_.num_ranks(); ++r) {
+      if (pending_phase_[r] != Amplitude{1.0, 0.0}) {
+        apply_global_phase(cluster_.rank_data(r), l, pending_phase_[r],
+                           options_.num_threads);
+        pending_phase_[r] = Amplitude{1.0, 0.0};
+      }
+    }
+    // 1. Park the outgoing qubits in the top-q local slots.
+    std::size_t next_out = 0;
+    for (int slot = l - q_move; slot < l; ++slot) {
+      const bool already_outgoing =
+          std::find(outgoing.begin(), outgoing.end(), at[slot]) !=
+          outgoing.end();
+      if (already_outgoing) continue;
+      while (cur[outgoing[next_out]] >= l - q_move) ++next_out;
+      do_local_swap(cur[outgoing[next_out]], slot);
+      ++next_out;
+    }
+    // 2. One (group) all-to-all exchanging the incoming qubits' global
+    // locations with the top-q local slots, pairing ascending.
+    std::vector<int> global_locations;
+    for (Qubit q : incoming) global_locations.push_back(cur[q]);
+    std::sort(global_locations.begin(), global_locations.end());
+    cluster_.alltoall_swap(global_locations);
+    for (int i = 0; i < q_move; ++i) {
+      const int gloc = global_locations[i];
+      const int lloc = l - q_move + i;
+      const Qubit qg = at[gloc], ql = at[lloc];
+      std::swap(at[gloc], at[lloc]);
+      cur[qg] = lloc;
+      cur[ql] = gloc;
+    }
+  }
+
+  // 3. Local-local permutation (improves kernel locality, Sec. 3.4).
+  for (int loc = 0; loc < l; ++loc) {
+    Qubit wanted = -1;
+    for (Qubit q = 0; q < n; ++q) {
+      if (to[q] == loc) {
+        wanted = q;
+        break;
+      }
+    }
+    QUASAR_ASSERT(wanted >= 0);
+    if (cur[wanted] != loc) do_local_swap(cur[wanted], loc);
+  }
+
+  // 4. Global-global permutation = rank renumbering (zero volume).
+  bool global_moves = false;
+  for (Qubit q = 0; q < n; ++q) global_moves |= cur[q] != to[q];
+  if (global_moves) {
+    const int g = n - l;
+    std::vector<int> perm(g);
+    for (int j = 0; j < g; ++j) {
+      const Qubit q = at[l + j];  // currently at global bit j
+      perm[to[q] - l] = j;        // new rank bit (to[q]-l) = old bit j
+    }
+    bool identity = true;
+    for (int j = 0; j < g; ++j) identity &= perm[j] == j;
+    if (!identity) {
+      cluster_.renumber_ranks(perm);
+      // The deferred per-rank phases move with their slices.
+      std::vector<Amplitude> next_phase(pending_phase_.size());
+      for (int r = 0; r < cluster_.num_ranks(); ++r) {
+        Index src = 0;
+        for (int j = 0; j < g; ++j) {
+          src |= static_cast<Index>(get_bit(static_cast<Index>(r), j))
+                 << perm[j];
+        }
+        next_phase[r] = pending_phase_[src];
+      }
+      pending_phase_.swap(next_phase);
+    }
+  }
+}
+
+StateVector DistributedSimulator::gather() const {
+  const int n = num_qubits();
+  QUASAR_CHECK(n <= 28, "gather: state too large to reassemble");
+  const int l = num_local();
+  StateVector out(n);
+  const Index local_mask = index_pow2(l) - 1;
+  for (Index p = 0; p < out.size(); ++p) {
+    Index machine = 0;
+    for (int q = 0; q < n; ++q) {
+      machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
+    }
+    const int rank = static_cast<int>(machine >> l);
+    out[p] = cluster_.rank_data(rank)[machine & local_mask] *
+             pending_phase_[rank];
+  }
+  return out;
+}
+
+Amplitude DistributedSimulator::amplitude(Index program_index) const {
+  QUASAR_CHECK(program_index < index_pow2(num_qubits()),
+               "amplitude: basis index out of range");
+  const int l = num_local();
+  Index machine = 0;
+  for (int q = 0; q < num_qubits(); ++q) {
+    machine |= static_cast<Index>(get_bit(program_index, q)) << mapping_[q];
+  }
+  const int rank = static_cast<int>(machine >> l);
+  return cluster_.rank_data(rank)[machine & (cluster_.local_size() - 1)] *
+         pending_phase_[rank];
+}
+
+std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
+  QUASAR_CHECK(count >= 0, "sample count must be non-negative");
+  const int l = num_local();
+  const Index local_size = cluster_.local_size();
+
+  // Pass 1: per-rank probability mass (an allreduce at scale).
+  std::vector<Real> rank_mass(cluster_.num_ranks(), 0.0);
+  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+    const Amplitude* data = cluster_.rank_data(r);
+    Real mass = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : mass)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(local_size);
+         ++i) {
+      mass += std::norm(data[i]);
+    }
+    rank_mass[r] = mass;
+  }
+
+  // Sorted thresholds resolved rank by rank, then amplitude by amplitude.
+  std::vector<Real> thresholds(count);
+  for (auto& u : thresholds) u = rng.uniform_real();
+  std::sort(thresholds.begin(), thresholds.end());
+
+  std::vector<Index> outcomes;
+  outcomes.reserve(count);
+  std::size_t next = 0;
+  Real before_rank = 0.0;
+  for (int r = 0; r < cluster_.num_ranks() && next < thresholds.size();
+       ++r) {
+    const Real rank_end = before_rank + rank_mass[r];
+    if (thresholds[next] >= rank_end) {
+      before_rank = rank_end;
+      continue;
+    }
+    const Amplitude* data = cluster_.rank_data(r);
+    Real cumulative = before_rank;
+    for (Index i = 0; i < local_size && next < thresholds.size(); ++i) {
+      cumulative += std::norm(data[i]);
+      while (next < thresholds.size() && thresholds[next] < cumulative) {
+        // Convert the machine index to program order via the mapping.
+        const Index machine = (static_cast<Index>(r) << l) | i;
+        Index program = 0;
+        for (int q = 0; q < num_qubits(); ++q) {
+          program |= static_cast<Index>(get_bit(machine, mapping_[q])) << q;
+        }
+        outcomes.push_back(program);
+        ++next;
+      }
+    }
+    before_rank = rank_end;
+  }
+  // Rounding leftovers land on the last basis state of the last rank.
+  while (next++ < thresholds.size()) {
+    Index program = 0;
+    const Index machine = index_pow2(num_qubits()) - 1;
+    for (int q = 0; q < num_qubits(); ++q) {
+      program |= static_cast<Index>(get_bit(machine, mapping_[q])) << q;
+    }
+    outcomes.push_back(program);
+  }
+  return outcomes;
+}
+
+Real DistributedSimulator::entropy() const {
+  Real total = 0.0;
+  const Index size = cluster_.local_size();
+  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+    const Amplitude* data = cluster_.rank_data(r);
+    Real partial = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : partial)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(size); ++i) {
+      const Real p = std::norm(data[i]);
+      if (p > 0.0) partial -= p * std::log(p);
+    }
+    total += partial;  // the "final reduction" of Sec. 4.2.2
+  }
+  return total;
+}
+
+}  // namespace quasar

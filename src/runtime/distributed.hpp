@@ -1,0 +1,87 @@
+/// \file distributed.hpp
+/// \brief Multi-node simulator: schedule execution over a VirtualCluster.
+///
+/// Implements the paper's preferred multi-node scheme (Sec. 3.4): keep a
+/// stage's gates local, then perform a global-to-local swap realized as
+/// local bit swaps + one (group) all-to-all + local bit swaps, plus the
+/// Sec. 3.5 specializations (diagonal global gates applied in place as
+/// rank-conditional phases/sub-gates, pure phases deferred and absorbed,
+/// global permutations as rank renumbering).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/rng.hpp"
+#include "runtime/virtual_cluster.hpp"
+#include "sched/schedule.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Distributed statevector simulator over 2^(n-l) virtual ranks.
+class DistributedSimulator {
+ public:
+  DistributedSimulator(int num_qubits, int num_local,
+                       ApplyOptions options = {},
+                       StorageOptions storage = {});
+
+  int num_qubits() const noexcept { return cluster_.num_qubits(); }
+  int num_local() const noexcept { return cluster_.num_local(); }
+
+  /// State initialization (resets the current mapping to identity).
+  void init_basis(Index index);
+  void init_uniform();
+
+  /// Executes `schedule` (built for the same qubit/local counts) of
+  /// `circuit`. May be called repeatedly; the qubit mapping carries over.
+  void run(const Circuit& circuit, const Schedule& schedule);
+
+  /// Schedules `circuit` with `options` and executes it.
+  void run(const Circuit& circuit, const ScheduleOptions& options);
+
+  /// Reassembles the full state vector in program-qubit order, including
+  /// deferred phases. Only for n small enough to hold twice.
+  StateVector gather() const;
+
+  /// Distributed reductions.
+  Real norm_squared() const { return cluster_.norm_squared(); }
+  Real entropy() const;
+
+  /// Amplitude of one program-order basis state (includes deferred
+  /// phases). In a real MPI deployment this is a single point-to-point
+  /// read from the owning rank.
+  Amplitude amplitude(Index program_index) const;
+  /// |amplitude|^2 of one basis state.
+  Real probability(Index program_index) const {
+    return std::norm(amplitude(program_index));
+  }
+
+  /// Samples `count` program-order outcomes from |amplitude|^2 without
+  /// reassembling the state: one pass accumulates per-rank probability
+  /// masses (an allreduce at scale), a second pass resolves each sorted
+  /// threshold inside its owning rank.
+  std::vector<Index> sample(int count, Rng& rng) const;
+
+  /// Communication counters accumulated so far.
+  const CommStats& stats() const { return cluster_.stats(); }
+
+  /// Current program-qubit -> bit-location mapping.
+  const std::vector<int>& mapping() const { return mapping_; }
+
+  /// Underlying virtual cluster (benchmarks read per-rank slices).
+  const VirtualCluster& cluster() const { return cluster_; }
+
+ private:
+  /// Re-arranges the distributed state from mapping `from` to `to`.
+  void transition(const std::vector<int>& from, const std::vector<int>& to);
+  void execute_stage(const Circuit& circuit, const Stage& stage);
+  void apply_global_op(const GateOp& op, const Stage& stage);
+
+  VirtualCluster cluster_;
+  ApplyOptions options_;
+  std::vector<int> mapping_;
+  std::vector<Amplitude> pending_phase_;
+};
+
+}  // namespace quasar

@@ -1,0 +1,72 @@
+#include "runtime/rank_storage.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+RankStorage::RankStorage(Index count, const StorageOptions& options)
+    : count_(count) {
+  QUASAR_CHECK(count > 0, "RankStorage: empty buffer");
+  if (options.medium == StorageMedium::kMemory) {
+    heap_.assign(count, Amplitude{0.0, 0.0});
+    data_ = heap_.data();
+    return;
+  }
+  // Disk mode: unlinked temporary file + shared mapping.
+  std::string path = options.directory + "/quasar_rank_XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  QUASAR_CHECK(fd >= 0, "RankStorage: cannot create backing file in " +
+                            options.directory);
+  ::unlink(path.c_str());  // anonymous: vanishes when unmapped
+  const std::size_t bytes = count * sizeof(Amplitude);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    throw Error("RankStorage: cannot size backing file (disk full?)");
+  }
+  void* mapping =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  QUASAR_CHECK(mapping != MAP_FAILED, "RankStorage: mmap failed");
+  data_ = static_cast<Amplitude*>(mapping);
+  mapped_bytes_ = bytes;
+  // ftruncate already zero-fills; nothing more to do.
+}
+
+RankStorage::~RankStorage() { release(); }
+
+RankStorage::RankStorage(RankStorage&& other) noexcept {
+  *this = std::move(other);
+}
+
+RankStorage& RankStorage::operator=(RankStorage&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  heap_ = std::move(other.heap_);
+  // Moved-from heap vectors keep no storage; re-derive the pointer.
+  data_ = other.mapped_bytes_ > 0 ? other.data_ : heap_.data();
+  count_ = other.count_;
+  mapped_bytes_ = other.mapped_bytes_;
+  other.data_ = nullptr;
+  other.count_ = 0;
+  other.mapped_bytes_ = 0;
+  return *this;
+}
+
+void RankStorage::release() noexcept {
+  if (mapped_bytes_ > 0) {
+    ::munmap(data_, mapped_bytes_);
+    mapped_bytes_ = 0;
+  }
+  heap_.clear();
+  data_ = nullptr;
+  count_ = 0;
+}
+
+}  // namespace quasar

@@ -1,0 +1,63 @@
+/// \file rank_storage.hpp
+/// \brief Rank-local amplitude storage: DRAM or file-backed (Sec. 5).
+///
+/// The paper's outlook: with only two all-to-alls for a whole depth-25
+/// circuit, the state vector could live on solid-state drives. This
+/// class makes that concrete — a rank's slice can be backed by an
+/// anonymous (unlinked) file on any filesystem, mmap'ed shared, so the
+/// kernels stream through the page cache to disk instead of DRAM. The
+/// VirtualCluster works identically over either medium.
+#pragma once
+
+#include <string>
+
+#include "core/aligned.hpp"
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Where rank slices live.
+enum class StorageMedium {
+  kMemory,  ///< cache-line-aligned heap allocation (default)
+  kDisk,    ///< mmap'ed unlinked file (SSD-backed state, Sec. 5 outlook)
+};
+
+/// Storage configuration for a VirtualCluster.
+struct StorageOptions {
+  StorageMedium medium = StorageMedium::kMemory;
+  /// Directory for the backing files in kDisk mode.
+  std::string directory = "/tmp";
+};
+
+/// A move-only buffer of amplitudes on the chosen medium. Disk-backed
+/// buffers are unlinked at creation, so they vanish when released (or if
+/// the process dies).
+class RankStorage {
+ public:
+  RankStorage() = default;
+  /// Allocates and zero-fills `count` amplitudes.
+  RankStorage(Index count, const StorageOptions& options);
+  ~RankStorage();
+
+  RankStorage(RankStorage&& other) noexcept;
+  RankStorage& operator=(RankStorage&& other) noexcept;
+  RankStorage(const RankStorage&) = delete;
+  RankStorage& operator=(const RankStorage&) = delete;
+
+  Amplitude* data() noexcept { return data_; }
+  const Amplitude* data() const noexcept { return data_; }
+  Index size() const noexcept { return count_; }
+  bool on_disk() const noexcept { return mapped_bytes_ > 0; }
+
+ private:
+  void release() noexcept;
+
+  Amplitude* data_ = nullptr;
+  Index count_ = 0;
+  /// Nonzero iff mmap'ed (disk mode); the munmap length.
+  std::size_t mapped_bytes_ = 0;
+  /// Heap storage in memory mode.
+  AlignedVector<Amplitude> heap_;
+};
+
+}  // namespace quasar

@@ -1,0 +1,189 @@
+#include "runtime/virtual_cluster.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "kernels/swap.hpp"
+
+namespace quasar {
+
+VirtualCluster::VirtualCluster(int num_qubits, int num_local,
+                               StorageOptions storage)
+    : num_qubits_(num_qubits), num_local_(num_local),
+      storage_(std::move(storage)) {
+  QUASAR_CHECK(num_local >= 1 && num_local <= num_qubits,
+               "VirtualCluster: num_local must be in [1, num_qubits]");
+  QUASAR_CHECK(num_qubits - num_local <= 12,
+               "VirtualCluster: at most 2^12 simulated ranks");
+  QUASAR_CHECK(num_qubits - num_local <= num_local,
+               "VirtualCluster: needs g <= l so a full swap is possible");
+  buffers_.reserve(index_pow2(num_global()));
+  for (Index r = 0; r < index_pow2(num_global()); ++r) {
+    buffers_.emplace_back(local_size(), storage_);
+  }
+}
+
+void VirtualCluster::init_basis(Index index) {
+  QUASAR_CHECK(index < index_pow2(num_qubits_), "basis index out of range");
+  for (auto& buffer : buffers_) {
+    std::fill(buffer.data(), buffer.data() + buffer.size(),
+              Amplitude{0.0, 0.0});
+  }
+  buffers_[index >> num_local_].data()[index & (local_size() - 1)] = 1.0;
+}
+
+void VirtualCluster::init_uniform() {
+  const double value = std::pow(2.0, -0.5 * num_qubits_);
+  for (auto& buffer : buffers_) {
+    std::fill(buffer.data(), buffer.data() + buffer.size(),
+              Amplitude{value, 0.0});
+  }
+}
+
+void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations) {
+  const int q = static_cast<int>(global_locations.size());
+  QUASAR_CHECK(q >= 1 && q <= num_global(),
+               "alltoall_swap: need 1..g global locations");
+  for (int i = 0; i < q; ++i) {
+    QUASAR_CHECK(global_locations[i] >= num_local_ &&
+                     global_locations[i] < num_qubits_,
+                 "alltoall_swap: location is not global");
+    QUASAR_CHECK(i == 0 || global_locations[i] > global_locations[i - 1],
+                 "alltoall_swap: locations must be ascending");
+  }
+  // Swap global bits G = global_locations with local bits
+  // [l-q, l): rank bits at positions (G[i] - l) exchange with the top-q
+  // local index bits. Low (l-q) bits are untouched => block copies.
+  const int l = num_local_;
+  const Index block = index_pow2(l - q);
+  const Index top_count = index_pow2(q);
+  const int ranks = num_ranks();
+
+  std::vector<RankStorage> next;
+  next.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) next.emplace_back(local_size(), storage_);
+
+  for (int r = 0; r < ranks; ++r) {
+    // Bits of r at the swapped positions, packed.
+    Index r_swapped = 0;
+    for (int i = 0; i < q; ++i) {
+      r_swapped |= static_cast<Index>(
+                       get_bit(static_cast<Index>(r),
+                               global_locations[i] - l))
+                   << i;
+    }
+    for (Index h = 0; h < top_count; ++h) {
+      // Destination rank: replace the swapped bits with h.
+      Index dest_rank = static_cast<Index>(r);
+      for (int i = 0; i < q; ++i) {
+        dest_rank = set_bit(dest_rank, global_locations[i] - l,
+                            get_bit(h, i));
+      }
+      // Destination local block: top-q bits become r_swapped.
+      std::memcpy(next[dest_rank].data() + r_swapped * block,
+                  buffers_[r].data() + h * block,
+                  block * sizeof(Amplitude));
+    }
+  }
+  buffers_.swap(next);
+
+  ++stats_.alltoalls;
+  // Each rank keeps one of 2^q blocks and sends the rest.
+  stats_.bytes_sent_per_rank +=
+      (local_size() - block) * kBytesPerAmplitude;
+}
+
+void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
+  const int g = num_global();
+  QUASAR_CHECK(static_cast<int>(perm.size()) == g,
+               "renumber_ranks: permutation must cover all global bits");
+  const int ranks = num_ranks();
+  std::vector<RankStorage> next(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    Index src = 0;
+    for (int j = 0; j < g; ++j) {
+      QUASAR_CHECK(perm[j] >= 0 && perm[j] < g, "renumber_ranks: bad perm");
+      src |= static_cast<Index>(get_bit(static_cast<Index>(r), j))
+             << perm[j];
+    }
+    // perm is a bijection, so each source buffer moves exactly once.
+    next[static_cast<Index>(r)] = std::move(buffers_[src]);
+  }
+  buffers_ = std::move(next);
+  ++stats_.rank_renumberings;
+}
+
+void VirtualCluster::permute_ranks(const std::vector<Index>& source_of) {
+  const int ranks = num_ranks();
+  QUASAR_CHECK(static_cast<int>(source_of.size()) == ranks,
+               "permute_ranks: must cover every rank");
+  std::vector<bool> used(ranks, false);
+  for (Index src : source_of) {
+    QUASAR_CHECK(src < static_cast<Index>(ranks) && !used[src],
+                 "permute_ranks: not a bijection");
+    used[src] = true;
+  }
+  std::vector<RankStorage> next(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    next[r] = std::move(buffers_[source_of[r]]);
+  }
+  buffers_ = std::move(next);
+  ++stats_.rank_renumberings;
+}
+
+void VirtualCluster::local_swap(int p, int q, const ApplyOptions& options) {
+  QUASAR_CHECK(p >= 0 && p < num_local_ && q >= 0 && q < num_local_,
+               "local_swap: locations must be local");
+  for (auto& buffer : buffers_) {
+    apply_bit_swap(buffer.data(), num_local_, p, q, options.num_threads);
+  }
+  ++stats_.local_swap_sweeps;
+}
+
+void VirtualCluster::pairwise_global_gate(const GateMatrix& gate,
+                                          int location,
+                                          const ApplyOptions& options) {
+  (void)options;
+  QUASAR_CHECK(gate.num_qubits() == 1,
+               "pairwise_global_gate expects a single-qubit gate");
+  QUASAR_CHECK(location >= num_local_ && location < num_qubits_,
+               "pairwise_global_gate: location must be global");
+  const Index bit = index_pow2(location - num_local_);
+  const Amplitude m00 = gate.at(0, 0), m01 = gate.at(0, 1);
+  const Amplitude m10 = gate.at(1, 0), m11 = gate.at(1, 1);
+  const Index half = local_size() / 2;
+
+  for (Index r0 = 0; r0 < static_cast<Index>(num_ranks()); ++r0) {
+    if (r0 & bit) continue;
+    const Index r1 = r0 | bit;
+    Amplitude* a = buffers_[r0].data();
+    Amplitude* b = buffers_[r1].data();
+    // In the scheme of [19], rank r0 computes the lower-half pairs and
+    // rank r1 the upper half, after exchanging half the state vector
+    // each way; the result is another half-exchange back. The net data
+    // motion is 2 x half the local state per rank; the arithmetic below
+    // is what both ranks jointly produce.
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(2 * half); ++i) {
+      const Amplitude va = a[i], vb = b[i];
+      a[i] = m00 * va + m01 * vb;
+      b[i] = m10 * va + m11 * vb;
+    }
+  }
+  stats_.pairwise_exchanges += 2;
+  stats_.bytes_sent_per_rank += 2 * half * kBytesPerAmplitude;
+}
+
+Real VirtualCluster::norm_squared() const {
+  Real total = 0.0;
+  for (const auto& buffer : buffers_) {
+    const Amplitude* data = buffer.data();
+    for (Index i = 0; i < buffer.size(); ++i) total += std::norm(data[i]);
+  }
+  return total;
+}
+
+}  // namespace quasar

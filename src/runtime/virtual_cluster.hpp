@@ -1,0 +1,96 @@
+/// \file virtual_cluster.hpp
+/// \brief In-process stand-in for the MPI machine (see DESIGN.md §3).
+///
+/// Holds 2^g rank-local state-vector slices of 2^l amplitudes each and
+/// implements the communication primitives of Sec. 3.4 bit-exactly:
+///   - the (group) all-to-all that swaps q global qubits with the q
+///     highest-order local qubits (Fig. 3);
+///   - rank renumbering (global permutations, e.g. a CNOT on global
+///     qubits, Sec. 3.5);
+///   - per-rank local bit swaps (executed with the swap kernels);
+///   - the baseline pairwise half-state exchange of [19]/[5].
+/// Every primitive updates CommStats. A real MPI backend would implement
+/// the same primitives SPMD-style behind the same call signatures.
+#pragma once
+
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "core/types.hpp"
+#include "gates/matrix.hpp"
+#include "kernels/apply.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/rank_storage.hpp"
+
+namespace quasar {
+
+/// 2^g ranks, each owning 2^l amplitudes.
+class VirtualCluster {
+ public:
+  /// \param num_qubits total qubits n; \param num_local local qubits l.
+  /// g = n - l global qubits => 2^(n-l) ranks. `storage` selects DRAM or
+  /// SSD-backed rank slices (Sec. 5 outlook).
+  explicit VirtualCluster(int num_qubits, int num_local,
+                          StorageOptions storage = {});
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  int num_local() const noexcept { return num_local_; }
+  int num_global() const noexcept { return num_qubits_ - num_local_; }
+  int num_ranks() const noexcept {
+    return static_cast<int>(index_pow2(num_global()));
+  }
+  Index local_size() const noexcept { return index_pow2(num_local_); }
+
+  /// Mutable access to one rank's slice.
+  Amplitude* rank_data(int rank) { return buffers_[rank].data(); }
+  const Amplitude* rank_data(int rank) const { return buffers_[rank].data(); }
+  /// Storage configuration in effect.
+  const StorageOptions& storage() const noexcept { return storage_; }
+
+  /// Initializes the distributed state to the basis state |index>.
+  void init_basis(Index index);
+  /// Initializes every amplitude to 2^(-n/2) (post-Hadamard-layer state).
+  void init_uniform();
+
+  /// Swaps the global bit-locations `global_locations` (all >= l, sorted
+  /// ascending) with the highest |global_locations| local bit-locations,
+  /// via one (group) all-to-all. Swapping all g globals is one world
+  /// all-to-all.
+  void alltoall_swap(const std::vector<int>& global_locations);
+
+  /// Applies a permutation of the global bit-locations by renumbering
+  /// ranks (zero data volume). perm maps global-bit j (0-based within the
+  /// global bits) to the global bit whose value it takes: new rank bit j
+  /// = old rank bit perm[j].
+  void renumber_ranks(const std::vector<int>& perm);
+
+  /// General rank renumbering: after the call, rank r holds what rank
+  /// source_of[r] held. Must be a bijection. Used for global
+  /// permutation gates (X/CNOT/SWAP on global qubits, Sec. 3.5) whose
+  /// action is a rank permutation that need not be a bit permutation.
+  void permute_ranks(const std::vector<Index>& source_of);
+
+  /// Swaps two local bit-locations on every rank (kernel sweep).
+  void local_swap(int p, int q, const ApplyOptions& options = {});
+
+  /// Baseline [19] primitive: applies a dense single-qubit gate on global
+  /// bit-location `location` using two pairwise half-state exchanges.
+  void pairwise_global_gate(const GateMatrix& gate, int location,
+                            const ApplyOptions& options = {});
+
+  /// Total squared norm across ranks.
+  Real norm_squared() const;
+
+  /// Communication counters.
+  const CommStats& stats() const noexcept { return stats_; }
+  CommStats& stats() noexcept { return stats_; }
+
+ private:
+  int num_qubits_;
+  int num_local_;
+  StorageOptions storage_;
+  std::vector<RankStorage> buffers_;
+  CommStats stats_;
+};
+
+}  // namespace quasar

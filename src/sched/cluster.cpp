@@ -1,0 +1,160 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace quasar::detail {
+
+namespace {
+
+/// Scans `gates` (op indices in order) and returns those joinable into a
+/// cluster over bit-location set `locations` (sorted). A gate joins when
+/// all its qubits' locations are in the set and none of its qubits was
+/// blocked; a gate that cannot join blocks its qubits, preserving
+/// per-qubit program order across clusters.
+std::vector<std::size_t> scan_joinable(const Circuit& circuit,
+                                       const std::vector<std::size_t>& gates,
+                                       const std::vector<int>& location_of,
+                                       const std::vector<bool>& in_set) {
+  std::vector<std::size_t> joined;
+  std::vector<bool> blocked(circuit.num_qubits(), false);
+  for (std::size_t op_index : gates) {
+    const GateOp& op = circuit.op(op_index);
+    bool can = true;
+    for (Qubit q : op.qubits) {
+      if (blocked[q] || !in_set[location_of[q]]) {
+        can = false;
+        break;
+      }
+    }
+    if (can) {
+      joined.push_back(op_index);
+    } else {
+      for (Qubit q : op.qubits) blocked[q] = true;
+    }
+  }
+  return joined;
+}
+
+}  // namespace
+
+void build_stage_items(const Circuit& circuit, const ScheduleOptions& options,
+                       Stage& stage) {
+  const int num_local = options.num_local;
+  const auto& location_of = stage.qubit_to_location;
+  stage.clusters.clear();
+  stage.items.clear();
+
+  std::vector<std::size_t> remaining = stage.gates;
+  std::vector<bool> in_set(circuit.num_qubits() + num_local, false);
+
+  while (!remaining.empty()) {
+    const std::size_t head_index = remaining.front();
+    const GateOp& head = circuit.op(head_index);
+
+    // Gates with a global qubit run via specialization, un-clustered.
+    bool head_global = false;
+    for (Qubit q : head.qubits) head_global |= location_of[q] >= num_local;
+    if (head_global) {
+      StageItem item;
+      item.kind = StageItem::Kind::kGlobalOp;
+      item.op = head_index;
+      stage.items.push_back(item);
+      remaining.erase(remaining.begin());
+      continue;
+    }
+
+    // Seed the location set with the head gate's locations.
+    std::vector<int> locations;
+    for (Qubit q : head.qubits) locations.push_back(location_of[q]);
+    std::sort(locations.begin(), locations.end());
+    QUASAR_CHECK(static_cast<int>(locations.size()) <= options.kmax,
+                 "cluster seed wider than kmax; raise kmax");
+
+    std::fill(in_set.begin(), in_set.end(), false);
+    for (int loc : locations) in_set[loc] = true;
+    std::vector<std::size_t> best_join =
+        scan_joinable(circuit, remaining, location_of, in_set);
+
+    // Greedily add the local location that absorbs the most extra gates
+    // (Sec. 3.6.1: "greedily try to increase the number of qubits k
+    // within a cluster ... small local search").
+    while (static_cast<int>(locations.size()) < options.kmax) {
+      int best_loc = -1;
+      std::vector<std::size_t> best_candidate;
+      for (int loc = 0; loc < num_local; ++loc) {
+        if (in_set[loc]) continue;
+        in_set[loc] = true;
+        auto joined = scan_joinable(circuit, remaining, location_of, in_set);
+        in_set[loc] = false;
+        if (joined.size() > best_candidate.size()) {
+          best_candidate = std::move(joined);
+          best_loc = loc;
+        }
+      }
+      if (best_loc < 0 || best_candidate.size() <= best_join.size()) break;
+      in_set[best_loc] = true;
+      locations.insert(
+          std::lower_bound(locations.begin(), locations.end(), best_loc),
+          best_loc);
+      best_join = std::move(best_candidate);
+    }
+
+    QUASAR_ASSERT(!best_join.empty() && best_join.front() == head_index);
+
+    Cluster cluster;
+    cluster.qubits = locations;
+    cluster.ops = best_join;
+    if (options.build_matrices) {
+      cluster.matrix = fuse_cluster(circuit, cluster, location_of);
+      cluster.diagonal = cluster.matrix->is_diagonal();
+    } else {
+      cluster.diagonal = false;
+    }
+    StageItem item;
+    item.kind = StageItem::Kind::kCluster;
+    item.cluster = stage.clusters.size();
+    stage.clusters.push_back(std::move(cluster));
+    stage.items.push_back(item);
+
+    // Remove the absorbed gates from the remaining list.
+    std::vector<std::size_t> still;
+    still.reserve(remaining.size() - best_join.size());
+    std::size_t take = 0;
+    for (std::size_t op_index : remaining) {
+      if (take < best_join.size() && best_join[take] == op_index) {
+        ++take;
+      } else {
+        still.push_back(op_index);
+      }
+    }
+    QUASAR_ASSERT(take == best_join.size());
+    remaining.swap(still);
+  }
+}
+
+GateMatrix fuse_cluster(const Circuit& circuit, const Cluster& cluster,
+                        const std::vector<int>& location_of) {
+  const int k = cluster.width();
+  // Cluster-local position of each bit-location.
+  auto position_of = [&](int location) {
+    const auto it = std::lower_bound(cluster.qubits.begin(),
+                                     cluster.qubits.end(), location);
+    QUASAR_CHECK(it != cluster.qubits.end() && *it == location,
+                 "fuse_cluster: gate location outside the cluster");
+    return static_cast<int>(it - cluster.qubits.begin());
+  };
+  GateMatrix fused = GateMatrix::identity(k);
+  for (std::size_t op_index : cluster.ops) {
+    const GateOp& op = circuit.op(op_index);
+    std::vector<int> positions(op.arity());
+    for (int j = 0; j < op.arity(); ++j) {
+      positions[j] = position_of(location_of[op.qubits[j]]);
+    }
+    fused = op.matrix->embed(k, positions) * fused;
+  }
+  return fused;
+}
+
+}  // namespace quasar::detail

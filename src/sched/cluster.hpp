@@ -1,0 +1,23 @@
+/// \file cluster.hpp
+/// \brief Internal: merging stage gates into k-qubit clusters.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace quasar::detail {
+
+/// Clusters the ordered `gates` of one stage (Sec. 3.6.1 step 2). Fills
+/// `stage.clusters` and `stage.items`. Gates touching global locations
+/// (possible only via diagonal/specialized action) become kGlobalOp
+/// items; all-local gates are merged greedily into clusters of width
+/// <= kmax, growing the cluster qubit set one location at a time towards
+/// the set that absorbs the most gates.
+void build_stage_items(const Circuit& circuit, const ScheduleOptions& options,
+                       Stage& stage);
+
+/// Fuses the ops of a cluster into one matrix over its (ascending)
+/// bit-locations. `location_of[q]` maps program qubit -> bit-location.
+GateMatrix fuse_cluster(const Circuit& circuit, const Cluster& cluster,
+                        const std::vector<int>& location_of);
+
+}  // namespace quasar::detail

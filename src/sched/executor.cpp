@@ -1,0 +1,59 @@
+#include "sched/executor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "kernels/swap.hpp"
+
+namespace quasar {
+
+void run_fused(StateVector& state, const Circuit& circuit,
+               const Schedule& schedule, const ApplyOptions& apply) {
+  QUASAR_CHECK(circuit.num_qubits() == state.num_qubits(),
+               "run_fused: circuit/state qubit count mismatch");
+  QUASAR_CHECK(schedule.num_local == schedule.num_qubits &&
+                   schedule.stages.size() == 1,
+               "run_fused: needs a single-node (one-stage) schedule");
+  QUASAR_CHECK(schedule.options.build_matrices,
+               "run_fused: schedule lacks fused matrices");
+  const Stage& stage = schedule.stages.front();
+  const int n = state.num_qubits();
+
+  // Realize the stage's qubit mapping: bit-location to[q] must carry
+  // program qubit q. perm[j] = old location of the qubit headed to j.
+  bool identity = true;
+  for (Qubit q = 0; q < n; ++q) {
+    identity &= stage.qubit_to_location[q] == q;
+  }
+  if (!identity) {
+    std::vector<int> perm(n);
+    for (Qubit q = 0; q < n; ++q) perm[stage.qubit_to_location[q]] = q;
+    apply_bit_permutation(state.data(), n, perm, apply.num_threads);
+  }
+
+  for (const StageItem& item : stage.items) {
+    QUASAR_ASSERT(item.kind == StageItem::Kind::kCluster);
+    const Cluster& cluster = stage.clusters[item.cluster];
+    apply_gate(state.data(), n, prepare_gate(*cluster.matrix, cluster.qubits),
+               apply);
+  }
+
+  if (!identity) {
+    // Permute back to program order: inverse mapping.
+    std::vector<int> inverse(n);
+    for (Qubit q = 0; q < n; ++q) inverse[q] = stage.qubit_to_location[q];
+    apply_bit_permutation(state.data(), n, inverse, apply.num_threads);
+  }
+}
+
+void run_fused(StateVector& state, const Circuit& circuit,
+               const FusedRunOptions& options) {
+  ScheduleOptions sched;
+  sched.num_local = circuit.num_qubits();
+  sched.kmax = std::min(options.kmax, circuit.num_qubits());
+  sched.qubit_mapping = options.qubit_mapping;
+  run_fused(state, circuit, make_schedule(circuit, sched), options.apply);
+}
+
+}  // namespace quasar

@@ -1,0 +1,129 @@
+#include "sched/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace quasar::detail {
+
+std::vector<int> optimize_qubit_mapping(const Circuit& circuit,
+                                        const ScheduleOptions& options) {
+  // Provisional schedule with the identity mapping, matrices off.
+  ScheduleOptions provisional = options;
+  provisional.qubit_mapping = false;
+  provisional.build_matrices = false;
+  const Schedule schedule = make_schedule(circuit, provisional);
+
+  const int n = circuit.num_qubits();
+  const int num_local = options.num_local;
+
+  // Collect cluster qubit sets in *program qubit* terms.
+  std::vector<std::vector<Qubit>> cluster_qubits;
+  for (const Stage& stage : schedule.stages) {
+    // location -> program qubit for this stage.
+    std::vector<Qubit> qubit_at(n, -1);
+    for (Qubit q = 0; q < n; ++q) qubit_at[stage.qubit_to_location[q]] = q;
+    for (const Cluster& cluster : stage.clusters) {
+      std::vector<Qubit> qs;
+      for (int loc : cluster.qubits) qs.push_back(qubit_at[loc]);
+      cluster_qubits.push_back(std::move(qs));
+    }
+  }
+
+  // Only qubits local in the FIRST stage are re-mapped; the scheduler
+  // controls later stages' mappings itself.
+  const Stage& first = schedule.stages.front();
+  std::vector<Qubit> first_local;
+  for (Qubit q = 0; q < n; ++q) {
+    if (first.qubit_to_location[q] < num_local) first_local.push_back(q);
+  }
+
+  std::vector<bool> cluster_active(cluster_qubits.size(), true);
+  std::vector<bool> assigned(n, false);
+  std::vector<int> mapping(n, -1);
+
+  auto count_for = [&](Qubit q) {
+    int count = 0;
+    for (std::size_t c = 0; c < cluster_qubits.size(); ++c) {
+      if (!cluster_active[c]) continue;
+      if (std::find(cluster_qubits[c].begin(), cluster_qubits[c].end(), q) !=
+          cluster_qubits[c].end()) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  const int low = std::min(options.mapping_low_locations, num_local);
+  std::vector<Qubit> group_two;  // qubits assigned to locations 4..7
+  for (int loc = 0; loc < low; ++loc) {
+    Qubit best = -1;
+    int best_count = -1;
+    for (Qubit q : first_local) {
+      if (assigned[q]) continue;
+      const int count = count_for(q);
+      if (count > best_count) {
+        best_count = count;
+        best = q;
+      }
+    }
+    if (best < 0) break;
+    assigned[best] = true;
+    mapping[best] = loc;
+    if (loc < 4) {
+      // Ignore every cluster acting on this qubit.
+      for (std::size_t c = 0; c < cluster_qubits.size(); ++c) {
+        if (!cluster_active[c]) continue;
+        if (std::find(cluster_qubits[c].begin(), cluster_qubits[c].end(),
+                      best) != cluster_qubits[c].end()) {
+          cluster_active[c] = false;
+        }
+      }
+    } else {
+      // Locations 4..7: ignore only clusters acting on two of them.
+      group_two.push_back(best);
+      for (std::size_t c = 0; c < cluster_qubits.size(); ++c) {
+        if (!cluster_active[c]) continue;
+        int hits = 0;
+        for (Qubit q : group_two) {
+          if (std::find(cluster_qubits[c].begin(), cluster_qubits[c].end(),
+                        q) != cluster_qubits[c].end()) {
+            ++hits;
+          }
+        }
+        if (hits >= 2) cluster_active[c] = false;
+      }
+    }
+  }
+
+  // Remaining local qubits: descending total cluster count.
+  std::vector<Qubit> rest;
+  for (Qubit q : first_local) {
+    if (!assigned[q]) rest.push_back(q);
+  }
+  std::fill(cluster_active.begin(), cluster_active.end(), true);
+  std::sort(rest.begin(), rest.end(), [&](Qubit a, Qubit b) {
+    const int ca = count_for(a), cb = count_for(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  int next_loc = 0;
+  auto next_free_local = [&]() {
+    while (true) {
+      bool taken = false;
+      for (Qubit q = 0; q < n; ++q) taken |= mapping[q] == next_loc;
+      if (!taken) return next_loc;
+      ++next_loc;
+    }
+  };
+  for (Qubit q : rest) mapping[q] = next_free_local(), ++next_loc;
+
+  // Global qubits keep their first-stage locations.
+  for (Qubit q = 0; q < n; ++q) {
+    if (mapping[q] < 0) mapping[q] = first.qubit_to_location[q];
+  }
+  return mapping;
+}
+
+}  // namespace quasar::detail

@@ -1,0 +1,19 @@
+/// \file mapping.hpp
+/// \brief Internal: cache-associativity-aware qubit mapping (Sec. 3.6.2).
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace quasar::detail {
+
+/// Computes an initial program-qubit -> bit-location mapping that
+/// maximizes the number of clusters acting on low-order bit-locations,
+/// following the paper's greedy heuristic: assign location 0 to the qubit
+/// appearing in the most clusters, ignore those clusters, repeat for
+/// locations 1..3; for locations 4..7, after each assignment only ignore
+/// clusters that act on two of those four locations. Uses a provisional
+/// schedule (identity mapping, no matrices) to obtain the clusters.
+std::vector<int> optimize_qubit_mapping(const Circuit& circuit,
+                                        const ScheduleOptions& options);
+
+}  // namespace quasar::detail

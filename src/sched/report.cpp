@@ -1,0 +1,101 @@
+#include "sched/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+std::string schedule_summary(const Circuit& circuit,
+                             const Schedule& schedule) {
+  std::ostringstream os;
+  os << "schedule: " << circuit.num_qubits() << " qubits ("
+     << schedule.num_local << " local), " << circuit.num_gates()
+     << " gates, " << schedule.stages.size() << " stage(s), "
+     << schedule.num_swaps() << " global-to-local swap(s), "
+     << schedule.num_clusters() << " cluster(s)\n";
+  for (std::size_t s = 0; s < schedule.stages.size(); ++s) {
+    const Stage& stage = schedule.stages[s];
+    std::size_t global_ops = 0;
+    for (const StageItem& item : stage.items) {
+      if (item.kind == StageItem::Kind::kGlobalOp) ++global_ops;
+    }
+    double mean_width = 0.0, mean_gates = 0.0;
+    for (const Cluster& c : stage.clusters) {
+      mean_width += c.width();
+      mean_gates += static_cast<double>(c.ops.size());
+    }
+    if (!stage.clusters.empty()) {
+      mean_width /= static_cast<double>(stage.clusters.size());
+      mean_gates /= static_cast<double>(stage.clusters.size());
+    }
+    os << "  stage " << s << ": " << stage.gates.size() << " gates -> "
+       << stage.clusters.size() << " clusters (mean width " << mean_width
+       << ", mean gates/cluster " << mean_gates << "), " << global_ops
+       << " specialized global op(s)\n";
+    if (s + 1 < schedule.stages.size()) {
+      const Stage& next = schedule.stages[s + 1];
+      os << "    swap:";
+      for (Qubit q = 0; q < circuit.num_qubits(); ++q) {
+        const bool was_global = stage.qubit_to_location[q] >= schedule.num_local;
+        const bool is_global = next.qubit_to_location[q] >= schedule.num_local;
+        if (was_global && !is_global) os << " +q" << q;
+        if (!was_global && is_global) os << " -q" << q;
+      }
+      os << " (one all-to-all)\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_stage(const Circuit& circuit, const Schedule& schedule,
+                         std::size_t stage_index) {
+  QUASAR_CHECK(stage_index < schedule.stages.size(),
+               "render_stage: stage index out of range");
+  const Stage& stage = schedule.stages[stage_index];
+  const int n = circuit.num_qubits();
+
+  // Columns: one per stage item; rows: one per bit-location (high first).
+  std::vector<std::string> cell(n * stage.items.size());
+  auto at = [&](int loc, std::size_t col) -> std::string& {
+    return cell[col * n + loc];
+  };
+  for (std::size_t col = 0; col < stage.items.size(); ++col) {
+    const StageItem& item = stage.items[col];
+    if (item.kind == StageItem::Kind::kCluster) {
+      const Cluster& cluster = stage.clusters[item.cluster];
+      for (int loc : cluster.qubits) {
+        at(loc, col) = "C" + std::to_string(item.cluster);
+      }
+    } else {
+      const GateOp& op = circuit.op(item.op);
+      for (Qubit q : op.qubits) {
+        at(stage.qubit_to_location[q], col) = gate_name(op.kind);
+      }
+    }
+  }
+
+  std::size_t width = 2;
+  for (const auto& s : cell) width = std::max(width, s.size());
+
+  std::ostringstream os;
+  os << "stage " << stage_index << " (" << stage.items.size()
+     << " items; rows are bit-locations, global above the line):\n";
+  for (int loc = n - 1; loc >= 0; --loc) {
+    if (loc == schedule.num_local - 1) {
+      os << "  " << std::string(6 + (width + 1) * stage.items.size(), '-')
+         << "\n";
+    }
+    os << "  b" << loc << (loc < 10 ? " " : "") << " |";
+    for (std::size_t col = 0; col < stage.items.size(); ++col) {
+      std::string s = at(loc, col);
+      s.resize(width, ' ');
+      os << s << ' ';
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace quasar

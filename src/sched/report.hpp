@@ -1,0 +1,23 @@
+/// \file report.hpp
+/// \brief Human-readable schedule rendering (Fig. 4-style stage/cluster
+/// pictures and summary tables).
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace quasar {
+
+/// One-line-per-stage summary: gate counts, cluster counts and widths,
+/// global specialized ops, and the qubit mapping deltas between stages.
+std::string schedule_summary(const Circuit& circuit,
+                             const Schedule& schedule);
+
+/// ASCII rendering of one stage in the style of Fig. 4: one row per
+/// bit-location, one column per stage item; cluster members share a
+/// column label. Intended for small circuits (<= 26 locations).
+std::string render_stage(const Circuit& circuit, const Schedule& schedule,
+                         std::size_t stage_index);
+
+}  // namespace quasar

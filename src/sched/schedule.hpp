@@ -1,0 +1,130 @@
+/// \file schedule.hpp
+/// \brief Schedule data model: stages, clusters, and qubit mappings.
+///
+/// The scheduler (paper Sec. 3.6) turns a circuit into a sequence of
+/// *stages*. Within a stage every gate acts non-diagonally only on local
+/// bit-locations, so the whole stage runs without communication; between
+/// stages a global-to-local swap (one all-to-all) changes which program
+/// qubits are local. Within a stage, gates are merged into k-qubit
+/// *clusters* (k <= kmax) executed by one kernel sweep each.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace quasar {
+
+/// Which gates may be applied to global qubits without communication
+/// (paper Sec. 3.5 / 3.6.1).
+enum class SpecializationMode {
+  /// No specialization: every gate needs all its qubits local.
+  kNone,
+  /// Worst case assumed by the paper's stage finder: multi-qubit diagonal
+  /// gates (CZ) are free on global qubits, but single-qubit gates are
+  /// treated as dense even when they are actually diagonal (T).
+  kWorstCase,
+  /// Full matrix-structure specialization: any gate qubit with diagonal
+  /// action (T, Z, CZ, control qubits of CNOT/CPhase) may stay global.
+  kFull,
+};
+
+/// True if, under `mode`, the gate requires gate-local qubit j to be on a
+/// local bit-location.
+bool requires_local(const GateOp& op, int gate_local_qubit,
+                    SpecializationMode mode);
+
+/// A fused group of gates executed by one k-qubit kernel sweep.
+struct Cluster {
+  /// Bit-locations the fused matrix acts on, strictly ascending; the
+  /// fused matrix's gate-local qubit j lives at qubits[j].
+  std::vector<int> qubits;
+  /// Indices into the source circuit, in execution order.
+  std::vector<std::size_t> ops;
+  /// Fused unitary (present when ScheduleOptions::build_matrices).
+  std::optional<GateMatrix> matrix;
+  /// True if the fused matrix is diagonal.
+  bool diagonal = false;
+
+  int width() const { return static_cast<int>(qubits.size()); }
+};
+
+/// One stage item: either a cluster or a specialized "global" op (a gate
+/// that is diagonal on its global qubits and is applied in place without
+/// communication).
+struct StageItem {
+  enum class Kind { kCluster, kGlobalOp } kind = Kind::kCluster;
+  /// Index into Stage::clusters when kind == kCluster.
+  std::size_t cluster = 0;
+  /// Circuit op index when kind == kGlobalOp.
+  std::size_t op = 0;
+};
+
+/// A communication-free span of the schedule.
+struct Stage {
+  /// Program qubit -> bit-location during this stage (size = num qubits).
+  /// Locations [0, num_local) are local, the rest global.
+  std::vector<int> qubit_to_location;
+  /// All circuit op indices assigned to this stage, in execution order.
+  std::vector<std::size_t> gates;
+  /// Clusters over local bit-locations.
+  std::vector<Cluster> clusters;
+  /// Execution order over clusters and specialized global ops.
+  std::vector<StageItem> items;
+
+  /// Location of a program qubit in this stage.
+  int location(Qubit q) const { return qubit_to_location[q]; }
+};
+
+/// Scheduler options.
+struct ScheduleOptions {
+  /// Number of local qubits l (bit-locations [0, l)). Set equal to the
+  /// circuit width for single-node scheduling.
+  int num_local = 0;
+  /// Maximum cluster width kmax.
+  int kmax = 5;
+  SpecializationMode specialization = SpecializationMode::kWorstCase;
+  /// Cheap search over swap target sets (Sec. 3.6.1 step 1; cuts the
+  /// 36-qubit circuit from two swaps to one).
+  bool swap_search = true;
+  /// Step 3: move trailing gates of a stage into the next stage to kill
+  /// small leftover clusters.
+  bool adjust_swaps = true;
+  /// Build the fused cluster matrices (off for pure counting sweeps).
+  bool build_matrices = true;
+  /// Apply the cache-associativity qubit-mapping heuristic (Sec. 3.6.2)
+  /// to the first stage's local bit-locations.
+  bool qubit_mapping = false;
+  /// Cache ways the mapping heuristic optimizes for (8 on Edison's Ivy
+  /// Bridge, effectively 8 on KNL's shared 16-way L2).
+  int mapping_low_locations = 8;
+};
+
+/// A complete schedule.
+struct Schedule {
+  int num_qubits = 0;
+  int num_local = 0;
+  ScheduleOptions options;
+  std::vector<Stage> stages;
+
+  /// Number of global-to-local swaps (all-to-alls) = stage transitions.
+  int num_swaps() const { return static_cast<int>(stages.size()) - 1; }
+  /// Total clusters over all stages.
+  std::size_t num_clusters() const;
+  /// Total gates covered (must equal the circuit's gate count).
+  std::size_t num_gates() const;
+};
+
+/// Produces a schedule for `circuit`. Throws quasar::Error if options are
+/// inconsistent (num_local < kmax, etc.).
+Schedule make_schedule(const Circuit& circuit, const ScheduleOptions& options);
+
+/// Number of communication-requiring gate executions if the circuit is
+/// run gate-by-gate with a fixed identity layout, as in the baseline
+/// scheme of [5]: a gate counts when it acts densely (mode-aware) on at
+/// least one location >= num_local. The lower panels of Fig. 5.
+int count_global_gates(const Circuit& circuit, int num_local,
+                       SpecializationMode mode);
+
+}  // namespace quasar

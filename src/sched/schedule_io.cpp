@@ -1,0 +1,219 @@
+#include "sched/schedule_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "sched/cluster.hpp"
+
+namespace quasar {
+
+void write_schedule(std::ostream& os, const Schedule& schedule) {
+  os << "schedule " << schedule.num_qubits << ' ' << schedule.num_local
+     << ' ' << schedule.options.kmax << ' ' << schedule.stages.size()
+     << "\n";
+  for (const Stage& stage : schedule.stages) {
+    os << "stage " << stage.gates.size() << "\n";
+    os << "map";
+    for (int loc : stage.qubit_to_location) os << ' ' << loc;
+    os << "\n";
+    os << "gates";
+    for (std::size_t g : stage.gates) os << ' ' << g;
+    os << "\n";
+    for (const StageItem& item : stage.items) {
+      if (item.kind == StageItem::Kind::kCluster) {
+        const Cluster& cluster = stage.clusters[item.cluster];
+        os << "cluster";
+        for (int loc : cluster.qubits) os << ' ' << loc;
+        os << " ;";
+        for (std::size_t g : cluster.ops) os << ' ' << g;
+        os << "\n";
+      } else {
+        os << "global " << item.op << "\n";
+      }
+    }
+  }
+}
+
+std::string schedule_to_string(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+namespace {
+
+/// Line-based token source with one-line lookahead.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(&is) {}
+
+  /// Returns the next non-empty line, or empty optional at EOF.
+  bool next(std::string& line) {
+    while (std::getline(*is_, line)) {
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void push_back(std::string line) {
+    QUASAR_ASSERT(!has_pushback_);
+    pushback_ = std::move(line);
+    has_pushback_ = true;
+  }
+
+  bool next_or_pushed(std::string& line) {
+    if (has_pushback_) {
+      line = std::move(pushback_);
+      has_pushback_ = false;
+      return true;
+    }
+    return next(line);
+  }
+
+ private:
+  std::istream* is_;
+  std::string pushback_;
+  bool has_pushback_ = false;
+};
+
+}  // namespace
+
+Schedule read_schedule(std::istream& is, const Circuit& circuit,
+                       bool build_matrices) {
+  LineReader reader(is);
+  std::string line, keyword;
+
+  Schedule schedule;
+  std::size_t num_stages = 0;
+  QUASAR_CHECK(reader.next(line), "schedule parse error: empty input");
+  {
+    std::istringstream header(line);
+    QUASAR_CHECK(static_cast<bool>(header >> keyword) &&
+                     keyword == "schedule" &&
+                     static_cast<bool>(header >> schedule.num_qubits >>
+                                       schedule.num_local >>
+                                       schedule.options.kmax >> num_stages),
+                 "schedule parse error: bad header");
+  }
+  QUASAR_CHECK(schedule.num_qubits == circuit.num_qubits(),
+               "schedule does not match the circuit's qubit count");
+  schedule.options.num_local = schedule.num_local;
+  schedule.options.build_matrices = build_matrices;
+
+  std::vector<bool> seen(circuit.num_gates(), false);
+
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    Stage stage;
+    std::size_t gate_count = 0;
+    QUASAR_CHECK(reader.next_or_pushed(line),
+                 "schedule parse error: missing stage");
+    {
+      std::istringstream ls(line);
+      QUASAR_CHECK(static_cast<bool>(ls >> keyword) && keyword == "stage" &&
+                       static_cast<bool>(ls >> gate_count),
+                   "schedule parse error: expected 'stage <count>'");
+    }
+    QUASAR_CHECK(reader.next(line), "schedule parse error: missing map");
+    {
+      std::istringstream ls(line);
+      QUASAR_CHECK(static_cast<bool>(ls >> keyword) && keyword == "map",
+                   "schedule parse error: expected 'map'");
+      stage.qubit_to_location.resize(schedule.num_qubits);
+      std::vector<bool> used(schedule.num_qubits, false);
+      for (int& loc : stage.qubit_to_location) {
+        QUASAR_CHECK(static_cast<bool>(ls >> loc) && loc >= 0 &&
+                         loc < schedule.num_qubits && !used[loc],
+                     "schedule parse error: bad mapping");
+        used[loc] = true;
+      }
+    }
+    QUASAR_CHECK(reader.next(line), "schedule parse error: missing gates");
+    {
+      std::istringstream ls(line);
+      QUASAR_CHECK(static_cast<bool>(ls >> keyword) && keyword == "gates",
+                   "schedule parse error: expected 'gates'");
+      stage.gates.resize(gate_count);
+      for (std::size_t& g : stage.gates) {
+        QUASAR_CHECK(static_cast<bool>(ls >> g) && g < circuit.num_gates(),
+                     "schedule parse error: bad gate index");
+        QUASAR_CHECK(!seen[g], "schedule lists a gate twice");
+        seen[g] = true;
+      }
+    }
+
+    std::size_t items_gates = 0;
+    while (reader.next(line)) {
+      std::istringstream ls(line);
+      QUASAR_CHECK(static_cast<bool>(ls >> keyword),
+                   "schedule parse error: blank item");
+      if (keyword == "stage") {
+        reader.push_back(line);
+        break;
+      }
+      if (keyword == "cluster") {
+        Cluster cluster;
+        std::string token;
+        while (ls >> token && token != ";") {
+          const int loc = std::stoi(token);
+          QUASAR_CHECK(loc >= 0 && loc < schedule.num_local,
+                       "schedule parse error: cluster location not local");
+          cluster.qubits.push_back(loc);
+        }
+        QUASAR_CHECK(token == ";",
+                     "schedule parse error: cluster missing ';'");
+        QUASAR_CHECK(
+            std::is_sorted(cluster.qubits.begin(), cluster.qubits.end()) &&
+                std::adjacent_find(cluster.qubits.begin(),
+                                   cluster.qubits.end()) ==
+                    cluster.qubits.end(),
+            "schedule parse error: cluster locations must be sorted and "
+            "distinct");
+        std::size_t g = 0;
+        while (ls >> g) {
+          QUASAR_CHECK(g < circuit.num_gates(),
+                       "schedule parse error: cluster gate out of range");
+          cluster.ops.push_back(g);
+        }
+        QUASAR_CHECK(!cluster.ops.empty(),
+                     "schedule parse error: empty cluster");
+        items_gates += cluster.ops.size();
+        if (build_matrices) {
+          cluster.matrix = detail::fuse_cluster(circuit, cluster,
+                                                stage.qubit_to_location);
+          cluster.diagonal = cluster.matrix->is_diagonal();
+        }
+        StageItem item;
+        item.kind = StageItem::Kind::kCluster;
+        item.cluster = stage.clusters.size();
+        stage.clusters.push_back(std::move(cluster));
+        stage.items.push_back(item);
+      } else if (keyword == "global") {
+        StageItem item;
+        item.kind = StageItem::Kind::kGlobalOp;
+        QUASAR_CHECK(static_cast<bool>(ls >> item.op) &&
+                         item.op < circuit.num_gates(),
+                     "schedule parse error: bad global op index");
+        ++items_gates;
+        stage.items.push_back(item);
+      } else {
+        throw Error("schedule parse error: unexpected keyword '" + keyword +
+                    "'");
+      }
+    }
+    QUASAR_CHECK(items_gates == stage.gates.size(),
+                 "schedule parse error: items do not cover the stage");
+    schedule.stages.push_back(std::move(stage));
+  }
+  QUASAR_CHECK(schedule.num_gates() == circuit.num_gates(),
+               "schedule does not cover every circuit gate");
+  return schedule;
+}
+
+Schedule schedule_from_string(const std::string& text,
+                              const Circuit& circuit, bool build_matrices) {
+  std::istringstream is(text);
+  return read_schedule(is, circuit, build_matrices);
+}
+
+}  // namespace quasar

@@ -1,0 +1,49 @@
+/// \file schedule_io.hpp
+/// \brief Schedule serialization.
+///
+/// The paper reuses one scheduling result "for all instances of the same
+/// size" (Table 1 caption): the stage structure depends only on the
+/// circuit's gate *topology*, not on which random single-qubit gates were
+/// drawn. Persisting a schedule makes that reuse explicit: schedule once,
+/// store, and re-attach to any same-shape circuit.
+///
+/// Format (text, line oriented):
+///
+///     schedule <num_qubits> <num_local> <kmax> <num_stages>
+///     stage <gate_count>
+///     map <location of qubit 0> <location of qubit 1> ...
+///     gates <op indices...>
+///     cluster <location...> ; <op indices...>
+///     global <op index>
+///
+/// Fused matrices are *not* stored; they are rebuilt from the circuit on
+/// load (cheap, and it keeps files small and circuit-independent).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace quasar {
+
+/// Writes the schedule structure (stages, mappings, cluster membership).
+void write_schedule(std::ostream& os, const Schedule& schedule);
+
+/// Serializes to a string.
+std::string schedule_to_string(const Schedule& schedule);
+
+/// Reads a schedule and re-attaches it to `circuit`: validates gate
+/// indices, rebuilds stage items in order, and re-fuses cluster matrices
+/// when `build_matrices`. Throws quasar::Error on malformed input or if
+/// the circuit does not match (gate count, qubit count, cluster
+/// qubit-order consistency).
+Schedule read_schedule(std::istream& is, const Circuit& circuit,
+                       bool build_matrices = true);
+
+/// Parses from a string.
+Schedule schedule_from_string(const std::string& text,
+                              const Circuit& circuit,
+                              bool build_matrices = true);
+
+}  // namespace quasar

@@ -1,0 +1,94 @@
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "sched/cluster.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+#include "sched/stage_finder.hpp"
+
+namespace quasar {
+
+std::size_t Schedule::num_clusters() const {
+  std::size_t total = 0;
+  for (const Stage& stage : stages) total += stage.clusters.size();
+  return total;
+}
+
+std::size_t Schedule::num_gates() const {
+  std::size_t total = 0;
+  for (const Stage& stage : stages) total += stage.gates.size();
+  return total;
+}
+
+Schedule make_schedule(const Circuit& circuit,
+                       const ScheduleOptions& options) {
+  QUASAR_CHECK(options.num_local >= 1 &&
+                   options.num_local <= circuit.num_qubits(),
+               "make_schedule: num_local must be in [1, num_qubits]");
+  QUASAR_CHECK(options.kmax >= 1 && options.kmax <= options.num_local,
+               "make_schedule: kmax must be in [1, num_local]");
+
+  std::vector<int> initial_mapping;
+  if (options.qubit_mapping) {
+    initial_mapping = detail::optimize_qubit_mapping(circuit, options);
+  }
+
+  auto plans = detail::find_stages(circuit, options,
+                                   std::move(initial_mapping));
+
+  auto assemble = [&](const std::vector<detail::StagePlan>& stage_plans) {
+    Schedule schedule;
+    schedule.num_qubits = circuit.num_qubits();
+    schedule.num_local = options.num_local;
+    schedule.options = options;
+    schedule.stages.reserve(stage_plans.size());
+    for (const auto& plan : stage_plans) {
+      Stage stage;
+      stage.qubit_to_location = plan.qubit_to_location;
+      stage.gates = plan.gates;
+      detail::build_stage_items(circuit, options, stage);
+      schedule.stages.push_back(std::move(stage));
+    }
+    return schedule;
+  };
+
+  Schedule schedule = assemble(plans);
+  if (options.adjust_swaps && plans.size() > 1) {
+    // Step 3 (Sec. 3.6.1): move per-qubit-suffix gates across the stage
+    // boundary to kill small trailing clusters — but only keep the
+    // adjustment if it actually reduces the total cluster count (the
+    // paper: "if this is possible without increasing the total number
+    // of global-to-local swaps"; the swap count is unchanged by
+    // construction, so the cluster count is the tiebreaker).
+    auto adjusted_plans = plans;
+    detail::adjust_stage_boundaries(
+        circuit, options, adjusted_plans,
+        /*max_moved=*/static_cast<std::size_t>(options.kmax));
+    Schedule adjusted = assemble(adjusted_plans);
+    if (adjusted.num_clusters() < schedule.num_clusters()) {
+      schedule = std::move(adjusted);
+    }
+  }
+
+  QUASAR_CHECK(schedule.num_gates() == circuit.num_gates(),
+               "internal: schedule lost or duplicated gates");
+  return schedule;
+}
+
+int count_global_gates(const Circuit& circuit, int num_local,
+                       SpecializationMode mode) {
+  QUASAR_CHECK(num_local >= 1, "count_global_gates: bad num_local");
+  int count = 0;
+  for (const GateOp& op : circuit.ops()) {
+    for (int j = 0; j < op.arity(); ++j) {
+      if (op.qubits[j] >= num_local && requires_local(op, j, mode)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace quasar

@@ -1,0 +1,357 @@
+#include "sched/stage_finder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+bool requires_local(const GateOp& op, int gate_local_qubit,
+                    SpecializationMode mode) {
+  switch (mode) {
+    case SpecializationMode::kNone:
+      return true;
+    case SpecializationMode::kWorstCase:
+      // The paper's stage finder assumes every randomly-picked
+      // single-qubit gate is dense; only multi-qubit diagonal structure
+      // (CZ) is exploited.
+      if (op.arity() == 1) return true;
+      return !op.diagonal_on[gate_local_qubit];
+    case SpecializationMode::kFull:
+      return !op.diagonal_on[gate_local_qubit];
+  }
+  return true;
+}
+
+namespace detail {
+
+bool executable_under(const GateOp& op, const std::vector<int>& mapping,
+                      int num_local, SpecializationMode mode) {
+  // A non-diagonal phased-permutation gate (X, Y, CNOT, SWAP) acting
+  // entirely on global qubits is a rank renumbering — zero communication
+  // (Sec. 3.5: a global CNOT "causes merely a re-numbering of ranks").
+  // Diagonal gates follow the per-qubit rules below instead, so the
+  // worst-case mode's "treat single-qubit diagonal gates as dense"
+  // assumption is unaffected.
+  if (mode != SpecializationMode::kNone && !op.diagonal &&
+      op.phased_permutation) {
+    bool all_global = true;
+    for (Qubit q : op.qubits) all_global &= mapping[q] >= num_local;
+    if (all_global) return true;
+  }
+  for (int j = 0; j < op.arity(); ++j) {
+    if (requires_local(op, j, mode) && mapping[op.qubits[j]] >= num_local) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+constexpr std::size_t kInfinity = std::numeric_limits<std::size_t>::max();
+
+/// Tracks which gates remain and per-qubit readiness.
+struct Frontier {
+  const Circuit* circuit;
+  /// Remaining op indices, ascending.
+  std::vector<std::size_t> remaining;
+  /// scheduled[i] true once op i was assigned to a stage.
+  std::vector<bool> scheduled;
+
+  explicit Frontier(const Circuit& c)
+      : circuit(&c), scheduled(c.num_gates(), false) {
+    remaining.resize(c.num_gates());
+    std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  }
+
+  bool empty() const { return remaining.empty(); }
+
+  /// Assigns every executable, order-respecting gate under `mapping` to a
+  /// new stage list, iterating to a fixpoint. Blocked qubits carry the
+  /// per-qubit ordering constraint.
+  std::vector<std::size_t> take_stage(const std::vector<int>& mapping,
+                                      int num_local,
+                                      SpecializationMode mode) {
+    std::vector<std::size_t> stage;
+    std::vector<bool> blocked(circuit->num_qubits(), false);
+    std::vector<std::size_t> still;
+    still.reserve(remaining.size());
+    for (std::size_t op_index : remaining) {
+      const GateOp& op = circuit->op(op_index);
+      bool can = executable_under(op, mapping, num_local, mode);
+      if (can) {
+        for (Qubit q : op.qubits) {
+          if (blocked[q]) {
+            can = false;
+            break;
+          }
+        }
+      }
+      if (can) {
+        stage.push_back(op_index);
+        scheduled[op_index] = true;
+      } else {
+        for (Qubit q : op.qubits) blocked[q] = true;
+        still.push_back(op_index);
+      }
+    }
+    remaining.swap(still);
+    return stage;
+  }
+
+  /// First remaining gate index on each program qubit that uses it
+  /// densely (mode-aware); kInfinity when none.
+  std::vector<std::size_t> next_dense_use(SpecializationMode mode) const {
+    std::vector<std::size_t> next(circuit->num_qubits(), kInfinity);
+    for (std::size_t pos = 0; pos < remaining.size(); ++pos) {
+      const GateOp& op = circuit->op(remaining[pos]);
+      for (int j = 0; j < op.arity(); ++j) {
+        const Qubit q = op.qubits[j];
+        if (next[q] == kInfinity && requires_local(op, j, mode)) {
+          next[q] = pos;
+        }
+      }
+    }
+    return next;
+  }
+};
+
+/// Builds the next-stage mapping: qubits in `globals` move to global
+/// locations; everyone else becomes local. Unmoved qubits keep their
+/// locations; movers fill the freed slots in ascending order (the paper's
+/// "swap global qubits with the lowest-order local qubits" upper bound —
+/// the search below explores better choices at the set level).
+std::vector<int> make_mapping(const std::vector<int>& old_mapping,
+                              const std::vector<bool>& is_global,
+                              int num_local) {
+  const int n = static_cast<int>(old_mapping.size());
+  std::vector<int> mapping(n, -1);
+  std::vector<int> free_local, free_global;
+  std::vector<Qubit> need_local, need_global;
+  // Keep unmoved qubits in place.
+  for (Qubit q = 0; q < n; ++q) {
+    const bool was_global = old_mapping[q] >= num_local;
+    if (was_global == is_global[q]) {
+      mapping[q] = old_mapping[q];
+    } else if (is_global[q]) {
+      need_global.push_back(q);
+    } else {
+      need_local.push_back(q);
+    }
+  }
+  std::vector<bool> used(n, false);
+  for (Qubit q = 0; q < n; ++q) {
+    if (mapping[q] >= 0) used[mapping[q]] = true;
+  }
+  for (int loc = 0; loc < n; ++loc) {
+    if (used[loc]) continue;
+    (loc < num_local ? free_local : free_global).push_back(loc);
+  }
+  QUASAR_ASSERT(free_local.size() == need_local.size());
+  QUASAR_ASSERT(free_global.size() == need_global.size());
+  for (std::size_t i = 0; i < need_local.size(); ++i) {
+    mapping[need_local[i]] = free_local[i];
+  }
+  for (std::size_t i = 0; i < need_global.size(); ++i) {
+    mapping[need_global[i]] = free_global[i];
+  }
+  return mapping;
+}
+
+/// Heuristic global set: the g qubits whose next dense use is farthest
+/// away (ties: prefer keeping currently-global qubits global, to avoid
+/// moving data for nothing).
+std::vector<bool> pick_globals(const std::vector<std::size_t>& next_use,
+                               const std::vector<int>& old_mapping,
+                               int num_local) {
+  const int n = static_cast<int>(next_use.size());
+  const int g = n - num_local;
+  std::vector<Qubit> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](Qubit a, Qubit b) {
+    if (next_use[a] != next_use[b]) return next_use[a] > next_use[b];
+    const bool ga = old_mapping[a] >= num_local;
+    const bool gb = old_mapping[b] >= num_local;
+    if (ga != gb) return ga;
+    return a < b;
+  });
+  std::vector<bool> is_global(n, false);
+  for (int i = 0; i < g; ++i) is_global[order[i]] = true;
+  return is_global;
+}
+
+/// Greedy rollout: number of further stages needed to finish `frontier`
+/// using the base heuristic. Used to score swap candidates.
+int rollout(Frontier frontier, std::vector<int> mapping,
+            const ScheduleOptions& options) {
+  int stages = 0;
+  while (!frontier.empty()) {
+    const auto stage = frontier.take_stage(mapping, options.num_local,
+                                           options.specialization);
+    ++stages;
+    if (frontier.empty()) break;
+    QUASAR_CHECK(!stage.empty() || stages == 1,
+                 "scheduler stalled: a gate needs more dense qubits than "
+                 "there are local locations");
+    const auto next_use = frontier.next_dense_use(options.specialization);
+    mapping = make_mapping(
+        mapping, pick_globals(next_use, mapping, options.num_local),
+        options.num_local);
+  }
+  return stages;
+}
+
+}  // namespace
+
+std::vector<StagePlan> find_stages(const Circuit& circuit,
+                                   const ScheduleOptions& options,
+                                   std::vector<int> initial_mapping) {
+  const int n = circuit.num_qubits();
+  const int num_local = options.num_local;
+  QUASAR_CHECK(num_local >= 1 && num_local <= n,
+               "num_local must be in [1, num_qubits]");
+  if (initial_mapping.empty()) {
+    initial_mapping.resize(n);
+    std::iota(initial_mapping.begin(), initial_mapping.end(), 0);
+  }
+  QUASAR_CHECK(static_cast<int>(initial_mapping.size()) == n,
+               "initial mapping size mismatch");
+
+  // Feasibility: every gate must fit its dense qubits into local slots.
+  for (const GateOp& op : circuit.ops()) {
+    int dense = 0;
+    for (int j = 0; j < op.arity(); ++j) {
+      if (requires_local(op, j, options.specialization)) ++dense;
+    }
+    QUASAR_CHECK(dense <= num_local,
+                 "unschedulable: a gate acts densely on more qubits than "
+                 "there are local locations");
+  }
+
+  Frontier frontier(circuit);
+  std::vector<int> mapping = std::move(initial_mapping);
+  std::vector<StagePlan> plans;
+
+  while (true) {
+    StagePlan plan;
+    plan.qubit_to_location = mapping;
+    plan.gates = frontier.take_stage(mapping, num_local,
+                                     options.specialization);
+    // An empty stage is a wasted swap; the stall penalty in the candidate
+    // scoring makes this unreachable in practice, and the base heuristic
+    // always unblocks the head gate, so the loop cannot live-lock.
+    if (!plan.gates.empty() || plans.empty()) {
+      plans.push_back(std::move(plan));
+    }
+    if (frontier.empty()) break;
+
+    // Choose the next global set.
+    const auto next_use = frontier.next_dense_use(options.specialization);
+    auto base = pick_globals(next_use, mapping, num_local);
+    std::vector<std::vector<bool>> candidates{base};
+
+    if (options.swap_search && num_local < n) {
+      // Boundary exchanges: the sort order near position g is where the
+      // heuristic is least sure; try flipping the qubits adjacent to the
+      // cut (the "cheap search algorithm to find better local qubits to
+      // swap with").
+      std::vector<Qubit> globals, locals;
+      for (Qubit q = 0; q < n; ++q) (base[q] ? globals : locals).push_back(q);
+      std::sort(globals.begin(), globals.end(), [&](Qubit a, Qubit b) {
+        return next_use[a] < next_use[b];  // soonest-needed global first
+      });
+      std::sort(locals.begin(), locals.end(), [&](Qubit a, Qubit b) {
+        return next_use[a] > next_use[b];  // least-needed local first
+      });
+      const int variants = std::min<std::size_t>(
+          3, std::min(globals.size(), locals.size()));
+      for (int v = 0; v < variants; ++v) {
+        auto alt = base;
+        alt[globals[v]] = false;
+        alt[locals[v]] = true;
+        candidates.push_back(std::move(alt));
+      }
+      // One variant exchanging two boundary pairs at once.
+      if (globals.size() >= 2 && locals.size() >= 2) {
+        auto alt = base;
+        alt[globals[0]] = false;
+        alt[locals[0]] = true;
+        alt[globals[1]] = false;
+        alt[locals[1]] = true;
+        candidates.push_back(std::move(alt));
+      }
+    }
+
+    int best_score = std::numeric_limits<int>::max();
+    std::vector<int> best_mapping;
+    for (const auto& candidate : candidates) {
+      auto cand_mapping = make_mapping(mapping, candidate, num_local);
+      int score = 0;
+      if (options.swap_search) {
+        // Candidates that stall (empty next stage) are heavily penalized;
+        // the base heuristic never stalls (the head gate's dense qubits
+        // always have the earliest next use and become local).
+        Frontier probe = frontier;
+        const auto first = probe.take_stage(cand_mapping, num_local,
+                                            options.specialization);
+        score = rollout(frontier, cand_mapping, options);
+        if (first.empty()) score += 1000000;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_mapping = std::move(cand_mapping);
+      }
+      if (!options.swap_search) break;
+    }
+    mapping = best_mapping.empty()
+                  ? make_mapping(mapping, base, num_local)
+                  : std::move(best_mapping);
+  }
+  return plans;
+}
+
+void adjust_stage_boundaries(const Circuit& circuit,
+                             const ScheduleOptions& options,
+                             std::vector<StagePlan>& plans,
+                             std::size_t max_moved) {
+  for (std::size_t s = 0; s + 1 < plans.size(); ++s) {
+    StagePlan& cur = plans[s];
+    StagePlan& next = plans[s + 1];
+    // Walk the stage backwards; a gate may move if it is executable under
+    // the next stage's mapping and no later gate in this stage shares a
+    // qubit with it (per-qubit suffix property).
+    std::vector<bool> blocked(circuit.num_qubits(), false);
+    std::vector<std::size_t> moved;  // reverse order
+    std::vector<bool> move_flag(cur.gates.size(), false);
+    for (std::size_t r = cur.gates.size(); r-- > 0;) {
+      if (moved.size() >= max_moved) break;
+      const GateOp& op = circuit.op(cur.gates[r]);
+      bool can = executable_under(op, next.qubit_to_location,
+                                  options.num_local, options.specialization);
+      for (Qubit q : op.qubits) can = can && !blocked[q];
+      if (can) {
+        moved.push_back(cur.gates[r]);
+        move_flag[r] = true;
+      } else {
+        for (Qubit q : op.qubits) blocked[q] = true;
+      }
+    }
+    if (moved.empty()) continue;
+    std::vector<std::size_t> kept;
+    kept.reserve(cur.gates.size() - moved.size());
+    for (std::size_t r = 0; r < cur.gates.size(); ++r) {
+      if (!move_flag[r]) kept.push_back(cur.gates[r]);
+    }
+    cur.gates.swap(kept);
+    // Prepend in original order.
+    std::reverse(moved.begin(), moved.end());
+    moved.insert(moved.end(), next.gates.begin(), next.gates.end());
+    next.gates.swap(moved);
+  }
+}
+
+}  // namespace detail
+}  // namespace quasar

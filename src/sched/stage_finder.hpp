@@ -1,0 +1,40 @@
+/// \file stage_finder.hpp
+/// \brief Internal: stage decomposition and swap-target selection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace quasar::detail {
+
+/// A stage before clustering: its qubit mapping and ordered gate list.
+struct StagePlan {
+  std::vector<int> qubit_to_location;
+  std::vector<std::size_t> gates;
+};
+
+/// Splits the circuit into communication-free stages (paper Sec. 3.6.1
+/// step 1), choosing the set of global qubits for each stage. The first
+/// stage uses `initial_mapping` (identity if empty). Throws quasar::Error
+/// if some gate can never be executed (more dense qubits than local
+/// locations).
+std::vector<StagePlan> find_stages(const Circuit& circuit,
+                                   const ScheduleOptions& options,
+                                   std::vector<int> initial_mapping = {});
+
+/// Step 3 (Sec. 3.6.1): moves per-qubit-suffix gates of each stage into
+/// the following stage when they are executable there, so small trailing
+/// clusters disappear. `max_moved` bounds how many gates move per stage
+/// boundary. Mutates the plans in place.
+void adjust_stage_boundaries(const Circuit& circuit,
+                             const ScheduleOptions& options,
+                             std::vector<StagePlan>& plans,
+                             std::size_t max_moved);
+
+/// True if op may execute in a stage with the given mapping.
+bool executable_under(const GateOp& op, const std::vector<int>& mapping,
+                      int num_local, SpecializationMode mode);
+
+}  // namespace quasar::detail

@@ -1,0 +1,64 @@
+#include "simulator/noise.hpp"
+
+#include "simulator/observable.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+
+namespace {
+
+const GateMatrix& pauli_matrix(int which) {
+  static const GateMatrix x = gates::x();
+  static const GateMatrix y = gates::y();
+  static const GateMatrix z = gates::z();
+  switch (which) {
+    case 0: return x;
+    case 1: return y;
+    default: return z;
+  }
+}
+
+}  // namespace
+
+TrajectoryStats run_noisy_trajectory(StateVector& state,
+                                     const Circuit& circuit,
+                                     const NoiseModel& noise, Rng& rng,
+                                     const ApplyOptions& options) {
+  QUASAR_CHECK(noise.depolarizing_per_gate >= 0.0 &&
+                   noise.depolarizing_per_gate <= 1.0,
+               "depolarizing probability must be in [0, 1]");
+  QUASAR_CHECK(circuit.num_qubits() == state.num_qubits(),
+               "run_noisy_trajectory: qubit count mismatch");
+  Simulator simulator(state, options);
+  TrajectoryStats stats;
+  for (const GateOp& op : circuit.ops()) {
+    simulator.apply(op);
+    if (noise.depolarizing_per_gate <= 0.0) continue;
+    for (Qubit q : op.qubits) {
+      if (rng.uniform_real() >= noise.depolarizing_per_gate) continue;
+      const int which = static_cast<int>(rng.uniform_int(3));
+      simulator.apply(pauli_matrix(which), {q});
+      ++stats.pauli_events;
+    }
+  }
+  return stats;
+}
+
+Real average_noisy_fidelity(const Circuit& circuit, const NoiseModel& noise,
+                            int trajectories, Rng& rng,
+                            const ApplyOptions& options) {
+  QUASAR_CHECK(trajectories >= 1, "need at least one trajectory");
+  StateVector ideal(circuit.num_qubits());
+  Simulator sim(ideal, options);
+  sim.run(circuit);
+
+  Real total = 0.0;
+  for (int t = 0; t < trajectories; ++t) {
+    StateVector noisy(circuit.num_qubits());
+    run_noisy_trajectory(noisy, circuit, noise, rng, options);
+    total += fidelity(ideal, noisy);
+  }
+  return total / trajectories;
+}
+
+}  // namespace quasar

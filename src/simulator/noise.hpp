@@ -1,0 +1,47 @@
+/// \file noise.hpp
+/// \brief Trajectory-based noise simulation.
+///
+/// The paper motivates circuit simulators for "studies of their
+/// [algorithms'] behavior under noise" (Sec. 1). This module implements
+/// the standard quantum-trajectory method for Pauli channels: after each
+/// gate, each touched qubit suffers a depolarizing event with
+/// probability p (a uniformly random X, Y, or Z). Averaging over
+/// trajectories reproduces the channel; a single trajectory samples it.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "core/rng.hpp"
+#include "kernels/apply.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Noise parameters for run_noisy_trajectory.
+struct NoiseModel {
+  /// Per-qubit depolarizing probability applied after every gate to each
+  /// qubit the gate touches.
+  Real depolarizing_per_gate = 0.0;
+};
+
+/// Statistics of one noisy run.
+struct TrajectoryStats {
+  int pauli_events = 0;  ///< number of inserted error Paulis
+};
+
+/// Runs `circuit` on `state` with stochastic Pauli errors drawn from
+/// rng. Returns how many errors were inserted. Deterministic given the
+/// rng state, so trajectories are reproducible.
+TrajectoryStats run_noisy_trajectory(StateVector& state,
+                                     const Circuit& circuit,
+                                     const NoiseModel& noise, Rng& rng,
+                                     const ApplyOptions& options = {});
+
+/// Average fidelity |<ideal|noisy>|^2 over `trajectories` runs starting
+/// from |0..0>. For small p this tracks the depolarizing prediction
+/// (1 - p)^(total touched-qubit count) — the exponential fidelity decay
+/// that random-circuit benchmarking measures on hardware.
+Real average_noisy_fidelity(const Circuit& circuit, const NoiseModel& noise,
+                            int trajectories, Rng& rng,
+                            const ApplyOptions& options = {});
+
+}  // namespace quasar

@@ -1,0 +1,55 @@
+/// \file observable.hpp
+/// \brief Pauli-string observables and expectation values.
+///
+/// A Pauli string P = P_{q1} ⊗ P_{q2} ⊗ ... maps every basis state to
+/// exactly one basis state (a phased permutation), so <psi|P|psi> is a
+/// single O(2^n) pass with no state copy: sum_j conj(psi_j) * phase(k) *
+/// psi_k with k = j XOR flipmask.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Single-qubit Pauli operator label.
+enum class Pauli { kI, kX, kY, kZ };
+
+/// A product of single-qubit Paulis on distinct qubits.
+class PauliString {
+ public:
+  /// Empty string (identity).
+  PauliString() = default;
+
+  /// Parses e.g. "XIZY": character i acts on qubit i (I entries skipped).
+  /// Throws on characters outside {I, X, Y, Z}.
+  explicit PauliString(const std::string& text);
+
+  /// Adds a factor; throws if the qubit already carries one.
+  void add(Qubit qubit, Pauli op);
+
+  /// Number of non-identity factors.
+  std::size_t weight() const { return factors_.size(); }
+
+  /// The factors, ascending by qubit.
+  const std::vector<std::pair<Qubit, Pauli>>& factors() const {
+    return factors_;
+  }
+
+  /// Highest qubit index used (-1 if identity).
+  Qubit max_qubit() const;
+
+ private:
+  std::vector<std::pair<Qubit, Pauli>> factors_;  // sorted by qubit
+};
+
+/// <psi|P|psi>. Hermitian P gives a real value; the tiny imaginary
+/// residue is dropped. Throws if P touches qubits beyond the state.
+Real expectation(const StateVector& state, const PauliString& pauli);
+
+/// |<a|b>|^2 — state fidelity between two pure states of equal width.
+Real fidelity(const StateVector& a, const StateVector& b);
+
+}  // namespace quasar

@@ -1,0 +1,48 @@
+#include "simulator/reference.hpp"
+
+#include <vector>
+
+#include "core/bits.hpp"
+
+namespace quasar {
+
+void reference_apply(StateVector& state, const GateMatrix& matrix,
+                     const std::vector<int>& bit_locations) {
+  const int n = state.num_qubits();
+  QUASAR_CHECK(n <= 24, "reference_apply is for small test states only");
+  QUASAR_CHECK(matrix.num_qubits() ==
+                   static_cast<int>(bit_locations.size()),
+               "reference_apply: arity mismatch");
+  for (int q : bit_locations) {
+    QUASAR_CHECK(q >= 0 && q < n, "reference_apply: bit-location range");
+  }
+  const Index size = state.size();
+  const Index dim = matrix.dim();
+  std::vector<Amplitude> out(size, Amplitude{0.0, 0.0});
+  // Directly from the definition: out[j] = sum_x M[bits(j), x] in[j with
+  // the gate bits replaced by x].
+  for (Index j = 0; j < size; ++j) {
+    const Index row = gather_bits(j, bit_locations);
+    Amplitude acc{0.0, 0.0};
+    for (Index x = 0; x < dim; ++x) {
+      Index src = j;
+      for (std::size_t b = 0; b < bit_locations.size(); ++b) {
+        src = set_bit(src, bit_locations[b], get_bit(x, static_cast<int>(b)));
+      }
+      acc += matrix.at(row, x) * state[src];
+    }
+    out[j] = acc;
+  }
+  for (Index j = 0; j < size; ++j) state[j] = out[j];
+}
+
+void reference_run(StateVector& state, const Circuit& circuit) {
+  QUASAR_CHECK(circuit.num_qubits() == state.num_qubits(),
+               "reference_run: qubit count mismatch");
+  for (const GateOp& op : circuit.ops()) {
+    std::vector<int> locations(op.qubits.begin(), op.qubits.end());
+    reference_apply(state, *op.matrix, locations);
+  }
+}
+
+}  // namespace quasar

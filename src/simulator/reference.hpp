@@ -1,0 +1,22 @@
+/// \file reference.hpp
+/// \brief Independent brute-force simulator used as the test oracle.
+///
+/// Implements gate application directly from the definition in Sec. 2 —
+/// out-of-place, no prepared-gate machinery, no shared code with the
+/// optimized kernels — so kernel bugs cannot hide in a shared helper.
+/// Only suitable for small qubit counts (tests use n <= 12).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Applies `matrix` to the given bit-locations of `state`, brute force.
+void reference_apply(StateVector& state, const GateMatrix& matrix,
+                     const std::vector<int>& bit_locations);
+
+/// Runs a circuit via reference_apply (program qubit q = bit-location q).
+void reference_run(StateVector& state, const Circuit& circuit);
+
+}  // namespace quasar

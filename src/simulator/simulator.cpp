@@ -1,0 +1,28 @@
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+
+Simulator::Simulator(StateVector& state, ApplyOptions options)
+    : state_(&state), options_(options) {}
+
+void Simulator::apply(const GateMatrix& matrix,
+                      const std::vector<int>& qubits) {
+  apply(prepare_gate(matrix, qubits));
+}
+
+void Simulator::apply(const PreparedGate& gate) {
+  apply_gate(state_->data(), state_->num_qubits(), gate, options_);
+}
+
+void Simulator::apply(const GateOp& op) {
+  std::vector<int> locations(op.qubits.begin(), op.qubits.end());
+  apply(prepare_gate(*op.matrix, locations));
+}
+
+void Simulator::run(const Circuit& circuit) {
+  QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
+               "Simulator::run: circuit/state qubit count mismatch");
+  for (const GateOp& op : circuit.ops()) apply(op);
+}
+
+}  // namespace quasar

@@ -1,0 +1,40 @@
+/// \file simulator.hpp
+/// \brief Single-address-space circuit simulator (the node-level engine).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "kernels/apply.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+
+/// Applies gates and circuits to a StateVector using the optimized
+/// kernels. This is the engine a single rank runs; the distributed
+/// simulator composes per-rank engines with the communication layer.
+class Simulator {
+ public:
+  /// Wraps (does not own) a state vector.
+  explicit Simulator(StateVector& state, ApplyOptions options = {});
+
+  const ApplyOptions& options() const noexcept { return options_; }
+  void set_options(const ApplyOptions& options) { options_ = options; }
+
+  /// Applies a single gate matrix to the given bit-locations.
+  void apply(const GateMatrix& matrix, const std::vector<int>& qubits);
+
+  /// Applies a pre-prepared gate.
+  void apply(const PreparedGate& gate);
+
+  /// Applies one circuit op.
+  void apply(const GateOp& op);
+
+  /// Runs a circuit gate by gate (no clustering). The scheduler-driven
+  /// fused execution lives in runtime/ and sched/.
+  void run(const Circuit& circuit);
+
+ private:
+  StateVector* state_;
+  ApplyOptions options_;
+};
+
+}  // namespace quasar

@@ -1,0 +1,54 @@
+/// \file statevector.hpp
+/// \brief The 2^n-amplitude state vector (paper Sec. 2).
+#pragma once
+
+#include "core/aligned.hpp"
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace quasar {
+
+/// Owns the 2^n complex amplitudes of an n-qubit register. Storage is
+/// cache-line aligned and initialized with a parallel first touch so pages
+/// distribute across NUMA domains (paper Sec. 3.3: "NUMA-aware
+/// initialization of the state vector").
+class StateVector {
+ public:
+  /// Creates |0...0> on `num_qubits` qubits.
+  explicit StateVector(int num_qubits);
+
+  /// Number of qubits n.
+  int num_qubits() const noexcept { return num_qubits_; }
+  /// Number of amplitudes 2^n.
+  Index size() const noexcept { return index_pow2(num_qubits_); }
+
+  Amplitude* data() noexcept { return data_.data(); }
+  const Amplitude* data() const noexcept { return data_.data(); }
+
+  Amplitude& operator[](Index i) { return data_[i]; }
+  const Amplitude& operator[](Index i) const { return data_[i]; }
+
+  /// Resets to the computational basis state |index>.
+  void set_basis_state(Index index);
+
+  /// Sets every amplitude to 2^(-n/2): the state after a Hadamard on every
+  /// qubit of |0..0>. Supremacy simulations start here and skip the
+  /// cycle-0 H layer (paper Sec. 3.6: "initialize the wave function
+  /// directly to (2^{-n/2}, ...)^T").
+  void set_uniform_superposition();
+
+  /// Squared 2-norm; 1 for a valid quantum state.
+  Real norm_squared() const;
+
+  /// Probability of basis state i.
+  Real probability(Index i) const { return std::norm(data_[i]); }
+
+  /// Maximum |amplitude difference| to another state (test helper).
+  Real max_abs_diff(const StateVector& other) const;
+
+ private:
+  int num_qubits_;
+  AlignedVector<Amplitude> data_;
+};
+
+}  // namespace quasar

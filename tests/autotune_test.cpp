@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/apply.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Autotune, DefaultsAreUsable) {
+  for (int k = 1; k <= 12; ++k) {
+    const KernelConfig& cfg = kernel_config(k);
+    EXPECT_GE(cfg.block_rows, 0);
+  }
+  EXPECT_THROW(kernel_config(0), Error);
+  EXPECT_THROW(kernel_config(13), Error);
+}
+
+TEST(Autotune, SelectsOneVariantPerK) {
+  const auto results = autotune_kernels(/*num_qubits=*/16, /*max_k=*/4,
+                                        /*num_threads=*/1);
+  ASSERT_FALSE(results.empty());
+  for (int k = 2; k <= 4; ++k) {
+    int selected = 0;
+    bool any = false;
+    for (const auto& r : results) {
+      if (r.k != k) continue;
+      any = true;
+      EXPECT_GT(r.gflops, 0.0);
+      selected += r.selected;
+    }
+    EXPECT_TRUE(any) << "k=" << k;
+    EXPECT_EQ(selected, 1) << "k=" << k;
+    EXPECT_TRUE(kernel_config(k).tuned);
+    EXPECT_GT(kernel_config(k).block_rows, 0);
+  }
+}
+
+TEST(Autotune, SelectedConfigIsTheFastestMeasured) {
+  const auto results = autotune_kernels(16, 3, 1);
+  double best = 0.0, chosen = 0.0;
+  for (const auto& r : results) {
+    if (r.k != 3) continue;
+    best = std::max(best, r.gflops);
+    if (r.selected) chosen = r.gflops;
+  }
+  EXPECT_DOUBLE_EQ(chosen, best);
+}
+
+TEST(Autotune, Validation) {
+  EXPECT_THROW(autotune_kernels(4, 6), Error);   // state too small
+  EXPECT_THROW(autotune_kernels(40, 4), Error);  // scratch too large
+}
+
+}  // namespace
+}  // namespace quasar

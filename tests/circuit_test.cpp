@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "circuit/analysis.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/io.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Circuit, BuildersAppendExpectedOps) {
+  Circuit c(3);
+  c.h(0);
+  c.cz(0, 1);
+  c.t(2);
+  c.cnot(1, 2);
+  ASSERT_EQ(c.num_gates(), 4u);
+  EXPECT_EQ(c.op(0).kind, GateKind::kH);
+  EXPECT_EQ(c.op(1).qubits, (std::vector<Qubit>{0, 1}));
+  EXPECT_EQ(c.op(3).kind, GateKind::kCNot);
+}
+
+TEST(Circuit, Validation) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.h(-1), Error);
+  EXPECT_THROW(c.cz(1, 1), Error);
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(63), Error);
+}
+
+TEST(Circuit, CustomGateMustBeUnitary) {
+  Circuit c(2);
+  GateMatrix bad(2, {Amplitude{2.0}, Amplitude{0.0}, Amplitude{0.0},
+                     Amplitude{1.0}});
+  EXPECT_THROW(c.append_custom({0}, bad), Error);
+  c.append_custom({0}, gates::h());  // fine
+  EXPECT_EQ(c.num_gates(), 1u);
+}
+
+TEST(Circuit, DiagonalFlagsCached) {
+  Circuit c(3);
+  c.t(0);
+  c.cnot(1, 2);
+  c.h(0);
+  EXPECT_TRUE(c.op(0).diagonal);
+  EXPECT_FALSE(c.op(1).diagonal);
+  EXPECT_TRUE(c.op(1).acts_diagonally_on(1));   // control
+  EXPECT_FALSE(c.op(1).acts_diagonally_on(2));  // target
+  EXPECT_TRUE(c.op(1).acts_diagonally_on(0));   // untouched qubit
+  EXPECT_FALSE(c.op(2).acts_diagonally_on(0));
+}
+
+TEST(Circuit, SharedStandardMatrixIsShared) {
+  Circuit c(2);
+  c.t(0);
+  c.t(1);
+  EXPECT_EQ(c.op(0).matrix.get(), c.op(1).matrix.get());
+}
+
+TEST(Circuit, ExtendRequiresMatchingWidth) {
+  Circuit a(3), b(3), c(4);
+  a.h(0);
+  b.x(1);
+  a.extend(b);
+  EXPECT_EQ(a.num_gates(), 2u);
+  EXPECT_THROW(a.extend(c), Error);
+}
+
+TEST(Analysis, LayerizeRespectsQubitConflicts) {
+  Circuit c(3);
+  c.h(0);       // layer 0
+  c.h(1);       // layer 0
+  c.cz(0, 1);   // layer 1
+  c.h(2);       // layer 0
+  c.cz(1, 2);   // layer 2
+  const auto layers = layerize(c);
+  EXPECT_EQ(layers, (std::vector<int>{0, 0, 1, 0, 2}));
+}
+
+TEST(Analysis, StatsCountKinds) {
+  Circuit c(3);
+  c.h(0);
+  c.h(1);
+  c.cz(0, 1);
+  c.t(2);
+  const CircuitStats stats = analyze(c);
+  EXPECT_EQ(stats.num_gates, 4u);
+  EXPECT_EQ(stats.num_single_qubit, 3u);
+  EXPECT_EQ(stats.num_two_qubit, 1u);
+  EXPECT_EQ(stats.num_diagonal, 2u);  // CZ and T
+  EXPECT_EQ(stats.depth, 2);
+  EXPECT_EQ(stats.by_name.at("H"), 2u);
+}
+
+TEST(Analysis, GatesByQubit) {
+  Circuit c(3);
+  c.h(0);
+  c.cz(0, 2);
+  c.x(1);
+  const auto by_qubit = gates_by_qubit(c);
+  EXPECT_EQ(by_qubit[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(by_qubit[1], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(by_qubit[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(CircuitIo, RoundTripStandardGates) {
+  Circuit c(4);
+  c.h(0);
+  c.cz(1, 3);
+  c.sqrt_x(2);
+  c.sqrt_y(0);
+  c.cnot(0, 1);
+  const Circuit parsed = circuit_from_string(circuit_to_string(c));
+  ASSERT_EQ(parsed.num_gates(), c.num_gates());
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    EXPECT_EQ(parsed.op(i).kind, c.op(i).kind);
+    EXPECT_EQ(parsed.op(i).qubits, c.op(i).qubits);
+  }
+}
+
+TEST(CircuitIo, RoundTripCustomAndParameterized) {
+  Circuit c(3);
+  c.rz(0, 0.7071);
+  Rng rng(3);
+  c.append_custom({1, 2}, gates::cz() * (gates::random_su2(rng).embed(2, {0})));
+  const Circuit parsed = circuit_from_string(circuit_to_string(c));
+  ASSERT_EQ(parsed.num_gates(), 2u);
+  EXPECT_LT(parsed.op(0).matrix->distance(*c.op(0).matrix), 1e-12);
+  EXPECT_LT(parsed.op(1).matrix->distance(*c.op(1).matrix), 1e-12);
+}
+
+TEST(CircuitIo, CycleTagsPreserved) {
+  Circuit c(2);
+  c.append_standard(GateKind::kH, {0}, 0);
+  c.append_standard(GateKind::kCZ, {0, 1}, 3);
+  const Circuit parsed = circuit_from_string(circuit_to_string(c));
+  EXPECT_EQ(parsed.op(0).cycle, 0);
+  EXPECT_EQ(parsed.op(1).cycle, 3);
+}
+
+TEST(CircuitIo, CommentsAndBlanksIgnored) {
+  const Circuit parsed = circuit_from_string(
+      "qubits 2\n# a comment\n\nH 0  # trailing\nCZ 0 1\n");
+  EXPECT_EQ(parsed.num_gates(), 2u);
+}
+
+TEST(CircuitIo, ParseErrors) {
+  EXPECT_THROW(circuit_from_string("H 0\n"), Error);           // no header
+  EXPECT_THROW(circuit_from_string("qubits 2\nBOGUS 0\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 2\nCZ 0\n"), Error);  // arity
+  EXPECT_THROW(circuit_from_string("qubits 2\nH 5\n"), Error);   // range
+}
+
+}  // namespace
+}  // namespace quasar
+
+// -- strip_trailing_diagonals (paper Sec. 3.6) --------------------------
+
+#include "circuit/supremacy.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(StripTrailingDiagonals, DropsOnlyFinalDiagonals) {
+  Circuit c(3);
+  c.t(0);        // kept: a dense gate on qubit 0 follows
+  c.h(0);
+  c.cz(0, 1);    // trailing diagonal -> dropped
+  c.t(2);        // trailing diagonal -> dropped
+  const Circuit stripped = strip_trailing_diagonals(c);
+  ASSERT_EQ(stripped.num_gates(), 2u);
+  EXPECT_EQ(stripped.op(0).kind, GateKind::kT);
+  EXPECT_EQ(stripped.op(1).kind, GateKind::kH);
+}
+
+TEST(StripTrailingDiagonals, CascadesToFixpoint) {
+  Circuit c(2);
+  c.h(0);
+  c.cz(0, 1);  // dropped (then the T below it becomes trailing too)
+  c.t(1);      // dropped only if scanning reaches fixpoint... order:
+  // program order is h, cz, t; backwards scan sees t (diag, drop), then
+  // cz (diag, qubits unsealed, drop), then h (kept).
+  const Circuit stripped = strip_trailing_diagonals(c);
+  ASSERT_EQ(stripped.num_gates(), 1u);
+  EXPECT_EQ(stripped.op(0).kind, GateKind::kH);
+}
+
+TEST(StripTrailingDiagonals, PreservesOutputProbabilities) {
+  SupremacyOptions o;
+  o.rows = 3;
+  o.cols = 3;
+  o.depth = 17;  // ends mid-pattern: trailing CZs exist
+  o.seed = 5;
+  const Circuit full = make_supremacy_circuit(o);
+  const Circuit stripped = strip_trailing_diagonals(full);
+  EXPECT_LT(stripped.num_gates(), full.num_gates());
+
+  StateVector a(9), b(9);
+  reference_run(a, full);
+  reference_run(b, stripped);
+  for (Index i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::norm(a[i]), std::norm(b[i]), 1e-12);
+  }
+  EXPECT_NEAR(entropy(a), entropy(b), 1e-10);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "gates/standard.hpp"
+#include "runtime/conditional.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Conditional, GlobalTGateBecomesPhase) {
+  // T with its only qubit fixed: |0> branch is identity, |1> branch is
+  // the e^{i pi/4} phase (Sec. 3.5).
+  const auto zero = condition_gate(gates::t(), {true}, 0);
+  EXPECT_TRUE(zero.is_identity);
+  const auto one = condition_gate(gates::t(), {true}, 1);
+  EXPECT_FALSE(one.is_identity);
+  EXPECT_EQ(one.matrix.num_qubits(), 0);
+  EXPECT_NEAR(one.phase.real(), std::sqrt(0.5), 1e-15);
+  EXPECT_NEAR(one.phase.imag(), std::sqrt(0.5), 1e-15);
+}
+
+TEST(Conditional, CzWithOneGlobalQubitBecomesZOrIdentity) {
+  // CZ, qubit 1 global: control value 0 -> identity, 1 -> local Z.
+  const auto zero = condition_gate(gates::cz(), {false, true}, 0);
+  EXPECT_TRUE(zero.is_identity);
+  const auto one = condition_gate(gates::cz(), {false, true}, 1);
+  EXPECT_FALSE(one.is_identity);
+  EXPECT_LT(one.matrix.distance(gates::z()), 1e-15);
+}
+
+TEST(Conditional, CzWithBothQubitsGlobal) {
+  // Both fixed: phase -1 only for |11>.
+  for (Index bits = 0; bits < 4; ++bits) {
+    const auto cond = condition_gate(gates::cz(), {true, true}, bits);
+    EXPECT_EQ(cond.matrix.num_qubits(), 0);
+    if (bits == 3) {
+      EXPECT_NEAR(cond.phase.real(), -1.0, 1e-15);
+    } else {
+      EXPECT_TRUE(cond.is_identity);
+    }
+  }
+}
+
+TEST(Conditional, CnotWithGlobalControl) {
+  // CNOT (control = gate qubit 0) with the control fixed: 0 -> identity,
+  // 1 -> X on the target (the paper's rank-conditional bit flip).
+  const auto zero = condition_gate(gates::cnot(), {true, false}, 0);
+  EXPECT_TRUE(zero.is_identity);
+  const auto one = condition_gate(gates::cnot(), {true, false}, 1);
+  EXPECT_LT(one.matrix.distance(gates::x()), 1e-15);
+}
+
+TEST(Conditional, RejectsNonDiagonalFixedQubit) {
+  // Fixing the dense target of a CNOT is not a valid specialization.
+  EXPECT_THROW(condition_gate(gates::cnot(), {false, true}, 0), Error);
+  EXPECT_THROW(condition_gate(gates::h(), {true}, 0), Error);
+}
+
+TEST(Conditional, NoFixedQubitsReturnsOriginal) {
+  const auto cond = condition_gate(gates::cz(), {false, false}, 0);
+  EXPECT_LT(cond.matrix.distance(gates::cz()), 1e-15);
+  EXPECT_FALSE(cond.is_identity);
+}
+
+TEST(Conditional, ValidatesFlagCount) {
+  EXPECT_THROW(condition_gate(gates::cz(), {true}, 0), Error);
+}
+
+TEST(Conditional, CPhaseConditioning) {
+  const double theta = 0.37;
+  const auto one = condition_gate(gates::cphase(theta), {true, false}, 1);
+  EXPECT_LT(one.matrix.distance(gates::phase(theta)), 1e-15);
+}
+
+}  // namespace
+}  // namespace quasar

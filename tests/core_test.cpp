@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "core/aligned.hpp"
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/timing.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(Index{1} << 40), 40);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+}
+
+TEST(Bits, InsertZeroBit) {
+  EXPECT_EQ(insert_zero_bit(0b1011, 2), 0b10011u);
+  EXPECT_EQ(insert_zero_bit(0b1011, 0), 0b10110u);
+  EXPECT_EQ(insert_zero_bit(0, 5), 0u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b111u);
+}
+
+TEST(Bits, GetSetBit) {
+  EXPECT_EQ(get_bit(0b100, 2), 1);
+  EXPECT_EQ(get_bit(0b100, 1), 0);
+  EXPECT_EQ(set_bit(0b100, 0, 1), 0b101u);
+  EXPECT_EQ(set_bit(0b101, 0, 0), 0b100u);
+  EXPECT_EQ(set_bit(0b101, 2, 1), 0b101u);
+}
+
+TEST(IndexExpander, ExpandsAroundPositions) {
+  IndexExpander expander({1, 3});
+  // Counter bits fill positions 0, 2, 4, ... skipping 1 and 3.
+  EXPECT_EQ(expander.expand(0b000), 0b00000u);
+  EXPECT_EQ(expander.expand(0b001), 0b00001u);
+  EXPECT_EQ(expander.expand(0b010), 0b00100u);
+  EXPECT_EQ(expander.expand(0b011), 0b00101u);
+  EXPECT_EQ(expander.expand(0b100), 0b10000u);
+}
+
+TEST(IndexExpander, ExpandCollapseRoundTrip) {
+  IndexExpander expander({0, 2, 5});
+  for (Index i = 0; i < 256; ++i) {
+    const Index x = expander.expand(i);
+    EXPECT_EQ(get_bit(x, 0), 0);
+    EXPECT_EQ(get_bit(x, 2), 0);
+    EXPECT_EQ(get_bit(x, 5), 0);
+    EXPECT_EQ(expander.collapse(x), i);
+  }
+}
+
+TEST(IndexExpander, EnumeratesAllBaseIndices) {
+  IndexExpander expander({1, 2});
+  std::set<Index> seen;
+  for (Index i = 0; i < 16; ++i) seen.insert(expander.expand(i));
+  EXPECT_EQ(seen.size(), 16u);  // distinct
+  for (Index x : seen) {
+    EXPECT_EQ(x & 0b110u, 0u);  // zeros at positions 1, 2
+  }
+}
+
+TEST(IndexExpander, RejectsUnsortedPositions) {
+  EXPECT_THROW(IndexExpander({3, 1}), Error);
+  EXPECT_THROW(IndexExpander({1, 1}), Error);
+}
+
+TEST(Bits, GatherScatterRoundTrip) {
+  const std::vector<int> qs = {0, 3, 4};
+  for (Index x = 0; x < 8; ++x) {
+    const Index scattered = scatter_bits(x, qs);
+    EXPECT_EQ(gather_bits(scattered, qs), x);
+  }
+  EXPECT_EQ(scatter_bits(0b101, qs), (Index{1} << 0) | (Index{1} << 4));
+  EXPECT_EQ(gather_bits(0b10001, qs), 0b101u);
+}
+
+TEST(Bits, GateOffsets) {
+  const auto offsets = make_gate_offsets({1, 4});
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], Index{1} << 1);
+  EXPECT_EQ(offsets[2], Index{1} << 4);
+  EXPECT_EQ(offsets[3], (Index{1} << 1) | (Index{1} << 4));
+}
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  AlignedVector<double> v(100, 0.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlignment, 0u);
+  AlignedVector<Amplitude> w(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kSimdAlignment, 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(1000), b.uniform_int(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.uniform_int(1 << 30) == b.uniform_int(1 << 30);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(7), 7u);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, SplitStreamsDecorrelate) {
+  Rng parent(5);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.uniform_int(1 << 30) == b.uniform_int(1 << 30);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    QUASAR_CHECK(1 == 2, "the message");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+TEST(Timing, TimerAdvances) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(Timing, TimeBestOfRunsAtLeastOnce) {
+  int calls = 0;
+  const double secs = time_best_of([&] { ++calls; }, 0.0);
+  EXPECT_GE(calls, 1);
+  EXPECT_GE(secs, 0.0);
+}
+
+}  // namespace
+}  // namespace quasar

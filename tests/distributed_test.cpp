@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "runtime/distributed.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+
+namespace quasar {
+namespace {
+
+Circuit random_circuit(int n, int gates, std::uint64_t seed,
+                       bool with_cnot = true) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(with_cnot ? 6 : 5));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.h(a); break;
+      case 1: c.t(a); break;
+      case 2: c.sqrt_x(a); break;
+      case 3: c.append_custom({a}, gates::random_su2(rng)); break;
+      case 4: c.cz(a, b); break;
+      case 5: c.cnot(a, b); break;
+    }
+  }
+  return c;
+}
+
+using Param = std::tuple<int /*n*/, int /*l*/, int /*seed*/>;
+
+class DistributedVsReference : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DistributedVsReference, GatheredStateMatches) {
+  const auto [n, l, seed] = GetParam();
+  if (n - l > l) {
+    GTEST_SKIP() << "the global-to-local swap scheme requires g <= l";
+  }
+  const Circuit c = random_circuit(n, 10 * n, seed);
+
+  StateVector expected(n);
+  reference_run(expected, c);
+
+  for (auto mode : {SpecializationMode::kWorstCase,
+                    SpecializationMode::kFull}) {
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = std::min(3, l);
+    o.specialization = mode;
+    DistributedSimulator sim(n, l);
+    sim.init_basis(0);
+    sim.run(c, make_schedule(c, o));
+    EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedVsReference,
+    ::testing::Combine(::testing::Values(6, 8, 10),
+                       ::testing::Values(4, 5),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_l" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Distributed, SupremacyCircuitMatchesReference) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 16;
+  so.seed = 4;
+  const Circuit c = make_supremacy_circuit(so);
+
+  StateVector expected(9);
+  reference_run(expected, c);
+
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 4;
+  DistributedSimulator sim(9, 6);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(Distributed, UniformInitSkipsHadamardLayer) {
+  // Start from the uniform state and run the circuit without its H layer
+  // — matches the full run (Sec. 3.6 trick).
+  SupremacyOptions with_h;
+  with_h.rows = 3;
+  with_h.cols = 3;
+  with_h.depth = 12;
+  with_h.seed = 9;
+  SupremacyOptions without_h = with_h;
+  without_h.initial_hadamards = false;
+
+  StateVector expected(9);
+  reference_run(expected, make_supremacy_circuit(with_h));
+
+  const Circuit c = make_supremacy_circuit(without_h);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  DistributedSimulator sim(9, 5);
+  sim.init_uniform();
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(Distributed, SwapCountMatchesSchedule) {
+  const Circuit c = random_circuit(8, 60, 5);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  const Schedule s = make_schedule(c, o);
+  DistributedSimulator sim(8, 5);
+  sim.init_basis(0);
+  sim.run(c, s);
+  // One all-to-all per stage transition, no more (Sec. 3.6.1 step 1).
+  EXPECT_EQ(sim.stats().alltoalls,
+            static_cast<std::uint64_t>(s.num_swaps()));
+}
+
+TEST(Distributed, DeferredPhasesAreApplied) {
+  // T gates on global qubits produce deferred per-rank phases; gather()
+  // must fold them in.
+  const int n = 6, l = 4;
+  Circuit c(n);
+  c.h(4);  // put weight on the global qubit first (dense -> needs swap or
+           // executes in a later stage; the scheduler decides)
+  c.t(4);
+  c.t(5);
+  c.cz(4, 5);
+
+  StateVector expected(n);
+  reference_run(expected, c);
+
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 2;
+  o.specialization = SpecializationMode::kFull;
+  DistributedSimulator sim(n, l);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-12);
+}
+
+TEST(Distributed, EntropyMatchesGatheredEntropy) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 14;
+  so.seed = 2;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  DistributedSimulator sim(9, 6);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_NEAR(sim.entropy(), entropy(sim.gather()), 1e-9);
+  EXPECT_NEAR(sim.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(Distributed, RunValidatesConfiguration) {
+  const Circuit c = random_circuit(8, 10, 7);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  const Schedule s = make_schedule(c, o);
+  DistributedSimulator wrong(8, 6);
+  EXPECT_THROW(wrong.run(c, s), Error);
+
+  o.build_matrices = false;
+  const Schedule no_matrices = make_schedule(c, o);
+  DistributedSimulator sim(8, 5);
+  EXPECT_THROW(sim.run(c, no_matrices), Error);
+}
+
+TEST(Distributed, SequentialRunsCompose) {
+  // Running two halves of a circuit in two run() calls equals one run.
+  const Circuit full = random_circuit(7, 40, 8);
+  Circuit first(7), second(7);
+  for (std::size_t i = 0; i < full.num_gates(); ++i) {
+    const GateOp& op = full.op(i);
+    (i < 20 ? first : second)
+        .append(op.kind, op.qubits, op.matrix, op.cycle);
+  }
+  ScheduleOptions o;
+  o.num_local = 4;
+  o.kmax = 3;
+
+  DistributedSimulator split(7, 4);
+  split.init_basis(0);
+  split.run(first, make_schedule(first, o));
+  split.run(second, make_schedule(second, o));
+
+  StateVector expected(7);
+  reference_run(expected, full);
+  EXPECT_LT(split.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(Distributed, SingleRankDegeneratesToLocalSimulation) {
+  const Circuit c = random_circuit(6, 40, 9);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  DistributedSimulator sim(6, 6);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_EQ(sim.stats().alltoalls, 0u);
+  StateVector expected(6);
+  reference_run(expected, c);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-11);
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+TEST(Distributed, GlobalPermutationGatesNeedNoCommunication) {
+  // X, Y, CNOT, and SWAP on global qubits are rank renumberings
+  // (Sec. 3.5): the schedule must not add any all-to-all for them.
+  const int n = 7, l = 4;  // globals: 4, 5, 6
+  Circuit c(n);
+  for (Qubit q = 0; q < n; ++q) c.h(q);  // stage 0, all local initially?
+  // The H gates on 4..6 are dense-global and force one swap; everything
+  // after that tests the permutation specialization.
+  c.x(4);
+  c.y(5);
+  c.cnot(5, 6);   // both global: conditional rank flip
+  c.swap(4, 6);   // both global: rank bit exchange
+  c.cz(4, 5);     // diagonal: conditional phase
+
+  StateVector expected(n);
+  reference_run(expected, c);
+
+  for (auto mode : {SpecializationMode::kWorstCase,
+                    SpecializationMode::kFull}) {
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 3;
+    o.specialization = mode;
+    const Schedule s = make_schedule(c, o);
+    DistributedSimulator sim(n, l);
+    sim.init_basis(0);
+    sim.run(c, s);
+    EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-12)
+        << "mode " << static_cast<int>(mode);
+    // Only the dense H gates on global qubits should have cost swaps.
+    EXPECT_LE(sim.stats().alltoalls, 1u);
+    EXPECT_GE(sim.stats().rank_renumberings, 1u);
+  }
+}
+
+TEST(Distributed, PermutationSpecializationReducesSwaps) {
+  // A circuit alternating local work and global X gates: without the
+  // specialization every X would need qubit swaps; with it, none do.
+  const int n = 6, l = 4;
+  Circuit c(n);
+  Rng rng(3);
+  for (int round = 0; round < 4; ++round) {
+    for (Qubit q = 0; q < l; ++q) {
+      c.append_custom({q}, gates::random_su2(rng));
+    }
+    c.x(4 + (round % 2));
+    c.cnot(4, 5);
+  }
+  ScheduleOptions with, without;
+  with.num_local = without.num_local = l;
+  with.kmax = without.kmax = 3;
+  with.specialization = SpecializationMode::kFull;
+  without.specialization = SpecializationMode::kNone;
+  with.build_matrices = without.build_matrices = false;
+  EXPECT_EQ(make_schedule(c, with).num_swaps(), 0);
+  EXPECT_GT(make_schedule(c, without).num_swaps(), 0);
+}
+
+TEST(Distributed, GlobalPermutationWithDeferredPhasesAndSwaps) {
+  // Y on a global qubit leaves per-rank phases; a later swap must
+  // flush them before amplitudes migrate.
+  const int n = 6, l = 4;
+  Circuit c(n);
+  for (Qubit q = 0; q < n; ++q) c.h(q);
+  c.y(5);        // rank renumbering + phases +-i
+  c.h(5);        // dense global: forces a swap AFTER the pending phases
+  c.t(0);
+
+  StateVector expected(n);
+  reference_run(expected, c);
+
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 3;
+  o.specialization = SpecializationMode::kFull;
+  DistributedSimulator sim(n, l);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-12);
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+TEST(DistributedQueries, AmplitudeMatchesGather) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 15;
+  so.seed = 6;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  DistributedSimulator sim(9, 5);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  const StateVector full = sim.gather();
+  Rng rng(1);
+  for (int trial = 0; trial < 64; ++trial) {
+    const Index p = rng.uniform_int(full.size());
+    EXPECT_NEAR(std::abs(sim.amplitude(p) - full[p]), 0.0, 1e-14);
+    EXPECT_NEAR(sim.probability(p), full.probability(p), 1e-14);
+  }
+  EXPECT_THROW(sim.amplitude(full.size()), Error);
+}
+
+TEST(DistributedQueries, SampleMatchesDistribution) {
+  // GHZ-like circuit: only |0..0> and |1..1> occur.
+  Circuit c(8);
+  c.h(0);
+  for (int q = 0; q + 1 < 8; ++q) c.cnot(q, q + 1);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  DistributedSimulator sim(8, 5);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  Rng rng(2);
+  const auto samples = sim.sample(2000, rng);
+  ASSERT_EQ(samples.size(), 2000u);
+  int ones = 0;
+  for (Index s : samples) {
+    ASSERT_TRUE(s == 0 || s == 255) << s;
+    ones += s == 255;
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.5, 0.06);
+}
+
+TEST(DistributedQueries, SampleAgreesWithGatheredSampler) {
+  // The two samplers walk the distribution in different index orders
+  // (machine vs program), so identical thresholds give different —
+  // equally valid — outcomes; compare them statistically via the mean
+  // scaled probability of the sampled outcomes (the XEB statistic).
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 4;
+  so.depth = 14;
+  so.seed = 8;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  DistributedSimulator sim(8, 5);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+
+  Rng rng_a(42), rng_b(43);
+  const auto distributed = sim.sample(4000, rng_a);
+  const StateVector full = sim.gather();
+  const auto gathered = sample_outcomes(full, 4000, rng_b);
+  auto xeb = [&](const std::vector<Index>& samples) {
+    Real total = 0.0;
+    for (Index s : samples) {
+      total += static_cast<Real>(full.size()) * full.probability(s);
+    }
+    return total / static_cast<Real>(samples.size());
+  };
+  EXPECT_NEAR(xeb(distributed), xeb(gathered), 0.15);
+  for (Index s : distributed) {
+    EXPECT_GT(full.probability(s), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,188 @@
+/// Boundary-condition tests: the smallest states, widest gates, trivial
+/// circuits, and degenerate cluster configurations.
+#include <gtest/gtest.h>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/executor.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Edge, OneQubitState) {
+  StateVector s(1);
+  Simulator sim(s);
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  sim.run(c);
+  StateVector expected(1);
+  reference_run(expected, c);
+  EXPECT_LT(s.max_abs_diff(expected), 1e-14);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-14);
+  EXPECT_NEAR(probability_of_one(s, 0) + s.probability(0), 1.0, 1e-12);
+}
+
+TEST(Edge, TwoQubitStateEveryGatePlacement) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    Circuit c(2);
+    c.append_custom({0}, gates::random_su2(rng));
+    c.append_custom({1}, gates::random_su2(rng));
+    c.cz(0, 1);
+    c.cnot(1, 0);
+    c.swap(0, 1);
+    StateVector fast(2), slow(2);
+    Simulator sim(fast);
+    sim.run(c);
+    reference_run(slow, c);
+    EXPECT_LT(fast.max_abs_diff(slow), 1e-13);
+  }
+}
+
+TEST(Edge, GateOnAllQubits) {
+  // k == n: a single matrix on the whole register (outer loop length 1).
+  Rng rng(2);
+  const int n = 5;
+  GateMatrix u = GateMatrix::identity(n);
+  for (int q = 0; q < n; ++q) {
+    u = gates::random_su2(rng).embed(n, {q}) * u;
+  }
+  for (int q = 0; q + 1 < n; ++q) {
+    u = gates::cz().embed(n, {q, q + 1}) * u;
+  }
+  StateVector fast(n), slow(n);
+  fast.set_uniform_superposition();
+  slow.set_uniform_superposition();
+  Simulator sim(fast);
+  sim.apply(u, {0, 1, 2, 3, 4});
+  reference_apply(slow, u, {0, 1, 2, 3, 4});
+  EXPECT_LT(fast.max_abs_diff(slow), 1e-12);
+}
+
+TEST(Edge, WideGateBeyondSpecializedRange) {
+  // k = 7 routes to the scalar fallback via the dispatcher.
+  Rng rng(3);
+  const int n = 9, k = 7;
+  GateMatrix u = GateMatrix::identity(k);
+  for (int q = 0; q < k; ++q) {
+    u = gates::random_su2(rng).embed(k, {q}) * u;
+  }
+  std::vector<int> locations = {0, 2, 3, 4, 6, 7, 8};
+  StateVector fast(n), slow(n);
+  fast.set_uniform_superposition();
+  slow.set_uniform_superposition();
+  Simulator sim(fast);
+  sim.apply(u, locations);
+  reference_apply(slow, u, locations);
+  EXPECT_LT(fast.max_abs_diff(slow), 1e-12);
+}
+
+TEST(Edge, SingleGateCircuitSchedules) {
+  Circuit c(6);
+  c.h(5);
+  ScheduleOptions o;
+  o.num_local = 3;
+  o.kmax = 2;
+  const Schedule s = make_schedule(c, o);
+  EXPECT_EQ(s.num_gates(), 1u);
+  DistributedSimulator sim(6, 3);
+  sim.init_basis(0);
+  sim.run(c, s);
+  StateVector expected(6);
+  reference_run(expected, c);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-13);
+}
+
+TEST(Edge, AllDiagonalCircuitNeedsNoSwaps) {
+  // Only diagonal gates: everything specializes, zero communication,
+  // even though the gates touch global qubits.
+  Circuit c(6);
+  c.t(5);
+  c.cz(4, 5);
+  c.cz(0, 5);
+  c.rz(4, 0.3);
+  c.cphase(3, 5, 0.7);
+  ScheduleOptions o;
+  o.num_local = 3;
+  o.kmax = 2;
+  o.specialization = SpecializationMode::kFull;
+  const Schedule s = make_schedule(c, o);
+  EXPECT_EQ(s.num_swaps(), 0);
+
+  DistributedSimulator sim(6, 3);
+  sim.init_uniform();
+  sim.run(c, s);
+  EXPECT_EQ(sim.stats().alltoalls, 0u);
+  StateVector expected(6);
+  expected.set_uniform_superposition();
+  reference_run(expected, c);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-13);
+}
+
+TEST(Edge, SupremacyDepthOne) {
+  SupremacyOptions o;
+  o.rows = 3;
+  o.cols = 3;
+  o.depth = 1;
+  const Circuit c = make_supremacy_circuit(o);
+  // Cycle 0 Hadamards + the first CZ pattern, no single-qubit gates yet.
+  for (const GateOp& op : c.ops()) {
+    EXPECT_TRUE(op.kind == GateKind::kH || op.kind == GateKind::kCZ);
+  }
+  StateVector fast(9), slow(9);
+  Simulator sim(fast);
+  sim.run(c);
+  reference_run(slow, c);
+  EXPECT_LT(fast.max_abs_diff(slow), 1e-13);
+}
+
+TEST(Edge, FusedRunOnTinyCircuit) {
+  Circuit c(3);
+  c.h(0);
+  StateVector s(3), expected(3);
+  run_fused(s, c);
+  reference_run(expected, c);
+  EXPECT_LT(s.max_abs_diff(expected), 1e-14);
+}
+
+TEST(Edge, MinimumLocalQubits) {
+  // l = g (the tightest legal split): every swap exchanges everything.
+  Circuit c(6);
+  for (Qubit q = 0; q < 6; ++q) c.h(q);
+  c.cz(0, 3);
+  for (Qubit q = 0; q < 6; ++q) c.sqrt_x(q);
+  ScheduleOptions o;
+  o.num_local = 3;
+  o.kmax = 3;
+  DistributedSimulator sim(6, 3);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  StateVector expected(6);
+  reference_run(expected, c);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-12);
+}
+
+TEST(Edge, RepeatedGatesOnOneQubit) {
+  // Exercises per-qubit ordering through clustering: 40 consecutive
+  // dense gates on a single qubit must compose in exact order.
+  Rng rng(8);
+  Circuit c(4);
+  for (int i = 0; i < 40; ++i) {
+    c.append_custom({1}, gates::random_su2(rng));
+  }
+  StateVector fused(4), expected(4);
+  fused.set_uniform_superposition();
+  expected.set_uniform_superposition();
+  run_fused(fused, c);
+  reference_run(expected, c);
+  EXPECT_LT(fused.max_abs_diff(expected), 1e-10);
+}
+
+}  // namespace
+}  // namespace quasar

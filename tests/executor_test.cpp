@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "sched/executor.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+Circuit random_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(5));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.h(a); break;
+      case 1: c.t(a); break;
+      case 2: c.append_custom({a}, gates::random_su2(rng)); break;
+      case 3: c.cz(a, b); break;
+      case 4: c.cnot(a, b); break;
+    }
+  }
+  return c;
+}
+
+class FusedRun : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(FusedRun, MatchesGateByGate) {
+  const int n = 10;
+  const Circuit c = random_circuit(n, 120, GetParam());
+  StateVector plain(n), fused_state(n);
+  Simulator sim(plain);
+  sim.run(c);
+  for (bool mapping : {false, true}) {
+    fused_state.set_basis_state(0);
+    FusedRunOptions options;
+    options.kmax = 4;
+    options.qubit_mapping = mapping;
+    run_fused(fused_state, c, options);
+    EXPECT_LT(fused_state.max_abs_diff(plain), 1e-10)
+        << "mapping=" << mapping;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedRun, ::testing::Values(1, 2, 3));
+
+TEST(FusedRunApi, SupremacyCircuitWithMapping) {
+  SupremacyOptions so;
+  so.rows = 4;
+  so.cols = 3;
+  so.depth = 18;
+  so.seed = 2;
+  const Circuit c = make_supremacy_circuit(so);
+  StateVector expected(12), actual(12);
+  reference_run(expected, c);
+  run_fused(actual, c);
+  EXPECT_LT(actual.max_abs_diff(expected), 1e-10);
+}
+
+TEST(FusedRunApi, ReusableScheduleAcrossStates) {
+  const Circuit c = random_circuit(8, 60, 7);
+  ScheduleOptions o;
+  o.num_local = 8;
+  o.kmax = 5;
+  const Schedule schedule = make_schedule(c, o);
+
+  StateVector a(8), b(8), expected(8);
+  a.set_basis_state(3);
+  b.set_uniform_superposition();
+  run_fused(a, c, schedule);
+  run_fused(b, c, schedule);
+
+  expected.set_basis_state(3);
+  reference_run(expected, c);
+  EXPECT_LT(a.max_abs_diff(expected), 1e-10);
+  EXPECT_NEAR(b.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(FusedRunApi, RejectsMultiStageSchedule) {
+  const Circuit c = random_circuit(8, 60, 8);
+  ScheduleOptions o;
+  o.num_local = 5;  // multi-node schedule
+  o.kmax = 3;
+  const Schedule schedule = make_schedule(c, o);
+  StateVector s(8);
+  if (schedule.stages.size() > 1) {
+    EXPECT_THROW(run_fused(s, c, schedule), Error);
+  }
+  Circuit wrong(7);
+  wrong.h(0);
+  EXPECT_THROW(run_fused(s, wrong), Error);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "fp32/simulator_f32.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+GateMatrix random_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 2; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cnot().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+
+std::vector<int> random_locations(int k, int n, Rng& rng) {
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + rng.uniform_int(n - i)]);
+  }
+  return std::vector<int>(all.begin(), all.begin() + k);
+}
+
+TEST(Fp32State, MemoryIsHalved) {
+  EXPECT_EQ(sizeof(AmplitudeF), 8u);
+  EXPECT_EQ(sizeof(Amplitude), 16u);
+}
+
+TEST(Fp32State, Basics) {
+  StateVectorF s(5);
+  EXPECT_EQ(s.size(), 32u);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-7);
+  s.set_basis_state(7);
+  EXPECT_EQ(s[7], (AmplitudeF{1.0f, 0.0f}));
+  s.set_uniform_superposition();
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-6);
+  EXPECT_NEAR(s.entropy(), 5 * std::log(2.0), 1e-5);
+  EXPECT_THROW(s.set_basis_state(32), Error);
+  EXPECT_THROW(StateVectorF(0), Error);
+}
+
+using SweepParam = std::tuple<int /*n*/, int /*k*/, int /*seed*/>;
+class Fp32KernelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Fp32KernelSweep, MatchesDoublePrecisionReference) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Rng rng(seed * 131 + n * 17 + k);
+  const GateMatrix u = random_unitary(k, rng);
+  const auto locations = random_locations(k, n, rng);
+
+  // Identical random initial state in both precisions.
+  StateVector expected(n);
+  StateVectorF actual(n);
+  Real norm = 0.0;
+  for (Index i = 0; i < expected.size(); ++i) {
+    expected[i] = Amplitude{rng.normal(), rng.normal()};
+    norm += std::norm(expected[i]);
+  }
+  norm = std::sqrt(norm);
+  for (Index i = 0; i < expected.size(); ++i) {
+    expected[i] /= norm;
+    actual[i] = AmplitudeF{static_cast<float>(expected[i].real()),
+                           static_cast<float>(expected[i].imag())};
+  }
+  reference_apply(expected, u, locations);
+  apply_gate_f32(actual.data(), n, prepare_gate_f32(u, locations));
+  EXPECT_LT(actual.max_abs_diff(expected), 2e-6);
+}
+
+TEST_P(Fp32KernelSweep, SimdMatchesScalarFloat) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Rng rng(seed * 7 + k);
+  const GateMatrix u = random_unitary(k, rng);
+  const auto locations = random_locations(k, n, rng);
+  const PreparedGateF gate = prepare_gate_f32(u, locations);
+
+  StateVectorF a(n), b(n);
+  for (Index i = 0; i < a.size(); ++i) {
+    a[i] = AmplitudeF{static_cast<float>(rng.normal()),
+                      static_cast<float>(rng.normal())};
+    b[i] = a[i];
+  }
+  apply_gate_f32(a.data(), n, gate);
+  apply_gate_f32_scalar(b.data(), n, gate);
+  // Same rounding behaviour up to FMA contraction differences.
+  for (Index i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 2e-5f);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 2e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Fp32KernelSweep,
+    ::testing::Combine(::testing::Values(5, 8, 10),
+                       ::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Fp32Kernels, DiagonalPath) {
+  StateVectorF s(6);
+  s.set_uniform_superposition();
+  const PreparedGateF cz = prepare_gate_f32(gates::cz(), {1, 4});
+  EXPECT_TRUE(cz.diagonal);
+  apply_gate_f32(s.data(), 6, cz);
+  // Sign flipped exactly where both bits are set.
+  for (Index i = 0; i < s.size(); ++i) {
+    const bool flip = (i & 2) && (i & 16);
+    EXPECT_EQ(s[i].real() < 0, flip) << i;
+  }
+}
+
+TEST(Fp32Kernels, Validation) {
+  StateVectorF s(4);
+  EXPECT_THROW(
+      apply_gate_f32(s.data(), 4, prepare_gate_f32(gates::h(), {7})),
+      Error);
+  EXPECT_THROW(prepare_gate_f32(gates::cz(), {1, 1}), Error);
+  EXPECT_THROW(
+      apply_diagonal_f32(s.data(), 4, prepare_gate_f32(gates::h(), {0})),
+      Error);
+}
+
+TEST(Fp32Simulator, GhzState) {
+  const int n = 10;
+  StateVectorF s(n);
+  SimulatorF sim(s);
+  Circuit c(n);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cnot(q, q + 1);
+  sim.run(c);
+  EXPECT_NEAR(std::abs(std::complex<double>(s[0])), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(std::abs(std::complex<double>(s[s.size() - 1])),
+              std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-5);
+}
+
+TEST(Fp32Simulator, SupremacyEntropyTracksDouble) {
+  // The Sec. 5 claim rests on float being accurate enough for supremacy
+  // circuits: after a depth-20 12-qubit circuit the float state tracks
+  // the double state to ~1e-5 per amplitude and entropy to ~1e-5.
+  SupremacyOptions o;
+  o.rows = 4;
+  o.cols = 3;
+  o.depth = 20;
+  o.seed = 5;
+  const Circuit c = make_supremacy_circuit(o);
+
+  StateVector d(12);
+  Simulator dsim(d);
+  dsim.run(c);
+
+  StateVectorF f(12);
+  SimulatorF fsim(f);
+  fsim.run(c);
+
+  EXPECT_LT(f.max_abs_diff(d), 5e-5);
+  EXPECT_NEAR(f.entropy(), entropy(d), 1e-4);
+  EXPECT_NEAR(f.norm_squared(), 1.0, 1e-4);
+}
+
+TEST(Fp32Simulator, RunValidatesWidth) {
+  StateVectorF s(3);
+  SimulatorF sim(s);
+  Circuit wrong(4);
+  wrong.h(0);
+  EXPECT_THROW(sim.run(wrong), Error);
+}
+
+}  // namespace
+}  // namespace quasar
+
+#include "fp32/distributed_f32.hpp"
+#include "runtime/distributed.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Fp32Distributed, MatchesDoubleDistributedRun) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 16;
+  so.seed = 21;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 4;
+  const Schedule s = make_schedule(c, o);
+
+  StateVector expected(9);
+  reference_run(expected, c);
+
+  DistributedSimulatorF sim(9, 6);
+  sim.init_basis(0);
+  sim.run(c, s);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 5e-5);
+  EXPECT_NEAR(sim.norm_squared(), 1.0, 1e-4);
+  EXPECT_NEAR(sim.entropy(), entropy(expected), 1e-3);
+  EXPECT_EQ(sim.stats().alltoalls,
+            static_cast<std::uint64_t>(s.num_swaps()));
+}
+
+TEST(Fp32Distributed, HalfTheCommunicationBytes) {
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 4;
+  so.depth = 18;
+  so.seed = 22;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  const Schedule s = make_schedule(c, o);
+
+  DistributedSimulatorF f(8, 5);
+  f.init_basis(0);
+  f.run(c, s);
+  DistributedSimulator d(8, 5);
+  d.init_basis(0);
+  d.run(c, s);
+  ASSERT_GT(d.stats().bytes_sent_per_rank, 0u);
+  EXPECT_EQ(2 * f.stats().bytes_sent_per_rank,
+            d.stats().bytes_sent_per_rank);
+}
+
+TEST(Fp32Distributed, GlobalSpecializationsWork) {
+  Circuit c(7);
+  for (Qubit q = 0; q < 7; ++q) c.h(q);
+  c.x(5);        // rank renumbering
+  c.cnot(5, 6);  // conditional rank flip
+  c.t(6);        // deferred phase
+  c.cz(4, 6);    // conditional phase
+  c.h(0);
+
+  StateVector expected(7);
+  reference_run(expected, c);
+
+  ScheduleOptions o;
+  o.num_local = 4;
+  o.kmax = 3;
+  o.specialization = SpecializationMode::kFull;
+  DistributedSimulatorF sim(7, 4);
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 5e-5);
+  EXPECT_GE(sim.stats().rank_renumberings, 1u);
+}
+
+TEST(Fp32Distributed, Validation) {
+  EXPECT_THROW(DistributedSimulatorF(8, 0), Error);
+  EXPECT_THROW(DistributedSimulatorF(10, 4), Error);  // g > l
+  const Circuit c = make_supremacy_circuit({3, 3, 10, 0, true});
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 3;
+  const Schedule s = make_schedule(c, o);
+  DistributedSimulatorF wrong(9, 6);
+  EXPECT_THROW(wrong.run(c, s), Error);
+}
+
+}  // namespace
+}  // namespace quasar

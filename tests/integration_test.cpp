@@ -1,0 +1,228 @@
+/// End-to-end pipeline tests: the full user workflow — generate, strip,
+/// serialize, schedule, persist the schedule, execute on every engine
+/// (single-node gate-by-gate, single-node fused, distributed in memory,
+/// distributed on disk, baseline, fp32) — all agreeing on the physics.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/analysis.hpp"
+#include "circuit/io.hpp"
+#include "circuit/supremacy.hpp"
+#include "fp32/simulator_f32.hpp"
+#include "runtime/baseline.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/executor.hpp"
+#include "sched/schedule_io.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+using Workload = std::tuple<int /*rows*/, int /*cols*/, int /*depth*/,
+                            int /*seed*/>;
+
+class Pipeline : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(Pipeline, AllEnginesAgreeEndToEnd) {
+  const auto [rows, cols, depth, seed] = GetParam();
+  const int n = rows * cols;
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = depth;
+  so.seed = static_cast<std::uint64_t>(seed);
+  so.initial_hadamards = false;
+
+  // Generate -> strip -> circuit-text round trip.
+  const Circuit generated =
+      strip_trailing_diagonals(make_supremacy_circuit(so));
+  const Circuit circuit = circuit_from_string(circuit_to_string(generated));
+  ASSERT_EQ(circuit.num_gates(), generated.num_gates());
+
+  // Reference: plain gate-by-gate from the uniform state.
+  StateVector reference(n);
+  reference.set_uniform_superposition();
+  Simulator plain(reference);
+  plain.run(circuit);
+  const Real reference_entropy = entropy(reference);
+
+  // Single-node fused (with qubit mapping).
+  {
+    StateVector fused(n);
+    fused.set_uniform_superposition();
+    run_fused(fused, circuit);
+    EXPECT_LT(fused.max_abs_diff(reference), 1e-10) << "fused";
+  }
+
+  // Distributed, schedule persisted and re-loaded, memory and disk.
+  const int l = n - 3;
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 4;
+  const Schedule schedule = schedule_from_string(
+      schedule_to_string(make_schedule(circuit, sched)), circuit);
+
+  for (StorageMedium medium :
+       {StorageMedium::kMemory, StorageMedium::kDisk}) {
+    StorageOptions storage;
+    storage.medium = medium;
+    DistributedSimulator sim(n, l, {}, storage);
+    sim.init_uniform();
+    sim.run(circuit, schedule);
+    EXPECT_LT(sim.gather().max_abs_diff(reference), 1e-10)
+        << "medium " << static_cast<int>(medium);
+    EXPECT_NEAR(sim.entropy(), reference_entropy, 1e-9);
+    EXPECT_EQ(sim.stats().alltoalls,
+              static_cast<std::uint64_t>(schedule.num_swaps()));
+  }
+
+  // Baseline scheme.
+  {
+    BaselineSimulator base(n, l);
+    base.init_uniform();
+    base.run(circuit);
+    EXPECT_LT(base.gather().max_abs_diff(reference), 1e-10) << "baseline";
+  }
+
+  // Single precision tracks the double result.
+  {
+    StateVectorF f(n);
+    f.set_uniform_superposition();
+    SimulatorF fsim(f);
+    fsim.run(circuit);
+    EXPECT_LT(f.max_abs_diff(reference), 1e-4) << "fp32";
+    EXPECT_NEAR(f.entropy(), reference_entropy, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Pipeline,
+    ::testing::Values(Workload{3, 3, 14, 1}, Workload{2, 5, 18, 2},
+                      Workload{4, 3, 12, 3}, Workload{2, 4, 25, 4}),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(Pipeline, NoSpecializationModeIsStillCorrect) {
+  // kNone forces every gate's qubits local — worst communication, same
+  // physics.
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 14;
+  so.seed = 9;
+  const Circuit c = make_supremacy_circuit(so);
+  StateVector expected(9);
+  Simulator sim(expected);
+  sim.run(c);
+
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  o.specialization = SpecializationMode::kNone;
+  const Schedule s_none = make_schedule(c, o);
+  o.specialization = SpecializationMode::kFull;
+  const Schedule s_full = make_schedule(c, o);
+  EXPECT_GE(s_none.num_swaps(), s_full.num_swaps());
+
+  DistributedSimulator dist(9, 6);
+  dist.init_basis(0);
+  dist.run(c, s_none);
+  EXPECT_LT(dist.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(Pipeline, SamplingConsistentAcrossEngines) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 4;
+  so.depth = 20;
+  so.seed = 5;
+  const Circuit c = make_supremacy_circuit(so);
+  const int n = 12;
+
+  StateVector single(n);
+  Simulator sim(single);
+  sim.run(c);
+
+  ScheduleOptions o;
+  o.num_local = 8;
+  o.kmax = 4;
+  DistributedSimulator dist(n, 8);
+  dist.init_basis(0);
+  dist.run(c, make_schedule(c, o));
+
+  // XEB statistics of both samplers against the single-node state agree.
+  Rng rng_a(1), rng_b(2);
+  const auto sa = sample_outcomes(single, 3000, rng_a);
+  const auto sb = dist.sample(3000, rng_b);
+  EXPECT_NEAR(porter_thomas_test(single, sa),
+              porter_thomas_test(single, sb), 0.2);
+}
+
+TEST(Pipeline, DeepCircuitStaysNormalizedEverywhere) {
+  // Depth-50: many stages, many swaps, long fusion chains.
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 4;
+  so.depth = 50;
+  so.seed = 6;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 4;
+  const Schedule s = make_schedule(c, o);
+  EXPECT_GT(s.num_swaps(), 1);
+
+  DistributedSimulator sim(8, 5);
+  sim.init_basis(0);
+  sim.run(c, s);
+  EXPECT_NEAR(sim.norm_squared(), 1.0, 1e-9);
+
+  StateVector expected(8);
+  Simulator single(expected);
+  single.run(c);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-9);
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+TEST(Pipeline, DistributedWithQubitMappingHeuristic) {
+  // qubit_mapping permutes the first stage's local bit-locations; the
+  // distributed engine must realize that layout with local swaps before
+  // any work and still produce the exact state.
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 16;
+  so.seed = 11;
+  const Circuit c = make_supremacy_circuit(so);
+  StateVector expected(9);
+  Simulator sim(expected);
+  sim.run(c);
+
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 4;
+  o.qubit_mapping = true;
+  const Schedule s = make_schedule(c, o);
+  DistributedSimulator dist(9, 6);
+  dist.init_basis(0);
+  dist.run(c, s);
+  EXPECT_LT(dist.gather().max_abs_diff(expected), 1e-10);
+  // Mapping must not add communication.
+  ScheduleOptions plain = o;
+  plain.qubit_mapping = false;
+  EXPECT_EQ(s.num_swaps(), make_schedule(c, plain).num_swaps());
+}
+
+}  // namespace
+}  // namespace quasar

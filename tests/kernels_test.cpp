@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/naive.hpp"
+#include "kernels/simd.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+/// Fills a state with a random normalized vector.
+void randomize(StateVector& state, Rng& rng) {
+  for (Index i = 0; i < state.size(); ++i) {
+    state[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+  const Real norm = std::sqrt(state.norm_squared());
+  for (Index i = 0; i < state.size(); ++i) state[i] /= norm;
+}
+
+/// Random dense unitary on k qubits.
+GateMatrix random_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 2; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cnot().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+
+/// Random distinct bit-locations.
+std::vector<int> random_locations(int k, int n, Rng& rng) {
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + rng.uniform_int(n - i)]);
+  }
+  return std::vector<int>(all.begin(), all.begin() + k);
+}
+
+TEST(PreparedGate, SortsQubitsAndPermutesMatrix) {
+  // CNOT with control at location 5, target at location 2: the prepared
+  // gate must act identically to the reference.
+  const GateMatrix cnot = gates::cnot();
+  PreparedGate prepared = prepare_gate(cnot, {5, 2});
+  EXPECT_EQ(prepared.qubits, (std::vector<int>{2, 5}));
+
+  Rng rng(1);
+  StateVector a(7), b(7);
+  randomize(a, rng);
+  for (Index i = 0; i < a.size(); ++i) b[i] = a[i];
+  apply_gate_scalar(a.data(), 7, prepared);
+  reference_apply(b, cnot, {5, 2});
+  EXPECT_LT(a.max_abs_diff(b), 1e-13);
+}
+
+TEST(PreparedGate, DiagonalDetected) {
+  const PreparedGate t = prepare_gate(gates::t(), {3});
+  EXPECT_TRUE(t.diagonal);
+  ASSERT_EQ(t.diag.size(), 2u);
+  const PreparedGate h = prepare_gate(gates::h(), {3});
+  EXPECT_FALSE(h.diagonal);
+}
+
+TEST(PreparedGate, ContiguityDetected) {
+  EXPECT_EQ(prepare_gate(GateMatrix::identity(3), {0, 1, 2}).contig_run, 8u);
+  EXPECT_EQ(prepare_gate(GateMatrix::identity(3), {0, 1, 5}).contig_run, 4u);
+  EXPECT_EQ(prepare_gate(GateMatrix::identity(3), {1, 2, 3}).contig_run, 1u);
+}
+
+TEST(PreparedGate, RejectsDuplicates) {
+  EXPECT_THROW(prepare_gate(gates::cz(), {2, 2}), Error);
+  EXPECT_THROW(prepare_gate(gates::h(), {0, 1}), Error);
+}
+
+TEST(PreparedGate, FmaExpansionLayout) {
+  const PreparedGate g = prepare_gate(gates::t(), {0});
+  // col_a holds (Re, Im) column-major; col_b holds (-Im, Re).
+  const Amplitude t11 = gates::t().at(1, 1);
+  const Index e = (1 * 2 + 1) * 2;  // column 1, row 1
+  EXPECT_DOUBLE_EQ(g.col_a[e + 0], t11.real());
+  EXPECT_DOUBLE_EQ(g.col_a[e + 1], t11.imag());
+  EXPECT_DOUBLE_EQ(g.col_b[e + 0], -t11.imag());
+  EXPECT_DOUBLE_EQ(g.col_b[e + 1], t11.real());
+}
+
+// ---------------------------------------------------------------------
+// Differential sweep: every backend vs the brute-force reference, over
+// all k and representative qubit placements.
+// ---------------------------------------------------------------------
+
+using SweepParam = std::tuple<int /*n*/, int /*k*/, int /*seed*/>;
+
+class KernelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KernelSweep, AllBackendsMatchReference) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n * 10 + k);
+  const GateMatrix u = random_unitary(k, rng);
+  const auto locations = random_locations(k, n, rng);
+  const PreparedGate prepared = prepare_gate(u, locations);
+
+  StateVector original(n);
+  randomize(original, rng);
+  StateVector expected = original;
+  reference_apply(expected, u, locations);
+
+  {
+    StateVector s = original;
+    apply_gate_scalar(s.data(), n, prepared);
+    EXPECT_LT(s.max_abs_diff(expected), 1e-12) << "scalar backend";
+  }
+  {
+    StateVector s = original;
+    ApplyOptions options;
+    options.backend = KernelBackend::kAuto;
+    apply_gate(s.data(), n, prepared, options);
+    EXPECT_LT(s.max_abs_diff(expected), 1e-12) << "auto backend";
+  }
+  if (detail::have_avx512()) {
+    StateVector s = original;
+    if (detail::apply_gate_avx512(s.data(), n, prepared, 0, 0)) {
+      EXPECT_LT(s.max_abs_diff(expected), 1e-12) << "avx512 backend";
+    }
+  }
+  if (detail::have_avx2()) {
+    StateVector s = original;
+    if (detail::apply_gate_avx2(s.data(), n, prepared, 0, 0)) {
+      EXPECT_LT(s.max_abs_diff(expected), 1e-12) << "avx2 backend";
+    }
+  }
+}
+
+TEST_P(KernelSweep, BlockRowVariantsMatch) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Rng rng(seed + 99);
+  const GateMatrix u = random_unitary(k, rng);
+  const auto locations = random_locations(k, n, rng);
+  const PreparedGate prepared = prepare_gate(u, locations);
+
+  StateVector original(n);
+  randomize(original, rng);
+  StateVector expected = original;
+  reference_apply(expected, u, locations);
+
+  for (int br : {1, 2, 4, 8}) {
+    StateVector s = original;
+    ApplyOptions options;
+    options.block_rows = br;
+    apply_gate(s.data(), n, prepared, options);
+    EXPECT_LT(s.max_abs_diff(expected), 1e-12) << "block_rows=" << br;
+  }
+}
+
+TEST_P(KernelSweep, ThreadCountsAgree) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Rng rng(seed + 7);
+  const GateMatrix u = random_unitary(k, rng);
+  const auto locations = random_locations(k, n, rng);
+  const PreparedGate prepared = prepare_gate(u, locations);
+
+  StateVector a(n), b(n);
+  randomize(a, rng);
+  for (Index i = 0; i < a.size(); ++i) b[i] = a[i];
+  ApplyOptions one, two;
+  one.num_threads = 1;
+  two.num_threads = 2;
+  apply_gate(a.data(), n, prepared, one);
+  apply_gate(b.data(), n, prepared, two);
+  EXPECT_LT(a.max_abs_diff(b), 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelSweep,
+    ::testing::Combine(::testing::Values(4, 7, 10),
+                       ::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Exhaustive single-qubit placement: every bit-location of a 9-qubit
+// state, both the strided SIMD path (q >= width) and the fallback.
+class K1Placement : public ::testing::TestWithParam<int> {};
+
+TEST_P(K1Placement, MatchesReferenceEverywhere) {
+  const int q = GetParam();
+  const int n = 9;
+  Rng rng(q);
+  const GateMatrix u = gates::random_su2(rng);
+  StateVector s(n), expected(n);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, u, {q});
+  apply_gate(s.data(), n, prepare_gate(u, {q}), {});
+  EXPECT_LT(s.max_abs_diff(expected), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocations, K1Placement, ::testing::Range(0, 9));
+
+TEST(DiagonalKernel, MatchesReference) {
+  Rng rng(5);
+  const int n = 8;
+  // Product of diagonal gates: CZ(1,6) composed with T on 4.
+  const GateMatrix cz = gates::cz();
+  StateVector s(n), expected(n);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, cz, {1, 6});
+  reference_apply(expected, gates::t(), {4});
+
+  apply_diagonal(s.data(), n, prepare_gate(cz, {1, 6}), {});
+  apply_diagonal(s.data(), n, prepare_gate(gates::t(), {4}), {});
+  EXPECT_LT(s.max_abs_diff(expected), 1e-14);
+}
+
+TEST(DiagonalKernel, RejectsDenseGate) {
+  StateVector s(3);
+  EXPECT_THROW(apply_diagonal(s.data(), 3, prepare_gate(gates::h(), {0}), {}),
+               Error);
+}
+
+TEST(DiagonalKernel, DispatcherRoutesDiagonalGates) {
+  // apply_gate on a diagonal gate must not disturb non-participating
+  // amplitudes (phase-only fast path).
+  Rng rng(6);
+  StateVector s(6), expected(6);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, gates::cz(), {2, 4});
+  apply_gate(s.data(), 6, prepare_gate(gates::cz(), {2, 4}), {});
+  EXPECT_LT(s.max_abs_diff(expected), 1e-14);
+}
+
+TEST(GlobalPhase, MultipliesEveryAmplitude) {
+  StateVector s(5);
+  s.set_uniform_superposition();
+  apply_global_phase(s.data(), 5, Amplitude{0.0, 1.0});
+  const double expected = std::pow(2.0, -2.5);
+  for (Index i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i].real(), 0.0, 1e-15);
+    EXPECT_NEAR(s[i].imag(), expected, 1e-15);
+  }
+}
+
+TEST(NaiveKernels, TwoVectorMatchesReference) {
+  Rng rng(8);
+  const int n = 8;
+  const GateMatrix u = gates::random_su2(rng);
+  StateVector in(n), expected(n);
+  randomize(in, rng);
+  for (Index i = 0; i < in.size(); ++i) expected[i] = in[i];
+  reference_apply(expected, u, {5});
+  StateVector out(n);
+  apply_single_qubit_two_vector(in.data(), out.data(), n, u, 5);
+  EXPECT_LT(out.max_abs_diff(expected), 1e-13);
+}
+
+TEST(NaiveKernels, InplaceMatchesReference) {
+  Rng rng(9);
+  const int n = 8;
+  const GateMatrix u = gates::random_su2(rng);
+  StateVector s(n), expected(n);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, u, {0});
+  apply_single_qubit_inplace_naive(s.data(), n, u, 0);
+  EXPECT_LT(s.max_abs_diff(expected), 1e-13);
+}
+
+TEST(Kernels, NormPreservedOverLongRandomSequence) {
+  Rng rng(10);
+  const int n = 12;
+  StateVector s(n);
+  s.set_basis_state(0);
+  for (int step = 0; step < 50; ++step) {
+    const int k = 1 + static_cast<int>(rng.uniform_int(5));
+    const GateMatrix u = random_unitary(k, rng);
+    apply_gate(s.data(), n, prepare_gate(u, random_locations(k, n, rng)), {});
+  }
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(Kernels, DispatcherValidation) {
+  StateVector s(3);
+  EXPECT_THROW(
+      apply_gate(s.data(), 3, prepare_gate(GateMatrix::identity(4),
+                                           {0, 1, 2, 3}), {}),
+      Error);
+  EXPECT_THROW(apply_gate(s.data(), 3, prepare_gate(gates::h(), {5}), {}),
+               Error);
+}
+
+TEST(Kernels, FlopAccounting) {
+  EXPECT_DOUBLE_EQ(flops_per_amplitude(1), 14.0);  // paper Sec. 3.1
+  EXPECT_DOUBLE_EQ(operational_intensity(1), 14.0 / 32.0);
+  EXPECT_DOUBLE_EQ(flops_per_amplitude(4), 126.0);
+}
+
+TEST(Kernels, BackendNameIsConsistent) {
+  const std::string name = simd_backend_name();
+  if (detail::have_avx512()) {
+    EXPECT_EQ(name, "avx512");
+    EXPECT_EQ(simd_complex_width(), 4);
+  } else if (detail::have_avx2()) {
+    EXPECT_EQ(name, "avx2");
+    EXPECT_EQ(simd_complex_width(), 2);
+  } else {
+    EXPECT_EQ(name, "scalar");
+    EXPECT_EQ(simd_complex_width(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+// The contiguous direct-GEMV fast path (gate on bit-locations 0..k-1
+// reads and writes the state in place, no gather buffer) — exercised
+// explicitly for every k and backend.
+class ContiguousFastPath : public ::testing::TestWithParam<int /*k*/> {};
+
+TEST_P(ContiguousFastPath, MatchesReference) {
+  const int k = GetParam();
+  const int n = 9;
+  Rng rng(400 + k);
+  const GateMatrix u = random_unitary(k, rng);
+  std::vector<int> locations(k);
+  for (int j = 0; j < k; ++j) locations[j] = j;
+  const PreparedGate gate = prepare_gate(u, locations);
+  ASSERT_EQ(gate.contig_run, gate.dim);  // fully contiguous
+
+  StateVector s(n), expected(n);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, u, locations);
+  apply_gate(s.data(), n, gate, {});
+  EXPECT_LT(s.max_abs_diff(expected), 1e-12);
+
+  // Forcing row blocking below full rows must take the buffered path
+  // and still agree.
+  StateVector blocked(n);
+  randomize(blocked, rng);
+  StateVector blocked_expected = blocked;
+  for (Index i = 0; i < blocked.size(); ++i) {
+    blocked_expected[i] = blocked[i];
+  }
+  reference_apply(blocked_expected, u, locations);
+  ApplyOptions options;
+  options.block_rows = 1;
+  apply_gate(blocked.data(), n, gate, options);
+  EXPECT_LT(blocked.max_abs_diff(blocked_expected), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ContiguousFastPath,
+                         ::testing::Range(1, 7));
+
+TEST(ContiguousFastPath, PartialPrefixUsesBufferedPath) {
+  // Gate on {0, 1, 5}: contiguous run of 4 amplitudes, but not fully
+  // contiguous — must still be exact through the gather/scatter path.
+  Rng rng(500);
+  const GateMatrix u = random_unitary(3, rng);
+  const PreparedGate gate = prepare_gate(u, {0, 1, 5});
+  EXPECT_EQ(gate.contig_run, 4u);
+  EXPECT_NE(gate.contig_run, gate.dim);
+
+  StateVector s(8), expected(8);
+  randomize(s, rng);
+  for (Index i = 0; i < s.size(); ++i) expected[i] = s[i];
+  reference_apply(expected, u, {0, 1, 5});
+  apply_gate(s.data(), 8, gate, {});
+  EXPECT_LT(s.max_abs_diff(expected), 1e-12);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "gates/matrix.hpp"
+#include "gates/standard.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(GateMatrix, IdentityAndZero) {
+  const GateMatrix id = GateMatrix::identity(2);
+  EXPECT_EQ(id.num_qubits(), 2);
+  EXPECT_EQ(id.dim(), 4u);
+  for (Index r = 0; r < 4; ++r) {
+    for (Index c = 0; c < 4; ++c) {
+      EXPECT_EQ(id.at(r, c), (r == c ? Amplitude{1.0} : Amplitude{0.0}));
+    }
+  }
+  EXPECT_EQ(GateMatrix::zero(1).at(0, 0), Amplitude{0.0});
+}
+
+TEST(GateMatrix, ConstructorValidation) {
+  EXPECT_THROW(GateMatrix(3, std::vector<Amplitude>(9)), Error);
+  EXPECT_THROW(GateMatrix(2, std::vector<Amplitude>(3)), Error);
+}
+
+TEST(GateMatrix, Product) {
+  // X * X = I.
+  const GateMatrix x = gates::x();
+  EXPECT_LT((x * x).distance(GateMatrix::identity(1)), 1e-14);
+  // H * X * H = Z.
+  const GateMatrix h = gates::h();
+  EXPECT_LT((h * x * h).distance(gates::z()), 1e-14);
+}
+
+TEST(GateMatrix, Adjoint) {
+  const GateMatrix t = gates::t();
+  EXPECT_LT((t * t.adjoint()).distance(GateMatrix::identity(1)), 1e-14);
+  const GateMatrix y = gates::y();
+  EXPECT_LT(y.adjoint().distance(y), 1e-14);  // Y is Hermitian
+}
+
+TEST(GateMatrix, KronMatchesManual) {
+  // Z (high qubit) kron X (low qubit): |b1 b0> -> (-1)^b1 |b1, !b0>.
+  const GateMatrix m = gates::z().kron(gates::x());
+  EXPECT_EQ(m.num_qubits(), 2);
+  EXPECT_EQ(m.at(0, 1), Amplitude{1.0});
+  EXPECT_EQ(m.at(1, 0), Amplitude{1.0});
+  EXPECT_EQ(m.at(2, 3), Amplitude{-1.0});
+  EXPECT_EQ(m.at(3, 2), Amplitude{-1.0});
+  EXPECT_EQ(m.at(0, 0), Amplitude{0.0});
+}
+
+TEST(GateMatrix, PermuteQubitsSwapsCnotDirection) {
+  // Swapping the two qubits of CNOT turns control<->target.
+  const GateMatrix cnot = gates::cnot();
+  const GateMatrix flipped = cnot.permute_qubits({1, 0});
+  // flipped: control = qubit 1, target = qubit 0.
+  // |01> (q0=1,q1=0) stays; |10> -> |11>.
+  EXPECT_EQ(flipped.at(1, 1), Amplitude{1.0});
+  EXPECT_EQ(flipped.at(3, 2), Amplitude{1.0});
+  EXPECT_EQ(flipped.at(2, 3), Amplitude{1.0});
+}
+
+TEST(GateMatrix, PermuteIdentityIsNoop) {
+  Rng rng(3);
+  const GateMatrix u = gates::random_su2(rng).kron(gates::random_su2(rng));
+  EXPECT_LT(u.permute_qubits({0, 1}).distance(u), 1e-14);
+}
+
+TEST(GateMatrix, PermuteRoundTrip) {
+  Rng rng(4);
+  GateMatrix u = GateMatrix::identity(3);
+  u = gates::random_su2(rng).embed(3, {0}) * u;
+  u = gates::cnot().embed(3, {1, 2}) * u;
+  const std::vector<int> perm = {2, 0, 1};
+  const std::vector<int> inverse = {1, 2, 0};
+  EXPECT_LT(u.permute_qubits(perm).permute_qubits(inverse).distance(u),
+            1e-13);
+}
+
+TEST(GateMatrix, PermuteValidation) {
+  const GateMatrix u = GateMatrix::identity(2);
+  EXPECT_THROW(u.permute_qubits({0}), Error);
+  EXPECT_THROW(u.permute_qubits({0, 0}), Error);
+  EXPECT_THROW(u.permute_qubits({0, 2}), Error);
+}
+
+TEST(GateMatrix, EmbedLowQubitMatchesKron) {
+  // Embedding X at position 0 of a 2-qubit space equals I kron X.
+  const GateMatrix embedded = gates::x().embed(2, {0});
+  EXPECT_LT(embedded.distance(GateMatrix::identity(1).kron(gates::x())),
+            1e-14);
+}
+
+TEST(GateMatrix, EmbedHighQubitMatchesKron) {
+  const GateMatrix embedded = gates::x().embed(2, {1});
+  EXPECT_LT(embedded.distance(gates::x().kron(GateMatrix::identity(1))),
+            1e-14);
+}
+
+TEST(GateMatrix, EmbedTwoQubitGate) {
+  // CZ embedded at positions {0, 2} of 3 qubits: phase only when bits 0
+  // and 2 are both 1.
+  const GateMatrix m = gates::cz().embed(3, {0, 2});
+  for (Index i = 0; i < 8; ++i) {
+    const bool both = (i & 1) && (i & 4);
+    EXPECT_EQ(m.at(i, i), (both ? Amplitude{-1.0} : Amplitude{1.0}));
+  }
+}
+
+TEST(GateMatrix, EmbedValidation) {
+  EXPECT_THROW(gates::x().embed(2, {2}), Error);
+  EXPECT_THROW(gates::cz().embed(2, {0, 0}), Error);
+  EXPECT_THROW(gates::cz().embed(3, {0}), Error);
+}
+
+TEST(GateMatrix, IsUnitary) {
+  EXPECT_TRUE(gates::h().is_unitary());
+  GateMatrix bad(2, {Amplitude{1.0}, Amplitude{1.0},
+                     Amplitude{0.0}, Amplitude{1.0}});
+  EXPECT_FALSE(bad.is_unitary());
+}
+
+TEST(GateMatrix, DiagonalDetection) {
+  EXPECT_TRUE(gates::t().is_diagonal());
+  EXPECT_TRUE(gates::cz().is_diagonal());
+  EXPECT_FALSE(gates::h().is_diagonal());
+  EXPECT_FALSE(gates::cnot().is_diagonal());
+}
+
+TEST(GateMatrix, DiagonalQubitsOfCnot) {
+  // CNOT (control = qubit 0) is diagonal on the control, dense on the
+  // target.
+  const auto flags = gates::cnot().diagonal_qubits();
+  ASSERT_EQ(flags.size(), 2u);
+  EXPECT_TRUE(flags[0]);   // control
+  EXPECT_FALSE(flags[1]);  // target
+}
+
+TEST(GateMatrix, DiagonalQubitsOfCz) {
+  const auto flags = gates::cz().diagonal_qubits();
+  EXPECT_TRUE(flags[0]);
+  EXPECT_TRUE(flags[1]);
+}
+
+TEST(GateMatrix, DiagonalExtraction) {
+  const auto d = gates::cz().diagonal();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[3], Amplitude{-1.0});
+  EXPECT_THROW(gates::h().diagonal(), Error);
+}
+
+TEST(GateMatrix, Scale) {
+  GateMatrix m = gates::z();
+  m.scale(Amplitude{0.0, 1.0});
+  EXPECT_EQ(m.at(0, 0), (Amplitude{0.0, 1.0}));
+  EXPECT_EQ(m.at(1, 1), (Amplitude{0.0, -1.0}));
+}
+
+TEST(GateMatrix, EmbeddedProductsCommuteOnDisjointQubits) {
+  Rng rng(11);
+  const GateMatrix a = gates::random_su2(rng).embed(3, {0});
+  const GateMatrix b = gates::random_su2(rng).embed(3, {2});
+  EXPECT_LT((a * b).distance(b * a), 1e-13);
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+TEST(PhasedPermutation, DetectsPermutationGates) {
+  ASSERT_TRUE(gates::x().phased_permutation().has_value());
+  ASSERT_TRUE(gates::y().phased_permutation().has_value());
+  ASSERT_TRUE(gates::cnot().phased_permutation().has_value());
+  ASSERT_TRUE(gates::swap().phased_permutation().has_value());
+  ASSERT_TRUE(gates::t().phased_permutation().has_value());  // diagonal
+  EXPECT_FALSE(gates::h().phased_permutation().has_value());
+  EXPECT_FALSE(gates::sqrt_x().phased_permutation().has_value());
+  Rng rng(1);
+  EXPECT_FALSE(gates::random_su2(rng).phased_permutation().has_value());
+}
+
+TEST(PhasedPermutation, XMapping) {
+  const auto p = gates::x().phased_permutation();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->target[0], 1u);
+  EXPECT_EQ(p->target[1], 0u);
+  EXPECT_EQ(p->phase[0], Amplitude{1.0});
+}
+
+TEST(PhasedPermutation, YMappingCarriesPhases) {
+  // Y = [[0, -i], [i, 0]]: |0> -> i|1>, |1> -> -i|0>.
+  const auto p = gates::y().phased_permutation();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->target[0], 1u);
+  EXPECT_EQ(p->phase[0], (Amplitude{0.0, 1.0}));
+  EXPECT_EQ(p->target[1], 0u);
+  EXPECT_EQ(p->phase[1], (Amplitude{0.0, -1.0}));
+}
+
+TEST(PhasedPermutation, CnotMapping) {
+  // Control = qubit 0: |q1 q0>: 01 <-> 11 swap (indices 1 and 3).
+  const auto p = gates::cnot().phased_permutation();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->target[0], 0u);
+  EXPECT_EQ(p->target[1], 3u);
+  EXPECT_EQ(p->target[2], 2u);
+  EXPECT_EQ(p->target[3], 1u);
+}
+
+TEST(PhasedPermutation, RejectsNonUnitEntries) {
+  GateMatrix half(2, {Amplitude{0.0}, Amplitude{0.5},
+                      Amplitude{0.5}, Amplitude{0.0}});
+  EXPECT_FALSE(half.phased_permutation().has_value());
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(Measure, ProbabilityOfOneOnBasisStates) {
+  StateVector s(4);
+  s.set_basis_state(0b1010);
+  EXPECT_NEAR(probability_of_one(s, 0), 0.0, 1e-15);
+  EXPECT_NEAR(probability_of_one(s, 1), 1.0, 1e-15);
+  EXPECT_NEAR(probability_of_one(s, 2), 0.0, 1e-15);
+  EXPECT_NEAR(probability_of_one(s, 3), 1.0, 1e-15);
+  EXPECT_THROW(probability_of_one(s, 4), Error);
+}
+
+TEST(Measure, ProbabilityOfOneOnSuperposition) {
+  StateVector s(3);
+  s.set_uniform_superposition();
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(probability_of_one(s, q), 0.5, 1e-12);
+  }
+}
+
+TEST(Measure, EntropyOfBasisStateIsZero) {
+  StateVector s(6);
+  s.set_basis_state(13);
+  EXPECT_NEAR(entropy(s), 0.0, 1e-12);
+}
+
+TEST(Measure, EntropyOfUniformIsNLog2) {
+  StateVector s(7);
+  s.set_uniform_superposition();
+  EXPECT_NEAR(entropy(s), 7 * std::log(2.0), 1e-10);
+}
+
+TEST(Measure, PorterThomasEntropyValue) {
+  // ln(2^n) - 1 + gamma.
+  EXPECT_NEAR(porter_thomas_entropy(36),
+              36 * std::log(2.0) - 1.0 + 0.57721566490153286, 1e-12);
+  // Always below the uniform maximum.
+  EXPECT_LT(porter_thomas_entropy(20), 20 * std::log(2.0));
+}
+
+TEST(Measure, SupremacyCircuitEntropyApproachesPorterThomas) {
+  // A depth-20 4x3 supremacy circuit should produce an output
+  // distribution whose entropy is near the Porter–Thomas value — this is
+  // the validation signal the paper computes for its 36-qubit run.
+  SupremacyOptions o;
+  o.rows = 4;
+  o.cols = 3;
+  o.depth = 24;
+  o.seed = 11;
+  const Circuit c = make_supremacy_circuit(o);
+  StateVector s(12);
+  Simulator sim(s);
+  sim.run(c);
+  const Real measured = entropy(s);
+  const Real expected = porter_thomas_entropy(12);
+  EXPECT_NEAR(measured, expected, 0.12 * expected);
+  // And clearly below the uniform bound.
+  EXPECT_LT(measured, 12 * std::log(2.0));
+}
+
+TEST(Measure, SampleFromBasisState) {
+  StateVector s(5);
+  s.set_basis_state(21);
+  Rng rng(1);
+  const auto samples = sample_outcomes(s, 50, rng);
+  ASSERT_EQ(samples.size(), 50u);
+  for (Index x : samples) EXPECT_EQ(x, 21u);
+}
+
+TEST(Measure, SampleDistributionRoughlyCorrect) {
+  // |+>|0>: outcomes 0 and 1 with p = 1/2 each.
+  StateVector s(2);
+  Simulator sim(s);
+  Circuit c(2);
+  c.h(0);
+  sim.run(c);
+  Rng rng(3);
+  const auto samples = sample_outcomes(s, 4000, rng);
+  int ones = 0;
+  for (Index x : samples) {
+    EXPECT_LT(x, 2u);
+    ones += x == 1;
+  }
+  EXPECT_NEAR(ones / 4000.0, 0.5, 0.05);
+}
+
+TEST(Measure, SampleCountZero) {
+  StateVector s(3);
+  Rng rng(4);
+  EXPECT_TRUE(sample_outcomes(s, 0, rng).empty());
+}
+
+TEST(Measure, MeasureQubitCollapses) {
+  StateVector s(3);
+  Simulator sim(s);
+  Circuit c(3);
+  c.h(0);
+  c.cnot(0, 1);
+  sim.run(c);  // (|00> + |11>)/sqrt(2) on qubits 0,1
+  Rng rng(5);
+  const int outcome = measure_qubit(s, 0, rng);
+  // After measuring qubit 0, qubit 1 must agree with it.
+  EXPECT_NEAR(probability_of_one(s, 1), static_cast<Real>(outcome), 1e-12);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(Measure, MeasureQubitDeterministicOnBasisState) {
+  StateVector s(4);
+  s.set_basis_state(0b0100);
+  Rng rng(6);
+  EXPECT_EQ(measure_qubit(s, 2, rng), 1);
+  EXPECT_EQ(measure_qubit(s, 0, rng), 0);
+}
+
+TEST(Measure, PorterThomasTestStatistic) {
+  // Uniform state: every outcome has p = 2^-n, so N*p = 1 exactly.
+  StateVector s(8);
+  s.set_uniform_superposition();
+  Rng rng(7);
+  const auto samples = sample_outcomes(s, 100, rng);
+  EXPECT_NEAR(porter_thomas_test(s, samples), 1.0, 1e-9);
+  EXPECT_THROW(porter_thomas_test(s, {}), Error);
+}
+
+TEST(Measure, PorterThomasTestNearTwoForSupremacyState) {
+  SupremacyOptions o;
+  o.rows = 3;
+  o.cols = 4;
+  o.depth = 24;
+  o.seed = 3;
+  StateVector s(12);
+  Simulator sim(s);
+  sim.run(make_supremacy_circuit(o));
+  Rng rng(8);
+  const auto samples = sample_outcomes(s, 3000, rng);
+  // Ideal sampler from a Porter–Thomas distribution: E[N p] = 2.
+  EXPECT_NEAR(porter_thomas_test(s, samples), 2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace quasar

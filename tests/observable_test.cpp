@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "core/rng.hpp"
+#include "simulator/noise.hpp"
+#include "simulator/observable.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(PauliString, Parsing) {
+  const PauliString p("XIZY");
+  ASSERT_EQ(p.weight(), 3u);
+  EXPECT_EQ(p.factors()[0], (std::pair<Qubit, Pauli>{0, Pauli::kX}));
+  EXPECT_EQ(p.factors()[1], (std::pair<Qubit, Pauli>{2, Pauli::kZ}));
+  EXPECT_EQ(p.factors()[2], (std::pair<Qubit, Pauli>{3, Pauli::kY}));
+  EXPECT_EQ(p.max_qubit(), 3);
+  EXPECT_THROW(PauliString("XQ"), Error);
+  PauliString q;
+  q.add(1, Pauli::kX);
+  EXPECT_THROW(q.add(1, Pauli::kZ), Error);
+  EXPECT_EQ(PauliString("III").weight(), 0u);
+}
+
+TEST(Expectation, BasisStates) {
+  StateVector s(3);
+  s.set_basis_state(0b000);
+  EXPECT_NEAR(expectation(s, PauliString("ZII")), 1.0, 1e-14);
+  s.set_basis_state(0b001);
+  EXPECT_NEAR(expectation(s, PauliString("ZII")), -1.0, 1e-14);
+  EXPECT_NEAR(expectation(s, PauliString("XII")), 0.0, 1e-14);
+  EXPECT_NEAR(expectation(s, PauliString("IZI")), 1.0, 1e-14);
+}
+
+TEST(Expectation, PlusState) {
+  StateVector s(2);
+  Simulator sim(s);
+  Circuit c(2);
+  c.h(0);
+  sim.run(c);
+  EXPECT_NEAR(expectation(s, PauliString("X")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString("Z")), 0.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString("Y")), 0.0, 1e-12);
+}
+
+TEST(Expectation, YEigenstate) {
+  // S H |0> = (|0> + i|1>)/sqrt(2), the +1 eigenstate of Y.
+  StateVector s(1);
+  Simulator sim(s);
+  Circuit c(1);
+  c.h(0);
+  c.s(0);
+  sim.run(c);
+  EXPECT_NEAR(expectation(s, PauliString("Y")), 1.0, 1e-12);
+}
+
+TEST(Expectation, GhzCorrelations) {
+  const int n = 4;
+  StateVector s(n);
+  Simulator sim(s);
+  Circuit c(n);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cnot(q, q + 1);
+  sim.run(c);
+  // <XXXX> = 1, <ZZII> = 1, <ZIII> = 0 for the GHZ state.
+  EXPECT_NEAR(expectation(s, PauliString("XXXX")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString("ZZII")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString("ZIII")), 0.0, 1e-12);
+  // <YYXX> = -1 (two Y factors flip the sign).
+  EXPECT_NEAR(expectation(s, PauliString("YYXX")), -1.0, 1e-12);
+}
+
+TEST(Expectation, MatchesBruteForceOnRandomStates) {
+  Rng rng(9);
+  const int n = 6;
+  StateVector s(n);
+  // Random normalized state.
+  Real norm = 0.0;
+  for (Index i = 0; i < s.size(); ++i) {
+    s[i] = Amplitude{rng.normal(), rng.normal()};
+    norm += std::norm(s[i]);
+  }
+  for (Index i = 0; i < s.size(); ++i) s[i] /= std::sqrt(norm);
+
+  for (const char* text : {"XIIIII", "IYIIII", "ZZIIII", "XYZIII",
+                           "YYYYII", "ZIXIYI"}) {
+    const PauliString p(text);
+    // Brute force: build the operator as a gate and apply to a copy.
+    StateVector applied = s;
+    for (const auto& [qubit, op] : p.factors()) {
+      const GateMatrix m = op == Pauli::kX   ? gates::x()
+                           : op == Pauli::kY ? gates::y()
+                                             : gates::z();
+      reference_apply(applied, m, {qubit});
+    }
+    Amplitude overlap{0.0, 0.0};
+    for (Index i = 0; i < s.size(); ++i) {
+      overlap += std::conj(s[i]) * applied[i];
+    }
+    EXPECT_NEAR(expectation(s, p), overlap.real(), 1e-11) << text;
+  }
+}
+
+TEST(Expectation, Validation) {
+  StateVector s(2);
+  EXPECT_THROW(expectation(s, PauliString("IIX")), Error);
+}
+
+TEST(Fidelity, SelfAndOrthogonal) {
+  StateVector a(3), b(3);
+  a.set_basis_state(1);
+  b.set_basis_state(1);
+  EXPECT_NEAR(fidelity(a, b), 1.0, 1e-14);
+  b.set_basis_state(2);
+  EXPECT_NEAR(fidelity(a, b), 0.0, 1e-14);
+  StateVector c(4);
+  EXPECT_THROW(fidelity(a, c), Error);
+}
+
+TEST(Fidelity, PhaseInvariant) {
+  StateVector a(2), b(2);
+  a.set_uniform_superposition();
+  b.set_uniform_superposition();
+  for (Index i = 0; i < b.size(); ++i) b[i] *= Amplitude{0.0, 1.0};
+  EXPECT_NEAR(fidelity(a, b), 1.0, 1e-12);
+}
+
+TEST(Noise, ZeroNoiseIsExact) {
+  Rng rng(4);
+  Circuit c(4);
+  c.h(0);
+  c.cnot(0, 1);
+  c.cnot(1, 2);
+  c.t(3);
+  StateVector noisy(4), ideal(4);
+  Simulator sim(ideal);
+  sim.run(c);
+  const auto stats = run_noisy_trajectory(noisy, c, {}, rng);
+  EXPECT_EQ(stats.pauli_events, 0);
+  EXPECT_LT(noisy.max_abs_diff(ideal), 1e-13);
+}
+
+TEST(Noise, EventCountTracksRate) {
+  Rng rng(5);
+  Circuit c(5);
+  for (int rep = 0; rep < 40; ++rep) {
+    for (Qubit q = 0; q < 5; ++q) c.h(q);
+  }
+  // 200 single-qubit gates at p = 0.2: expect ~40 events.
+  NoiseModel noise;
+  noise.depolarizing_per_gate = 0.2;
+  StateVector s(5);
+  const auto stats = run_noisy_trajectory(s, c, noise, rng);
+  EXPECT_GT(stats.pauli_events, 15);
+  EXPECT_LT(stats.pauli_events, 75);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-10);  // Paulis keep purity
+}
+
+TEST(Noise, FidelityDecaysWithRate) {
+  Rng rng(6);
+  Circuit c(4);
+  for (int rep = 0; rep < 6; ++rep) {
+    for (Qubit q = 0; q < 4; ++q) c.h(q);
+    c.cz(0, 1);
+    c.cz(2, 3);
+  }
+  NoiseModel low, high;
+  low.depolarizing_per_gate = 0.002;
+  high.depolarizing_per_gate = 0.05;
+  const Real f_low = average_noisy_fidelity(c, low, 20, rng);
+  const Real f_high = average_noisy_fidelity(c, high, 20, rng);
+  EXPECT_GT(f_low, 0.85);
+  EXPECT_LT(f_high, f_low);
+}
+
+TEST(Noise, Validation) {
+  Rng rng(7);
+  Circuit c(2);
+  c.h(0);
+  StateVector s(2);
+  NoiseModel bad;
+  bad.depolarizing_per_gate = 1.5;
+  EXPECT_THROW(run_noisy_trajectory(s, c, bad, rng), Error);
+  StateVector wrong(3);
+  EXPECT_THROW(run_noisy_trajectory(wrong, c, {}, rng), Error);
+}
+
+}  // namespace
+}  // namespace quasar

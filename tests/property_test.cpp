@@ -1,0 +1,193 @@
+/// Parameterized end-to-end property sweeps: the distributed simulator,
+/// the baseline simulator, the scheduled single-node path, and the
+/// brute-force reference must all compute the same state for randomized
+/// circuits, across specialization modes, kmax values, and node counts;
+/// norms stay 1; schedules stay complete.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "runtime/baseline.hpp"
+#include "runtime/distributed.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+
+namespace quasar {
+namespace {
+
+Circuit random_supremacy_flavoured(int n, int gates, std::uint64_t seed) {
+  // Gate mix matching supremacy circuits (H, T, X^1/2, Y^1/2, CZ) plus
+  // CNOTs to exercise the conditional-dense specialization.
+  Rng rng(seed);
+  Circuit c(n);
+  for (Qubit q = 0; q < n; ++q) c.h(q);
+  for (int i = 0; i < gates; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(6));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.t(a); break;
+      case 1: c.sqrt_x(a); break;
+      case 2: c.sqrt_y(a); break;
+      case 3: c.cz(a, b); break;
+      case 4: {
+        // Keep CNOT targets on the lowest locations so the baseline
+        // scheme (which cannot exchange a dense 2-qubit global gate)
+        // stays applicable at every l in the sweep.
+        Qubit target = static_cast<Qubit>(rng.uniform_int(5));
+        while (target == a) target = static_cast<Qubit>(rng.uniform_int(5));
+        c.cnot(a, target);
+        break;
+      }
+      case 5: c.h(a); break;
+    }
+  }
+  return c;
+}
+
+using Config = std::tuple<int /*l*/, int /*kmax*/, int /*mode*/, int /*seed*/>;
+
+class EndToEnd : public ::testing::TestWithParam<Config> {};
+
+TEST_P(EndToEnd, AllFourEnginesAgree) {
+  const auto [l, kmax, mode_int, seed] = GetParam();
+  const auto mode = static_cast<SpecializationMode>(mode_int);
+  const int n = 9;
+  const Circuit c = random_supremacy_flavoured(n, 70, seed);
+
+  StateVector expected(n);
+  reference_run(expected, c);
+  EXPECT_NEAR(expected.norm_squared(), 1.0, 1e-10);
+
+  // Distributed with scheduling.
+  ScheduleOptions so;
+  so.num_local = l;
+  so.kmax = kmax;
+  so.specialization = mode;
+  DistributedSimulator ours(n, l);
+  ours.init_basis(0);
+  ours.run(c, make_schedule(c, so));
+  EXPECT_LT(ours.gather().max_abs_diff(expected), 1e-10);
+  EXPECT_NEAR(ours.norm_squared(), 1.0, 1e-10);
+
+  // Baseline per-gate scheme.
+  if (mode != SpecializationMode::kNone) {
+    BaselineOptions bo;
+    bo.specialization = mode;
+    BaselineSimulator base(n, l, bo);
+    base.init_basis(0);
+    base.run(c);
+    EXPECT_LT(base.gather().max_abs_diff(expected), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EndToEnd,
+    ::testing::Combine(::testing::Values(5, 6, 7),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(1, 2),  // kWorstCase, kFull
+                       ::testing::Values(100, 200)),
+    [](const auto& info) {
+      return "l" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class SupremacySchedule : public ::testing::TestWithParam<int /*depth*/> {};
+
+TEST_P(SupremacySchedule, SwapCountGrowsSlowlyWithDepth) {
+  // Fig. 5a's property at test scale: swap count is a staircase far
+  // below the per-cycle communication count, and is (mostly) independent
+  // of the local qubit count.
+  const int depth = GetParam();
+  SupremacyOptions so;
+  so.rows = 4;
+  so.cols = 3;
+  so.depth = depth;
+  so.seed = 1;
+  const Circuit c = make_supremacy_circuit(so);
+
+  int swaps_at[2];
+  int i = 0;
+  for (int l : {8, 9}) {
+    ScheduleOptions o;
+    o.num_local = l;
+    o.kmax = 4;
+    o.build_matrices = false;
+    swaps_at[i++] = make_schedule(c, o).num_swaps();
+  }
+  EXPECT_LE(std::abs(swaps_at[0] - swaps_at[1]), 1)
+      << "swap count should be mostly independent of local qubits";
+  EXPECT_LE(swaps_at[1], depth / 4 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SupremacySchedule,
+                         ::testing::Values(10, 20, 30, 40));
+
+TEST(Property, EntropyInvariantUnderSchedulingChoices) {
+  // The computed physics must not depend on kmax / specialization.
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 18;
+  so.seed = 77;
+  const Circuit c = make_supremacy_circuit(so);
+  double reference_entropy = -1.0;
+  for (int kmax : {2, 4}) {
+    for (auto mode : {SpecializationMode::kWorstCase,
+                      SpecializationMode::kFull}) {
+      ScheduleOptions o;
+      o.num_local = 6;
+      o.kmax = kmax;
+      o.specialization = mode;
+      DistributedSimulator sim(9, 6);
+      sim.init_basis(0);
+      sim.run(c, make_schedule(c, o));
+      const double s = sim.entropy();
+      if (reference_entropy < 0) {
+        reference_entropy = s;
+      } else {
+        EXPECT_NEAR(s, reference_entropy, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Property, SchedulingNeverChangesTotalGateCount) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Circuit c = random_supremacy_flavoured(8, 50, seed);
+    for (int l : {4, 6, 8}) {
+      for (bool adjust : {false, true}) {
+        ScheduleOptions o;
+        o.num_local = l;
+        o.kmax = 3;
+        o.adjust_swaps = adjust;
+        o.build_matrices = false;
+        const Schedule s = make_schedule(c, o);
+        EXPECT_EQ(s.num_gates(), c.num_gates());
+      }
+    }
+  }
+}
+
+TEST(Property, FusedClusterMatricesAreUnitary) {
+  const Circuit c = random_supremacy_flavoured(8, 60, 31);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 4;
+  const Schedule s = make_schedule(c, o);
+  for (const Stage& stage : s.stages) {
+    for (const Cluster& cl : stage.clusters) {
+      ASSERT_TRUE(cl.matrix.has_value());
+      EXPECT_TRUE(cl.matrix->is_unitary(1e-8));
+      EXPECT_EQ(cl.diagonal, cl.matrix->is_diagonal());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "circuit/supremacy.hpp"
+#include "sched/report.hpp"
+
+namespace quasar {
+namespace {
+
+Schedule small_schedule(const Circuit& c, int num_local) {
+  ScheduleOptions o;
+  o.num_local = num_local;
+  o.kmax = 3;
+  return make_schedule(c, o);
+}
+
+TEST(Report, SummaryMentionsKeyQuantities) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 12;
+  const Circuit c = make_supremacy_circuit(so);
+  const Schedule s = small_schedule(c, 6);
+  const std::string summary = schedule_summary(c, s);
+  EXPECT_NE(summary.find("9 qubits"), std::string::npos);
+  EXPECT_NE(summary.find("global-to-local swap"), std::string::npos);
+  EXPECT_NE(summary.find("stage 0"), std::string::npos);
+  EXPECT_NE(summary.find("cluster"), std::string::npos);
+}
+
+TEST(Report, SummaryShowsSwapDeltas) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 20;
+  const Circuit c = make_supremacy_circuit(so);
+  const Schedule s = small_schedule(c, 5);
+  if (s.num_swaps() > 0) {
+    const std::string summary = schedule_summary(c, s);
+    EXPECT_NE(summary.find("swap:"), std::string::npos);
+    EXPECT_NE(summary.find("all-to-all"), std::string::npos);
+  }
+}
+
+TEST(Report, RenderStageShowsRowsPerLocation) {
+  Circuit c(4);
+  c.h(0);
+  c.cz(0, 1);
+  c.h(2);
+  c.t(3);
+  const Schedule s = small_schedule(c, 3);
+  const std::string art = render_stage(c, s, 0);
+  EXPECT_NE(art.find("b0"), std::string::npos);
+  EXPECT_NE(art.find("b3"), std::string::npos);
+  EXPECT_NE(art.find("stage 0"), std::string::npos);
+}
+
+TEST(Report, RenderStageValidatesIndex) {
+  Circuit c(3);
+  c.h(0);
+  const Schedule s = small_schedule(c, 3);
+  EXPECT_THROW(render_stage(c, s, 5), Error);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "circuit/supremacy.hpp"
+#include "core/rng.hpp"
+#include "sched/schedule.hpp"
+#include "sched/stage_finder.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+
+namespace quasar {
+namespace {
+
+Circuit random_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(5));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.h(a); break;
+      case 1: c.t(a); break;
+      case 2: c.append_custom({a}, gates::random_su2(rng)); break;
+      case 3: c.cz(a, b); break;
+      case 4: c.cnot(a, b); break;
+    }
+  }
+  return c;
+}
+
+/// Structural validity of a schedule against its circuit.
+void check_schedule_invariants(const Circuit& circuit,
+                               const Schedule& schedule,
+                               const ScheduleOptions& options) {
+  // 1. Every gate appears exactly once across all stages.
+  std::vector<int> seen(circuit.num_gates(), 0);
+  for (const Stage& stage : schedule.stages) {
+    for (std::size_t g : stage.gates) ++seen[g];
+  }
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "gate " << i;
+  }
+
+  // 2. Per-qubit program order is preserved by the stage item order.
+  std::vector<std::size_t> emitted;
+  for (const Stage& stage : schedule.stages) {
+    for (const StageItem& item : stage.items) {
+      if (item.kind == StageItem::Kind::kCluster) {
+        const Cluster& cl = stage.clusters[item.cluster];
+        emitted.insert(emitted.end(), cl.ops.begin(), cl.ops.end());
+      } else {
+        emitted.push_back(item.op);
+      }
+    }
+  }
+  ASSERT_EQ(emitted.size(), circuit.num_gates());
+  std::map<Qubit, std::vector<std::size_t>> per_qubit;
+  for (std::size_t e : emitted) {
+    for (Qubit q : circuit.op(e).qubits) per_qubit[q].push_back(e);
+  }
+  for (auto& [q, list] : per_qubit) {
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()))
+        << "order violated on qubit " << q;
+  }
+
+  // 3. Stage mappings are permutations; gates are executable; clusters
+  // respect kmax and live on local locations.
+  for (const Stage& stage : schedule.stages) {
+    std::set<int> locations(stage.qubit_to_location.begin(),
+                            stage.qubit_to_location.end());
+    EXPECT_EQ(locations.size(), stage.qubit_to_location.size());
+    for (std::size_t g : stage.gates) {
+      EXPECT_TRUE(detail::executable_under(circuit.op(g),
+                                           stage.qubit_to_location,
+                                           schedule.num_local,
+                                           options.specialization));
+    }
+    for (const Cluster& cl : stage.clusters) {
+      EXPECT_LE(cl.width(), options.kmax);
+      EXPECT_TRUE(std::is_sorted(cl.qubits.begin(), cl.qubits.end()));
+      EXPECT_LT(cl.qubits.back(), schedule.num_local);
+      EXPECT_FALSE(cl.ops.empty());
+      if (options.build_matrices) {
+        ASSERT_TRUE(cl.matrix.has_value());
+        EXPECT_TRUE(cl.matrix->is_unitary(1e-8));
+      }
+    }
+  }
+}
+
+TEST(Scheduler, SingleNodeIsOneStage) {
+  const Circuit c = random_circuit(8, 60, 1);
+  ScheduleOptions o;
+  o.num_local = 8;
+  o.kmax = 4;
+  const Schedule s = make_schedule(c, o);
+  EXPECT_EQ(s.stages.size(), 1u);
+  EXPECT_EQ(s.num_swaps(), 0);
+  check_schedule_invariants(c, s, o);
+}
+
+TEST(Scheduler, MultiNodeInvariants) {
+  for (std::uint64_t seed : {2u, 3u, 4u}) {
+    const Circuit c = random_circuit(9, 80, seed);
+    for (int l : {5, 6, 7}) {
+      for (auto mode : {SpecializationMode::kNone,
+                        SpecializationMode::kWorstCase,
+                        SpecializationMode::kFull}) {
+        ScheduleOptions o;
+        o.num_local = l;
+        o.kmax = 3;
+        o.specialization = mode;
+        const Schedule s = make_schedule(c, o);
+        check_schedule_invariants(c, s, o);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, SpecializationReducesSwaps) {
+  // More aggressive specialization can only help (or tie).
+  const auto [rows, cols] = supremacy_grid_for_qubits(30);
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = 25;
+  const Circuit c = make_supremacy_circuit(so);
+  int swaps[3] = {0, 0, 0};
+  int i = 0;
+  for (auto mode : {SpecializationMode::kNone, SpecializationMode::kWorstCase,
+                    SpecializationMode::kFull}) {
+    ScheduleOptions o;
+    o.num_local = 25;
+    o.kmax = 5;
+    o.specialization = mode;
+    o.build_matrices = false;
+    swaps[i++] = make_schedule(c, o).num_swaps();
+  }
+  EXPECT_GE(swaps[0], swaps[1]);  // none >= worst-case (CZ specialized)
+  EXPECT_GE(swaps[1], swaps[2]);  // worst-case >= full (T also free)
+  EXPECT_GT(swaps[0], 0);
+}
+
+TEST(Scheduler, SupremacySwapCountsMatchPaperScale) {
+  // Fig. 5b / Sec. 3.5: depth-25 supremacy circuits need only a handful
+  // of global-to-local swaps (paper: 1 for 36q, 2 for 42q/45q).
+  for (int qubits : {30, 36, 42}) {
+    const auto [rows, cols] = supremacy_grid_for_qubits(qubits);
+    SupremacyOptions so;
+    so.rows = rows;
+    so.cols = cols;
+    so.depth = 25;
+    const Circuit c = make_supremacy_circuit(so);
+    ScheduleOptions o;
+    o.num_local = qubits - 6;  // 64 "nodes"
+    o.kmax = 5;
+    o.build_matrices = false;
+    const Schedule s = make_schedule(c, o);
+    EXPECT_LE(s.num_swaps(), 3) << qubits << " qubits";
+    EXPECT_GE(s.num_swaps(), 1) << qubits << " qubits";
+    // Orders of magnitude below the per-gate count (lower Fig. 5 panels).
+    const int global_gates = count_global_gates(
+        c, o.num_local, SpecializationMode::kWorstCase);
+    EXPECT_GT(global_gates, 5 * s.num_swaps()) << qubits << " qubits";
+  }
+}
+
+TEST(Scheduler, SwapSearchDoesNotHurt) {
+  const auto [rows, cols] = supremacy_grid_for_qubits(36);
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = 25;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions with, without;
+  with.num_local = without.num_local = 30;
+  with.kmax = without.kmax = 5;
+  with.build_matrices = without.build_matrices = false;
+  with.swap_search = true;
+  without.swap_search = false;
+  EXPECT_LE(make_schedule(c, with).num_swaps(),
+            make_schedule(c, without).num_swaps());
+}
+
+TEST(Scheduler, LargerKmaxGivesFewerClusters) {
+  // Table 1's trend.
+  const Circuit c = random_circuit(10, 120, 9);
+  std::size_t previous = SIZE_MAX;
+  for (int kmax : {3, 4, 5}) {
+    ScheduleOptions o;
+    o.num_local = 10;
+    o.kmax = kmax;
+    o.build_matrices = false;
+    const std::size_t clusters = make_schedule(c, o).num_clusters();
+    EXPECT_LE(clusters, previous) << "kmax " << kmax;
+    previous = clusters;
+  }
+}
+
+TEST(Scheduler, ClustersAbsorbMoreThanKmaxGates) {
+  // Table 1: "more than kmax individual gates can be combined into one
+  // cluster on average."
+  SupremacyOptions so;
+  so.rows = 4;
+  so.cols = 4;
+  so.depth = 25;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 16;
+  o.kmax = 5;
+  o.build_matrices = false;
+  const Schedule s = make_schedule(c, o);
+  const double mean_gates =
+      static_cast<double>(c.num_gates()) /
+      static_cast<double>(s.num_clusters());
+  EXPECT_GT(mean_gates, static_cast<double>(o.kmax));
+}
+
+TEST(Scheduler, CountGlobalGatesModes) {
+  Circuit c(6);
+  c.t(5);        // diagonal on a global qubit (l = 4)
+  c.h(5);        // dense on a global qubit
+  c.cz(0, 5);    // diagonal two-qubit touching a global qubit
+  c.cnot(5, 0);  // control global (diagonal on it), target local
+  c.cnot(0, 5);  // target global -> dense
+  c.h(0);        // purely local
+  EXPECT_EQ(count_global_gates(c, 4, SpecializationMode::kNone), 5);
+  EXPECT_EQ(count_global_gates(c, 4, SpecializationMode::kWorstCase), 3);
+  EXPECT_EQ(count_global_gates(c, 4, SpecializationMode::kFull), 2);
+}
+
+TEST(Scheduler, OptionValidation) {
+  const Circuit c = random_circuit(6, 10, 11);
+  ScheduleOptions o;
+  o.num_local = 0;
+  EXPECT_THROW(make_schedule(c, o), Error);
+  o.num_local = 7;
+  EXPECT_THROW(make_schedule(c, o), Error);
+  o.num_local = 2;
+  o.kmax = 3;
+  EXPECT_THROW(make_schedule(c, o), Error);
+}
+
+TEST(Scheduler, UnschedulableGateDetected) {
+  Circuit c(5);
+  Rng rng(1);
+  // Dense 3-qubit custom gate cannot run with only 2 local qubits.
+  GateMatrix u = GateMatrix::identity(3);
+  u = gates::h().embed(3, {0}) * u;
+  u = gates::h().embed(3, {1}) * u;
+  u = gates::h().embed(3, {2}) * u;
+  c.append_custom({0, 1, 2}, u);
+  ScheduleOptions o;
+  o.num_local = 2;
+  o.kmax = 2;
+  EXPECT_THROW(make_schedule(c, o), Error);
+}
+
+TEST(Scheduler, QubitMappingProducesValidSchedule) {
+  const Circuit c = random_circuit(8, 80, 13);
+  ScheduleOptions o;
+  o.num_local = 8;
+  o.kmax = 3;
+  o.qubit_mapping = true;
+  const Schedule s = make_schedule(c, o);
+  check_schedule_invariants(c, s, o);
+}
+
+TEST(Scheduler, FusedExecutionMatchesReference) {
+  // The acid test for clustering + fusion on one node: run the schedule
+  // by applying fused clusters and compare against gate-by-gate.
+  for (std::uint64_t seed : {21u, 22u}) {
+    const Circuit c = random_circuit(7, 50, seed);
+    ScheduleOptions o;
+    o.num_local = 7;
+    o.kmax = 4;
+    o.qubit_mapping = false;
+    const Schedule s = make_schedule(c, o);
+    ASSERT_EQ(s.stages.size(), 1u);
+
+    StateVector fused(7), expected(7);
+    Rng rng(seed);
+    for (Index i = 0; i < fused.size(); ++i) {
+      fused[i] = Amplitude{rng.normal(), rng.normal()};
+      expected[i] = fused[i];
+    }
+    Simulator sim(fused);
+    for (const StageItem& item : s.stages[0].items) {
+      ASSERT_EQ(item.kind, StageItem::Kind::kCluster);
+      const Cluster& cl = s.stages[0].clusters[item.cluster];
+      sim.apply(*cl.matrix, cl.qubits);
+    }
+    reference_run(expected, c);
+    EXPECT_LT(fused.max_abs_diff(expected), 1e-10) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "circuit/supremacy.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/schedule_io.hpp"
+#include "simulator/reference.hpp"
+
+namespace quasar {
+namespace {
+
+Circuit test_circuit() {
+  SupremacyOptions o;
+  o.rows = 3;
+  o.cols = 3;
+  o.depth = 14;
+  o.seed = 3;
+  return make_supremacy_circuit(o);
+}
+
+TEST(ScheduleIo, RoundTripPreservesStructure) {
+  const Circuit c = test_circuit();
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  const Schedule original = make_schedule(c, o);
+  const Schedule loaded =
+      schedule_from_string(schedule_to_string(original), c);
+
+  ASSERT_EQ(loaded.stages.size(), original.stages.size());
+  EXPECT_EQ(loaded.num_qubits, original.num_qubits);
+  EXPECT_EQ(loaded.num_local, original.num_local);
+  EXPECT_EQ(loaded.num_clusters(), original.num_clusters());
+  for (std::size_t s = 0; s < original.stages.size(); ++s) {
+    EXPECT_EQ(loaded.stages[s].qubit_to_location,
+              original.stages[s].qubit_to_location);
+    EXPECT_EQ(loaded.stages[s].gates, original.stages[s].gates);
+    ASSERT_EQ(loaded.stages[s].clusters.size(),
+              original.stages[s].clusters.size());
+    for (std::size_t i = 0; i < original.stages[s].clusters.size(); ++i) {
+      EXPECT_EQ(loaded.stages[s].clusters[i].qubits,
+                original.stages[s].clusters[i].qubits);
+      EXPECT_EQ(loaded.stages[s].clusters[i].ops,
+                original.stages[s].clusters[i].ops);
+      ASSERT_TRUE(loaded.stages[s].clusters[i].matrix.has_value());
+      EXPECT_LT(loaded.stages[s].clusters[i].matrix->distance(
+                    *original.stages[s].clusters[i].matrix),
+                1e-12);
+    }
+  }
+}
+
+TEST(ScheduleIo, LoadedScheduleExecutesIdentically) {
+  const Circuit c = test_circuit();
+  ScheduleOptions o;
+  o.num_local = 5;
+  o.kmax = 4;
+  const Schedule original = make_schedule(c, o);
+  const Schedule loaded =
+      schedule_from_string(schedule_to_string(original), c);
+
+  StateVector expected(9);
+  reference_run(expected, c);
+  DistributedSimulator sim(9, 5);
+  sim.init_basis(0);
+  sim.run(c, loaded);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(ScheduleIo, ReusableAcrossInstancesOfTheSameShape) {
+  // The paper's reuse claim: the schedule of one seed drives a circuit
+  // with different random single-qubit draws (same topology), because
+  // the generator emits gates in the same order for the same grid/depth.
+  SupremacyOptions a, b;
+  a.rows = b.rows = 3;
+  a.cols = b.cols = 3;
+  a.depth = b.depth = 14;
+  a.seed = 1;
+  b.seed = 2;
+  const Circuit circuit_a = make_supremacy_circuit(a);
+  const Circuit circuit_b = make_supremacy_circuit(b);
+  ASSERT_EQ(circuit_a.num_gates(), circuit_b.num_gates());
+
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  const std::string stored = schedule_to_string(make_schedule(circuit_a, o));
+  // Re-attach to the sibling instance; matrices re-fuse from circuit_b.
+  const Schedule reattached = schedule_from_string(stored, circuit_b);
+
+  StateVector expected(9);
+  reference_run(expected, circuit_b);
+  DistributedSimulator sim(9, 6);
+  sim.init_basis(0);
+  sim.run(circuit_b, reattached);
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10);
+}
+
+TEST(ScheduleIo, RejectsMalformedInput) {
+  const Circuit c = test_circuit();
+  EXPECT_THROW(schedule_from_string("", c), Error);
+  EXPECT_THROW(schedule_from_string("bogus 1 2 3 4\n", c), Error);
+  // Wrong qubit count.
+  Circuit narrow(4);
+  narrow.h(0);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  const std::string text = schedule_to_string(make_schedule(c, o));
+  EXPECT_THROW(schedule_from_string(text, narrow), Error);
+}
+
+TEST(ScheduleIo, RejectsIncompleteCoverage) {
+  const Circuit c = test_circuit();
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  std::string text = schedule_to_string(make_schedule(c, o));
+  // Truncate the last line: a gate goes missing.
+  text.erase(text.rfind("cluster"));
+  EXPECT_THROW(schedule_from_string(text, c), Error);
+}
+
+}  // namespace
+}  // namespace quasar

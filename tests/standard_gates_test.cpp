@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+
+namespace quasar {
+namespace {
+
+class AllStandardKinds : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(AllStandardKinds, MatrixIsUnitary) {
+  EXPECT_TRUE(standard_matrix(GetParam()).is_unitary())
+      << gate_name(GetParam());
+}
+
+TEST_P(AllStandardKinds, ArityMatchesMatrix) {
+  EXPECT_EQ(standard_matrix(GetParam()).num_qubits(),
+            standard_arity(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gates, AllStandardKinds,
+    ::testing::Values(GateKind::kH, GateKind::kX, GateKind::kY, GateKind::kZ,
+                      GateKind::kT, GateKind::kTdg, GateKind::kS,
+                      GateKind::kSdg, GateKind::kSqrtX, GateKind::kSqrtY,
+                      GateKind::kCZ, GateKind::kCNot, GateKind::kSwap),
+    [](const auto& info) { return gate_name(info.param); });
+
+TEST(StandardGates, HadamardSquaresToIdentity) {
+  const auto h = gates::h();
+  EXPECT_LT((h * h).distance(GateMatrix::identity(1)), 1e-14);
+}
+
+TEST(StandardGates, TEighthPowerIsIdentity) {
+  GateMatrix m = GateMatrix::identity(1);
+  for (int i = 0; i < 8; ++i) m = gates::t() * m;
+  EXPECT_LT(m.distance(GateMatrix::identity(1)), 1e-13);
+}
+
+TEST(StandardGates, TSquaredIsS) {
+  EXPECT_LT((gates::t() * gates::t()).distance(gates::s()), 1e-14);
+}
+
+TEST(StandardGates, SSquaredIsZ) {
+  EXPECT_LT((gates::s() * gates::s()).distance(gates::z()), 1e-14);
+}
+
+TEST(StandardGates, SqrtXSquaredIsX) {
+  // The paper's X^(1/2) definition must square to X.
+  EXPECT_LT((gates::sqrt_x() * gates::sqrt_x()).distance(gates::x()), 1e-14);
+}
+
+TEST(StandardGates, SqrtYSquaredIsY) {
+  EXPECT_LT((gates::sqrt_y() * gates::sqrt_y()).distance(gates::y()), 1e-14);
+}
+
+TEST(StandardGates, PaperMatrixEntries) {
+  // Spot-check the exact entries printed in Sec. 2.
+  const auto sx = gates::sqrt_x();
+  EXPECT_EQ(sx.at(0, 0), (Amplitude{0.5, 0.5}));
+  EXPECT_EQ(sx.at(0, 1), (Amplitude{0.5, -0.5}));
+  const auto sy = gates::sqrt_y();
+  EXPECT_EQ(sy.at(0, 1), (Amplitude{-0.5, -0.5}));
+  EXPECT_EQ(sy.at(1, 0), (Amplitude{0.5, 0.5}));
+  const auto t = gates::t();
+  EXPECT_NEAR(t.at(1, 1).real(), std::cos(std::numbers::pi / 4), 1e-15);
+  EXPECT_NEAR(t.at(1, 1).imag(), std::sin(std::numbers::pi / 4), 1e-15);
+}
+
+TEST(StandardGates, CzIsSymmetric) {
+  // CZ does not care which qubit is control (Sec. 2).
+  const auto cz = gates::cz();
+  EXPECT_LT(cz.permute_qubits({1, 0}).distance(cz), 1e-15);
+}
+
+TEST(StandardGates, CnotTruthTable) {
+  const auto cnot = gates::cnot();
+  // Control is qubit 0: |q1 q0> = |00>->|00>, |01>->|11>, |11>->|01>.
+  EXPECT_EQ(cnot.at(0, 0), Amplitude{1.0});
+  EXPECT_EQ(cnot.at(3, 1), Amplitude{1.0});
+  EXPECT_EQ(cnot.at(1, 3), Amplitude{1.0});
+  EXPECT_EQ(cnot.at(2, 2), Amplitude{1.0});
+}
+
+TEST(StandardGates, RotationsReduceToPaulis) {
+  GateMatrix rx_pi = gates::rx(std::numbers::pi);
+  rx_pi.scale(Amplitude{0.0, 1.0});  // e^{i pi/2} global phase
+  EXPECT_LT(rx_pi.distance(gates::x()), 1e-14);
+
+  GateMatrix rz_pi = gates::rz(std::numbers::pi);
+  rz_pi.scale(Amplitude{0.0, 1.0});
+  EXPECT_LT(rz_pi.distance(gates::z()), 1e-14);
+}
+
+TEST(StandardGates, PhaseGates) {
+  EXPECT_LT(gates::phase(std::numbers::pi / 4).distance(gates::t()), 1e-14);
+  EXPECT_LT(gates::cphase(std::numbers::pi).distance(gates::cz()), 1e-14);
+  EXPECT_TRUE(gates::rz(0.3).is_diagonal());
+  EXPECT_TRUE(gates::cphase(0.7).is_diagonal());
+}
+
+TEST(StandardGates, RandomSu2IsUnitary) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(gates::random_su2(rng).is_unitary(1e-9));
+  }
+}
+
+TEST(StandardGates, ParameterizedKindsThrowInStandardMatrix) {
+  EXPECT_THROW(standard_matrix(GateKind::kRz), Error);
+  EXPECT_THROW(standard_matrix(GateKind::kCustom), Error);
+  EXPECT_THROW(standard_arity(GateKind::kCustom), Error);
+}
+
+TEST(StandardGates, NamesAreUniqueAndStable) {
+  EXPECT_EQ(gate_name(GateKind::kSqrtX), "X_1_2");
+  EXPECT_EQ(gate_name(GateKind::kSqrtY), "Y_1_2");
+  EXPECT_EQ(gate_name(GateKind::kCZ), "CZ");
+  EXPECT_NE(gate_name(GateKind::kS), gate_name(GateKind::kSdg));
+}
+
+}  // namespace
+}  // namespace quasar

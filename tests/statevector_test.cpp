@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/circuit.hpp"
+#include "core/rng.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(StateVector, InitializesToZeroState) {
+  StateVector s(5);
+  EXPECT_EQ(s.size(), 32u);
+  EXPECT_EQ(s[0], Amplitude{1.0});
+  for (Index i = 1; i < s.size(); ++i) EXPECT_EQ(s[i], Amplitude{0.0});
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-15);
+}
+
+TEST(StateVector, SetBasisState) {
+  StateVector s(4);
+  s.set_basis_state(9);
+  EXPECT_EQ(s[9], Amplitude{1.0});
+  EXPECT_EQ(s[0], Amplitude{0.0});
+  EXPECT_THROW(s.set_basis_state(16), Error);
+}
+
+TEST(StateVector, UniformSuperposition) {
+  StateVector s(6);
+  s.set_uniform_superposition();
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+  EXPECT_NEAR(s[17].real(), std::pow(2.0, -3.0), 1e-15);
+}
+
+TEST(StateVector, UniformEqualsHadamardLayer) {
+  // The Sec. 3.6 optimization: skipping the cycle-0 H layer and starting
+  // from (2^{-n/2}, ...) must equal actually applying the H gates.
+  const int n = 5;
+  StateVector via_gates(n);
+  Circuit h_layer(n);
+  for (int q = 0; q < n; ++q) h_layer.h(q);
+  reference_run(via_gates, h_layer);
+
+  StateVector direct(n);
+  direct.set_uniform_superposition();
+  EXPECT_LT(direct.max_abs_diff(via_gates), 1e-14);
+}
+
+TEST(StateVector, Validation) {
+  EXPECT_THROW(StateVector(0), Error);
+  EXPECT_THROW(StateVector(41), Error);
+}
+
+TEST(Simulator, GhzState) {
+  const int n = 4;
+  StateVector s(n);
+  Simulator sim(s);
+  Circuit c(n);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cnot(q, q + 1);
+  sim.run(c);
+  const double amp = std::sqrt(0.5);
+  EXPECT_NEAR(std::abs(s[0]), amp, 1e-12);
+  EXPECT_NEAR(std::abs(s[s.size() - 1]), amp, 1e-12);
+  for (Index i = 1; i + 1 < s.size(); ++i) {
+    EXPECT_NEAR(std::abs(s[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Simulator, MatchesReferenceOnRandomCircuit) {
+  Rng rng(42);
+  const int n = 8;
+  Circuit c(n);
+  for (int i = 0; i < 60; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(4));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.h(a); break;
+      case 1: c.append_custom({a}, gates::random_su2(rng)); break;
+      case 2: c.cz(a, b); break;
+      case 3: c.cnot(a, b); break;
+    }
+  }
+  StateVector fast(n), slow(n);
+  Simulator sim(fast);
+  sim.run(c);
+  reference_run(slow, c);
+  EXPECT_LT(fast.max_abs_diff(slow), 1e-11);
+}
+
+TEST(Simulator, QftMatchesAnalyticResult) {
+  // QFT of |0...0> is the uniform superposition.
+  const int n = 6;
+  StateVector s(n);
+  Simulator sim(s);
+  Circuit c(n);
+  for (int q = n - 1; q >= 0; --q) {
+    c.h(q);
+    for (int j = q - 1; j >= 0; --j) {
+      c.cphase(j, q, std::numbers::pi / (1 << (q - j)));
+    }
+  }
+  sim.run(c);
+  for (Index i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i].real(), std::pow(2.0, -3.0), 1e-12);
+    EXPECT_NEAR(s[i].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Simulator, RunValidatesWidth) {
+  StateVector s(3);
+  Simulator sim(s);
+  Circuit wrong(4);
+  wrong.h(0);
+  EXPECT_THROW(sim.run(wrong), Error);
+}
+
+}  // namespace
+}  // namespace quasar

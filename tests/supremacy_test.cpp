@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "circuit/analysis.hpp"
+#include "circuit/supremacy.hpp"
+#include "core/error.hpp"
+
+namespace quasar {
+namespace {
+
+TEST(CzPatterns, NoQubitTwiceWithinOnePattern) {
+  for (int rows : {4, 5, 6, 7}) {
+    for (int cols : {4, 5, 6}) {
+      for (int p = 0; p < 8; ++p) {
+        std::set<Qubit> seen;
+        for (const Bond& b : supremacy_cz_pattern(p, rows, cols)) {
+          EXPECT_TRUE(seen.insert(b.a).second) << "pattern " << p;
+          EXPECT_TRUE(seen.insert(b.b).second) << "pattern " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(CzPatterns, EightPatternsCoverEveryBondExactlyOnce) {
+  // Fig. 1: "all possible two qubit interactions ... are executed every
+  // 8 cycles".
+  for (auto [rows, cols] : {std::pair{4, 4}, {6, 5}, {6, 6}, {7, 6}}) {
+    std::map<std::pair<Qubit, Qubit>, int> hits;
+    for (int p = 0; p < 8; ++p) {
+      for (const Bond& b : supremacy_cz_pattern(p, rows, cols)) {
+        auto key = std::minmax(b.a, b.b);
+        ++hits[{key.first, key.second}];
+      }
+    }
+    const std::size_t expected_bonds =
+        static_cast<std::size_t>(rows * (cols - 1) + (rows - 1) * cols);
+    EXPECT_EQ(hits.size(), expected_bonds) << rows << "x" << cols;
+    for (const auto& [bond, count] : hits) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(CzPatterns, BondsAreGridNeighbours) {
+  const int rows = 5, cols = 6;
+  for (int p = 0; p < 8; ++p) {
+    for (const Bond& b : supremacy_cz_pattern(p, rows, cols)) {
+      const int ra = b.a / cols, ca = b.a % cols;
+      const int rb = b.b / cols, cb = b.b % cols;
+      EXPECT_EQ(std::abs(ra - rb) + std::abs(ca - cb), 1);
+    }
+  }
+}
+
+TEST(CzPatterns, Validation) {
+  EXPECT_THROW(supremacy_cz_pattern(8, 4, 4), Error);
+  EXPECT_THROW(supremacy_cz_pattern(-1, 4, 4), Error);
+}
+
+SupremacyOptions small_options(std::uint64_t seed = 7) {
+  SupremacyOptions o;
+  o.rows = 4;
+  o.cols = 4;
+  o.depth = 20;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SupremacyGenerator, StartsWithHadamardLayer) {
+  const Circuit c = make_supremacy_circuit(small_options());
+  for (int q = 0; q < 16; ++q) {
+    EXPECT_EQ(c.op(q).kind, GateKind::kH);
+    EXPECT_EQ(c.op(q).qubits[0], q);
+    EXPECT_EQ(c.op(q).cycle, 0);
+  }
+}
+
+TEST(SupremacyGenerator, NoInitialHadamardsOption) {
+  SupremacyOptions o = small_options();
+  o.initial_hadamards = false;
+  const Circuit c = make_supremacy_circuit(o);
+  EXPECT_NE(c.op(0).kind, GateKind::kH);
+}
+
+TEST(SupremacyGenerator, CzGatesFollowThePatternOfTheirCycle) {
+  const SupremacyOptions o = small_options();
+  const Circuit c = make_supremacy_circuit(o);
+  for (const GateOp& op : c.ops()) {
+    if (op.kind != GateKind::kCZ) continue;
+    const auto bonds =
+        supremacy_cz_pattern((op.cycle - 1) % 8, o.rows, o.cols);
+    bool found = false;
+    for (const Bond& b : bonds) {
+      found |= (b.a == op.qubits[0] && b.b == op.qubits[1]);
+    }
+    EXPECT_TRUE(found) << "cycle " << op.cycle;
+  }
+}
+
+TEST(SupremacyGenerator, SingleQubitGateRules) {
+  const SupremacyOptions o = small_options(123);
+  const Circuit c = make_supremacy_circuit(o);
+  const int n = o.rows * o.cols;
+
+  std::vector<GateKind> last_single(n, GateKind::kH);
+  std::vector<int> singles(n, 0);
+  std::vector<std::set<Qubit>> cz_in_cycle(o.depth + 1);
+  for (const GateOp& op : c.ops()) {
+    if (op.kind == GateKind::kCZ) {
+      cz_in_cycle[op.cycle].insert(op.qubits[0]);
+      cz_in_cycle[op.cycle].insert(op.qubits[1]);
+    }
+  }
+  for (const GateOp& op : c.ops()) {
+    if (op.arity() != 1 || op.cycle == 0) continue;
+    const Qubit q = op.qubits[0];
+    // Applied only to qubits with a CZ in the previous but not the
+    // current cycle.
+    EXPECT_TRUE(cz_in_cycle[op.cycle - 1].count(q)) << "cycle " << op.cycle;
+    EXPECT_FALSE(cz_in_cycle[op.cycle].count(q)) << "cycle " << op.cycle;
+    // Gate choice rules.
+    EXPECT_TRUE(op.kind == GateKind::kT || op.kind == GateKind::kSqrtX ||
+                op.kind == GateKind::kSqrtY);
+    if (singles[q] == 0) {
+      EXPECT_EQ(op.kind, GateKind::kT)
+          << "second single-qubit gate (after H) must be T";
+    } else {
+      EXPECT_NE(op.kind, last_single[q])
+          << "random gate must differ from the previous one";
+    }
+    last_single[q] = op.kind;
+    ++singles[q];
+  }
+}
+
+TEST(SupremacyGenerator, DeterministicInSeed) {
+  const Circuit a = make_supremacy_circuit(small_options(5));
+  const Circuit b = make_supremacy_circuit(small_options(5));
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (std::size_t i = 0; i < a.num_gates(); ++i) {
+    EXPECT_EQ(a.op(i).kind, b.op(i).kind);
+    EXPECT_EQ(a.op(i).qubits, b.op(i).qubits);
+  }
+}
+
+TEST(SupremacyGenerator, DifferentSeedsDiffer) {
+  const Circuit a = make_supremacy_circuit(small_options(1));
+  const Circuit b = make_supremacy_circuit(small_options(2));
+  bool any_diff = a.num_gates() != b.num_gates();
+  for (std::size_t i = 0; !any_diff && i < a.num_gates(); ++i) {
+    any_diff = a.op(i).kind != b.op(i).kind;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SupremacyGenerator, GateCountsNearPaperTable1) {
+  // Table 1: depth-25 circuits have 369/447/528/569 gates for
+  // 30/36/42/45 qubits. Pattern ordering details shift counts slightly;
+  // require agreement within 15%.
+  const std::map<int, std::size_t> paper = {
+      {30, 369}, {36, 447}, {42, 528}, {45, 569}};
+  for (const auto& [qubits, expected] : paper) {
+    const auto [rows, cols] = supremacy_grid_for_qubits(qubits);
+    SupremacyOptions o;
+    o.rows = rows;
+    o.cols = cols;
+    o.depth = 25;
+    o.seed = 0;
+    const Circuit c = make_supremacy_circuit(o);
+    const double ratio = static_cast<double>(c.num_gates()) /
+                         static_cast<double>(expected);
+    EXPECT_GT(ratio, 0.85) << qubits << " qubits: " << c.num_gates();
+    EXPECT_LT(ratio, 1.15) << qubits << " qubits: " << c.num_gates();
+  }
+}
+
+TEST(SupremacyGenerator, GridForQubits) {
+  EXPECT_EQ(supremacy_grid_for_qubits(30), (std::pair{6, 5}));
+  EXPECT_EQ(supremacy_grid_for_qubits(45), (std::pair{9, 5}));
+  EXPECT_EQ(supremacy_grid_for_qubits(49), (std::pair{7, 7}));
+  EXPECT_THROW(supremacy_grid_for_qubits(31), Error);
+}
+
+TEST(SupremacyGenerator, Validation) {
+  SupremacyOptions o;
+  o.rows = 0;
+  EXPECT_THROW(make_supremacy_circuit(o), Error);
+  o = SupremacyOptions{};
+  o.depth = 0;
+  EXPECT_THROW(make_supremacy_circuit(o), Error);
+  o = SupremacyOptions{};
+  o.rows = 1;
+  o.cols = 1;
+  EXPECT_THROW(make_supremacy_circuit(o), Error);
+}
+
+TEST(SupremacyGenerator, DepthMatchesCycles) {
+  const Circuit c = make_supremacy_circuit(small_options());
+  int max_cycle = 0;
+  for (const GateOp& op : c.ops()) max_cycle = std::max(max_cycle, op.cycle);
+  EXPECT_EQ(max_cycle, 20);
+}
+
+}  // namespace
+}  // namespace quasar

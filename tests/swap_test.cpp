@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+#include "kernels/swap.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+void randomize(StateVector& state, Rng& rng) {
+  for (Index i = 0; i < state.size(); ++i) {
+    state[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+}
+
+TEST(BitSwap, MatchesSwapGate) {
+  Rng rng(1);
+  for (auto [p, q] : {std::pair{0, 1}, {0, 5}, {2, 6}, {6, 2}, {3, 4}}) {
+    StateVector a(7), b(7);
+    randomize(a, rng);
+    for (Index i = 0; i < a.size(); ++i) b[i] = a[i];
+    apply_bit_swap(a.data(), 7, p, q);
+    reference_apply(b, gates::swap(), {p, q});
+    EXPECT_LT(a.max_abs_diff(b), 1e-15) << p << "," << q;
+  }
+}
+
+TEST(BitSwap, SelfInverse) {
+  Rng rng(2);
+  StateVector a(8), original(8);
+  randomize(a, rng);
+  for (Index i = 0; i < a.size(); ++i) original[i] = a[i];
+  apply_bit_swap(a.data(), 8, 1, 6);
+  apply_bit_swap(a.data(), 8, 6, 1);
+  EXPECT_LT(a.max_abs_diff(original), 1e-15);
+}
+
+TEST(BitSwap, Validation) {
+  StateVector s(4);
+  EXPECT_THROW(apply_bit_swap(s.data(), 4, 0, 0), Error);
+  EXPECT_THROW(apply_bit_swap(s.data(), 4, 0, 4), Error);
+  EXPECT_THROW(apply_bit_swap(s.data(), 4, -1, 2), Error);
+}
+
+TEST(BitPermutation, MatchesIndexRemap) {
+  Rng rng(3);
+  const int n = 6;
+  // A few random permutations; verify against direct index arithmetic.
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    for (int i = 0; i < n; ++i) {
+      std::swap(perm[i], perm[i + rng.uniform_int(n - i)]);
+    }
+    StateVector s(n), expected(n);
+    randomize(s, rng);
+    for (Index j = 0; j < s.size(); ++j) {
+      Index src = 0;
+      for (int b = 0; b < n; ++b) {
+        src |= static_cast<Index>((j >> b) & 1u) << perm[b];
+      }
+      expected[j] = s[src];
+    }
+    apply_bit_permutation(s.data(), n, perm);
+    EXPECT_LT(s.max_abs_diff(expected), 1e-15) << "trial " << trial;
+  }
+}
+
+TEST(BitPermutation, IdentityDoesNothing) {
+  StateVector s(5);
+  Rng rng(4);
+  randomize(s, rng);
+  StateVector original = s;
+  const int swaps = apply_bit_permutation(s.data(), 5, {0, 1, 2, 3, 4});
+  EXPECT_EQ(swaps, 0);
+  EXPECT_LT(s.max_abs_diff(original), 1e-15);
+}
+
+TEST(BitPermutation, SwapCountBounded) {
+  StateVector s(6);
+  const int swaps = apply_bit_permutation(s.data(), 6, {5, 4, 3, 2, 1, 0});
+  EXPECT_LE(swaps, 5);  // at most n-1 transpositions
+  EXPECT_GE(swaps, 3);
+}
+
+TEST(BitPermutation, Validation) {
+  StateVector s(3);
+  EXPECT_THROW(apply_bit_permutation(s.data(), 3, {0, 1}), Error);
+  EXPECT_THROW(apply_bit_permutation(s.data(), 3, {0, 0, 1}), Error);
+  EXPECT_THROW(apply_bit_permutation(s.data(), 3, {0, 1, 3}), Error);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+#include "runtime/virtual_cluster.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+/// Loads a full state vector into the cluster (identity layout).
+void load(VirtualCluster& cluster, const StateVector& s) {
+  const Index local = cluster.local_size();
+  for (int r = 0; r < cluster.num_ranks(); ++r) {
+    for (Index i = 0; i < local; ++i) {
+      cluster.rank_data(r)[i] = s[(static_cast<Index>(r) <<
+                                   cluster.num_local()) | i];
+    }
+  }
+}
+
+/// Reads the cluster back into a full state vector (identity layout).
+StateVector unload(const VirtualCluster& cluster) {
+  StateVector s(cluster.num_qubits());
+  const Index local = cluster.local_size();
+  for (int r = 0; r < cluster.num_ranks(); ++r) {
+    for (Index i = 0; i < local; ++i) {
+      s[(static_cast<Index>(r) << cluster.num_local()) | i] =
+          cluster.rank_data(r)[i];
+    }
+  }
+  return s;
+}
+
+StateVector random_state(int n, std::uint64_t seed) {
+  StateVector s(n);
+  Rng rng(seed);
+  for (Index i = 0; i < s.size(); ++i) {
+    s[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+  return s;
+}
+
+TEST(VirtualCluster, Construction) {
+  VirtualCluster c(8, 5);
+  EXPECT_EQ(c.num_ranks(), 8);
+  EXPECT_EQ(c.local_size(), 32u);
+  EXPECT_THROW(VirtualCluster(8, 0), Error);
+  EXPECT_THROW(VirtualCluster(8, 3), Error);  // g > l
+}
+
+TEST(VirtualCluster, InitBasis) {
+  VirtualCluster c(6, 4);
+  c.init_basis(0b101101);
+  const StateVector s = unload(c);
+  EXPECT_EQ(s[0b101101], Amplitude{1.0});
+  EXPECT_NEAR(c.norm_squared(), 1.0, 1e-15);
+}
+
+TEST(VirtualCluster, InitUniform) {
+  VirtualCluster c(6, 4);
+  c.init_uniform();
+  EXPECT_NEAR(c.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(VirtualCluster, FullSwapEqualsBitSwaps) {
+  // Swapping all g global qubits with the top-g locals (Fig. 3) must
+  // equal the corresponding index bit swaps on the flat state.
+  const int n = 8, l = 5, g = 3;
+  StateVector original = random_state(n, 1);
+  VirtualCluster c(n, l);
+  load(c, original);
+  c.alltoall_swap({5, 6, 7});
+  // Expected: swap bits (5 <-> 2), (6 <-> 3), (7 <-> 4).
+  StateVector expected = original;
+  for (int i = 0; i < g; ++i) {
+    reference_apply(expected, gates::swap(), {l - g + i, l + i});
+  }
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-15);
+  EXPECT_EQ(c.stats().alltoalls, 1u);
+  EXPECT_GT(c.stats().bytes_sent_per_rank, 0u);
+}
+
+TEST(VirtualCluster, PartialGroupSwap) {
+  // Swap only global location 7 with local location 4 (q = 1): group
+  // all-to-alls within each pair of ranks sharing the other global bits.
+  const int n = 8, l = 5;
+  StateVector original = random_state(n, 2);
+  VirtualCluster c(n, l);
+  load(c, original);
+  c.alltoall_swap({7});
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {4, 7});
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-15);
+}
+
+TEST(VirtualCluster, TwoQubitGroupSwap) {
+  const int n = 7, l = 4;
+  StateVector original = random_state(n, 3);
+  VirtualCluster c(n, l);
+  load(c, original);
+  c.alltoall_swap({4, 6});
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {2, 4});
+  reference_apply(expected, gates::swap(), {3, 6});
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-15);
+}
+
+TEST(VirtualCluster, SwapValidation) {
+  VirtualCluster c(6, 4);
+  EXPECT_THROW(c.alltoall_swap({}), Error);
+  EXPECT_THROW(c.alltoall_swap({3}), Error);      // not global
+  EXPECT_THROW(c.alltoall_swap({5, 4}), Error);   // not ascending
+  EXPECT_THROW(c.alltoall_swap({4, 5, 6}), Error);  // only 2 globals
+}
+
+TEST(VirtualCluster, RankRenumberingPermutesGlobalBits) {
+  const int n = 7, l = 4;
+  StateVector original = random_state(n, 4);
+  VirtualCluster c(n, l);
+  load(c, original);
+  // Swap global bits 0 and 2 (locations 4 and 6).
+  c.renumber_ranks({2, 1, 0});
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {4, 6});
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-15);
+  EXPECT_EQ(c.stats().rank_renumberings, 1u);
+  EXPECT_EQ(c.stats().bytes_sent_per_rank, 0u);  // free
+}
+
+TEST(VirtualCluster, LocalSwap) {
+  const int n = 7, l = 5;
+  StateVector original = random_state(n, 5);
+  VirtualCluster c(n, l);
+  load(c, original);
+  c.local_swap(1, 3);
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {1, 3});
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-15);
+  EXPECT_EQ(c.stats().local_swap_sweeps, 1u);
+}
+
+TEST(VirtualCluster, PairwiseGlobalGateMatchesReference) {
+  const int n = 7, l = 4;
+  Rng rng(6);
+  for (int location : {4, 5, 6}) {
+    StateVector original = random_state(n, 10 + location);
+    VirtualCluster c(n, l);
+    load(c, original);
+    const GateMatrix u = gates::random_su2(rng);
+    c.pairwise_global_gate(u, location);
+    StateVector expected = original;
+    reference_apply(expected, u, {location});
+    EXPECT_LT(unload(c).max_abs_diff(expected), 1e-13)
+        << "location " << location;
+  }
+}
+
+TEST(VirtualCluster, PairwiseStatsAccounting) {
+  VirtualCluster c(6, 4);
+  c.init_basis(0);
+  c.pairwise_global_gate(gates::h(), 5);
+  EXPECT_EQ(c.stats().pairwise_exchanges, 2u);
+  // 2 exchanges x half the local state (Sec. 3.4).
+  EXPECT_EQ(c.stats().bytes_sent_per_rank,
+            c.local_size() * kBytesPerAmplitude);
+}
+
+TEST(VirtualCluster, FullSwapCommVolume) {
+  VirtualCluster c(8, 6);
+  c.init_basis(0);
+  c.alltoall_swap({6, 7});
+  // Each rank keeps 1/4 of its state and sends 3/4.
+  EXPECT_EQ(c.stats().bytes_sent_per_rank,
+            c.local_size() * 3 / 4 * kBytesPerAmplitude);
+}
+
+}  // namespace
+}  // namespace quasar
+
+namespace quasar {
+namespace {
+
+TEST(VirtualCluster, PermuteRanksGeneralBijection) {
+  VirtualCluster c(6, 4);  // 4 ranks
+  for (int r = 0; r < 4; ++r) c.rank_data(r)[0] = Amplitude(r, 0);
+  // A 3-cycle (not a bit permutation): 0 -> 1 -> 2 -> 0, 3 fixed.
+  c.permute_ranks({2, 0, 1, 3});
+  EXPECT_EQ(c.rank_data(0)[0].real(), 2.0);
+  EXPECT_EQ(c.rank_data(1)[0].real(), 0.0);
+  EXPECT_EQ(c.rank_data(2)[0].real(), 1.0);
+  EXPECT_EQ(c.rank_data(3)[0].real(), 3.0);
+  EXPECT_EQ(c.stats().rank_renumberings, 1u);
+  EXPECT_EQ(c.stats().bytes_sent_per_rank, 0u);
+}
+
+TEST(VirtualCluster, PermuteRanksValidation) {
+  VirtualCluster c(6, 4);
+  EXPECT_THROW(c.permute_ranks({0, 1}), Error);         // wrong size
+  EXPECT_THROW(c.permute_ranks({0, 0, 1, 2}), Error);   // not a bijection
+  EXPECT_THROW(c.permute_ranks({0, 1, 2, 9}), Error);   // out of range
+}
+
+}  // namespace
+}  // namespace quasar
