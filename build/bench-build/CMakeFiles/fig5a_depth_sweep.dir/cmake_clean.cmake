@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_depth_sweep"
+  "../bench/fig5a_depth_sweep.pdb"
+  "CMakeFiles/fig5a_depth_sweep.dir/fig5a_depth_sweep.cpp.o"
+  "CMakeFiles/fig5a_depth_sweep.dir/fig5a_depth_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

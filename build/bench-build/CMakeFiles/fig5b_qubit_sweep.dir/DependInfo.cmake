@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5b_qubit_sweep.cpp" "bench-build/CMakeFiles/fig5b_qubit_sweep.dir/fig5b_qubit_sweep.cpp.o" "gcc" "bench-build/CMakeFiles/fig5b_qubit_sweep.dir/fig5b_qubit_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/quasar_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/quasar_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/quasar_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/quasar_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

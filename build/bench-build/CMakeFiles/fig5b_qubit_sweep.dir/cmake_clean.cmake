@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_qubit_sweep"
+  "../bench/fig5b_qubit_sweep.pdb"
+  "CMakeFiles/fig5b_qubit_sweep.dir/fig5b_qubit_sweep.cpp.o"
+  "CMakeFiles/fig5b_qubit_sweep.dir/fig5b_qubit_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_qubit_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

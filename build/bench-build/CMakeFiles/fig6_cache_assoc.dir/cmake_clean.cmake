@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cache_assoc"
+  "../bench/fig6_cache_assoc.pdb"
+  "CMakeFiles/fig6_cache_assoc.dir/fig6_cache_assoc.cpp.o"
+  "CMakeFiles/fig6_cache_assoc.dir/fig6_cache_assoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cache_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fp32_vs_fp64"
+  "../bench/fp32_vs_fp64.pdb"
+  "CMakeFiles/fp32_vs_fp64.dir/fp32_vs_fp64.cpp.o"
+  "CMakeFiles/fp32_vs_fp64.dir/fp32_vs_fp64.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp32_vs_fp64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

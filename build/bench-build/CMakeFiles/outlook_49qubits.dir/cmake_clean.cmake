@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/outlook_49qubits"
+  "../bench/outlook_49qubits.pdb"
+  "CMakeFiles/outlook_49qubits.dir/outlook_49qubits.cpp.o"
+  "CMakeFiles/outlook_49qubits.dir/outlook_49qubits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlook_49qubits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec421_single_node"
+  "../bench/sec421_single_node.pdb"
+  "CMakeFiles/sec421_single_node.dir/sec421_single_node.cpp.o"
+  "CMakeFiles/sec421_single_node.dir/sec421_single_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec421_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

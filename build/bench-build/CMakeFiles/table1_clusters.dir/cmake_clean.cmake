@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_clusters"
+  "../bench/table1_clusters.pdb"
+  "CMakeFiles/table1_clusters.dir/table1_clusters.cpp.o"
+  "CMakeFiles/table1_clusters.dir/table1_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_runs"
+  "../bench/table2_runs.pdb"
+  "CMakeFiles/table2_runs.dir/table2_runs.cpp.o"
+  "CMakeFiles/table2_runs.dir/table2_runs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms.dir/algorithms.cpp.o"
+  "CMakeFiles/algorithms.dir/algorithms.cpp.o.d"
+  "algorithms"
+  "algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

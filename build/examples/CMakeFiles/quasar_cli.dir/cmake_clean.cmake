@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_cli.dir/quasar_cli.cpp.o"
+  "CMakeFiles/quasar_cli.dir/quasar_cli.cpp.o.d"
+  "quasar_cli"
+  "quasar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_report.dir/scheduler_report.cpp.o"
+  "CMakeFiles/scheduler_report.dir/scheduler_report.cpp.o.d"
+  "scheduler_report"
+  "scheduler_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

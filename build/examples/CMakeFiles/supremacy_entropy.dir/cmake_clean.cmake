@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremacy_entropy.dir/supremacy_entropy.cpp.o"
+  "CMakeFiles/supremacy_entropy.dir/supremacy_entropy.cpp.o.d"
+  "supremacy_entropy"
+  "supremacy_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremacy_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

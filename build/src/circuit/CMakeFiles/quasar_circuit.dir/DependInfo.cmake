@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/analysis.cpp" "src/circuit/CMakeFiles/quasar_circuit.dir/analysis.cpp.o" "gcc" "src/circuit/CMakeFiles/quasar_circuit.dir/analysis.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/quasar_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/quasar_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/io.cpp" "src/circuit/CMakeFiles/quasar_circuit.dir/io.cpp.o" "gcc" "src/circuit/CMakeFiles/quasar_circuit.dir/io.cpp.o.d"
+  "/root/repo/src/circuit/supremacy.cpp" "src/circuit/CMakeFiles/quasar_circuit.dir/supremacy.cpp.o" "gcc" "src/circuit/CMakeFiles/quasar_circuit.dir/supremacy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

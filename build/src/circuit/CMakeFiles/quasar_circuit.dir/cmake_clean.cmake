@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_circuit.dir/analysis.cpp.o"
+  "CMakeFiles/quasar_circuit.dir/analysis.cpp.o.d"
+  "CMakeFiles/quasar_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/quasar_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/quasar_circuit.dir/io.cpp.o"
+  "CMakeFiles/quasar_circuit.dir/io.cpp.o.d"
+  "CMakeFiles/quasar_circuit.dir/supremacy.cpp.o"
+  "CMakeFiles/quasar_circuit.dir/supremacy.cpp.o.d"
+  "libquasar_circuit.a"
+  "libquasar_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_core.dir/error.cpp.o"
+  "CMakeFiles/quasar_core.dir/error.cpp.o.d"
+  "CMakeFiles/quasar_core.dir/rng.cpp.o"
+  "CMakeFiles/quasar_core.dir/rng.cpp.o.d"
+  "CMakeFiles/quasar_core.dir/timing.cpp.o"
+  "CMakeFiles/quasar_core.dir/timing.cpp.o.d"
+  "libquasar_core.a"
+  "libquasar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_fp32.dir/distributed_f32.cpp.o"
+  "CMakeFiles/quasar_fp32.dir/distributed_f32.cpp.o.d"
+  "CMakeFiles/quasar_fp32.dir/kernels_f32.cpp.o"
+  "CMakeFiles/quasar_fp32.dir/kernels_f32.cpp.o.d"
+  "CMakeFiles/quasar_fp32.dir/simulator_f32.cpp.o"
+  "CMakeFiles/quasar_fp32.dir/simulator_f32.cpp.o.d"
+  "CMakeFiles/quasar_fp32.dir/statevector_f32.cpp.o"
+  "CMakeFiles/quasar_fp32.dir/statevector_f32.cpp.o.d"
+  "libquasar_fp32.a"
+  "libquasar_fp32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

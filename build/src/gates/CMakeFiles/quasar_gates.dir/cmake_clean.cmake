@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_gates.dir/matrix.cpp.o"
+  "CMakeFiles/quasar_gates.dir/matrix.cpp.o.d"
+  "CMakeFiles/quasar_gates.dir/standard.cpp.o"
+  "CMakeFiles/quasar_gates.dir/standard.cpp.o.d"
+  "libquasar_gates.a"
+  "libquasar_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quasar_gates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/autotune.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/autotune.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/autotune.cpp.o.d"
+  "/root/repo/src/kernels/dispatch.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/dispatch.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/dispatch.cpp.o.d"
+  "/root/repo/src/kernels/naive.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/naive.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/naive.cpp.o.d"
+  "/root/repo/src/kernels/prepared_gate.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/prepared_gate.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/prepared_gate.cpp.o.d"
+  "/root/repo/src/kernels/scalar.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/scalar.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/scalar.cpp.o.d"
+  "/root/repo/src/kernels/simd.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/simd.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/simd.cpp.o.d"
+  "/root/repo/src/kernels/swap.cpp" "src/kernels/CMakeFiles/quasar_kernels.dir/swap.cpp.o" "gcc" "src/kernels/CMakeFiles/quasar_kernels.dir/swap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_kernels.dir/autotune.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/autotune.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/dispatch.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/dispatch.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/naive.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/naive.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/prepared_gate.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/prepared_gate.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/scalar.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/scalar.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/simd.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/simd.cpp.o.d"
+  "CMakeFiles/quasar_kernels.dir/swap.cpp.o"
+  "CMakeFiles/quasar_kernels.dir/swap.cpp.o.d"
+  "libquasar_kernels.a"
+  "libquasar_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

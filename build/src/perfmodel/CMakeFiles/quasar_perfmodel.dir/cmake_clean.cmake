@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_perfmodel.dir/comm_model.cpp.o"
+  "CMakeFiles/quasar_perfmodel.dir/comm_model.cpp.o.d"
+  "CMakeFiles/quasar_perfmodel.dir/kernel_model.cpp.o"
+  "CMakeFiles/quasar_perfmodel.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/quasar_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/quasar_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/quasar_perfmodel.dir/roofline.cpp.o"
+  "CMakeFiles/quasar_perfmodel.dir/roofline.cpp.o.d"
+  "CMakeFiles/quasar_perfmodel.dir/run_model.cpp.o"
+  "CMakeFiles/quasar_perfmodel.dir/run_model.cpp.o.d"
+  "libquasar_perfmodel.a"
+  "libquasar_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

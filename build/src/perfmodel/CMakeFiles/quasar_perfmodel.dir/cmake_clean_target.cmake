@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquasar_perfmodel.a"
+)

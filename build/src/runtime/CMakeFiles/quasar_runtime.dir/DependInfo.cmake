@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/baseline.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/baseline.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/baseline.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/comm.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/comm.cpp.o.d"
+  "/root/repo/src/runtime/conditional.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/conditional.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/conditional.cpp.o.d"
+  "/root/repo/src/runtime/distributed.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/distributed.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/distributed.cpp.o.d"
+  "/root/repo/src/runtime/rank_storage.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/rank_storage.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/rank_storage.cpp.o.d"
+  "/root/repo/src/runtime/virtual_cluster.cpp" "src/runtime/CMakeFiles/quasar_runtime.dir/virtual_cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/quasar_runtime.dir/virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simulator/CMakeFiles/quasar_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/quasar_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/quasar_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/quasar_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

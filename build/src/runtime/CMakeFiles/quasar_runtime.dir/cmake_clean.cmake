@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_runtime.dir/baseline.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/baseline.cpp.o.d"
+  "CMakeFiles/quasar_runtime.dir/comm.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/quasar_runtime.dir/conditional.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/conditional.cpp.o.d"
+  "CMakeFiles/quasar_runtime.dir/distributed.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/distributed.cpp.o.d"
+  "CMakeFiles/quasar_runtime.dir/rank_storage.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/rank_storage.cpp.o.d"
+  "CMakeFiles/quasar_runtime.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/quasar_runtime.dir/virtual_cluster.cpp.o.d"
+  "libquasar_runtime.a"
+  "libquasar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cpp" "src/sched/CMakeFiles/quasar_sched.dir/cluster.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/cluster.cpp.o.d"
+  "/root/repo/src/sched/executor.cpp" "src/sched/CMakeFiles/quasar_sched.dir/executor.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/executor.cpp.o.d"
+  "/root/repo/src/sched/mapping.cpp" "src/sched/CMakeFiles/quasar_sched.dir/mapping.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/mapping.cpp.o.d"
+  "/root/repo/src/sched/report.cpp" "src/sched/CMakeFiles/quasar_sched.dir/report.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/report.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/sched/CMakeFiles/quasar_sched.dir/schedule_io.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/quasar_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/stage_finder.cpp" "src/sched/CMakeFiles/quasar_sched.dir/stage_finder.cpp.o" "gcc" "src/sched/CMakeFiles/quasar_sched.dir/stage_finder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/quasar_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/quasar_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/quasar_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_sched.dir/cluster.cpp.o"
+  "CMakeFiles/quasar_sched.dir/cluster.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/executor.cpp.o"
+  "CMakeFiles/quasar_sched.dir/executor.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/mapping.cpp.o"
+  "CMakeFiles/quasar_sched.dir/mapping.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/report.cpp.o"
+  "CMakeFiles/quasar_sched.dir/report.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/schedule_io.cpp.o"
+  "CMakeFiles/quasar_sched.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/quasar_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/quasar_sched.dir/stage_finder.cpp.o"
+  "CMakeFiles/quasar_sched.dir/stage_finder.cpp.o.d"
+  "libquasar_sched.a"
+  "libquasar_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

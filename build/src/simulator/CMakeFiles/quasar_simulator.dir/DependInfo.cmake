@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/measure.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/measure.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/measure.cpp.o.d"
+  "/root/repo/src/simulator/noise.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/noise.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/noise.cpp.o.d"
+  "/root/repo/src/simulator/observable.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/observable.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/observable.cpp.o.d"
+  "/root/repo/src/simulator/reference.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/reference.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/reference.cpp.o.d"
+  "/root/repo/src/simulator/simulator.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/simulator.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/simulator.cpp.o.d"
+  "/root/repo/src/simulator/statevector.cpp" "src/simulator/CMakeFiles/quasar_simulator.dir/statevector.cpp.o" "gcc" "src/simulator/CMakeFiles/quasar_simulator.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/quasar_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/quasar_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/quasar_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasar_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_simulator.dir/measure.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/measure.cpp.o.d"
+  "CMakeFiles/quasar_simulator.dir/noise.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/noise.cpp.o.d"
+  "CMakeFiles/quasar_simulator.dir/observable.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/observable.cpp.o.d"
+  "CMakeFiles/quasar_simulator.dir/reference.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/reference.cpp.o.d"
+  "CMakeFiles/quasar_simulator.dir/simulator.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/simulator.cpp.o.d"
+  "CMakeFiles/quasar_simulator.dir/statevector.cpp.o"
+  "CMakeFiles/quasar_simulator.dir/statevector.cpp.o.d"
+  "libquasar_simulator.a"
+  "libquasar_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_storage_test.dir/rank_storage_test.cpp.o"
+  "CMakeFiles/rank_storage_test.dir/rank_storage_test.cpp.o.d"
+  "rank_storage_test"
+  "rank_storage_test.pdb"
+  "rank_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_gates_test.dir/standard_gates_test.cpp.o"
+  "CMakeFiles/standard_gates_test.dir/standard_gates_test.cpp.o.d"
+  "standard_gates_test"
+  "standard_gates_test.pdb"
+  "standard_gates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

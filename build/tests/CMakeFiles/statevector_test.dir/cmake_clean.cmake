@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statevector_test.dir/statevector_test.cpp.o"
+  "CMakeFiles/statevector_test.dir/statevector_test.cpp.o.d"
+  "statevector_test"
+  "statevector_test.pdb"
+  "statevector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statevector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremacy_test.dir/supremacy_test.cpp.o"
+  "CMakeFiles/supremacy_test.dir/supremacy_test.cpp.o.d"
+  "supremacy_test"
+  "supremacy_test.pdb"
+  "supremacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
