@@ -1,0 +1,161 @@
+/// \file transition_microbench.cpp
+/// \brief Single-sweep qubit remapping vs the seed's swap-chain scheme.
+///
+/// Two measurements, emitted as JSON for EXPERIMENTS.md:
+///   1. A >=3-swap local transition with a deferred phase: the seed's
+///      chain (three apply_bit_swap sweeps + one phase flush sweep)
+///      against ONE fused bit-permutation sweep with the phase folded in.
+///   2. The group all-to-all: the seed's shadow-allocation exchange
+///      (2x peak state footprint, re-implemented here verbatim) against
+///      the in-place chunked VirtualCluster::alltoall_swap.
+/// Overrides: QUASAR_TRANSITION_BENCH_QUBITS (default 24, the local
+/// qubit count of both parts), QUASAR_TRANSITION_BENCH_REPS (default 3).
+#include <algorithm>
+#include <cstring>
+
+#include "bench/common.hpp"
+#include "core/bits.hpp"
+#include "core/timing.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/permute.hpp"
+#include "kernels/swap.hpp"
+#include "runtime/virtual_cluster.hpp"
+
+namespace {
+
+using namespace quasar;
+using namespace quasar::bench;
+
+void fill_random(Amplitude* data, Index count, std::uint64_t seed) {
+  Rng rng(seed);
+  for (Index i = 0; i < count; ++i) {
+    data[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+}
+
+template <typename F>
+double best_seconds(int reps, F&& body) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    body();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// The seed's all-to-all: build a full shadow copy of every rank slice
+/// and block-copy into it (2x peak footprint).
+void shadow_alltoall(std::vector<AlignedVector<Amplitude>>& buffers,
+                     int num_local, const std::vector<int>& globals) {
+  const int q = static_cast<int>(globals.size());
+  const int l = num_local;
+  const Index block = index_pow2(l - q);
+  const Index top_count = index_pow2(q);
+  const int ranks = static_cast<int>(buffers.size());
+
+  std::vector<AlignedVector<Amplitude>> next(ranks);
+  for (auto& buffer : next) buffer.resize(index_pow2(l));
+  for (int r = 0; r < ranks; ++r) {
+    Index r_swapped = 0;
+    for (int i = 0; i < q; ++i) {
+      r_swapped |= static_cast<Index>(
+                       get_bit(static_cast<Index>(r), globals[i] - l))
+                   << i;
+    }
+    for (Index h = 0; h < top_count; ++h) {
+      Index dest_rank = static_cast<Index>(r);
+      for (int i = 0; i < q; ++i) {
+        dest_rank = set_bit(dest_rank, globals[i] - l, get_bit(h, i));
+      }
+      std::memcpy(next[dest_rank].data() + r_swapped * block,
+                  buffers[r].data() + h * block,
+                  block * sizeof(Amplitude));
+    }
+  }
+  buffers.swap(next);
+}
+
+}  // namespace
+
+int main() {
+  // Floor of 10: the transition part swaps locations {0,1,2} with
+  // {l-7,l-6,l-5}, which are distinct only from l = 10 up.
+  const int l = std::max(10, env_int("QUASAR_TRANSITION_BENCH_QUBITS", 24));
+  const int reps = std::max(1, env_int("QUASAR_TRANSITION_BENCH_REPS", 3));
+  const Amplitude phase{0.6, 0.8};
+
+  // Part 1: >=3-swap transition on a 2^l local state, deferred phase to
+  // flush. Chain = 3 bit-swap sweeps + 1 phase sweep; fused = 1 sweep.
+  std::vector<int> perm(l);
+  for (int j = 0; j < l; ++j) perm[j] = j;
+  std::swap(perm[0], perm[l - 7]);
+  std::swap(perm[1], perm[l - 6]);
+  std::swap(perm[2], perm[l - 5]);
+
+  AlignedVector<Amplitude> state(index_pow2(l));
+  fill_random(state.data(), state.size(), 1);
+
+  const double chain_s = best_seconds(reps, [&] {
+    apply_bit_swap(state.data(), l, 0, l - 7);
+    apply_bit_swap(state.data(), l, 1, l - 6);
+    apply_bit_swap(state.data(), l, 2, l - 5);
+    apply_global_phase(state.data(), l, phase);
+  });
+  const double fused_s = best_seconds(reps, [&] {
+    apply_fused_bit_permutation(state.data(), l, perm, phase);
+  });
+  const double kernel_speedup = chain_s / fused_s;
+
+  // Part 2: world all-to-all over 2^g ranks holding 2^(l-g) amplitudes
+  // each (total footprint 2^l, as in part 1): the seed's shadow scheme
+  // vs the in-place chunked exchange.
+  const int g = 3;
+  const int cl = l - g;  // per-rank local qubits
+  const std::vector<int> globals{cl, cl + 1, cl + 2};
+
+  std::vector<AlignedVector<Amplitude>> shadow_buffers(index_pow2(g));
+  for (int r = 0; r < static_cast<int>(shadow_buffers.size()); ++r) {
+    shadow_buffers[r].resize(index_pow2(cl));
+    fill_random(shadow_buffers[r].data(), shadow_buffers[r].size(),
+                100 + r);
+  }
+  const double shadow_s = best_seconds(reps, [&] {
+    shadow_alltoall(shadow_buffers, cl, globals);
+  });
+
+  VirtualCluster cluster(l, cl);
+  for (int r = 0; r < cluster.num_ranks(); ++r) {
+    fill_random(cluster.rank_data(r), cluster.local_size(), 100 + r);
+  }
+  const double chunked_s = best_seconds(reps, [&] {
+    cluster.alltoall_swap(globals);
+  });
+  const double alltoall_speedup = shadow_s / chunked_s;
+
+  std::printf("{\n");
+  std::printf("  \"local_qubits\": %d,\n", l);
+  std::printf("  \"transition\": {\n");
+  std::printf("    \"swaps\": 3,\n");
+  std::printf("    \"swap_chain_seconds\": %.6f,\n", chain_s);
+  std::printf("    \"fused_sweep_seconds\": %.6f,\n", fused_s);
+  std::printf("    \"speedup\": %.3f,\n", kernel_speedup);
+  std::printf("    \"meets_2x\": %s\n", kernel_speedup >= 2.0 ? "true"
+                                                              : "false");
+  std::printf("  },\n");
+  std::printf("  \"alltoall\": {\n");
+  std::printf("    \"ranks\": %d,\n", static_cast<int>(index_pow2(g)));
+  std::printf("    \"shadow_seconds\": %.6f,\n", shadow_s);
+  std::printf("    \"chunked_seconds\": %.6f,\n", chunked_s);
+  std::printf("    \"speedup\": %.3f,\n", alltoall_speedup);
+  std::printf("    \"peak_bounce_bytes\": %llu,\n",
+              static_cast<unsigned long long>(
+                  cluster.stats().peak_bounce_bytes));
+  std::printf("    \"bounce_budget_bytes\": %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.storage().bounce_buffer_bytes));
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,21 +1,28 @@
 #include "fp32/distributed_f32.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "core/bits.hpp"
 #include "core/error.hpp"
+#include "kernels/permute.hpp"
 #include "runtime/conditional.hpp"
 
 namespace quasar {
 
 DistributedSimulatorF::DistributedSimulatorF(int num_qubits, int num_local,
-                                             int num_threads)
+                                             int num_threads,
+                                             std::size_t bounce_buffer_bytes)
     : num_qubits_(num_qubits), num_local_(num_local),
-      num_threads_(num_threads) {
+      num_threads_(num_threads),
+      bounce_buffer_bytes_(bounce_buffer_bytes) {
   QUASAR_CHECK(num_local >= 1 && num_local <= num_qubits,
                "DistributedSimulatorF: num_local must be in [1, n]");
   QUASAR_CHECK(num_qubits - num_local <= 12,
@@ -148,52 +155,130 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
   }
 }
 
-void DistributedSimulatorF::flush_phases() {
-  for (int r = 0; r < num_ranks(); ++r) {
-    if (pending_phase_[r] != Amplitude{1.0, 0.0}) {
-      apply_global_phase_f32(
-          buffers_[r].data(), num_local_,
-          AmplitudeF{static_cast<float>(pending_phase_[r].real()),
-                     static_cast<float>(pending_phase_[r].imag())},
-          num_threads_);
-      pending_phase_[r] = Amplitude{1.0, 0.0};
-    }
-  }
-}
-
 void DistributedSimulatorF::alltoall_swap(
-    const std::vector<int>& global_locations) {
+    const std::vector<int>& global_locations,
+    const std::vector<int>& local_positions) {
+  // In-place chunked exchange, mirroring VirtualCluster::alltoall_swap:
+  // the bit-transposition involution pairs every amplitude with a unique
+  // partner, so the state is never shadow-copied.
   const int q = static_cast<int>(global_locations.size());
   const int l = num_local_;
   const Index block = index_pow2(l - q);
-  const Index top_count = index_pow2(q);
+  const int ranks = num_ranks();
 
-  std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
-  for (auto& buffer : next) buffer.resize(local_size());
-  for (int r = 0; r < num_ranks(); ++r) {
-    Index r_swapped = 0;
+  std::vector<int> sorted_locals = local_positions;
+  std::sort(sorted_locals.begin(), sorted_locals.end());
+  const int run_bits = sorted_locals.front();
+  const Index run = index_pow2(run_bits);
+  const Index num_runs = index_pow2(l - q - run_bits);
+  const IndexExpander expander(sorted_locals);
+
+  const int threads = omp_get_max_threads();
+  Index chunk = run;
+  const Index budget_amps = std::max<std::size_t>(
+      std::size_t{1},
+      bounce_buffer_bytes_ /
+          (static_cast<std::size_t>(threads) * sizeof(AmplitudeF)));
+  if (chunk > budget_amps) chunk = Index{1} << ilog2(budget_amps);
+  const Index chunks_per_run = run / chunk;
+
+  struct Orbit {
+    AmplitudeF* a;
+    AmplitudeF* b;
+  };
+  std::vector<Orbit> orbits;
+  for (int r = 0; r < ranks; ++r) {
+    Index theirs = 0;
     for (int i = 0; i < q; ++i) {
-      r_swapped |= static_cast<Index>(
-                       get_bit(static_cast<Index>(r),
-                               global_locations[i] - l))
-                   << i;
+      theirs |= static_cast<Index>(get_bit(static_cast<Index>(r),
+                                           global_locations[i] - l))
+                << i;
     }
-    for (Index h = 0; h < top_count; ++h) {
-      Index dest_rank = static_cast<Index>(r);
+    for (Index mine = 0; mine < theirs; ++mine) {
+      Index partner = static_cast<Index>(r);
       for (int i = 0; i < q; ++i) {
-        dest_rank =
-            set_bit(dest_rank, global_locations[i] - l, get_bit(h, i));
+        partner = set_bit(partner, global_locations[i] - l,
+                          get_bit(mine, i));
       }
-      std::memcpy(next[dest_rank].data() + r_swapped * block,
-                  buffers_[r].data() + h * block,
-                  block * sizeof(AmplitudeF));
+      Index off_mine = 0, off_theirs = 0;
+      for (int i = 0; i < q; ++i) {
+        off_mine |= static_cast<Index>(get_bit(mine, i))
+                    << local_positions[i];
+        off_theirs |= static_cast<Index>(get_bit(theirs, i))
+                      << local_positions[i];
+      }
+      orbits.push_back(Orbit{buffers_[r].data() + off_mine,
+                             buffers_[partner].data() + off_theirs});
     }
   }
-  buffers_.swap(next);
+
+  const std::int64_t num_orbits = static_cast<std::int64_t>(orbits.size());
+  const std::int64_t tasks =
+      static_cast<std::int64_t>(num_runs * chunks_per_run);
+#pragma omp parallel num_threads(threads)
+  {
+    AlignedVector<AmplitudeF> bounce(chunk);
+#pragma omp for collapse(2) schedule(static)
+    for (std::int64_t o = 0; o < num_orbits; ++o) {
+      for (std::int64_t t = 0; t < tasks; ++t) {
+        const Index run_idx = static_cast<Index>(t) / chunks_per_run;
+        const Index coff = (static_cast<Index>(t) % chunks_per_run) * chunk;
+        const Index base = expander.expand(run_idx << run_bits) + coff;
+        AmplitudeF* pa = orbits[o].a + base;
+        AmplitudeF* pb = orbits[o].b + base;
+        const std::size_t bytes = chunk * sizeof(AmplitudeF);
+        std::memcpy(bounce.data(), pa, bytes);
+        std::memcpy(pa, pb, bytes);
+        std::memcpy(pb, bounce.data(), bytes);
+      }
+    }
+  }
+
   ++stats_.alltoalls;
   // Half the bytes of the double-precision swap: the Sec. 5 win.
   stats_.bytes_sent_per_rank +=
       (local_size() - block) * sizeof(AmplitudeF);
+  const std::uint64_t bounce_bytes =
+      static_cast<std::uint64_t>(threads) * chunk * sizeof(AmplitudeF);
+  if (bounce_bytes > stats_.peak_bounce_bytes) {
+    stats_.peak_bounce_bytes = bounce_bytes;
+  }
+}
+
+void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
+                                          bool fold_phases) {
+  const PermutePlan plan = plan_bit_permutation(num_local_, perm);
+  bool any_phase = false;
+  if (fold_phases) {
+    for (const Amplitude& p : pending_phase_) {
+      any_phase |= p != Amplitude{1.0, 0.0};
+    }
+  }
+  if (plan.identity && !any_phase) return;
+
+  const int threads =
+      num_threads_ > 0 ? num_threads_ : omp_get_max_threads();
+  const std::size_t scratch_bytes = std::max<std::size_t>(
+      sizeof(AmplitudeF),
+      bounce_buffer_bytes_ / static_cast<std::size_t>(threads));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const AmplitudeF phase =
+        fold_phases
+            ? AmplitudeF{static_cast<float>(pending_phase_[r].real()),
+                         static_cast<float>(pending_phase_[r].imag())}
+            : AmplitudeF{1.0f, 0.0f};
+    detail::run_bit_permutation(buffers_[r].data(), plan, phase,
+                                num_threads_, scratch_bytes);
+  }
+  if (fold_phases) {
+    std::fill(pending_phase_.begin(), pending_phase_.end(),
+              Amplitude{1.0, 0.0});
+  }
+
+  ++stats_.local_permutation_sweeps;
+  stats_.local_permutation_bytes +=
+      static_cast<std::uint64_t>(num_ranks()) * local_size() *
+      sizeof(AmplitudeF);
 }
 
 void DistributedSimulatorF::transition(const std::vector<int>& from,
@@ -205,19 +290,7 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
   std::vector<Qubit> at(n);
   for (Qubit q = 0; q < n; ++q) at[cur[q]] = q;
 
-  auto do_local_swap = [&](int p, int s) {
-    if (p == s) return;
-    for (auto& buffer : buffers_) {
-      apply_bit_swap_f32(buffer.data(), l, p, s, num_threads_);
-    }
-    ++stats_.local_swap_sweeps;
-    const Qubit qp = at[p], qs = at[s];
-    std::swap(at[p], at[s]);
-    cur[qp] = s;
-    cur[qs] = p;
-  };
-
-  std::vector<Qubit> incoming, outgoing;
+  std::vector<Qubit> incoming, outgoing;  // paired index-for-index
   for (Qubit q = 0; q < n; ++q) {
     const bool was_global = cur[q] >= l;
     const bool is_global = to[q] >= l;
@@ -226,25 +299,43 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
   }
   const int q_move = static_cast<int>(incoming.size());
 
-  if (q_move > 0) {
-    flush_phases();  // phases must not cross the all-to-all (see runtime)
-    std::size_t next_out = 0;
-    for (int slot = l - q_move; slot < l; ++slot) {
-      const bool already =
-          std::find(outgoing.begin(), outgoing.end(), at[slot]) !=
-          outgoing.end();
-      if (already) continue;
-      while (cur[outgoing[next_out]] >= l - q_move) ++next_out;
-      do_local_swap(cur[outgoing[next_out]], slot);
-      ++next_out;
+  // 1. One fused local sweep: stay-local qubits to their final spots,
+  // outgoing qubit i parked where its paired incoming qubit lands;
+  // deferred phases fold into the same pass when an all-to-all follows
+  // (see the runtime transition for the full derivation).
+  std::vector<int> park_location(n, -1);  // outgoing qubit -> park slot
+  for (int i = 0; i < q_move; ++i) {
+    park_location[outgoing[i]] = to[incoming[i]];
+  }
+  std::vector<int> local_perm(l);
+  for (Qubit q = 0; q < n; ++q) {
+    if (cur[q] >= l) continue;
+    const int target = to[q] < l ? to[q] : park_location[q];
+    local_perm[target] = cur[q];
+  }
+  local_permute(local_perm, /*fold_phases=*/q_move > 0);
+  {
+    std::vector<Qubit> prev_at(at.begin(), at.begin() + l);
+    for (int j = 0; j < l; ++j) {
+      at[j] = prev_at[local_perm[j]];
+      cur[at[j]] = j;
     }
-    std::vector<int> global_locations;
-    for (Qubit q : incoming) global_locations.push_back(cur[q]);
-    std::sort(global_locations.begin(), global_locations.end());
-    alltoall_swap(global_locations);
+  }
+
+  // 2. One in-place all-to-all straight from/to the final locations.
+  if (q_move > 0) {
+    std::vector<std::pair<int, int>> pairs;  // (global loc, local loc)
     for (int i = 0; i < q_move; ++i) {
-      const int gloc = global_locations[i];
-      const int lloc = l - q_move + i;
+      pairs.emplace_back(cur[incoming[i]], to[incoming[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<int> global_locations, local_positions;
+    for (const auto& [gloc, lloc] : pairs) {
+      global_locations.push_back(gloc);
+      local_positions.push_back(lloc);
+    }
+    alltoall_swap(global_locations, local_positions);
+    for (const auto& [gloc, lloc] : pairs) {
       const Qubit qg = at[gloc], ql = at[lloc];
       std::swap(at[gloc], at[lloc]);
       cur[qg] = lloc;
@@ -252,18 +343,7 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
     }
   }
 
-  for (int loc = 0; loc < l; ++loc) {
-    Qubit wanted = -1;
-    for (Qubit q = 0; q < n; ++q) {
-      if (to[q] == loc) {
-        wanted = q;
-        break;
-      }
-    }
-    QUASAR_ASSERT(wanted >= 0);
-    if (cur[wanted] != loc) do_local_swap(cur[wanted], loc);
-  }
-
+  // 3. Global-global permutation = rank renumbering (zero volume).
   bool global_moves = false;
   for (Qubit q = 0; q < n; ++q) global_moves |= cur[q] != to[q];
   if (global_moves) {
@@ -316,9 +396,12 @@ StateVectorF DistributedSimulatorF::gather() const {
 Real DistributedSimulatorF::norm_squared() const {
   Real total = 0.0;
   for (const auto& buffer : buffers_) {
-    for (const AmplitudeF& v : buffer) {
-      total += static_cast<Real>(v.real()) * v.real() +
-               static_cast<Real>(v.imag()) * v.imag();
+    const AmplitudeF* data = buffer.data();
+    const std::int64_t count = static_cast<std::int64_t>(buffer.size());
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (std::int64_t i = 0; i < count; ++i) {
+      total += static_cast<Real>(data[i].real()) * data[i].real() +
+               static_cast<Real>(data[i].imag()) * data[i].imag();
     }
   }
   return total;

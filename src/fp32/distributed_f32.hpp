@@ -22,7 +22,12 @@ namespace quasar {
 /// Distributed float statevector simulator over 2^(n-l) virtual ranks.
 class DistributedSimulatorF {
  public:
-  DistributedSimulatorF(int num_qubits, int num_local, int num_threads = 0);
+  /// `bounce_buffer_bytes` bounds the scratch used by the in-place
+  /// all-to-all and the fused permutation sweeps (split across threads;
+  /// at least one amplitude per thread is always granted).
+  DistributedSimulatorF(int num_qubits, int num_local, int num_threads = 0,
+                        std::size_t bounce_buffer_bytes = std::size_t{64}
+                                                          << 20);
 
   int num_qubits() const noexcept { return num_qubits_; }
   int num_local() const noexcept { return num_local_; }
@@ -47,13 +52,19 @@ class DistributedSimulatorF {
 
  private:
   void transition(const std::vector<int>& from, const std::vector<int>& to);
-  void alltoall_swap(const std::vector<int>& global_locations);
+  /// In-place chunked exchange of global_locations[i] with local
+  /// bit-location local_positions[i] (mirror of VirtualCluster).
+  void alltoall_swap(const std::vector<int>& global_locations,
+                     const std::vector<int>& local_positions);
+  /// One fused local permutation sweep; folds the deferred per-rank
+  /// phases into the same pass when `fold_phases` is set.
+  void local_permute(const std::vector<int>& perm, bool fold_phases);
   void apply_global_op(const GateOp& op, const Stage& stage);
-  void flush_phases();
 
   int num_qubits_;
   int num_local_;
   int num_threads_;
+  std::size_t bounce_buffer_bytes_;
   std::vector<AlignedVector<AmplitudeF>> buffers_;
   std::vector<Amplitude> pending_phase_;  // accumulated in double
   std::vector<int> mapping_;

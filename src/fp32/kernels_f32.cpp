@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "kernels/permute.hpp"
 
 namespace quasar {
 
@@ -268,6 +269,16 @@ void apply_bit_swap_f32(AmplitudeF* state, int num_qubits, int p, int q,
     const Index base = expander.expand(static_cast<Index>(i));
     std::swap(state[base + off_p], state[base + off_q]);
   }
+}
+
+void apply_fused_bit_permutation_f32(AmplitudeF* state, int num_qubits,
+                                     const std::vector<int>& perm,
+                                     AmplitudeF phase, int num_threads,
+                                     std::size_t scratch_bytes) {
+  QUASAR_CHECK(state != nullptr, "apply_fused_bit_permutation_f32: null");
+  const PermutePlan plan = plan_bit_permutation(num_qubits, perm);
+  detail::run_bit_permutation(state, plan, phase, num_threads,
+                              scratch_bytes);
 }
 
 void apply_global_phase_f32(AmplitudeF* state, int num_qubits,

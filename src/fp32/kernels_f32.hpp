@@ -61,6 +61,15 @@ void apply_diagonal_f32(AmplitudeF* state, int num_qubits,
 void apply_bit_swap_f32(AmplitudeF* state, int num_qubits, int p, int q,
                         int num_threads = 0);
 
+/// Applies an arbitrary bit-location permutation plus an optional scalar
+/// phase in ONE in-place sweep (float state; shares the fused kernel core
+/// with the double engine). Same index convention as apply_bit_swap_f32
+/// chains: location j afterwards holds what location perm[j] held.
+void apply_fused_bit_permutation_f32(
+    AmplitudeF* state, int num_qubits, const std::vector<int>& perm,
+    AmplitudeF phase = AmplitudeF{1.0f, 0.0f}, int num_threads = 0,
+    std::size_t scratch_bytes = std::size_t{1} << 20);
+
 /// Multiplies every amplitude by a scalar phase (float state).
 void apply_global_phase_f32(AmplitudeF* state, int num_qubits,
                             AmplitudeF phase, int num_threads = 0);

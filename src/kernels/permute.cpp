@@ -1,0 +1,114 @@
+#include "kernels/permute.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace quasar {
+
+namespace {
+
+/// 64-amplitude contiguous runs: one run spans several cache lines in
+/// both precisions, so gathers and scatters stream at full bandwidth.
+constexpr int kTileLowBits = 6;
+/// Largest tile the plan precomputes a dense lookup for (2^16 amplitudes
+/// = 1 MiB of fp64 scratch, and the IndexExpander position cap).
+constexpr int kMaxTileBits = 16;
+
+/// Builds the cache-blocked tile fields of `plan` (see PermutePlan): the
+/// tile spans every moved bit-location plus the low pad [0, w). Note that
+/// {j : perm[j] != j} is closed under j -> perm[j], so all sources lie
+/// inside the tile and each tile maps onto itself.
+void build_tile_plan(PermutePlan& plan, const std::vector<int>& perm) {
+  const int n = plan.num_qubits;
+  const int w = std::min(kTileLowBits, n);
+  std::vector<bool> in_tile(n, false);
+  for (int j = 0; j < w; ++j) in_tile[j] = true;
+  for (int j = 0; j < n; ++j) {
+    if (perm[j] != j) in_tile[j] = true;
+  }
+  std::vector<int> positions;
+  for (int j = 0; j < n; ++j) {
+    if (in_tile[j]) positions.push_back(j);
+  }
+  const int u = static_cast<int>(positions.size());
+  if (u > kMaxTileBits) return;  // fall back to the brick-cycle path
+
+  std::vector<int> tile_bit_of(n, -1);
+  for (int k = 0; k < u; ++k) tile_bit_of[positions[k]] = k;
+  // Tile destination bit k takes the tile bit holding location
+  // perm[positions[k]].
+  std::vector<Index> bit_source(u);
+  for (int k = 0; k < u; ++k) {
+    bit_source[k] = Index{1} << tile_bit_of[perm[positions[k]]];
+  }
+  std::vector<Index> table(Index{1} << u);
+  table[0] = 0;
+  for (Index d = 1; d < static_cast<Index>(table.size()); ++d) {
+    table[d] = table[d & (d - 1)] | bit_source[std::countr_zero(d)];
+  }
+  std::vector<Index> run_offsets(Index{1} << (u - w));
+  for (Index h = 0; h < static_cast<Index>(run_offsets.size()); ++h) {
+    Index offset = 0;
+    for (int k = w; k < u; ++k) {
+      offset |= static_cast<Index>(get_bit(h, k - w)) << positions[k];
+    }
+    run_offsets[h] = offset;
+  }
+  plan.tile_positions = std::move(positions);
+  plan.tile_low_bits = w;
+  plan.tile_table = std::move(table);
+  plan.tile_run_offsets = std::move(run_offsets);
+}
+
+}  // namespace
+
+PermutePlan plan_bit_permutation(int num_qubits,
+                                 const std::vector<int>& perm) {
+  QUASAR_CHECK(static_cast<int>(perm.size()) == num_qubits,
+               "plan_bit_permutation: permutation size mismatch");
+  std::vector<bool> seen(num_qubits, false);
+  for (int p : perm) {
+    QUASAR_CHECK(p >= 0 && p < num_qubits && !seen[p],
+                 "plan_bit_permutation: not a permutation");
+    seen[p] = true;
+  }
+
+  PermutePlan plan;
+  plan.num_qubits = num_qubits;
+  int b = 0;
+  while (b < num_qubits && perm[b] == b) ++b;
+  if (b == num_qubits) {
+    plan.identity = true;
+    plan.brick_bits = num_qubits;
+    plan.num_slots = 1;
+    return plan;
+  }
+  plan.identity = false;
+  plan.brick_bits = b;
+  const int slot_bits = num_qubits - b;
+  plan.num_slots = index_pow2(slot_bits);
+  for (int j = 0; j < slot_bits; ++j) {
+    // perm[j + b] >= b because locations [0, b) map to themselves and
+    // perm is a bijection.
+    const int src = perm[j + b] - b;
+    if (src == j) {
+      plan.fixed_mask |= Index{1} << j;
+    } else {
+      plan.moved_positions.push_back(j);
+      plan.moved_sources.push_back(src);
+    }
+  }
+  if (b < kTileLowBits) build_tile_plan(plan, perm);
+  return plan;
+}
+
+void apply_fused_bit_permutation(Amplitude* state, int num_qubits,
+                                 const std::vector<int>& perm,
+                                 Amplitude phase, int num_threads,
+                                 std::size_t scratch_bytes) {
+  const PermutePlan plan = plan_bit_permutation(num_qubits, perm);
+  detail::run_bit_permutation(state, plan, phase, num_threads,
+                              scratch_bytes);
+}
+
+}  // namespace quasar

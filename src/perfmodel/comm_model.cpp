@@ -17,6 +17,15 @@ double InterconnectModel::alltoall_seconds(int nodes,
          sync_per_sqrt_node * std::sqrt(static_cast<double>(nodes));
 }
 
+double InterconnectModel::chunked_alltoall_seconds(
+    int nodes, double bytes_per_node, double bounce_bytes) const {
+  if (nodes <= 1) return 0.0;
+  const double rounds =
+      bounce_bytes > 0.0 ? std::ceil(bytes_per_node / bounce_bytes) : 1.0;
+  return alltoall_seconds(nodes, bytes_per_node) +
+         rounds * chunk_sync_seconds;
+}
+
 double InterconnectModel::pairwise_gate_seconds(
     int nodes, double bytes_per_node) const {
   if (nodes <= 1) return 0.0;

@@ -25,12 +25,24 @@ struct InterconnectModel {
   /// Synchronization / load-imbalance seconds per collective, per
   /// sqrt(nodes).
   double sync_per_sqrt_node = 0.08;
+  /// Extra per-round synchronization when the exchange is chunked
+  /// through a bounded bounce buffer (one barrier per chunk round).
+  double chunk_sync_seconds = 2e-5;
 
   /// Effective per-node bandwidth for a world all-to-all on `nodes`.
   double alltoall_bw_gbs(int nodes) const;
 
   /// Seconds for one all-to-all moving `bytes_per_node` from every node.
   double alltoall_seconds(int nodes, double bytes_per_node) const;
+
+  /// Seconds for the in-place chunked all-to-all: the same volume as
+  /// alltoall_seconds, plus one chunk_sync_seconds round per bounce
+  /// buffer refill. With the default 64 MB buffer this overhead is a few
+  /// milliseconds against hundreds of seconds of transfer — the price of
+  /// dropping the 2x shadow allocation (Sec. 4 discussion).
+  double chunked_alltoall_seconds(
+      int nodes, double bytes_per_node,
+      double bounce_bytes = 64.0 * 1024.0 * 1024.0) const;
 
   /// Seconds for one baseline dense global gate (2 pairwise half-state
   /// exchanges, Sec. 3.4): same volume as a swap, but point-to-point, so

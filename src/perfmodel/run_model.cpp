@@ -74,7 +74,12 @@ RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
   }
 
   const double bytes_per_node = per_node_amps * kBytesPerAmplitude;
-  p.comm_seconds = p.swaps * net.alltoall_seconds(nodes, bytes_per_node);
+  p.comm_seconds =
+      p.swaps * net.chunked_alltoall_seconds(nodes, bytes_per_node);
+  // Each transition also pays one fused local permutation sweep (read +
+  // write every local amplitude once, streaming).
+  p.permute_seconds = p.swaps * 2.0 * per_node_amps * kBytesPerAmplitude *
+                      1e-9 / node.achievable_bw();
   return p;
 }
 

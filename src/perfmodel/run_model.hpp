@@ -17,11 +17,17 @@ namespace quasar {
 struct RunPrediction {
   double kernel_seconds = 0.0;
   double comm_seconds = 0.0;
+  /// Local data motion of the stage transitions: one fused
+  /// bit-permutation sweep per transition (read + write every amplitude
+  /// once at node memory bandwidth).
+  double permute_seconds = 0.0;
   int swaps = 0;
   int comm_gates = 0;       ///< baseline only: dense global gates
   double total_flops = 0.0; ///< across the whole machine
 
-  double total_seconds() const { return kernel_seconds + comm_seconds; }
+  double total_seconds() const {
+    return kernel_seconds + comm_seconds + permute_seconds;
+  }
   double comm_fraction() const {
     const double t = total_seconds();
     return t > 0.0 ? comm_seconds / t : 0.0;

@@ -7,6 +7,11 @@ CommStats& CommStats::operator+=(const CommStats& other) {
   pairwise_exchanges += other.pairwise_exchanges;
   bytes_sent_per_rank += other.bytes_sent_per_rank;
   local_swap_sweeps += other.local_swap_sweeps;
+  local_permutation_sweeps += other.local_permutation_sweeps;
+  local_permutation_bytes += other.local_permutation_bytes;
+  if (other.peak_bounce_bytes > peak_bounce_bytes) {
+    peak_bounce_bytes = other.peak_bounce_bytes;
+  }
   rank_renumberings += other.rank_renumberings;
   return *this;
 }

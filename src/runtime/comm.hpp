@@ -23,6 +23,14 @@ struct CommStats {
   std::uint64_t bytes_sent_per_rank = 0;
   /// Local bit-swap sweeps executed around the all-to-alls.
   std::uint64_t local_swap_sweeps = 0;
+  /// Fused local bit-permutation sweeps (one counts a single pass over
+  /// the whole distributed state, covering every rank).
+  std::uint64_t local_permutation_sweeps = 0;
+  /// Amplitude bytes passed over by the fused permutation sweeps.
+  std::uint64_t local_permutation_bytes = 0;
+  /// Largest bounce-buffer allocation any in-place exchange or fused
+  /// sweep used (peak scratch footprint; merged with max, not +).
+  std::uint64_t peak_bounce_bytes = 0;
   /// Rank renumberings (zero-cost global permutations).
   std::uint64_t rank_renumberings = 0;
 

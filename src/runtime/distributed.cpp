@@ -8,7 +8,6 @@
 
 #include "core/bits.hpp"
 #include "core/error.hpp"
-#include "kernels/swap.hpp"
 #include "runtime/conditional.hpp"
 
 namespace quasar {
@@ -154,6 +153,19 @@ void DistributedSimulator::apply_global_op(const GateOp& op,
   }
 }
 
+void DistributedSimulator::remap(const std::vector<int>& to) {
+  QUASAR_CHECK(static_cast<int>(to.size()) == num_qubits(),
+               "remap: mapping must cover every qubit");
+  std::vector<bool> used(to.size(), false);
+  for (int loc : to) {
+    QUASAR_CHECK(loc >= 0 && loc < num_qubits() && !used[loc],
+                 "remap: mapping must be a bijection on bit-locations");
+    used[loc] = true;
+  }
+  transition(mapping_, to);
+  mapping_ = to;
+}
+
 void DistributedSimulator::transition(const std::vector<int>& from,
                                       const std::vector<int>& to) {
   if (from == to) return;
@@ -163,16 +175,7 @@ void DistributedSimulator::transition(const std::vector<int>& from,
   std::vector<Qubit> at(n);  // location -> qubit
   for (Qubit q = 0; q < n; ++q) at[cur[q]] = q;
 
-  auto do_local_swap = [&](int p, int s) {
-    if (p == s) return;
-    cluster_.local_swap(p, s, options_);
-    const Qubit qp = at[p], qs = at[s];
-    std::swap(at[p], at[s]);
-    cur[qp] = s;
-    cur[qs] = p;
-  };
-
-  // Qubits crossing the local/global boundary.
+  // Qubits crossing the local/global boundary, paired index-for-index.
   std::vector<Qubit> incoming, outgoing;  // to-local / to-global
   for (Qubit q = 0; q < n; ++q) {
     const bool was_global = cur[q] >= l;
@@ -183,39 +186,56 @@ void DistributedSimulator::transition(const std::vector<int>& from,
   QUASAR_ASSERT(incoming.size() == outgoing.size());
   const int q_move = static_cast<int>(incoming.size());
 
+  // 1. One fused local bit-permutation sweep. Every stay-local qubit
+  // moves straight to its final location; outgoing qubit i parks at the
+  // location its paired incoming qubit must end up in, so the exchange
+  // below lands incoming qubits at their final spots directly. Both
+  // target sets together cover [0, l) exactly (to restricted to
+  // stay-local + incoming qubits is onto the local locations), so this
+  // is a bijection. When an all-to-all follows, the deferred per-rank
+  // phases are folded into the same sweep — amplitudes scale before any
+  // of them changes rank, which is exactly what a separate flush did.
+  std::vector<int> park_location(n, -1);  // outgoing qubit -> park slot
+  for (int i = 0; i < q_move; ++i) {
+    park_location[outgoing[i]] = to[incoming[i]];
+  }
+  std::vector<int> local_perm(l);
+  for (Qubit q = 0; q < n; ++q) {
+    if (cur[q] >= l) continue;
+    const int target = to[q] < l ? to[q] : park_location[q];
+    local_perm[target] = cur[q];
+  }
   if (q_move > 0) {
-    // Deferred phases are per-rank scalars; an all-to-all moves
-    // amplitudes between ranks, so the phases must be materialized
-    // first (the paper instead folds them into the next gate matrix;
-    // flushing here is equivalent and keeps cluster matrices shared
-    // across ranks).
-    for (int r = 0; r < cluster_.num_ranks(); ++r) {
-      if (pending_phase_[r] != Amplitude{1.0, 0.0}) {
-        apply_global_phase(cluster_.rank_data(r), l, pending_phase_[r],
-                           options_.num_threads);
-        pending_phase_[r] = Amplitude{1.0, 0.0};
-      }
+    cluster_.local_permute(local_perm, &pending_phase_, options_);
+    std::fill(pending_phase_.begin(), pending_phase_.end(),
+              Amplitude{1.0, 0.0});
+  } else {
+    cluster_.local_permute(local_perm, nullptr, options_);
+  }
+  {
+    std::vector<Qubit> prev_at(at.begin(), at.begin() + l);
+    for (int j = 0; j < l; ++j) {
+      at[j] = prev_at[local_perm[j]];
+      cur[at[j]] = j;
     }
-    // 1. Park the outgoing qubits in the top-q local slots.
-    std::size_t next_out = 0;
-    for (int slot = l - q_move; slot < l; ++slot) {
-      const bool already_outgoing =
-          std::find(outgoing.begin(), outgoing.end(), at[slot]) !=
-          outgoing.end();
-      if (already_outgoing) continue;
-      while (cur[outgoing[next_out]] >= l - q_move) ++next_out;
-      do_local_swap(cur[outgoing[next_out]], slot);
-      ++next_out;
-    }
-    // 2. One (group) all-to-all exchanging the incoming qubits' global
-    // locations with the top-q local slots, pairing ascending.
-    std::vector<int> global_locations;
-    for (Qubit q : incoming) global_locations.push_back(cur[q]);
-    std::sort(global_locations.begin(), global_locations.end());
-    cluster_.alltoall_swap(global_locations);
+  }
+
+  // 2. One (group) all-to-all pairing each incoming qubit's global
+  // location with the local location it lands on (where its partner
+  // outgoing qubit was just parked) — no parking swap chain.
+  if (q_move > 0) {
+    std::vector<std::pair<int, int>> pairs;  // (global loc, local loc)
     for (int i = 0; i < q_move; ++i) {
-      const int gloc = global_locations[i];
-      const int lloc = l - q_move + i;
+      pairs.emplace_back(cur[incoming[i]], to[incoming[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<int> global_locations, local_positions;
+    for (const auto& [gloc, lloc] : pairs) {
+      global_locations.push_back(gloc);
+      local_positions.push_back(lloc);
+    }
+    cluster_.alltoall_swap(global_locations, local_positions);
+    for (const auto& [gloc, lloc] : pairs) {
       const Qubit qg = at[gloc], ql = at[lloc];
       std::swap(at[gloc], at[lloc]);
       cur[qg] = lloc;
@@ -223,20 +243,7 @@ void DistributedSimulator::transition(const std::vector<int>& from,
     }
   }
 
-  // 3. Local-local permutation (improves kernel locality, Sec. 3.4).
-  for (int loc = 0; loc < l; ++loc) {
-    Qubit wanted = -1;
-    for (Qubit q = 0; q < n; ++q) {
-      if (to[q] == loc) {
-        wanted = q;
-        break;
-      }
-    }
-    QUASAR_ASSERT(wanted >= 0);
-    if (cur[wanted] != loc) do_local_swap(cur[wanted], loc);
-  }
-
-  // 4. Global-global permutation = rank renumbering (zero volume).
+  // 3. Global-global permutation = rank renumbering (zero volume).
   bool global_moves = false;
   for (Qubit q = 0; q < n; ++q) global_moves |= cur[q] != to[q];
   if (global_moves) {

@@ -69,6 +69,12 @@ class DistributedSimulator {
   /// Current program-qubit -> bit-location mapping.
   const std::vector<int>& mapping() const { return mapping_; }
 
+  /// Re-arranges the distributed state so program qubit q sits at
+  /// bit-location to[q]: at most one fused local permutation sweep, one
+  /// group all-to-all (only if qubits cross the local/global boundary)
+  /// and one rank renumbering. `to` must be a bijection on [0, n).
+  void remap(const std::vector<int>& to);
+
   /// Underlying virtual cluster (benchmarks read per-rank slices).
   const VirtualCluster& cluster() const { return cluster_; }
 

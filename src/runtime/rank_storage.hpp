@@ -27,6 +27,12 @@ struct StorageOptions {
   StorageMedium medium = StorageMedium::kMemory;
   /// Directory for the backing files in kDisk mode.
   std::string directory = "/tmp";
+  /// Total bounce-buffer budget (bytes, split across threads) for the
+  /// in-place chunked all-to-all and the fused permutation sweeps. This
+  /// bounds the peak extra allocation of a qubit remapping — the state
+  /// itself is never shadow-copied. At least one amplitude per thread is
+  /// always granted.
+  std::size_t bounce_buffer_bytes = std::size_t{64} << 20;
 };
 
 /// A move-only buffer of amplitudes on the chosen medium. Disk-backed

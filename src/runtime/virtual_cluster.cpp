@@ -1,11 +1,16 @@
 #include "runtime/virtual_cluster.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
 #include "core/bits.hpp"
 #include "core/error.hpp"
+#include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
 
 namespace quasar {
@@ -44,56 +49,172 @@ void VirtualCluster::init_uniform() {
 }
 
 void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations) {
+  // Classic pairing (Fig. 3): global_locations[i] <-> local slot l-q+i.
+  std::vector<int> local_positions;
+  for (std::size_t i = 0; i < global_locations.size(); ++i) {
+    local_positions.push_back(num_local_ -
+                              static_cast<int>(global_locations.size()) +
+                              static_cast<int>(i));
+  }
+  alltoall_swap(global_locations, local_positions);
+}
+
+void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
+                                   const std::vector<int>& local_positions) {
   const int q = static_cast<int>(global_locations.size());
   QUASAR_CHECK(q >= 1 && q <= num_global(),
                "alltoall_swap: need 1..g global locations");
+  QUASAR_CHECK(static_cast<int>(local_positions.size()) == q,
+               "alltoall_swap: one local position per global location");
   for (int i = 0; i < q; ++i) {
     QUASAR_CHECK(global_locations[i] >= num_local_ &&
                      global_locations[i] < num_qubits_,
                  "alltoall_swap: location is not global");
     QUASAR_CHECK(i == 0 || global_locations[i] > global_locations[i - 1],
                  "alltoall_swap: locations must be ascending");
+    QUASAR_CHECK(local_positions[i] >= 0 && local_positions[i] < num_local_,
+                 "alltoall_swap: position is not local");
   }
-  // Swap global bits G = global_locations with local bits
-  // [l-q, l): rank bits at positions (G[i] - l) exchange with the top-q
-  // local index bits. Low (l-q) bits are untouched => block copies.
+  std::vector<int> sorted_locals = local_positions;
+  std::sort(sorted_locals.begin(), sorted_locals.end());
+  for (int i = 1; i < q; ++i) {
+    QUASAR_CHECK(sorted_locals[i] > sorted_locals[i - 1],
+                 "alltoall_swap: local positions must be distinct");
+  }
+
+  // The machine-index permutation swapping bit local_positions[i] with
+  // bit global_locations[i] is an involution, so every amplitude has a
+  // unique partner and the exchange runs fully in place: rank r (bits
+  // `theirs` at the swapped global positions) trades its sub-indices with
+  // local pattern `mine` against rank r' (pattern `mine`) holding local
+  // pattern `theirs` — the block-cyclic picture of Fig. 3, generalized to
+  // arbitrary local positions. Data moves through per-thread bounce
+  // chunks bounded by StorageOptions::bounce_buffer_bytes in total.
   const int l = num_local_;
   const Index block = index_pow2(l - q);
-  const Index top_count = index_pow2(q);
   const int ranks = num_ranks();
 
-  std::vector<RankStorage> next;
-  next.reserve(ranks);
-  for (int r = 0; r < ranks; ++r) next.emplace_back(local_size(), storage_);
+  // Contiguous runs below the lowest swapped local bit.
+  const int run_bits = sorted_locals.front();
+  const Index run = index_pow2(run_bits);
+  const Index num_runs = index_pow2(l - q - run_bits);
+  const IndexExpander expander(sorted_locals);
 
+  const int threads = omp_get_max_threads();
+  Index chunk = run;
+  const Index budget_amps = std::max<std::size_t>(
+      std::size_t{1},
+      storage_.bounce_buffer_bytes /
+          (static_cast<std::size_t>(threads) * sizeof(Amplitude)));
+  if (chunk > budget_amps) chunk = Index{1} << ilog2(budget_amps);
+  const Index chunks_per_run = run / chunk;
+
+  // One orbit per unordered pattern pair {mine, theirs}, mine < theirs:
+  // base pointers already offset by the scattered pattern bits.
+  struct Orbit {
+    Amplitude* a;
+    Amplitude* b;
+  };
+  std::vector<Orbit> orbits;
   for (int r = 0; r < ranks; ++r) {
-    // Bits of r at the swapped positions, packed.
-    Index r_swapped = 0;
+    Index theirs = 0;
     for (int i = 0; i < q; ++i) {
-      r_swapped |= static_cast<Index>(
-                       get_bit(static_cast<Index>(r),
-                               global_locations[i] - l))
-                   << i;
+      theirs |= static_cast<Index>(get_bit(static_cast<Index>(r),
+                                           global_locations[i] - l))
+                << i;
     }
-    for (Index h = 0; h < top_count; ++h) {
-      // Destination rank: replace the swapped bits with h.
-      Index dest_rank = static_cast<Index>(r);
+    for (Index mine = 0; mine < theirs; ++mine) {
+      Index partner = static_cast<Index>(r);
       for (int i = 0; i < q; ++i) {
-        dest_rank = set_bit(dest_rank, global_locations[i] - l,
-                            get_bit(h, i));
+        partner = set_bit(partner, global_locations[i] - l,
+                          get_bit(mine, i));
       }
-      // Destination local block: top-q bits become r_swapped.
-      std::memcpy(next[dest_rank].data() + r_swapped * block,
-                  buffers_[r].data() + h * block,
-                  block * sizeof(Amplitude));
+      Index off_mine = 0, off_theirs = 0;
+      for (int i = 0; i < q; ++i) {
+        off_mine |= static_cast<Index>(get_bit(mine, i))
+                    << local_positions[i];
+        off_theirs |= static_cast<Index>(get_bit(theirs, i))
+                      << local_positions[i];
+      }
+      orbits.push_back(Orbit{buffers_[r].data() + off_mine,
+                             buffers_[partner].data() + off_theirs});
     }
   }
-  buffers_.swap(next);
+
+  const std::int64_t num_orbits = static_cast<std::int64_t>(orbits.size());
+  const std::int64_t tasks =
+      static_cast<std::int64_t>(num_runs * chunks_per_run);
+#pragma omp parallel num_threads(threads)
+  {
+    AlignedVector<Amplitude> bounce(chunk);
+#pragma omp for collapse(2) schedule(static)
+    for (std::int64_t o = 0; o < num_orbits; ++o) {
+      for (std::int64_t t = 0; t < tasks; ++t) {
+        const Index run_idx = static_cast<Index>(t) / chunks_per_run;
+        const Index coff = (static_cast<Index>(t) % chunks_per_run) * chunk;
+        const Index base = expander.expand(run_idx << run_bits) + coff;
+        Amplitude* pa = orbits[o].a + base;
+        Amplitude* pb = orbits[o].b + base;
+        const std::size_t bytes = chunk * sizeof(Amplitude);
+        std::memcpy(bounce.data(), pa, bytes);
+        std::memcpy(pa, pb, bytes);
+        std::memcpy(pb, bounce.data(), bytes);
+      }
+    }
+  }
 
   ++stats_.alltoalls;
-  // Each rank keeps one of 2^q blocks and sends the rest.
+  // Each rank keeps one of 2^q blocks and sends the rest — independent of
+  // which local positions carry the exchange.
   stats_.bytes_sent_per_rank +=
       (local_size() - block) * kBytesPerAmplitude;
+  const std::uint64_t bounce_bytes =
+      static_cast<std::uint64_t>(threads) * chunk * sizeof(Amplitude);
+  if (bounce_bytes > stats_.peak_bounce_bytes) {
+    stats_.peak_bounce_bytes = bounce_bytes;
+  }
+}
+
+void VirtualCluster::local_permute(const std::vector<int>& perm,
+                                   const std::vector<Amplitude>* rank_phase,
+                                   const ApplyOptions& options) {
+  const PermutePlan plan = plan_bit_permutation(num_local_, perm);
+  bool any_phase = false;
+  if (rank_phase != nullptr) {
+    QUASAR_CHECK(static_cast<int>(rank_phase->size()) == num_ranks(),
+                 "local_permute: one phase per rank");
+    for (const Amplitude& p : *rank_phase) {
+      any_phase |= p != Amplitude{1.0, 0.0};
+    }
+  }
+  if (plan.identity && !any_phase) return;
+
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : omp_get_max_threads();
+  const std::size_t scratch_bytes = std::max<std::size_t>(
+      sizeof(Amplitude),
+      storage_.bounce_buffer_bytes / static_cast<std::size_t>(threads));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const Amplitude phase =
+        rank_phase != nullptr ? (*rank_phase)[r] : Amplitude{1.0, 0.0};
+    detail::run_bit_permutation(buffers_[r].data(), plan, phase,
+                                options.num_threads, scratch_bytes);
+  }
+
+  ++stats_.local_permutation_sweeps;
+  stats_.local_permutation_bytes +=
+      static_cast<std::uint64_t>(num_ranks()) * local_size() *
+      kBytesPerAmplitude;
+  if (!plan.identity) {
+    const std::uint64_t brick_bytes =
+        index_pow2(plan.brick_bits) * sizeof(Amplitude);
+    const std::uint64_t bounce_bytes =
+        static_cast<std::uint64_t>(threads) *
+        std::min<std::uint64_t>(scratch_bytes, brick_bytes);
+    if (bounce_bytes > stats_.peak_bounce_bytes) {
+      stats_.peak_bounce_bytes = bounce_bytes;
+    }
+  }
 }
 
 void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
@@ -181,7 +302,9 @@ Real VirtualCluster::norm_squared() const {
   Real total = 0.0;
   for (const auto& buffer : buffers_) {
     const Amplitude* data = buffer.data();
-    for (Index i = 0; i < buffer.size(); ++i) total += std::norm(data[i]);
+    const std::int64_t count = static_cast<std::int64_t>(buffer.size());
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (std::int64_t i = 0; i < count; ++i) total += std::norm(data[i]);
   }
   return total;
 }

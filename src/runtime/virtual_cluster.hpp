@@ -55,8 +55,26 @@ class VirtualCluster {
   /// Swaps the global bit-locations `global_locations` (all >= l, sorted
   /// ascending) with the highest |global_locations| local bit-locations,
   /// via one (group) all-to-all. Swapping all g globals is one world
-  /// all-to-all.
+  /// all-to-all. Executed in place with a bounded bounce buffer
+  /// (StorageOptions::bounce_buffer_bytes): peak footprint is 1+epsilon
+  /// times the state, never 2x.
   void alltoall_swap(const std::vector<int>& global_locations);
+
+  /// Generalized form: swaps global_locations[i] with the arbitrary
+  /// local bit-location local_positions[i] (pairwise, one group
+  /// all-to-all). Lets a stage transition skip the parking swap chain:
+  /// outgoing qubits are exchanged straight from wherever they sit.
+  void alltoall_swap(const std::vector<int>& global_locations,
+                     const std::vector<int>& local_positions);
+
+  /// One fused local bit-permutation sweep over every rank (single pass,
+  /// in place): location j afterwards holds what location perm[j] held.
+  /// If `rank_phase` is non-null, rank r's amplitudes are additionally
+  /// multiplied by (*rank_phase)[r] during the same pass — this is how
+  /// deferred per-rank phases are flushed without a dedicated sweep.
+  void local_permute(const std::vector<int>& perm,
+                     const std::vector<Amplitude>* rank_phase = nullptr,
+                     const ApplyOptions& options = {});
 
   /// Applies a permutation of the global bit-locations by renumbering
   /// ranks (zero data volume). perm maps global-bit j (0-based within the

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
 
 namespace quasar {
@@ -29,7 +30,8 @@ void run_fused(StateVector& state, const Circuit& circuit,
   if (!identity) {
     std::vector<int> perm(n);
     for (Qubit q = 0; q < n; ++q) perm[stage.qubit_to_location[q]] = q;
-    apply_bit_permutation(state.data(), n, perm, apply.num_threads);
+    apply_fused_bit_permutation(state.data(), n, perm,
+                                Amplitude{1.0, 0.0}, apply.num_threads);
   }
 
   for (const StageItem& item : stage.items) {
@@ -43,7 +45,8 @@ void run_fused(StateVector& state, const Circuit& circuit,
     // Permute back to program order: inverse mapping.
     std::vector<int> inverse(n);
     for (Qubit q = 0; q < n; ++q) inverse[q] = stage.qubit_to_location[q];
-    apply_bit_permutation(state.data(), n, inverse, apply.num_threads);
+    apply_fused_bit_permutation(state.data(), n, inverse,
+                                Amplitude{1.0, 0.0}, apply.num_threads);
   }
 }
 

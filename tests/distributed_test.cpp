@@ -259,7 +259,11 @@ TEST(Distributed, GlobalPermutationGatesNeedNoCommunication) {
         << "mode " << static_cast<int>(mode);
     // Only the dense H gates on global qubits should have cost swaps.
     EXPECT_LE(sim.stats().alltoalls, 1u);
-    EXPECT_GE(sim.stats().rank_renumberings, 1u);
+    // The single-sweep transition parks each outgoing qubit on the local
+    // slot its incoming partner lands on, so the exchange leaves the
+    // global side already in place: no fix-up renumbering, no pairwise
+    // swap chain.
+    EXPECT_EQ(sim.stats().local_swap_sweeps, 0u);
   }
 }
 
@@ -314,6 +318,78 @@ TEST(Distributed, GlobalPermutationWithDeferredPhasesAndSwaps) {
 
 namespace quasar {
 namespace {
+
+TEST(Distributed, SingleSweepTransition) {
+  // A full stage transition with local shuffles AND boundary crossings
+  // must cost exactly one fused local-permutation sweep and one
+  // all-to-all — no pairwise swap chain, no separate phase flush.
+  const int n = 8, l = 5;
+  const Circuit c = random_circuit(n, 30, 99);
+  DistributedSimulator sim(n, l);
+  sim.init_basis(0);
+  ScheduleOptions o;
+  o.num_local = l;
+  sim.run(c, o);
+
+  const StateVector before = sim.gather();
+  const CommStats base = sim.stats();
+
+  // Location permutation with a local shuffle (0 <-> 1) and two
+  // local/global crossings (2 -> 5, 4 -> 6 out; 5 -> 2, 6 -> 4 in).
+  std::vector<int> f{1, 0, 5, 3, 6, 2, 4, 7};
+  std::vector<int> to(n);
+  for (Qubit q = 0; q < n; ++q) to[q] = f[sim.mapping()[q]];
+  sim.remap(to);
+  EXPECT_EQ(sim.mapping(), to);
+
+  // The remapped state is physically rearranged but semantically
+  // unchanged.
+  EXPECT_LT(sim.gather().max_abs_diff(before), 1e-14);
+  // Exactly one fused sweep, one all-to-all, zero pairwise swaps.
+  EXPECT_EQ(sim.stats().local_permutation_sweeps -
+                base.local_permutation_sweeps,
+            1u);
+  EXPECT_EQ(sim.stats().alltoalls - base.alltoalls, 1u);
+  EXPECT_EQ(sim.stats().local_swap_sweeps, base.local_swap_sweeps);
+  EXPECT_EQ(sim.stats().local_swap_sweeps, 0u);
+  // One sweep touches every amplitude of the distributed state once.
+  EXPECT_EQ(sim.stats().local_permutation_bytes -
+                base.local_permutation_bytes,
+            index_pow2(n) * kBytesPerAmplitude);
+}
+
+TEST(Distributed, RemapValidation) {
+  DistributedSimulator sim(6, 4);
+  sim.init_basis(0);
+  EXPECT_THROW(sim.remap({0, 1, 2}), Error);              // wrong size
+  EXPECT_THROW(sim.remap({0, 1, 2, 3, 4, 4}), Error);     // not a bijection
+  EXPECT_THROW(sim.remap({0, 1, 2, 3, 4, 6}), Error);     // out of range
+}
+
+TEST(Distributed, LocalOnlyRemapNeedsNoCommunication) {
+  const int n = 7, l = 4;
+  const Circuit c = random_circuit(n, 20, 7);
+  DistributedSimulator sim(n, l);
+  sim.init_basis(0);
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 3;
+  sim.run(c, o);
+
+  const StateVector before = sim.gather();
+  const CommStats base = sim.stats();
+  // Rotate the local locations only: no qubit crosses the boundary.
+  std::vector<int> f{1, 2, 3, 0, 4, 5, 6};
+  std::vector<int> to(n);
+  for (Qubit q = 0; q < n; ++q) to[q] = f[sim.mapping()[q]];
+  sim.remap(to);
+
+  EXPECT_LT(sim.gather().max_abs_diff(before), 1e-14);
+  EXPECT_EQ(sim.stats().alltoalls, base.alltoalls);
+  EXPECT_EQ(sim.stats().local_permutation_sweeps -
+                base.local_permutation_sweeps,
+            1u);
+}
 
 TEST(DistributedQueries, AmplitudeMatchesGather) {
   SupremacyOptions so;

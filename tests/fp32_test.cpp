@@ -139,6 +139,48 @@ TEST(Fp32Kernels, Validation) {
       Error);
 }
 
+TEST(Fp32Kernels, FusedPermutationMatchesSwapChain) {
+  // The fused single-sweep permutation must move floats exactly like the
+  // equivalent chain of pairwise bit swaps.
+  const int n = 9;
+  Rng rng(42);
+  StateVectorF fused(n), chained(n);
+  for (Index i = 0; i < fused.size(); ++i) {
+    fused[i] = AmplitudeF{static_cast<float>(rng.normal()),
+                          static_cast<float>(rng.normal())};
+    chained[i] = fused[i];
+  }
+
+  // (1 6)(3 8) as one permutation, fused vs chained.
+  std::vector<int> perm(n);
+  for (int j = 0; j < n; ++j) perm[j] = j;
+  std::swap(perm[1], perm[6]);
+  std::swap(perm[3], perm[8]);
+
+  apply_fused_bit_permutation_f32(fused.data(), n, perm);
+  apply_bit_swap_f32(chained.data(), n, 1, 6);
+  apply_bit_swap_f32(chained.data(), n, 3, 8);
+  for (Index i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i], chained[i]) << i;
+  }
+
+  // Tiny scratch chunks stay exact too.
+  StateVectorF tiny(n);
+  for (Index i = 0; i < tiny.size(); ++i) {
+    Index src = 0;
+    for (int b = 0; b < n; ++b) {
+      src |= static_cast<Index>(get_bit(i, b)) << perm[b];
+    }
+    tiny[src] = chained[i];
+  }
+  apply_fused_bit_permutation_f32(tiny.data(), n, perm,
+                                  AmplitudeF{1.0f, 0.0f}, 0,
+                                  std::size_t{8});
+  for (Index i = 0; i < tiny.size(); ++i) {
+    EXPECT_EQ(tiny[i], chained[i]) << i;
+  }
+}
+
 TEST(Fp32Simulator, GhzState) {
   const int n = 10;
   StateVectorF s(n);
@@ -262,7 +304,10 @@ TEST(Fp32Distributed, GlobalSpecializationsWork) {
   sim.init_basis(0);
   sim.run(c, make_schedule(c, o));
   EXPECT_LT(sim.gather().max_abs_diff(expected), 5e-5);
-  EXPECT_GE(sim.stats().rank_renumberings, 1u);
+  // The single-sweep transition needs no fix-up renumbering (outgoing
+  // qubits land directly on the slots their incoming partners vacate)
+  // and no pairwise swap chain.
+  EXPECT_EQ(sim.stats().local_swap_sweeps, 0u);
 }
 
 TEST(Fp32Distributed, Validation) {

@@ -203,5 +203,105 @@ TEST(VirtualCluster, PermuteRanksValidation) {
   EXPECT_THROW(c.permute_ranks({0, 1, 2, 9}), Error);   // out of range
 }
 
+TEST(VirtualCluster, ChunkedSwapBitExactAcrossBounceSizes) {
+  // The in-place exchange must be bit-exact for every group size q and
+  // for bounce buffers from generous down to smaller than one block
+  // (the clamp still grants one amplitude per thread).
+  const int n = 9, l = 6, g = 3;
+  const StateVector original = random_state(n, 20);
+  for (int q = 1; q <= g; ++q) {
+    std::vector<int> globals;
+    for (int i = 0; i < q; ++i) globals.push_back(l + i);
+    for (std::size_t bounce : {std::size_t{1} << 26, std::size_t{4096},
+                               std::size_t{64}, std::size_t{1}}) {
+      StorageOptions storage;
+      storage.bounce_buffer_bytes = bounce;
+      VirtualCluster c(n, l, storage);
+      load(c, original);
+      c.alltoall_swap(globals);
+      StateVector expected = original;
+      for (int i = 0; i < q; ++i) {
+        reference_apply(expected, gates::swap(), {l - q + i, l + i});
+      }
+      EXPECT_EQ(unload(c).max_abs_diff(expected), 0.0)
+          << "q=" << q << " bounce=" << bounce;
+    }
+  }
+}
+
+TEST(VirtualCluster, GeneralizedSwapAtArbitraryLocalPositions) {
+  // Pairing globals {6, 8} with local positions {1, 3} swaps index bits
+  // (1 <-> 6) and (3 <-> 8) directly — no parking chain needed.
+  const int n = 9, l = 6;
+  const StateVector original = random_state(n, 21);
+  VirtualCluster c(n, l);
+  load(c, original);
+  c.alltoall_swap({6, 8}, {1, 3});
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {1, 6});
+  reference_apply(expected, gates::swap(), {3, 8});
+  EXPECT_EQ(unload(c).max_abs_diff(expected), 0.0);
+  EXPECT_EQ(c.stats().alltoalls, 1u);
+  // Byte volume is independent of which local positions carried it.
+  EXPECT_EQ(c.stats().bytes_sent_per_rank,
+            (c.local_size() - c.local_size() / 4) * kBytesPerAmplitude);
+}
+
+TEST(VirtualCluster, PeakBounceIsTrackedAndBounded) {
+  const int n = 9, l = 6;
+  StorageOptions storage;
+  storage.bounce_buffer_bytes = std::size_t{1} << 12;  // 4 KB
+  VirtualCluster c(n, l, storage);
+  load(c, random_state(n, 22));
+  c.alltoall_swap({6, 7, 8});
+  EXPECT_GT(c.stats().peak_bounce_bytes, 0u);
+  EXPECT_LE(c.stats().peak_bounce_bytes, storage.bounce_buffer_bytes);
+}
+
+TEST(VirtualCluster, LocalPermuteMatchesSwapChain) {
+  const int n = 8, l = 5;
+  const StateVector original = random_state(n, 23);
+  VirtualCluster c(n, l), oracle(n, l);
+  load(c, original);
+  load(oracle, original);
+  // Local 3-cycle 0 -> 2 -> 4 -> 0 as a permutation: location j takes
+  // what perm[j] held.
+  std::vector<int> perm{4, 1, 0, 3, 2};
+  c.local_permute(perm);
+  oracle.local_swap(0, 2);
+  oracle.local_swap(0, 4);
+  EXPECT_EQ(unload(c).max_abs_diff(unload(oracle)), 0.0);
+  EXPECT_EQ(c.stats().local_permutation_sweeps, 1u);
+  EXPECT_EQ(c.stats().local_swap_sweeps, 0u);
+  EXPECT_EQ(c.stats().local_permutation_bytes,
+            static_cast<std::uint64_t>(c.num_ranks()) * c.local_size() *
+                kBytesPerAmplitude);
+}
+
+TEST(VirtualCluster, LocalPermuteFoldsPerRankPhases) {
+  const int n = 7, l = 5;
+  const StateVector original = random_state(n, 24);
+  VirtualCluster c(n, l);
+  load(c, original);
+  std::vector<Amplitude> phases{{1.0, 0.0}, {0.0, 1.0},
+                                {-1.0, 0.0}, {0.6, 0.8}};
+  std::vector<int> perm{1, 0, 2, 3, 4};  // swap locals 0 and 1
+  c.local_permute(perm, &phases);
+  StateVector expected = original;
+  reference_apply(expected, gates::swap(), {0, 1});
+  for (Index i = 0; i < expected.size(); ++i) {
+    expected[i] *= phases[i >> l];
+  }
+  EXPECT_LT(unload(c).max_abs_diff(expected), 1e-14);
+}
+
+TEST(VirtualCluster, LocalPermuteIdentityIsFree) {
+  VirtualCluster c(6, 4);
+  c.init_uniform();
+  c.local_permute({0, 1, 2, 3});
+  EXPECT_EQ(c.stats().local_permutation_sweeps, 0u);
+  EXPECT_EQ(c.stats().local_permutation_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace quasar
