@@ -1,0 +1,184 @@
+/// \file stage_sweep_microbench.cpp
+/// \brief Cache-blocked stage execution vs one DRAM sweep per gate.
+///
+/// Builds a depth-QUASAR_STAGE_BENCH_DEPTH supremacy-style circuit on a
+/// near-square grid, schedules it single-node with the qubit-mapping
+/// optimization (Sec. 3.6.2, which pushes busy qubits to low
+/// bit-locations), and times the stage's gate list two ways at two
+/// granularities:
+///   - gate level: every circuit op applied at its mapped location
+///     (unfused execution), plain vs blocked;
+///   - cluster level: the fused cluster items the executor actually runs,
+///     plain vs blocked.
+/// "Plain" pays one read+write of the state per gate; "blocked" lets
+/// runs of low-location gates share one sweep (kernels/block_apply.hpp).
+/// Emits JSON for EXPERIMENTS.md.
+/// Overrides: QUASAR_STAGE_BENCH_QUBITS (default 28),
+/// QUASAR_STAGE_BENCH_DEPTH (default 25), QUASAR_STAGE_BENCH_REPS
+/// (default 1), QUASAR_STAGE_BENCH_TUNE (default 1 = run
+/// autotune_blocking first), QUASAR_STAGE_BENCH_BLOCK /
+/// QUASAR_STAGE_BENCH_MIN_RUN (force the block exponent / minimum run
+/// length instead of the tuned values).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "circuit/supremacy.hpp"
+#include "core/bits.hpp"
+#include "core/timing.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/block_apply.hpp"
+#include "sched/schedule.hpp"
+
+namespace {
+
+using namespace quasar;
+using namespace quasar::bench;
+
+void fill_random(Amplitude* data, Index count, std::uint64_t seed) {
+  Rng rng(seed);
+  for (Index i = 0; i < count; ++i) {
+    data[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+}
+
+/// Near-square grid factoring of n (supremacy_grid_for_qubits only knows
+/// the paper's sizes).
+std::pair<int, int> near_square_grid(int n) {
+  for (int r = static_cast<int>(std::sqrt(static_cast<double>(n))); r >= 1;
+       --r) {
+    if (n % r == 0) return {n / r, r};
+  }
+  return {n, 1};
+}
+
+template <typename F>
+double best_seconds(int reps, F&& body) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    body();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+struct LevelResult {
+  std::size_t gates = 0;
+  double plain_s = 0.0;
+  double blocked_s = 0.0;
+  BlockRunStats stats;
+};
+
+LevelResult measure_level(Amplitude* state, int n,
+                          const std::vector<const PreparedGate*>& gates,
+                          const ApplyOptions& options, int reps) {
+  LevelResult r;
+  r.gates = gates.size();
+  r.plain_s = best_seconds(reps, [&] {
+    for (const PreparedGate* g : gates) apply_gate(state, n, *g, options);
+  });
+  r.blocked_s = best_seconds(reps, [&] {
+    apply_gates_blocked(state, n, gates.data(), gates.size(), options,
+                        &r.stats);
+  });
+  return r;
+}
+
+void print_level(const char* name, const LevelResult& r, bool last) {
+  const double speedup = r.blocked_s > 0.0 ? r.plain_s / r.blocked_s : 0.0;
+  std::printf("  \"%s\": {\n", name);
+  std::printf("    \"gates\": %zu,\n", r.gates);
+  std::printf("    \"plain_seconds\": %.6f,\n", r.plain_s);
+  std::printf("    \"blocked_seconds\": %.6f,\n", r.blocked_s);
+  std::printf("    \"speedup\": %.3f,\n", speedup);
+  std::printf("    \"meets_1p5x\": %s,\n", speedup >= 1.5 ? "true" : "false");
+  std::printf("    \"runs\": %zu,\n", r.stats.runs);
+  std::printf("    \"run_gates\": %zu,\n", r.stats.run_gates);
+  std::printf("    \"hoisted\": %zu,\n", r.stats.hoisted);
+  std::printf("    \"coalesced\": %zu,\n", r.stats.coalesced);
+  std::printf("    \"sweeps\": %zu,\n", r.stats.sweeps);
+  std::printf("    \"sweeps_saved\": %zu\n", r.stats.sweeps_saved());
+  std::printf("  }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const int n = std::max(12, env_int("QUASAR_STAGE_BENCH_QUBITS", 28));
+  const int depth = std::max(1, env_int("QUASAR_STAGE_BENCH_DEPTH", 25));
+  const int reps = std::max(1, env_int("QUASAR_STAGE_BENCH_REPS", 1));
+  const bool tune = env_int("QUASAR_STAGE_BENCH_TUNE", 1) != 0;
+
+  const auto [rows, cols] = near_square_grid(n);
+  SupremacyOptions sup;
+  sup.rows = rows;
+  sup.cols = cols;
+  sup.depth = depth;
+  sup.seed = 1;
+  const Circuit circuit = make_supremacy_circuit(sup);
+
+  ScheduleOptions sched;
+  sched.num_local = n;
+  sched.kmax = std::min(5, n);
+  sched.qubit_mapping = true;
+  const Schedule schedule = make_schedule(circuit, sched);
+  const Stage& stage = schedule.stages.front();
+
+  if (tune) {
+    autotune_blocking(std::min(n, 24));
+  }
+  const BlockRunConfig& config = block_run_config();
+
+  // Gate-level list: every op at its mapped bit-locations, in stage
+  // order. Cluster-level list: the fused items the executor runs.
+  std::vector<PreparedGate> gate_level;
+  gate_level.reserve(stage.gates.size());
+  for (std::size_t gi : stage.gates) {
+    const GateOp& op = circuit.op(gi);
+    std::vector<int> locations;
+    for (Qubit q : op.qubits) {
+      locations.push_back(stage.qubit_to_location[q]);
+    }
+    gate_level.push_back(prepare_gate(*op.matrix, locations));
+  }
+  std::vector<PreparedGate> cluster_level;
+  cluster_level.reserve(stage.items.size());
+  for (const StageItem& item : stage.items) {
+    const Cluster& cluster = stage.clusters[item.cluster];
+    cluster_level.push_back(prepare_gate(*cluster.matrix, cluster.qubits));
+  }
+  std::vector<const PreparedGate*> gate_ptrs, cluster_ptrs;
+  for (const PreparedGate& g : gate_level) gate_ptrs.push_back(&g);
+  for (const PreparedGate& g : cluster_level) cluster_ptrs.push_back(&g);
+
+  AlignedVector<Amplitude> state(index_pow2(n));
+  fill_random(state.data(), state.size(), 7);
+
+  ApplyOptions options;
+  options.block_exponent = env_int("QUASAR_STAGE_BENCH_BLOCK", 0);
+  options.min_run_length = env_int("QUASAR_STAGE_BENCH_MIN_RUN", 0);
+  const LevelResult gate_r =
+      measure_level(state.data(), n, gate_ptrs, options, reps);
+  const LevelResult cluster_r =
+      measure_level(state.data(), n, cluster_ptrs, options, reps);
+
+  std::printf("{\n");
+  std::printf("  \"qubits\": %d,\n", n);
+  std::printf("  \"grid\": [%d, %d],\n", rows, cols);
+  std::printf("  \"depth\": %d,\n", depth);
+  std::printf("  \"kmax\": %d,\n", sched.kmax);
+  std::printf("  \"block_exponent\": %d,\n",
+              effective_block_exponent(n, options));
+  std::printf("  \"min_run_length\": %d,\n",
+              effective_min_run_length(options));
+  std::printf("  \"tuned\": %s,\n", config.tuned ? "true" : "false");
+  print_level("gate_level", gate_r, false);
+  print_level("cluster_level", cluster_r, true);
+  std::printf("}\n");
+  return 0;
+}

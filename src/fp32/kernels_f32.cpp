@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
+#include <memory>
 #include <numeric>
 
 #include "core/error.hpp"
@@ -20,6 +22,31 @@ int resolve_threads_f32(int requested, Index iterations) {
     threads = static_cast<int>(iterations > 0 ? iterations : 1);
   }
   return threads;
+}
+
+/// Reusable per-thread float gate workspace (mirrors
+/// detail::gate_scratch for the double kernels).
+AmplitudeF* gate_scratch_f32(Index amplitudes) {
+  thread_local AlignedVector<AmplitudeF> scratch;
+  if (static_cast<Index>(scratch.size()) < amplitudes) {
+    scratch.resize(amplitudes);
+  }
+  return scratch.data();
+}
+
+// Single compiled instance of the float diagonal multiply, shared by the
+// full-state sweep and the blocked per-block path (float analogue of
+// detail::diagonal_multiply — noinline so FP contraction cannot diverge
+// between the two call sites and blocked execution stays bit-identical).
+// The outer loop lives inside the function so callers pay one call per
+// range, not one per base.
+[[gnu::noinline]] void diagonal_multiply_range_f32(
+    AmplitudeF* amps, const IndexExpander& expander, const Index* offsets,
+    const AmplitudeF* diag, Index dim, Index begin, Index end) {
+  for (Index i = begin; i < end; ++i) {
+    AmplitudeF* const base = amps + expander.expand(i);
+    for (Index t = 0; t < dim; ++t) base[offsets[t]] *= diag[t];
+  }
 }
 
 inline void gather_f32(const AmplitudeF* state, Index base,
@@ -105,7 +132,8 @@ void gemv_f32(AmplitudeF* state, int num_qubits, const PreparedGateF& gate,
 
 #pragma omp parallel num_threads(threads)
   {
-    AlignedVector<AmplitudeF> tmp(kDirect ? 0 : dim);
+    // Reusable per-thread gather workspace, fetched once per region.
+    AmplitudeF* const tmp = kDirect ? nullptr : gate_scratch_f32(dim);
 #pragma omp for schedule(static)
     for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(outer); ++ii) {
       AmplitudeF* block;
@@ -113,8 +141,8 @@ void gemv_f32(AmplitudeF* state, int num_qubits, const PreparedGateF& gate,
         block = state + static_cast<Index>(ii) * dim;
       } else {
         const Index base = expander.expand(static_cast<Index>(ii));
-        gather_f32(state, base, offsets, dim, run, tmp.data());
-        block = tmp.data();
+        gather_f32(state, base, offsets, dim, run, tmp);
+        block = tmp;
       }
       const float* blockf = reinterpret_cast<const float*>(block);
       Vec acc[kMaxAcc];
@@ -137,7 +165,7 @@ void gemv_f32(AmplitudeF* state, int num_qubits, const PreparedGateF& gate,
       }
       if constexpr (!kDirect) {
         const Index base = expander.expand(static_cast<Index>(ii));
-        scatter_f32(state, base, offsets, dim, run, tmp.data());
+        scatter_f32(state, base, offsets, dim, run, tmp);
       }
     }
   }
@@ -198,6 +226,40 @@ PreparedGateF prepare_gate_f32(const GateMatrix& matrix,
       g.col_b[e + 1] = static_cast<float>(m.real());
     }
   }
+
+#if QUASAR_F32_SIMD
+  // Pre-widen once at preparation time: gates narrower than one float
+  // vector get identity spectators on the lowest free bit-locations.
+  // Those spectators are always < the widened arity, so the embedding is
+  // valid for every state with at least widened->k qubits and the
+  // dispatcher need not re-derive it per application.
+  if (!g.diagonal && g.dim < static_cast<Index>(F32Traits::kWidth)) {
+    int want_k = g.k;
+    Index want_dim = g.dim;
+    while (want_dim < static_cast<Index>(F32Traits::kWidth)) {
+      ++want_k;
+      want_dim *= 2;
+    }
+    std::vector<int> all_locations;
+    for (int q = 0;
+         static_cast<int>(all_locations.size()) < want_k - g.k; ++q) {
+      if (std::find(g.qubits.begin(), g.qubits.end(), q) == g.qubits.end()) {
+        all_locations.push_back(q);
+      }
+    }
+    all_locations.insert(all_locations.end(), g.qubits.begin(),
+                         g.qubits.end());
+    std::sort(all_locations.begin(), all_locations.end());
+    std::vector<int> positions;
+    for (int q : g.qubits) {
+      const auto it = std::lower_bound(all_locations.begin(),
+                                       all_locations.end(), q);
+      positions.push_back(static_cast<int>(it - all_locations.begin()));
+    }
+    g.widened = std::make_shared<const PreparedGateF>(
+        prepare_gate_f32(g.matrix.embed(want_k, positions), all_locations));
+  }
+#endif
   return g;
 }
 
@@ -245,10 +307,15 @@ void apply_diagonal_f32(AmplitudeF* state, int num_qubits,
   const AmplitudeF* diag = gate.diag.data();
   const int threads = resolve_threads_f32(num_threads, outer);
 
-#pragma omp parallel for schedule(static) num_threads(threads)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
-    const Index base = expander.expand(static_cast<Index>(i));
-    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] *= diag[t];
+#pragma omp parallel num_threads(threads)
+  {
+    // Static partition of the outer index space; one call per thread
+    // into the shared multiply (bitwise result is independent of the
+    // split — every base is touched exactly once).
+    const Index tid = static_cast<Index>(omp_get_thread_num());
+    const Index nth = static_cast<Index>(omp_get_num_threads());
+    diagonal_multiply_range_f32(state, expander, offsets, diag, dim,
+                                outer * tid / nth, outer * (tid + 1) / nth);
   }
 }
 
@@ -309,6 +376,11 @@ void apply_gate_f32(AmplitudeF* state, int num_qubits,
   // bit-locations so the GEMV has full lanes — the same trick the
   // double-precision dispatcher uses for 1-qubit gates.
   if (gate.dim < static_cast<Index>(kW)) {
+    // Prepare-once cache (built by prepare_gate_f32).
+    if (gate.widened && gate.widened->k <= num_qubits) {
+      apply_gate_f32(state, num_qubits, *gate.widened, num_threads);
+      return;
+    }
     int want_k = gate.k;
     Index want_dim = gate.dim;
     while (want_dim < static_cast<Index>(kW)) {
@@ -354,6 +426,238 @@ void apply_gate_f32(AmplitudeF* state, int num_qubits,
   }
 #endif
   apply_gate_f32_scalar(state, num_qubits, gate, num_threads);
+}
+
+namespace {
+
+/// Pre-resolved per-gate plan for the float block loop (mirrors the
+/// double engine's block_apply.cpp).
+struct GatePlanEntryF {
+  const PreparedGateF* gate = nullptr;
+  bool diagonal = false;
+  std::vector<int> high_qubits;
+  std::vector<Index> low_offsets;
+  IndexExpander low_expander{std::vector<int>{}};
+  Index low_outer = 0;
+  Index dim_low = 0;
+  int low_k = 0;
+};
+
+/// Float mirror of merge_diagonal_gates (block_apply.cpp): one merged
+/// phase table for a span of commuting diagonal gates, product taken in
+/// float to match the engine's working precision.
+PreparedGateF merge_diagonal_gates_f32(const PreparedGateF* const* gates,
+                                       std::size_t count) {
+  std::vector<int> qubits;
+  for (std::size_t g = 0; g < count; ++g) {
+    std::vector<int> u;
+    std::set_union(qubits.begin(), qubits.end(), gates[g]->qubits.begin(),
+                   gates[g]->qubits.end(), std::back_inserter(u));
+    qubits.swap(u);
+  }
+  PreparedGateF merged;
+  merged.k = static_cast<int>(qubits.size());
+  merged.dim = index_pow2(merged.k);
+  merged.qubits = qubits;
+  merged.diagonal = true;
+  merged.diag.assign(merged.dim, AmplitudeF{1.0f, 0.0f});
+  merged.offsets = make_gate_offsets(qubits);
+  for (std::size_t g = 0; g < count; ++g) {
+    const PreparedGateF& src = *gates[g];
+    std::vector<int> pos(src.qubits.size());
+    for (std::size_t t = 0; t < src.qubits.size(); ++t) {
+      pos[t] = static_cast<int>(
+          std::lower_bound(qubits.begin(), qubits.end(), src.qubits[t]) -
+          qubits.begin());
+    }
+    for (Index idx = 0; idx < merged.dim; ++idx) {
+      Index sub = 0;
+      for (std::size_t t = 0; t < pos.size(); ++t) {
+        sub |= ((idx >> pos[t]) & Index{1}) << t;
+      }
+      merged.diag[idx] *= src.diag[sub];
+    }
+  }
+  return merged;
+}
+
+/// Float mirror of coalesce_diagonal_spans: replaces maximal consecutive
+/// diagonal spans (union of at most 12 qubits) with merged gates.
+std::size_t coalesce_diagonal_spans_f32(
+    std::vector<const PreparedGateF*>& run,
+    std::vector<std::unique_ptr<PreparedGateF>>& storage) {
+  constexpr std::size_t kMaxMergedK = 12;
+  std::size_t saved = 0;
+  std::vector<const PreparedGateF*> out;
+  out.reserve(run.size());
+  std::size_t i = 0;
+  while (i < run.size()) {
+    if (!run[i]->diagonal) {
+      out.push_back(run[i]);
+      ++i;
+      continue;
+    }
+    std::vector<int> qubits = run[i]->qubits;
+    std::size_t j = i + 1;
+    while (j < run.size() && run[j]->diagonal) {
+      std::vector<int> u;
+      std::set_union(qubits.begin(), qubits.end(), run[j]->qubits.begin(),
+                     run[j]->qubits.end(), std::back_inserter(u));
+      if (u.size() > kMaxMergedK) break;
+      qubits.swap(u);
+      ++j;
+    }
+    if (j - i < 2) {
+      out.push_back(run[i]);
+    } else {
+      storage.push_back(std::make_unique<PreparedGateF>(
+          merge_diagonal_gates_f32(run.data() + i, j - i)));
+      out.push_back(storage.back().get());
+      saved += (j - i) - 1;
+    }
+    i = j;
+  }
+  run.swap(out);
+  return saved;
+}
+
+GatePlanEntryF make_plan_f32(const PreparedGateF& gate, int b) {
+  GatePlanEntryF e;
+  e.gate = &gate;
+  e.diagonal = gate.diagonal;
+  if (!gate.diagonal) return e;
+  std::vector<int> low_qubits;
+  for (int q : gate.qubits) {  // ascending, so low qubits come first
+    (q < b ? low_qubits : e.high_qubits).push_back(q);
+  }
+  e.low_k = static_cast<int>(low_qubits.size());
+  e.dim_low = index_pow2(e.low_k);
+  e.low_offsets = make_gate_offsets(low_qubits);
+  e.low_expander = IndexExpander(low_qubits);
+  e.low_outer = index_pow2(b - e.low_k);
+  return e;
+}
+
+}  // namespace
+
+bool block_run_eligible_f32(const PreparedGateF& gate, int block_exponent) {
+  if (gate.diagonal) return true;
+  const int last =
+      gate.widened ? gate.widened->qubits.back() : gate.qubits.back();
+  return last < block_exponent;
+}
+
+void apply_gate_run_f32(AmplitudeF* state, int num_qubits,
+                        const PreparedGateF* const* gates, std::size_t count,
+                        int block_exponent, const ApplyOptions& options) {
+  QUASAR_CHECK(state != nullptr, "apply_gate_run_f32: null state");
+  QUASAR_CHECK(count >= 1, "apply_gate_run_f32: empty run");
+  QUASAR_CHECK(block_exponent >= 2 && block_exponent <= num_qubits,
+               "apply_gate_run_f32: block exponent out of range");
+  std::vector<GatePlanEntryF> plans;
+  plans.reserve(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    QUASAR_CHECK(gates[g] != nullptr, "apply_gate_run_f32: null gate");
+    QUASAR_CHECK(gates[g]->qubits.back() < num_qubits,
+                 "apply_gate_run_f32: bit-location out of range");
+    QUASAR_CHECK(
+        block_run_eligible_f32(*gates[g], block_exponent),
+        "apply_gate_run_f32: gate not eligible at this block exponent");
+    plans.push_back(make_plan_f32(*gates[g], block_exponent));
+  }
+
+  const int b = block_exponent;
+  const Index block_size = index_pow2(b);
+  const Index num_blocks = index_pow2(num_qubits - b);
+  const int threads = resolve_threads_f32(options.num_threads, num_blocks);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t bi = 0; bi < static_cast<std::int64_t>(num_blocks);
+       ++bi) {
+    const Index block_base = static_cast<Index>(bi) * block_size;
+    AmplitudeF* const block = state + block_base;
+    for (const GatePlanEntryF& e : plans) {
+      if (!e.diagonal) {
+        apply_gate_f32(block, b, *e.gate, 1);
+        continue;
+      }
+      // diag + hi is the block's contiguous phase-table slice; the
+      // shared noinline multiply keeps this bit-identical to the
+      // full-state diagonal sweep.
+      const AmplitudeF* const diag = e.gate->diag.data() +
+                                     (gather_bits(block_base, e.high_qubits)
+                                      << e.low_k);
+      diagonal_multiply_range_f32(block, e.low_expander,
+                                  e.low_offsets.data(), diag, e.dim_low, 0,
+                                  e.low_outer);
+    }
+  }
+}
+
+void apply_gates_blocked_f32(AmplitudeF* state, int num_qubits,
+                             const PreparedGateF* const* gates,
+                             std::size_t count, const ApplyOptions& options,
+                             BlockRunStats* stats) {
+  BlockRunStats local;
+  local.gates = count;
+  const int b = effective_block_exponent(num_qubits, options);
+  if (b < 0 || count == 0) {
+    for (std::size_t g = 0; g < count; ++g) {
+      apply_gate_f32(state, num_qubits, *gates[g], options.num_threads);
+    }
+    local.sweeps = count;
+    if (stats) *stats = local;
+    return;
+  }
+
+  std::vector<GateShape> shapes(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    GateShape& s = shapes[g];
+    s.eligible = block_run_eligible_f32(*gates[g], b);
+    const std::vector<int>& qs =
+        (!gates[g]->diagonal && gates[g]->widened)
+            ? gates[g]->widened->qubits
+            : gates[g]->qubits;
+    for (int q : qs) {
+      s.qubit_mask |= q < 64 ? (std::uint64_t{1} << q) : 0;
+    }
+  }
+
+  const int min_run = effective_min_run_length(options);
+  const std::vector<BlockPlanSegment> segments =
+      plan_gate_runs(shapes, options.block_reorder);
+  std::vector<const PreparedGateF*> run_gates;
+  std::vector<std::unique_ptr<PreparedGateF>> merged_storage;
+  for (const BlockPlanSegment& seg : segments) {
+    if (static_cast<int>(seg.run.size()) >= min_run) {
+      run_gates.clear();
+      for (std::size_t g : seg.run) run_gates.push_back(gates[g]);
+      if (options.merge_diagonals) {
+        merged_storage.clear();
+        local.coalesced +=
+            coalesce_diagonal_spans_f32(run_gates, merged_storage);
+      }
+      apply_gate_run_f32(state, num_qubits, run_gates.data(),
+                         run_gates.size(), b, options);
+      local.runs += 1;
+      local.run_gates += seg.run.size();
+      local.sweeps += 1;
+    } else {
+      for (std::size_t g : seg.run) {
+        apply_gate_f32(state, num_qubits, *gates[g], options.num_threads);
+      }
+      local.sweeps += seg.run.size();
+    }
+    for (std::size_t g : seg.solo) {
+      apply_gate_f32(state, num_qubits, *gates[g], options.num_threads);
+    }
+    local.sweeps += seg.solo.size();
+    if (!seg.solo.empty()) {
+      const std::size_t first_solo = seg.solo.front();
+      for (std::size_t g : seg.run) local.hoisted += g > first_solo;
+    }
+  }
+  if (stats) *stats = local;
 }
 
 }  // namespace quasar

@@ -10,12 +10,14 @@
 /// paper's "46 qubits with the same resources" headroom comes from.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/aligned.hpp"
 #include "core/bits.hpp"
 #include "fp32/statevector_f32.hpp"
 #include "gates/matrix.hpp"
+#include "kernels/block_apply.hpp"
 
 namespace quasar {
 
@@ -34,6 +36,11 @@ struct PreparedGateF {
   AlignedVector<float> col_b;
   bool diagonal = false;
   AlignedVector<AmplitudeF> diag;
+  /// Pre-widened embedding with identity spectators on the lowest free
+  /// bit-locations, built once at preparation time when the gate is
+  /// narrower than one float SIMD vector (the float analogue of the
+  /// double kernels' k = 1 widening). Null when never needed.
+  std::shared_ptr<const PreparedGateF> widened;
 
   IndexExpander expander() const { return IndexExpander(qubits); }
 };
@@ -56,6 +63,29 @@ void apply_gate_f32_scalar(AmplitudeF* state, int num_qubits,
 /// Diagonal (phase-only) application; requires gate.diagonal.
 void apply_diagonal_f32(AmplitudeF* state, int num_qubits,
                         const PreparedGateF& gate, int num_threads = 0);
+
+/// True when `gate` can join a blocked run at block exponent `b` (float
+/// analogue of block_run_eligible): diagonal gates always; dense gates
+/// when every bit-location of the kernel that will actually run (the
+/// pre-widened embedding, if any) is below b.
+bool block_run_eligible_f32(const PreparedGateF& gate, int block_exponent);
+
+/// Applies `count` prepared float gates — every one eligible at
+/// `block_exponent` — in one DRAM sweep over 2^block_exponent-amplitude
+/// blocks (float analogue of apply_gate_run).
+void apply_gate_run_f32(AmplitudeF* state, int num_qubits,
+                        const PreparedGateF* const* gates, std::size_t count,
+                        int block_exponent, const ApplyOptions& options = {});
+
+/// Applies a float gate list with blocked runs where profitable and
+/// plain gate-by-gate sweeps elsewhere; shares the run planner and the
+/// blocked-run configuration with the double engine. `stats`, when
+/// non-null, receives the execution counters.
+void apply_gates_blocked_f32(AmplitudeF* state, int num_qubits,
+                             const PreparedGateF* const* gates,
+                             std::size_t count,
+                             const ApplyOptions& options = {},
+                             BlockRunStats* stats = nullptr);
 
 /// Swaps two bit-locations of the state index (float state).
 void apply_bit_swap_f32(AmplitudeF* state, int num_qubits, int p, int q,

@@ -22,7 +22,21 @@ void SimulatorF::apply(const GateOp& op) {
 void SimulatorF::run(const Circuit& circuit) {
   QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
                "SimulatorF::run: circuit/state qubit count mismatch");
-  for (const GateOp& op : circuit.ops()) apply(op);
+  // Batched fast path: prepare every op once, then share DRAM sweeps
+  // across runs of low-location gates (same scheme as Simulator::run).
+  std::vector<PreparedGateF> prepared;
+  prepared.reserve(circuit.num_gates());
+  for (const GateOp& op : circuit.ops()) {
+    prepared.push_back(prepare_gate_f32(
+        *op.matrix, std::vector<int>(op.qubits.begin(), op.qubits.end())));
+  }
+  std::vector<const PreparedGateF*> gate_ptrs;
+  gate_ptrs.reserve(prepared.size());
+  for (const PreparedGateF& g : prepared) gate_ptrs.push_back(&g);
+  ApplyOptions options;
+  options.num_threads = num_threads_;
+  apply_gates_blocked_f32(state_->data(), state_->num_qubits(),
+                          gate_ptrs.data(), gate_ptrs.size(), options);
 }
 
 }  // namespace quasar

@@ -27,6 +27,23 @@ struct ApplyOptions {
   /// Register-blocking factor (output rows per block, in SIMD vectors);
   /// 0 selects the autotuned/heuristic value. Powers of two up to 8.
   int block_rows = 0;
+  /// Cache-block exponent b for multi-gate runs (block_apply.hpp): runs of
+  /// gates with all bit-locations < b share one DRAM sweep over
+  /// 2^b-amplitude blocks. 0 = autotuned/heuristic value; negative
+  /// disables the blocked path entirely.
+  int block_exponent = 0;
+  /// Minimum run length worth blocking (shorter runs go gate by gate);
+  /// 0 = autotuned/heuristic value.
+  int min_run_length = 0;
+  /// Allow hoisting gates over earlier qubit-disjoint (commuting) gates
+  /// when forming blocked runs. Exact algebraically; results may differ
+  /// from program order by floating-point rounding.
+  bool block_reorder = true;
+  /// Coalesce consecutive diagonal gates inside a blocked run into one
+  /// merged phase table (diagonals commute, so the merged operator is
+  /// exact algebra; one multiply per amplitude instead of one per gate).
+  /// Rounding may differ from per-gate order by ~1 ulp per merged gate.
+  bool merge_diagonals = true;
 };
 
 /// Name of the best compiled-in SIMD backend ("avx512", "avx2", "scalar").
@@ -73,6 +90,22 @@ constexpr double operational_intensity(int k) {
 namespace detail {
 /// Resolved thread count for a sweep of `iterations` independent tasks.
 int resolve_threads(int requested, Index iterations);
+
+/// Reusable per-thread gate workspace of at least `amplitudes` entries
+/// (thread-local, grown on demand, 64-byte aligned). Kernels use it for
+/// their gather/GEMV temporaries instead of allocating inside the hot
+/// loop on every gate application.
+Amplitude* gate_scratch(Index amplitudes);
+
+/// Diagonal sweep over the outer-index range [begin, end): for each
+/// expanded base, amps[base + offsets[t]] *= diag[t]. Deliberately
+/// compiled once and never inlined: the full-state diagonal sweep and
+/// the cache-blocked per-block path both funnel through this exact
+/// function, so floating-point contraction cannot diverge between them
+/// and blocked execution stays bit-identical to gate-by-gate order.
+void diagonal_multiply_range(Amplitude* amps, const IndexExpander& expander,
+                             const Index* offsets, const Amplitude* diag,
+                             Index dim, Index begin, Index end);
 }  // namespace detail
 
 }  // namespace quasar

@@ -8,6 +8,7 @@
 #include "core/timing.hpp"
 #include "gates/standard.hpp"
 #include "kernels/apply.hpp"
+#include "kernels/block_apply.hpp"
 
 namespace quasar {
 
@@ -93,6 +94,83 @@ std::vector<AutotuneResult> autotune_kernels(int num_qubits, int max_k,
     kernel_config(k).block_rows = best_br;
     kernel_config(k).tuned = true;
   }
+  return results;
+}
+
+BlockRunConfig& block_run_config() {
+  static BlockRunConfig config;
+  return config;
+}
+
+std::vector<BlockTuneResult> autotune_blocking(int num_qubits,
+                                               int num_threads) {
+  QUASAR_CHECK(num_qubits >= 14 && num_qubits <= 30,
+               "autotune_blocking: scratch state out of range");
+  const Index size = index_pow2(num_qubits);
+  AlignedVector<Amplitude> state(size, Amplitude{0.0, 0.0});
+  state[0] = 1.0;
+  Rng rng(0xb10c);
+
+  // Synthetic stage-like run on bit-locations < 8: the mix the mapper
+  // produces — 1-qubit rotations, dense 2-qubit clusters, CZ phases.
+  std::vector<PreparedGate> gates;
+  for (int q = 0; q < 4; ++q) {
+    gates.push_back(prepare_gate(gates::random_su2(rng), {q}));
+  }
+  gates.push_back(prepare_gate(random_dense_unitary(2, rng), {0, 1}));
+  gates.push_back(prepare_gate(random_dense_unitary(2, rng), {2, 3}));
+  gates.push_back(prepare_gate(gates::cz(), {4, 5}));
+  gates.push_back(prepare_gate(gates::cz(), {6, 7}));
+  gates.push_back(prepare_gate(random_dense_unitary(3, rng), {4, 5, 6}));
+  for (int q = 4; q < 8; ++q) {
+    gates.push_back(prepare_gate(gates::random_su2(rng), {q}));
+  }
+  std::vector<const PreparedGate*> ptrs;
+  for (const PreparedGate& g : gates) ptrs.push_back(&g);
+
+  ApplyOptions options;
+  options.num_threads = num_threads;
+  const double sweep_bytes = 2.0 * static_cast<double>(size) * 16.0;
+
+  std::vector<BlockTuneResult> results;
+  double best = -1.0;
+  int best_b = block_run_config().block_exponent;
+  for (int b = 10; b <= std::min(num_qubits - 2, 22); b += 2) {
+    const double secs = time_best_of(
+        [&] {
+          apply_gate_run(state.data(), num_qubits, ptrs.data(), ptrs.size(),
+                         b, options);
+        },
+        0.05);
+    const double gbps = sweep_bytes / secs * 1e-9;
+    results.push_back({b, gbps, false});
+    if (gbps > best) {
+      best = gbps;
+      best_b = b;
+    }
+  }
+  for (auto& r : results) {
+    if (r.block_exponent == best_b) r.selected = true;
+  }
+  block_run_config().block_exponent = best_b;
+
+  // Min-run-length cutoff: is a 2-gate blocked sweep already faster than
+  // two plain sweeps? (The blocked path costs plan setup and, below the
+  // SIMD-width floor, narrower kernels.)
+  const PreparedGate* pair[2] = {ptrs[0], ptrs[1]};
+  const double blocked2 = time_best_of(
+      [&] {
+        apply_gate_run(state.data(), num_qubits, pair, 2, best_b, options);
+      },
+      0.05);
+  const double plain2 = time_best_of(
+      [&] {
+        apply_gate(state.data(), num_qubits, *pair[0], options);
+        apply_gate(state.data(), num_qubits, *pair[1], options);
+      },
+      0.05);
+  block_run_config().min_run_length = blocked2 < plain2 ? 2 : 3;
+  block_run_config().tuned = true;
   return results;
 }
 

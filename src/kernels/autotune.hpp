@@ -40,4 +40,36 @@ std::vector<AutotuneResult> autotune_kernels(int num_qubits = 22,
                                              int max_k = 6,
                                              int num_threads = 0);
 
+/// Tunable parameters of the cache-blocked run executor
+/// (kernels/block_apply.hpp).
+struct BlockRunConfig {
+  /// Block exponent b: runs sweep the state in 2^b-amplitude blocks
+  /// (default 15 = 512 KiB, sized for a private L2).
+  int block_exponent = 15;
+  /// Minimum run length worth a blocked sweep.
+  int min_run_length = 2;
+  /// True once set by autotune_blocking().
+  bool tuned = false;
+};
+
+/// Mutable blocked-run configuration used when ApplyOptions does not
+/// override it.
+BlockRunConfig& block_run_config();
+
+/// Result row from one blocked-run tuning measurement.
+struct BlockTuneResult {
+  int block_exponent = 0;
+  /// Effective per-run sweep rate: one read + write of the state divided
+  /// by the time to apply the whole synthetic run.
+  double gbps = 0.0;
+  bool selected = false;
+};
+
+/// Benchmarks the block exponent on a synthetic low-location gate run
+/// over a 2^num_qubits scratch state, installs the winner (and a timed
+/// min-run-length cutoff) into block_run_config(), and returns all
+/// measurements. Thread count 0 means the OpenMP default.
+std::vector<BlockTuneResult> autotune_blocking(int num_qubits = 24,
+                                               int num_threads = 0);
+
 }  // namespace quasar

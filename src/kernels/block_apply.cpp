@@ -1,0 +1,328 @@
+#include "kernels/block_apply.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+
+#include "core/error.hpp"
+#include "kernels/autotune.hpp"
+
+namespace quasar {
+
+namespace {
+
+/// Pre-resolved per-gate application plan for the block loop. Dense gates
+/// dispatch through apply_gate on the block; diagonal gates get a split
+/// index plan so locations >= b work too (the block's high bits select a
+/// constant slice of the phase table).
+struct GatePlanEntry {
+  const PreparedGate* gate = nullptr;
+  bool diagonal = false;
+  /// Diagonal split: gate qubits >= b (phase-table high bits, constant
+  /// per block) and the within-block enumeration of the qubits < b.
+  std::vector<int> high_qubits;
+  std::vector<Index> low_offsets;
+  IndexExpander low_expander{std::vector<int>{}};
+  Index low_outer = 0;  ///< 2^(b - low_k) bases per block
+  Index dim_low = 0;    ///< 2^low_k phase entries per base
+  int low_k = 0;
+};
+
+GatePlanEntry make_plan(const PreparedGate& gate, int b) {
+  GatePlanEntry e;
+  e.gate = &gate;
+  e.diagonal = gate.diagonal;
+  if (!gate.diagonal) return e;
+  std::vector<int> low_qubits;
+  for (int q : gate.qubits) {  // ascending, so low qubits come first
+    (q < b ? low_qubits : e.high_qubits).push_back(q);
+  }
+  e.low_k = static_cast<int>(low_qubits.size());
+  e.dim_low = index_pow2(e.low_k);
+  e.low_offsets = make_gate_offsets(low_qubits);
+  e.low_expander = IndexExpander(low_qubits);
+  e.low_outer = index_pow2(b - e.low_k);
+  return e;
+}
+
+/// Union-k cap for diagonal coalescing: a merged table of 2^12 entries
+/// (64 KiB) still streams from L2 while a block is resident; beyond that
+/// the table itself starts competing with the block for cache.
+constexpr int kMaxMergedDiagonalQubits = 12;
+
+/// Size of the sorted union of `a` and gate qubit list `b` (both
+/// ascending), without materializing it.
+std::size_t union_size(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) ++i, ++j;
+    else if (a[i] < b[j]) ++i;
+    else ++j;
+    ++count;
+  }
+  return count + (a.size() - i) + (b.size() - j);
+}
+
+std::vector<int> sorted_union(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  std::vector<int> u;
+  u.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  return u;
+}
+
+/// Replaces maximal consecutive spans of diagonal gates in `run` (capped
+/// at kMaxMergedDiagonalQubits union qubits) with merged gates owned by
+/// `storage`. Returns the number of in-block passes eliminated.
+std::size_t coalesce_diagonal_spans(
+    std::vector<const PreparedGate*>& run,
+    std::vector<std::unique_ptr<PreparedGate>>& storage) {
+  std::size_t saved = 0;
+  std::vector<const PreparedGate*> out;
+  out.reserve(run.size());
+  std::size_t i = 0;
+  while (i < run.size()) {
+    if (!run[i]->diagonal) {
+      out.push_back(run[i]);
+      ++i;
+      continue;
+    }
+    std::vector<int> qubits = run[i]->qubits;
+    std::size_t j = i + 1;
+    while (j < run.size() && run[j]->diagonal &&
+           union_size(qubits, run[j]->qubits) <=
+               static_cast<std::size_t>(kMaxMergedDiagonalQubits)) {
+      qubits = sorted_union(qubits, run[j]->qubits);
+      ++j;
+    }
+    if (j - i < 2) {
+      out.push_back(run[i]);
+    } else {
+      storage.push_back(std::make_unique<PreparedGate>(
+          merge_diagonal_gates(run.data() + i, j - i)));
+      out.push_back(storage.back().get());
+      saved += (j - i) - 1;
+    }
+    i = j;
+  }
+  run.swap(out);
+  return saved;
+}
+
+}  // namespace
+
+PreparedGate merge_diagonal_gates(const PreparedGate* const* gates,
+                                  std::size_t count) {
+  QUASAR_CHECK(count >= 1, "merge_diagonal_gates: empty list");
+  std::vector<int> qubits;
+  for (std::size_t g = 0; g < count; ++g) {
+    QUASAR_CHECK(gates[g] != nullptr && gates[g]->diagonal,
+                 "merge_diagonal_gates: gate is not diagonal");
+    qubits = sorted_union(qubits, gates[g]->qubits);
+  }
+  QUASAR_CHECK(qubits.size() <= 20,
+               "merge_diagonal_gates: merged table too large");
+  PreparedGate merged;
+  merged.k = static_cast<int>(qubits.size());
+  merged.dim = index_pow2(merged.k);
+  merged.qubits = qubits;
+  merged.diagonal = true;
+  merged.diag.assign(merged.dim, Amplitude{1.0, 0.0});
+  merged.offsets = make_gate_offsets(qubits);
+  for (std::size_t g = 0; g < count; ++g) {
+    const PreparedGate& src = *gates[g];
+    // Position of each source qubit within the merged qubit list (both
+    // ascending): table bit t of the source maps to merged bit pos[t].
+    std::vector<int> pos(src.qubits.size());
+    for (std::size_t t = 0; t < src.qubits.size(); ++t) {
+      pos[t] = static_cast<int>(
+          std::lower_bound(qubits.begin(), qubits.end(), src.qubits[t]) -
+          qubits.begin());
+    }
+    for (Index idx = 0; idx < merged.dim; ++idx) {
+      Index sub = 0;
+      for (std::size_t t = 0; t < pos.size(); ++t) {
+        sub |= ((idx >> pos[t]) & Index{1}) << t;
+      }
+      merged.diag[idx] *= src.diag[sub];
+    }
+  }
+  return merged;
+}
+
+bool block_run_eligible(const PreparedGate& gate, int block_exponent) {
+  if (gate.diagonal) return true;
+  const int last =
+      gate.widened ? gate.widened->qubits.back() : gate.qubits.back();
+  return last < block_exponent;
+}
+
+int effective_block_exponent(int num_qubits, const ApplyOptions& options) {
+  const int b = options.block_exponent != 0 ? options.block_exponent
+                                            : block_run_config().block_exponent;
+  if (b < 2) return -1;               // negative/degenerate: disabled
+  if (b > num_qubits - 2) return -1;  // fewer than 4 blocks: plain path
+  return b;
+}
+
+int effective_min_run_length(const ApplyOptions& options) {
+  const int m = options.min_run_length > 0
+                    ? options.min_run_length
+                    : block_run_config().min_run_length;
+  return std::max(1, m);
+}
+
+std::vector<BlockPlanSegment> plan_gate_runs(
+    const std::vector<GateShape>& shapes, bool reorder) {
+  // Cap on deferred (solo) gates per segment: bounds how far a run gate
+  // can be hoisted and keeps the disjointness test meaningful once the
+  // deferred mask saturates.
+  constexpr std::size_t kMaxDeferred = 16;
+  std::vector<BlockPlanSegment> segments;
+  BlockPlanSegment cur;
+  std::uint64_t deferred_mask = 0;
+  const auto flush = [&] {
+    if (!cur.run.empty() || !cur.solo.empty()) {
+      segments.push_back(std::move(cur));
+    }
+    cur = BlockPlanSegment{};
+    deferred_mask = 0;
+  };
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const GateShape& s = shapes[i];
+    if (s.eligible && (s.qubit_mask & deferred_mask) == 0) {
+      cur.run.push_back(i);
+      continue;
+    }
+    cur.solo.push_back(i);
+    if (!reorder) {
+      flush();  // runs must stay consecutive: the segment ends here
+      continue;
+    }
+    deferred_mask |= s.qubit_mask;
+    if (cur.solo.size() >= kMaxDeferred) flush();
+  }
+  flush();
+  return segments;
+}
+
+void apply_gate_run(Amplitude* state, int num_qubits,
+                    const PreparedGate* const* gates, std::size_t count,
+                    int block_exponent, const ApplyOptions& options) {
+  QUASAR_CHECK(state != nullptr, "apply_gate_run: null state");
+  QUASAR_CHECK(count >= 1, "apply_gate_run: empty run");
+  QUASAR_CHECK(block_exponent >= 2 && block_exponent <= num_qubits,
+               "apply_gate_run: block exponent out of range");
+  std::vector<GatePlanEntry> plans;
+  plans.reserve(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    QUASAR_CHECK(gates[g] != nullptr, "apply_gate_run: null gate");
+    QUASAR_CHECK(gates[g]->qubits.back() < num_qubits,
+                 "apply_gate_run: bit-location out of range");
+    QUASAR_CHECK(block_run_eligible(*gates[g], block_exponent),
+                 "apply_gate_run: gate not eligible at this block exponent");
+    plans.push_back(make_plan(*gates[g], block_exponent));
+  }
+
+  // Inside the block loop every kernel runs on the calling thread; the
+  // parallelism lives across blocks.
+  ApplyOptions serial = options;
+  serial.num_threads = 1;
+
+  const int b = block_exponent;
+  const Index block_size = index_pow2(b);
+  const Index num_blocks = index_pow2(num_qubits - b);
+  const int threads = detail::resolve_threads(options.num_threads, num_blocks);
+
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t bi = 0; bi < static_cast<std::int64_t>(num_blocks);
+       ++bi) {
+    const Index block_base = static_cast<Index>(bi) * block_size;
+    Amplitude* const block = state + block_base;
+    for (const GatePlanEntry& e : plans) {
+      if (!e.diagonal) {
+        apply_gate(block, b, *e.gate, serial);
+        continue;
+      }
+      // Diagonal: phase-table index = (high bits from the block base) |
+      // (low bits enumerated within the block). The hi bits sit above
+      // the low bits, so diag + hi is the block's contiguous table
+      // slice; diagonal_multiply is the same compiled multiply the
+      // full-state sweep uses, hence bit-identical.
+      const Amplitude* const diag = e.gate->diag.data() +
+                                    (gather_bits(block_base, e.high_qubits)
+                                     << e.low_k);
+      detail::diagonal_multiply_range(block, e.low_expander,
+                                      e.low_offsets.data(), diag, e.dim_low,
+                                      0, e.low_outer);
+    }
+  }
+}
+
+void apply_gates_blocked(Amplitude* state, int num_qubits,
+                         const PreparedGate* const* gates, std::size_t count,
+                         const ApplyOptions& options, BlockRunStats* stats) {
+  BlockRunStats local;
+  local.gates = count;
+  const int b = effective_block_exponent(num_qubits, options);
+  if (b < 0 || count == 0) {
+    for (std::size_t g = 0; g < count; ++g) {
+      apply_gate(state, num_qubits, *gates[g], options);
+    }
+    local.sweeps = count;
+    if (stats) *stats = local;
+    return;
+  }
+
+  std::vector<GateShape> shapes(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    GateShape& s = shapes[g];
+    s.eligible = block_run_eligible(*gates[g], b);
+    const std::vector<int>& qs =
+        (!gates[g]->diagonal && gates[g]->widened) ? gates[g]->widened->qubits
+                                                   : gates[g]->qubits;
+    for (int q : qs) {
+      s.qubit_mask |= q < 64 ? (std::uint64_t{1} << q) : 0;
+    }
+  }
+
+  const int min_run = effective_min_run_length(options);
+  const std::vector<BlockPlanSegment> segments =
+      plan_gate_runs(shapes, options.block_reorder);
+  std::vector<const PreparedGate*> run_gates;
+  std::vector<std::unique_ptr<PreparedGate>> merged_storage;
+  for (const BlockPlanSegment& seg : segments) {
+    if (static_cast<int>(seg.run.size()) >= min_run) {
+      run_gates.clear();
+      for (std::size_t g : seg.run) run_gates.push_back(gates[g]);
+      if (options.merge_diagonals) {
+        merged_storage.clear();
+        local.coalesced += coalesce_diagonal_spans(run_gates, merged_storage);
+      }
+      apply_gate_run(state, num_qubits, run_gates.data(), run_gates.size(),
+                     b, options);
+      local.runs += 1;
+      local.run_gates += seg.run.size();
+      local.sweeps += 1;
+    } else {
+      for (std::size_t g : seg.run) {
+        apply_gate(state, num_qubits, *gates[g], options);
+      }
+      local.sweeps += seg.run.size();
+    }
+    for (std::size_t g : seg.solo) {
+      apply_gate(state, num_qubits, *gates[g], options);
+    }
+    local.sweeps += seg.solo.size();
+    if (!seg.solo.empty()) {
+      const std::size_t first_solo = seg.solo.front();
+      for (std::size_t g : seg.run) local.hoisted += g > first_solo;
+    }
+  }
+  if (stats) *stats = local;
+}
+
+}  // namespace quasar

@@ -1,0 +1,117 @@
+/// \file block_apply.hpp
+/// \brief Cache-blocked multi-gate execution: one DRAM sweep per run.
+///
+/// The k-qubit kernels are memory-bandwidth bound (paper Sec. 2, Fig. 2):
+/// every gate pays a full read + write of the state vector, so after
+/// cluster fusion the sweep COUNT — not the FLOPs — governs stage time.
+/// When a run of prepared gates has all bit-locations < b, the state
+/// factorizes into 2^(n-b) independent 2^b-amplitude blocks and the whole
+/// run can be applied block by block while the block is cache-resident:
+/// one DRAM read + write for the run instead of one per gate (the
+/// qHiPSTER gate-batching idea, arXiv:1601.07195). The qubit mapper
+/// (Sec. 3.6.2) already pushes busy qubits to low bit-locations, so
+/// consecutive cluster gates routinely satisfy the location bound.
+///
+/// Diagonal gates join a run at ANY bit-location: they act pointwise, so
+/// the per-block diagonal indices only need the block's high bits folded
+/// into the phase-table lookup. Per block, the gates reuse the existing
+/// SIMD GEMV / strided / diagonal kernels via a num_qubits = b
+/// sub-application, making the blocked path bit-identical to gate-by-gate
+/// execution with the same backend whenever the block is wide enough for
+/// the same kernel shapes to engage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/apply.hpp"
+#include "kernels/prepared_gate.hpp"
+
+namespace quasar {
+
+/// Counters describing how a gate list was executed.
+struct BlockRunStats {
+  std::size_t gates = 0;      ///< gates executed in total
+  std::size_t runs = 0;       ///< blocked runs executed
+  std::size_t run_gates = 0;  ///< gates inside blocked runs
+  std::size_t sweeps = 0;     ///< full-state DRAM sweeps performed
+  std::size_t hoisted = 0;    ///< gates hoisted over earlier commuting gates
+  std::size_t coalesced = 0;  ///< in-block passes saved by diagonal merging
+
+  /// DRAM sweeps avoided relative to gate-by-gate execution.
+  std::size_t sweeps_saved() const { return gates - sweeps; }
+};
+
+/// Shape summary of one gate, as seen by the run planner.
+struct GateShape {
+  /// OR of (1 << bit-location) over the locations the applied kernel
+  /// touches (for a pre-widened gate: including the spectator qubit).
+  std::uint64_t qubit_mask = 0;
+  /// Can this gate join a blocked run at the chosen block exponent?
+  bool eligible = false;
+};
+
+/// One planned execution segment: `run` executes first as a single
+/// blocked sweep, then `solo` gates execute one sweep each. Indices refer
+/// to the planner's input order. Hoisting a run gate over the earlier
+/// solo gates is exact: the planner only admits it when the qubit masks
+/// are disjoint (the gates commute).
+struct BlockPlanSegment {
+  std::vector<std::size_t> run;
+  std::vector<std::size_t> solo;
+};
+
+/// Partitions a gate list into blocked runs and solo sweeps. With
+/// `reorder` false, runs are maximal consecutive eligible spans; with
+/// `reorder` true, an eligible gate also joins the current run when its
+/// qubit mask is disjoint from every gate deferred to `solo` so far
+/// (commuting hoist), bounded by a deferred-gate cap per segment.
+std::vector<BlockPlanSegment> plan_gate_runs(
+    const std::vector<GateShape>& shapes, bool reorder);
+
+/// Merges `count` diagonal prepared gates into one diagonal gate on the
+/// union of their bit-locations: diag[idx] = prod over gates of their
+/// phase entry at the sub-index idx restricts to. Diagonal operators
+/// commute, so the product is the exact composite operator regardless of
+/// gate order; only the rounding of the pre-multiplied table differs
+/// from applying the factors one by one. Requires count >= 1, every gate
+/// diagonal, and a union of at most 20 qubits (the table has 2^k
+/// entries).
+PreparedGate merge_diagonal_gates(const PreparedGate* const* gates,
+                                  std::size_t count);
+
+/// True when `gate` can join a blocked run at block exponent `b`:
+/// diagonal gates always can; dense gates need every bit-location of the
+/// kernel that will actually run (the pre-widened embedding, if any)
+/// below b.
+bool block_run_eligible(const PreparedGate& gate, int block_exponent);
+
+/// Resolves the block exponent for a state of `num_qubits` qubits:
+/// options.block_exponent if nonzero, else the autotuned/heuristic
+/// default. Returns -1 (blocking disabled) when the resolved value is
+/// negative, smaller than 2, or leaves fewer than 4 blocks — small
+/// states take the plain gate-by-gate path unchanged.
+int effective_block_exponent(int num_qubits, const ApplyOptions& options);
+
+/// Resolves the minimum run length worth blocking (>= 1).
+int effective_min_run_length(const ApplyOptions& options);
+
+/// Applies `count` prepared gates — every one eligible at
+/// `block_exponent` — in one DRAM sweep: OpenMP over the 2^(n-b) blocks,
+/// all gates applied to each block while it is cache-resident.
+void apply_gate_run(Amplitude* state, int num_qubits,
+                    const PreparedGate* const* gates, std::size_t count,
+                    int block_exponent, const ApplyOptions& options = {});
+
+/// Applies a gate list with blocked runs where profitable and plain
+/// gate-by-gate sweeps elsewhere. Equivalent to calling apply_gate on
+/// each gate in order (up to the exact commuting hoists when
+/// options.block_reorder is set). `stats`, when non-null, receives the
+/// execution counters.
+void apply_gates_blocked(Amplitude* state, int num_qubits,
+                         const PreparedGate* const* gates, std::size_t count,
+                         const ApplyOptions& options = {},
+                         BlockRunStats* stats = nullptr);
+
+}  // namespace quasar

@@ -40,9 +40,13 @@ void apply_gate(Amplitude* state, int num_qubits, const PreparedGate& gate,
   if (gate.k == 1 && options.backend != KernelBackend::kScalar &&
       num_qubits >= 2 &&
       index_pow2(gate.qubits[0]) < static_cast<Index>(simd_complex_width())) {
-    const PreparedGate widened =
-        prepare_gate(gate.matrix.embed(2, {gate.qubits[0]}), {0, 1});
-    apply_gate(state, num_qubits, widened, options);
+    if (gate.widened) {  // prepare-once cache (built by prepare_gate)
+      apply_gate(state, num_qubits, *gate.widened, options);
+    } else {  // hand-assembled PreparedGate: widen on the fly
+      const PreparedGate widened =
+          prepare_gate(gate.matrix.embed(2, {gate.qubits[0]}), {0, 1});
+      apply_gate(state, num_qubits, widened, options);
+    }
     return;
   }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "kernels/apply.hpp"
 
 namespace quasar {
 
@@ -60,6 +61,17 @@ PreparedGate prepare_gate(const GateMatrix& matrix,
       g.col_b[e + 0] = -m.imag();
       g.col_b[e + 1] = m.real();
     }
+  }
+
+  // Pre-widen the k = 1 low-location case once: a 1-qubit gate below the
+  // SIMD vector width cannot use the strided 1-qubit kernel, so the
+  // dispatcher applies an equivalent 2-qubit embedding on locations
+  // {0, 1} instead. Building it here (immutably, shared) keeps the hot
+  // loop free of per-application prepare_gate calls.
+  if (g.k == 1 && !g.diagonal && simd_complex_width() > 1 &&
+      index_pow2(g.qubits[0]) < static_cast<Index>(simd_complex_width())) {
+    g.widened = std::make_shared<const PreparedGate>(
+        prepare_gate(g.matrix.embed(2, {g.qubits[0]}), {0, 1}));
   }
   return g;
 }

@@ -15,6 +15,7 @@
 /// multiplications, this preparation is essentially free.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/aligned.hpp"
@@ -50,6 +51,12 @@ struct PreparedGate {
   bool diagonal = false;
   /// Diagonal entries when `diagonal` is true.
   AlignedVector<Amplitude> diag;
+  /// Pre-widened 2-qubit embedding on bit-locations {0, 1}, built once at
+  /// preparation time when k == 1 and the bit-location defeats the
+  /// compiled SIMD shapes (stride below the vector width). The dispatcher
+  /// applies this instead of re-deriving offsets and sign-folded columns
+  /// on every hot-loop application. Null when the gate never needs it.
+  std::shared_ptr<const PreparedGate> widened;
 
   /// Expander producing base indices with zeros at the gate bit-locations.
   IndexExpander expander() const { return IndexExpander(qubits); }

@@ -3,6 +3,7 @@
 /// fallback for gates wider than the SIMD kernels support.
 #include <omp.h>
 
+#include "core/aligned.hpp"
 #include "core/error.hpp"
 #include "kernels/apply.hpp"
 
@@ -17,6 +18,31 @@ int resolve_threads(int requested, Index iterations) {
     threads = static_cast<int>(iterations > 0 ? iterations : 1);
   }
   return threads;
+}
+
+Amplitude* gate_scratch(Index amplitudes) {
+  thread_local AlignedVector<Amplitude> scratch;
+  if (static_cast<Index>(scratch.size()) < amplitudes) {
+    scratch.resize(amplitudes);
+  }
+  return scratch.data();
+}
+
+// noinline: this is the single compiled instance of the diagonal
+// multiply (see apply.hpp); inlining at different call sites would let
+// the compiler contract the complex arithmetic differently per site.
+// The outer loop lives inside the function so callers pay one call per
+// range, not one per base.
+[[gnu::noinline]] void diagonal_multiply_range(Amplitude* amps,
+                                               const IndexExpander& expander,
+                                               const Index* offsets,
+                                               const Amplitude* diag,
+                                               Index dim, Index begin,
+                                               Index end) {
+  for (Index i = begin; i < end; ++i) {
+    Amplitude* const base = amps + expander.expand(i);
+    for (Index t = 0; t < dim; ++t) base[offsets[t]] *= diag[t];
+  }
 }
 
 }  // namespace detail
@@ -35,9 +61,11 @@ void apply_gate_scalar(Amplitude* state, int num_qubits,
 
 #pragma omp parallel num_threads(threads)
   {
-    // Per-thread temporaries; dim <= 2^16 by GateMatrix construction but
-    // in practice k <= 10 for anything reachable through the dispatcher.
-    std::vector<Amplitude> in(dim), out(dim);
+    // Per-thread temporaries (reused across gate applications); dim <=
+    // 2^16 by GateMatrix construction but in practice k <= 10 for
+    // anything reachable through the dispatcher.
+    Amplitude* const in = detail::gate_scratch(2 * dim);
+    Amplitude* const out = in + dim;
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
       const Index base = expander.expand(static_cast<Index>(i));
@@ -65,10 +93,16 @@ void apply_diagonal(Amplitude* state, int num_qubits, const PreparedGate& gate,
   const Amplitude* diag = gate.diag.data();
   const int threads = detail::resolve_threads(options.num_threads, outer);
 
-#pragma omp parallel for schedule(static) num_threads(threads)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(outer); ++i) {
-    const Index base = expander.expand(static_cast<Index>(i));
-    for (Index t = 0; t < dim; ++t) state[base + offsets[t]] *= diag[t];
+#pragma omp parallel num_threads(threads)
+  {
+    // Static partition of the outer index space; each thread issues one
+    // call into the shared multiply (bitwise result is independent of
+    // the split — every base is touched exactly once).
+    const Index tid = static_cast<Index>(omp_get_thread_num());
+    const Index nth = static_cast<Index>(omp_get_num_threads());
+    detail::diagonal_multiply_range(state, expander, offsets, diag, dim,
+                                    outer * tid / nth,
+                                    outer * (tid + 1) / nth);
   }
 }
 

@@ -231,13 +231,16 @@ void apply_gemv(Amplitude* state, int num_qubits, const PreparedGate& gate,
 
 #pragma omp parallel num_threads(threads)
   {
-    AlignedVector<Amplitude> tmp(dim), out(dim);
-    double* const tmpd = reinterpret_cast<double*>(tmp.data());
-    double* const outd = reinterpret_cast<double*>(out.data());
+    // Reusable per-thread workspace: gather target + GEMV output. Fetched
+    // once per parallel region, not allocated per gate application.
+    Amplitude* const tmp = gate_scratch(2 * dim);
+    Amplitude* const out = tmp + dim;
+    double* const tmpd = reinterpret_cast<double*>(tmp);
+    double* const outd = reinterpret_cast<double*>(out);
 #pragma omp for schedule(static)
     for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(outer); ++ii) {
       const Index base = expander.expand(static_cast<Index>(ii));
-      gather(state, base, offsets, dim, run, tmp.data());
+      gather(state, base, offsets, dim, run, tmp);
       for (Index l0 = 0; l0 < row_vecs; l0 += br) {
         const Index nb = std::min(br, row_vecs - l0);
         Vec acc[kMaxAcc];
@@ -256,7 +259,7 @@ void apply_gemv(Amplitude* state, int num_qubits, const PreparedGate& gate,
           Traits::store(outd + (l0 + b) * 2 * kW, acc[b]);
         }
       }
-      scatter(state, base, offsets, dim, run, out.data());
+      scatter(state, base, offsets, dim, run, out);
     }
   }
 }

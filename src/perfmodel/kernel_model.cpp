@@ -40,6 +40,25 @@ double kernel_seconds(const MachineModel& machine, int k, int num_qubits,
   return flops / (kernel_gflops(machine, k, high_order) * 1e9);
 }
 
+double blocked_run_seconds(const MachineModel& machine,
+                           const std::vector<int>& ks, int num_qubits) {
+  const double amps = static_cast<double>(index_pow2(num_qubits));
+  // One streaming sweep for the whole run: read + write every amplitude
+  // once at the achievable bandwidth.
+  const double sweep_seconds =
+      2.0 * amps * kBytesPerAmplitude * 1e-9 / machine.achievable_bw();
+  // The run's compute, at the achievable FLOP rate; gates execute while
+  // each block is cache-resident, so compute overlaps the stream and the
+  // run costs the max of the two.
+  double flops = 0.0;
+  for (int k : ks) {
+    flops += (k == 0 ? 6.0 : flops_per_amplitude(k)) * amps;
+  }
+  const double compute_seconds =
+      flops / (machine.achievable_gflops() * 1e9);
+  return std::max(sweep_seconds, compute_seconds);
+}
+
 double kernel_seconds_spilled(const MachineModel& machine, int k,
                               int num_qubits) {
   const double state_bytes =

@@ -2,6 +2,8 @@
 /// \brief Predicted k-qubit kernel performance (Figs. 6, 7, 9, 10).
 #pragma once
 
+#include <vector>
+
 #include "perfmodel/machine.hpp"
 
 namespace quasar {
@@ -26,5 +28,13 @@ double kernel_seconds(const MachineModel& machine, int k, int num_qubits,
 /// (KNL: spill out of MCDRAM, Sec. 4.1.2).
 double kernel_seconds_spilled(const MachineModel& machine, int k,
                               int num_qubits);
+
+/// Seconds to apply one cache-blocked run of gates (block_apply.hpp) to
+/// a 2^n state: the whole run pays ONE streaming read + write of the
+/// state (instead of one per gate), overlapped with the run's summed
+/// compute. `ks` holds each gate's width; entry 0 means a diagonal
+/// (phase-only, 6 FLOP/amplitude) gate.
+double blocked_run_seconds(const MachineModel& machine,
+                           const std::vector<int>& ks, int num_qubits);
 
 }  // namespace quasar

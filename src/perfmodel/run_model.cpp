@@ -1,9 +1,12 @@
 #include "perfmodel/run_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/error.hpp"
 #include "kernels/apply.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/block_apply.hpp"
 
 namespace quasar {
 
@@ -39,15 +42,33 @@ RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
   p.swaps = schedule.num_swaps();
   const double per_node_amps = static_cast<double>(index_pow2(l));
 
+  // Block exponent the node-level executor would use (block_apply.hpp):
+  // the installed configuration, disabled when too few blocks remain.
+  const int b_conf = block_run_config().block_exponent;
+  const int b_model = (b_conf >= 2 && b_conf <= l - 2) ? b_conf : -1;
+  const int min_run = std::max(1, block_run_config().min_run_length);
+
   for (const Stage& stage : schedule.stages) {
-    for (const StageItem& item : stage.items) {
+    // Plain per-item sweep costs, plus the shapes the run planner sees.
+    std::vector<double> item_seconds(stage.items.size(), 0.0);
+    std::vector<int> item_k(stage.items.size(), 0);  // 0 = diagonal
+    std::vector<GateShape> shapes(stage.items.size());
+    for (std::size_t i = 0; i < stage.items.size(); ++i) {
+      const StageItem& item = stage.items[i];
       if (item.kind == StageItem::Kind::kCluster) {
         const Cluster& cluster = stage.clusters[item.cluster];
+        for (int q : cluster.qubits) {
+          shapes[i].qubit_mask |= q < 64 ? (std::uint64_t{1} << q) : 0;
+        }
         if (cluster.diagonal) {
-          p.kernel_seconds += diagonal_sweep_seconds(node, l);
+          shapes[i].eligible = b_model > 0;  // any location (phase table)
+          item_seconds[i] = diagonal_sweep_seconds(node, l);
           p.total_flops += 6.0 * per_node_amps * nodes;
           continue;
         }
+        item_k[i] = cluster.width();
+        shapes[i].eligible =
+            b_model > 0 && cluster.qubits.back() < b_model;
         double secs = kernel_seconds_spilled(node, cluster.width(), l);
         if (is_high_order(cluster.qubits)) {
           const double stride_sets =
@@ -56,19 +77,45 @@ RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
             secs *= stride_sets / node.effective_cache_ways;
           }
         }
-        p.kernel_seconds += secs;
+        item_seconds[i] = secs;
         p.total_flops +=
             flops_per_amplitude(cluster.width()) * per_node_amps * nodes;
       } else {
         // Specialized global op: at worst a rank-conditional diagonal or
-        // small local sweep; phases are free.
+        // small local sweep; phases are free. Never joins a blocked run
+        // (it may involve rank-dependent control flow).
         const GateOp& op = circuit.op(item.op);
         bool has_local = false;
-        for (Qubit q : op.qubits) has_local |= stage.location(q) < l;
+        for (Qubit q : op.qubits) {
+          const int loc = stage.location(q);
+          has_local |= loc < l;
+          shapes[i].qubit_mask |= loc < 64 ? (std::uint64_t{1} << loc) : 0;
+        }
         if (has_local) {
-          p.kernel_seconds += diagonal_sweep_seconds(node, l);
+          item_seconds[i] = diagonal_sweep_seconds(node, l);
           p.total_flops += 6.0 * per_node_amps * nodes;
         }
+      }
+    }
+    for (double secs : item_seconds) p.kernel_seconds += secs;
+
+    // Blocked-executor prediction: same planner as the real executor,
+    // runs of >= min_run items share one streaming sweep.
+    for (const BlockPlanSegment& seg : plan_gate_runs(shapes, true)) {
+      if (static_cast<int>(seg.run.size()) >= min_run) {
+        std::vector<int> ks;
+        ks.reserve(seg.run.size());
+        for (std::size_t g : seg.run) ks.push_back(item_k[g]);
+        p.blocked_kernel_seconds += blocked_run_seconds(node, ks, l);
+        p.blocked_runs += 1;
+        p.blocked_sweeps_saved += static_cast<int>(seg.run.size()) - 1;
+      } else {
+        for (std::size_t g : seg.run) {
+          p.blocked_kernel_seconds += item_seconds[g];
+        }
+      }
+      for (std::size_t g : seg.solo) {
+        p.blocked_kernel_seconds += item_seconds[g];
       }
     }
   }

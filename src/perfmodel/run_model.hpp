@@ -24,9 +24,20 @@ struct RunPrediction {
   int swaps = 0;
   int comm_gates = 0;       ///< baseline only: dense global gates
   double total_flops = 0.0; ///< across the whole machine
+  /// Kernel time when stage items execute through the cache-blocked run
+  /// executor (block_apply.hpp): runs of low-location clusters share one
+  /// streaming sweep. Computed alongside kernel_seconds (which stays the
+  /// plain one-sweep-per-cluster prediction).
+  double blocked_kernel_seconds = 0.0;
+  int blocked_runs = 0;         ///< blocked runs formed across all stages
+  int blocked_sweeps_saved = 0; ///< DRAM sweeps avoided by blocking
 
   double total_seconds() const {
     return kernel_seconds + comm_seconds + permute_seconds;
+  }
+  /// Predicted wall clock with the cache-blocked executor.
+  double blocked_total_seconds() const {
+    return blocked_kernel_seconds + comm_seconds + permute_seconds;
   }
   double comm_fraction() const {
     const double t = total_seconds();

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "kernels/block_apply.hpp"
 #include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
 
@@ -34,12 +35,22 @@ void run_fused(StateVector& state, const Circuit& circuit,
                                 Amplitude{1.0, 0.0}, apply.num_threads);
   }
 
+  // Prepare every cluster gate up front, then hand the whole item list to
+  // the blocked executor: maximal runs of low-location clusters (diagonal
+  // clusters at any location) share one DRAM sweep instead of paying one
+  // sweep per cluster.
+  std::vector<PreparedGate> prepared;
+  prepared.reserve(stage.items.size());
   for (const StageItem& item : stage.items) {
     QUASAR_ASSERT(item.kind == StageItem::Kind::kCluster);
     const Cluster& cluster = stage.clusters[item.cluster];
-    apply_gate(state.data(), n, prepare_gate(*cluster.matrix, cluster.qubits),
-               apply);
+    prepared.push_back(prepare_gate(*cluster.matrix, cluster.qubits));
   }
+  std::vector<const PreparedGate*> gate_ptrs;
+  gate_ptrs.reserve(prepared.size());
+  for (const PreparedGate& g : prepared) gate_ptrs.push_back(&g);
+  apply_gates_blocked(state.data(), n, gate_ptrs.data(), gate_ptrs.size(),
+                      apply);
 
   if (!identity) {
     // Permute back to program order: inverse mapping.

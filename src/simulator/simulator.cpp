@@ -1,5 +1,7 @@
 #include "simulator/simulator.hpp"
 
+#include "kernels/block_apply.hpp"
+
 namespace quasar {
 
 Simulator::Simulator(StateVector& state, ApplyOptions options)
@@ -22,7 +24,19 @@ void Simulator::apply(const GateOp& op) {
 void Simulator::run(const Circuit& circuit) {
   QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
                "Simulator::run: circuit/state qubit count mismatch");
-  for (const GateOp& op : circuit.ops()) apply(op);
+  // Batched fast path: prepare every op once, then let the blocked
+  // executor share DRAM sweeps across runs of low-location gates.
+  std::vector<PreparedGate> prepared;
+  prepared.reserve(circuit.num_gates());
+  for (const GateOp& op : circuit.ops()) {
+    prepared.push_back(prepare_gate(
+        *op.matrix, std::vector<int>(op.qubits.begin(), op.qubits.end())));
+  }
+  std::vector<const PreparedGate*> gate_ptrs;
+  gate_ptrs.reserve(prepared.size());
+  for (const PreparedGate& g : prepared) gate_ptrs.push_back(&g);
+  apply_gates_blocked(state_->data(), state_->num_qubits(), gate_ptrs.data(),
+                      gate_ptrs.size(), options_);
 }
 
 }  // namespace quasar

@@ -52,5 +52,34 @@ TEST(Autotune, Validation) {
   EXPECT_THROW(autotune_kernels(40, 4), Error);  // scratch too large
 }
 
+TEST(AutotuneBlocking, SelectsAndInstallsConfig) {
+  const auto results = autotune_blocking(/*num_qubits=*/14,
+                                         /*num_threads=*/1);
+  ASSERT_FALSE(results.empty());
+  int selected = 0;
+  double best = 0.0, chosen = 0.0;
+  for (const auto& r : results) {
+    EXPECT_GE(r.block_exponent, 2);
+    EXPECT_LE(r.block_exponent, 12);  // at least 4 blocks remain
+    EXPECT_GT(r.gbps, 0.0);
+    selected += r.selected;
+    best = std::max(best, r.gbps);
+    if (r.selected) chosen = r.gbps;
+  }
+  EXPECT_EQ(selected, 1);
+  EXPECT_DOUBLE_EQ(chosen, best);
+  const BlockRunConfig& cfg = block_run_config();
+  EXPECT_TRUE(cfg.tuned);
+  EXPECT_GE(cfg.block_exponent, 2);
+  EXPECT_LE(cfg.block_exponent, 12);
+  EXPECT_GE(cfg.min_run_length, 1);
+  EXPECT_LE(cfg.min_run_length, 3);
+}
+
+TEST(AutotuneBlocking, Validation) {
+  EXPECT_THROW(autotune_blocking(13), Error);  // below the scratch floor
+  EXPECT_THROW(autotune_blocking(31), Error);  // scratch too large
+}
+
 }  // namespace
 }  // namespace quasar

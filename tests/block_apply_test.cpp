@@ -1,0 +1,637 @@
+/// \file block_apply_test.cpp
+/// \brief Differential tests for cache-blocked multi-gate execution
+/// (kernels/block_apply.hpp): blocked runs vs the gate-by-gate oracle,
+/// planner unit tests, executor/simulator integration, fp32 mirror.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "circuit/supremacy.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "fp32/kernels_f32.hpp"
+#include "fp32/statevector_f32.hpp"
+#include "gates/standard.hpp"
+#include "kernels/apply.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/block_apply.hpp"
+#include "sched/executor.hpp"
+#include "simulator/simulator.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+/// Fills a state with a random normalized vector.
+void randomize(StateVector& state, Rng& rng) {
+  for (Index i = 0; i < state.size(); ++i) {
+    state[i] = Amplitude{rng.normal(), rng.normal()};
+  }
+  const Real norm = std::sqrt(state.norm_squared());
+  for (Index i = 0; i < state.size(); ++i) state[i] /= norm;
+}
+
+/// Random dense unitary on k qubits.
+GateMatrix random_unitary(int k, Rng& rng) {
+  GateMatrix u = GateMatrix::identity(k);
+  for (int round = 0; round < 2; ++round) {
+    for (int q = 0; q < k; ++q) {
+      u = gates::random_su2(rng).embed(k, {q}) * u;
+    }
+    for (int q = 0; q + 1 < k; ++q) {
+      u = gates::cnot().embed(k, {q, q + 1}) * u;
+    }
+  }
+  return u;
+}
+
+/// Random distinct bit-locations.
+std::vector<int> random_locations(int k, int n, Rng& rng) {
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + rng.uniform_int(n - i)]);
+  }
+  return std::vector<int>(all.begin(), all.begin() + k);
+}
+
+/// Mixed gate list: dense k = 1..3 and diagonal k = 1..2, locations
+/// anywhere — exercises eligible runs, high-location solos, and the
+/// diagonal-anywhere path in one stage.
+std::vector<PreparedGate> random_stage(int n, int length, Rng& rng) {
+  std::vector<PreparedGate> gates;
+  gates.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    switch (rng.uniform_int(5)) {
+      case 0:
+        gates.push_back(prepare_gate(gates::random_su2(rng),
+                                     {static_cast<int>(rng.uniform_int(n))}));
+        break;
+      case 1:
+        gates.push_back(
+            prepare_gate(random_unitary(2, rng), random_locations(2, n, rng)));
+        break;
+      case 2:
+        gates.push_back(
+            prepare_gate(random_unitary(3, rng), random_locations(3, n, rng)));
+        break;
+      case 3:
+        gates.push_back(
+            prepare_gate(gates::cz(), random_locations(2, n, rng)));
+        break;
+      default:
+        gates.push_back(prepare_gate(
+            gates::t(), {static_cast<int>(rng.uniform_int(n))}));
+        break;
+    }
+  }
+  return gates;
+}
+
+std::vector<const PreparedGate*> pointers(
+    const std::vector<PreparedGate>& gates) {
+  std::vector<const PreparedGate*> ptrs;
+  ptrs.reserve(gates.size());
+  for (const PreparedGate& g : gates) ptrs.push_back(&g);
+  return ptrs;
+}
+
+bool bitwise_equal(const StateVector& a, const StateVector& b) {
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(Amplitude)) ==
+         0;
+}
+
+/// Plain gate-by-gate options: blocking force-disabled, same backend.
+ApplyOptions plain_options(const ApplyOptions& base) {
+  ApplyOptions plain = base;
+  plain.block_exponent = -1;
+  return plain;
+}
+
+TEST(BlockApply, EffectiveBlockExponent) {
+  ApplyOptions o;
+  o.block_exponent = -1;
+  EXPECT_EQ(effective_block_exponent(20, o), -1);
+  o.block_exponent = 1;  // degenerate, never clamped up
+  EXPECT_EQ(effective_block_exponent(20, o), -1);
+  o.block_exponent = 8;
+  EXPECT_EQ(effective_block_exponent(10, o), 8);
+  EXPECT_EQ(effective_block_exponent(9, o), -1);  // fewer than 4 blocks
+  o.block_exponent = 0;  // fall back to the installed configuration
+  const int b = block_run_config().block_exponent;
+  EXPECT_EQ(effective_block_exponent(b + 2, o), b);
+  EXPECT_EQ(effective_block_exponent(b + 1, o), -1);
+}
+
+TEST(BlockApply, MinRunLengthResolution) {
+  ApplyOptions o;
+  o.min_run_length = 7;
+  EXPECT_EQ(effective_min_run_length(o), 7);
+  o.min_run_length = 0;
+  EXPECT_EQ(effective_min_run_length(o),
+            std::max(1, block_run_config().min_run_length));
+}
+
+TEST(BlockApply, Eligibility) {
+  Rng rng(3);
+  const PreparedGate low = prepare_gate(random_unitary(2, rng), {2, 3});
+  EXPECT_TRUE(block_run_eligible(low, 4));
+  EXPECT_FALSE(block_run_eligible(low, 3));
+
+  // Diagonal gates join at any location.
+  const PreparedGate diag = prepare_gate(gates::cz(), {3, 9});
+  EXPECT_TRUE(block_run_eligible(diag, 2));
+
+  // Dense 1-qubit at a high location never fits a small block.
+  const PreparedGate h5 = prepare_gate(gates::h(), {5});
+  EXPECT_TRUE(block_run_eligible(h5, 6));
+  EXPECT_FALSE(block_run_eligible(h5, 5));
+
+  // Low-location 1-qubit: when the SIMD backend pre-widens, eligibility
+  // follows the widened (spectator-including) span.
+  const PreparedGate h0 = prepare_gate(gates::h(), {0});
+  if (simd_complex_width() > 1) {
+    ASSERT_NE(h0.widened, nullptr);
+    EXPECT_EQ(h0.widened->qubits, (std::vector<int>{0, 1}));
+  } else {
+    EXPECT_EQ(h0.widened, nullptr);
+  }
+  EXPECT_TRUE(block_run_eligible(h0, 2));
+}
+
+TEST(PreparedGate, WidenedCacheOnlyForLowDenseK1) {
+  // Diagonal and wide gates never carry the pre-widened embedding.
+  EXPECT_EQ(prepare_gate(gates::t(), {0}).widened, nullptr);
+  Rng rng(5);
+  EXPECT_EQ(prepare_gate(random_unitary(2, rng), {0, 1}).widened, nullptr);
+  // High-location k = 1 does not defeat the SIMD shapes.
+  EXPECT_EQ(prepare_gate(gates::h(), {6}).widened, nullptr);
+}
+
+TEST(PlanGateRuns, ConsecutiveRunsWithoutReorder) {
+  const GateShape e1{0x1, true}, e2{0x2, true}, e8{0x8, true};
+  const GateShape s4{0x4, false}, s2{0x2, false};
+  const std::vector<GateShape> shapes = {e1, e2, s4, e1, e2, e8, s2};
+  const auto segs = plan_gate_runs(shapes, false);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].run, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(segs[0].solo, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(segs[1].run, (std::vector<std::size_t>{3, 4, 5}));
+  EXPECT_EQ(segs[1].solo, (std::vector<std::size_t>{6}));
+}
+
+TEST(PlanGateRuns, ReorderHoistsOnlyDisjointGates) {
+  // Gate 2 commutes with the deferred solo (disjoint masks) and hoists
+  // into the run; gate 3 overlaps the deferred mask and must not.
+  const std::vector<GateShape> shapes = {
+      {0b001, true}, {0b100, false}, {0b011, true}, {0b110, true}};
+  const auto segs = plan_gate_runs(shapes, true);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].run, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(segs[0].solo, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(PlanGateRuns, FlushesAtDeferredCap) {
+  const std::vector<GateShape> shapes(17, GateShape{0x1, false});
+  const auto segs = plan_gate_runs(shapes, true);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].solo.size(), 16u);
+  EXPECT_EQ(segs[1].solo.size(), 1u);
+}
+
+TEST(BlockApply, ApplyGateRunValidates) {
+  StateVector state(8);
+  const PreparedGate high = prepare_gate(gates::h(), {7});
+  const PreparedGate* gates[] = {&high};
+  EXPECT_THROW(apply_gate_run(state.data(), 8, gates, 1, 4), Error);
+  EXPECT_THROW(apply_gate_run(state.data(), 8, gates, 0, 4), Error);
+}
+
+// Randomized stages against the gate-by-gate oracle, across block
+// exponents at/below the SIMD-width floor, min-run lengths, thread counts
+// (including non-power-of-two), and both planner modes.
+using DiffParam = std::tuple<int /*b*/, int /*min_run*/, int /*threads*/,
+                             bool /*reorder*/, int /*seed*/>;
+class BlockApplyDiff : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(BlockApplyDiff, MatchesGateByGateOracle) {
+  const auto [b, min_run, threads, reorder, seed] = GetParam();
+  const int n = 10;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int length = 1 + static_cast<int>(rng.uniform_int(16));
+  const std::vector<PreparedGate> gates = random_stage(n, length, rng);
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+
+  StateVector blocked(n), oracle(n);
+  randomize(blocked, rng);
+  for (Index i = 0; i < blocked.size(); ++i) oracle[i] = blocked[i];
+
+  ApplyOptions o;
+  o.block_exponent = b;
+  o.min_run_length = min_run;
+  o.num_threads = threads;
+  o.block_reorder = reorder;
+  BlockRunStats stats;
+  apply_gates_blocked(blocked.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+  EXPECT_EQ(stats.gates, ptrs.size());
+  EXPECT_GE(stats.sweeps, 1u);
+  EXPECT_LE(stats.sweeps, ptrs.size());
+  EXPECT_EQ(stats.sweeps + stats.sweeps_saved(), stats.gates);
+
+  const ApplyOptions plain = plain_options(o);
+  for (const PreparedGate* g : ptrs) {
+    apply_gate(oracle.data(), n, *g, plain);
+  }
+  // Hoisting is algebraically exact; only FP summation order differs.
+  EXPECT_LT(blocked.max_abs_diff(oracle), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockApplyDiff,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(1, 2), ::testing::Values(0, 3),
+                       ::testing::Bool(), ::testing::Values(1, 2)));
+
+TEST(BlockApply, ScalarBackendBitIdenticalWithoutReorder) {
+  const int n = 10;
+  for (int seed = 1; seed <= 3; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const std::vector<PreparedGate> gates = random_stage(n, 12, rng);
+    const std::vector<const PreparedGate*> ptrs = pointers(gates);
+    StateVector blocked(n), oracle(n);
+    randomize(blocked, rng);
+    for (Index i = 0; i < blocked.size(); ++i) oracle[i] = blocked[i];
+
+    ApplyOptions o;
+    o.backend = KernelBackend::kScalar;
+    o.block_exponent = 4;
+    o.min_run_length = 1;
+    o.block_reorder = false;
+    o.merge_diagonals = false;
+    apply_gates_blocked(blocked.data(), n, ptrs.data(), ptrs.size(), o);
+    const ApplyOptions plain = plain_options(o);
+    for (const PreparedGate* g : ptrs) {
+      apply_gate(oracle.data(), n, *g, plain);
+    }
+    EXPECT_TRUE(bitwise_equal(blocked, oracle)) << "seed " << seed;
+  }
+}
+
+TEST(BlockApply, AutoBackendBitIdenticalAboveSimdFloor) {
+  // With 2^(b-1) >= the SIMD width every in-block kernel picks the same
+  // shape as the full-state sweep, so order-preserving blocking is
+  // bit-identical to plain dispatch.
+  const int n = 10, b = 6;
+  for (int seed = 1; seed <= 3; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(10 + seed));
+    const std::vector<PreparedGate> gates = random_stage(n, 14, rng);
+    const std::vector<const PreparedGate*> ptrs = pointers(gates);
+    StateVector blocked(n), oracle(n);
+    randomize(blocked, rng);
+    for (Index i = 0; i < blocked.size(); ++i) oracle[i] = blocked[i];
+
+    ApplyOptions o;
+    o.block_exponent = b;
+    o.min_run_length = 1;
+    o.block_reorder = false;
+    o.merge_diagonals = false;
+    o.num_threads = 3;
+    apply_gates_blocked(blocked.data(), n, ptrs.data(), ptrs.size(), o);
+    const ApplyOptions plain = plain_options(o);
+    for (const PreparedGate* g : ptrs) {
+      apply_gate(oracle.data(), n, *g, plain);
+    }
+    EXPECT_TRUE(bitwise_equal(blocked, oracle)) << "seed " << seed;
+  }
+}
+
+TEST(BlockApply, DiagonalAtHighLocationJoinsRunBitIdentical) {
+  const int n = 10, b = 4;
+  Rng rng(21);
+  std::vector<PreparedGate> gates;
+  gates.push_back(prepare_gate(gates::random_su2(rng), {1}));
+  gates.push_back(prepare_gate(gates::cz(), {7, 9}));      // all-high diagonal
+  gates.push_back(prepare_gate(gates::t(), {8}));          // high diagonal
+  gates.push_back(prepare_gate(gates::random_su2(rng), {2}));
+  gates.push_back(prepare_gate(gates::cz(), {0, 9}));      // split diagonal
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+
+  StateVector blocked(n), oracle(n);
+  randomize(blocked, rng);
+  for (Index i = 0; i < blocked.size(); ++i) oracle[i] = blocked[i];
+
+  ApplyOptions o;
+  o.block_exponent = b;
+  o.min_run_length = 1;
+  o.block_reorder = false;
+  o.merge_diagonals = false;
+  BlockRunStats stats;
+  apply_gates_blocked(blocked.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+  // Every gate is eligible: one run, one sweep for the whole stage.
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.run_gates, 5u);
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.sweeps_saved(), 4u);
+
+  const ApplyOptions plain = plain_options(o);
+  for (const PreparedGate* g : ptrs) {
+    apply_gate(oracle.data(), n, *g, plain);
+  }
+  EXPECT_TRUE(bitwise_equal(blocked, oracle));
+}
+
+TEST(BlockApply, MergeDiagonalGatesProducesExactProductTable) {
+  const PreparedGate t0 = prepare_gate(gates::t(), {0});
+  const PreparedGate cz02 = prepare_gate(gates::cz(), {0, 2});
+  const PreparedGate cz57 = prepare_gate(gates::cz(), {5, 7});
+  const PreparedGate* list[] = {&t0, &cz02, &cz57};
+  const PreparedGate merged = merge_diagonal_gates(list, 3);
+  EXPECT_TRUE(merged.diagonal);
+  EXPECT_EQ(merged.qubits, (std::vector<int>{0, 2, 5, 7}));
+  EXPECT_EQ(merged.k, 4);
+  EXPECT_EQ(merged.dim, Index{16});
+  for (Index idx = 0; idx < merged.dim; ++idx) {
+    const Index b0 = idx & 1, b2 = (idx >> 1) & 1;
+    const Index b5 = (idx >> 2) & 1, b7 = (idx >> 3) & 1;
+    const Amplitude want =
+        t0.diag[b0] * cz02.diag[b0 | (b2 << 1)] * cz57.diag[b5 | (b7 << 1)];
+    EXPECT_EQ(merged.diag[idx], want) << "idx " << idx;
+  }
+
+  const PreparedGate dense = prepare_gate(gates::h(), {1});
+  const PreparedGate* bad[] = {&dense};
+  EXPECT_THROW(merge_diagonal_gates(bad, 1), Error);
+  EXPECT_THROW(merge_diagonal_gates(list, 0), Error);
+}
+
+TEST(BlockApply, DiagonalCoalescingSavesPassesWithinTolerance) {
+  const int n = 10, b = 5;
+  Rng rng(81);
+  std::vector<PreparedGate> gates;
+  gates.push_back(prepare_gate(gates::random_su2(rng), {0}));
+  gates.push_back(prepare_gate(gates::cz(), {0, 1}));  // four consecutive
+  gates.push_back(prepare_gate(gates::cz(), {2, 3}));  // diagonals: one
+  gates.push_back(prepare_gate(gates::t(), {8}));      // merged pass
+  gates.push_back(prepare_gate(gates::cz(), {4, 9}));
+  gates.push_back(prepare_gate(gates::random_su2(rng), {2}));
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+
+  StateVector merged(n), unmerged(n), oracle(n);
+  randomize(merged, rng);
+  for (Index i = 0; i < merged.size(); ++i) {
+    unmerged[i] = merged[i];
+    oracle[i] = merged[i];
+  }
+
+  ApplyOptions o;
+  o.block_exponent = b;
+  o.min_run_length = 1;
+  o.block_reorder = false;
+  BlockRunStats stats;
+  apply_gates_blocked(merged.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+  // The four diagonals collapse into one in-block pass; sweep accounting
+  // is unchanged (coalescing only affects work inside the run's sweep).
+  EXPECT_EQ(stats.coalesced, 3u);
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.run_gates, 6u);
+  EXPECT_EQ(stats.sweeps, 1u);
+
+  ApplyOptions om = o;
+  om.merge_diagonals = false;
+  BlockRunStats stats_off;
+  apply_gates_blocked(unmerged.data(), n, ptrs.data(), ptrs.size(), om,
+                      &stats_off);
+  EXPECT_EQ(stats_off.coalesced, 0u);
+
+  const ApplyOptions plain = plain_options(o);
+  for (const PreparedGate* g : ptrs) {
+    apply_gate(oracle.data(), n, *g, plain);
+  }
+  // Without merging the run is bit-identical; the merged table is the
+  // exact composite operator up to table-rounding ulps.
+  EXPECT_TRUE(bitwise_equal(unmerged, oracle));
+  EXPECT_LT(merged.max_abs_diff(oracle), 1e-12);
+}
+
+TEST(BlockApply, MinRunLengthAndHoistStats) {
+  const int n = 10, b = 4;
+  Rng rng(31);
+  std::vector<PreparedGate> gates;
+  gates.push_back(prepare_gate(gates::random_su2(rng), {0}));
+  gates.push_back(prepare_gate(gates::random_su2(rng), {1}));
+  gates.push_back(prepare_gate(gates::x(), {9}));  // dense high: solo
+  gates.push_back(prepare_gate(gates::random_su2(rng), {2}));
+  gates.push_back(prepare_gate(gates::random_su2(rng), {3}));
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+
+  StateVector state(n), oracle(n);
+  randomize(state, rng);
+  for (Index i = 0; i < state.size(); ++i) oracle[i] = state[i];
+  const ApplyOptions base;
+  for (const PreparedGate* g : ptrs) {
+    apply_gate(oracle.data(), n, *g, plain_options(base));
+  }
+
+  {  // min_run 3: both 2-gate spans fall back to plain sweeps.
+    StateVector s(n);
+    for (Index i = 0; i < s.size(); ++i) s[i] = state[i];
+    ApplyOptions o;
+    o.block_exponent = b;
+    o.min_run_length = 3;
+    o.block_reorder = false;
+    BlockRunStats stats;
+    apply_gates_blocked(s.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+    EXPECT_EQ(stats.runs, 0u);
+    EXPECT_EQ(stats.run_gates, 0u);
+    EXPECT_EQ(stats.sweeps, 5u);
+    EXPECT_EQ(stats.hoisted, 0u);
+    EXPECT_LT(s.max_abs_diff(oracle), 1e-12);
+  }
+  {  // min_run 2, consecutive: two blocked runs around the solo.
+    StateVector s(n);
+    for (Index i = 0; i < s.size(); ++i) s[i] = state[i];
+    ApplyOptions o;
+    o.block_exponent = b;
+    o.min_run_length = 2;
+    o.block_reorder = false;
+    BlockRunStats stats;
+    apply_gates_blocked(s.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+    EXPECT_EQ(stats.runs, 2u);
+    EXPECT_EQ(stats.run_gates, 4u);
+    EXPECT_EQ(stats.sweeps, 3u);
+    EXPECT_EQ(stats.hoisted, 0u);
+    EXPECT_LT(s.max_abs_diff(oracle), 1e-12);
+  }
+  {  // Reorder: the trailing pair hoists over the disjoint solo gate.
+    StateVector s(n);
+    for (Index i = 0; i < s.size(); ++i) s[i] = state[i];
+    ApplyOptions o;
+    o.block_exponent = b;
+    o.min_run_length = 2;
+    o.block_reorder = true;
+    BlockRunStats stats;
+    apply_gates_blocked(s.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+    EXPECT_EQ(stats.runs, 1u);
+    EXPECT_EQ(stats.run_gates, 4u);
+    EXPECT_EQ(stats.sweeps, 2u);
+    EXPECT_EQ(stats.hoisted, 2u);
+    EXPECT_LT(s.max_abs_diff(oracle), 1e-12);
+  }
+}
+
+TEST(BlockApply, DisabledPathMatchesPlainExactly) {
+  const int n = 8;
+  Rng rng(41);
+  const std::vector<PreparedGate> gates = random_stage(n, 6, rng);
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+  StateVector a(n), b(n);
+  randomize(a, rng);
+  for (Index i = 0; i < a.size(); ++i) b[i] = a[i];
+  ApplyOptions o;
+  o.block_exponent = -1;
+  BlockRunStats stats;
+  apply_gates_blocked(a.data(), n, ptrs.data(), ptrs.size(), o, &stats);
+  EXPECT_EQ(stats.runs, 0u);
+  EXPECT_EQ(stats.sweeps, ptrs.size());
+  for (const PreparedGate* g : ptrs) {
+    apply_gate(b.data(), n, *g, o);
+  }
+  EXPECT_TRUE(bitwise_equal(a, b));
+}
+
+TEST(RunFused, BlockedMatchesPlainExecution) {
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 5;
+  so.depth = 8;
+  so.seed = 1;
+  const Circuit circuit = make_supremacy_circuit(so);
+
+  Rng rng(51);
+  StateVector blocked(10), ordered(10), plain(10);
+  randomize(blocked, rng);
+  for (Index i = 0; i < blocked.size(); ++i) {
+    ordered[i] = blocked[i];
+    plain[i] = blocked[i];
+  }
+
+  FusedRunOptions po;
+  po.apply.block_exponent = -1;
+  run_fused(plain, circuit, po);
+
+  // Order-preserving blocking: bit-identical to the plain executor.
+  FusedRunOptions oo;
+  oo.apply.block_exponent = 6;
+  oo.apply.min_run_length = 1;
+  oo.apply.block_reorder = false;
+  oo.apply.merge_diagonals = false;
+  run_fused(ordered, circuit, oo);
+  EXPECT_TRUE(bitwise_equal(ordered, plain));
+
+  // Commuting hoists: exact algebra, FP-rounding-level differences only.
+  FusedRunOptions bo;
+  bo.apply.block_exponent = 6;
+  bo.apply.num_threads = 3;
+  run_fused(blocked, circuit, bo);
+  EXPECT_LT(blocked.max_abs_diff(plain), 1e-12);
+}
+
+TEST(Simulator, RunBlockedMatchesGateByGate) {
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 5;
+  so.depth = 6;
+  so.seed = 2;
+  const Circuit circuit = make_supremacy_circuit(so);
+
+  Rng rng(61);
+  StateVector s1(10), s2(10);
+  randomize(s1, rng);
+  for (Index i = 0; i < s1.size(); ++i) s2[i] = s1[i];
+
+  ApplyOptions bo;
+  bo.block_exponent = 6;
+  bo.min_run_length = 1;
+  bo.block_reorder = false;
+  bo.merge_diagonals = false;
+  Simulator blocked(s1, bo);
+  blocked.run(circuit);
+
+  ApplyOptions po;
+  po.block_exponent = -1;
+  Simulator reference(s2, po);
+  reference.run(circuit);
+
+  EXPECT_TRUE(bitwise_equal(s1, s2));
+}
+
+TEST(Fp32BlockApply, BitIdenticalToPlainAndCloseToDouble) {
+  const int n = 10;
+  Rng rng(71);
+  const std::vector<PreparedGate> gates = random_stage(n, 12, rng);
+  std::vector<PreparedGateF> gates_f;
+  gates_f.reserve(gates.size());
+  for (const PreparedGate& g : gates) {
+    gates_f.push_back(prepare_gate_f32(g.matrix, g.qubits));
+  }
+  std::vector<const PreparedGateF*> ptrs_f;
+  for (const PreparedGateF& g : gates_f) ptrs_f.push_back(&g);
+
+  StateVector oracle(n);
+  randomize(oracle, rng);
+  StateVectorF blocked(n), plain(n);
+  for (Index i = 0; i < oracle.size(); ++i) {
+    const AmplitudeF v{static_cast<float>(oracle[i].real()),
+                       static_cast<float>(oracle[i].imag())};
+    blocked[i] = v;
+    plain[i] = v;
+  }
+
+  ApplyOptions o;
+  o.block_exponent = 4;
+  o.min_run_length = 1;
+  o.block_reorder = false;
+  o.merge_diagonals = false;
+  o.num_threads = 3;
+  BlockRunStats stats;
+  apply_gates_blocked_f32(blocked.data(), n, ptrs_f.data(), ptrs_f.size(), o,
+                          &stats);
+  EXPECT_EQ(stats.gates, ptrs_f.size());
+  EXPECT_LE(stats.sweeps, ptrs_f.size());
+
+  for (const PreparedGateF* g : ptrs_f) {
+    apply_gate_f32(plain.data(), n, *g, o.num_threads);
+  }
+  EXPECT_EQ(std::memcmp(blocked.data(), plain.data(),
+                        static_cast<std::size_t>(blocked.size()) *
+                            sizeof(AmplitudeF)),
+            0);
+
+  const std::vector<const PreparedGate*> ptrs = pointers(gates);
+  for (const PreparedGate* g : ptrs) {
+    apply_gate_scalar(oracle.data(), n, *g);
+  }
+  EXPECT_LT(blocked.max_abs_diff(oracle), 1e-4);
+}
+
+TEST(Fp32BlockApply, EligibilityUsesWidenedSpan) {
+  const PreparedGateF diag = prepare_gate_f32(gates::cz(), {2, 9});
+  EXPECT_TRUE(block_run_eligible_f32(diag, 2));
+  const PreparedGateF h9 = prepare_gate_f32(gates::h(), {9});
+  EXPECT_FALSE(block_run_eligible_f32(h9, 4));
+  const PreparedGateF h0 = prepare_gate_f32(gates::h(), {0});
+  if (h0.widened) {
+    // Spectators sit on the lowest free locations, so the widened span
+    // stays within [0, widened->k).
+    EXPECT_EQ(h0.widened->qubits.back(), h0.widened->k - 1);
+    EXPECT_TRUE(block_run_eligible_f32(h0, h0.widened->k));
+  }
+  EXPECT_TRUE(block_run_eligible_f32(h0, 4));
+}
+
+}  // namespace
+}  // namespace quasar

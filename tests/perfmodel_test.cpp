@@ -179,6 +179,48 @@ TEST(RunModel, SupremacySpeedupOverBaselineIsLarge) {
   EXPECT_GT(ours.sustained_pflops(), 0.0);
 }
 
+TEST(RunModel, BlockedExecutorPrediction) {
+  // With 30 local qubits the installed block exponent (15 by default)
+  // fits, low-location cluster runs share one streaming sweep, and the
+  // blocked prediction can only improve on one-sweep-per-cluster.
+  const auto [rows, cols] = supremacy_grid_for_qubits(36);
+  SupremacyOptions so;
+  so.rows = rows;
+  so.cols = cols;
+  so.depth = 25;
+  const Circuit c = make_supremacy_circuit(so);
+
+  ScheduleOptions o;
+  o.num_local = 30;
+  o.kmax = 5;
+  o.build_matrices = false;
+  const Schedule s = make_schedule(c, o);
+  const RunPrediction p =
+      model_run(c, s, cori_knl_node(), aries_dragonfly(), 64);
+
+  EXPECT_GT(p.blocked_kernel_seconds, 0.0);
+  EXPECT_GT(p.blocked_runs, 0);
+  EXPECT_GT(p.blocked_sweeps_saved, 0);
+  EXPECT_LE(p.blocked_kernel_seconds, p.kernel_seconds);
+  EXPECT_LE(p.blocked_total_seconds(), p.total_seconds());
+}
+
+TEST(RunModel, BlockedPredictionEqualsPlainWhenDisabled) {
+  // Too few local qubits for the installed block exponent: the blocked
+  // executor degenerates to per-item sweeps and the predictions agree.
+  const Circuit c = make_supremacy_circuit({3, 3, 10, 0, true});
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  o.build_matrices = false;
+  const Schedule s = make_schedule(c, o);
+  const RunPrediction p =
+      model_run(c, s, cori_knl_node(), aries_dragonfly(), 8);
+  EXPECT_EQ(p.blocked_runs, 0);
+  EXPECT_EQ(p.blocked_sweeps_saved, 0);
+  EXPECT_DOUBLE_EQ(p.blocked_kernel_seconds, p.kernel_seconds);
+}
+
 TEST(RunModel, Validation) {
   const Circuit c = make_supremacy_circuit({3, 3, 10, 0, true});
   ScheduleOptions o;
