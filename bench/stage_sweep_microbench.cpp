@@ -31,6 +31,7 @@
 #include "kernels/apply.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/block_apply.hpp"
+#include "obs/trace_export.hpp"
 #include "sched/schedule.hpp"
 
 namespace {
@@ -55,22 +56,10 @@ std::pair<int, int> near_square_grid(int n) {
   return {n, 1};
 }
 
-template <typename F>
-double best_seconds(int reps, F&& body) {
-  double best = 1e30;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    body();
-    const double s = t.seconds();
-    if (s < best) best = s;
-  }
-  return best;
-}
-
 struct LevelResult {
   std::size_t gates = 0;
-  double plain_s = 0.0;
-  double blocked_s = 0.0;
+  TimingStats plain;
+  TimingStats blocked;
   BlockRunStats stats;
 };
 
@@ -79,22 +68,31 @@ LevelResult measure_level(Amplitude* state, int n,
                           const ApplyOptions& options, int reps) {
   LevelResult r;
   r.gates = gates.size();
-  r.plain_s = best_seconds(reps, [&] {
-    for (const PreparedGate* g : gates) apply_gate(state, n, *g, options);
-  });
-  r.blocked_s = best_seconds(reps, [&] {
-    apply_gates_blocked(state, n, gates.data(), gates.size(), options,
-                        &r.stats);
-  });
+  r.plain = time_stats_n(
+      [&] {
+        for (const PreparedGate* g : gates) apply_gate(state, n, *g, options);
+      },
+      reps);
+  r.blocked = time_stats_n(
+      [&] {
+        apply_gates_blocked(state, n, gates.data(), gates.size(), options,
+                            &r.stats);
+      },
+      reps);
   return r;
 }
 
 void print_level(const char* name, const LevelResult& r, bool last) {
-  const double speedup = r.blocked_s > 0.0 ? r.plain_s / r.blocked_s : 0.0;
+  const double speedup =
+      r.blocked.best > 0.0 ? r.plain.best / r.blocked.best : 0.0;
   std::printf("  \"%s\": {\n", name);
   std::printf("    \"gates\": %zu,\n", r.gates);
-  std::printf("    \"plain_seconds\": %.6f,\n", r.plain_s);
-  std::printf("    \"blocked_seconds\": %.6f,\n", r.blocked_s);
+  std::printf("    \"plain_seconds\": %.6f,\n", r.plain.best);
+  std::printf("    \"plain_mean_seconds\": %.6f,\n", r.plain.mean);
+  std::printf("    \"plain_stddev_seconds\": %.6f,\n", r.plain.stddev);
+  std::printf("    \"blocked_seconds\": %.6f,\n", r.blocked.best);
+  std::printf("    \"blocked_mean_seconds\": %.6f,\n", r.blocked.mean);
+  std::printf("    \"blocked_stddev_seconds\": %.6f,\n", r.blocked.stddev);
   std::printf("    \"speedup\": %.3f,\n", speedup);
   std::printf("    \"meets_1p5x\": %s,\n", speedup >= 1.5 ? "true" : "false");
   std::printf("    \"runs\": %zu,\n", r.stats.runs);
@@ -109,6 +107,8 @@ void print_level(const char* name, const LevelResult& r, bool last) {
 }  // namespace
 
 int main() {
+  // QUASAR_TRACE=<path> dumps a chrome://tracing timeline of the run.
+  obs::EnvTraceGuard trace_guard;
   const int n = std::max(12, env_int("QUASAR_STAGE_BENCH_QUBITS", 28));
   const int depth = std::max(1, env_int("QUASAR_STAGE_BENCH_DEPTH", 25));
   const int reps = std::max(1, env_int("QUASAR_STAGE_BENCH_REPS", 1));

@@ -11,6 +11,7 @@
 #include "bench/common.hpp"
 #include "circuit/analysis.hpp"
 #include "circuit/supremacy.hpp"
+#include "obs/trace_export.hpp"
 #include "perfmodel/run_model.hpp"
 #include "runtime/baseline.hpp"
 #include "runtime/distributed.hpp"
@@ -40,6 +41,9 @@ const PaperRow kPaperRows[] = {
 }  // namespace
 
 int main() {
+  // QUASAR_TRACE=<path> dumps a chrome://tracing timeline of the
+  // measured virtual-cluster run below.
+  obs::EnvTraceGuard trace_guard;
   heading("Table 2 — modeled at paper scale (Cori II, KNL nodes)");
   std::printf("%7s %6s %7s | %9s %8s %8s | paper: time comm%% speedup\n",
               "qubits", "nodes", "swaps", "time[s]", "comm%", "speedup");

@@ -8,14 +8,31 @@
 ///    compares states (bit-identical physics) and communication volumes
 ///    (an order of magnitude apart — the paper's core claim).
 #include <cstdio>
+#include <cstdlib>
 
 #include "circuit/supremacy.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+#include "perfmodel/machine.hpp"
 #include "runtime/baseline.hpp"
 #include "runtime/distributed.hpp"
 #include "sched/report.hpp"
 
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::atoi(value) : fallback;
+}
+
+}  // namespace
+
 int main() {
   using namespace quasar;
+
+  // QUASAR_TRACE=<path> dumps a chrome://tracing timeline of the run;
+  // QUASAR_TRACE_METRICS=<path> dumps the flat counter/span JSON.
+  obs::EnvTraceGuard trace_guard;
 
   // --- Fig. 3: the block-exchange picture -----------------------------
   std::printf("Fig. 3 reproduction: 2-qubit global-to-local swap on 4 "
@@ -43,12 +60,13 @@ int main() {
 
   // --- Ours vs the baseline scheme ------------------------------------
   SupremacyOptions options;
-  options.rows = 4;
-  options.cols = 5;
+  options.rows = env_int("QUASAR_DEMO_ROWS", 4);
+  options.cols = env_int("QUASAR_DEMO_COLS", 5);
   options.depth = 25;
   options.seed = 3;
   const Circuit circuit = make_supremacy_circuit(options);
-  const int n = 20, l = 16;  // 16 virtual ranks
+  const int n = options.rows * options.cols;
+  const int l = n - 4;  // 16 virtual ranks
 
   std::printf("\nWorkload: %dx%d depth-%d supremacy circuit (%zu gates), "
               "%d ranks with %d local qubits.\n",
@@ -64,6 +82,26 @@ int main() {
   DistributedSimulator ours(n, l);
   ours.init_basis(0);
   ours.run(circuit, schedule);
+
+  // When a trace is active, join the measured stage spans against the
+  // performance model (Sec. 4) and print the per-stage deltas.
+  if (obs::enabled()) {
+    std::printf("%s\n",
+                obs::run_report(*obs::global_session(), circuit, schedule,
+                                host_machine(), aries_dragonfly())
+                    .c_str());
+  }
+
+  // QUASAR_DEMO_SKIP_BASELINE=1 skips the slow per-gate baseline
+  // comparison (useful for CI smoke runs at larger qubit counts).
+  if (env_int("QUASAR_DEMO_SKIP_BASELINE", 0) != 0) {
+    const CommStats& a = ours.stats();
+    std::printf("communication per rank (ours): %llu all-to-alls, %.1f MB "
+                "(baseline comparison skipped)\n",
+                (unsigned long long)a.alltoalls,
+                a.bytes_sent_per_rank / 1e6);
+    return 0;
+  }
 
   BaselineOptions base_options;
   base_options.specialization = SpecializationMode::kWorstCase;

@@ -10,11 +10,14 @@
 
 #include "circuit/circuit.hpp"
 #include "core/rng.hpp"
+#include "obs/trace_export.hpp"
 #include "simulator/measure.hpp"
 #include "simulator/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace quasar;
+  // QUASAR_TRACE=<path> dumps a chrome://tracing timeline of the run.
+  obs::EnvTraceGuard trace_guard;
   const int n = argc > 1 ? std::atoi(argv[1]) : 4;
   if (n < 2 || n > 26) {
     std::fprintf(stderr, "usage: %s [num_qubits in 2..26]\n", argv[0]);

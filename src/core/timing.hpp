@@ -2,7 +2,9 @@
 /// \brief Wall-clock timing used by the autotuner and benchmark harnesses.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace quasar {
 
@@ -24,19 +26,65 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Per-call timing distribution from a repeated measurement loop.
+struct TimingStats {
+  double best = 0.0;    ///< minimum per-call seconds
+  double mean = 0.0;    ///< arithmetic mean per-call seconds
+  double stddev = 0.0;  ///< population standard deviation
+  int reps = 0;         ///< number of calls measured
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` have elapsed (and at
+/// least once), returning best/mean/stddev per-call seconds. Welford's
+/// online update keeps the loop allocation-free regardless of rep count.
+template <typename Fn>
+TimingStats time_stats(Fn&& fn, double min_seconds = 0.05) {
+  Timer total;
+  TimingStats stats;
+  stats.best = 1e300;
+  double m2 = 0.0;
+  do {
+    Timer t;
+    fn();
+    const double secs = t.seconds();
+    stats.best = std::min(stats.best, secs);
+    ++stats.reps;
+    const double delta = secs - stats.mean;
+    stats.mean += delta / stats.reps;
+    m2 += delta * (secs - stats.mean);
+  } while (total.seconds() < min_seconds);
+  stats.stddev = stats.reps > 0 ? std::sqrt(m2 / stats.reps) : 0.0;
+  return stats;
+}
+
+/// Runs `fn` exactly `reps` times (at least once), returning best/mean/
+/// stddev per-call seconds. The fixed-rep companion of time_stats for
+/// benchmarks whose iteration count is chosen by the harness.
+template <typename Fn>
+TimingStats time_stats_n(Fn&& fn, int reps) {
+  TimingStats stats;
+  stats.best = 1e300;
+  double m2 = 0.0;
+  for (int r = 0; r < (reps > 0 ? reps : 1); ++r) {
+    Timer t;
+    fn();
+    const double secs = t.seconds();
+    stats.best = std::min(stats.best, secs);
+    ++stats.reps;
+    const double delta = secs - stats.mean;
+    stats.mean += delta / stats.reps;
+    m2 += delta * (secs - stats.mean);
+  }
+  stats.stddev = stats.reps > 0 ? std::sqrt(m2 / stats.reps) : 0.0;
+  return stats;
+}
+
 /// Runs `fn` repeatedly until at least `min_seconds` have elapsed (and at
 /// least once), returning the best (minimum) per-call seconds observed.
 /// Used by the kernel autotuner's benchmarking feedback loop (Sec. 3.2).
 template <typename Fn>
 double time_best_of(Fn&& fn, double min_seconds = 0.05) {
-  Timer total;
-  double best = 1e300;
-  do {
-    Timer t;
-    fn();
-    best = std::min(best, t.seconds());
-  } while (total.seconds() < min_seconds);
-  return best;
+  return time_stats(static_cast<Fn&&>(fn), min_seconds).best;
 }
 
 }  // namespace quasar

@@ -13,6 +13,7 @@
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
+#include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
 
 namespace quasar {
@@ -66,12 +67,19 @@ void DistributedSimulatorF::run(const Circuit& circuit,
                "run: schedule was built for a different configuration");
   QUASAR_CHECK(schedule.options.build_matrices,
                "run: schedule lacks fused matrices");
-  for (const Stage& stage : schedule.stages) {
+  QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
+                  static_cast<std::int64_t>(schedule.stages.size()));
+  for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
+    const Stage& stage = schedule.stages[si];
+    QUASAR_OBS_SPAN("stage", "stage", "stage",
+                    static_cast<std::int64_t>(si));
     transition(mapping_, stage.qubit_to_location);
     mapping_ = stage.qubit_to_location;
     for (const StageItem& item : stage.items) {
       if (item.kind == StageItem::Kind::kCluster) {
         const Cluster& cluster = stage.clusters[item.cluster];
+        QUASAR_OBS_SPAN("gate_run", "cluster", "width",
+                        static_cast<std::int64_t>(cluster.width()));
         const PreparedGateF prepared =
             prepare_gate_f32(*cluster.matrix, cluster.qubits);
         for (int r = 0; r < num_ranks(); ++r) {
@@ -79,6 +87,7 @@ void DistributedSimulatorF::run(const Circuit& circuit,
                          num_threads_);
         }
       } else {
+        QUASAR_OBS_SPAN("gate_run", "global_op");
         apply_global_op(circuit.op(item.op), stage);
       }
     }
@@ -127,6 +136,7 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
     buffers_ = std::move(next);
     pending_phase_ = std::move(next_phase);
     ++stats_.rank_renumberings;
+    obs::count("comm.rank_renumberings");
     return;
   }
 
@@ -161,6 +171,7 @@ void DistributedSimulatorF::alltoall_swap(
   // In-place chunked exchange, mirroring VirtualCluster::alltoall_swap:
   // the bit-transposition involution pairs every amplitude with a unique
   // partner, so the state is never shadow-copied.
+  obs::ScopedSpan obs_span("exchange", "alltoall");
   const int q = static_cast<int>(global_locations.size());
   const int l = num_local_;
   const Index block = index_pow2(l - q);
@@ -236,13 +247,17 @@ void DistributedSimulatorF::alltoall_swap(
 
   ++stats_.alltoalls;
   // Half the bytes of the double-precision swap: the Sec. 5 win.
-  stats_.bytes_sent_per_rank +=
-      (local_size() - block) * sizeof(AmplitudeF);
+  const std::uint64_t sent = (local_size() - block) * sizeof(AmplitudeF);
+  stats_.bytes_sent_per_rank += sent;
   const std::uint64_t bounce_bytes =
       static_cast<std::uint64_t>(threads) * chunk * sizeof(AmplitudeF);
   if (bounce_bytes > stats_.peak_bounce_bytes) {
     stats_.peak_bounce_bytes = bounce_bytes;
   }
+  obs_span.set_arg("bytes_per_rank", static_cast<std::int64_t>(sent));
+  obs::count("comm.alltoalls");
+  obs::count("comm.bytes_sent_per_rank", sent);
+  obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
 }
 
 void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
@@ -256,6 +271,11 @@ void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
   }
   if (plan.identity && !any_phase) return;
 
+  const std::uint64_t sweep_bytes =
+      static_cast<std::uint64_t>(num_ranks()) * local_size() *
+      sizeof(AmplitudeF);
+  QUASAR_OBS_SPAN("permute", "local_permute", "bytes",
+                  static_cast<std::int64_t>(sweep_bytes));
   const int threads =
       num_threads_ > 0 ? num_threads_ : omp_get_max_threads();
   const std::size_t scratch_bytes = std::max<std::size_t>(
@@ -276,9 +296,22 @@ void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
   }
 
   ++stats_.local_permutation_sweeps;
-  stats_.local_permutation_bytes +=
-      static_cast<std::uint64_t>(num_ranks()) * local_size() *
-      sizeof(AmplitudeF);
+  stats_.local_permutation_bytes += sweep_bytes;
+  obs::count("comm.local_permutation_sweeps");
+  obs::count("comm.local_permutation_bytes", sweep_bytes);
+  if (!plan.identity) {
+    // Mirror the double-precision accounting: the permutation's bounce
+    // usage must fold into the peak too (it previously did not here).
+    const std::uint64_t brick_bytes =
+        index_pow2(plan.brick_bits) * sizeof(AmplitudeF);
+    const std::uint64_t bounce_bytes =
+        static_cast<std::uint64_t>(threads) *
+        std::min<std::uint64_t>(scratch_bytes, brick_bytes);
+    if (bounce_bytes > stats_.peak_bounce_bytes) {
+      stats_.peak_bounce_bytes = bounce_bytes;
+    }
+    obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+  }
 }
 
 void DistributedSimulatorF::transition(const std::vector<int>& from,
@@ -370,6 +403,7 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
       buffers_ = std::move(next);
       pending_phase_ = std::move(next_phase);
       ++stats_.rank_renumberings;
+      obs::count("comm.rank_renumberings");
     }
   }
 }
@@ -408,6 +442,7 @@ Real DistributedSimulatorF::norm_squared() const {
 }
 
 Real DistributedSimulatorF::entropy() const {
+  QUASAR_OBS_SPAN("measure", "entropy");
   Real total = 0.0;
   for (const auto& buffer : buffers_) {
     const AmplitudeF* data = buffer.data();

@@ -1,5 +1,7 @@
 #include "fp32/simulator_f32.hpp"
 
+#include "obs/trace.hpp"
+
 namespace quasar {
 
 SimulatorF::SimulatorF(StateVectorF& state, int num_threads)
@@ -22,6 +24,8 @@ void SimulatorF::apply(const GateOp& op) {
 void SimulatorF::run(const Circuit& circuit) {
   QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
                "SimulatorF::run: circuit/state qubit count mismatch");
+  QUASAR_OBS_SPAN("run", "simulator_run_f32", "gates",
+                  static_cast<std::int64_t>(circuit.num_gates()));
   // Batched fast path: prepare every op once, then share DRAM sweeps
   // across runs of low-location gates (same scheme as Simulator::run).
   std::vector<PreparedGateF> prepared;

@@ -8,6 +8,7 @@
 
 #include "core/error.hpp"
 #include "kernels/autotune.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
@@ -110,6 +111,18 @@ std::size_t coalesce_diagonal_spans(
   }
   run.swap(out);
   return saved;
+}
+
+/// Publishes a finished blocked-execution breakdown to the active trace
+/// session's counter registry (no-op when tracing is disabled).
+void publish_block_stats(const BlockRunStats& s) {
+  if (!obs::enabled()) return;
+  obs::count("block.gates", static_cast<std::int64_t>(s.gates));
+  obs::count("block.runs", static_cast<std::int64_t>(s.runs));
+  obs::count("block.run_gates", static_cast<std::int64_t>(s.run_gates));
+  obs::count("block.sweeps", static_cast<std::int64_t>(s.sweeps));
+  obs::count("block.hoisted", static_cast<std::int64_t>(s.hoisted));
+  obs::count("block.coalesced", static_cast<std::int64_t>(s.coalesced));
 }
 
 }  // namespace
@@ -273,6 +286,7 @@ void apply_gates_blocked(Amplitude* state, int num_qubits,
       apply_gate(state, num_qubits, *gates[g], options);
     }
     local.sweeps = count;
+    publish_block_stats(local);
     if (stats) *stats = local;
     return;
   }
@@ -302,6 +316,8 @@ void apply_gates_blocked(Amplitude* state, int num_qubits,
         merged_storage.clear();
         local.coalesced += coalesce_diagonal_spans(run_gates, merged_storage);
       }
+      QUASAR_OBS_SPAN("gate_run", "blocked_run", "gates",
+                      static_cast<std::int64_t>(run_gates.size()));
       apply_gate_run(state, num_qubits, run_gates.data(), run_gates.size(),
                      b, options);
       local.runs += 1;
@@ -322,6 +338,7 @@ void apply_gates_blocked(Amplitude* state, int num_qubits,
       for (std::size_t g : seg.run) local.hoisted += g > first_solo;
     }
   }
+  publish_block_stats(local);
   if (stats) *stats = local;
 }
 

@@ -1,0 +1,284 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "core/types.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "perfmodel/run_model.hpp"
+
+namespace quasar::obs {
+
+namespace {
+
+/// Seconds for one phase-only streaming sweep of a 2^l slice (one read +
+/// one write per amplitude), as in run_model.
+double diagonal_sweep_seconds(const MachineModel& node, int local_qubits,
+                              double bytes_per_amplitude) {
+  const double bytes = 2.0 *
+                       static_cast<double>(index_pow2(local_qubits)) *
+                       bytes_per_amplitude;
+  return bytes * 1e-9 / node.achievable_bw();
+}
+
+/// Per-slice modeled seconds for one stage item: one kernel sweep per
+/// cluster (the distributed executor's plain path), a diagonal-cost sweep
+/// for specialized global ops that touch local locations, zero for pure
+/// global phases/renumberings.
+double item_seconds(const Circuit& circuit, const Stage& stage,
+                    const StageItem& item, const MachineModel& node,
+                    int local_qubits, double bytes_per_amplitude) {
+  if (item.kind == StageItem::Kind::kCluster) {
+    const Cluster& cluster = stage.clusters[item.cluster];
+    if (cluster.diagonal) {
+      return diagonal_sweep_seconds(node, local_qubits, bytes_per_amplitude);
+    }
+    double secs = kernel_seconds_spilled(node, cluster.width(), local_qubits);
+    if (!cluster.qubits.empty() &&
+        cluster.qubits.front() >= kHighOrderThreshold) {
+      const double stride_sets =
+          static_cast<double>(index_pow2(cluster.width()));
+      if (stride_sets > node.effective_cache_ways) {
+        secs *= stride_sets / node.effective_cache_ways;
+      }
+    }
+    return secs;
+  }
+  const GateOp& op = circuit.op(item.op);
+  for (Qubit q : op.qubits) {
+    if (stage.location(q) < local_qubits) {
+      return diagonal_sweep_seconds(node, local_qubits, bytes_per_amplitude);
+    }
+  }
+  return 0.0;  // all-global specialization: phases / renumbering only
+}
+
+/// Transition shape between two qubit->location mappings: how many qubits
+/// cross the local/global boundary and whether a local sweep runs.
+struct TransitionShape {
+  int crossing = 0;
+  bool local_sweep = false;
+};
+
+TransitionShape transition_shape(const std::vector<int>& from,
+                                 const std::vector<int>& to, int l) {
+  TransitionShape shape;
+  if (from == to) return shape;
+  const int n = static_cast<int>(from.size());
+  std::vector<int> local_perm(l);
+  std::iota(local_perm.begin(), local_perm.end(), 0);
+  std::vector<int> park_slot;  // incoming targets, paired in order below
+  std::vector<int> outgoing;
+  for (Qubit q = 0; q < n; ++q) {
+    const bool was_global = from[q] >= l;
+    const bool is_global = to[q] >= l;
+    if (was_global && !is_global) {
+      ++shape.crossing;
+      park_slot.push_back(to[q]);
+    }
+    if (!was_global && is_global) outgoing.push_back(q);
+  }
+  std::vector<int> park_of(n, -1);
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    park_of[outgoing[i]] = park_slot[i];
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    if (from[q] >= l) continue;
+    const int target = to[q] < l ? to[q] : park_of[q];
+    local_perm[target] = from[q];
+  }
+  for (int j = 0; j < l; ++j) shape.local_sweep |= local_perm[j] != j;
+  // With crossing qubits the fused sweep still runs to park the outgoing
+  // qubits (and flush deferred phases), even if it happens to be cheap.
+  shape.local_sweep |= shape.crossing > 0;
+  return shape;
+}
+
+struct Cols {
+  double gate = 0.0, exch = 0.0, perm = 0.0;
+  double total() const { return gate + exch + perm; }
+};
+
+void append_row(std::string& out, const char* label, const Cols& measured,
+                bool have_measured, const Cols& predicted,
+                bool have_predicted) {
+  char buf[160];
+  const auto cell = [](double v, bool have, char* dst) {
+    if (have) std::snprintf(dst, 10, "%8.3f", v);
+    else std::strcpy(dst, "       -");
+  };
+  char m[3][10], p[3][10];
+  cell(measured.gate, have_measured, m[0]);
+  cell(measured.exch, have_measured, m[1]);
+  cell(measured.perm, have_measured, m[2]);
+  cell(predicted.gate, have_predicted, p[0]);
+  cell(predicted.exch, have_predicted, p[1]);
+  cell(predicted.perm, have_predicted, p[2]);
+  char ratio[12];
+  if (have_measured && have_predicted && predicted.total() > 0.0) {
+    std::snprintf(ratio, sizeof(ratio), "%7.2fx",
+                  measured.total() / predicted.total());
+  } else {
+    std::strcpy(ratio, "      - ");
+  }
+  std::snprintf(buf, sizeof(buf), "%5s |%s %s %s |%s %s %s |%s\n", label,
+                m[0], m[1], m[2], p[0], p[1], p[2], ratio);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<StageBreakdown> measured_stages(const TraceSession& session) {
+  const std::vector<SpanEvent> spans = session.spans();
+  std::vector<StageBreakdown> stages;
+  for (const SpanEvent& s : spans) {
+    if (std::strcmp(s.category, "stage") != 0) continue;
+    StageBreakdown b;
+    b.stage = s.arg_name != nullptr ? static_cast<int>(s.arg_value) : 0;
+    b.total_seconds = static_cast<double>(s.end_ns - s.begin_ns) * 1e-9;
+    for (const SpanEvent& c : spans) {
+      if (c.thread != s.thread || c.depth != s.depth + 1) continue;
+      if (c.begin_ns < s.begin_ns || c.end_ns > s.end_ns) continue;
+      const double secs = static_cast<double>(c.end_ns - c.begin_ns) * 1e-9;
+      if (std::strcmp(c.category, "gate_run") == 0) b.gate_seconds += secs;
+      else if (std::strcmp(c.category, "exchange") == 0)
+        b.exchange_seconds += secs;
+      else if (std::strcmp(c.category, "permute") == 0)
+        b.permute_seconds += secs;
+      else if (std::strcmp(c.category, "renumber") == 0)
+        b.renumber_seconds += secs;
+      else if (std::strcmp(c.category, "measure") == 0)
+        b.measure_seconds += secs;
+    }
+    stages.push_back(b);
+  }
+  return stages;
+}
+
+std::vector<StagePrediction> predict_stages(const Circuit& circuit,
+                                            const Schedule& schedule,
+                                            const MachineModel& node,
+                                            const InterconnectModel& net,
+                                            const ReportOptions& options) {
+  const int l = schedule.num_local;
+  const int g = schedule.num_qubits - l;
+  const int ranks = static_cast<int>(index_pow2(g));
+  const double slice_amps = static_cast<double>(index_pow2(l));
+  const double slice_bytes = slice_amps * options.bytes_per_amplitude;
+  // In-process: every rank's sweep runs sequentially on this host. At
+  // scale: ranks run concurrently, one slice per node.
+  const double slice_factor = options.in_process ? ranks : 1;
+
+  std::vector<StagePrediction> out;
+  std::vector<int> prev(schedule.num_qubits);
+  std::iota(prev.begin(), prev.end(), 0);
+  for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
+    const Stage& stage = schedule.stages[si];
+    StagePrediction p;
+    p.stage = static_cast<int>(si);
+
+    const TransitionShape shape = transition_shape(
+        prev, stage.qubit_to_location, l);
+    if (shape.local_sweep) {
+      p.permute_seconds = slice_factor * 2.0 * slice_bytes * 1e-9 /
+                          node.achievable_bw();
+    }
+    if (shape.crossing > 0) {
+      const double kept = slice_bytes /
+                          static_cast<double>(index_pow2(shape.crossing));
+      const double moved_per_rank = slice_bytes - kept;
+      if (options.in_process) {
+        // memcpy through the bounce buffer: ~2 reads + 2 writes of DRAM
+        // per moved byte (a -> bounce -> b plus the reverse), with the
+        // bounce chunk partially cache-resident — call it 3x streaming
+        // traffic over the moved volume, across every rank.
+        p.exchange_seconds = ranks * moved_per_rank * 3.0 * 1e-9 /
+                             node.achievable_bw();
+      } else {
+        p.exchange_seconds =
+            net.chunked_alltoall_seconds(ranks, moved_per_rank);
+      }
+    }
+
+    for (const StageItem& item : stage.items) {
+      p.gate_seconds += slice_factor *
+                        item_seconds(circuit, stage, item, node, l,
+                                     options.bytes_per_amplitude);
+    }
+    out.push_back(p);
+    prev = stage.qubit_to_location;
+  }
+  return out;
+}
+
+std::string run_report(const TraceSession& session, const Circuit& circuit,
+                       const Schedule& schedule, const MachineModel& node,
+                       const InterconnectModel& net,
+                       const ReportOptions& options) {
+  const std::vector<StageBreakdown> measured = measured_stages(session);
+  const std::vector<StagePrediction> predicted =
+      predict_stages(circuit, schedule, node, net, options);
+
+  std::map<int, Cols> measured_by_stage;
+  std::map<int, Cols> predicted_by_stage;
+  for (const StageBreakdown& m : measured) {
+    Cols& c = measured_by_stage[m.stage];
+    c.gate += m.gate_seconds;
+    c.exch += m.exchange_seconds;
+    c.perm += m.permute_seconds;
+  }
+  for (const StagePrediction& p : predicted) {
+    predicted_by_stage[p.stage] =
+        Cols{p.gate_seconds, p.exchange_seconds, p.permute_seconds};
+  }
+
+  char head[200];
+  std::snprintf(head, sizeof(head),
+                "measured vs predicted stage breakdown — machine %s, "
+                "%d rank(s)%s\n",
+                node.name.c_str(),
+                static_cast<int>(
+                    index_pow2(schedule.num_qubits - schedule.num_local)),
+                options.in_process ? " (in-process virtual cluster)" : "");
+  std::string out = head;
+  out += "stage |     measured seconds      |     predicted seconds     "
+         "| meas/pred\n";
+  out += "      |    gate    exch    perm |    gate    exch    perm |\n";
+
+  Cols m_total, p_total;
+  bool any_measured = false, any_predicted = false;
+  std::map<int, std::pair<bool, bool>> stages;
+  for (const auto& [id, cols] : measured_by_stage) {
+    (void)cols;
+    stages[id].first = true;
+  }
+  for (const auto& [id, cols] : predicted_by_stage) {
+    (void)cols;
+    stages[id].second = true;
+  }
+  for (const auto& [id, have] : stages) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d", id);
+    const Cols m = have.first ? measured_by_stage[id] : Cols{};
+    const Cols p = have.second ? predicted_by_stage[id] : Cols{};
+    append_row(out, label, m, have.first, p, have.second);
+    if (have.first) {
+      m_total.gate += m.gate;
+      m_total.exch += m.exch;
+      m_total.perm += m.perm;
+      any_measured = true;
+    }
+    if (have.second) {
+      p_total.gate += p.gate;
+      p_total.exch += p.exch;
+      p_total.perm += p.perm;
+      any_predicted = true;
+    }
+  }
+  append_row(out, "total", m_total, any_measured, p_total, any_predicted);
+  return out;
+}
+
+}  // namespace quasar::obs

@@ -1,0 +1,92 @@
+/// \file report.hpp
+/// \brief Measured-vs-predicted stage reports: joins a TraceSession's
+/// stage spans against the perfmodel predictions.
+///
+/// The paper validates its implementation with per-stage breakdowns of
+/// where time went versus where the model said it would go (Sec. 4,
+/// Fig. 7–10, Table 2). This header produces the same artifact from a
+/// traced run: per stage, the measured gate/exchange/permute seconds
+/// (aggregated from the trace) next to the kernel_model/comm_model
+/// prediction and the ratio — the "why is this stage 1.8x over model?"
+/// table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "perfmodel/comm_model.hpp"
+#include "perfmodel/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar::obs {
+
+/// Measured wall-clock decomposition of one stage span, aggregated from
+/// its direct child spans by category.
+struct StageBreakdown {
+  int stage = 0;
+  double total_seconds = 0.0;     ///< the stage span itself
+  double gate_seconds = 0.0;      ///< "gate_run" children
+  double exchange_seconds = 0.0;  ///< "exchange" children (all-to-alls)
+  double permute_seconds = 0.0;   ///< "permute" children (local sweeps)
+  double renumber_seconds = 0.0;  ///< "renumber" children (zero-volume)
+  double measure_seconds = 0.0;   ///< "measure" children
+  /// Stage time not covered by any categorized child span.
+  double other_seconds() const {
+    const double covered = gate_seconds + exchange_seconds +
+                           permute_seconds + renumber_seconds +
+                           measure_seconds;
+    return total_seconds > covered ? total_seconds - covered : 0.0;
+  }
+};
+
+/// Aggregates the session's "stage" spans (sorted by their stage-index
+/// argument) into per-stage breakdowns. Sessions holding several runs
+/// repeat stage indices; entries appear in span order.
+std::vector<StageBreakdown> measured_stages(const TraceSession& session);
+
+/// Modeled wall-clock decomposition of one stage (and the transition
+/// leading into it).
+struct StagePrediction {
+  int stage = 0;
+  double gate_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  double permute_seconds = 0.0;
+  double total_seconds() const {
+    return gate_seconds + exchange_seconds + permute_seconds;
+  }
+};
+
+/// How the prediction should treat the execution substrate.
+struct ReportOptions {
+  /// In-process virtual cluster (the default): the 2^g ranks execute
+  /// sequentially on one host, so per-node kernel and permute times are
+  /// multiplied by the rank count and the "all-to-all" is modeled as
+  /// host-bandwidth data motion (memcpy through the bounce buffer, ~2
+  /// reads + 2 writes per moved byte) instead of the interconnect model.
+  bool in_process = true;
+  /// Bytes each stored amplitude occupies (16 for the double engine,
+  /// 8 for the fp32 mirror).
+  double bytes_per_amplitude = 16.0;
+};
+
+/// Per-stage predictions with the same decomposition the instrumentation
+/// records: gate time from the kernel model (one sweep per stage item,
+/// matching the distributed executor), exchange/permute from the
+/// transition into the stage. Mirrors run_model's per-stage accounting.
+std::vector<StagePrediction> predict_stages(const Circuit& circuit,
+                                            const Schedule& schedule,
+                                            const MachineModel& node,
+                                            const InterconnectModel& net,
+                                            const ReportOptions& options = {});
+
+/// The human-readable measured-vs-predicted table: one row per stage,
+/// columns for measured/predicted gate, exchange, and permute seconds
+/// plus the measured/predicted ratio, with a totals row. Stages present
+/// in only one of the two sides are reported with the other side blank.
+std::string run_report(const TraceSession& session, const Circuit& circuit,
+                       const Schedule& schedule, const MachineModel& node,
+                       const InterconnectModel& net,
+                       const ReportOptions& options = {});
+
+}  // namespace quasar::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace quasar::obs {
+
+namespace detail {
+std::atomic<TraceSession*> g_session{nullptr};
+}  // namespace detail
+
+namespace {
+
+/// Process-unique session ids let the thread-local buffer cache detect a
+/// new session that happens to reuse a freed session's address.
+std::atomic<std::uint64_t> g_next_session_id{1};
+
+struct ThreadCache {
+  std::uint64_t session_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : start_(std::chrono::steady_clock::now()),
+      id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceSession::~TraceSession() {
+  // Never destroy an installed session out from under the hot path.
+  if (detail::g_session.load(std::memory_order_acquire) == this) {
+    set_global_session(nullptr);
+  }
+}
+
+void set_global_session(TraceSession* session) {
+  detail::g_session.store(session, std::memory_order_release);
+}
+
+TraceSession::ThreadBuffer& TraceSession::thread_buffer() {
+  if (t_cache.session_id == id_) {
+    return *static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  // Slow path: the cache points at another session. Re-find this thread's
+  // buffer (a thread alternating between two live sessions must not
+  // register twice) or create it.
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& existing : buffers_) {
+    if (existing->owner == self) {
+      t_cache.session_id = id_;
+      t_cache.buffer = existing.get();
+      return *existing;
+    }
+  }
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buf = *buffers_.back();
+  buf.index = static_cast<int>(buffers_.size()) - 1;
+  buf.owner = self;
+  t_cache.session_id = id_;
+  t_cache.buffer = &buf;
+  return buf;
+}
+
+std::int64_t TraceSession::begin_span() {
+  ThreadBuffer& buf = thread_buffer();
+  ++buf.depth;
+  return now_ns();
+}
+
+void TraceSession::end_span(const char* category, const char* name,
+                            std::int64_t begin_ns, const char* arg_name,
+                            std::int64_t arg_value) {
+  ThreadBuffer& buf = thread_buffer();
+  SpanEvent event;
+  event.category = category;
+  event.name = name;
+  event.begin_ns = begin_ns;
+  event.end_ns = now_ns();
+  event.thread = buf.index;
+  event.depth = --buf.depth;
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  buf.events.push_back(event);
+}
+
+TraceSession::CounterCell& TraceSession::counter_cell(std::string_view name,
+                                                      bool is_peak) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<CounterCell>()).first;
+    it->second->is_peak = is_peak;
+  }
+  return *it->second;
+}
+
+void TraceSession::add_counter(std::string_view name, std::uint64_t delta) {
+  counter_cell(name, /*is_peak=*/false)
+      .value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void TraceSession::peak_counter(std::string_view name, std::uint64_t value) {
+  std::atomic<std::uint64_t>& cell =
+      counter_cell(name, /*is_peak=*/true).value;
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !cell.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<SpanEvent> TraceSession::spans() const {
+  std::vector<SpanEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.depth < b.depth;  // outer span first on a tie
+            });
+  return all;
+}
+
+std::vector<CounterValue> TraceSession::counters() const {
+  std::vector<CounterValue> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(counters_.size());
+    for (const auto& [name, cell] : counters_) {
+      all.push_back(CounterValue{
+          name, cell->value.load(std::memory_order_relaxed),
+          cell->is_peak});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
+  return all;
+}
+
+int TraceSession::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(buffers_.size());
+}
+
+}  // namespace quasar::obs

@@ -1,0 +1,198 @@
+/// \file trace.hpp
+/// \brief Run-wide tracing and metrics: nested spans + a counter registry.
+///
+/// The paper's contribution is an *accounting* of where a run's time goes
+/// (kernel sweeps, node bandwidth, all-to-alls — Sec. 3.2–3.4, Fig. 7–10).
+/// This layer records that accounting from real executions: a TraceSession
+/// collects nested spans (`run > stage > {gate_run, exchange, permute,
+/// measure}`) into per-thread buffers with steady-clock timestamps, plus a
+/// registry of named monotonic counters that absorbs the scattered
+/// CommStats/BlockRunStats-style tallies. Exporters (trace_export.hpp)
+/// turn a session into chrome://tracing JSON, a flat metrics dump, and a
+/// measured-vs-predicted stage report (obs/report.hpp).
+///
+/// Cost model: instrumentation sites are always compiled in; when no
+/// session is installed every site costs one atomic pointer load and one
+/// branch (measured <1% on stage_sweep_microbench — DESIGN.md §8). When a
+/// session is installed, span recording appends to a buffer owned by the
+/// calling thread (no locks after first touch), and counter increments
+/// are relaxed atomic adds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace quasar::obs {
+
+/// One completed span (a chrome://tracing "X" complete event). `name` and
+/// `category` must be string literals (or otherwise outlive the session);
+/// instrumentation sites always pass literals, which keeps recording
+/// allocation-free.
+struct SpanEvent {
+  const char* category = "";
+  const char* name = "";
+  std::int64_t begin_ns = 0;  ///< steady-clock, relative to session start
+  std::int64_t end_ns = 0;
+  int thread = 0;  ///< per-session thread index (registration order)
+  int depth = 0;   ///< nesting depth on that thread (0 = outermost)
+  /// Optional numeric argument (nullptr arg_name = none), e.g. the stage
+  /// index of a stage span or the byte volume of an exchange.
+  const char* arg_name = nullptr;
+  std::int64_t arg_value = 0;
+};
+
+/// Snapshot of one registry counter.
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+  /// True for high-water-mark counters (merged with max, not +).
+  bool is_peak = false;
+};
+
+/// Collects spans and counters for one traced run. Install with
+/// set_global_session() to activate the instrumentation sites; reading
+/// (spans()/counters()) is meant for after the traced region, though it
+/// is safe against concurrent counter increments.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Nanoseconds since the session was created (steady clock).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Opens a span on the calling thread: returns the begin timestamp and
+  /// increments the thread's nesting depth.
+  std::int64_t begin_span();
+  /// Closes the innermost span on the calling thread and records it.
+  void end_span(const char* category, const char* name, std::int64_t begin_ns,
+                const char* arg_name = nullptr, std::int64_t arg_value = 0);
+
+  /// Adds `delta` to the named monotonic counter (relaxed atomic add;
+  /// safe under concurrent OpenMP increments).
+  void add_counter(std::string_view name, std::uint64_t delta);
+  /// Raises the named high-water-mark counter to at least `value`.
+  void peak_counter(std::string_view name, std::uint64_t value);
+
+  /// All recorded spans, merged across threads, sorted by begin time
+  /// (ties: outer span first). Call after the traced region.
+  std::vector<SpanEvent> spans() const;
+  /// All counters, sorted by name.
+  std::vector<CounterValue> counters() const;
+  /// Number of threads that recorded at least one span.
+  int num_threads() const;
+
+ private:
+  friend class ScopedSpan;
+  struct ThreadBuffer {
+    std::vector<SpanEvent> events;  // appended only by the owning thread
+    std::thread::id owner;
+    int index = 0;
+    int depth = 0;  // current nesting depth, owning thread only
+  };
+  struct CounterCell {
+    std::atomic<std::uint64_t> value{0};
+    bool is_peak = false;
+  };
+
+  /// The calling thread's buffer, registered on first touch.
+  ThreadBuffer& thread_buffer();
+  CounterCell& counter_cell(std::string_view name, bool is_peak);
+
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t id_;  ///< process-unique, distinguishes reused addresses
+
+  mutable std::mutex mutex_;  // guards registration + counter map shape
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::unordered_map<std::string, std::unique_ptr<CounterCell>> counters_;
+};
+
+namespace detail {
+extern std::atomic<TraceSession*> g_session;
+}  // namespace detail
+
+/// Installs `session` as the process-global trace sink (nullptr disables
+/// tracing). The caller keeps ownership and must keep the session alive
+/// until it is uninstalled.
+void set_global_session(TraceSession* session);
+
+/// The installed session, or nullptr when tracing is disabled. This is
+/// the whole hot-path cost of a disabled instrumentation site.
+inline TraceSession* global_session() {
+  return detail::g_session.load(std::memory_order_acquire);
+}
+
+/// True when a session is installed.
+inline bool enabled() { return global_session() != nullptr; }
+
+/// RAII span: records [construction, destruction) on the calling thread
+/// under the session installed at construction time. A no-op (one load +
+/// branch) when tracing is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name)
+      : ScopedSpan(category, name, nullptr, 0) {}
+  ScopedSpan(const char* category, const char* name, const char* arg_name,
+             std::int64_t arg_value)
+      : session_(global_session()), category_(category), name_(name),
+        arg_name_(arg_name), arg_value_(arg_value) {
+    if (session_ != nullptr) begin_ns_ = session_->begin_span();
+  }
+  ~ScopedSpan() {
+    if (session_ != nullptr) {
+      session_->end_span(category_, name_, begin_ns_, arg_name_, arg_value_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Updates the numeric argument before the span closes (e.g. a byte
+  /// count known only at the end of the traced region).
+  void set_arg(const char* arg_name, std::int64_t arg_value) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+
+ private:
+  TraceSession* session_;
+  const char* category_;
+  const char* name_;
+  const char* arg_name_;
+  std::int64_t arg_value_ = 0;
+  std::int64_t begin_ns_ = 0;
+};
+
+/// Adds `delta` to a registry counter of the installed session; no-op
+/// when tracing is disabled.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (TraceSession* s = global_session()) s->add_counter(name, delta);
+}
+
+/// Raises a high-water-mark registry counter; no-op when disabled.
+inline void count_peak(std::string_view name, std::uint64_t value) {
+  if (TraceSession* s = global_session()) s->peak_counter(name, value);
+}
+
+}  // namespace quasar::obs
+
+/// Span macro: `QUASAR_OBS_SPAN("exchange", "alltoall");` traces the
+/// enclosing scope. Optional extra args: (arg_name, arg_value).
+#define QUASAR_OBS_CONCAT_(a, b) a##b
+#define QUASAR_OBS_CONCAT(a, b) QUASAR_OBS_CONCAT_(a, b)
+#define QUASAR_OBS_SPAN(...) \
+  ::quasar::obs::ScopedSpan QUASAR_OBS_CONCAT(quasar_obs_span_, \
+                                              __LINE__)(__VA_ARGS__)

@@ -1,0 +1,376 @@
+#include "obs/trace_export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace quasar::obs {
+
+namespace {
+
+/// JSON string escaping for span/counter names. Instrumentation names are
+/// plain ASCII literals, but the exporter must stay correct for anything.
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-3);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& session) {
+  const std::vector<SpanEvent> spans = session.spans();
+  const std::vector<CounterValue> counters = session.counters();
+  std::string out;
+  out.reserve(128 + 160 * spans.size() + 48 * counters.size());
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& e : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": ";
+    append_escaped(out, e.name);
+    out += ", \"cat\": ";
+    append_escaped(out, e.category);
+    out += ", \"ph\": \"X\", \"ts\": ";
+    append_us(out, e.begin_ns);
+    out += ", \"dur\": ";
+    append_us(out, e.end_ns - e.begin_ns);
+    out += ", \"pid\": 0, \"tid\": " + std::to_string(e.thread);
+    out += ", \"args\": {\"depth\": " + std::to_string(e.depth);
+    if (e.arg_name != nullptr) {
+      out += ", ";
+      append_escaped(out, e.arg_name);
+      out += ": " + std::to_string(e.arg_value);
+    }
+    out += "}}";
+  }
+  // Counters ride along as one metadata-style instant event so a single
+  // file carries the whole run's accounting.
+  if (!counters.empty()) {
+    if (!first) out += ',';
+    out += "\n  {\"name\": \"counters\", \"cat\": \"metrics\", "
+           "\"ph\": \"I\", \"ts\": 0, \"s\": \"g\", \"pid\": 0, "
+           "\"tid\": 0, \"args\": {";
+    bool first_counter = true;
+    for (const CounterValue& c : counters) {
+      if (!first_counter) out += ", ";
+      first_counter = false;
+      append_escaped(out, c.name);
+      out += ": " + std::to_string(c.value);
+    }
+    out += "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string metrics_json(const TraceSession& session) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterValue& c : session.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_escaped(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += "\n  },\n  \"spans\": {";
+
+  struct Aggregate {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+  };
+  std::map<std::string, Aggregate> by_category;
+  for (const SpanEvent& e : session.spans()) {
+    Aggregate& agg = by_category[e.category];
+    ++agg.count;
+    agg.total_ns += e.end_ns - e.begin_ns;
+  }
+  first = true;
+  for (const auto& [category, agg] : by_category) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_escaped(out, category);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  ": {\"count\": %llu, \"seconds\": %.6f}",
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_ns) * 1e-9);
+    out += buf;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void write_file(const std::string& path, std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  QUASAR_CHECK(f != nullptr, "write_file: cannot open output file");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_err = std::fclose(f);
+  QUASAR_CHECK(written == text.size() && close_err == 0,
+               "write_file: short write");
+}
+
+namespace {
+
+/// Recursive-descent strict JSON checker.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    ok_ = value();
+    skip_ws();
+    if (ok_ && pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    if (!ok_ && error != nullptr) *error = error_;
+    return ok_;
+  }
+
+ private:
+  void fail(const std::string& why) {
+    if (ok_) error_ = "offset " + std::to_string(pos_) + ": " + why;
+    ok_ = false;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          fail("bad escape");
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected digit");
+      return false;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("expected fraction digits");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("expected exponent digits");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    if (++depth_ > 256) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    bool result = false;
+    switch (text_[pos_]) {
+      case '{': result = object(); break;
+      case '[': result = array(); break;
+      case '"': result = string(); break;
+      case 't': result = literal("true"); break;
+      case 'f': result = literal("false"); break;
+      case 'n': result = literal("null"); break;
+      default: result = number(); break;
+    }
+    --depth_;
+    return result;
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+EnvTraceGuard::EnvTraceGuard() {
+  const char* path = std::getenv("QUASAR_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  trace_path_ = path;
+  const char* metrics = std::getenv("QUASAR_TRACE_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0') metrics_path_ = metrics;
+  session_ = std::make_unique<TraceSession>();
+  set_global_session(session_.get());
+}
+
+EnvTraceGuard::~EnvTraceGuard() {
+  if (session_ == nullptr) return;
+  set_global_session(nullptr);
+  try {
+    write_file(trace_path_, chrome_trace_json(*session_));
+    if (!metrics_path_.empty()) {
+      write_file(metrics_path_, metrics_json(*session_));
+    }
+    std::fprintf(stderr, "[obs] wrote trace to %s\n", trace_path_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[obs] trace export failed: %s\n", e.what());
+  }
+}
+
+}  // namespace quasar::obs

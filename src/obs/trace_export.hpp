@@ -1,0 +1,60 @@
+/// \file trace_export.hpp
+/// \brief Trace/metrics exporters: chrome://tracing JSON, a flat metrics
+/// dump for CI artifacts, and the QUASAR_TRACE env-variable wiring.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace quasar::obs {
+
+/// Serializes the session as chrome://tracing "JSON object format":
+/// {"traceEvents": [ {"name", "cat", "ph": "X", "ts", "dur", "pid",
+/// "tid", "args": {...}}, ... ], "displayTimeUnit": "ms"}. Load the file
+/// in chrome://tracing or https://ui.perfetto.dev. Timestamps are
+/// microseconds since session start.
+std::string chrome_trace_json(const TraceSession& session);
+
+/// Flat metrics dump: {"counters": {name: value, ...}, "spans": {
+/// "<category>": {"count": N, "seconds": S}, ...}} — the CI-artifact
+/// companion of the chrome trace.
+std::string metrics_json(const TraceSession& session);
+
+/// Writes `text` to `path`; throws quasar::Error on I/O failure.
+void write_file(const std::string& path, std::string_view text);
+
+/// Minimal strict JSON syntax checker (objects, arrays, strings, numbers,
+/// true/false/null; rejects trailing garbage). Used by the tests and the
+/// CI trace checker to validate emitted documents without a JSON
+/// dependency. Returns false and fills `error` (when non-null) with a
+/// byte offset + reason on the first violation.
+bool validate_json(std::string_view text, std::string* error = nullptr);
+
+/// QUASAR_TRACE wiring for examples and benches: when the QUASAR_TRACE
+/// environment variable names a file, the guard installs a fresh global
+/// TraceSession for its lifetime and, on destruction, writes the chrome
+/// trace there plus the flat metrics dump to QUASAR_TRACE_METRICS (when
+/// that is also set). When QUASAR_TRACE is unset the guard does nothing
+/// and tracing stays disabled.
+class EnvTraceGuard {
+ public:
+  EnvTraceGuard();
+  ~EnvTraceGuard();
+  EnvTraceGuard(const EnvTraceGuard&) = delete;
+  EnvTraceGuard& operator=(const EnvTraceGuard&) = delete;
+
+  /// True when QUASAR_TRACE was set and tracing is active.
+  bool active() const { return session_ != nullptr; }
+  /// The installed session (nullptr when inactive).
+  TraceSession* session() { return session_.get(); }
+
+ private:
+  std::unique_ptr<TraceSession> session_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace quasar::obs

@@ -8,6 +8,7 @@
 
 #include "core/bits.hpp"
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
 
 namespace quasar {
@@ -44,7 +45,12 @@ void DistributedSimulator::run(const Circuit& circuit,
   QUASAR_CHECK(schedule.options.build_matrices,
                "run: schedule lacks fused matrices "
                "(ScheduleOptions::build_matrices was false)");
-  for (const Stage& stage : schedule.stages) {
+  QUASAR_OBS_SPAN("run", "distributed_run", "stages",
+                  static_cast<std::int64_t>(schedule.stages.size()));
+  for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
+    const Stage& stage = schedule.stages[si];
+    QUASAR_OBS_SPAN("stage", "stage", "stage",
+                    static_cast<std::int64_t>(si));
     transition(mapping_, stage.qubit_to_location);
     mapping_ = stage.qubit_to_location;
     execute_stage(circuit, stage);
@@ -63,12 +69,15 @@ void DistributedSimulator::execute_stage(const Circuit& circuit,
     if (item.kind == StageItem::Kind::kCluster) {
       const Cluster& cluster = stage.clusters[item.cluster];
       QUASAR_ASSERT(cluster.matrix.has_value());
+      QUASAR_OBS_SPAN("gate_run", "cluster", "width",
+                      static_cast<std::int64_t>(cluster.width()));
       const PreparedGate prepared =
           prepare_gate(*cluster.matrix, cluster.qubits);
       for (int r = 0; r < cluster_.num_ranks(); ++r) {
         apply_gate(cluster_.rank_data(r), l, prepared, options_);
       }
     } else {
+      QUASAR_OBS_SPAN("gate_run", "global_op");
       apply_global_op(circuit.op(item.op), stage);
     }
   }
@@ -305,6 +314,8 @@ Amplitude DistributedSimulator::amplitude(Index program_index) const {
 
 std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
   QUASAR_CHECK(count >= 0, "sample count must be non-negative");
+  QUASAR_OBS_SPAN("measure", "sample", "count",
+                  static_cast<std::int64_t>(count));
   const int l = num_local();
   const Index local_size = cluster_.local_size();
 
@@ -367,6 +378,7 @@ std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
 }
 
 Real DistributedSimulator::entropy() const {
+  QUASAR_OBS_SPAN("measure", "entropy");
   Real total = 0.0;
   const Index size = cluster_.local_size();
   for (int r = 0; r < cluster_.num_ranks(); ++r) {

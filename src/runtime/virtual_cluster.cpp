@@ -12,6 +12,7 @@
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
@@ -61,6 +62,7 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations) {
 
 void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
                                    const std::vector<int>& local_positions) {
+  obs::ScopedSpan span("exchange", "alltoall");
   const int q = static_cast<int>(global_locations.size());
   QUASAR_CHECK(q >= 1 && q <= num_global(),
                "alltoall_swap: need 1..g global locations");
@@ -166,13 +168,17 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
   ++stats_.alltoalls;
   // Each rank keeps one of 2^q blocks and sends the rest — independent of
   // which local positions carry the exchange.
-  stats_.bytes_sent_per_rank +=
-      (local_size() - block) * kBytesPerAmplitude;
+  const std::uint64_t sent = (local_size() - block) * kBytesPerAmplitude;
+  stats_.bytes_sent_per_rank += sent;
   const std::uint64_t bounce_bytes =
       static_cast<std::uint64_t>(threads) * chunk * sizeof(Amplitude);
   if (bounce_bytes > stats_.peak_bounce_bytes) {
     stats_.peak_bounce_bytes = bounce_bytes;
   }
+  span.set_arg("bytes_per_rank", static_cast<std::int64_t>(sent));
+  obs::count("comm.alltoalls");
+  obs::count("comm.bytes_sent_per_rank", sent);
+  obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
 }
 
 void VirtualCluster::local_permute(const std::vector<int>& perm,
@@ -188,6 +194,10 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
     }
   }
   if (plan.identity && !any_phase) return;
+  obs::ScopedSpan span("permute", "local_permute", "bytes",
+                       static_cast<std::int64_t>(num_ranks()) *
+                           static_cast<std::int64_t>(local_size()) *
+                           static_cast<std::int64_t>(kBytesPerAmplitude));
 
   const int threads = options.num_threads > 0 ? options.num_threads
                                               : omp_get_max_threads();
@@ -205,6 +215,10 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
   stats_.local_permutation_bytes +=
       static_cast<std::uint64_t>(num_ranks()) * local_size() *
       kBytesPerAmplitude;
+  obs::count("comm.local_permutation_sweeps");
+  obs::count("comm.local_permutation_bytes",
+             static_cast<std::uint64_t>(num_ranks()) * local_size() *
+                 kBytesPerAmplitude);
   if (!plan.identity) {
     const std::uint64_t brick_bytes =
         index_pow2(plan.brick_bits) * sizeof(Amplitude);
@@ -214,10 +228,12 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
     if (bounce_bytes > stats_.peak_bounce_bytes) {
       stats_.peak_bounce_bytes = bounce_bytes;
     }
+    obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
   }
 }
 
 void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
+  QUASAR_OBS_SPAN("renumber", "renumber_ranks");
   const int g = num_global();
   QUASAR_CHECK(static_cast<int>(perm.size()) == g,
                "renumber_ranks: permutation must cover all global bits");
@@ -235,9 +251,11 @@ void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
   }
   buffers_ = std::move(next);
   ++stats_.rank_renumberings;
+  obs::count("comm.rank_renumberings");
 }
 
 void VirtualCluster::permute_ranks(const std::vector<Index>& source_of) {
+  QUASAR_OBS_SPAN("renumber", "permute_ranks");
   const int ranks = num_ranks();
   QUASAR_CHECK(static_cast<int>(source_of.size()) == ranks,
                "permute_ranks: must cover every rank");
@@ -253,20 +271,24 @@ void VirtualCluster::permute_ranks(const std::vector<Index>& source_of) {
   }
   buffers_ = std::move(next);
   ++stats_.rank_renumberings;
+  obs::count("comm.rank_renumberings");
 }
 
 void VirtualCluster::local_swap(int p, int q, const ApplyOptions& options) {
+  QUASAR_OBS_SPAN("permute", "local_swap");
   QUASAR_CHECK(p >= 0 && p < num_local_ && q >= 0 && q < num_local_,
                "local_swap: locations must be local");
   for (auto& buffer : buffers_) {
     apply_bit_swap(buffer.data(), num_local_, p, q, options.num_threads);
   }
   ++stats_.local_swap_sweeps;
+  obs::count("comm.local_swap_sweeps");
 }
 
 void VirtualCluster::pairwise_global_gate(const GateMatrix& gate,
                                           int location,
                                           const ApplyOptions& options) {
+  QUASAR_OBS_SPAN("exchange", "pairwise_gate");
   (void)options;
   QUASAR_CHECK(gate.num_qubits() == 1,
                "pairwise_global_gate expects a single-qubit gate");
@@ -296,6 +318,8 @@ void VirtualCluster::pairwise_global_gate(const GateMatrix& gate,
   }
   stats_.pairwise_exchanges += 2;
   stats_.bytes_sent_per_rank += 2 * half * kBytesPerAmplitude;
+  obs::count("comm.pairwise_exchanges", 2);
+  obs::count("comm.bytes_sent_per_rank", 2 * half * kBytesPerAmplitude);
 }
 
 Real VirtualCluster::norm_squared() const {

@@ -7,6 +7,7 @@
 #include "kernels/block_apply.hpp"
 #include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
@@ -21,6 +22,8 @@ void run_fused(StateVector& state, const Circuit& circuit,
                "run_fused: schedule lacks fused matrices");
   const Stage& stage = schedule.stages.front();
   const int n = state.num_qubits();
+  QUASAR_OBS_SPAN("run", "fused_run", "items",
+                  static_cast<std::int64_t>(stage.items.size()));
 
   // Realize the stage's qubit mapping: bit-location to[q] must carry
   // program qubit q. perm[j] = old location of the qubit headed to j.
@@ -29,6 +32,7 @@ void run_fused(StateVector& state, const Circuit& circuit,
     identity &= stage.qubit_to_location[q] == q;
   }
   if (!identity) {
+    QUASAR_OBS_SPAN("permute", "layout_permute");
     std::vector<int> perm(n);
     for (Qubit q = 0; q < n; ++q) perm[stage.qubit_to_location[q]] = q;
     apply_fused_bit_permutation(state.data(), n, perm,
@@ -54,6 +58,7 @@ void run_fused(StateVector& state, const Circuit& circuit,
 
   if (!identity) {
     // Permute back to program order: inverse mapping.
+    QUASAR_OBS_SPAN("permute", "layout_permute");
     std::vector<int> inverse(n);
     for (Qubit q = 0; q < n; ++q) inverse[q] = stage.qubit_to_location[q];
     apply_fused_bit_permutation(state.data(), n, inverse,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/bits.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
@@ -41,6 +42,8 @@ Real porter_thomas_entropy(int num_qubits) {
 std::vector<Index> sample_outcomes(const StateVector& state, int count,
                                    Rng& rng) {
   QUASAR_CHECK(count >= 0, "sample count must be non-negative");
+  QUASAR_OBS_SPAN("measure", "sample", "count",
+                  static_cast<std::int64_t>(count));
   // Sorted uniforms + one cumulative pass: O(N + count log count).
   std::vector<Real> thresholds(count);
   for (auto& u : thresholds) u = rng.uniform_real();
@@ -64,6 +67,7 @@ std::vector<Index> sample_outcomes(const StateVector& state, int count,
 }
 
 int measure_qubit(StateVector& state, int bit_location, Rng& rng) {
+  QUASAR_OBS_SPAN("measure", "measure_qubit");
   const Real p1 = probability_of_one(state, bit_location);
   const int outcome = rng.uniform_real() < p1 ? 1 : 0;
   const Real keep = outcome ? p1 : 1.0 - p1;

@@ -1,6 +1,7 @@
 #include "simulator/simulator.hpp"
 
 #include "kernels/block_apply.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
@@ -24,6 +25,8 @@ void Simulator::apply(const GateOp& op) {
 void Simulator::run(const Circuit& circuit) {
   QUASAR_CHECK(circuit.num_qubits() == state_->num_qubits(),
                "Simulator::run: circuit/state qubit count mismatch");
+  QUASAR_OBS_SPAN("run", "simulator_run", "gates",
+                  static_cast<std::int64_t>(circuit.num_gates()));
   // Batched fast path: prepare every op once, then let the blocked
   // executor share DRAM sweeps across runs of low-location gates.
   std::vector<PreparedGate> prepared;

@@ -1,0 +1,442 @@
+/// \file obs_test.cpp
+/// \brief Tracing/metrics layer: span nesting, counter thread-safety,
+/// exporter validity, distributed-run coverage, and the measured-vs-
+/// predicted report.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "circuit/supremacy.hpp"
+#include "core/timing.hpp"
+#include "fp32/distributed_f32.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar {
+namespace {
+
+/// Installs `session` globally for the enclosing scope.
+class SessionGuard {
+ public:
+  explicit SessionGuard(obs::TraceSession& session) {
+    obs::set_global_session(&session);
+  }
+  ~SessionGuard() { obs::set_global_session(nullptr); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceSession, RecordsNestedSpansWithDepthAndContainment) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  {
+    obs::ScopedSpan outer("run", "outer");
+    {
+      obs::ScopedSpan inner("stage", "inner", "stage", 7);
+      QUASAR_OBS_SPAN("gate_run", "leaf");
+    }
+    QUASAR_OBS_SPAN("exchange", "sibling");
+  }
+  const std::vector<obs::SpanEvent> spans = session.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Sorted by begin time, outer-first on ties.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_STREQ(spans[1].arg_name, "stage");
+  EXPECT_EQ(spans[1].arg_value, 7);
+  EXPECT_STREQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_STREQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].depth, 1);
+  for (const obs::SpanEvent& s : spans) {
+    EXPECT_LE(s.begin_ns, s.end_ns);
+    EXPECT_GE(s.begin_ns, spans[0].begin_ns);
+    EXPECT_LE(s.end_ns, spans[0].end_ns);
+    EXPECT_EQ(s.thread, 0);
+  }
+  EXPECT_EQ(session.num_threads(), 1);
+}
+
+TEST(TraceSession, DisabledSitesAreNoOps) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    QUASAR_OBS_SPAN("run", "nobody_listens");
+    obs::count("comm.alltoalls");
+    obs::count_peak("comm.peak_bounce_bytes", 123);
+  }
+  obs::TraceSession session;
+  EXPECT_TRUE(session.spans().empty());
+  EXPECT_TRUE(session.counters().empty());
+}
+
+TEST(TraceSession, SpanCapturesSessionAtConstruction) {
+  // A span that opens while a session is installed must close into that
+  // session even if tracing is disabled in between.
+  obs::TraceSession session;
+  obs::set_global_session(&session);
+  {
+    obs::ScopedSpan span("run", "straddler");
+    obs::set_global_session(nullptr);
+  }
+  ASSERT_EQ(session.spans().size(), 1u);
+  EXPECT_STREQ(session.spans()[0].name, "straddler");
+}
+
+TEST(TraceSession, CountersAggregateUnderOpenMP) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  constexpr int kIters = 20000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < kIters; ++i) {
+    obs::count("test.adds", 2);
+    obs::count_peak("test.peak", static_cast<std::uint64_t>(i));
+  }
+  const std::vector<obs::CounterValue> counters = session.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "test.adds");
+  EXPECT_EQ(counters[0].value, static_cast<std::uint64_t>(kIters) * 2);
+  EXPECT_FALSE(counters[0].is_peak);
+  EXPECT_EQ(counters[1].name, "test.peak");
+  EXPECT_EQ(counters[1].value, static_cast<std::uint64_t>(kIters - 1));
+  EXPECT_TRUE(counters[1].is_peak);
+}
+
+TEST(TraceSession, ThreadsGetDistinctBuffers) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  const int threads = std::min(4, omp_get_max_threads());
+#pragma omp parallel num_threads(threads)
+  {
+    QUASAR_OBS_SPAN("gate_run", "per_thread");
+  }
+  const std::vector<obs::SpanEvent> spans = session.spans();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(threads));
+  std::vector<int> seen;
+  for (const obs::SpanEvent& s : spans) {
+    EXPECT_EQ(s.depth, 0);
+    seen.push_back(s.thread);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_EQ(session.num_threads(), threads);
+}
+
+TEST(TraceExport, ChromeTraceIsValidJsonWithExpectedShape) {
+  obs::TraceSession session;
+  {
+    SessionGuard guard(session);
+    obs::ScopedSpan span("stage", "stage", "stage", 3);
+    obs::count("comm.alltoalls", 5);
+  }
+  const std::string json = obs::chrome_trace_json(session);
+  std::string error;
+  EXPECT_TRUE(obs::validate_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"comm.alltoalls\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TraceExport, MetricsJsonIsValidAndCarriesCountersAndSpans) {
+  obs::TraceSession session;
+  {
+    SessionGuard guard(session);
+    QUASAR_OBS_SPAN("exchange", "alltoall");
+    obs::count("comm.bytes_sent_per_rank", 4096);
+  }
+  const std::string json = obs::metrics_json(session);
+  std::string error;
+  EXPECT_TRUE(obs::validate_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"comm.bytes_sent_per_rank\": 4096"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"exchange\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(TraceExport, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(obs::validate_json("{}"));
+  EXPECT_TRUE(obs::validate_json("[1, 2.5e3, \"a\\n\", true, null]"));
+  EXPECT_FALSE(obs::validate_json(""));
+  EXPECT_FALSE(obs::validate_json("{"));
+  EXPECT_FALSE(obs::validate_json("{\"a\": }"));
+  EXPECT_FALSE(obs::validate_json("[1,]"));
+  EXPECT_FALSE(obs::validate_json("{} trailing"));
+  EXPECT_FALSE(obs::validate_json("\"unterminated"));
+  EXPECT_FALSE(obs::validate_json("01"));
+  std::string error;
+  EXPECT_FALSE(obs::validate_json("nulL", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceExport, EnvTraceGuardWritesFilesOnDestruction) {
+  const std::string trace_path =
+      testing::TempDir() + "quasar_obs_test_trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "quasar_obs_test_metrics.json";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  ASSERT_EQ(setenv("QUASAR_TRACE", trace_path.c_str(), 1), 0);
+  ASSERT_EQ(setenv("QUASAR_TRACE_METRICS", metrics_path.c_str(), 1), 0);
+  {
+    obs::EnvTraceGuard guard;
+    ASSERT_TRUE(guard.active());
+    EXPECT_TRUE(obs::enabled());
+    QUASAR_OBS_SPAN("run", "guarded");
+    obs::count("test.guarded");
+  }
+  EXPECT_FALSE(obs::enabled());
+  unsetenv("QUASAR_TRACE");
+  unsetenv("QUASAR_TRACE_METRICS");
+  const std::string trace = read_file(trace_path);
+  const std::string metrics = read_file(metrics_path);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_FALSE(metrics.empty());
+  std::string error;
+  EXPECT_TRUE(obs::validate_json(trace, &error)) << error;
+  EXPECT_TRUE(obs::validate_json(metrics, &error)) << error;
+  EXPECT_NE(trace.find("\"guarded\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"test.guarded\": 1"), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+/// Expected all-to-alls: transitions whose mapping change moves at least
+/// one qubit across the local/global boundary.
+int expected_exchanges(const Schedule& schedule) {
+  const int l = schedule.num_local;
+  std::vector<int> prev(schedule.num_qubits);
+  std::iota(prev.begin(), prev.end(), 0);
+  int exchanges = 0;
+  for (const Stage& stage : schedule.stages) {
+    bool crossing = false;
+    for (int q = 0; q < schedule.num_qubits; ++q) {
+      crossing |= (prev[q] >= l) != (stage.qubit_to_location[q] >= l);
+    }
+    exchanges += crossing;
+    prev = stage.qubit_to_location;
+  }
+  return exchanges;
+}
+
+TEST(TraceDistributed, OneExchangeSpanPerTransition) {
+  SupremacyOptions options;
+  options.rows = 4;
+  options.cols = 4;
+  options.depth = 20;
+  options.seed = 11;
+  const Circuit circuit = make_supremacy_circuit(options);
+  const int n = 16, l = 12;
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 4;
+  const Schedule schedule = make_schedule(circuit, sched);
+  ASSERT_GT(expected_exchanges(schedule), 0);
+
+  obs::TraceSession session;
+  DistributedSimulator sim(n, l);
+  {
+    SessionGuard guard(session);
+    sim.init_basis(0);
+    sim.run(circuit, schedule);
+  }
+
+  int exchange_spans = 0, stage_spans = 0, run_spans = 0;
+  for (const obs::SpanEvent& s : session.spans()) {
+    if (std::string_view(s.category) == "exchange") ++exchange_spans;
+    if (std::string_view(s.category) == "stage") ++stage_spans;
+    if (std::string_view(s.category) == "run") ++run_spans;
+  }
+  EXPECT_EQ(run_spans, 1);
+  EXPECT_EQ(stage_spans, static_cast<int>(schedule.stages.size()));
+  EXPECT_EQ(exchange_spans, expected_exchanges(schedule));
+  EXPECT_EQ(exchange_spans, static_cast<int>(sim.stats().alltoalls));
+
+  // The registry view must agree with the CommStats tallies.
+  for (const obs::CounterValue& c : session.counters()) {
+    if (c.name == "comm.alltoalls") {
+      EXPECT_EQ(c.value, sim.stats().alltoalls);
+    }
+    if (c.name == "comm.bytes_sent_per_rank") {
+      EXPECT_EQ(c.value, sim.stats().bytes_sent_per_rank);
+    }
+    if (c.name == "comm.local_permutation_sweeps") {
+      EXPECT_EQ(c.value, sim.stats().local_permutation_sweeps);
+    }
+    if (c.name == "comm.peak_bounce_bytes") {
+      EXPECT_EQ(c.value, sim.stats().peak_bounce_bytes);
+    }
+  }
+}
+
+TEST(TraceDistributed, ReportJoinsMeasuredAgainstPredicted) {
+  SupremacyOptions options;
+  options.rows = 4;
+  options.cols = 4;
+  options.depth = 15;
+  options.seed = 5;
+  const Circuit circuit = make_supremacy_circuit(options);
+  ScheduleOptions sched;
+  sched.num_local = 12;
+  sched.kmax = 4;
+  const Schedule schedule = make_schedule(circuit, sched);
+
+  obs::TraceSession session;
+  {
+    SessionGuard guard(session);
+    DistributedSimulator sim(16, 12);
+    sim.init_basis(0);
+    sim.run(circuit, schedule);
+  }
+
+  const std::vector<obs::StageBreakdown> measured =
+      obs::measured_stages(session);
+  ASSERT_EQ(measured.size(), schedule.stages.size());
+  for (const obs::StageBreakdown& b : measured) {
+    EXPECT_GT(b.total_seconds, 0.0);
+    EXPECT_LE(b.gate_seconds + b.exchange_seconds + b.permute_seconds +
+                  b.renumber_seconds + b.measure_seconds,
+              b.total_seconds + 1e-9);
+  }
+
+  const std::vector<obs::StagePrediction> predicted = obs::predict_stages(
+      circuit, schedule, host_machine(), aries_dragonfly());
+  ASSERT_EQ(predicted.size(), schedule.stages.size());
+  double predicted_gate = 0.0;
+  for (const obs::StagePrediction& p : predicted) {
+    predicted_gate += p.gate_seconds;
+  }
+  EXPECT_GT(predicted_gate, 0.0);
+
+  const std::string report =
+      obs::run_report(session, circuit, schedule, host_machine(),
+                      aries_dragonfly());
+  EXPECT_NE(report.find("measured vs predicted"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+  EXPECT_NE(report.find("meas/pred"), std::string::npos);
+}
+
+TEST(TraceDistributed, Fp32MirrorEmitsSpansAndTracksPermutePeak) {
+  SupremacyOptions options;
+  options.rows = 4;
+  options.cols = 3;
+  options.depth = 16;
+  options.seed = 9;
+  const Circuit circuit = make_supremacy_circuit(options);
+  const int n = 12, l = 9;
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 3;
+  const Schedule schedule = make_schedule(circuit, sched);
+
+  obs::TraceSession session;
+  DistributedSimulatorF sim(n, l);
+  {
+    SessionGuard guard(session);
+    sim.init_basis(0);
+    sim.run(circuit, schedule);
+  }
+
+  int exchange_spans = 0, stage_spans = 0, permute_spans = 0;
+  for (const obs::SpanEvent& s : session.spans()) {
+    if (std::string_view(s.category) == "exchange") ++exchange_spans;
+    if (std::string_view(s.category) == "stage") ++stage_spans;
+    if (std::string_view(s.category) == "permute") ++permute_spans;
+  }
+  EXPECT_EQ(stage_spans, static_cast<int>(schedule.stages.size()));
+  EXPECT_EQ(exchange_spans, static_cast<int>(sim.stats().alltoalls));
+  EXPECT_EQ(permute_spans,
+            static_cast<int>(sim.stats().local_permutation_sweeps));
+
+  // The fp32 permutation sweep must feed the peak-bounce accounting
+  // (it used to be dropped — only the all-to-all updated the peak).
+  if (sim.stats().local_permutation_sweeps > 0) {
+    EXPECT_GT(sim.stats().peak_bounce_bytes, 0u);
+  }
+  for (const obs::CounterValue& c : session.counters()) {
+    if (c.name == "comm.peak_bounce_bytes") {
+      EXPECT_EQ(c.value, sim.stats().peak_bounce_bytes);
+      EXPECT_TRUE(c.is_peak);
+    }
+    if (c.name == "comm.alltoalls") {
+      EXPECT_EQ(c.value, sim.stats().alltoalls);
+    }
+  }
+}
+
+TEST(CommStatsAggregation, OperatorPlusEqualsSumsAndMaxesPeak) {
+  CommStats a;
+  a.alltoalls = 3;
+  a.pairwise_exchanges = 1;
+  a.bytes_sent_per_rank = 100;
+  a.local_swap_sweeps = 2;
+  a.local_permutation_sweeps = 4;
+  a.local_permutation_bytes = 1000;
+  a.peak_bounce_bytes = 512;
+  a.rank_renumberings = 5;
+  CommStats b;
+  b.alltoalls = 7;
+  b.pairwise_exchanges = 2;
+  b.bytes_sent_per_rank = 50;
+  b.local_swap_sweeps = 1;
+  b.local_permutation_sweeps = 6;
+  b.local_permutation_bytes = 500;
+  b.peak_bounce_bytes = 256;  // smaller: must NOT shrink the peak
+  b.rank_renumberings = 1;
+  a += b;
+  EXPECT_EQ(a.alltoalls, 10u);
+  EXPECT_EQ(a.pairwise_exchanges, 3u);
+  EXPECT_EQ(a.bytes_sent_per_rank, 150u);
+  EXPECT_EQ(a.local_swap_sweeps, 3u);
+  EXPECT_EQ(a.local_permutation_sweeps, 10u);
+  EXPECT_EQ(a.local_permutation_bytes, 1500u);
+  EXPECT_EQ(a.peak_bounce_bytes, 512u);  // max, not sum
+  EXPECT_EQ(a.rank_renumberings, 6u);
+  CommStats c;
+  c.peak_bounce_bytes = 2048;
+  a += c;
+  EXPECT_EQ(a.peak_bounce_bytes, 2048u);  // larger peak wins
+}
+
+TEST(TimingStats, FixedRepVariantReportsBestMeanStddev) {
+  int calls = 0;
+  const TimingStats one = time_stats_n([&] { ++calls; }, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(one.reps, 1);
+  EXPECT_DOUBLE_EQ(one.best, one.mean);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+
+  calls = 0;
+  const TimingStats many = time_stats_n([&] { ++calls; }, 8);
+  EXPECT_EQ(calls, 8);
+  EXPECT_EQ(many.reps, 8);
+  EXPECT_GE(many.mean, many.best);
+  EXPECT_GE(many.stddev, 0.0);
+
+  const TimingStats timed = time_stats([] {}, 0.001);
+  EXPECT_GE(timed.reps, 1);
+  EXPECT_GE(timed.mean, timed.best);
+}
+
+}  // namespace
+}  // namespace quasar
