@@ -11,6 +11,8 @@
 #include <cstdlib>
 
 #include "circuit/supremacy.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_export.hpp"
 #include "perfmodel/machine.hpp"
@@ -22,7 +24,14 @@ namespace {
 
 int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
-  return value != nullptr && *value != '\0' ? std::atoi(value) : fallback;
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return quasar::parse_int(value, name);
+  } catch (const quasar::Error& e) {
+    // A typo'd override must not silently become atoi's 0.
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
 }
 
 }  // namespace

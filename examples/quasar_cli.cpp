@@ -18,6 +18,7 @@
 #include "circuit/analysis.hpp"
 #include "circuit/io.hpp"
 #include "circuit/supremacy.hpp"
+#include "core/parse.hpp"
 #include "sched/schedule_io.hpp"
 #include "core/timing.hpp"
 #include "fp32/simulator_f32.hpp"
@@ -52,7 +53,11 @@ class Args {
   bool has(const std::string& key) const { return values_.count(key) > 0; }
   int get_int(const std::string& key, int fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoi(it->second);
+    if (it == values_.end()) return fallback;
+    // Strict parse: "--local 12x" or "--seed banana" must fail with a
+    // quasar::Error naming the flag, not escape as std::invalid_argument
+    // or silently truncate.
+    return parse_int(it->second, "option --" + key);
   }
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "circuit/circuit.hpp"
+#include "core/parse.hpp"
 #include "core/rng.hpp"
 #include "obs/trace_export.hpp"
 #include "simulator/measure.hpp"
@@ -18,8 +19,17 @@ int main(int argc, char** argv) {
   using namespace quasar;
   // QUASAR_TRACE=<path> dumps a chrome://tracing timeline of the run.
   obs::EnvTraceGuard trace_guard;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
-  if (n < 2 || n > 26) {
+  int n = 4;
+  if (argc > 1) {
+    try {
+      n = parse_int_in_range(argv[1], 2, 26, "num_qubits");
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\nusage: %s [num_qubits in 2..26]\n", e.what(),
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (argc > 2) {
     std::fprintf(stderr, "usage: %s [num_qubits in 2..26]\n", argv[0]);
     return 1;
   }

@@ -9,6 +9,8 @@
 
 #include "circuit/analysis.hpp"
 #include "circuit/supremacy.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
 #include "sched/report.hpp"
 
 namespace {
@@ -41,12 +43,32 @@ void print_pattern(int pattern, int rows, int cols) {
 int main(int argc, char** argv) {
   using namespace quasar;
   SupremacyOptions options;
-  options.rows = argc > 2 ? std::atoi(argv[1]) : 4;
-  options.cols = argc > 2 ? std::atoi(argv[2]) : 4;
-  options.depth = argc > 3 ? std::atoi(argv[3]) : 16;
   options.seed = 0;
+  int num_local = 0;
+  // Per-position guards: a single "rows" argument is honored instead of
+  // being silently dropped (the old guard read argv[1] only when a
+  // second argument existed).
+  try {
+    options.rows = argc > 1 ? parse_int_in_range(argv[1], 1, 64, "rows") : 4;
+    options.cols = argc > 2 ? parse_int_in_range(argv[2], 1, 64, "cols") : 4;
+    options.depth =
+        argc > 3 ? parse_int_in_range(argv[3], 1, 10000, "depth") : 16;
+    const int qubits = options.rows * options.cols;
+    num_local = argc > 4
+                    ? parse_int_in_range(argv[4], 1, qubits, "num_local")
+                    : (qubits * 3) / 4;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "usage: %s [rows [cols [depth [num_local]]]]\n",
+                 argv[0]);
+    return 1;
+  }
   const int n = options.rows * options.cols;
-  const int num_local = argc > 4 ? std::atoi(argv[4]) : (n * 3) / 4;
+  if (argc > 5 || num_local < 1 || num_local > n) {
+    std::fprintf(stderr, "usage: %s [rows [cols [depth [num_local]]]]\n",
+                 argv[0]);
+    return 1;
+  }
 
   std::printf("=== Fig. 1: the eight CZ patterns on a %dx%d grid ===\n\n",
               options.rows, options.cols);

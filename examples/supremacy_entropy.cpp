@@ -15,6 +15,7 @@
 
 #include "circuit/analysis.hpp"
 #include "circuit/supremacy.hpp"
+#include "core/parse.hpp"
 #include "core/timing.hpp"
 #include "perfmodel/run_model.hpp"
 #include "runtime/distributed.hpp"
@@ -24,17 +25,33 @@
 int main(int argc, char** argv) {
   using namespace quasar;
   SupremacyOptions options;
-  options.rows = argc > 2 ? std::atoi(argv[1]) : 5;
-  options.cols = argc > 2 ? std::atoi(argv[2]) : 4;
-  options.depth = argc > 3 ? std::atoi(argv[3]) : 25;
   options.seed = 1;
   options.initial_hadamards = false;  // Sec. 3.6: start from the uniform state
+  int num_local = 0;
+  // Each argument guards on its own position: ./supremacy_entropy 6 also
+  // works (it used to be silently ignored — rows was read only once a
+  // second argument was present).
+  try {
+    options.rows = argc > 1 ? parse_int_in_range(argv[1], 1, 26, "rows") : 5;
+    options.cols = argc > 2 ? parse_int_in_range(argv[2], 1, 26, "cols") : 4;
+    options.depth =
+        argc > 3 ? parse_int_in_range(argv[3], 1, 10000, "depth") : 25;
+    const int qubits = options.rows * options.cols;
+    num_local = argc > 4
+                    ? parse_int_in_range(argv[4], 1, qubits, "num_local")
+                    : qubits - 4;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "usage: %s [rows [cols [depth [num_local]]]]\n",
+                 argv[0]);
+    return 1;
+  }
   const int n = options.rows * options.cols;
-  const int num_local = argc > 4 ? std::atoi(argv[4]) : n - 4;
-  if (n > 26 || num_local < 1 || num_local > n || n - num_local > num_local) {
+  if (argc > 5 || n > 26 || num_local < 1 || num_local > n ||
+      n - num_local > num_local) {
     std::fprintf(stderr,
-                 "usage: %s [rows cols depth [num_local]]  (rows*cols <= 26, "
-                 "g <= l)\n",
+                 "usage: %s [rows [cols [depth [num_local]]]]  "
+                 "(rows*cols <= 26, g <= l)\n",
                  argv[0]);
     return 1;
   }

@@ -1,0 +1,424 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "check/invariant.hpp"
+#include "circuit/io.hpp"
+#include "core/rng.hpp"
+#include "fp32/distributed_f32.hpp"
+#include "fp32/simulator_f32.hpp"
+#include "fp32/statevector_f32.hpp"
+#include "gates/standard.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/executor.hpp"
+#include "sched/schedule.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/reference.hpp"
+#include "simulator/simulator.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar::check {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Distributed geometries (global qubit counts g) fuzzed for an n-qubit
+/// circuit. g = 1 exercises the single-boundary case, g = 2 the common
+/// multi-rank shape, g = n/2 the extreme where half the qubits live in
+/// the rank index (the constraint is g <= l, i.e. g <= n/2).
+std::vector<int> fuzz_geometries(int n) {
+  std::vector<int> gs;
+  for (int g : {1, 2, n / 2}) {
+    if (g >= 1 && g <= n - g &&
+        std::find(gs.begin(), gs.end(), g) == gs.end()) {
+      gs.push_back(g);
+    }
+  }
+  return gs;
+}
+
+std::string engine_threw(const std::exception& e) {
+  return std::string("engine threw: ") + e.what();
+}
+
+/// Max-|diff| comparison against the reference oracle. Works for both
+/// StateVector and StateVectorF (float amplitudes widen losslessly to
+/// double). Empty string means agreement within tol.
+template <typename State>
+std::string compare_states(const StateVector& ref, const State& got,
+                           Real tol) {
+  Real worst = 0.0;
+  Index worst_index = 0;
+  for (Index i = 0; i < ref.size(); ++i) {
+    const Amplitude g(got[i]);
+    const Real diff = std::abs(ref[i] - g);
+    if (diff > worst) {
+      worst = diff;
+      worst_index = i;
+    }
+  }
+  if (worst <= tol) return {};
+  std::ostringstream os;
+  const Amplitude g(got[worst_index]);
+  os << std::setprecision(17) << "amplitude[" << worst_index
+     << "]: reference (" << ref[worst_index].real() << ", "
+     << ref[worst_index].imag() << ") vs (" << g.real() << ", " << g.imag()
+     << "), |diff| = " << worst << " > tol = " << tol;
+  return os.str();
+}
+
+std::string compare_samples(const std::vector<Index>& want,
+                            const std::vector<Index>& got) {
+  if (want == got) return {};
+  std::ostringstream os;
+  if (want.size() != got.size()) {
+    os << "sample count " << got.size() << " != " << want.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i] != got[i]) {
+      os << "sample[" << i << "]: sample_outcomes(gather) drew " << want[i]
+         << " but DistributedSimulator::sample drew " << got[i]
+         << " (same-seed draws must agree exactly)";
+      break;
+    }
+  }
+  return os.str();
+}
+
+/// Circuit without gates [first, last) — the minimizer's deletion step.
+Circuit erase_gate_range(const Circuit& circuit, std::size_t first,
+                         std::size_t last) {
+  Circuit out(circuit.num_qubits());
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    if (i < first || i >= last) out.append_op(circuit.op(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit random_circuit(std::uint64_t seed, const FuzzOptions& options) {
+  Rng rng(seed);
+  const int span_q = options.max_qubits - options.min_qubits + 1;
+  const int n =
+      options.min_qubits + static_cast<int>(rng.uniform_int(span_q));
+  const int span_g = options.max_gates - options.min_gates + 1;
+  const int target =
+      options.min_gates + static_cast<int>(rng.uniform_int(span_g));
+
+  Circuit circuit(n);
+
+  // Half the qubit draws come from the top band [n-4, n): those are the
+  // qubits that straddle (or sit beyond) the local/global boundary for
+  // every fuzzed geometry, where transition scheduling, rank renumbering,
+  // and deferred phases all live.
+  auto pick_qubit = [&]() -> Qubit {
+    if (n > 4 && rng.uniform_real() < 0.5) {
+      return static_cast<Qubit>(n - 1 -
+                                static_cast<int>(rng.uniform_int(4)));
+    }
+    return static_cast<Qubit>(rng.uniform_int(n));
+  };
+  auto pick_distinct = [&](Qubit a) -> Qubit {
+    Qubit b = a;
+    while (b == a) b = pick_qubit();
+    return b;
+  };
+  // Mostly arbitrary angles; sometimes exact multiples of pi/4 so the
+  // diagonal-merge and phase-folding paths see the T/S/Z special values
+  // through the generic parameterized entry points too.
+  auto pick_angle = [&]() -> Real {
+    if (rng.uniform_real() < 0.2) {
+      return static_cast<Real>(rng.uniform_int(8)) * (kPi / 4.0);
+    }
+    return (2.0 * rng.uniform_real() - 1.0) * 2.0 * kPi;
+  };
+
+  // Openers: spread amplitude so diagonal gates act on superpositions
+  // (on a bare basis state most diagonals are global phases and cannot
+  // distinguish a buggy engine from a correct one).
+  for (int q = 0; q < n; ++q) {
+    if (rng.uniform_real() < 0.5) circuit.h(static_cast<Qubit>(q));
+  }
+
+  while (static_cast<int>(circuit.num_gates()) < target) {
+    const double roll = rng.uniform_real();
+    if (roll < 0.25) {
+      // Adversarial shape 1: a run of consecutive diagonal gates, the
+      // food of merge_diagonal_gates and the global-op phase folding.
+      const int len = 2 + static_cast<int>(rng.uniform_int(5));
+      for (int i = 0; i < len; ++i) {
+        const Qubit q = pick_qubit();
+        switch (rng.uniform_int(6)) {
+          case 0: circuit.t(q); break;
+          case 1: circuit.s(q); break;
+          case 2: circuit.z(q); break;
+          case 3: circuit.rz(q, pick_angle()); break;
+          case 4: circuit.phase(q, pick_angle()); break;
+          default:
+            if (rng.uniform_real() < 0.5) {
+              circuit.cz(q, pick_distinct(q));
+            } else {
+              circuit.cphase(q, pick_distinct(q), pick_angle());
+            }
+            break;
+        }
+      }
+    } else if (roll < 0.35) {
+      // Adversarial shape 2: custom U<k> matrices — no standard-gate
+      // fast path, no shared registry matrix, exercised as raw data.
+      const Qubit q = pick_qubit();
+      if (rng.uniform_real() < 0.5) {
+        circuit.append_custom({q}, gates::random_su2(rng));
+      } else {
+        GateMatrix m = gates::random_su2(rng).kron(gates::random_su2(rng));
+        if (rng.uniform_real() < 0.5) m = m * gates::cz();  // entangling
+        circuit.append_custom({q, pick_distinct(q)}, std::move(m));
+      }
+    } else if (roll < 0.55) {
+      // Adversarial shape 3: parameterized gates at arbitrary angles.
+      const Qubit q = pick_qubit();
+      switch (rng.uniform_int(5)) {
+        case 0: circuit.rx(q, pick_angle()); break;
+        case 1: circuit.ry(q, pick_angle()); break;
+        case 2: circuit.rz(q, pick_angle()); break;
+        case 3: circuit.phase(q, pick_angle()); break;
+        default: circuit.cphase(q, pick_distinct(q), pick_angle()); break;
+      }
+    } else if (roll < 0.85) {
+      static constexpr GateKind kSingle[] = {
+          GateKind::kH,   GateKind::kX,   GateKind::kY,    GateKind::kZ,
+          GateKind::kT,   GateKind::kTdg, GateKind::kS,    GateKind::kSdg,
+          GateKind::kSqrtX, GateKind::kSqrtY};
+      circuit.append_standard(kSingle[rng.uniform_int(10)], {pick_qubit()});
+    } else {
+      static constexpr GateKind kDouble[] = {GateKind::kCZ, GateKind::kCNot,
+                                             GateKind::kSwap};
+      const Qubit q = pick_qubit();
+      circuit.append_standard(kDouble[rng.uniform_int(3)],
+                              {q, pick_distinct(q)});
+    }
+  }
+  return circuit;
+}
+
+std::optional<Mismatch> run_differential(const Circuit& circuit,
+                                         std::uint64_t seed,
+                                         const FuzzOptions& options) {
+  const int n = circuit.num_qubits();
+  const std::size_t ops = circuit.num_gates();
+
+  // Oracle: the brute-force reference shares no kernel code with the
+  // engines under test. Let it propagate exceptions — a throwing oracle
+  // means the harness itself produced an invalid circuit.
+  StateVector reference(n);
+  reference_run(reference, circuit);
+
+  auto fail = [&](std::string engine, std::string detail) {
+    Mismatch m;
+    m.seed = seed;
+    m.engine_a = "reference";
+    m.engine_b = std::move(engine);
+    m.detail = std::move(detail);
+    m.circuit = circuit;
+    return m;
+  };
+
+  const Real tol64 = state_tolerance(n, ops, kEps64);
+
+  // --- plain Simulator (optionally corrupted for the self-test) -------
+  {
+    Circuit run_me(n);
+    run_me.extend(circuit);
+    if (options.corrupt_simulator) options.corrupt_simulator(run_me);
+    StateVector state(n);
+    try {
+      Simulator(state).run(run_me);
+    } catch (const std::exception& e) {
+      return fail("simulator", engine_threw(e));
+    }
+    if (auto d = compare_states(reference, state, tol64); !d.empty()) {
+      return fail("simulator", std::move(d));
+    }
+  }
+
+  // --- fused + blocked (layout permute, cluster fusion) ---------------
+  {
+    StateVector state(n);
+    try {
+      run_fused(state, circuit);
+    } catch (const std::exception& e) {
+      return fail("fused", engine_threw(e));
+    }
+    if (auto d = compare_states(reference, state, tol64); !d.empty()) {
+      return fail("fused", std::move(d));
+    }
+  }
+
+  // --- distributed, several geometries ---------------------------------
+  for (int g : fuzz_geometries(n)) {
+    const int l = n - g;
+    std::ostringstream name;
+    name << "distributed(l=" << l << ",ranks=" << (1 << g) << ")";
+    DistributedSimulator sim(n, l);
+    sim.init_basis(0);
+    ScheduleOptions sched;
+    sched.num_local = l;
+    sched.kmax = std::min(sched.kmax, l);  // kmax <= num_local precondition
+    // Exercise the cache-layout qubit mapping on one geometry so stage
+    // mappings differ from identity.
+    sched.qubit_mapping = (g == 2);
+    try {
+      sim.run(circuit, sched);
+    } catch (const std::exception& e) {
+      return fail(name.str(), engine_threw(e));
+    }
+    const StateVector gathered = sim.gather();
+    if (auto d = compare_states(reference, gathered, tol64); !d.empty()) {
+      return fail(name.str(), std::move(d));
+    }
+    if (options.samples > 0) {
+      // Exact parity: same seed, same draws. DistributedSimulator::sample
+      // promises bit-for-bit agreement with sample_outcomes on the
+      // gathered state, not just statistical agreement.
+      const std::uint64_t sample_seed =
+          seed ^ (0x9E3779B97F4A7C15ull +
+                  static_cast<std::uint64_t>(g) * 0xBF58476D1CE4E5B9ull);
+      Rng rng_single(sample_seed);
+      Rng rng_dist(sample_seed);
+      const auto want =
+          sample_outcomes(gathered, options.samples, rng_single);
+      const auto got = sim.sample(options.samples, rng_dist);
+      if (auto d = compare_samples(want, got); !d.empty()) {
+        return fail(name.str() + " sampling", std::move(d));
+      }
+    }
+  }
+
+  // --- fp32 engines -----------------------------------------------------
+  if (options.fp32) {
+    const Real tol32 = state_tolerance(n, ops, kEps32);
+    {
+      StateVectorF state(n);
+      try {
+        SimulatorF(state).run(circuit);
+      } catch (const std::exception& e) {
+        return fail("fp32", engine_threw(e));
+      }
+      if (auto d = compare_states(reference, state, tol32); !d.empty()) {
+        return fail("fp32", std::move(d));
+      }
+    }
+    const int g = std::min(2, n / 2);
+    if (g >= 1) {
+      const int l = n - g;
+      std::ostringstream name;
+      name << "fp32-distributed(l=" << l << ",ranks=" << (1 << g) << ")";
+      DistributedSimulatorF sim(n, l);
+      sim.init_basis(0);
+      ScheduleOptions sched;
+      sched.num_local = l;
+      sched.kmax = std::min(sched.kmax, l);
+      try {
+        sim.run(circuit, make_schedule(circuit, sched));
+      } catch (const std::exception& e) {
+        return fail(name.str(), engine_threw(e));
+      }
+      if (auto d = compare_states(reference, sim.gather(), tol32);
+          !d.empty()) {
+        return fail(name.str(), std::move(d));
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+Circuit minimize_circuit(const Circuit& circuit, std::uint64_t seed,
+                         const FuzzOptions& options) {
+  auto still_fails = [&](const Circuit& candidate) {
+    return run_differential(candidate, seed, options).has_value();
+  };
+
+  // ddmin-style greedy deletion: try dropping contiguous chunks, halving
+  // the chunk size down to single gates, looping at size one until a
+  // fixpoint. Every accepted deletion keeps the mismatch alive, so the
+  // result still reproduces the original failure.
+  Circuit current(circuit.num_qubits());
+  current.extend(circuit);
+  std::size_t chunk = std::max<std::size_t>(1, current.num_gates() / 2);
+  for (;;) {
+    bool removed = false;
+    for (std::size_t start = 0; start < current.num_gates();) {
+      if (current.num_gates() <= 1) break;
+      const std::size_t stop = std::min(start + chunk, current.num_gates());
+      Circuit candidate = erase_gate_range(current, start, stop);
+      if (candidate.num_gates() > 0 && still_fails(candidate)) {
+        current = std::move(candidate);
+        removed = true;  // same start now points at the next chunk
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk > 1) {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    } else if (!removed) {
+      break;  // single-gate fixpoint: nothing more can go
+    }
+  }
+  return current;
+}
+
+std::string format_reproducer(const Mismatch& mismatch) {
+  std::ostringstream os;
+  os << "=== quasar fuzz mismatch ===\n"
+     << "seed:    " << mismatch.seed << "\n"
+     << "engines: " << mismatch.engine_a << " vs " << mismatch.engine_b
+     << "\n"
+     << "detail:  " << mismatch.detail << "\n"
+     << "circuit (" << mismatch.circuit.num_gates() << " gates):\n"
+     << circuit_to_string(mismatch.circuit)
+     << "replay: feed this circuit text to check::run_differential with "
+        "the seed above\n";
+  return os.str();
+}
+
+FuzzReport run_fuzz(std::uint64_t first_seed, int num_seeds,
+                    const FuzzOptions& options, std::ostream* log) {
+  FuzzReport report;
+  for (int i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    const Circuit circuit = random_circuit(seed, options);
+    std::optional<Mismatch> mismatch =
+        run_differential(circuit, seed, options);
+    if (mismatch) {
+      if (options.minimize) {
+        mismatch->circuit =
+            minimize_circuit(mismatch->circuit, seed, options);
+        // Re-derive the detail line for the minimized circuit (the
+        // worst-amplitude index usually moves as gates disappear).
+        if (auto re = run_differential(mismatch->circuit, seed, options)) {
+          mismatch->engine_b = std::move(re->engine_b);
+          mismatch->detail = std::move(re->detail);
+        }
+      }
+      if (log != nullptr) *log << format_reproducer(*mismatch) << std::endl;
+      report.mismatches.push_back(std::move(*mismatch));
+    }
+    ++report.seeds_run;
+  }
+  if (log != nullptr) {
+    *log << "fuzz: " << report.seeds_run << " seeds, "
+         << report.mismatches.size() << " mismatch(es)\n";
+  }
+  return report;
+}
+
+}  // namespace quasar::check

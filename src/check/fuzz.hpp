@@ -1,0 +1,116 @@
+/// \file fuzz.hpp
+/// \brief Differential fuzzing across every simulation engine.
+///
+/// The repo ships five independent ways to run the same circuit: the
+/// brute-force reference (the oracle), the plain Simulator, fused+blocked
+/// execution (run_fused), the distributed engine over several
+/// (num_local, ranks) geometries, and the fp32 engines. Any disagreement
+/// beyond the floating-point tolerance models of invariant.hpp is a bug
+/// in exactly one of them — the differential harness hunts for such
+/// disagreements with seed-driven random circuits biased toward the
+/// shapes that have historically broken engines:
+///
+///   * qubits straddling the local/global boundary of the distributed
+///     geometries (transition scheduling, deferred phases),
+///   * long runs of diagonal gates (merge_diagonal_gates, global-op
+///     phase folding),
+///   * custom U<k> matrices (no standard-gate fast path to hide behind),
+///   * parameterized gates at arbitrary angles (serialization and
+///     matrix-construction parity).
+///
+/// On a mismatch the harness prints a self-contained reproducer (seed +
+/// circuit text) and greedily minimizes it by gate-bisection so the
+/// failing circuit is as small as the bug allows.
+///
+/// Everything is deterministic in the seed: the same seed always yields
+/// the same circuit, the same engine schedule, and the same sample draws,
+/// so a reproducer line from CI replays locally bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace quasar::check {
+
+/// Knobs for circuit generation and engine comparison.
+struct FuzzOptions {
+  /// Generated circuit width range. The reference oracle is O(4^n) per
+  /// two-qubit gate, so keep the ceiling small; 9 qubits already covers
+  /// every distributed geometry shape (g up to n/2).
+  int min_qubits = 4;
+  int max_qubits = 9;
+  /// Generated gate-count range.
+  int min_gates = 8;
+  int max_gates = 48;
+  /// Sampling-parity draws per distributed geometry (0 disables the
+  /// sampling comparison).
+  int samples = 24;
+  /// Include the fp32 engines (SimulatorF, DistributedSimulatorF).
+  bool fp32 = true;
+  /// Gate-bisection minimization of failing circuits inside run_fuzz.
+  bool minimize = true;
+  /// Optional corruption applied to the circuit seen by the plain
+  /// Simulator engine only — simulates a kernel bug for the harness
+  /// self-test (e.g. flip every T into Tdg and check the harness
+  /// catches and minimizes it). Never set in real fuzzing.
+  std::function<void(Circuit&)> corrupt_simulator;
+};
+
+/// One engine disagreement. `circuit` is the failing circuit (already
+/// minimized when produced by run_fuzz with options.minimize).
+struct Mismatch {
+  std::uint64_t seed = 0;
+  std::string engine_a;  ///< the agreeing baseline (usually "reference")
+  std::string engine_b;  ///< the engine that disagreed
+  std::string detail;    ///< what differed, where, and by how much
+  Circuit circuit{1};
+};
+
+/// Aggregate result of a fuzzing run.
+struct FuzzReport {
+  int seeds_run = 0;
+  std::vector<Mismatch> mismatches;
+};
+
+/// Generates the seed's random circuit (deterministic in seed+options).
+Circuit random_circuit(std::uint64_t seed, const FuzzOptions& options = {});
+
+/// Runs `circuit` through every engine and compares all of them against
+/// the brute-force reference under the invariant.hpp tolerance models,
+/// plus the exact sampling-parity check (same-seed sample_outcomes on
+/// the gathered state vs DistributedSimulator::sample must agree
+/// bit-for-bit). Returns the first mismatch, or nullopt if every engine
+/// agrees. An engine that throws is reported as a mismatch too — with
+/// QUASAR_VALIDATE=1 this surfaces invariant-guard trips under the same
+/// reproducer machinery.
+std::optional<Mismatch> run_differential(const Circuit& circuit,
+                                         std::uint64_t seed,
+                                         const FuzzOptions& options = {});
+
+/// Greedy gate-bisection minimization: repeatedly deletes contiguous gate
+/// chunks (halving the chunk size down to single gates) while
+/// run_differential still reports a mismatch. Returns the smallest
+/// still-failing circuit found. Precondition: `circuit` currently fails.
+Circuit minimize_circuit(const Circuit& circuit, std::uint64_t seed,
+                         const FuzzOptions& options = {});
+
+/// Self-contained reproducer: seed, engine pair, failure detail, and the
+/// circuit in the text format of circuit/io.hpp (kind- and
+/// parameter-preserving, so the replay is exact).
+std::string format_reproducer(const Mismatch& mismatch);
+
+/// Fuzzes seeds [first_seed, first_seed + num_seeds): generates each
+/// circuit, runs the differential comparison, and on mismatch minimizes
+/// (if enabled) and writes the reproducer to `log` (when non-null).
+/// Keeps going after a mismatch so one bug does not mask another.
+FuzzReport run_fuzz(std::uint64_t first_seed, int num_seeds,
+                    const FuzzOptions& options = {},
+                    std::ostream* log = nullptr);
+
+}  // namespace quasar::check

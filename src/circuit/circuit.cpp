@@ -64,24 +64,37 @@ void Circuit::append_custom(std::vector<Qubit> qubits, GateMatrix matrix,
          std::make_shared<const GateMatrix>(std::move(matrix)), cycle);
 }
 
+void Circuit::append_parameterized(GateKind kind, std::vector<Qubit> qubits,
+                                   Real theta, int cycle) {
+  append(kind, std::move(qubits),
+         std::make_shared<const GateMatrix>(parameterized_matrix(kind, theta)),
+         cycle);
+  ops_.back().param = theta;
+}
+
+void Circuit::append_op(const GateOp& op) {
+  append(op.kind, op.qubits, op.matrix, op.cycle);
+  ops_.back().param = op.param;
+}
+
 void Circuit::rz(Qubit q, Real theta) {
-  append(GateKind::kRz, {q},
-         std::make_shared<const GateMatrix>(gates::rz(theta)));
+  append_parameterized(GateKind::kRz, {q}, theta);
 }
 
 void Circuit::ry(Qubit q, Real theta) {
-  append(GateKind::kRy, {q},
-         std::make_shared<const GateMatrix>(gates::ry(theta)));
+  append_parameterized(GateKind::kRy, {q}, theta);
 }
 
 void Circuit::rx(Qubit q, Real theta) {
-  append(GateKind::kRx, {q},
-         std::make_shared<const GateMatrix>(gates::rx(theta)));
+  append_parameterized(GateKind::kRx, {q}, theta);
+}
+
+void Circuit::phase(Qubit q, Real theta) {
+  append_parameterized(GateKind::kPhase, {q}, theta);
 }
 
 void Circuit::cphase(Qubit control, Qubit target, Real theta) {
-  append(GateKind::kCPhase, {control, target},
-         std::make_shared<const GateMatrix>(gates::cphase(theta)));
+  append_parameterized(GateKind::kCPhase, {control, target}, theta);
 }
 
 void Circuit::extend(const Circuit& other) {

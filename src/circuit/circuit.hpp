@@ -31,6 +31,11 @@ struct GateOp {
   std::vector<bool> diagonal_on;
   /// Generator metadata: clock cycle the gate belongs to (-1 if untagged).
   int cycle = -1;
+  /// Angle for parameterized kinds (is_parameterized(kind)); the matrix is
+  /// always derivable as parameterized_matrix(kind, param). Keeping the
+  /// angle on the op makes serialization kind- and parameter-preserving
+  /// instead of flattening Rz/P/CP to anonymous U<k> matrices. 0 otherwise.
+  Real param = 0.0;
 
   /// Builds an op and caches the diagonal-action flags.
   GateOp(GateKind kind, std::vector<Qubit> qubits,
@@ -71,6 +76,16 @@ class Circuit {
   void append_custom(std::vector<Qubit> qubits, GateMatrix matrix,
                      int cycle = -1);
 
+  /// Appends a parameterized standard gate (kRx/kRy/kRz/kPhase/kCPhase),
+  /// recording the angle on the op so circuit I/O can round-trip it.
+  void append_parameterized(GateKind kind, std::vector<Qubit> qubits,
+                            Real theta, int cycle = -1);
+
+  /// Appends a copy of an existing op (qubit count must fit). Used by the
+  /// fuzz minimizer to splice gate subsets while preserving kind, angle,
+  /// and cycle metadata.
+  void append_op(const GateOp& op);
+
   // Convenience builders used by examples and tests.
   void h(Qubit q) { append_standard(GateKind::kH, {q}); }
   void x(Qubit q) { append_standard(GateKind::kX, {q}); }
@@ -88,6 +103,7 @@ class Circuit {
   void rz(Qubit q, Real theta);
   void ry(Qubit q, Real theta);
   void rx(Qubit q, Real theta);
+  void phase(Qubit q, Real theta);
   void cphase(Qubit control, Qubit target, Real theta);
 
   /// Appends all gates of another circuit (qubit counts must match).

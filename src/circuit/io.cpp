@@ -1,10 +1,12 @@
 #include "circuit/io.hpp"
 
+#include <cctype>
 #include <iomanip>
 #include <map>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/parse.hpp"
 
 namespace quasar {
 
@@ -23,18 +25,41 @@ const std::map<std::string, GateKind>& name_to_kind() {
   return table;
 }
 
+const std::map<std::string, GateKind>& param_name_to_kind() {
+  static const std::map<std::string, GateKind> table = {
+      {"Rx", GateKind::kRx},   {"Ry", GateKind::kRy},
+      {"Rz", GateKind::kRz},   {"P", GateKind::kPhase},
+      {"CP", GateKind::kCPhase},
+  };
+  return table;
+}
+
 bool is_parameterless_standard(GateKind kind) {
-  switch (kind) {
-    case GateKind::kRx:
-    case GateKind::kRy:
-    case GateKind::kRz:
-    case GateKind::kPhase:
-    case GateKind::kCPhase:
-    case GateKind::kCustom:
-      return false;
-    default:
-      return true;
+  return kind != GateKind::kCustom && !is_parameterized(kind);
+}
+
+/// True iff the op's matrix is exactly the canonical matrix for
+/// (kind, param). Ops built through append_parameterized always match
+/// (same construction path, bit-identical entries); an op assembled via
+/// raw append() with a parameterized kind but an unrecorded angle does
+/// not, and falls back to the lossless anonymous U<k> form.
+bool param_matrix_matches(const GateOp& op) {
+  const GateMatrix canonical = parameterized_matrix(op.kind, op.param);
+  if (canonical.dim() != op.matrix->dim()) return false;
+  for (Index r = 0; r < canonical.dim(); ++r) {
+    for (Index c = 0; c < canonical.dim(); ++c) {
+      if (canonical.at(r, c) != op.matrix->at(r, c)) return false;
+    }
   }
+  return true;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ls(line);
+  std::string token;
+  while (ls >> token) tokens.push_back(token);
+  return tokens;
 }
 
 }  // namespace
@@ -45,11 +70,14 @@ void write_circuit(std::ostream& os, const Circuit& circuit) {
   for (const GateOp& op : circuit.ops()) {
     if (is_parameterless_standard(op.kind)) {
       os << gate_name(op.kind);
+      for (Qubit q : op.qubits) os << ' ' << q;
+    } else if (is_parameterized(op.kind) && param_matrix_matches(op)) {
+      os << gate_name(op.kind);
+      for (Qubit q : op.qubits) os << ' ' << q;
+      os << ' ' << op.param;
     } else {
       os << "U" << op.arity();
-    }
-    for (Qubit q : op.qubits) os << ' ' << q;
-    if (!is_parameterless_standard(op.kind)) {
+      for (Qubit q : op.qubits) os << ' ' << q;
       const GateMatrix& m = *op.matrix;
       for (Index r = 0; r < m.dim(); ++r) {
         for (Index c = 0; c < m.dim(); ++c) {
@@ -69,70 +97,101 @@ std::string circuit_to_string(const Circuit& circuit) {
 }
 
 Circuit read_circuit(std::istream& is) {
-  std::string header;
-  int n = 0;
-  if (!(is >> header >> n) || header != "qubits") {
+  std::string line;
+  int n = -1;
+  // Header: the first non-blank, non-comment line must be "qubits <n>".
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2 || tokens[0] != "qubits") {
+      throw Error("circuit parse error: expected 'qubits <n>' header in: " +
+                  line);
+    }
+    n = parse_int_in_range(tokens[1], 1, 62, "qubit count", line);
+    break;
+  }
+  if (n < 0) {
     throw Error("circuit parse error: expected 'qubits <n>' header");
   }
   Circuit circuit(n);
-  std::string line;
-  std::getline(is, line);  // consume rest of header line
+
   while (std::getline(is, line)) {
-    // Strip comments and blanks.
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    std::string name;
-    if (!(ls >> name)) continue;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
 
-    int cycle = -1;
+    std::size_t pos = 0;
+    const std::string& name = tokens[pos++];
+    auto take = [&](const char* what) -> const std::string& {
+      if (pos >= tokens.size()) {
+        throw Error(std::string("circuit parse error: missing ") + what +
+                    " in: " + line);
+      }
+      return tokens[pos++];
+    };
     auto read_qubits = [&](int arity) {
       std::vector<Qubit> qs(arity);
       for (int i = 0; i < arity; ++i) {
-        if (!(ls >> qs[i])) {
-          throw Error("circuit parse error: missing qubit in: " + line);
-        }
+        qs[i] = parse_int_in_range(take("qubit"), 0, n - 1, "qubit", line);
       }
       return qs;
     };
-    auto read_cycle_tag = [&]() {
-      std::string tok;
-      if (ls >> tok) {
-        if (tok.size() < 2 || tok[0] != '@') {
-          throw Error("circuit parse error: unexpected token '" + tok +
-                      "' in: " + line);
-        }
-        cycle = std::stoi(tok.substr(1));
+    // Optional trailing "@<cycle>" tag, then the line must be exhausted.
+    auto finish_line = [&]() {
+      int cycle = -1;
+      if (pos < tokens.size() && tokens[pos][0] == '@') {
+        cycle = parse_int(std::string_view(tokens[pos]).substr(1),
+                          "cycle tag", line);
+        ++pos;
       }
+      if (pos != tokens.size()) {
+        throw Error("circuit parse error: trailing garbage '" + tokens[pos] +
+                    "' in: " + line);
+      }
+      return cycle;
     };
 
     if (name.size() >= 2 && name[0] == 'U' &&
         std::isdigit(static_cast<unsigned char>(name[1]))) {
-      const int arity = std::stoi(name.substr(1));
-      QUASAR_CHECK(arity >= 1 && arity <= 10, "custom gate arity 1..10");
+      const int arity = parse_int_in_range(name.substr(1), 1, 10,
+                                           "custom gate arity", line);
       auto qs = read_qubits(arity);
       const Index dim = index_pow2(arity);
       std::vector<Amplitude> entries(dim * dim);
       for (auto& e : entries) {
-        double re = 0.0, im = 0.0;
-        if (!(ls >> re >> im)) {
-          throw Error("circuit parse error: missing matrix entry in: " + line);
-        }
+        const double re = parse_double(take("matrix entry"), "matrix entry",
+                                       line);
+        const double im = parse_double(take("matrix entry"), "matrix entry",
+                                       line);
         e = Amplitude{re, im};
       }
-      read_cycle_tag();
-      circuit.append(GateKind::kCustom, std::move(qs),
-                     std::make_shared<const GateMatrix>(dim, std::move(entries)),
-                     cycle);
+      const int cycle = finish_line();
+      circuit.append(
+          GateKind::kCustom, std::move(qs),
+          std::make_shared<const GateMatrix>(dim, std::move(entries)), cycle);
+      continue;
+    }
+
+    if (const auto it = param_name_to_kind().find(name);
+        it != param_name_to_kind().end()) {
+      auto qs = read_qubits(standard_arity(it->second));
+      const double theta = parse_double(take("gate angle"), "gate angle",
+                                        line);
+      const int cycle = finish_line();
+      circuit.append_parameterized(it->second, std::move(qs), theta, cycle);
       continue;
     }
 
     const auto it = name_to_kind().find(name);
     if (it == name_to_kind().end()) {
-      throw Error("circuit parse error: unknown gate '" + name + "'");
+      throw Error("circuit parse error: unknown gate '" + name +
+                  "' in: " + line);
     }
     auto qs = read_qubits(standard_arity(it->second));
-    read_cycle_tag();
+    const int cycle = finish_line();
     circuit.append_standard(it->second, std::move(qs), cycle);
   }
   return circuit;

@@ -6,11 +6,18 @@
 ///     qubits <n>
 ///     H 5
 ///     CZ 3 4
+///     Rz 2 0.78539816339744828       # parameterized: <name> <qubits> <theta>
 ///     U2 0 1  <8 re,im pairs row-major>   # custom 2-qubit unitary
 ///
-/// Cycle tags are emitted as a trailing "@<cycle>" when present. The
-/// format exists so circuit instances (e.g. generated supremacy circuits)
-/// can be stored, diffed, and re-loaded by the bench harnesses.
+/// Parameterized standard gates (Rx/Ry/Rz/P/CP) are written with their
+/// angle at 17 significant digits, so the round trip preserves both the
+/// gate kind and the exact double parameter — they do not degrade to
+/// anonymous U<k> matrices. Cycle tags are emitted as a trailing
+/// "@<cycle>" when present. Malformed input (unknown gates, non-numeric
+/// or trailing tokens, out-of-range qubits) throws quasar::Error naming
+/// the offending line. The format exists so circuit instances (e.g.
+/// generated supremacy circuits) can be stored, diffed, and re-loaded by
+/// the bench harnesses.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,64 @@
+#include "core/parse.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view token, const std::string& what,
+                       const std::string& context, const char* reason) {
+  std::string message = "parse error: " + what + " '" + std::string(token) +
+                        "' " + reason;
+  if (!context.empty()) message += " in: " + context;
+  throw Error(message);
+}
+
+}  // namespace
+
+int parse_int(std::string_view token, const std::string& what,
+              const std::string& context) {
+  if (token.empty()) fail(token, what, context, "is empty");
+  int value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(token, what, context, "is out of range");
+  }
+  if (ec != std::errc() || ptr != last) {
+    fail(token, what, context, "is not an integer");
+  }
+  return value;
+}
+
+int parse_int_in_range(std::string_view token, int min, int max,
+                       const std::string& what, const std::string& context) {
+  const int value = parse_int(token, what, context);
+  if (value < min || value > max) {
+    fail(token, what, context,
+         ("must be in [" + std::to_string(min) + ", " + std::to_string(max) +
+          "]")
+             .c_str());
+  }
+  return value;
+}
+
+double parse_double(std::string_view token, const std::string& what,
+                    const std::string& context) {
+  if (token.empty()) fail(token, what, context, "is empty");
+  // std::from_chars for double is not available on every libstdc++ this
+  // project targets; strtod + whole-token check gives the same contract.
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    fail(token, what, context, "is not a number");
+  }
+  return value;
+}
+
+}  // namespace quasar

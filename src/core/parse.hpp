@@ -1,0 +1,31 @@
+/// \file parse.hpp
+/// \brief Strict text-to-number parsing for the circuit/schedule readers.
+///
+/// std::stoi silently accepts trailing garbage ("3x" -> 3) and escapes as
+/// std::invalid_argument / std::out_of_range on malformed input, which
+/// surfaces raw standard-library errors to CLI users. These helpers parse
+/// the WHOLE token or throw quasar::Error naming the offending text.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace quasar {
+
+/// Parses `token` as a decimal integer. The entire token must be consumed
+/// (no trailing garbage) and the value must fit an int; otherwise throws
+/// quasar::Error mentioning `what` and `context` (e.g. the input line).
+int parse_int(std::string_view token, const std::string& what,
+              const std::string& context = std::string());
+
+/// Same, with an inclusive range check.
+int parse_int_in_range(std::string_view token, int min, int max,
+                       const std::string& what,
+                       const std::string& context = std::string());
+
+/// Parses `token` as a double, whole-token, throwing quasar::Error on
+/// malformed input (used for gate parameters in the circuit format).
+double parse_double(std::string_view token, const std::string& what,
+                    const std::string& context = std::string());
+
+}  // namespace quasar

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <utility>
 
+#include "check/invariant.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
@@ -69,6 +70,10 @@ void DistributedSimulatorF::run(const Circuit& circuit,
                "run: schedule lacks fused matrices");
   QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
                   static_cast<std::int64_t>(schedule.stages.size()));
+  const bool validate = check::enabled();
+  Real norm_before = 0.0;
+  std::size_t ops_done = 0;
+  if (validate) norm_before = norm_squared();
   for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
     const Stage& stage = schedule.stages[si];
     QUASAR_OBS_SPAN("stage", "stage", "stage",
@@ -91,7 +96,27 @@ void DistributedSimulatorF::run(const Circuit& circuit,
         apply_global_op(circuit.op(item.op), stage);
       }
     }
+    if (validate) {
+      ops_done += stage.items.size() + 3;  // items + transition sweeps
+      const std::string site =
+          "DistributedSimulatorF::run stage " + std::to_string(si);
+      validate_invariants(site.c_str(), norm_before, ops_done);
+    }
   }
+}
+
+void DistributedSimulatorF::validate_invariants(const char* site,
+                                                Real norm_before,
+                                                std::size_t ops) const {
+  check::require_bijection(mapping_, num_qubits_, site);
+  check::require_unit_phases(pending_phase_, check::phase_tolerance(ops),
+                             site);
+  for (const auto& buffer : buffers_) {
+    check::require_finite(buffer.data(), buffer.size(), site);
+  }
+  check::require_norm_preserved(
+      norm_squared(), norm_before,
+      check::norm_tolerance(num_qubits_, ops, check::kEps32), site);
 }
 
 void DistributedSimulatorF::apply_global_op(const GateOp& op,

@@ -52,6 +52,10 @@ class DistributedSimulatorF {
 
  private:
   void transition(const std::vector<int>& from, const std::vector<int>& to);
+  /// QUASAR_VALIDATE guard body (fp32 epsilon for the state checks; the
+  /// deferred phases accumulate in double and use the fp64 tolerance).
+  void validate_invariants(const char* site, Real norm_before,
+                           std::size_t ops) const;
   /// In-place chunked exchange of global_locations[i] with local
   /// bit-location local_positions[i] (mirror of VirtualCluster).
   void alltoall_swap(const std::vector<int>& global_locations,

@@ -159,6 +159,32 @@ GateMatrix standard_matrix(GateKind kind) {
   }
 }
 
+bool is_parameterized(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+    case GateKind::kCPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GateMatrix parameterized_matrix(GateKind kind, Real theta) {
+  switch (kind) {
+    case GateKind::kRx: return gates::rx(theta);
+    case GateKind::kRy: return gates::ry(theta);
+    case GateKind::kRz: return gates::rz(theta);
+    case GateKind::kPhase: return gates::phase(theta);
+    case GateKind::kCPhase: return gates::cphase(theta);
+    default:
+      throw Error("parameterized_matrix: gate kind takes no parameter: " +
+                  gate_name(kind));
+  }
+}
+
 int standard_arity(GateKind kind) {
   switch (kind) {
     case GateKind::kCZ:

@@ -93,6 +93,13 @@ GateMatrix random_su2(::quasar::Rng& rng);
 /// kCPhase) and kCustom.
 GateMatrix standard_matrix(GateKind kind);
 
+/// True iff the kind takes an angle parameter (kRx/kRy/kRz/kPhase/kCPhase).
+bool is_parameterized(GateKind kind);
+
+/// Returns the matrix for a parameterized standard kind at angle theta.
+/// Throws quasar::Error for parameterless kinds and kCustom.
+GateMatrix parameterized_matrix(GateKind kind, Real theta);
+
 /// Number of qubits a standard gate kind acts on (1 or 2). Throws for
 /// kCustom.
 int standard_arity(GateKind kind);

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <memory>
 
+#include "check/invariant.hpp"
 #include "core/error.hpp"
 #include "kernels/autotune.hpp"
 #include "obs/trace.hpp"
@@ -275,9 +276,12 @@ void apply_gate_run(Amplitude* state, int num_qubits,
   }
 }
 
-void apply_gates_blocked(Amplitude* state, int num_qubits,
-                         const PreparedGate* const* gates, std::size_t count,
-                         const ApplyOptions& options, BlockRunStats* stats) {
+namespace {
+
+void apply_gates_blocked_impl(Amplitude* state, int num_qubits,
+                              const PreparedGate* const* gates,
+                              std::size_t count, const ApplyOptions& options,
+                              BlockRunStats* stats) {
   BlockRunStats local;
   local.gates = count;
   const int b = effective_block_exponent(num_qubits, options);
@@ -340,6 +344,26 @@ void apply_gates_blocked(Amplitude* state, int num_qubits,
   }
   publish_block_stats(local);
   if (stats) *stats = local;
+}
+
+}  // namespace
+
+void apply_gates_blocked(Amplitude* state, int num_qubits,
+                         const PreparedGate* const* gates, std::size_t count,
+                         const ApplyOptions& options, BlockRunStats* stats) {
+  // Disabled guards cost exactly this one acquire-load + branch.
+  if (!check::enabled()) {
+    apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats);
+    return;
+  }
+  const Index size = index_pow2(num_qubits);
+  const Real norm_before = check::norm_squared(state, size);
+  apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats);
+  check::require_finite(state, size, "apply_gates_blocked");
+  check::require_norm_preserved(check::norm_squared(state, size),
+                                norm_before,
+                                check::norm_tolerance(num_qubits, count),
+                                "apply_gates_blocked");
 }
 
 }  // namespace quasar

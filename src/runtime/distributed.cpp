@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "check/invariant.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +48,10 @@ void DistributedSimulator::run(const Circuit& circuit,
                "(ScheduleOptions::build_matrices was false)");
   QUASAR_OBS_SPAN("run", "distributed_run", "stages",
                   static_cast<std::int64_t>(schedule.stages.size()));
+  const bool validate = check::enabled();
+  Real norm_before = 0.0;
+  std::size_t ops_done = 0;
+  if (validate) norm_before = cluster_.norm_squared();
   for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
     const Stage& stage = schedule.stages[si];
     QUASAR_OBS_SPAN("stage", "stage", "stage",
@@ -54,7 +59,27 @@ void DistributedSimulator::run(const Circuit& circuit,
     transition(mapping_, stage.qubit_to_location);
     mapping_ = stage.qubit_to_location;
     execute_stage(circuit, stage);
+    if (validate) {
+      ops_done += stage.items.size() + 3;  // items + transition sweeps
+      const std::string site =
+          "DistributedSimulator::run stage " + std::to_string(si);
+      validate_invariants(site.c_str(), norm_before, ops_done);
+    }
   }
+}
+
+void DistributedSimulator::validate_invariants(const char* site,
+                                               Real norm_before,
+                                               std::size_t ops) const {
+  check::require_bijection(mapping_, num_qubits(), site);
+  check::require_unit_phases(pending_phase_, check::phase_tolerance(ops),
+                             site);
+  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+    check::require_finite(cluster_.rank_data(r), cluster_.local_size(), site);
+  }
+  check::require_norm_preserved(cluster_.norm_squared(), norm_before,
+                                check::norm_tolerance(num_qubits(), ops),
+                                site);
 }
 
 void DistributedSimulator::run(const Circuit& circuit,
@@ -171,8 +196,14 @@ void DistributedSimulator::remap(const std::vector<int>& to) {
                  "remap: mapping must be a bijection on bit-locations");
     used[loc] = true;
   }
+  const bool validate = check::enabled();
+  Real norm_before = 0.0;
+  if (validate) norm_before = cluster_.norm_squared();
   transition(mapping_, to);
   mapping_ = to;
+  if (validate) {
+    validate_invariants("DistributedSimulator::remap", norm_before, 3);
+  }
 }
 
 void DistributedSimulator::transition(const std::vector<int>& from,
@@ -316,64 +347,45 @@ std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
   QUASAR_CHECK(count >= 0, "sample count must be non-negative");
   QUASAR_OBS_SPAN("measure", "sample", "count",
                   static_cast<std::int64_t>(count));
+  const int n = num_qubits();
   const int l = num_local();
-  const Index local_size = cluster_.local_size();
+  const Index local_mask = index_pow2(l) - 1;
 
-  // Pass 1: per-rank probability mass (an allreduce at scale).
-  std::vector<Real> rank_mass(cluster_.num_ranks(), 0.0);
-  for (int r = 0; r < cluster_.num_ranks(); ++r) {
-    const Amplitude* data = cluster_.rank_data(r);
-    Real mass = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : mass)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(local_size);
-         ++i) {
-      mass += std::norm(data[i]);
-    }
-    rank_mass[r] = mass;
-  }
-
-  // Sorted thresholds resolved rank by rank, then amplitude by amplitude.
+  // Sorted uniforms resolved against one sequential cumulative scan in
+  // PROGRAM order, accumulating std::norm(raw * pending_phase) — the
+  // exact expression and summation order sample_outcomes() sees on the
+  // gathered state. This makes distributed sampling bit-for-bit
+  // reproducible against the single-node path under the same seed. The
+  // previous implementation walked ranks in machine order with per-rank
+  // partial masses; whenever the qubit mapping was not the identity its
+  // traversal order (and its rounding) diverged from the gathered scan,
+  // so identical seeds produced different outcome streams — exactly the
+  // class of cross-engine bug the differential fuzzer flags.
   std::vector<Real> thresholds(count);
   for (auto& u : thresholds) u = rng.uniform_real();
   std::sort(thresholds.begin(), thresholds.end());
 
   std::vector<Index> outcomes;
   outcomes.reserve(count);
+  Real cumulative = 0.0;
   std::size_t next = 0;
-  Real before_rank = 0.0;
-  for (int r = 0; r < cluster_.num_ranks() && next < thresholds.size();
-       ++r) {
-    const Real rank_end = before_rank + rank_mass[r];
-    if (thresholds[next] >= rank_end) {
-      before_rank = rank_end;
-      continue;
+  const Index size = index_pow2(n);
+  for (Index p = 0; p < size && next < thresholds.size(); ++p) {
+    Index machine = 0;
+    for (int q = 0; q < n; ++q) {
+      machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
     }
-    const Amplitude* data = cluster_.rank_data(r);
-    Real cumulative = before_rank;
-    for (Index i = 0; i < local_size && next < thresholds.size(); ++i) {
-      cumulative += std::norm(data[i]);
-      while (next < thresholds.size() && thresholds[next] < cumulative) {
-        // Convert the machine index to program order via the mapping.
-        const Index machine = (static_cast<Index>(r) << l) | i;
-        Index program = 0;
-        for (int q = 0; q < num_qubits(); ++q) {
-          program |= static_cast<Index>(get_bit(machine, mapping_[q])) << q;
-        }
-        outcomes.push_back(program);
-        ++next;
-      }
+    const int rank = static_cast<int>(machine >> l);
+    cumulative += std::norm(cluster_.rank_data(rank)[machine & local_mask] *
+                            pending_phase_[rank]);
+    while (next < thresholds.size() && thresholds[next] < cumulative) {
+      outcomes.push_back(p);
+      ++next;
     }
-    before_rank = rank_end;
   }
-  // Rounding leftovers land on the last basis state of the last rank.
-  while (next++ < thresholds.size()) {
-    Index program = 0;
-    const Index machine = index_pow2(num_qubits()) - 1;
-    for (int q = 0; q < num_qubits(); ++q) {
-      program |= static_cast<Index>(get_bit(machine, mapping_[q])) << q;
-    }
-    outcomes.push_back(program);
-  }
+  // Rounding at the top end: leftovers land on the last program-order
+  // basis state, mirroring sample_outcomes().
+  while (next++ < thresholds.size()) outcomes.push_back(size - 1);
   return outcomes;
 }
 

@@ -58,9 +58,12 @@ class DistributedSimulator {
   }
 
   /// Samples `count` program-order outcomes from |amplitude|^2 without
-  /// reassembling the state: one pass accumulates per-rank probability
-  /// masses (an allreduce at scale), a second pass resolves each sorted
-  /// threshold inside its owning rank.
+  /// reassembling the state. The scan runs in program order with the
+  /// same accumulation as sample_outcomes() on a gathered state, so the
+  /// outcome stream is bit-for-bit identical to the single-node path
+  /// under the same seed (the cross-engine property the fuzz harness
+  /// asserts). An MPI deployment would pay one ordered prefix-sum pass
+  /// for this determinism.
   std::vector<Index> sample(int count, Rng& rng) const;
 
   /// Communication counters accumulated so far.
@@ -81,6 +84,11 @@ class DistributedSimulator {
  private:
   /// Re-arranges the distributed state from mapping `from` to `to`.
   void transition(const std::vector<int>& from, const std::vector<int>& to);
+  /// QUASAR_VALIDATE guard body: mapping bijectivity, deferred-phase unit
+  /// modulus, per-rank finiteness, and norm preservation vs `norm_before`
+  /// with a tolerance derived from `ops` executed items.
+  void validate_invariants(const char* site, Real norm_before,
+                           std::size_t ops) const;
   void execute_stage(const Circuit& circuit, const Stage& stage);
   void apply_global_op(const GateOp& op, const Stage& stage);
 

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "check/invariant.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
@@ -83,6 +84,11 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
     QUASAR_CHECK(sorted_locals[i] > sorted_locals[i - 1],
                  "alltoall_swap: local positions must be distinct");
   }
+  // The exchange is an involution moving amplitudes verbatim, so the
+  // total norm is invariant up to reduction rounding; a lost or
+  // duplicated orbit breaks it loudly.
+  const bool validate_norm = check::enabled();
+  const Real norm_before = validate_norm ? norm_squared() : 0.0;
 
   // The machine-index permutation swapping bit local_positions[i] with
   // bit global_locations[i] is an involution, so every amplitude has a
@@ -179,6 +185,12 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
   obs::count("comm.alltoalls");
   obs::count("comm.bytes_sent_per_rank", sent);
   obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+
+  if (validate_norm) {
+    check::require_norm_preserved(norm_squared(), norm_before,
+                                  check::norm_tolerance(num_qubits_, 1),
+                                  "VirtualCluster::alltoall_swap");
+  }
 }
 
 void VirtualCluster::local_permute(const std::vector<int>& perm,
@@ -193,7 +205,19 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
       any_phase |= p != Amplitude{1.0, 0.0};
     }
   }
+  const bool validate_norm = check::enabled();
+  if (validate_norm) {
+    check::require_bijection(perm, num_local_,
+                             "VirtualCluster::local_permute");
+    if (rank_phase != nullptr) {
+      // The caller does not say how many multiplications accumulated in
+      // these phases; 4096 unit-modulus factors is a generous ceiling.
+      check::require_unit_phases(*rank_phase, check::phase_tolerance(4096),
+                                 "VirtualCluster::local_permute");
+    }
+  }
   if (plan.identity && !any_phase) return;
+  const Real norm_before = validate_norm ? norm_squared() : 0.0;
   obs::ScopedSpan span("permute", "local_permute", "bytes",
                        static_cast<std::int64_t>(num_ranks()) *
                            static_cast<std::int64_t>(local_size()) *
@@ -230,6 +254,15 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
     }
     obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
   }
+
+  if (validate_norm) {
+    // A bit permutation moves amplitudes verbatim; the folded phases are
+    // unit modulus. Either failing to be a bijection in the executed plan
+    // or a non-unit phase shows up as norm drift.
+    check::require_norm_preserved(norm_squared(), norm_before,
+                                  check::norm_tolerance(num_qubits_, 2),
+                                  "VirtualCluster::local_permute");
+  }
 }
 
 void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
@@ -237,6 +270,9 @@ void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
   const int g = num_global();
   QUASAR_CHECK(static_cast<int>(perm.size()) == g,
                "renumber_ranks: permutation must cover all global bits");
+  if (check::enabled()) {
+    check::require_bijection(perm, g, "VirtualCluster::renumber_ranks");
+  }
   const int ranks = num_ranks();
   std::vector<RankStorage> next(ranks);
   for (int r = 0; r < ranks; ++r) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/invariant.hpp"
 #include "core/error.hpp"
 #include "kernels/block_apply.hpp"
 #include "kernels/permute.hpp"
@@ -24,6 +25,13 @@ void run_fused(StateVector& state, const Circuit& circuit,
   const int n = state.num_qubits();
   QUASAR_OBS_SPAN("run", "fused_run", "items",
                   static_cast<std::int64_t>(stage.items.size()));
+
+  const bool validate = check::enabled();
+  Real norm_before = 0.0;
+  if (validate) {
+    check::require_bijection(stage.qubit_to_location, n, "run_fused");
+    norm_before = check::norm_squared(state.data(), state.size());
+  }
 
   // Realize the stage's qubit mapping: bit-location to[q] must carry
   // program qubit q. perm[j] = old location of the qubit headed to j.
@@ -63,6 +71,13 @@ void run_fused(StateVector& state, const Circuit& circuit,
     for (Qubit q = 0; q < n; ++q) inverse[q] = stage.qubit_to_location[q];
     apply_fused_bit_permutation(state.data(), n, inverse,
                                 Amplitude{1.0, 0.0}, apply.num_threads);
+  }
+
+  if (validate) {
+    check::require_finite(state.data(), state.size(), "run_fused");
+    check::require_norm_preserved(
+        check::norm_squared(state.data(), state.size()), norm_before,
+        check::norm_tolerance(n, stage.items.size() + 2), "run_fused");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/parse.hpp"
 #include "sched/cluster.hpp"
 
 namespace quasar {
@@ -155,9 +156,8 @@ Schedule read_schedule(std::istream& is, const Circuit& circuit,
         Cluster cluster;
         std::string token;
         while (ls >> token && token != ";") {
-          const int loc = std::stoi(token);
-          QUASAR_CHECK(loc >= 0 && loc < schedule.num_local,
-                       "schedule parse error: cluster location not local");
+          const int loc = parse_int_in_range(token, 0, schedule.num_local - 1,
+                                             "cluster location", line);
           cluster.qubits.push_back(loc);
         }
         QUASAR_CHECK(token == ";",

@@ -68,7 +68,18 @@ std::vector<Index> sample_outcomes(const StateVector& state, int count,
 
 int measure_qubit(StateVector& state, int bit_location, Rng& rng) {
   QUASAR_OBS_SPAN("measure", "measure_qubit");
-  const Real p1 = probability_of_one(state, bit_location);
+  Real p1 = probability_of_one(state, bit_location);
+  // A corrupted state (NaN/Inf amplitudes) must fail here with a message
+  // naming the cause, not downstream as a baffling "zero probability".
+  QUASAR_CHECK(std::isfinite(p1),
+               "measure_qubit: probability is not finite (state contains "
+               "NaN/Inf amplitudes?)");
+  // Rounding can push the reduction marginally outside [0, 1]. After the
+  // clamp, outcome 1 requires uniform_real() < p1 (so p1 > 0) and outcome
+  // 0 requires uniform_real() >= p1 with draws in [0, 1) (so p1 < 1 and
+  // keep = 1 - p1 > 0): the keep > 0 check below cannot trip spuriously
+  // when p1 rounds to exactly 0 or 1 — only on a genuinely broken state.
+  p1 = std::clamp(p1, 0.0, 1.0);
   const int outcome = rng.uniform_real() < p1 ? 1 : 0;
   const Real keep = outcome ? p1 : 1.0 - p1;
   QUASAR_CHECK(keep > 0.0, "measurement outcome has zero probability");

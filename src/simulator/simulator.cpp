@@ -28,7 +28,9 @@ void Simulator::run(const Circuit& circuit) {
   QUASAR_OBS_SPAN("run", "simulator_run", "gates",
                   static_cast<std::int64_t>(circuit.num_gates()));
   // Batched fast path: prepare every op once, then let the blocked
-  // executor share DRAM sweeps across runs of low-location gates.
+  // executor share DRAM sweeps across runs of low-location gates. The
+  // QUASAR_VALIDATE invariant guards (norm preservation, finiteness)
+  // fire inside apply_gates_blocked, which is this run's entire body.
   std::vector<PreparedGate> prepared;
   prepared.reserve(circuit.num_gates());
   for (const GateOp& op : circuit.ops()) {

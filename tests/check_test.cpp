@@ -1,0 +1,368 @@
+/// \file check_test.cpp
+/// \brief Run-time invariant guards (check/invariant.hpp), strict
+/// parsing (core/parse.hpp), kind-preserving circuit round-trips, and
+/// cross-engine sampling parity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "check/invariant.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/io.hpp"
+#include "core/parse.hpp"
+#include "core/rng.hpp"
+#include "gates/standard.hpp"
+#include "runtime/distributed.hpp"
+#include "simulator/measure.hpp"
+#include "simulator/simulator.hpp"
+#include "simulator/statevector.hpp"
+
+namespace quasar {
+namespace {
+
+/// Flips validation on for the enclosing scope and restores the
+/// environment-driven default afterwards, so test order cannot leak.
+struct ValidateScope {
+  explicit ValidateScope(bool on) { check::set_enabled(on); }
+  ~ValidateScope() { check::reset_enabled(); }
+};
+
+// ---------------------------------------------------------------------
+// Guard primitives
+// ---------------------------------------------------------------------
+
+TEST(Invariant, EnabledOverrideAndReset) {
+  check::set_enabled(true);
+  EXPECT_TRUE(check::enabled());
+  check::set_enabled(false);
+  EXPECT_FALSE(check::enabled());
+  check::reset_enabled();  // back to QUASAR_VALIDATE (unset in CI tier 1)
+}
+
+TEST(Invariant, NormSquaredMatchesStateVector) {
+  StateVector state(6);
+  Simulator sim(state);
+  Circuit c(6);
+  for (int q = 0; q < 6; ++q) c.h(q);
+  c.cnot(0, 5);
+  sim.run(c);
+  EXPECT_NEAR(check::norm_squared(state.data(), state.size()),
+              state.norm_squared(), 1e-12);
+}
+
+TEST(Invariant, RequireFiniteDetectsNanAndInf) {
+  std::vector<Amplitude> buf(16, Amplitude(0.25, 0.0));
+  EXPECT_NO_THROW(check::require_finite(buf.data(), 16, "test"));
+  buf[7] = Amplitude(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  EXPECT_THROW(check::require_finite(buf.data(), 16, "test"),
+               check::ValidationError);
+  buf[7] = Amplitude(0.0, std::numeric_limits<double>::infinity());
+  try {
+    check::require_finite(buf.data(), 16, "nan-site");
+    FAIL() << "expected ValidationError";
+  } catch (const check::ValidationError& e) {
+    // The message must name the site and the offending index.
+    EXPECT_NE(std::string(e.what()).find("nan-site"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("7"), std::string::npos);
+  }
+}
+
+TEST(Invariant, RequireFiniteFloatOverload) {
+  std::vector<std::complex<float>> buf(8, {0.5f, 0.0f});
+  EXPECT_NO_THROW(check::require_finite(buf.data(), 8, "test"));
+  buf[3] = {std::numeric_limits<float>::quiet_NaN(), 0.0f};
+  EXPECT_THROW(check::require_finite(buf.data(), 8, "test"),
+               check::ValidationError);
+}
+
+TEST(Invariant, RequireNormPreserved) {
+  EXPECT_NO_THROW(check::require_norm_preserved(1.0 + 1e-15, 1.0, 1e-12,
+                                                "test"));
+  EXPECT_THROW(check::require_norm_preserved(0.9, 1.0, 1e-12, "test"),
+               check::ValidationError);
+  // NaN norms must trip, not slide through a < comparison.
+  EXPECT_THROW(
+      check::require_norm_preserved(std::numeric_limits<double>::quiet_NaN(),
+                                    1.0, 1e-12, "test"),
+      check::ValidationError);
+}
+
+TEST(Invariant, RequireBijection) {
+  EXPECT_NO_THROW(check::require_bijection({0, 1, 2, 3}, 4, "test"));
+  EXPECT_NO_THROW(check::require_bijection({3, 0, 2, 1}, 4, "test"));
+  EXPECT_THROW(check::require_bijection({0, 1, 2}, 4, "test"),
+               check::ValidationError);  // wrong size
+  EXPECT_THROW(check::require_bijection({0, 1, 2, 2}, 4, "test"),
+               check::ValidationError);  // duplicate
+  EXPECT_THROW(check::require_bijection({0, 1, 2, 4}, 4, "test"),
+               check::ValidationError);  // out of range
+}
+
+TEST(Invariant, RequireUnitPhases) {
+  std::vector<std::complex<double>> phases = {
+      {1.0, 0.0}, {0.0, -1.0}, {std::sqrt(0.5), std::sqrt(0.5)}};
+  EXPECT_NO_THROW(
+      check::require_unit_phases(phases, check::phase_tolerance(10), "test"));
+  phases.push_back({0.5, 0.0});
+  EXPECT_THROW(
+      check::require_unit_phases(phases, check::phase_tolerance(10), "test"),
+      check::ValidationError);
+}
+
+TEST(Invariant, ToleranceModelsGrowWithWork) {
+  EXPECT_GT(check::norm_tolerance(20, 100), check::norm_tolerance(20, 1));
+  EXPECT_GT(check::state_tolerance(10, 400), check::state_tolerance(10, 4));
+  EXPECT_GT(check::phase_tolerance(1000), check::phase_tolerance(1));
+  // fp32 tolerances scale with the larger epsilon.
+  EXPECT_GT(check::state_tolerance(10, 10, check::kEps32),
+            check::state_tolerance(10, 10, check::kEps64));
+}
+
+// ---------------------------------------------------------------------
+// Guards wired into the engines
+// ---------------------------------------------------------------------
+
+TEST(Invariant, CleanRunsPassWithValidationOn) {
+  ValidateScope validate(true);
+  Circuit c(8);
+  for (int q = 0; q < 8; ++q) c.h(q);
+  for (int q = 0; q + 1 < 8; ++q) c.cz(q, q + 1);
+  c.t(7);
+  c.rz(3, 0.37);
+
+  StateVector state(8);
+  EXPECT_NO_THROW(Simulator(state).run(c));
+
+  DistributedSimulator dist(8, 6);
+  dist.init_basis(0);
+  ScheduleOptions options;
+  options.num_local = 6;
+  EXPECT_NO_THROW(dist.run(c, options));
+  EXPECT_NEAR(dist.gather().max_abs_diff(state), 0.0, 1e-12);
+}
+
+TEST(Invariant, CorruptedStateIsCaughtWhenEnabled) {
+  Circuit c(4);
+  c.h(0);
+  {
+    // Disabled: the poisoned run completes silently (zero-overhead mode).
+    ValidateScope validate(false);
+    StateVector state(4);
+    state[2] = Amplitude(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    EXPECT_NO_THROW(Simulator(state).run(c));
+  }
+  {
+    ValidateScope validate(true);
+    StateVector state(4);
+    state[2] = Amplitude(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    EXPECT_THROW(Simulator(state).run(c), check::ValidationError);
+  }
+}
+
+TEST(Invariant, NonUnitaryNormDriftIsCaughtWhenEnabled) {
+  ValidateScope validate(true);
+  // A state that is far from normalized still passes (guards compare
+  // before/after, not against 1), but losing half the norm mid-run trips.
+  StateVector state(4);
+  state[0] = Amplitude(2.0, 0.0);  // norm^2 = 4, preserved by unitaries
+  Circuit c(4);
+  c.h(1);
+  EXPECT_NO_THROW(Simulator(state).run(c));
+}
+
+// ---------------------------------------------------------------------
+// Strict parsing (core/parse.hpp)
+// ---------------------------------------------------------------------
+
+TEST(Parse, IntAcceptsWholeTokensOnly) {
+  EXPECT_EQ(parse_int("42", "x"), 42);
+  EXPECT_EQ(parse_int("-7", "x"), -7);
+  EXPECT_THROW(parse_int("", "x"), Error);
+  EXPECT_THROW(parse_int("12x", "x"), Error);
+  EXPECT_THROW(parse_int("banana", "x"), Error);
+  EXPECT_THROW(parse_int("4.5", "x"), Error);
+  EXPECT_THROW(parse_int("99999999999999999999", "x"), Error);  // overflow
+}
+
+TEST(Parse, IntInRange) {
+  EXPECT_EQ(parse_int_in_range("5", 0, 10, "x"), 5);
+  EXPECT_THROW(parse_int_in_range("11", 0, 10, "x"), Error);
+  EXPECT_THROW(parse_int_in_range("-1", 0, 10, "x"), Error);
+  try {
+    parse_int_in_range("11", 0, 10, "depth");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The message must name the field so CLI users see what to fix.
+    EXPECT_NE(std::string(e.what()).find("depth"), std::string::npos);
+  }
+}
+
+TEST(Parse, DoubleAcceptsWholeTokensOnly) {
+  EXPECT_DOUBLE_EQ(parse_double("0.5", "x"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3", "x"), -1e-3);
+  EXPECT_THROW(parse_double("", "x"), Error);
+  EXPECT_THROW(parse_double("1.5garbage", "x"), Error);
+  EXPECT_THROW(parse_double("pi", "x"), Error);
+}
+
+TEST(Parse, CircuitReaderRejectsTrailingGarbage) {
+  EXPECT_THROW(circuit_from_string("qubits 2\nH 0 junk\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 2\nH 0 @3 junk\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 2 extra\nH 0\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 0\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 63\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 2\nCZ 0 0\n"), Error);
+  EXPECT_THROW(circuit_from_string("qubits 2\nRz 0 1.5x\n"), Error);
+  EXPECT_NO_THROW(circuit_from_string("qubits 2\nH 0 @3\nRz 1 0.25\n"));
+}
+
+// ---------------------------------------------------------------------
+// Kind- and parameter-preserving serialization: every GateKind round-trips
+// ---------------------------------------------------------------------
+
+TEST(CircuitRoundTrip, EveryGateKindPreservedExactly) {
+  const Real theta = 0.87266462599716477;  // no short decimal form
+  Circuit c(4);
+  c.h(0);
+  c.x(1);
+  c.y(2);
+  c.z(3);
+  c.t(0);
+  c.append_standard(GateKind::kTdg, {1});
+  c.s(2);
+  c.append_standard(GateKind::kSdg, {3});
+  c.sqrt_x(0);
+  c.sqrt_y(1);
+  c.rx(2, theta);
+  c.ry(3, -theta);
+  c.rz(0, 3.0 * theta);
+  c.phase(1, theta / 7.0);
+  c.cz(0, 1);
+  c.cnot(2, 3);
+  c.swap(1, 2);
+  c.cphase(0, 3, -2.5 * theta);
+  Rng rng(99);
+  c.append_custom({2}, gates::random_su2(rng));
+  c.append_custom({0, 2},
+                  gates::random_su2(rng).kron(gates::random_su2(rng)));
+
+  const std::string text = circuit_to_string(c);
+  const Circuit parsed = circuit_from_string(text);
+  ASSERT_EQ(parsed.num_gates(), c.num_gates());
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    SCOPED_TRACE("gate " + std::to_string(i));
+    EXPECT_EQ(parsed.op(i).kind, c.op(i).kind);  // kind survives, not U<k>
+    EXPECT_EQ(parsed.op(i).qubits, c.op(i).qubits);
+    EXPECT_EQ(parsed.op(i).param, c.op(i).param);  // angle bit-exact
+    EXPECT_EQ(parsed.op(i).matrix->distance(*c.op(i).matrix), 0.0);
+  }
+
+  // Parameterized kinds must appear by name, not as anonymous matrices.
+  EXPECT_NE(text.find("Rx "), std::string::npos);
+  EXPECT_NE(text.find("Rz "), std::string::npos);
+  EXPECT_NE(text.find("CP "), std::string::npos);
+}
+
+TEST(CircuitRoundTrip, SecondGenerationTextIsIdentical) {
+  Rng rng(7);
+  Circuit c(3);
+  c.h(0);
+  c.rz(1, 1.0 / 3.0);
+  c.cphase(0, 2, -0.123456789012345678);
+  c.append_custom({1}, gates::random_su2(rng));
+  const std::string once = circuit_to_string(c);
+  const std::string twice = circuit_to_string(circuit_from_string(once));
+  EXPECT_EQ(once, twice);  // serialization is a fixpoint
+}
+
+// ---------------------------------------------------------------------
+// Cross-engine sampling parity (exact, not statistical)
+// ---------------------------------------------------------------------
+
+Circuit sampling_workload(int n) {
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q + 1 < n; ++q) c.cz(q, q + 1);
+  for (int q = 0; q < n; ++q) c.t(q);
+  c.cnot(0, n - 1);
+  c.rz(n / 2, 0.77);
+  return c;
+}
+
+TEST(SamplingParity, DistributedMatchesGatheredExactly) {
+  const int n = 9;
+  const Circuit c = sampling_workload(n);
+  for (int l : {5, 6, 8}) {
+    SCOPED_TRACE("num_local=" + std::to_string(l));
+    DistributedSimulator sim(n, l);
+    sim.init_basis(0);
+    ScheduleOptions options;
+    options.num_local = l;
+    options.qubit_mapping = true;  // non-identity mappings are the hard case
+    sim.run(c, options);
+    const StateVector gathered = sim.gather();
+    for (std::uint64_t seed : {1ull, 2026ull, 0xDEADBEEFull}) {
+      Rng rng_single(seed);
+      Rng rng_dist(seed);
+      const auto want = sample_outcomes(gathered, 64, rng_single);
+      const auto got = sim.sample(64, rng_dist);
+      EXPECT_EQ(want, got) << "seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// measure_qubit floating-point edges
+// ---------------------------------------------------------------------
+
+TEST(MeasureEdge, DeterministicOutcomesDoNotTripKeepGuard) {
+  Rng rng(5);
+  {
+    StateVector state(3);  // |000>: p1 = 0 exactly on every qubit
+    for (int q = 0; q < 3; ++q) {
+      EXPECT_EQ(measure_qubit(state, q, rng), 0);
+    }
+  }
+  {
+    StateVector state(3);
+    Circuit c(3);
+    c.x(0);
+    c.x(1);
+    c.x(2);
+    Simulator(state).run(c);  // |111>: p1 = 1 exactly
+    for (int q = 0; q < 3; ++q) {
+      EXPECT_EQ(measure_qubit(state, q, rng), 1);
+    }
+  }
+}
+
+TEST(MeasureEdge, NanProbabilityIsRejectedLoudly) {
+  // The NaN must sit where the p1 reduction reads it (bit 0 set): the
+  // guard in measure_qubit sees only the measured-one branch; a NaN in
+  // the other branch is require_finite's job, not measure_qubit's.
+  StateVector state(2);
+  state[1] = Amplitude(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  Rng rng(1);
+  EXPECT_THROW(measure_qubit(state, 0, rng), Error);
+}
+
+TEST(MeasureEdge, RepeatedMeasurementIsStable) {
+  // Collapse then re-measure: the second draw must reproduce the first
+  // outcome with probability exactly 1 (p1 is 0 or 1 up to rounding, and
+  // the clamp keeps it in range).
+  Rng rng(17);
+  StateVector state(4);
+  Circuit c(4);
+  for (int q = 0; q < 4; ++q) c.h(q);
+  c.cz(0, 3);
+  Simulator(state).run(c);
+  const int first = measure_qubit(state, 2, rng);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    EXPECT_EQ(measure_qubit(state, 2, rng), first);
+  }
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,0 +1,191 @@
+/// \file fuzz_test.cpp
+/// \brief Differential fuzz harness (check/fuzz.hpp): clean engines agree
+/// across every configuration, and a deliberately injected kernel bug is
+/// caught, minimized, and rendered as a reproducer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "check/fuzz.hpp"
+#include "check/invariant.hpp"
+#include "circuit/io.hpp"
+#include "core/parse.hpp"
+
+namespace quasar {
+namespace {
+
+/// Seed count for the agreement sweep. CI's dedicated fuzz job raises
+/// this via QUASAR_FUZZ_SEEDS; the tier-1 default keeps ctest fast.
+int smoke_seeds() {
+  const char* env = std::getenv("QUASAR_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return 25;
+  return parse_int_in_range(env, 1, 1000000, "QUASAR_FUZZ_SEEDS");
+}
+
+/// The injected bug of the harness self-test: every T becomes Tdg in the
+/// circuit the plain Simulator sees — the classic conjugated-phase kernel
+/// bug (sign flip in the exp(i pi/4) entry).
+void flip_t_to_tdg(Circuit& circuit) {
+  Circuit replaced(circuit.num_qubits());
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    const GateOp& op = circuit.op(i);
+    if (op.kind == GateKind::kT) {
+      replaced.append_standard(GateKind::kTdg, op.qubits, op.cycle);
+    } else {
+      replaced.append_op(op);
+    }
+  }
+  circuit = replaced;
+}
+
+TEST(Fuzz, GeneratorIsDeterministicInSeed) {
+  const check::FuzzOptions options;
+  const Circuit a = check::random_circuit(42, options);
+  const Circuit b = check::random_circuit(42, options);
+  EXPECT_EQ(circuit_to_string(a), circuit_to_string(b));
+  const Circuit c = check::random_circuit(43, options);
+  EXPECT_NE(circuit_to_string(a), circuit_to_string(c));
+}
+
+TEST(Fuzz, GeneratedCircuitsRoundTripThroughText) {
+  // Reproducers are circuit text; whatever the generator emits must
+  // survive serialization exactly, custom U<k> matrices included.
+  const check::FuzzOptions options;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Circuit circuit = check::random_circuit(seed, options);
+    const std::string text = circuit_to_string(circuit);
+    EXPECT_EQ(circuit_to_string(circuit_from_string(text)), text)
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, AllEnginesAgreeAcrossSeeds) {
+  check::FuzzOptions options;
+  options.minimize = false;  // nothing to minimize on the happy path
+  const check::FuzzReport report =
+      check::run_fuzz(1, smoke_seeds(), options);
+  EXPECT_EQ(report.seeds_run, smoke_seeds());
+  for (const check::Mismatch& m : report.mismatches) {
+    ADD_FAILURE() << check::format_reproducer(m);
+  }
+}
+
+TEST(Fuzz, AllEnginesAgreeWithValidationOn) {
+  // The guards and the differential comparison must not fight: a clean
+  // run under QUASAR_VALIDATE=1 semantics produces zero mismatches (a
+  // guard trip would surface as an "engine threw" mismatch).
+  check::set_enabled(true);
+  check::FuzzOptions options;
+  options.minimize = false;
+  options.max_gates = 24;  // validation sweeps make each seed pricier
+  const check::FuzzReport report = check::run_fuzz(1000, 8, options);
+  check::reset_enabled();
+  EXPECT_EQ(report.seeds_run, 8);
+  for (const check::Mismatch& m : report.mismatches) {
+    ADD_FAILURE() << check::format_reproducer(m);
+  }
+}
+
+TEST(Fuzz, InjectedSignFlipIsCaughtAndMinimized) {
+  // Hand the harness a buggy "engine": the Simulator path conjugates
+  // every T. A circuit that creates superposition and applies T must be
+  // flagged, and the minimizer must shrink it while keeping it failing.
+  check::FuzzOptions options;
+  options.corrupt_simulator = flip_t_to_tdg;
+  options.samples = 0;  // isolate the state comparison
+
+  Circuit circuit(5);
+  circuit.h(2);
+  circuit.x(0);       // junk the minimizer should discard
+  circuit.cz(0, 4);   // more junk (no superposition on 0/4 yet)
+  circuit.t(2);       // the bug site
+  circuit.h(4);
+  circuit.swap(1, 3); // junk
+  circuit.rz(4, 0.4);
+
+  const auto mismatch = check::run_differential(circuit, 77, options);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_EQ(mismatch->engine_b, "simulator");
+
+  const Circuit minimized = check::minimize_circuit(circuit, 77, options);
+  EXPECT_LT(minimized.num_gates(), circuit.num_gates());
+  EXPECT_LE(minimized.num_gates(), 2u);  // H q; T q is the minimal core
+  // The minimized circuit still reproduces the failure...
+  EXPECT_TRUE(check::run_differential(minimized, 77, options).has_value());
+  // ...and without the injected bug it is clean (the harness found the
+  // bug, not a tolerance artifact).
+  check::FuzzOptions clean = options;
+  clean.corrupt_simulator = nullptr;
+  EXPECT_FALSE(check::run_differential(minimized, 77, clean).has_value());
+}
+
+TEST(Fuzz, InjectedBugSurfacesThroughTheFullLoop) {
+  // End-to-end: run_fuzz over random seeds with the buggy engine, expect
+  // at least one mismatch, and expect every reported circuit to be small
+  // (minimization ran) and self-contained in the reproducer text.
+  check::FuzzOptions options;
+  options.corrupt_simulator = flip_t_to_tdg;
+  options.min_qubits = 4;
+  options.max_qubits = 6;
+  options.min_gates = 12;
+  options.max_gates = 20;
+  options.samples = 0;
+  options.fp32 = false;  // the bug is in the fp64 path; keep the loop fast
+
+  std::ostringstream log;
+  const check::FuzzReport report = check::run_fuzz(1, 12, options, &log);
+  ASSERT_FALSE(report.mismatches.empty())
+      << "12 seeds of 12-20 gates each produced no T on a superposed "
+         "qubit; generator biases regressed?";
+  for (const check::Mismatch& m : report.mismatches) {
+    EXPECT_EQ(m.engine_b, "simulator");
+    EXPECT_LE(m.circuit.num_gates(), 4u) << "minimization regressed";
+    const std::string repro = check::format_reproducer(m);
+    EXPECT_NE(repro.find("seed:"), std::string::npos);
+    EXPECT_NE(repro.find("qubits"), std::string::npos);
+    EXPECT_NE(repro.find("simulator"), std::string::npos);
+  }
+  EXPECT_NE(log.str().find("mismatch"), std::string::npos);
+}
+
+TEST(Fuzz, EngineThrowBecomesMismatchNotCrash) {
+  // An engine that dies (here: a guard trip from a poisoned circuit) is
+  // reported through the same reproducer machinery instead of aborting
+  // the whole fuzz run.
+  check::FuzzOptions options;
+  options.samples = 0;
+  options.fp32 = false;
+  options.corrupt_simulator = [](Circuit& circuit) {
+    Circuit replaced(circuit.num_qubits());
+    // Scale the first gate's matrix: no longer unitary, norm drifts.
+    const GateOp& op = circuit.op(0);
+    GateMatrix scaled = *op.matrix;
+    scaled.scale(Amplitude(0.5, 0.0));
+    // append_custom validates unitarity, so splice the op manually via
+    // append(); this mimics an in-engine matrix corruption.
+    replaced.append(GateKind::kCustom, op.qubits,
+                    std::make_shared<const GateMatrix>(std::move(scaled)));
+    for (std::size_t i = 1; i < circuit.num_gates(); ++i) {
+      replaced.append_op(circuit.op(i));
+    }
+    circuit = replaced;
+  };
+
+  Circuit circuit(4);
+  circuit.h(0);
+  circuit.h(1);
+
+  check::set_enabled(true);
+  const auto mismatch = check::run_differential(circuit, 5, options);
+  check::reset_enabled();
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_EQ(mismatch->engine_b, "simulator");
+  // Either the guard threw ("engine threw: ...") or, with guards off,
+  // the state comparison catches the halved amplitudes — with set_enabled
+  // above it must be the guard.
+  EXPECT_NE(mismatch->detail.find("engine threw"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quasar
