@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
+#include "core/parse.hpp"
 #include "core/rng.hpp"
 #include "core/timing.hpp"
 #include "core/types.hpp"
@@ -23,9 +24,12 @@
 namespace quasar::bench {
 
 /// Reads an integer environment override, e.g. QUASAR_BENCH_QUBITS.
+/// Strict (core/parse): a malformed value throws instead of silently
+/// benchmarking the atoi() of a typo.
 inline int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
-  return value ? std::atoi(value) : fallback;
+  if (value == nullptr) return fallback;
+  return parse_int(value, "environment variable", name);
 }
 
 /// Number of state-vector qubits used by host kernel measurements.

@@ -1,0 +1,147 @@
+/// \file checkpoint_demo.cpp
+/// \brief Kill -9 and resume: the checkpoint/restart workflow (DESIGN §10).
+///
+/// Runs a distributed supremacy workload under the checkpoint writer,
+/// snapshotting every stage boundary. On startup it looks for a usable
+/// snapshot in the checkpoint directory: if one verifies, the run resumes
+/// mid-schedule from it; otherwise it starts fresh. Killing the process
+/// at any point (for real, or via QUASAR_FAULT=kill_stage:<k>) and
+/// re-running the same command therefore completes the run — and prints
+/// the same state fingerprint and sample stream an uninterrupted run
+/// prints, which is exactly what the ckpt-smoke CI job asserts.
+///
+/// Environment knobs (strict parses — a typo aborts, it never silently
+/// becomes 0):
+///   QUASAR_DEMO_ROWS/COLS  supremacy grid (default 4x5 = 20 qubits)
+///   QUASAR_DEMO_DEPTH      circuit depth (default 16)
+///   QUASAR_CKPT_DIR        checkpoint directory (default "ckpt_demo")
+///   QUASAR_CKPT_EVERY      snapshot every k-th stage boundary (default 1)
+///   QUASAR_FAULT           fault injection, e.g. kill_stage:3 (fault.hpp)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "circuit/supremacy.hpp"
+#include "ckpt/crc32c.hpp"
+#include "ckpt/reader.hpp"
+#include "ckpt/writer.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
+#include "obs/trace_export.hpp"
+#include "runtime/distributed.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return quasar::parse_int(value, name);
+  } catch (const quasar::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+}
+
+std::string env_str(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? value : fallback;
+}
+
+/// Order-sensitive digest of the full run state: every rank slice in
+/// rank order, then the mapping and deferred phases. Two runs print the
+/// same fingerprint iff their distributed states are bit-identical.
+std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
+  using quasar::Amplitude;
+  std::uint32_t crc = 0;
+  const auto& cluster = sim.cluster();
+  for (int r = 0; r < cluster.num_ranks(); ++r) {
+    crc = quasar::ckpt::crc32c_extend(
+        crc, cluster.rank_data(r),
+        static_cast<std::size_t>(cluster.local_size()) * sizeof(Amplitude));
+  }
+  crc = quasar::ckpt::crc32c_extend(
+      crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));
+  crc = quasar::ckpt::crc32c_extend(
+      crc, sim.pending_phases().data(),
+      sim.pending_phases().size() * sizeof(Amplitude));
+  return crc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace quasar;
+  obs::EnvTraceGuard trace_guard;
+
+  SupremacyOptions options;
+  options.rows = env_int("QUASAR_DEMO_ROWS", 4);
+  options.cols = env_int("QUASAR_DEMO_COLS", 5);
+  const int n = options.rows * options.cols;
+  const int l = n - 4;  // 16 virtual ranks
+  options.depth = env_int("QUASAR_DEMO_DEPTH", 16);
+  options.seed = 11;
+  const Circuit circuit = make_supremacy_circuit(options);
+
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 5;
+  const Schedule schedule = make_schedule(circuit, sched);
+
+  ckpt::CheckpointOptions ckpt_options;
+  ckpt_options.directory = env_str("QUASAR_CKPT_DIR", "ckpt_demo");
+  std::printf("checkpoint-demo: n=%d l=%d ranks=%d stages=%zu dir=%s\n",
+              n, l, 1 << (n - l), schedule.stages.size(),
+              ckpt_options.directory.c_str());
+
+  DistributedSimulator sim(n, l);
+  Rng rng(2017);  // the sampling stream; its state rides in every manifest
+
+  // Resume if the directory holds a snapshot that verifies (falling back
+  // past torn/corrupt generations); start fresh otherwise.
+  std::size_t first_stage = 0;
+  const auto snapshot =
+      ckpt::CheckpointReader(ckpt_options.directory).load_latest();
+  if (snapshot.has_value()) {
+    first_stage = sim.resume(*snapshot, schedule, &rng);
+    std::printf("resume: generation %s cursor %zu fallbacks %d\n",
+                snapshot->generation.c_str(), first_stage,
+                snapshot->fallbacks);
+  } else {
+    sim.init_uniform();
+    std::printf("resume: none (fresh run)\n");
+  }
+
+  // The writer arms QUASAR_FAULT from the environment: kill_stage:<k>
+  // terminates this process with exit code 137 at that stage boundary,
+  // exactly like kill -9 at the worst moment the protocol allows.
+  ckpt::CheckpointWriter writer(ckpt_options);
+  CheckpointedRun ckpt_run;
+  ckpt_run.writer = &writer;
+  ckpt_run.first_stage = first_stage;
+  ckpt_run.rng = &rng;
+  ckpt_run.snapshot_every = env_int("QUASAR_CKPT_EVERY", 1);
+  sim.run(circuit, schedule, ckpt_run);
+  writer.close();
+
+  // The lines the ckpt-smoke CI job diffs between an uninterrupted run
+  // and a killed-then-resumed one.
+  std::printf("fingerprint 0x%08x\n", state_fingerprint(sim));
+  std::printf("norm %.17g\n", sim.norm_squared());
+  std::printf("entropy %.12g\n", sim.entropy());
+  std::printf("samples");
+  for (const Index outcome : sim.sample(8, rng)) {
+    std::printf(" %llu", static_cast<unsigned long long>(outcome));
+  }
+  std::printf("\n");
+
+  const ckpt::CheckpointStats stats = writer.stats();
+  const double gb = static_cast<double>(stats.bytes_written) / 1e9;
+  const double secs = static_cast<double>(stats.write_ns) / 1e9;
+  std::printf("checkpoint: %llu snapshots, %.3f GB written, %.2f GB/s, "
+              "%llu fault(s) injected at close\n",
+              static_cast<unsigned long long>(stats.snapshots), gb,
+              secs > 0.0 ? gb / secs : 0.0,
+              static_cast<unsigned long long>(stats.injected_faults));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "ckpt/crc32c.hpp"
+
+#include <array>
+
+namespace quasar::ckpt {
+
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+/// table[k][b] extends a CRC by byte b followed by k zero bytes.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t bytes) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t state = ~crc;
+  // Head: align to 8 bytes.
+  while (bytes > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    state = t[0][(state ^ *p++) & 0xffu] ^ (state >> 8);
+    --bytes;
+  }
+  // Body: 8 bytes per step via the slicing tables.
+  while (bytes >= 8) {
+    const std::uint32_t low =
+        state ^ (static_cast<std::uint32_t>(p[0]) |
+                 static_cast<std::uint32_t>(p[1]) << 8 |
+                 static_cast<std::uint32_t>(p[2]) << 16 |
+                 static_cast<std::uint32_t>(p[3]) << 24);
+    state = t[7][low & 0xffu] ^ t[6][(low >> 8) & 0xffu] ^
+            t[5][(low >> 16) & 0xffu] ^ t[4][low >> 24] ^
+            t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    bytes -= 8;
+  }
+  // Tail.
+  while (bytes-- > 0) {
+    state = t[0][(state ^ *p++) & 0xffu] ^ (state >> 8);
+  }
+  return ~state;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t bytes) {
+  return crc32c_extend(0, data, bytes);
+}
+
+}  // namespace quasar::ckpt

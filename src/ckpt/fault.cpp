@@ -1,0 +1,95 @@
+#include "ckpt/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/error.hpp"
+#include "core/parse.hpp"
+
+namespace quasar::ckpt {
+
+std::vector<FaultSpec> parse_fault_specs(std::string_view text) {
+  std::vector<FaultSpec> specs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      throw Error("QUASAR_FAULT: empty fault spec in '" +
+                  std::string(text) + "'");
+    }
+    const std::size_t colon = item.find(':');
+    const std::string_view name = item.substr(0, colon);
+    const std::string_view arg =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : item.substr(colon + 1);
+    FaultSpec spec;
+    if (name == "kill_stage") {
+      spec.kind = FaultKind::kKillStage;
+      spec.value = parse_int_in_range(arg, 0, 1 << 20, "kill_stage",
+                                      std::string(item));
+    } else if (name == "corrupt_shard") {
+      spec.kind = FaultKind::kCorruptShard;
+      spec.value = parse_int_in_range(arg, 0, 1 << 20, "corrupt_shard",
+                                      std::string(item));
+    } else if (name == "torn_manifest") {
+      if (colon != std::string_view::npos) {
+        throw Error("QUASAR_FAULT: torn_manifest takes no argument in '" +
+                    std::string(item) + "'");
+      }
+      spec.kind = FaultKind::kTornManifest;
+    } else {
+      throw Error("QUASAR_FAULT: unknown fault '" + std::string(item) +
+                  "' (expected kill_stage:<k>, corrupt_shard:<rank>, or "
+                  "torn_manifest)");
+    }
+    specs.push_back(spec);
+    if (comma == text.size()) break;
+  }
+  return specs;
+}
+
+FaultInjector FaultInjector::from_env() {
+  FaultInjector injector;
+  const char* value = std::getenv("QUASAR_FAULT");
+  if (value == nullptr || *value == '\0') return injector;
+  for (const FaultSpec& spec : parse_fault_specs(value)) {
+    injector.arm(spec);
+  }
+  return injector;
+}
+
+std::optional<int> FaultInjector::kill_stage() const {
+  for (const FaultSpec& s : specs_) {
+    if (s.kind == FaultKind::kKillStage) return s.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> FaultInjector::corrupt_shard() const {
+  for (const FaultSpec& s : specs_) {
+    if (s.kind == FaultKind::kCorruptShard) return s.value;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::torn_manifest() const {
+  for (const FaultSpec& s : specs_) {
+    if (s.kind == FaultKind::kTornManifest) return true;
+  }
+  return false;
+}
+
+void FaultInjector::kill(std::size_t stage) const {
+  if (kill_throws_) throw SimulatedKill{stage};
+  std::fprintf(stderr,
+               "QUASAR_FAULT: killing process at stage %zu boundary\n",
+               stage);
+  std::fflush(stderr);
+  // _Exit: no destructors, no atexit — the closest in-process stand-in
+  // for SIGKILL. 137 = 128 + SIGKILL, what a shell reports for kill -9.
+  std::_Exit(137);
+}
+
+}  // namespace quasar::ckpt

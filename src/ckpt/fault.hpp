@@ -1,0 +1,80 @@
+/// \file fault.hpp
+/// \brief Env-driven fault injection for the checkpoint recovery paths.
+///
+/// The recovery logic — resume after a kill, CRC fallback after a bit
+/// flip, torn-manifest detection — is exactly the code that never runs in
+/// a healthy CI. QUASAR_FAULT makes each failure reproducible on demand:
+///
+///     QUASAR_FAULT=kill_stage:<k>      terminate the process (exit 137,
+///                                      as after SIGKILL) at the boundary
+///                                      before executing stage k
+///     QUASAR_FAULT=corrupt_shard:<r>   flip one byte of rank r's shard
+///                                      in the newest generation when the
+///                                      writer closes
+///     QUASAR_FAULT=torn_manifest       truncate the newest generation's
+///                                      manifest mid-file when the writer
+///                                      closes (simulates a torn write on
+///                                      a non-atomic filesystem)
+///
+/// Several faults combine comma-separated. Malformed specs throw
+/// quasar::Error at parse time — a typo'd fault must not silently become
+/// a fault-free run (core/parse discipline).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quasar::ckpt {
+
+enum class FaultKind { kKillStage, kCorruptShard, kTornManifest };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kKillStage;
+  /// Stage for kKillStage, rank for kCorruptShard, unused otherwise.
+  int value = 0;
+};
+
+/// Parses the QUASAR_FAULT grammar (comma-separated specs). Throws
+/// quasar::Error on unknown fault names, missing or trailing-garbage
+/// arguments.
+std::vector<FaultSpec> parse_fault_specs(std::string_view text);
+
+/// Thrown instead of terminating when kill-throws mode is on (unit tests
+/// cannot survive a real _Exit; the demo and CI use the real path).
+/// Deliberately NOT a quasar::Error so no recovery path can swallow it.
+struct SimulatedKill {
+  std::size_t stage = 0;
+};
+
+/// Holds armed faults and applies them at the writer's hook points.
+class FaultInjector {
+ public:
+  /// No faults armed.
+  FaultInjector() = default;
+  /// Reads QUASAR_FAULT (strict parse; throws on malformed values).
+  static FaultInjector from_env();
+
+  void arm(FaultSpec spec) { specs_.push_back(spec); }
+  bool any_armed() const { return !specs_.empty(); }
+
+  /// Stage to kill at, if a kill fault is armed.
+  std::optional<int> kill_stage() const;
+  /// Rank whose shard to corrupt at writer close, if armed.
+  std::optional<int> corrupt_shard() const;
+  /// True when the newest manifest should be torn at writer close.
+  bool torn_manifest() const;
+
+  /// Terminates the process with exit code 137 (the shell's code for a
+  /// SIGKILLed child), or throws SimulatedKill in kill-throws mode.
+  [[noreturn]] void kill(std::size_t stage) const;
+  /// Unit-test mode: kill() throws SimulatedKill instead of exiting.
+  void set_kill_throws(bool throws) { kill_throws_ = throws; }
+
+ private:
+  std::vector<FaultSpec> specs_;
+  bool kill_throws_ = false;
+};
+
+}  // namespace quasar::ckpt

@@ -1,0 +1,205 @@
+#include "ckpt/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "check/invariant.hpp"
+#include "ckpt/crc32c.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
+
+namespace quasar::ckpt {
+
+namespace {
+
+/// Hexfloat rendering: bit-exact under strtod round trip.
+std::string hex_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+std::uint32_t parse_hex32(std::string_view token, const std::string& what,
+                          const std::string& context) {
+  QUASAR_CHECK(!token.empty() && token.size() <= 8,
+               "manifest: " + what + " must be 1-8 hex digits in: " + context);
+  std::uint32_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else {
+      throw Error("manifest: " + what + " has a non-hex digit in: " +
+                  context);
+    }
+    value = value << 4 | static_cast<std::uint32_t>(digit);
+  }
+  return value;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+std::string shard_file_name(int rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04d.bin", rank);
+  return buf;
+}
+
+std::string manifest_to_string(const Manifest& m) {
+  std::string out;
+  out += "quasar-checkpoint 1\n";
+  out += "engine " + m.engine + "\n";
+  out += "qubits " + std::to_string(m.num_qubits) + " local " +
+         std::to_string(m.num_local) + "\n";
+  out += "cursor " + std::to_string(m.cursor) + "\n";
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08" PRIx32, m.schedule_crc);
+  out += std::string("schedule ") + hex + "\n";
+  out += "norm " + hex_double(m.norm_squared) + "\n";
+  out += "mapping";
+  for (int loc : m.mapping) out += " " + std::to_string(loc);
+  out += "\n";
+  if (!m.rng_state.empty()) out += "rng " + m.rng_state + "\n";
+  for (std::size_t r = 0; r < m.pending_phase.size(); ++r) {
+    out += "phase " + std::to_string(r) + " " +
+           hex_double(m.pending_phase[r].real()) + " " +
+           hex_double(m.pending_phase[r].imag()) + "\n";
+  }
+  for (std::size_t r = 0; r < m.shards.size(); ++r) {
+    std::snprintf(hex, sizeof(hex), "%08" PRIx32, m.shards[r].crc);
+    out += "shard " + std::to_string(r) + " " +
+           std::to_string(m.shards[r].bytes) + " " + hex + "\n";
+  }
+  std::snprintf(hex, sizeof(hex), "%08" PRIx32,
+                crc32c(out.data(), out.size()));
+  out += std::string("crc ") + hex + "\n";
+  return out;
+}
+
+Manifest manifest_from_string(const std::string& text) {
+  // 1. Self-CRC: the last line must be `crc <hex>` covering every byte
+  // before it. Checked before anything else is trusted — a truncated
+  // (torn) manifest fails here.
+  std::size_t tail = text.size();
+  if (tail > 0 && text[tail - 1] == '\n') --tail;
+  const std::size_t crc_line = text.rfind('\n', tail == 0 ? 0 : tail - 1);
+  if (crc_line == std::string::npos) {
+    throw check::ValidationError(
+        "manifest: missing trailing crc line (torn write?)");
+  }
+  const std::string last = text.substr(crc_line + 1, tail - crc_line - 1);
+  const auto crc_tokens = tokens_of(last);
+  if (crc_tokens.size() != 2 || crc_tokens[0] != "crc") {
+    throw check::ValidationError(
+        "manifest: malformed trailing crc line (torn write?)");
+  }
+  const std::uint32_t recorded = parse_hex32(crc_tokens[1], "crc", last);
+  const std::uint32_t actual = crc32c(text.data(), crc_line + 1);
+  if (recorded != actual) {
+    throw check::ValidationError(
+        "manifest: self-CRC mismatch (torn or corrupted write)");
+  }
+
+  // 2. Line-by-line field parsing.
+  Manifest m;
+  bool saw_header = false, saw_qubits = false, saw_cursor = false;
+  bool saw_norm = false, saw_schedule = false;
+  std::istringstream is(text.substr(0, crc_line + 1));
+  std::string line;
+  std::size_t next_phase = 0, next_shard = 0;
+  while (std::getline(is, line)) {
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+    const std::string& key = toks[0];
+    if (key == "quasar-checkpoint") {
+      QUASAR_CHECK(toks.size() == 2 &&
+                       parse_int(toks[1], "manifest version", line) == 1,
+                   "manifest: unsupported version in: " + line);
+      saw_header = true;
+    } else if (key == "engine") {
+      QUASAR_CHECK(toks.size() == 2 &&
+                       (toks[1] == "fp64" || toks[1] == "fp32"),
+                   "manifest: engine must be fp64 or fp32 in: " + line);
+      m.engine = toks[1];
+    } else if (key == "qubits") {
+      QUASAR_CHECK(toks.size() == 4 && toks[2] == "local",
+                   "manifest: malformed qubits line: " + line);
+      m.num_qubits = parse_int_in_range(toks[1], 1, 62, "qubits", line);
+      m.num_local =
+          parse_int_in_range(toks[3], 1, m.num_qubits, "local", line);
+      saw_qubits = true;
+    } else if (key == "cursor") {
+      QUASAR_CHECK(toks.size() == 2, "manifest: malformed cursor: " + line);
+      m.cursor = static_cast<std::size_t>(
+          parse_int_in_range(toks[1], 0, 1 << 20, "cursor", line));
+      saw_cursor = true;
+    } else if (key == "schedule") {
+      QUASAR_CHECK(toks.size() == 2,
+                   "manifest: malformed schedule line: " + line);
+      m.schedule_crc = parse_hex32(toks[1], "schedule crc", line);
+      saw_schedule = true;
+    } else if (key == "norm") {
+      QUASAR_CHECK(toks.size() == 2, "manifest: malformed norm: " + line);
+      m.norm_squared = parse_double(toks[1], "norm", line);
+      saw_norm = true;
+    } else if (key == "mapping") {
+      QUASAR_CHECK(m.mapping.empty(), "manifest: duplicate mapping line");
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        m.mapping.push_back(parse_int(toks[i], "mapping entry", line));
+      }
+    } else if (key == "rng") {
+      QUASAR_CHECK(m.rng_state.empty(), "manifest: duplicate rng line");
+      const std::size_t at = line.find("rng ");
+      m.rng_state = line.substr(at + 4);
+    } else if (key == "phase") {
+      QUASAR_CHECK(toks.size() == 4, "manifest: malformed phase: " + line);
+      const std::size_t rank = static_cast<std::size_t>(
+          parse_int_in_range(toks[1], 0, 1 << 20, "phase rank", line));
+      QUASAR_CHECK(rank == next_phase++,
+                   "manifest: phase lines out of order at: " + line);
+      m.pending_phase.emplace_back(parse_double(toks[2], "phase re", line),
+                                   parse_double(toks[3], "phase im", line));
+    } else if (key == "shard") {
+      QUASAR_CHECK(toks.size() == 4, "manifest: malformed shard: " + line);
+      const std::size_t rank = static_cast<std::size_t>(
+          parse_int_in_range(toks[1], 0, 1 << 20, "shard rank", line));
+      QUASAR_CHECK(rank == next_shard++,
+                   "manifest: shard lines out of order at: " + line);
+      ShardInfo shard;
+      shard.bytes = parse_uint64(toks[2], "shard bytes", line);
+      shard.crc = parse_hex32(toks[3], "shard crc", line);
+      m.shards.push_back(shard);
+    } else {
+      throw Error("manifest: unknown line: " + line);
+    }
+  }
+
+  // 3. Cross-field consistency.
+  QUASAR_CHECK(saw_header, "manifest: missing quasar-checkpoint header");
+  QUASAR_CHECK(!m.engine.empty(), "manifest: missing engine line");
+  QUASAR_CHECK(saw_qubits && saw_cursor && saw_norm && saw_schedule,
+               "manifest: missing qubits/cursor/norm/schedule line");
+  QUASAR_CHECK(m.num_qubits - m.num_local <= 20,
+               "manifest: implausible rank count");
+  const std::size_t ranks = static_cast<std::size_t>(m.num_ranks());
+  QUASAR_CHECK(m.mapping.size() == static_cast<std::size_t>(m.num_qubits),
+               "manifest: mapping does not cover every qubit");
+  QUASAR_CHECK(m.pending_phase.size() == ranks,
+               "manifest: expected one phase line per rank");
+  QUASAR_CHECK(m.shards.size() == ranks,
+               "manifest: expected one shard line per rank");
+  return m;
+}
+
+}  // namespace quasar::ckpt

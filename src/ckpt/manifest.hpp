@@ -1,0 +1,82 @@
+/// \file manifest.hpp
+/// \brief Snapshot manifest: everything a resume needs besides the shards.
+///
+/// One manifest per snapshot generation describes the full run state at a
+/// stage boundary (DESIGN.md §10): the engine and geometry, the schedule
+/// cursor (first unexecuted stage), the program-qubit -> bit-location
+/// mapping, the deferred per-rank phases of Sec. 3.5, the recorded
+/// squared norm, the sampling RNG state, a digest of the schedule it was
+/// built against, and the byte count + CRC32C of every amplitude shard.
+///
+/// Format (text, line oriented, deterministic — no timestamps):
+///
+///     quasar-checkpoint 1
+///     engine fp64|fp32
+///     qubits <n> local <l>
+///     cursor <first unexecuted stage>
+///     schedule <crc32c of the schedule text, 8 hex digits; 0 = unknown>
+///     norm <squared norm, C99 hexfloat>
+///     mapping <location of qubit 0> <location of qubit 1> ...
+///     rng <mt19937_64 state tokens>            (optional)
+///     phase <rank> <re hexfloat> <im hexfloat> (one line per rank)
+///     shard <rank> <bytes> <crc32c hex>        (one line per rank)
+///     crc <crc32c of every preceding byte, 8 hex digits>
+///
+/// Doubles are serialized as hexfloats so a parse-print round trip is
+/// bit-exact; the trailing `crc` line makes a torn or truncated manifest
+/// detectable without trusting any field before it.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quasar::ckpt {
+
+/// Integrity record of one rank's amplitude shard file.
+struct ShardInfo {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Parsed (or to-be-written) snapshot manifest.
+struct Manifest {
+  std::string engine;  ///< "fp64" or "fp32"
+  int num_qubits = 0;
+  int num_local = 0;
+  /// First unexecuted stage of the schedule (0 = nothing ran yet).
+  std::size_t cursor = 0;
+  /// CRC32C of schedule_to_string() for the schedule this snapshot
+  /// belongs to; 0 when unknown. Resume refuses a mismatched schedule.
+  std::uint32_t schedule_crc = 0;
+  /// Squared norm of the distributed state at snapshot time; verified
+  /// against the reloaded shards before the state is trusted.
+  double norm_squared = 0.0;
+  /// Program qubit -> bit-location mapping at the stage boundary.
+  std::vector<int> mapping;
+  /// Serialized sampling Rng (Rng::serialize()); empty = not recorded.
+  std::string rng_state;
+  /// Deferred per-rank phases (Sec. 3.5), one per rank.
+  std::vector<std::complex<double>> pending_phase;
+  /// Per-rank shard integrity, one per rank.
+  std::vector<ShardInfo> shards;
+
+  int num_ranks() const { return 1 << (num_qubits - num_local); }
+};
+
+/// Serializes the manifest, including the trailing self-CRC line.
+std::string manifest_to_string(const Manifest& manifest);
+
+/// Parses and validates a manifest. Verifies the trailing self-CRC first
+/// (a mismatch means a torn or corrupted write), then field structure and
+/// cross-field consistency (rank counts, mapping size). Throws
+/// quasar::Error naming what failed.
+Manifest manifest_from_string(const std::string& text);
+
+/// Name of the manifest file inside a generation directory.
+inline constexpr const char* kManifestFileName = "manifest.txt";
+/// Shard file name for one rank.
+std::string shard_file_name(int rank);
+
+}  // namespace quasar::ckpt

@@ -1,0 +1,118 @@
+#include "ckpt/reader.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "check/invariant.hpp"
+#include "ckpt/crc32c.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
+#include "obs/trace.hpp"
+
+namespace quasar::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  QUASAR_CHECK(is.good(), "checkpoint: cannot open " + path.string());
+  std::string out((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  QUASAR_CHECK(!is.bad(), "checkpoint: read failed on " + path.string());
+  return out;
+}
+
+}  // namespace
+
+CheckpointReader::CheckpointReader(std::string directory)
+    : directory_(std::move(directory)) {
+  QUASAR_CHECK(!directory_.empty(),
+               "checkpoint: directory must not be empty");
+}
+
+std::vector<std::string> CheckpointReader::generations() const {
+  std::vector<std::pair<std::uint64_t, std::string>> gens;
+  if (!fs::is_directory(directory_)) return {};
+  for (const auto& entry : fs::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("gen-", 0) != 0 || !entry.is_directory()) continue;
+    if (name.find('.') != std::string::npos) continue;  // .tmp leftovers
+    try {
+      gens.emplace_back(parse_uint64(name.substr(4), "generation", name),
+                        name);
+    } catch (const Error&) {
+      // Unrelated directory; skip.
+    }
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  out.reserve(gens.size());
+  for (auto& [cursor, name] : gens) out.push_back(std::move(name));
+  return out;
+}
+
+LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
+  QUASAR_OBS_SPAN("checkpoint", "snapshot_read");
+  const fs::path dir = fs::path(directory_) / generation;
+  LoadedSnapshot snap;
+  snap.generation = generation;
+  snap.manifest = manifest_from_string(read_file(dir / kManifestFileName));
+
+  snap.shard_bytes.resize(snap.manifest.shards.size());
+  for (std::size_t r = 0; r < snap.manifest.shards.size(); ++r) {
+    const ShardInfo& info = snap.manifest.shards[r];
+    const fs::path path = dir / shard_file_name(static_cast<int>(r));
+    std::string raw = read_file(path);
+    if (raw.size() != info.bytes) {
+      throw check::ValidationError(
+          "checkpoint: " + path.string() + " holds " +
+          std::to_string(raw.size()) + " bytes, manifest records " +
+          std::to_string(info.bytes) + " (torn write?)");
+    }
+    const std::uint32_t actual = crc32c(raw.data(), raw.size());
+    if (actual != info.crc) {
+      obs::count("ckpt.shard_crc_failures");
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "checkpoint: %s CRC mismatch (stored %08x, computed "
+                    "%08x) — corrupted shard",
+                    path.string().c_str(), info.crc, actual);
+      throw check::ValidationError(buf);
+    }
+    snap.shard_bytes[r].assign(raw.begin(), raw.end());
+  }
+  obs::count("ckpt.bytes_read", [&] {
+    std::uint64_t total = 0;
+    for (const auto& s : snap.shard_bytes) total += s.size();
+    return total;
+  }());
+  return snap;
+}
+
+std::optional<LoadedSnapshot> CheckpointReader::load_latest() const {
+  int fallbacks = 0;
+  for (const std::string& generation : generations()) {
+    try {
+      LoadedSnapshot snap = load(generation);
+      snap.fallbacks = fallbacks;
+      return snap;
+    } catch (const Error& e) {
+      // Torn or corrupted generation: report, count, fall back to the
+      // previous one.
+      std::fprintf(stderr,
+                   "checkpoint: %s failed verification (%s); falling back\n",
+                   generation.c_str(), e.what());
+      obs::count("ckpt.fallbacks");
+      ++fallbacks;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace quasar::ckpt

@@ -1,0 +1,56 @@
+/// \file reader.hpp
+/// \brief Snapshot loading with CRC verification and generation fallback.
+///
+/// The reader side of the DESIGN.md §10 protocol: scan the checkpoint
+/// directory for committed generations (ignoring `.tmp` leftovers of a
+/// killed writer), try them newest-first, and accept the first one whose
+/// manifest self-CRC and every shard CRC verify. A torn or corrupted
+/// newest generation therefore falls back to its predecessor instead of
+/// poisoning the resume — the scenario FaultInjector makes testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/manifest.hpp"
+
+namespace quasar::ckpt {
+
+/// A fully verified snapshot held in memory: the manifest plus every
+/// shard's raw bytes (CRC-checked against the manifest).
+struct LoadedSnapshot {
+  Manifest manifest;
+  std::vector<std::vector<std::uint8_t>> shard_bytes;
+  /// Generation directory the snapshot came from (e.g. "gen-000007").
+  std::string generation;
+  /// Newer generations skipped because they failed verification.
+  int fallbacks = 0;
+};
+
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Committed generation directory names, newest (highest cursor) first.
+  /// `.tmp` staging directories and unrelated files are ignored.
+  std::vector<std::string> generations() const;
+
+  /// Loads and fully verifies one generation: manifest self-CRC, field
+  /// structure, per-shard byte counts and CRC32C. Throws quasar::Error
+  /// (check::ValidationError for integrity failures) on any mismatch.
+  LoadedSnapshot load(const std::string& generation) const;
+
+  /// Walks generations newest-first and returns the first that verifies,
+  /// with `fallbacks` counting the corrupt ones skipped (also exported as
+  /// the ckpt.fallbacks counter). nullopt when no valid snapshot exists.
+  std::optional<LoadedSnapshot> load_latest() const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace quasar::ckpt

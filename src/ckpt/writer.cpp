@@ -1,0 +1,269 @@
+#include "ckpt/writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "ckpt/crc32c.hpp"
+#include "core/error.hpp"
+#include "core/parse.hpp"
+#include "obs/trace.hpp"
+
+namespace quasar::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string generation_name(std::size_t cursor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gen-%06zu", cursor);
+  return buf;
+}
+
+void write_file(const fs::path& path, const void* data, std::size_t bytes,
+                bool do_fsync) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  QUASAR_CHECK(os.good(),
+               "checkpoint: cannot open " + path.string() + " for writing");
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  os.flush();
+  QUASAR_CHECK(os.good(), "checkpoint: short write to " + path.string());
+  os.close();
+  if (do_fsync) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    QUASAR_CHECK(fd >= 0, "checkpoint: cannot reopen " + path.string() +
+                              " for fsync");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    QUASAR_CHECK(rc == 0, "checkpoint: fsync failed on " + path.string());
+  }
+}
+
+void fsync_directory(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(CheckpointOptions options)
+    : options_(std::move(options)), fault_(FaultInjector::from_env()) {
+  QUASAR_CHECK(!options_.directory.empty(),
+               "checkpoint: directory must not be empty");
+  QUASAR_CHECK(options_.keep_generations >= 1,
+               "checkpoint: keep_generations must be >= 1");
+  fs::create_directories(options_.directory);
+  if (options_.background) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "checkpoint: close failed: %s\n", e.what());
+  }
+}
+
+void CheckpointWriter::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_slot_ < 0 && !writing_; });
+  if (worker_error_) {
+    std::exception_ptr error = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void CheckpointWriter::commit() {
+  QUASAR_CHECK(!closed_, "checkpoint: commit after close");
+  if (!options_.background) {
+    write_generation(slots_[staging_slot_]);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    QUASAR_CHECK(pending_slot_ < 0 && !writing_,
+                 "checkpoint: commit without wait_idle");
+    pending_slot_ = staging_slot_;
+    staging_slot_ ^= 1;
+  }
+  cv_.notify_all();
+}
+
+void CheckpointWriter::worker_loop() {
+  for (;;) {
+    int slot;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return pending_slot_ >= 0 || shutdown_; });
+      if (pending_slot_ < 0 && shutdown_) return;
+      slot = pending_slot_;
+      pending_slot_ = -1;
+      writing_ = true;
+    }
+    try {
+      write_generation(slots_[slot]);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      worker_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      writing_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void CheckpointWriter::write_generation(Snapshot& snap) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t bytes = 0;
+  const std::string name = generation_name(snap.manifest.cursor);
+  const fs::path dir = fs::path(options_.directory) / name;
+  const fs::path tmp = fs::path(options_.directory) / (name + ".tmp");
+  {
+    QUASAR_OBS_SPAN("checkpoint", "snapshot_write", "cursor",
+                    static_cast<std::int64_t>(snap.manifest.cursor));
+    fs::remove_all(tmp);
+    fs::create_directory(tmp);
+
+    snap.manifest.shards.clear();
+    for (std::size_t r = 0; r < snap.shard_bytes.size(); ++r) {
+      const std::vector<std::uint8_t>& shard = snap.shard_bytes[r];
+      ShardInfo info;
+      info.bytes = shard.size();
+      info.crc = crc32c(shard.data(), shard.size());
+      snap.manifest.shards.push_back(info);
+      write_file(tmp / shard_file_name(static_cast<int>(r)), shard.data(),
+                 shard.size(), options_.fsync);
+      bytes += shard.size();
+    }
+    const std::string text = manifest_to_string(snap.manifest);
+    write_file(tmp / kManifestFileName, text.data(), text.size(),
+               options_.fsync);
+    bytes += text.size();
+    if (options_.fsync) fsync_directory(tmp);
+
+    // The commit point: one atomic rename. Until it happens the reader
+    // sees only the previous generations.
+    fs::remove_all(dir);
+    fs::rename(tmp, dir);
+    if (options_.fsync) fsync_directory(options_.directory);
+  }
+  const std::uint64_t ns =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.snapshots;
+    stats_.bytes_written += bytes;
+    stats_.write_ns += ns;
+    latest_generation_ = name;
+  }
+  obs::count("ckpt.snapshots");
+  obs::count("ckpt.bytes_written", bytes);
+  obs::count("ckpt.write_ns", ns);
+  prune_generations();
+}
+
+void CheckpointWriter::prune_generations() {
+  // Committed generations, oldest first by cursor.
+  std::vector<std::pair<std::uint64_t, fs::path>> gens;
+  for (const auto& entry : fs::directory_iterator(options_.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("gen-", 0) != 0 || !entry.is_directory()) continue;
+    if (name.size() > 4 && name.find('.') == std::string::npos) {
+      try {
+        gens.emplace_back(parse_uint64(name.substr(4), "generation", name),
+                          entry.path());
+      } catch (const Error&) {
+        // Not a generation directory; leave it alone.
+      }
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  while (gens.size() > static_cast<std::size_t>(options_.keep_generations)) {
+    fs::remove_all(gens.front().second);
+    gens.erase(gens.begin());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.generations_pruned;
+  }
+}
+
+void CheckpointWriter::apply_close_faults() {
+  if (latest_generation().empty()) return;
+  const fs::path dir = fs::path(options_.directory) / latest_generation();
+  if (const auto rank = fault_.corrupt_shard()) {
+    const fs::path shard = dir / shard_file_name(*rank);
+    if (fs::exists(shard) && fs::file_size(shard) > 0) {
+      // Flip one byte in the middle of the shard; the CRC recorded in the
+      // manifest no longer matches and the reader must fall back.
+      std::fstream f(shard, std::ios::binary | std::ios::in | std::ios::out);
+      const auto offset =
+          static_cast<std::streamoff>(fs::file_size(shard) / 2);
+      f.seekg(offset);
+      char byte = 0;
+      f.get(byte);
+      byte = static_cast<char>(byte ^ 0x5a);
+      f.seekp(offset);
+      f.put(byte);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_faults;
+    }
+  }
+  if (fault_.torn_manifest()) {
+    const fs::path manifest = dir / kManifestFileName;
+    if (fs::exists(manifest) && fs::file_size(manifest) > 1) {
+      // Truncate mid-file: the trailing self-CRC line is gone, so the
+      // reader's manifest parse must reject it as torn.
+      fs::resize_file(manifest, fs::file_size(manifest) / 2);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_faults;
+    }
+  }
+}
+
+void CheckpointWriter::close() {
+  if (closed_) return;
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  if (worker_error_) {
+    std::exception_ptr error = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  apply_close_faults();
+}
+
+CheckpointStats CheckpointWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string CheckpointWriter::latest_generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_generation_;
+}
+
+}  // namespace quasar::ckpt

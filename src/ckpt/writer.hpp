@@ -1,0 +1,134 @@
+/// \file writer.hpp
+/// \brief Generation-based snapshot writer with a background I/O thread.
+///
+/// One CheckpointWriter owns a checkpoint directory and writes snapshot
+/// *generations* into it, one per committed stage boundary:
+///
+///     <dir>/gen-000007/manifest.txt      (self-CRC'd, see manifest.hpp)
+///     <dir>/gen-000007/shard-0000.bin    (raw amplitudes, CRC in manifest)
+///     ...
+///
+/// Durability protocol (DESIGN.md §10): a generation is first assembled
+/// under `gen-<k>.tmp/`, every file fully written (optionally fsync'ed),
+/// and only then renamed to `gen-<k>/` — a single atomic directory
+/// rename. A process killed mid-write leaves a `.tmp` directory the
+/// reader never looks at; the newest *committed* generation is always
+/// intact. Older generations are pruned down to `keep_generations`, so a
+/// generation that turns out corrupted on disk (CRC mismatch at read
+/// time) still has a predecessor to fall back to.
+///
+/// Double buffering: the compute thread copies the run state into a
+/// staging snapshot (a memcpy at DRAM bandwidth) and commit() hands it to
+/// a background thread that CRCs, serializes, and renames while the next
+/// stage computes. wait_idle() blocks until the in-flight write (if any)
+/// is durable, so at most one extra state copy exists at any time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/fault.hpp"
+#include "ckpt/manifest.hpp"
+
+namespace quasar::ckpt {
+
+struct CheckpointOptions {
+  /// Checkpoint directory; created (recursively) if missing.
+  std::string directory;
+  /// Committed generations kept on disk (>= 1). Two generations is the
+  /// minimum for torn/corrupt fallback to have somewhere to land.
+  int keep_generations = 2;
+  /// Serialize on a background thread, overlapping the next stage's
+  /// compute. When false, commit() writes synchronously in the caller.
+  bool background = true;
+  /// fsync shard/manifest files and the directory before the commit
+  /// rename. Off by default: rename ordering alone survives kill -9;
+  /// fsync additionally survives power loss at a large cost on slow
+  /// disks.
+  bool fsync = false;
+};
+
+/// Writer-side counters (a superset is exported as ckpt.* obs counters).
+struct CheckpointStats {
+  std::uint64_t snapshots = 0;        ///< generations committed
+  std::uint64_t bytes_written = 0;    ///< shard + manifest bytes
+  std::uint64_t write_ns = 0;         ///< background serialize+rename time
+  std::uint64_t generations_pruned = 0;
+  std::uint64_t injected_faults = 0;  ///< close-time corruptions applied
+};
+
+/// One snapshot in flight: the manifest (shards field filled during the
+/// write) plus every rank's raw amplitude bytes.
+struct Snapshot {
+  Manifest manifest;
+  std::vector<std::vector<std::uint8_t>> shard_bytes;
+};
+
+class CheckpointWriter {
+ public:
+  /// Creates the directory and (by default) arms faults from QUASAR_FAULT.
+  explicit CheckpointWriter(CheckpointOptions options);
+  /// Drains and closes; close-time write errors are reported to stderr
+  /// (destructors cannot throw).
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  const CheckpointOptions& options() const { return options_; }
+  /// Armed fault set; tests swap in their own (see FaultInjector).
+  FaultInjector& fault() { return fault_; }
+
+  /// Blocks until no write is in flight, then rethrows any error the
+  /// background writer hit. After wait_idle() the staging snapshot may be
+  /// refilled.
+  void wait_idle();
+  /// The staging snapshot. Only valid to mutate between wait_idle() and
+  /// commit(); buffers are reused across snapshots to avoid reallocating
+  /// a state-sized copy every boundary.
+  Snapshot& staging() { return slots_[staging_slot_]; }
+  /// Enqueues the staging snapshot for writing (or writes it inline when
+  /// background is off). The snapshot's manifest must carry everything
+  /// but the shards field, which the writer fills from shard_bytes.
+  void commit();
+
+  /// Drains, joins the background thread, applies close-time faults
+  /// (corrupt_shard / torn_manifest) to the newest generation, and prunes.
+  /// Idempotent; throws on pending background errors.
+  void close();
+
+  /// Counters (quiesced under the writer lock).
+  CheckpointStats stats() const;
+  /// Directory name (relative to the checkpoint directory) of the newest
+  /// committed generation; empty before the first commit.
+  std::string latest_generation() const;
+
+ private:
+  void worker_loop();
+  /// Serializes one snapshot as a generation directory: tmp dir, shards
+  /// + CRCs, manifest, optional fsync, atomic rename, prune.
+  void write_generation(Snapshot& snap);
+  void prune_generations();
+  void apply_close_faults();
+
+  CheckpointOptions options_;
+  FaultInjector fault_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Snapshot slots_[2];
+  int staging_slot_ = 0;
+  int pending_slot_ = -1;  ///< slot queued for the worker, -1 = none
+  bool writing_ = false;
+  bool shutdown_ = false;
+  bool closed_ = false;
+  std::exception_ptr worker_error_;
+  CheckpointStats stats_;
+  std::string latest_generation_;
+  std::thread worker_;
+};
+
+}  // namespace quasar::ckpt

@@ -47,6 +47,22 @@ int parse_int_in_range(std::string_view token, int min, int max,
   return value;
 }
 
+std::uint64_t parse_uint64(std::string_view token, const std::string& what,
+                           const std::string& context) {
+  if (token.empty()) fail(token, what, context, "is empty");
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(token, what, context, "is out of range");
+  }
+  if (ec != std::errc() || ptr != last) {
+    fail(token, what, context, "is not a non-negative integer");
+  }
+  return value;
+}
+
 double parse_double(std::string_view token, const std::string& what,
                     const std::string& context) {
   if (token.empty()) fail(token, what, context, "is empty");

@@ -7,6 +7,7 @@
 /// the WHOLE token or throw quasar::Error naming the offending text.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -22,6 +23,11 @@ int parse_int(std::string_view token, const std::string& what,
 int parse_int_in_range(std::string_view token, int min, int max,
                        const std::string& what,
                        const std::string& context = std::string());
+
+/// Parses `token` as a non-negative decimal 64-bit integer, whole-token
+/// (shard byte counts in checkpoint manifests exceed int range).
+std::uint64_t parse_uint64(std::string_view token, const std::string& what,
+                           const std::string& context = std::string());
 
 /// Parses `token` as a double, whole-token, throwing quasar::Error on
 /// malformed input (used for gate parameters in the circuit format).

@@ -1,5 +1,7 @@
 #include "core/rng.hpp"
 
+#include <sstream>
+
 #include "core/error.hpp"
 
 namespace quasar {
@@ -36,6 +38,25 @@ double Rng::normal() {
 Rng Rng::split(std::uint64_t stream) {
   std::uint64_t mix = engine_() ^ (0xa02bdbf7bb3c0a7ull * (stream + 1));
   return Rng(mix);
+}
+
+std::string Rng::serialize() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::restore(std::string_view state) {
+  // Deserialize into a scratch engine first so a malformed token stream
+  // cannot leave this Rng half-updated.
+  std::mt19937_64 restored;
+  std::istringstream is{std::string(state)};
+  is >> restored;
+  QUASAR_CHECK(!is.fail(), "Rng::restore: malformed serialized state");
+  is >> std::ws;
+  QUASAR_CHECK(is.eof(),
+               "Rng::restore: trailing garbage after serialized state");
+  engine_ = restored;
 }
 
 }  // namespace quasar

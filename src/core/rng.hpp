@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
+#include <string_view>
 
 #include "core/types.hpp"
 
@@ -32,6 +34,16 @@ class Rng {
   /// Derives an independent child generator. Children with distinct
   /// `stream` values (under the same parent state) do not correlate.
   Rng split(std::uint64_t stream);
+
+  /// Full engine state as a text token stream (the mt19937_64 stream
+  /// format). restore(serialize()) reproduces the draw sequence exactly —
+  /// the bit-exact-resume requirement of checkpointed sampling
+  /// (DESIGN.md §10).
+  std::string serialize() const;
+
+  /// Replaces the engine state with a previously serialized one. Throws
+  /// quasar::Error on malformed input, leaving the current state intact.
+  void restore(std::string_view state);
 
   /// Underlying engine, for use with std:: distributions.
   std::mt19937_64& engine() { return engine_; }

@@ -11,13 +11,35 @@
 #include <utility>
 
 #include "check/invariant.hpp"
+#include "ckpt/crc32c.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
+#include "sched/schedule_io.hpp"
 
 namespace quasar {
+namespace {
+
+/// Digest tying a snapshot to one schedule (same definition as the fp64
+/// engine's, so fp64 and fp32 snapshots of one schedule carry one digest).
+std::uint32_t schedule_digest(const Schedule& schedule) {
+  const std::string text = schedule_to_string(schedule);
+  return ckpt::crc32c(text.data(), text.size());
+}
+
+/// Gate-sweep count after executing stages [0, cursor) — run()'s own
+/// per-stage accounting, reused for resume-time tolerances.
+std::size_t ops_through_stage(const Schedule& schedule, std::size_t cursor) {
+  std::size_t ops = 3;
+  for (std::size_t si = 0; si < cursor && si < schedule.stages.size(); ++si) {
+    ops += schedule.stages[si].items.size() + 3;
+  }
+  return ops;
+}
+
+}  // namespace
 
 DistributedSimulatorF::DistributedSimulatorF(int num_qubits, int num_local,
                                              int num_threads,
@@ -80,22 +102,7 @@ void DistributedSimulatorF::run(const Circuit& circuit,
                     static_cast<std::int64_t>(si));
     transition(mapping_, stage.qubit_to_location);
     mapping_ = stage.qubit_to_location;
-    for (const StageItem& item : stage.items) {
-      if (item.kind == StageItem::Kind::kCluster) {
-        const Cluster& cluster = stage.clusters[item.cluster];
-        QUASAR_OBS_SPAN("gate_run", "cluster", "width",
-                        static_cast<std::int64_t>(cluster.width()));
-        const PreparedGateF prepared =
-            prepare_gate_f32(*cluster.matrix, cluster.qubits);
-        for (int r = 0; r < num_ranks(); ++r) {
-          apply_gate_f32(buffers_[r].data(), num_local_, prepared,
-                         num_threads_);
-        }
-      } else {
-        QUASAR_OBS_SPAN("gate_run", "global_op");
-        apply_global_op(circuit.op(item.op), stage);
-      }
-    }
+    execute_stage(circuit, stage);
     if (validate) {
       ops_done += stage.items.size() + 3;  // items + transition sweeps
       const std::string site =
@@ -103,6 +110,178 @@ void DistributedSimulatorF::run(const Circuit& circuit,
       validate_invariants(site.c_str(), norm_before, ops_done);
     }
   }
+}
+
+void DistributedSimulatorF::execute_stage(const Circuit& circuit,
+                                          const Stage& stage) {
+  for (const StageItem& item : stage.items) {
+    if (item.kind == StageItem::Kind::kCluster) {
+      const Cluster& cluster = stage.clusters[item.cluster];
+      QUASAR_OBS_SPAN("gate_run", "cluster", "width",
+                      static_cast<std::int64_t>(cluster.width()));
+      const PreparedGateF prepared =
+          prepare_gate_f32(*cluster.matrix, cluster.qubits);
+      for (int r = 0; r < num_ranks(); ++r) {
+        apply_gate_f32(buffers_[r].data(), num_local_, prepared,
+                       num_threads_);
+      }
+    } else {
+      QUASAR_OBS_SPAN("gate_run", "global_op");
+      apply_global_op(circuit.op(item.op), stage);
+    }
+  }
+}
+
+void DistributedSimulatorF::run(const Circuit& circuit,
+                                const Schedule& schedule,
+                                const CheckpointedRun& ckpt_run) {
+  QUASAR_CHECK(ckpt_run.writer != nullptr,
+               "run: CheckpointedRun requires a writer");
+  QUASAR_CHECK(ckpt_run.snapshot_every >= 1,
+               "run: snapshot_every must be >= 1");
+  QUASAR_CHECK(schedule.num_qubits == num_qubits_ &&
+                   schedule.num_local == num_local_,
+               "run: schedule was built for a different configuration");
+  QUASAR_CHECK(schedule.options.build_matrices,
+               "run: schedule lacks fused matrices");
+  QUASAR_CHECK(ckpt_run.first_stage <= schedule.stages.size(),
+               "run: first_stage is beyond the end of the schedule");
+  ckpt::CheckpointWriter& writer = *ckpt_run.writer;
+  const std::uint32_t schedule_crc = schedule_digest(schedule);
+  const std::size_t num_stages = schedule.stages.size();
+  QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
+                  static_cast<std::int64_t>(num_stages));
+  const bool validate = check::enabled();
+  Real norm_before = 0.0;
+  std::size_t ops_done = 0;
+  if (validate) norm_before = norm_squared();
+  const std::optional<int> kill_at = writer.fault().kill_stage();
+  for (std::size_t si = ckpt_run.first_stage; si < num_stages; ++si) {
+    if (kill_at && static_cast<std::size_t>(*kill_at) == si) {
+      // Drain first so the newest on-disk generation at "death" is a
+      // committed boundary (see DistributedSimulator::run).
+      writer.wait_idle();
+      writer.fault().kill(si);
+    }
+    const Stage& stage = schedule.stages[si];
+    QUASAR_OBS_SPAN("stage", "stage", "stage",
+                    static_cast<std::int64_t>(si));
+    transition(mapping_, stage.qubit_to_location);
+    mapping_ = stage.qubit_to_location;
+    execute_stage(circuit, stage);
+    if (validate) {
+      ops_done += stage.items.size() + 3;  // items + transition sweeps
+      const std::string site =
+          "DistributedSimulatorF::run stage " + std::to_string(si);
+      validate_invariants(site.c_str(), norm_before, ops_done);
+    }
+    if ((si + 1) % static_cast<std::size_t>(ckpt_run.snapshot_every) == 0 ||
+        si + 1 == num_stages) {
+      checkpoint(writer, si + 1, ckpt_run.rng, schedule_crc);
+    }
+  }
+}
+
+void DistributedSimulatorF::checkpoint(ckpt::CheckpointWriter& writer,
+                                       std::size_t cursor, const Rng* rng,
+                                       std::uint32_t schedule_crc) const {
+  QUASAR_OBS_SPAN("checkpoint", "snapshot_stage", "cursor",
+                  static_cast<std::int64_t>(cursor));
+  writer.wait_idle();
+  ckpt::Snapshot& snap = writer.staging();
+  ckpt::Manifest& m = snap.manifest;
+  m.engine = "fp32";
+  m.num_qubits = num_qubits_;
+  m.num_local = num_local_;
+  m.cursor = cursor;
+  m.schedule_crc = schedule_crc;
+  m.norm_squared = norm_squared();
+  m.mapping = mapping_;
+  m.rng_state = rng != nullptr ? rng->serialize() : std::string();
+  m.pending_phase.assign(pending_phase_.begin(), pending_phase_.end());
+  m.shards.clear();
+  const std::size_t bytes =
+      static_cast<std::size_t>(local_size()) * sizeof(AmplitudeF);
+  snap.shard_bytes.resize(buffers_.size());
+  for (std::size_t r = 0; r < buffers_.size(); ++r) {
+    snap.shard_bytes[r].resize(bytes);
+    std::memcpy(snap.shard_bytes[r].data(), buffers_[r].data(), bytes);
+  }
+  writer.commit();
+}
+
+std::size_t DistributedSimulatorF::resume(
+    const ckpt::LoadedSnapshot& snapshot, const Schedule& schedule,
+    Rng* rng) {
+  QUASAR_OBS_SPAN("checkpoint", "resume");
+  constexpr const char* kSite = "DistributedSimulatorF::resume";
+  const ckpt::Manifest& m = snapshot.manifest;
+  const auto fail = [&](const std::string& what) {
+    throw check::ValidationError(std::string(kSite) + ": " + what);
+  };
+  if (m.engine != "fp32") {
+    fail("snapshot engine is '" + m.engine + "', this simulator is fp32");
+  }
+  if (m.num_qubits != num_qubits_ || m.num_local != num_local_) {
+    fail("snapshot geometry " + std::to_string(m.num_qubits) + "q/" +
+         std::to_string(m.num_local) + "l does not match simulator " +
+         std::to_string(num_qubits_) + "q/" + std::to_string(num_local_) +
+         "l");
+  }
+  if (m.cursor > schedule.stages.size()) {
+    fail("cursor " + std::to_string(m.cursor) + " is beyond the " +
+         std::to_string(schedule.stages.size()) + "-stage schedule");
+  }
+  if (m.schedule_crc != 0 && m.schedule_crc != schedule_digest(schedule)) {
+    fail("snapshot was taken against a different schedule "
+         "(schedule digest mismatch)");
+  }
+  check::require_bijection(m.mapping, num_qubits_, kSite);
+  if (m.cursor > 0 &&
+      m.mapping != schedule.stages[m.cursor - 1].qubit_to_location) {
+    fail("snapshot mapping does not match the stage " +
+         std::to_string(m.cursor - 1) + " boundary mapping");
+  }
+  const std::size_t ops = ops_through_stage(schedule, m.cursor);
+  check::require_unit_phases(m.pending_phase, check::phase_tolerance(ops),
+                             kSite);
+  const int ranks = num_ranks();
+  if (static_cast<int>(m.pending_phase.size()) != ranks) {
+    fail("snapshot carries " + std::to_string(m.pending_phase.size()) +
+         " deferred phases for " + std::to_string(ranks) + " ranks");
+  }
+  if (static_cast<int>(snapshot.shard_bytes.size()) != ranks) {
+    fail("snapshot carries " + std::to_string(snapshot.shard_bytes.size()) +
+         " shards for " + std::to_string(ranks) + " ranks");
+  }
+  const Index count = local_size();
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * sizeof(AmplitudeF);
+  for (int r = 0; r < ranks; ++r) {
+    if (snapshot.shard_bytes[r].size() != bytes) {
+      fail("shard " + std::to_string(r) + " holds " +
+           std::to_string(snapshot.shard_bytes[r].size()) +
+           " bytes, expected " + std::to_string(bytes));
+    }
+  }
+  Real norm = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto* amps = reinterpret_cast<const std::complex<float>*>(
+        snapshot.shard_bytes[r].data());
+    check::require_finite(amps, count, kSite);
+    norm += check::norm_squared(amps, count);
+  }
+  check::require_norm_preserved(
+      norm, m.norm_squared,
+      check::norm_tolerance(num_qubits_, ops, check::kEps32), kSite);
+  for (int r = 0; r < ranks; ++r) {
+    std::memcpy(buffers_[r].data(), snapshot.shard_bytes[r].data(), bytes);
+  }
+  mapping_ = m.mapping;
+  pending_phase_ = m.pending_phase;
+  if (rng != nullptr && !m.rng_state.empty()) rng->restore(m.rng_state);
+  obs::count("ckpt.resumes");
+  return m.cursor;
 }
 
 void DistributedSimulatorF::validate_invariants(const char* site,

@@ -8,13 +8,17 @@
 /// (they are precision-agnostic).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "ckpt/reader.hpp"
+#include "ckpt/writer.hpp"
 #include "core/rng.hpp"
 #include "fp32/kernels_f32.hpp"
 #include "fp32/statevector_f32.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/distributed.hpp"
 #include "sched/schedule.hpp"
 
 namespace quasar {
@@ -42,6 +46,23 @@ class DistributedSimulatorF {
   /// Executes a schedule built for the same (num_qubits, num_local).
   void run(const Circuit& circuit, const Schedule& schedule);
 
+  /// Checkpointed execution: mirror of DistributedSimulator's overload
+  /// (same CheckpointedRun policy struct; snapshots carry engine "fp32"
+  /// and raw AmplitudeF shards).
+  void run(const Circuit& circuit, const Schedule& schedule,
+           const CheckpointedRun& ckpt);
+
+  /// Snapshots the current state into `writer` (see
+  /// DistributedSimulator::checkpoint; engine tag "fp32").
+  void checkpoint(ckpt::CheckpointWriter& writer, std::size_t cursor,
+                  const Rng* rng, std::uint32_t schedule_crc) const;
+
+  /// Adopts a verified fp32 snapshot; same contract as
+  /// DistributedSimulator::resume (checks run unconditionally, state is
+  /// only overwritten after every check passes). Returns the cursor.
+  std::size_t resume(const ckpt::LoadedSnapshot& snapshot,
+                     const Schedule& schedule, Rng* rng = nullptr);
+
   /// Reassembles the full float state in program order.
   StateVectorF gather() const;
 
@@ -49,6 +70,14 @@ class DistributedSimulatorF {
   Real entropy() const;
 
   const CommStats& stats() const noexcept { return stats_; }
+
+  /// Current program-qubit -> bit-location mapping.
+  const std::vector<int>& mapping() const { return mapping_; }
+
+  /// Deferred per-rank phases (accumulated in double, Sec. 3.5).
+  const std::vector<Amplitude>& pending_phases() const {
+    return pending_phase_;
+  }
 
  private:
   void transition(const std::vector<int>& from, const std::vector<int>& to);
@@ -63,6 +92,8 @@ class DistributedSimulatorF {
   /// One fused local permutation sweep; folds the deferred per-rank
   /// phases into the same pass when `fold_phases` is set.
   void local_permute(const std::vector<int>& perm, bool fold_phases);
+  /// One stage's gate items (clusters + global ops), post-transition.
+  void execute_stage(const Circuit& circuit, const Stage& stage);
   void apply_global_op(const GateOp& op, const Stage& stage);
 
   int num_qubits_;

@@ -151,6 +151,8 @@ std::vector<StageBreakdown> measured_stages(const TraceSession& session) {
         b.renumber_seconds += secs;
       else if (std::strcmp(c.category, "measure") == 0)
         b.measure_seconds += secs;
+      else if (std::strcmp(c.category, "checkpoint") == 0)
+        b.checkpoint_seconds += secs;
     }
     stages.push_back(b);
   }
@@ -278,6 +280,25 @@ std::string run_report(const TraceSession& session, const Circuit& circuit,
     }
   }
   append_row(out, "total", m_total, any_measured, p_total, any_predicted);
+  // Checkpoint overhead is reported as one summary line instead of a
+  // table column: it is zero for most runs and, with the background
+  // writer, mostly off the critical path anyway.
+  double ckpt_seconds = 0.0;
+  int ckpt_stages = 0;
+  for (const StageBreakdown& m : measured) {
+    if (m.checkpoint_seconds > 0.0) {
+      ckpt_seconds += m.checkpoint_seconds;
+      ++ckpt_stages;
+    }
+  }
+  if (ckpt_stages > 0) {
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "checkpoint: %8.3f s on the compute thread across %d "
+                  "snapshot boundar%s\n",
+                  ckpt_seconds, ckpt_stages, ckpt_stages == 1 ? "y" : "ies");
+    out += line;
+  }
   return out;
 }
 

@@ -31,11 +31,14 @@ struct StageBreakdown {
   double permute_seconds = 0.0;   ///< "permute" children (local sweeps)
   double renumber_seconds = 0.0;  ///< "renumber" children (zero-volume)
   double measure_seconds = 0.0;   ///< "measure" children
+  /// "checkpoint" children: snapshot staging + any non-overlapped write
+  /// time on the compute thread (DESIGN.md §10).
+  double checkpoint_seconds = 0.0;
   /// Stage time not covered by any categorized child span.
   double other_seconds() const {
     const double covered = gate_seconds + exchange_seconds +
                            permute_seconds + renumber_seconds +
-                           measure_seconds;
+                           measure_seconds + checkpoint_seconds;
     return total_seconds > covered ? total_seconds - covered : 0.0;
   }
 };

@@ -27,11 +27,15 @@ bool is_high_order(const std::vector<int>& locations) {
   return !locations.empty() && locations.front() >= kHighOrderThreshold;
 }
 
-}  // namespace
-
-RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
-                        const MachineModel& node,
-                        const InterconnectModel& net, int nodes) {
+/// model_run body; when `stage_seconds` is non-null it receives each
+/// stage's critical-path compute time (plain kernel sweeps plus, for
+/// every stage after the first, its transition's all-to-all + permute) —
+/// the per-stage granularity the checkpoint overlap model needs.
+RunPrediction model_run_impl(const Circuit& circuit,
+                             const Schedule& schedule,
+                             const MachineModel& node,
+                             const InterconnectModel& net, int nodes,
+                             std::vector<double>* stage_seconds) {
   QUASAR_CHECK(nodes >= 1 && is_pow2(static_cast<Index>(nodes)),
                "model_run: nodes must be a power of two");
   const int l = schedule.num_local;
@@ -97,7 +101,10 @@ RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
         }
       }
     }
-    for (double secs : item_seconds) p.kernel_seconds += secs;
+    double stage_kernel = 0.0;
+    for (double secs : item_seconds) stage_kernel += secs;
+    p.kernel_seconds += stage_kernel;
+    if (stage_seconds != nullptr) stage_seconds->push_back(stage_kernel);
 
     // Blocked-executor prediction: same planner as the real executor,
     // runs of >= min_run items share one streaming sweep.
@@ -127,6 +134,69 @@ RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
   // write every local amplitude once, streaming).
   p.permute_seconds = p.swaps * 2.0 * per_node_amps * kBytesPerAmplitude *
                       1e-9 / node.achievable_bw();
+  // Every stage after the first starts with one transition; charge its
+  // all-to-all + permute to that stage for the per-stage breakdown.
+  if (stage_seconds != nullptr && p.swaps > 0) {
+    const double per_swap = (p.comm_seconds + p.permute_seconds) / p.swaps;
+    for (std::size_t si = 1; si < stage_seconds->size(); ++si) {
+      (*stage_seconds)[si] += per_swap;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
+                        const MachineModel& node,
+                        const InterconnectModel& net, int nodes) {
+  return model_run_impl(circuit, schedule, node, net, nodes, nullptr);
+}
+
+RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
+                        const MachineModel& node,
+                        const InterconnectModel& net, int nodes,
+                        const CheckpointModel& ckpt) {
+  QUASAR_CHECK(ckpt.write_gbs > 0.0,
+               "model_run: checkpoint write bandwidth must be positive");
+  QUASAR_CHECK(ckpt.snapshot_every >= 1,
+               "model_run: snapshot_every must be >= 1");
+  std::vector<double> stage_seconds;
+  RunPrediction p =
+      model_run_impl(circuit, schedule, node, net, nodes, &stage_seconds);
+  const std::size_t num_stages = stage_seconds.size();
+  if (num_stages == 0) return p;
+
+  const double bytes_per_node =
+      static_cast<double>(index_pow2(schedule.num_local)) *
+      kBytesPerAmplitude;
+  // Staging copy: read the state, write the double-buffer slot — always
+  // on the critical path, at achievable memory bandwidth.
+  const double copy_seconds =
+      2.0 * bytes_per_node * 1e-9 / node.achievable_bw();
+  const double write_seconds = bytes_per_node * 1e-9 / ckpt.write_gbs;
+
+  const std::size_t every = static_cast<std::size_t>(ckpt.snapshot_every);
+  for (std::size_t si = 0; si < num_stages; ++si) {
+    const bool boundary = (si + 1) % every == 0 || si + 1 == num_stages;
+    if (!boundary) continue;
+    ++p.snapshots;
+    double exposed = copy_seconds;
+    if (!ckpt.overlapped) {
+      exposed += write_seconds;
+    } else {
+      // The background write hides behind compute until the next
+      // snapshot boundary; the final snapshot has nothing to hide behind
+      // (the writer drains at close()).
+      double hide = 0.0;
+      for (std::size_t sj = si + 1; sj < num_stages; ++sj) {
+        hide += stage_seconds[sj];
+        if ((sj + 1) % every == 0) break;  // next snapshot drains first
+      }
+      exposed += std::max(0.0, write_seconds - hide);
+    }
+    p.checkpoint_seconds += exposed;
+  }
   return p;
 }
 

@@ -13,6 +13,21 @@
 
 namespace quasar {
 
+/// Checkpointing policy for the model_run() overload below: matches the
+/// runtime's CheckpointedRun + CheckpointWriter knobs (DESIGN.md §10).
+struct CheckpointModel {
+  /// Sustained per-node snapshot write bandwidth, GB/s (disk or parallel
+  /// file system share).
+  double write_gbs = 1.0;
+  /// Stage boundaries between snapshots (the final boundary is always
+  /// snapshotted, mirroring the runtime).
+  int snapshot_every = 1;
+  /// Background writer: the disk write overlaps the following stages'
+  /// compute, leaving only the staging memcpy (and any write tail longer
+  /// than the compute it hides behind) on the critical path.
+  bool overlapped = true;
+};
+
 /// Predicted wall-clock decomposition of one run.
 struct RunPrediction {
   double kernel_seconds = 0.0;
@@ -31,13 +46,20 @@ struct RunPrediction {
   double blocked_kernel_seconds = 0.0;
   int blocked_runs = 0;         ///< blocked runs formed across all stages
   int blocked_sweeps_saved = 0; ///< DRAM sweeps avoided by blocking
+  /// Critical-path checkpoint overhead (0 when no CheckpointModel was
+  /// given): staging copies plus any disk-write tail the background
+  /// writer could not hide behind compute.
+  double checkpoint_seconds = 0.0;
+  int snapshots = 0;            ///< snapshot generations the model assumes
 
   double total_seconds() const {
-    return kernel_seconds + comm_seconds + permute_seconds;
+    return kernel_seconds + comm_seconds + permute_seconds +
+           checkpoint_seconds;
   }
   /// Predicted wall clock with the cache-blocked executor.
   double blocked_total_seconds() const {
-    return blocked_kernel_seconds + comm_seconds + permute_seconds;
+    return blocked_kernel_seconds + comm_seconds + permute_seconds +
+           checkpoint_seconds;
   }
   double comm_fraction() const {
     const double t = total_seconds();
@@ -56,6 +78,17 @@ struct RunPrediction {
 RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
                         const MachineModel& node,
                         const InterconnectModel& net, int nodes);
+
+/// Same prediction under a checkpointing policy: every snapshot pays a
+/// staging memcpy (read + write of the full per-node state at memory
+/// bandwidth) on the critical path; the disk write either adds fully
+/// (synchronous) or only its tail beyond the compute of the stages until
+/// the next snapshot (background writer). Fills checkpoint_seconds and
+/// snapshots; all other fields match the plain overload.
+RunPrediction model_run(const Circuit& circuit, const Schedule& schedule,
+                        const MachineModel& node,
+                        const InterconnectModel& net, int nodes,
+                        const CheckpointModel& ckpt);
 
 /// Predicts the baseline scheme of [5]: gate-by-gate sweeps, two pairwise
 /// half-state exchanges per dense global gate.

@@ -9,15 +9,31 @@
 /// global permutations as rank renumbering).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "ckpt/reader.hpp"
+#include "ckpt/writer.hpp"
 #include "core/rng.hpp"
 #include "runtime/virtual_cluster.hpp"
 #include "sched/schedule.hpp"
 #include "simulator/statevector.hpp"
 
 namespace quasar {
+
+/// Checkpointing policy for one run (DESIGN.md §10). The writer snapshots
+/// the full run state at stage boundaries; `first_stage` starts the
+/// schedule mid-way (the value resume() returned); `rng` is the sampling
+/// stream whose state rides along in every manifest so a resumed run's
+/// sample draws are bit-identical; `snapshot_every` thins snapshots to
+/// every k-th boundary (the final boundary is always snapshotted).
+struct CheckpointedRun {
+  ckpt::CheckpointWriter* writer = nullptr;
+  std::size_t first_stage = 0;
+  Rng* rng = nullptr;
+  int snapshot_every = 1;
+};
 
 /// Distributed statevector simulator over 2^(n-l) virtual ranks.
 class DistributedSimulator {
@@ -39,6 +55,37 @@ class DistributedSimulator {
 
   /// Schedules `circuit` with `options` and executes it.
   void run(const Circuit& circuit, const ScheduleOptions& options);
+
+  /// Executes `schedule` under a checkpointing policy: snapshots the run
+  /// state through `ckpt.writer` at stage boundaries (after every
+  /// `ckpt.snapshot_every`-th stage and always after the last), starting
+  /// from stage `ckpt.first_stage` (0 for a fresh run, the return value
+  /// of resume() for a restarted one). If the writer's fault injector
+  /// arms kill_stage:k, the process dies at the boundary *before* stage k
+  /// executes, after draining any in-flight snapshot — so the newest
+  /// on-disk generation is always a fully committed one.
+  void run(const Circuit& circuit, const Schedule& schedule,
+           const CheckpointedRun& ckpt);
+
+  /// Snapshots the current state (amplitude shards + mapping + deferred
+  /// phases + RNG stream + norm) into `writer`'s staging buffer and hands
+  /// it to the background thread. `cursor` is the index of the first
+  /// stage NOT yet executed; `schedule_crc` ties the snapshot to one
+  /// schedule (0 = unknown). Blocks only while a previous snapshot is
+  /// still being written (double buffering, DESIGN.md §10).
+  void checkpoint(ckpt::CheckpointWriter& writer, std::size_t cursor,
+                  const Rng* rng, std::uint32_t schedule_crc) const;
+
+  /// Adopts a verified snapshot: checks engine/geometry/schedule
+  /// consistency, mapping bijectivity, deferred-phase unit modulus,
+  /// finiteness and norm agreement before overwriting any state, then
+  /// installs the shards, mapping and phases. Restores `rng` from the
+  /// manifest when both are present. Returns the schedule cursor (first
+  /// stage to execute); throws check::ValidationError if the snapshot
+  /// fails verification. These checks run unconditionally — a snapshot
+  /// is untrusted input regardless of QUASAR_VALIDATE.
+  std::size_t resume(const ckpt::LoadedSnapshot& snapshot,
+                     const Schedule& schedule, Rng* rng = nullptr);
 
   /// Reassembles the full state vector in program-qubit order, including
   /// deferred phases. Only for n small enough to hold twice.
@@ -71,6 +118,13 @@ class DistributedSimulator {
 
   /// Current program-qubit -> bit-location mapping.
   const std::vector<int>& mapping() const { return mapping_; }
+
+  /// Deferred per-rank phases (Sec. 3.5), one unit-modulus factor per
+  /// rank. Snapshot/verification code reads these; run state is not
+  /// complete without them.
+  const std::vector<Amplitude>& pending_phases() const {
+    return pending_phase_;
+  }
 
   /// Re-arranges the distributed state so program qubit q sits at
   /// bit-location to[q]: at most one fused local permutation sweep, one

@@ -1,0 +1,584 @@
+/// Checkpoint/restart subsystem tests (DESIGN.md §10): CRC32C known
+/// answers, manifest round trip and torn-write detection, fault-spec
+/// parsing, writer generation/prune protocol, reader fallback, and the
+/// end-to-end recovery properties the subsystem exists for — a run
+/// killed at a stage boundary, or whose newest snapshot is corrupted or
+/// torn, resumes to a final state bit-identical to an uninterrupted run
+/// (fp64 and fp32 engines, samples included).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "circuit/supremacy.hpp"
+#include "ckpt/crc32c.hpp"
+#include "ckpt/fault.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/reader.hpp"
+#include "ckpt/writer.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "fp32/distributed_f32.hpp"
+#include "runtime/distributed.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test checkpoint directory under gtest's temp dir.
+std::string test_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("quasar_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownAnswer) {
+  // The CRC32C check value from RFC 3720 / the Castagnoli literature.
+  EXPECT_EQ(ckpt::crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(ckpt::crc32c("", 0), 0u);
+}
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cover "
+      "the slicing body and the unaligned head and tail paths.";
+  const std::uint32_t whole = ckpt::crc32c(data.data(), data.size());
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{63}, data.size()}) {
+    std::uint32_t crc = ckpt::crc32c(data.data(), split);
+    crc = ckpt::crc32c_extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+// --------------------------------------------------------------- manifest
+
+ckpt::Manifest sample_manifest() {
+  ckpt::Manifest m;
+  m.engine = "fp64";
+  m.num_qubits = 4;
+  m.num_local = 2;
+  m.cursor = 3;
+  m.schedule_crc = 0xdeadbeef;
+  m.norm_squared = 0.1 + 0.2;  // not exactly representable: hexfloat test
+  m.mapping = {2, 0, 3, 1};
+  m.rng_state = Rng(99).serialize();
+  m.pending_phase = {{1.0, 0.0},
+                     {0.7071067811865476, 0.7071067811865475},
+                     {-1.0, 1e-17},
+                     {0.0, -1.0}};
+  m.shards = {{64, 0x1}, {64, 0x2}, {64, 0x3}, {64, 0x4}};
+  return m;
+}
+
+TEST(Manifest, RoundTripIsBitExact) {
+  const ckpt::Manifest m = sample_manifest();
+  const ckpt::Manifest back =
+      ckpt::manifest_from_string(ckpt::manifest_to_string(m));
+  EXPECT_EQ(back.engine, m.engine);
+  EXPECT_EQ(back.num_qubits, m.num_qubits);
+  EXPECT_EQ(back.num_local, m.num_local);
+  EXPECT_EQ(back.cursor, m.cursor);
+  EXPECT_EQ(back.schedule_crc, m.schedule_crc);
+  EXPECT_EQ(std::memcmp(&back.norm_squared, &m.norm_squared,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(back.mapping, m.mapping);
+  EXPECT_EQ(back.rng_state, m.rng_state);
+  ASSERT_EQ(back.pending_phase.size(), m.pending_phase.size());
+  for (std::size_t r = 0; r < m.pending_phase.size(); ++r) {
+    EXPECT_EQ(std::memcmp(&back.pending_phase[r], &m.pending_phase[r],
+                          sizeof(std::complex<double>)),
+              0)
+        << "rank " << r;
+  }
+  ASSERT_EQ(back.shards.size(), m.shards.size());
+  for (std::size_t r = 0; r < m.shards.size(); ++r) {
+    EXPECT_EQ(back.shards[r].bytes, m.shards[r].bytes);
+    EXPECT_EQ(back.shards[r].crc, m.shards[r].crc);
+  }
+}
+
+TEST(Manifest, DetectsTruncationAndCorruption) {
+  const std::string text = ckpt::manifest_to_string(sample_manifest());
+  // Any truncation loses the trailing self-CRC line.
+  EXPECT_THROW(ckpt::manifest_from_string(text.substr(0, text.size() / 2)),
+               check::ValidationError);
+  EXPECT_THROW(ckpt::manifest_from_string(""), check::ValidationError);
+  // A single flipped character breaks the self-CRC.
+  std::string flipped = text;
+  flipped[text.size() / 3] ^= 0x20;
+  EXPECT_THROW(ckpt::manifest_from_string(flipped), check::ValidationError);
+}
+
+// ------------------------------------------------------------ fault specs
+
+TEST(FaultSpec, ParsesTheGrammar) {
+  const auto specs =
+      ckpt::parse_fault_specs("kill_stage:7,corrupt_shard:3,torn_manifest");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].kind, ckpt::FaultKind::kKillStage);
+  EXPECT_EQ(specs[0].value, 7);
+  EXPECT_EQ(specs[1].kind, ckpt::FaultKind::kCorruptShard);
+  EXPECT_EQ(specs[1].value, 3);
+  EXPECT_EQ(specs[2].kind, ckpt::FaultKind::kTornManifest);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(ckpt::parse_fault_specs("explode"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("kill_stage"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("kill_stage:"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("kill_stage:3x"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("kill_stage:-1"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("corrupt_shard:two"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("torn_manifest:1"), Error);
+  EXPECT_THROW(ckpt::parse_fault_specs("kill_stage:1,,"), Error);
+}
+
+// ----------------------------------------------------------- writer/reader
+
+/// A tiny but structurally valid snapshot: 2 qubits, 1 local, 2 ranks.
+void fill_snapshot(ckpt::Snapshot& snap, std::size_t cursor,
+                   std::uint8_t salt) {
+  ckpt::Manifest& m = snap.manifest;
+  m.engine = "fp64";
+  m.num_qubits = 2;
+  m.num_local = 1;
+  m.cursor = cursor;
+  m.schedule_crc = 0;
+  m.norm_squared = 1.0;
+  m.mapping = {0, 1};
+  m.rng_state.clear();
+  m.pending_phase = {{1.0, 0.0}, {1.0, 0.0}};
+  m.shards.clear();
+  snap.shard_bytes.assign(2, std::vector<std::uint8_t>(32));
+  for (int r = 0; r < 2; ++r) {
+    for (std::size_t i = 0; i < 32; ++i) {
+      snap.shard_bytes[r][i] =
+          static_cast<std::uint8_t>(salt + 31 * r + i);
+    }
+  }
+}
+
+TEST(Writer, BackgroundAndSyncProduceIdenticalGenerations) {
+  ckpt::CheckpointOptions bg_opts;
+  bg_opts.directory = test_dir("writer_bg");
+  ckpt::CheckpointOptions sync_opts;
+  sync_opts.directory = test_dir("writer_sync");
+  sync_opts.background = false;
+  {
+    ckpt::CheckpointWriter bg(bg_opts);
+    ckpt::CheckpointWriter sync(sync_opts);
+    for (std::size_t cursor : {1, 2}) {
+      bg.wait_idle();
+      fill_snapshot(bg.staging(), cursor,
+                    static_cast<std::uint8_t>(cursor));
+      bg.commit();
+      sync.wait_idle();
+      fill_snapshot(sync.staging(), cursor,
+                    static_cast<std::uint8_t>(cursor));
+      sync.commit();
+    }
+    bg.close();
+    sync.close();
+    EXPECT_EQ(bg.stats().snapshots, 2u);
+    EXPECT_EQ(bg.stats().bytes_written, sync.stats().bytes_written);
+  }
+  for (const char* gen : {"gen-000001", "gen-000002"}) {
+    for (const char* file :
+         {"manifest.txt", "shard-0000.bin", "shard-0001.bin"}) {
+      EXPECT_EQ(read_file(fs::path(bg_opts.directory) / gen / file),
+                read_file(fs::path(sync_opts.directory) / gen / file))
+          << gen << "/" << file;
+    }
+  }
+}
+
+TEST(Writer, PrunesToKeepGenerations) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("writer_prune");
+  opts.keep_generations = 2;
+  ckpt::CheckpointWriter writer(opts);
+  for (std::size_t cursor = 1; cursor <= 5; ++cursor) {
+    writer.wait_idle();
+    fill_snapshot(writer.staging(), cursor,
+                  static_cast<std::uint8_t>(cursor));
+    writer.commit();
+  }
+  writer.close();
+  EXPECT_EQ(writer.stats().snapshots, 5u);
+  EXPECT_EQ(writer.stats().generations_pruned, 3u);
+  const ckpt::CheckpointReader reader(opts.directory);
+  EXPECT_EQ(reader.generations(),
+            (std::vector<std::string>{"gen-000005", "gen-000004"}));
+}
+
+TEST(Reader, LoadsAndVerifiesAGeneration) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("reader_load");
+  ckpt::CheckpointWriter writer(opts);
+  writer.wait_idle();
+  fill_snapshot(writer.staging(), 1, 0x11);
+  const std::vector<std::vector<std::uint8_t>> expected =
+      writer.staging().shard_bytes;
+  writer.commit();
+  writer.close();
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->generation, "gen-000001");
+  EXPECT_EQ(snap->fallbacks, 0);
+  EXPECT_EQ(snap->manifest.cursor, 1u);
+  EXPECT_EQ(snap->shard_bytes, expected);
+}
+
+TEST(Reader, FallsBackPastACorruptShard) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("reader_fallback");
+  ckpt::CheckpointWriter writer(opts);
+  // Arm the corruption fault AFTER construction (from_env found none):
+  // writer close flips a byte in the newest generation's shard 1.
+  writer.fault().arm({ckpt::FaultKind::kCorruptShard, 1});
+  for (std::size_t cursor : {1, 2}) {
+    writer.wait_idle();
+    fill_snapshot(writer.staging(), cursor,
+                  static_cast<std::uint8_t>(cursor));
+    writer.commit();
+  }
+  writer.close();
+  EXPECT_EQ(writer.stats().injected_faults, 1u);
+  const ckpt::CheckpointReader reader(opts.directory);
+  EXPECT_THROW(reader.load("gen-000002"), check::ValidationError);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->generation, "gen-000001");
+  EXPECT_EQ(snap->fallbacks, 1);
+}
+
+TEST(Reader, FallsBackPastATornManifest) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("reader_torn");
+  ckpt::CheckpointWriter writer(opts);
+  writer.fault().arm({ckpt::FaultKind::kTornManifest, 0});
+  for (std::size_t cursor : {1, 2}) {
+    writer.wait_idle();
+    fill_snapshot(writer.staging(), cursor,
+                  static_cast<std::uint8_t>(cursor));
+    writer.commit();
+  }
+  writer.close();
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->generation, "gen-000001");
+  EXPECT_EQ(snap->fallbacks, 1);
+}
+
+TEST(Reader, EmptyDirectoryYieldsNothing) {
+  const ckpt::CheckpointReader reader(test_dir("reader_empty"));
+  EXPECT_TRUE(reader.generations().empty());
+  EXPECT_FALSE(reader.load_latest().has_value());
+}
+
+TEST(Reader, IgnoresTmpLeftovers) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("reader_tmp");
+  ckpt::CheckpointWriter writer(opts);
+  writer.wait_idle();
+  fill_snapshot(writer.staging(), 1, 0x31);
+  writer.commit();
+  writer.close();
+  // A .tmp directory as a killed writer would leave it.
+  fs::create_directory(fs::path(opts.directory) / "gen-000002.tmp");
+  const ckpt::CheckpointReader reader(opts.directory);
+  EXPECT_EQ(reader.generations(),
+            std::vector<std::string>{"gen-000001"});
+}
+
+// ------------------------------------------------- end-to-end recovery
+
+struct Workload {
+  Circuit circuit;
+  Schedule schedule;
+  int n = 0;
+  int l = 0;
+};
+
+Workload make_workload() {
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 3;
+  so.depth = 10;
+  so.seed = 7;
+  so.initial_hadamards = false;
+  Circuit circuit = make_supremacy_circuit(so);
+  const int n = so.rows * so.cols;
+  const int l = n - 3;
+  ScheduleOptions sched;
+  sched.num_local = l;
+  sched.kmax = 3;
+  Schedule schedule = make_schedule(circuit, sched);
+  return Workload{std::move(circuit), std::move(schedule), n, l};
+}
+
+TEST(Recovery, KillAtStageBoundaryResumesBitIdentical) {
+  const Workload w = make_workload();
+  ASSERT_GE(w.schedule.stages.size(), 3u) << "workload too small to kill";
+  const std::size_t kill_at = w.schedule.stages.size() / 2;
+
+  // Reference: uninterrupted, no checkpointing.
+  DistributedSimulator clean(w.n, w.l);
+  clean.init_uniform();
+  clean.run(w.circuit, w.schedule);
+  const StateVector expected = clean.gather();
+  Rng clean_rng(2024);
+  const std::vector<Index> expected_samples = clean.sample(64, clean_rng);
+
+  // Checkpointed run killed at the stage boundary.
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_kill");
+  Rng rng(2024);
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    writer.fault().arm(
+        {ckpt::FaultKind::kKillStage, static_cast<int>(kill_at)});
+    writer.fault().set_kill_throws(true);  // gtest cannot survive _Exit
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    ckpt_run.rng = &rng;
+    EXPECT_THROW(sim.run(w.circuit, w.schedule, ckpt_run),
+                 ckpt::SimulatedKill);
+  }
+
+  // Restart: fresh simulator + fresh RNG, everything from disk.
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->manifest.cursor, kill_at);
+  DistributedSimulator resumed(w.n, w.l);
+  Rng resumed_rng(1);  // wrong seed on purpose; restore must fix it
+  const std::size_t cursor = resumed.resume(*snap, w.schedule, &resumed_rng);
+  EXPECT_EQ(cursor, kill_at);
+  ckpt::CheckpointWriter writer2(opts);
+  CheckpointedRun continue_run;
+  continue_run.writer = &writer2;
+  continue_run.first_stage = cursor;
+  continue_run.rng = &resumed_rng;
+  resumed.run(w.circuit, w.schedule, continue_run);
+  writer2.close();
+
+  const StateVector actual = resumed.gather();
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(Amplitude) * expected.size()),
+            0)
+      << "resumed final state differs from the uninterrupted run";
+  EXPECT_EQ(resumed.sample(64, resumed_rng), expected_samples);
+}
+
+TEST(Recovery, CorruptShardFallsBackAndStillMatches) {
+  const Workload w = make_workload();
+  ASSERT_GE(w.schedule.stages.size(), 2u);
+
+  DistributedSimulator clean(w.n, w.l);
+  clean.init_uniform();
+  clean.run(w.circuit, w.schedule);
+  const StateVector expected = clean.gather();
+
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_corrupt");
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    writer.fault().arm({ckpt::FaultKind::kCorruptShard, 3});
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    sim.run(w.circuit, w.schedule, ckpt_run);
+    writer.close();  // corrupts the newest generation's shard 3
+  }
+
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->fallbacks, 1);
+  ASSERT_LT(snap->manifest.cursor, w.schedule.stages.size());
+
+  DistributedSimulator resumed(w.n, w.l);
+  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  ckpt::CheckpointWriter writer2(opts);
+  CheckpointedRun continue_run;
+  continue_run.writer = &writer2;
+  continue_run.first_stage = cursor;
+  resumed.run(w.circuit, w.schedule, continue_run);
+  writer2.close();
+
+  const StateVector actual = resumed.gather();
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(Amplitude) * expected.size()),
+            0);
+}
+
+TEST(Recovery, TornManifestFallsBackAndStillMatches) {
+  const Workload w = make_workload();
+  DistributedSimulator clean(w.n, w.l);
+  clean.init_uniform();
+  clean.run(w.circuit, w.schedule);
+  const StateVector expected = clean.gather();
+
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_torn");
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    writer.fault().arm({ckpt::FaultKind::kTornManifest, 0});
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    sim.run(w.circuit, w.schedule, ckpt_run);
+    writer.close();  // tears the newest generation's manifest
+  }
+
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->fallbacks, 1);
+
+  DistributedSimulator resumed(w.n, w.l);
+  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  ckpt::CheckpointWriter writer2(opts);
+  CheckpointedRun continue_run;
+  continue_run.writer = &writer2;
+  continue_run.first_stage = cursor;
+  resumed.run(w.circuit, w.schedule, continue_run);
+  writer2.close();
+
+  const StateVector actual = resumed.gather();
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(Amplitude) * expected.size()),
+            0);
+}
+
+TEST(Recovery, Fp32KillAtStageBoundaryResumesBitIdentical) {
+  const Workload w = make_workload();
+  ASSERT_GE(w.schedule.stages.size(), 3u);
+  const std::size_t kill_at = w.schedule.stages.size() / 2;
+
+  DistributedSimulatorF clean(w.n, w.l);
+  clean.init_uniform();
+  clean.run(w.circuit, w.schedule);
+  const StateVectorF expected = clean.gather();
+
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_kill_f32");
+  {
+    DistributedSimulatorF sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    writer.fault().arm(
+        {ckpt::FaultKind::kKillStage, static_cast<int>(kill_at)});
+    writer.fault().set_kill_throws(true);
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    EXPECT_THROW(sim.run(w.circuit, w.schedule, ckpt_run),
+                 ckpt::SimulatedKill);
+  }
+
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->manifest.engine, "fp32");
+  DistributedSimulatorF resumed(w.n, w.l);
+  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  EXPECT_EQ(cursor, kill_at);
+  ckpt::CheckpointWriter writer2(opts);
+  CheckpointedRun continue_run;
+  continue_run.writer = &writer2;
+  continue_run.first_stage = cursor;
+  resumed.run(w.circuit, w.schedule, continue_run);
+  writer2.close();
+
+  const StateVectorF actual = resumed.gather();
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(AmplitudeF) * expected.size()),
+            0)
+      << "resumed fp32 final state differs from the uninterrupted run";
+}
+
+TEST(Recovery, ResumeRejectsCrossEngineAndWrongGeometry) {
+  const Workload w = make_workload();
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_reject");
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    sim.run(w.circuit, w.schedule, ckpt_run);
+    writer.close();
+  }
+  const auto snap = ckpt::CheckpointReader(opts.directory).load_latest();
+  ASSERT_TRUE(snap.has_value());
+  // fp64 snapshot into the fp32 engine: engine tag mismatch.
+  DistributedSimulatorF wrong_engine(w.n, w.l);
+  EXPECT_THROW(wrong_engine.resume(*snap, w.schedule),
+               check::ValidationError);
+  // fp64 snapshot into a differently shaped fp64 simulator.
+  DistributedSimulator wrong_shape(w.n, w.l + 1);
+  EXPECT_THROW(wrong_shape.resume(*snap, w.schedule),
+               check::ValidationError);
+}
+
+TEST(Recovery, ResumeRejectsADifferentSchedule) {
+  const Workload w = make_workload();
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_schedule");
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    sim.run(w.circuit, w.schedule, ckpt_run);
+    writer.close();
+  }
+  const auto snap = ckpt::CheckpointReader(opts.directory).load_latest();
+  ASSERT_TRUE(snap.has_value());
+  // Same geometry, different gate content -> different schedule digest.
+  SupremacyOptions so;
+  so.rows = 2;
+  so.cols = 3;
+  so.depth = 6;
+  so.seed = 8;
+  so.initial_hadamards = false;
+  const Circuit other_circuit = make_supremacy_circuit(so);
+  ScheduleOptions sched;
+  sched.num_local = w.l;
+  sched.kmax = 3;
+  const Schedule other = make_schedule(other_circuit, sched);
+  DistributedSimulator sim(w.n, w.l);
+  EXPECT_THROW(sim.resume(*snap, other), check::ValidationError);
+}
+
+}  // namespace
+}  // namespace quasar
