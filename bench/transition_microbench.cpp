@@ -33,18 +33,6 @@ void fill_random(Amplitude* data, Index count, std::uint64_t seed) {
   }
 }
 
-template <typename F>
-double best_seconds(int reps, F&& body) {
-  double best = 1e30;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    body();
-    const double s = t.seconds();
-    if (s < best) best = s;
-  }
-  return best;
-}
-
 /// The seed's all-to-all: build a full shadow copy of every rank slice
 /// and block-copy into it (2x peak footprint).
 void shadow_alltoall(std::vector<AlignedVector<Amplitude>>& buffers,
@@ -97,16 +85,18 @@ int main() {
   AlignedVector<Amplitude> state(index_pow2(l));
   fill_random(state.data(), state.size(), 1);
 
-  const double chain_s = best_seconds(reps, [&] {
-    apply_bit_swap(state.data(), l, 0, l - 7);
-    apply_bit_swap(state.data(), l, 1, l - 6);
-    apply_bit_swap(state.data(), l, 2, l - 5);
-    apply_global_phase(state.data(), l, phase);
-  });
-  const double fused_s = best_seconds(reps, [&] {
-    apply_fused_bit_permutation(state.data(), l, perm, phase);
-  });
-  const double kernel_speedup = chain_s / fused_s;
+  const TimingStats chain_t = time_stats_n(
+      [&] {
+        apply_bit_swap(state.data(), l, 0, l - 7);
+        apply_bit_swap(state.data(), l, 1, l - 6);
+        apply_bit_swap(state.data(), l, 2, l - 5);
+        apply_global_phase(state.data(), l, phase);
+      },
+      reps);
+  const TimingStats fused_t = time_stats_n(
+      [&] { apply_fused_bit_permutation(state.data(), l, perm, phase); },
+      reps);
+  const double kernel_speedup = chain_t.best / fused_t.best;
 
   // Part 2: world all-to-all over 2^g ranks holding 2^(l-g) amplitudes
   // each (total footprint 2^l, as in part 1): the seed's shadow scheme
@@ -121,33 +111,39 @@ int main() {
     fill_random(shadow_buffers[r].data(), shadow_buffers[r].size(),
                 100 + r);
   }
-  const double shadow_s = best_seconds(reps, [&] {
-    shadow_alltoall(shadow_buffers, cl, globals);
-  });
+  const TimingStats shadow_t = time_stats_n(
+      [&] { shadow_alltoall(shadow_buffers, cl, globals); }, reps);
 
   VirtualCluster cluster(l, cl);
   for (int r = 0; r < cluster.num_ranks(); ++r) {
     fill_random(cluster.rank_data(r), cluster.local_size(), 100 + r);
   }
-  const double chunked_s = best_seconds(reps, [&] {
-    cluster.alltoall_swap(globals);
-  });
-  const double alltoall_speedup = shadow_s / chunked_s;
+  const TimingStats chunked_t =
+      time_stats_n([&] { cluster.alltoall_swap(globals); }, reps);
+  const double alltoall_speedup = shadow_t.best / chunked_t.best;
 
   std::printf("{\n");
   std::printf("  \"local_qubits\": %d,\n", l);
   std::printf("  \"transition\": {\n");
   std::printf("    \"swaps\": 3,\n");
-  std::printf("    \"swap_chain_seconds\": %.6f,\n", chain_s);
-  std::printf("    \"fused_sweep_seconds\": %.6f,\n", fused_s);
+  std::printf("    \"swap_chain_seconds\": %.6f,\n", chain_t.best);
+  std::printf("    \"swap_chain_mean_seconds\": %.6f,\n", chain_t.mean);
+  std::printf("    \"swap_chain_stddev_seconds\": %.6f,\n", chain_t.stddev);
+  std::printf("    \"fused_sweep_seconds\": %.6f,\n", fused_t.best);
+  std::printf("    \"fused_sweep_mean_seconds\": %.6f,\n", fused_t.mean);
+  std::printf("    \"fused_sweep_stddev_seconds\": %.6f,\n", fused_t.stddev);
   std::printf("    \"speedup\": %.3f,\n", kernel_speedup);
   std::printf("    \"meets_2x\": %s\n", kernel_speedup >= 2.0 ? "true"
                                                               : "false");
   std::printf("  },\n");
   std::printf("  \"alltoall\": {\n");
   std::printf("    \"ranks\": %d,\n", static_cast<int>(index_pow2(g)));
-  std::printf("    \"shadow_seconds\": %.6f,\n", shadow_s);
-  std::printf("    \"chunked_seconds\": %.6f,\n", chunked_s);
+  std::printf("    \"shadow_seconds\": %.6f,\n", shadow_t.best);
+  std::printf("    \"shadow_mean_seconds\": %.6f,\n", shadow_t.mean);
+  std::printf("    \"shadow_stddev_seconds\": %.6f,\n", shadow_t.stddev);
+  std::printf("    \"chunked_seconds\": %.6f,\n", chunked_t.best);
+  std::printf("    \"chunked_mean_seconds\": %.6f,\n", chunked_t.mean);
+  std::printf("    \"chunked_stddev_seconds\": %.6f,\n", chunked_t.stddev);
   std::printf("    \"speedup\": %.3f,\n", alltoall_speedup);
   std::printf("    \"peak_bounce_bytes\": %llu,\n",
               static_cast<unsigned long long>(

@@ -16,6 +16,7 @@
 ///   QUASAR_DEMO_DEPTH      circuit depth (default 16)
 ///   QUASAR_CKPT_DIR        checkpoint directory (default "ckpt_demo")
 ///   QUASAR_CKPT_EVERY      snapshot every k-th stage boundary (default 1)
+///   QUASAR_CKPT_CODEC      shard codec, raw or lz (default raw)
 ///   QUASAR_FAULT           fault injection, e.g. kill_stage:3 (fault.hpp)
 #include <cstdio>
 #include <cstdlib>
@@ -90,9 +91,13 @@ int main() {
 
   ckpt::CheckpointOptions ckpt_options;
   ckpt_options.directory = env_str("QUASAR_CKPT_DIR", "ckpt_demo");
-  std::printf("checkpoint-demo: n=%d l=%d ranks=%d stages=%zu dir=%s\n",
+  ckpt_options.codec =
+      oocore::codec_from_name(env_str("QUASAR_CKPT_CODEC", "raw"));
+  std::printf("checkpoint-demo: n=%d l=%d ranks=%d stages=%zu dir=%s "
+              "codec=%s\n",
               n, l, 1 << (n - l), schedule.stages.size(),
-              ckpt_options.directory.c_str());
+              ckpt_options.directory.c_str(),
+              oocore::codec_name(ckpt_options.codec));
 
   DistributedSimulator sim(n, l);
   Rng rng(2017);  // the sampling stream; its state rides in every manifest

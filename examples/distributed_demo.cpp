@@ -7,10 +7,12 @@
 ///    baseline per-gate pairwise-exchange simulator of [5]/[19] and
 ///    compares states (bit-identical physics) and communication volumes
 ///    (an order of magnitude apart — the paper's core claim).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 #include "circuit/supremacy.hpp"
+#include "ckpt/crc32c.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
 #include "obs/report.hpp"
@@ -32,6 +34,35 @@ int env_int(const char* name, int fallback) {
     std::fprintf(stderr, "%s\n", e.what());
     std::exit(1);
   }
+}
+
+const char* medium_name(quasar::StorageMedium medium) {
+  switch (medium) {
+    case quasar::StorageMedium::kDisk: return "disk";
+    case quasar::StorageMedium::kOocore: return "oocore";
+    default: return "memory";
+  }
+}
+
+/// Order-sensitive digest of the full run state (rank slices, mapping,
+/// deferred phases): two runs print the same fingerprint iff their
+/// distributed states are bit-identical. The oocore-smoke CI job diffs
+/// this line between a disk-backed compressed run and the in-memory run.
+std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
+  using quasar::Amplitude;
+  std::uint32_t crc = 0;
+  const auto& cluster = sim.cluster();
+  for (int r = 0; r < cluster.num_ranks(); ++r) {
+    crc = quasar::ckpt::crc32c_extend(
+        crc, cluster.rank_data(r),
+        static_cast<std::size_t>(cluster.local_size()) * sizeof(Amplitude));
+  }
+  crc = quasar::ckpt::crc32c_extend(
+      crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));
+  crc = quasar::ckpt::crc32c_extend(
+      crc, sim.pending_phases().data(),
+      sim.pending_phases().size() * sizeof(Amplitude));
+  return crc;
 }
 
 }  // namespace
@@ -88,9 +119,27 @@ int main() {
   const Schedule schedule = make_schedule(circuit, sched);
   std::printf("\n%s\n", schedule_summary(circuit, schedule).c_str());
 
-  DistributedSimulator ours(n, l);
+  // QUASAR_STORAGE=memory|disk|oocore (+ QUASAR_STORAGE_DIR,
+  // QUASAR_OOC_CODEC, QUASAR_OOC_SEGMENT_KB, QUASAR_OOC_IO_THREADS)
+  // selects where the rank slices live; the run is bit-identical across
+  // media, which the fingerprint line below lets CI assert.
+  const StorageOptions storage = storage_options_from_env();
+  std::printf("storage: %s", medium_name(storage.medium));
+  if (storage.medium == StorageMedium::kOocore) {
+    std::printf(" codec=%s segment_kb=%zu io_threads=%d",
+                oocore::codec_name(storage.codec),
+                storage.segment_bytes >> 10, storage.io_threads);
+  }
+  std::printf("\n");
+
+  DistributedSimulator ours(n, l, {}, storage);
   ours.init_basis(0);
   ours.run(circuit, schedule);
+
+  // The parity oracle for CI: bit-exact state digest + scalar summaries.
+  std::printf("fingerprint 0x%08x\n", state_fingerprint(ours));
+  std::printf("norm %.17g\n", ours.norm_squared());
+  std::printf("entropy %.12f\n", ours.entropy());
 
   // When a trace is active, join the measured stage spans against the
   // performance model (Sec. 4) and print the per-stage deltas.

@@ -14,6 +14,7 @@
 #include "fp32/simulator_f32.hpp"
 #include "fp32/statevector_f32.hpp"
 #include "gates/standard.hpp"
+#include "oocore/codec.hpp"
 #include "runtime/distributed.hpp"
 #include "sched/executor.hpp"
 #include "sched/schedule.hpp"
@@ -298,6 +299,71 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
       const auto got = sim.sample(options.samples, rng_dist);
       if (auto d = compare_samples(want, got); !d.empty()) {
         return fail(name.str() + " sampling", std::move(d));
+      }
+    }
+  }
+
+  // --- out-of-core distributed (segmented disk-backed storage) ----------
+  if (options.oocore) {
+    const int g = std::min(2, n / 2);
+    if (g >= 1) {
+      const int l = n - g;
+      ScheduleOptions sched;
+      sched.num_local = l;
+      sched.kmax = std::min(sched.kmax, l);
+      const Schedule schedule = make_schedule(circuit, sched);
+      // The parity baseline: the in-memory distributed engine over the
+      // same schedule. The lossless pipeline must match it bit for bit,
+      // which is a far stronger check than the tolerance model.
+      DistributedSimulator mem(n, l);
+      mem.init_basis(0);
+      mem.run(circuit, schedule);
+      const StateVector mem_state = mem.gather();
+
+      StorageOptions storage;
+      storage.medium = StorageMedium::kOocore;
+      storage.codec = oocore::Codec::kLz;
+      storage.segment_bytes = 512;  // many segments even at fuzz sizes
+      {
+        std::ostringstream name;
+        name << "oocore-lz(l=" << l << ",ranks=" << (1 << g) << ")";
+        DistributedSimulator sim(n, l, {}, storage);
+        sim.init_basis(0);
+        try {
+          sim.run(circuit, schedule);
+        } catch (const std::exception& e) {
+          return fail(name.str(), engine_threw(e));
+        }
+        const StateVector got = sim.gather();
+        if (auto d = compare_states(mem_state, got, 0.0); !d.empty()) {
+          Mismatch m;
+          m.seed = seed;
+          m.engine_a = "distributed(in-memory)";
+          m.engine_b = name.str();
+          m.detail = "lossless pipeline lost bit parity: " + std::move(d);
+          m.circuit = circuit;
+          return m;
+        }
+        if (auto d = compare_states(reference, got, tol64); !d.empty()) {
+          return fail(name.str(), std::move(d));
+        }
+      }
+      if (options.fp32) {
+        std::ostringstream name;
+        name << "oocore-fp32lz(l=" << l << ",ranks=" << (1 << g) << ")";
+        storage.codec = oocore::Codec::kFp32Lz;
+        DistributedSimulator sim(n, l, {}, storage);
+        sim.init_basis(0);
+        try {
+          sim.run(circuit, schedule);
+        } catch (const std::exception& e) {
+          return fail(name.str(), engine_threw(e));
+        }
+        if (auto d = compare_states(reference, sim.gather(),
+                                    state_tolerance(n, ops, kEps32));
+            !d.empty()) {
+          return fail(name.str(), std::move(d));
+        }
       }
     }
   }

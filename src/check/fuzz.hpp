@@ -1,10 +1,11 @@
 /// \file fuzz.hpp
 /// \brief Differential fuzzing across every simulation engine.
 ///
-/// The repo ships five independent ways to run the same circuit: the
+/// The repo ships several independent ways to run the same circuit: the
 /// brute-force reference (the oracle), the plain Simulator, fused+blocked
 /// execution (run_fused), the distributed engine over several
-/// (num_local, ranks) geometries, and the fp32 engines. Any disagreement
+/// (num_local, ranks) geometries, the out-of-core distributed engine on
+/// segmented disk-backed storage, and the fp32 engines. Any disagreement
 /// beyond the floating-point tolerance models of invariant.hpp is a bug
 /// in exactly one of them — the differential harness hunts for such
 /// disagreements with seed-driven random circuits biased toward the
@@ -53,6 +54,11 @@ struct FuzzOptions {
   int samples = 24;
   /// Include the fp32 engines (SimulatorF, DistributedSimulatorF).
   bool fp32 = true;
+  /// Include the out-of-core distributed engines (segmented disk-backed
+  /// storage, DESIGN.md §11): the lossless lz pipeline is held to BIT
+  /// parity with the in-memory distributed engine, the lossy fp32lz
+  /// pipeline to the fp32 tolerance model.
+  bool oocore = true;
   /// Gate-bisection minimization of failing circuits inside run_fuzz.
   bool minimize = true;
   /// Optional corruption applied to the circuit seen by the plain

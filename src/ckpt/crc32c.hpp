@@ -1,26 +1,14 @@
 /// \file crc32c.hpp
-/// \brief CRC32C (Castagnoli) checksums for snapshot integrity.
-///
-/// Every checkpoint artifact — amplitude shards and the manifest itself —
-/// carries a CRC32C so a torn write, a bit flip on disk, or a truncated
-/// file is detected before the state is trusted (DESIGN.md §10). CRC32C
-/// is the storage-stack convention (iSCSI, ext4, RocksDB) and its
-/// software slicing-by-8 form streams at several GB/s, far above the
-/// snapshot write bandwidth it guards.
+/// \brief Forwarding header: the CRC32C implementation moved to
+/// core/crc32c.hpp so the out-of-core codec layer can share it without a
+/// ckpt dependency. Checkpoint code keeps calling ckpt::crc32c unchanged.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "core/crc32c.hpp"
 
 namespace quasar::ckpt {
 
-/// CRC32C of `bytes` bytes at `data`.
-std::uint32_t crc32c(const void* data, std::size_t bytes);
-
-/// Incremental form: extends `crc` (a previous crc32c result, or 0 for an
-/// empty prefix) over the next `bytes` bytes. Chaining extensions over a
-/// split buffer equals one crc32c over the concatenation.
-std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
-                            std::size_t bytes);
+using quasar::crc32c;
+using quasar::crc32c_extend;
 
 }  // namespace quasar::ckpt

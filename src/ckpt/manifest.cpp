@@ -71,6 +71,9 @@ std::string manifest_to_string(const Manifest& m) {
   for (int loc : m.mapping) out += " " + std::to_string(loc);
   out += "\n";
   if (!m.rng_state.empty()) out += "rng " + m.rng_state + "\n";
+  if (m.codec != oocore::Codec::kRaw) {
+    out += std::string("codec ") + oocore::codec_name(m.codec) + "\n";
+  }
   for (std::size_t r = 0; r < m.pending_phase.size(); ++r) {
     out += "phase " + std::to_string(r) + " " +
            hex_double(m.pending_phase[r].real()) + " " +
@@ -79,7 +82,12 @@ std::string manifest_to_string(const Manifest& m) {
   for (std::size_t r = 0; r < m.shards.size(); ++r) {
     std::snprintf(hex, sizeof(hex), "%08" PRIx32, m.shards[r].crc);
     out += "shard " + std::to_string(r) + " " +
-           std::to_string(m.shards[r].bytes) + " " + hex + "\n";
+           std::to_string(m.shards[r].bytes) + " " + hex;
+    if (m.codec != oocore::Codec::kRaw) {
+      std::snprintf(hex, sizeof(hex), "%08" PRIx32, m.shards[r].raw_crc);
+      out += " " + std::to_string(m.shards[r].raw_bytes) + " " + hex;
+    }
+    out += "\n";
   }
   std::snprintf(hex, sizeof(hex), "%08" PRIx32,
                 crc32c(out.data(), out.size()));
@@ -170,8 +178,12 @@ Manifest manifest_from_string(const std::string& text) {
                    "manifest: phase lines out of order at: " + line);
       m.pending_phase.emplace_back(parse_double(toks[2], "phase re", line),
                                    parse_double(toks[3], "phase im", line));
+    } else if (key == "codec") {
+      QUASAR_CHECK(toks.size() == 2, "manifest: malformed codec: " + line);
+      m.codec = oocore::codec_from_name(toks[1]);
     } else if (key == "shard") {
-      QUASAR_CHECK(toks.size() == 4, "manifest: malformed shard: " + line);
+      QUASAR_CHECK(toks.size() == 4 || toks.size() == 6,
+                   "manifest: malformed shard: " + line);
       const std::size_t rank = static_cast<std::size_t>(
           parse_int_in_range(toks[1], 0, 1 << 20, "shard rank", line));
       QUASAR_CHECK(rank == next_shard++,
@@ -179,6 +191,13 @@ Manifest manifest_from_string(const std::string& text) {
       ShardInfo shard;
       shard.bytes = parse_uint64(toks[2], "shard bytes", line);
       shard.crc = parse_hex32(toks[3], "shard crc", line);
+      if (toks.size() == 6) {
+        shard.raw_bytes = parse_uint64(toks[4], "shard raw bytes", line);
+        shard.raw_crc = parse_hex32(toks[5], "shard raw crc", line);
+      } else {
+        shard.raw_bytes = shard.bytes;
+        shard.raw_crc = shard.crc;
+      }
       m.shards.push_back(shard);
     } else {
       throw Error("manifest: unknown line: " + line);

@@ -18,13 +18,18 @@
 ///     norm <squared norm, C99 hexfloat>
 ///     mapping <location of qubit 0> <location of qubit 1> ...
 ///     rng <mt19937_64 state tokens>            (optional)
+///     codec <raw|lz>                           (optional; absent = raw)
 ///     phase <rank> <re hexfloat> <im hexfloat> (one line per rank)
-///     shard <rank> <bytes> <crc32c hex>        (one line per rank)
+///     shard <rank> <bytes> <crc32c hex> [<raw bytes> <raw crc32c hex>]
 ///     crc <crc32c of every preceding byte, 8 hex digits>
 ///
 /// Doubles are serialized as hexfloats so a parse-print round trip is
 /// bit-exact; the trailing `crc` line makes a torn or truncated manifest
-/// detectable without trusting any field before it.
+/// detectable without trusting any field before it. With a non-raw codec
+/// the shard files hold oocore frames (codec.hpp); the shard line then
+/// records both the on-disk frame size/CRC (torn-write detection without
+/// decoding) and the uncompressed size/CRC (end-to-end integrity of the
+/// amplitudes the resume actually loads).
 #pragma once
 
 #include <complex>
@@ -32,12 +37,18 @@
 #include <string>
 #include <vector>
 
+#include "oocore/codec.hpp"
+
 namespace quasar::ckpt {
 
 /// Integrity record of one rank's amplitude shard file.
 struct ShardInfo {
-  std::uint64_t bytes = 0;
-  std::uint32_t crc = 0;
+  std::uint64_t bytes = 0;  ///< on-disk bytes (frame size under a codec)
+  std::uint32_t crc = 0;    ///< CRC32C of the on-disk bytes
+  /// Uncompressed amplitude bytes / CRC. Equal to bytes/crc for raw
+  /// shards; under a codec they cover the decoded payload.
+  std::uint64_t raw_bytes = 0;
+  std::uint32_t raw_crc = 0;
 };
 
 /// Parsed (or to-be-written) snapshot manifest.
@@ -57,6 +68,10 @@ struct Manifest {
   std::vector<int> mapping;
   /// Serialized sampling Rng (Rng::serialize()); empty = not recorded.
   std::string rng_state;
+  /// Shard codec (DESIGN.md §11). kRaw shards are verbatim amplitude
+  /// bytes (and the codec line is omitted for backward compatibility);
+  /// anything else wraps each shard in a self-describing oocore frame.
+  oocore::Codec codec = oocore::Codec::kRaw;
   /// Deferred per-rank phases (Sec. 3.5), one per rank.
   std::vector<std::complex<double>> pending_phase;
   /// Per-rank shard integrity, one per rank.

@@ -11,6 +11,7 @@
 #include "core/error.hpp"
 #include "core/parse.hpp"
 #include "obs/trace.hpp"
+#include "oocore/codec.hpp"
 
 namespace quasar::ckpt {
 
@@ -65,6 +66,7 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
   snap.manifest = manifest_from_string(read_file(dir / kManifestFileName));
 
   snap.shard_bytes.resize(snap.manifest.shards.size());
+  oocore::CodecScratch scratch;
   for (std::size_t r = 0; r < snap.manifest.shards.size(); ++r) {
     const ShardInfo& info = snap.manifest.shards[r];
     const fs::path path = dir / shard_file_name(static_cast<int>(r));
@@ -85,7 +87,35 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
                     path.string().c_str(), info.crc, actual);
       throw check::ValidationError(buf);
     }
-    snap.shard_bytes[r].assign(raw.begin(), raw.end());
+    if (snap.manifest.codec == oocore::Codec::kRaw) {
+      snap.shard_bytes[r].assign(raw.begin(), raw.end());
+    } else {
+      // Frame-wrapped shard: decode (the frame verifies its own payload
+      // CRC), then check the decoded amplitudes against the manifest's
+      // raw CRC so corruption anywhere in the chain reads as a torn
+      // generation and load_latest falls back.
+      snap.shard_bytes[r].resize(info.raw_bytes);
+      std::size_t decoded = 0;
+      try {
+        decoded = oocore::decode(raw.data(), raw.size(),
+                                 snap.shard_bytes[r].data(), info.raw_bytes,
+                                 scratch);
+      } catch (const Error& e) {
+        obs::count("ckpt.shard_crc_failures");
+        throw check::ValidationError("checkpoint: " + path.string() +
+                                     " frame decode failed (" + e.what() +
+                                     ") — corrupted shard");
+      }
+      const std::uint32_t raw_actual =
+          crc32c(snap.shard_bytes[r].data(), decoded);
+      if (decoded != info.raw_bytes || raw_actual != info.raw_crc) {
+        obs::count("ckpt.shard_crc_failures");
+        throw check::ValidationError(
+            "checkpoint: " + path.string() +
+            " decoded shard does not match the manifest's raw size/CRC — "
+            "corrupted shard");
+      }
+    }
   }
   obs::count("ckpt.bytes_read", [&] {
     std::uint64_t total = 0;

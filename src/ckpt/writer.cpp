@@ -14,6 +14,7 @@
 #include "core/error.hpp"
 #include "core/parse.hpp"
 #include "obs/trace.hpp"
+#include "oocore/codec.hpp"
 
 namespace quasar::ckpt {
 
@@ -63,6 +64,8 @@ CheckpointWriter::CheckpointWriter(CheckpointOptions options)
                "checkpoint: directory must not be empty");
   QUASAR_CHECK(options_.keep_generations >= 1,
                "checkpoint: keep_generations must be >= 1");
+  QUASAR_CHECK(oocore::codec_lossless(options_.codec),
+               "checkpoint: shard codec must be lossless (raw or lz)");
   fs::create_directories(options_.directory);
   if (options_.background) {
     worker_ = std::thread([this] { worker_loop(); });
@@ -131,6 +134,7 @@ void CheckpointWriter::worker_loop() {
 void CheckpointWriter::write_generation(Snapshot& snap) {
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t bytes = 0;
+  std::uint64_t raw_bytes = 0;
   const std::string name = generation_name(snap.manifest.cursor);
   const fs::path dir = fs::path(options_.directory) / name;
   const fs::path tmp = fs::path(options_.directory) / (name + ".tmp");
@@ -140,16 +144,32 @@ void CheckpointWriter::write_generation(Snapshot& snap) {
     fs::remove_all(tmp);
     fs::create_directory(tmp);
 
+    snap.manifest.codec = options_.codec;
     snap.manifest.shards.clear();
+    std::vector<std::uint8_t> frame;
+    oocore::CodecScratch scratch;
     for (std::size_t r = 0; r < snap.shard_bytes.size(); ++r) {
       const std::vector<std::uint8_t>& shard = snap.shard_bytes[r];
       ShardInfo info;
-      info.bytes = shard.size();
-      info.crc = crc32c(shard.data(), shard.size());
+      info.raw_bytes = shard.size();
+      info.raw_crc = crc32c(shard.data(), shard.size());
+      const std::uint8_t* file_data = shard.data();
+      std::size_t file_bytes = shard.size();
+      if (options_.codec != oocore::Codec::kRaw) {
+        // Compress here, on the background thread: the frame's own CRC
+        // plus the manifest's raw CRC keep integrity end-to-end.
+        frame.resize(oocore::encoded_bound(shard.size()));
+        file_bytes = oocore::encode(options_.codec, shard.data(),
+                                    shard.size(), frame.data(), scratch);
+        file_data = frame.data();
+      }
+      info.bytes = file_bytes;
+      info.crc = crc32c(file_data, file_bytes);
       snap.manifest.shards.push_back(info);
-      write_file(tmp / shard_file_name(static_cast<int>(r)), shard.data(),
-                 shard.size(), options_.fsync);
-      bytes += shard.size();
+      write_file(tmp / shard_file_name(static_cast<int>(r)), file_data,
+                 file_bytes, options_.fsync);
+      bytes += file_bytes;
+      raw_bytes += shard.size();
     }
     const std::string text = manifest_to_string(snap.manifest);
     write_file(tmp / kManifestFileName, text.data(), text.size(),
@@ -177,6 +197,7 @@ void CheckpointWriter::write_generation(Snapshot& snap) {
   }
   obs::count("ckpt.snapshots");
   obs::count("ckpt.bytes_written", bytes);
+  obs::count("ckpt.raw_bytes", raw_bytes);
   obs::count("ckpt.write_ns", ns);
   prune_generations();
 }

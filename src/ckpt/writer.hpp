@@ -50,6 +50,12 @@ struct CheckpointOptions {
   /// fsync additionally survives power loss at a large cost on slow
   /// disks.
   bool fsync = false;
+  /// Shard codec (oocore/codec.hpp). Non-raw codecs wrap every shard in
+  /// a self-describing frame, encoded on the background thread so the
+  /// compression overlaps the next stage's compute. Restricted to
+  /// lossless codecs — a checkpoint that does not restore the exact
+  /// state defeats resume verification.
+  oocore::Codec codec = oocore::Codec::kRaw;
 };
 
 /// Writer-side counters (a superset is exported as ckpt.* obs counters).

@@ -1,8 +1,8 @@
-#include "ckpt/crc32c.hpp"
+#include "core/crc32c.hpp"
 
 #include <array>
 
-namespace quasar::ckpt {
+namespace quasar {
 
 namespace {
 
@@ -72,4 +72,4 @@ std::uint32_t crc32c(const void* data, std::size_t bytes) {
   return crc32c_extend(0, data, bytes);
 }
 
-}  // namespace quasar::ckpt
+}  // namespace quasar

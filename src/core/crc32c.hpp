@@ -1,0 +1,27 @@
+/// \file crc32c.hpp
+/// \brief CRC32C (Castagnoli) checksums for on-disk integrity.
+///
+/// Every artifact this code puts on disk — checkpoint shards, manifests,
+/// out-of-core segment frames — carries a CRC32C so a torn write, a bit
+/// flip on disk, or a truncated file is detected before the data is
+/// trusted (DESIGN.md §10/§11). CRC32C is the storage-stack convention
+/// (iSCSI, ext4, RocksDB) and its software slicing-by-8 form streams at
+/// several GB/s, far above the disk bandwidth it guards. Lives in core so
+/// both the ckpt and oocore subsystems can share one implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace quasar {
+
+/// CRC32C of `bytes` bytes at `data`.
+std::uint32_t crc32c(const void* data, std::size_t bytes);
+
+/// Incremental form: extends `crc` (a previous crc32c result, or 0 for an
+/// empty prefix) over the next `bytes` bytes. Chaining extensions over a
+/// split buffer equals one crc32c over the concatenation.
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t bytes);
+
+}  // namespace quasar

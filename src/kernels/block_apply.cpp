@@ -225,16 +225,21 @@ std::vector<BlockPlanSegment> plan_gate_runs(
 
 void apply_gate_run(Amplitude* state, int num_qubits,
                     const PreparedGate* const* gates, std::size_t count,
-                    int block_exponent, const ApplyOptions& options) {
+                    int block_exponent, const ApplyOptions& options,
+                    Index base_index) {
   QUASAR_CHECK(state != nullptr, "apply_gate_run: null state");
   QUASAR_CHECK(count >= 1, "apply_gate_run: empty run");
   QUASAR_CHECK(block_exponent >= 2 && block_exponent <= num_qubits,
                "apply_gate_run: block exponent out of range");
+  QUASAR_CHECK((base_index & (index_pow2(num_qubits) - 1)) == 0,
+               "apply_gate_run: base index not segment-aligned");
   std::vector<GatePlanEntry> plans;
   plans.reserve(count);
   for (std::size_t g = 0; g < count; ++g) {
     QUASAR_CHECK(gates[g] != nullptr, "apply_gate_run: null gate");
-    QUASAR_CHECK(gates[g]->qubits.back() < num_qubits,
+    // Diagonal gates may reach above num_qubits when a base index pins
+    // those bits; dense gates never can.
+    QUASAR_CHECK(gates[g]->diagonal || gates[g]->qubits.back() < num_qubits,
                  "apply_gate_run: bit-location out of range");
     QUASAR_CHECK(block_run_eligible(*gates[g], block_exponent),
                  "apply_gate_run: gate not eligible at this block exponent");
@@ -261,14 +266,16 @@ void apply_gate_run(Amplitude* state, int num_qubits,
         apply_gate(block, b, *e.gate, serial);
         continue;
       }
-      // Diagonal: phase-table index = (high bits from the block base) |
-      // (low bits enumerated within the block). The hi bits sit above
-      // the low bits, so diag + hi is the block's contiguous table
+      // Diagonal: phase-table index = (high bits from the absolute block
+      // base) | (low bits enumerated within the block). The hi bits sit
+      // above the low bits, so diag + hi is the block's contiguous table
       // slice; diagonal_multiply is the same compiled multiply the
-      // full-state sweep uses, hence bit-identical.
-      const Amplitude* const diag = e.gate->diag.data() +
-                                    (gather_bits(block_base, e.high_qubits)
-                                     << e.low_k);
+      // full-state sweep uses, hence bit-identical. Folding base_index
+      // in extends the same slicing to gate locations above num_qubits
+      // (out-of-core segments, where those bits are the segment id).
+      const Amplitude* const diag =
+          e.gate->diag.data() +
+          (gather_bits(base_index | block_base, e.high_qubits) << e.low_k);
       detail::diagonal_multiply_range(block, e.low_expander,
                                       e.low_offsets.data(), diag, e.dim_low,
                                       0, e.low_outer);
@@ -278,16 +285,56 @@ void apply_gate_run(Amplitude* state, int num_qubits,
 
 namespace {
 
+/// One full-segment sweep of a single gate, honoring a base index: dense
+/// gates go through apply_gate unchanged (their locations all sit below
+/// num_qubits), diagonal gates whose table needs bits pinned by
+/// `base_index` run one parallel diagonal sweep with the sliced table —
+/// the same diagonal_multiply_range compile, so still bit-identical to
+/// the full-state order.
+void apply_gate_based(Amplitude* state, int num_qubits,
+                      const PreparedGate& gate, const ApplyOptions& options,
+                      Index base_index) {
+  if (!gate.diagonal) {
+    QUASAR_CHECK(gate.qubits.back() < num_qubits,
+                 "apply_gates_blocked: dense bit-location out of range");
+    apply_gate(state, num_qubits, gate, options);
+    return;
+  }
+  if (base_index == 0 && gate.qubits.back() < num_qubits) {
+    apply_gate(state, num_qubits, gate, options);
+    return;
+  }
+  const GatePlanEntry e = make_plan(gate, num_qubits);
+  const Amplitude* const diag =
+      gate.diag.data() +
+      (gather_bits(base_index, e.high_qubits) << e.low_k);
+  const Index outer = e.low_outer;
+  const int threads = detail::resolve_threads(options.num_threads, outer);
+#pragma omp parallel num_threads(threads)
+  {
+    const Index tid = static_cast<Index>(omp_get_thread_num());
+    const Index tc = static_cast<Index>(omp_get_num_threads());
+    const Index chunk = (outer + tc - 1) / tc;
+    const Index begin = std::min(outer, tid * chunk);
+    const Index end = std::min(outer, begin + chunk);
+    if (begin < end) {
+      detail::diagonal_multiply_range(state, e.low_expander,
+                                      e.low_offsets.data(), diag, e.dim_low,
+                                      begin, end);
+    }
+  }
+}
+
 void apply_gates_blocked_impl(Amplitude* state, int num_qubits,
                               const PreparedGate* const* gates,
                               std::size_t count, const ApplyOptions& options,
-                              BlockRunStats* stats) {
+                              BlockRunStats* stats, Index base_index) {
   BlockRunStats local;
   local.gates = count;
   const int b = effective_block_exponent(num_qubits, options);
   if (b < 0 || count == 0) {
     for (std::size_t g = 0; g < count; ++g) {
-      apply_gate(state, num_qubits, *gates[g], options);
+      apply_gate_based(state, num_qubits, *gates[g], options, base_index);
     }
     local.sweeps = count;
     publish_block_stats(local);
@@ -323,18 +370,18 @@ void apply_gates_blocked_impl(Amplitude* state, int num_qubits,
       QUASAR_OBS_SPAN("gate_run", "blocked_run", "gates",
                       static_cast<std::int64_t>(run_gates.size()));
       apply_gate_run(state, num_qubits, run_gates.data(), run_gates.size(),
-                     b, options);
+                     b, options, base_index);
       local.runs += 1;
       local.run_gates += seg.run.size();
       local.sweeps += 1;
     } else {
       for (std::size_t g : seg.run) {
-        apply_gate(state, num_qubits, *gates[g], options);
+        apply_gate_based(state, num_qubits, *gates[g], options, base_index);
       }
       local.sweeps += seg.run.size();
     }
     for (std::size_t g : seg.solo) {
-      apply_gate(state, num_qubits, *gates[g], options);
+      apply_gate_based(state, num_qubits, *gates[g], options, base_index);
     }
     local.sweeps += seg.solo.size();
     if (!seg.solo.empty()) {
@@ -350,15 +397,20 @@ void apply_gates_blocked_impl(Amplitude* state, int num_qubits,
 
 void apply_gates_blocked(Amplitude* state, int num_qubits,
                          const PreparedGate* const* gates, std::size_t count,
-                         const ApplyOptions& options, BlockRunStats* stats) {
+                         const ApplyOptions& options, BlockRunStats* stats,
+                         Index base_index) {
+  QUASAR_CHECK((base_index & (index_pow2(num_qubits) - 1)) == 0,
+               "apply_gates_blocked: base index not segment-aligned");
   // Disabled guards cost exactly this one acquire-load + branch.
   if (!check::enabled()) {
-    apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats);
+    apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats,
+                             base_index);
     return;
   }
   const Index size = index_pow2(num_qubits);
   const Real norm_before = check::norm_squared(state, size);
-  apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats);
+  apply_gates_blocked_impl(state, num_qubits, gates, count, options, stats,
+                           base_index);
   check::require_finite(state, size, "apply_gates_blocked");
   check::require_norm_preserved(check::norm_squared(state, size),
                                 norm_before,

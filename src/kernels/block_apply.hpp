@@ -100,18 +100,31 @@ int effective_min_run_length(const ApplyOptions& options);
 /// Applies `count` prepared gates — every one eligible at
 /// `block_exponent` — in one DRAM sweep: OpenMP over the 2^(n-b) blocks,
 /// all gates applied to each block while it is cache-resident.
+///
+/// `base_index` supports segment-granular sweeps (the out-of-core
+/// pipeline, DESIGN.md §11): when `state` is a 2^num_qubits-amplitude
+/// segment of a larger vector starting at absolute amplitude index
+/// `base_index` (low num_qubits bits zero), diagonal gates may carry
+/// bit-locations >= num_qubits — those bits are constant across the
+/// segment and select a fixed slice of the phase table, exactly as the
+/// block loop already does for locations >= b. Dense gates must keep
+/// every touched location below num_qubits regardless.
 void apply_gate_run(Amplitude* state, int num_qubits,
                     const PreparedGate* const* gates, std::size_t count,
-                    int block_exponent, const ApplyOptions& options = {});
+                    int block_exponent, const ApplyOptions& options = {},
+                    Index base_index = 0);
 
 /// Applies a gate list with blocked runs where profitable and plain
 /// gate-by-gate sweeps elsewhere. Equivalent to calling apply_gate on
 /// each gate in order (up to the exact commuting hoists when
 /// options.block_reorder is set). `stats`, when non-null, receives the
-/// execution counters.
+/// execution counters. `base_index` as in apply_gate_run: `state` may be
+/// an aligned segment of a larger vector, with diagonal gates allowed to
+/// reach above num_qubits.
 void apply_gates_blocked(Amplitude* state, int num_qubits,
                          const PreparedGate* const* gates, std::size_t count,
                          const ApplyOptions& options = {},
-                         BlockRunStats* stats = nullptr);
+                         BlockRunStats* stats = nullptr,
+                         Index base_index = 0);
 
 }  // namespace quasar

@@ -153,6 +153,8 @@ std::vector<StageBreakdown> measured_stages(const TraceSession& session) {
         b.measure_seconds += secs;
       else if (std::strcmp(c.category, "checkpoint") == 0)
         b.checkpoint_seconds += secs;
+      else if (std::strcmp(c.category, "oocore") == 0)
+        b.oocore_seconds += secs;
     }
     stages.push_back(b);
   }
@@ -299,6 +301,68 @@ std::string run_report(const TraceSession& session, const Circuit& circuit,
                   ckpt_seconds, ckpt_stages, ckpt_stages == 1 ? "y" : "ies");
     out += line;
   }
+  out += oocore_report(session, options.oocore);
+  return out;
+}
+
+std::string oocore_report(const TraceSession& session,
+                          const OocoreModel& model) {
+  double sweeps = 0.0, segments = 0.0;
+  double compute_ns = 0.0, stall_ns = 0.0, sweep_ns = 0.0, io_ns = 0.0;
+  double raw_bytes = 0.0, disk_bytes = 0.0;
+  for (const CounterValue& c : session.counters()) {
+    if (c.name == "oocore.sweeps") sweeps = c.value;
+    else if (c.name == "oocore.segments") segments = c.value;
+    else if (c.name == "oocore.compute_ns") compute_ns = c.value;
+    else if (c.name == "oocore.stall_ns") stall_ns = c.value;
+    else if (c.name == "oocore.sweep_ns") sweep_ns = c.value;
+    else if (c.name == "oocore.io_ns") io_ns = c.value;
+    else if (c.name == "oocore.raw_bytes") raw_bytes = c.value;
+    else if (c.name == "oocore.disk_bytes") disk_bytes = c.value;
+  }
+  if (sweeps <= 0.0) return "";
+
+  const double compute_s = compute_ns * 1e-9;
+  const double stall_s = stall_ns * 1e-9;
+  const double sweep_s = sweep_ns * 1e-9;
+  const double io_s = io_ns * 1e-9;
+  // Prefer the ratio the run actually achieved over the model's guess:
+  // raw amplitudes moved vs bytes that hit the disk.
+  const double ratio =
+      disk_bytes > 0.0 ? raw_bytes / disk_bytes : model.compression_ratio;
+  OocoreModel m = model;
+  m.compression_ratio = ratio;
+  const double pred_io_s = oocore_io_seconds(m, raw_bytes);
+  const double pred_sweep_s = oocore_sweep_seconds(m, compute_s, raw_bytes);
+  const double efficiency =
+      oocore_overlap_efficiency(compute_s, io_s, sweep_s);
+
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "out-of-core: %.0f sweep(s), %.0f segment(s), %.2f GB raw "
+                "(%.2f GB on disk, ratio %.2fx)\n",
+                sweeps, segments, raw_bytes * 1e-9, disk_bytes * 1e-9,
+                ratio);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  measured: sweep %8.3f s  compute %8.3f s  stall %8.3f s"
+                "  io-busy %8.3f s  overlap %3.0f%%\n",
+                sweep_s, compute_s, stall_s, io_s, efficiency * 100.0);
+  out += line;
+  char ratio_cell[12];
+  if (pred_sweep_s > 0.0) {
+    std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2fx",
+                  sweep_s / pred_sweep_s);
+  } else {
+    std::strcpy(ratio_cell, "-");
+  }
+  std::snprintf(line, sizeof(line),
+                "  model:    sweep %8.3f s = max(compute %8.3f s, io "
+                "%8.3f s @ %.2f GB/s) — meas/pred %s\n",
+                pred_sweep_s, compute_s, pred_io_s, m.disk_bw_gbs,
+                ratio_cell);
+  out += line;
   return out;
 }
 

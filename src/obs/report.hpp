@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "perfmodel/comm_model.hpp"
 #include "perfmodel/machine.hpp"
+#include "perfmodel/oocore_model.hpp"
 #include "sched/schedule.hpp"
 
 namespace quasar::obs {
@@ -34,11 +35,14 @@ struct StageBreakdown {
   /// "checkpoint" children: snapshot staging + any non-overlapped write
   /// time on the compute thread (DESIGN.md §10).
   double checkpoint_seconds = 0.0;
+  /// "oocore" children: pipelined out-of-core stage execution (§11).
+  double oocore_seconds = 0.0;
   /// Stage time not covered by any categorized child span.
   double other_seconds() const {
     const double covered = gate_seconds + exchange_seconds +
                            permute_seconds + renumber_seconds +
-                           measure_seconds + checkpoint_seconds;
+                           measure_seconds + checkpoint_seconds +
+                           oocore_seconds;
     return total_seconds > covered ? total_seconds - covered : 0.0;
   }
 };
@@ -71,6 +75,10 @@ struct ReportOptions {
   /// Bytes each stored amplitude occupies (16 for the double engine,
   /// 8 for the fp32 mirror).
   double bytes_per_amplitude = 16.0;
+  /// Disk-side pipeline model for runs on segmented out-of-core storage;
+  /// compression_ratio is overridden by the measured ratio when the
+  /// trace carries the oocore byte counters.
+  OocoreModel oocore;
 };
 
 /// Per-stage predictions with the same decomposition the instrumentation
@@ -87,9 +95,18 @@ std::vector<StagePrediction> predict_stages(const Circuit& circuit,
 /// columns for measured/predicted gate, exchange, and permute seconds
 /// plus the measured/predicted ratio, with a totals row. Stages present
 /// in only one of the two sides are reported with the other side blank.
+/// Runs on segmented storage additionally get an out-of-core summary
+/// block: measured sweep/compute/stall/io-busy time and compression
+/// ratio next to the overlap model's max(compute, io/ratio) prediction.
 std::string run_report(const TraceSession& session, const Circuit& circuit,
                        const Schedule& schedule, const MachineModel& node,
                        const InterconnectModel& net,
                        const ReportOptions& options = {});
+
+/// Just the out-of-core summary block (empty string when the session
+/// recorded no oocore sweeps). Exposed for benches that run without a
+/// schedule.
+std::string oocore_report(const TraceSession& session,
+                          const OocoreModel& model);
 
 }  // namespace quasar::obs

@@ -1,0 +1,336 @@
+#include "oocore/codec.hpp"
+
+#include <cstring>
+
+#include "core/crc32c.hpp"
+#include "core/error.hpp"
+
+namespace quasar::oocore {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'Q', 'O', 'C', '1'};
+
+/// LZ77 with LZ4-style tokens over the plane-transposed bytes.
+///
+/// Token stream: each token is one control byte — high nibble = literal
+/// count (15 = extended with 255-continuation bytes), low nibble =
+/// match length - 4 (15 = extended) — followed by the literal bytes,
+/// then, unless the input is exhausted, a 2-byte little-endian match
+/// offset (1..65535, distance back from the current output position).
+/// A final token may omit the offset/match when its literals reach the
+/// end of input; the decoder knows the compressed size and stops there.
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kWindow = 65535;
+constexpr int kHashBits = 15;
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint32_t hash32(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_varlen(std::vector<std::uint8_t>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+/// Greedy hash-chainless LZ: one 4-byte hash table, last position wins.
+void lz_compress(const std::uint8_t* src, std::size_t n,
+                 std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(n / 2 + 64);
+  std::vector<std::int64_t> table(std::size_t{1} << kHashBits, -1);
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  const auto emit = [&](std::size_t match_pos, std::size_t match_len) {
+    const std::size_t literals = i - literal_start;
+    const std::size_t lit_nibble = literals < 15 ? literals : 15;
+    if (match_len == 0) {
+      // Trailing literals: control byte with an empty match nibble.
+      out.push_back(static_cast<std::uint8_t>(lit_nibble << 4));
+      if (literals >= 15) put_varlen(out, literals - 15);
+      out.insert(out.end(), src + literal_start, src + literal_start + literals);
+      return;
+    }
+    const std::size_t mat = match_len - kMinMatch;
+    const std::size_t mat_nibble = mat < 15 ? mat : 15;
+    out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | mat_nibble));
+    if (literals >= 15) put_varlen(out, literals - 15);
+    out.insert(out.end(), src + literal_start, src + literal_start + literals);
+    const std::size_t offset = i - match_pos;
+    out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (mat >= 15) put_varlen(out, mat - 15);
+  };
+  if (n >= kMinMatch) {
+    const std::size_t limit = n - kMinMatch;
+    while (i <= limit) {
+      const std::uint32_t h = hash32(load32(src + i));
+      const std::int64_t cand = table[h];
+      table[h] = static_cast<std::int64_t>(i);
+      if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow &&
+          load32(src + cand) == load32(src + i)) {
+        std::size_t len = kMinMatch;
+        while (i + len < n && src[cand + len] == src[i + len]) ++len;
+        emit(static_cast<std::size_t>(cand), len);
+        i += len;
+        literal_start = i;
+        continue;
+      }
+      ++i;
+    }
+  }
+  i = n;
+  if (literal_start < n || n == 0) emit(0, 0);
+}
+
+void lz_decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                   std::size_t raw) {
+  std::size_t s = 0, d = 0;
+  const auto get_varlen = [&](std::size_t base) {
+    std::size_t len = base;
+    while (true) {
+      QUASAR_CHECK(s < n, "oocore codec: truncated LZ stream");
+      const std::uint8_t b = src[s++];
+      len += b;
+      if (b != 255) return len;
+    }
+  };
+  while (s < n) {
+    const std::uint8_t ctrl = src[s++];
+    std::size_t literals = ctrl >> 4;
+    if (literals == 15) literals = get_varlen(15);
+    QUASAR_CHECK(s + literals <= n && d + literals <= raw,
+                 "oocore codec: LZ literal run out of bounds");
+    std::memcpy(dst + d, src + s, literals);
+    s += literals;
+    d += literals;
+    if (s == n) break;  // final token: literals only
+    std::size_t match = (ctrl & 0x0f);
+    QUASAR_CHECK(s + 2 <= n, "oocore codec: truncated LZ match");
+    const std::size_t offset = static_cast<std::size_t>(src[s]) |
+                               (static_cast<std::size_t>(src[s + 1]) << 8);
+    s += 2;
+    if (match == 15) match = get_varlen(15);
+    match += kMinMatch;
+    QUASAR_CHECK(offset >= 1 && offset <= d && d + match <= raw,
+                 "oocore codec: LZ match out of bounds");
+    // Overlapping copies are the LZ run-length idiom: byte-wise copy.
+    for (std::size_t k = 0; k < match; ++k) dst[d + k] = dst[d + k - offset];
+    d += match;
+  }
+  QUASAR_CHECK(d == raw, "oocore codec: LZ stream decoded to wrong length");
+}
+
+/// Gathers byte p of every `width`-byte element into one contiguous
+/// plane: out[p * count + i] = in[i * width + p].
+void plane_split(const std::uint8_t* in, std::size_t count, std::size_t width,
+                 std::uint8_t* out) {
+  for (std::size_t p = 0; p < width; ++p) {
+    std::uint8_t* plane = out + p * count;
+    const std::uint8_t* src = in + p;
+    for (std::size_t i = 0; i < count; ++i) plane[i] = src[i * width];
+  }
+}
+
+void plane_merge(const std::uint8_t* in, std::size_t count, std::size_t width,
+                 std::uint8_t* out) {
+  for (std::size_t p = 0; p < width; ++p) {
+    const std::uint8_t* plane = in + p * count;
+    std::uint8_t* dst = out + p;
+    for (std::size_t i = 0; i < count; ++i) dst[i * width] = plane[i];
+  }
+}
+
+void doubles_to_floats(const std::uint8_t* in, std::size_t raw_bytes,
+                       std::uint8_t* out) {
+  const std::size_t count = raw_bytes / sizeof(double);
+  for (std::size_t i = 0; i < count; ++i) {
+    double d;
+    std::memcpy(&d, in + i * sizeof(double), sizeof(double));
+    const float f = static_cast<float>(d);
+    std::memcpy(out + i * sizeof(float), &f, sizeof(float));
+  }
+}
+
+void floats_to_doubles(const std::uint8_t* in, std::size_t f32_bytes,
+                       std::uint8_t* out) {
+  const std::size_t count = f32_bytes / sizeof(float);
+  for (std::size_t i = 0; i < count; ++i) {
+    float f;
+    std::memcpy(&f, in + i * sizeof(float), sizeof(float));
+    const double d = static_cast<double>(f);
+    std::memcpy(out + i * sizeof(double), &d, sizeof(double));
+  }
+}
+
+void write_header(std::uint8_t* dst, Codec codec, std::size_t raw,
+                  std::size_t payload, std::uint32_t crc) {
+  std::memset(dst, 0, kFrameHeaderBytes);
+  std::memcpy(dst, kMagic, 4);
+  dst[4] = static_cast<std::uint8_t>(codec);
+  const auto put32 = [&](std::size_t at, std::uint32_t v) {
+    dst[at] = static_cast<std::uint8_t>(v & 0xff);
+    dst[at + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    dst[at + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    dst[at + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+  };
+  put32(8, static_cast<std::uint32_t>(raw));
+  put32(12, static_cast<std::uint32_t>(payload));
+  put32(16, crc);
+}
+
+std::uint32_t read32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool codec_lossless(Codec codec) noexcept {
+  return codec == Codec::kRaw || codec == Codec::kLz;
+}
+
+const char* codec_name(Codec codec) noexcept {
+  switch (codec) {
+    case Codec::kRaw: return "raw";
+    case Codec::kLz: return "lz";
+    case Codec::kFp32: return "fp32";
+    case Codec::kFp32Lz: return "fp32lz";
+  }
+  return "?";
+}
+
+Codec codec_from_name(const std::string& name) {
+  if (name == "raw") return Codec::kRaw;
+  if (name == "lz") return Codec::kLz;
+  if (name == "fp32") return Codec::kFp32;
+  if (name == "fp32lz") return Codec::kFp32Lz;
+  throw Error("unknown codec '" + name + "' (raw, lz, fp32, fp32lz)");
+}
+
+std::size_t encoded_bound(std::size_t raw_bytes) noexcept {
+  // Worst case is the incompressible fallback: header + raw payload
+  // (fp32 payloads are half of raw, so raw covers every codec).
+  return kFrameHeaderBytes + raw_bytes;
+}
+
+std::size_t encode(Codec codec, const void* src, std::size_t raw_bytes,
+                   void* dst, CodecScratch& scratch) {
+  QUASAR_CHECK(raw_bytes <= 0xffffffffu,
+               "oocore codec: frame larger than 4 GiB");
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  auto* out = static_cast<std::uint8_t*>(dst);
+  const bool fp32 = codec == Codec::kFp32 || codec == Codec::kFp32Lz;
+  const bool lz = codec == Codec::kLz || codec == Codec::kFp32Lz;
+  QUASAR_CHECK(!fp32 || raw_bytes % sizeof(double) == 0,
+               "oocore codec: fp32 frame needs whole doubles");
+  QUASAR_CHECK(!lz || raw_bytes % sizeof(double) == 0,
+               "oocore codec: lz frame needs whole doubles");
+
+  const std::uint8_t* base = in;
+  std::size_t base_bytes = raw_bytes;
+  Codec base_codec = Codec::kRaw;
+  if (fp32) {
+    scratch.planes.resize(raw_bytes / 2);
+    doubles_to_floats(in, raw_bytes, scratch.planes.data());
+    base = scratch.planes.data();
+    base_bytes = raw_bytes / 2;
+    base_codec = Codec::kFp32;
+  }
+  if (lz) {
+    const std::size_t width = fp32 ? sizeof(float) : sizeof(double);
+    scratch.stage.resize(base_bytes);
+    plane_split(base, base_bytes / width, width, scratch.stage.data());
+    std::vector<std::uint8_t> packed;
+    lz_compress(scratch.stage.data(), base_bytes, packed);
+    if (packed.size() < base_bytes) {
+      const std::uint32_t crc =
+          quasar::crc32c(packed.data(), packed.size());
+      write_header(out, fp32 ? Codec::kFp32Lz : Codec::kLz, raw_bytes,
+                   packed.size(), crc);
+      std::memcpy(out + kFrameHeaderBytes, packed.data(), packed.size());
+      return kFrameHeaderBytes + packed.size();
+    }
+    // Incompressible: fall through to the un-LZ'd payload.
+  }
+  const std::uint32_t crc = quasar::crc32c(base, base_bytes);
+  write_header(out, base_codec, raw_bytes, base_bytes, crc);
+  std::memcpy(out + kFrameHeaderBytes, base, base_bytes);
+  return kFrameHeaderBytes + base_bytes;
+}
+
+bool peek_frame(const void* src, std::size_t frame_bytes, FrameInfo* info) {
+  if (frame_bytes < kFrameHeaderBytes) return false;
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  if (std::memcmp(p, kMagic, 4) != 0) return false;
+  if (p[4] > static_cast<std::uint8_t>(Codec::kFp32Lz)) return false;
+  if (info != nullptr) {
+    info->codec = static_cast<Codec>(p[4]);
+    info->raw_bytes = read32(p + 8);
+    info->payload_bytes = read32(p + 12);
+  }
+  return true;
+}
+
+std::size_t decode(const void* src, std::size_t frame_bytes, void* dst,
+                   std::size_t dst_bytes, CodecScratch& scratch) {
+  FrameInfo info;
+  QUASAR_CHECK(peek_frame(src, frame_bytes, &info),
+               "oocore codec: bad frame magic (torn or foreign data)");
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  QUASAR_CHECK(kFrameHeaderBytes + info.payload_bytes <= frame_bytes,
+               "oocore codec: frame payload extends past the buffer");
+  QUASAR_CHECK(info.raw_bytes <= dst_bytes,
+               "oocore codec: decode target too small");
+  const std::uint8_t* payload = p + kFrameHeaderBytes;
+  const std::uint32_t crc = read32(p + 16);
+  QUASAR_CHECK(quasar::crc32c(payload, info.payload_bytes) == crc,
+               "oocore codec: payload CRC mismatch (corrupt frame)");
+  auto* out = static_cast<std::uint8_t*>(dst);
+  switch (info.codec) {
+    case Codec::kRaw:
+      QUASAR_CHECK(info.payload_bytes == info.raw_bytes,
+                   "oocore codec: raw frame length mismatch");
+      std::memcpy(out, payload, info.raw_bytes);
+      break;
+    case Codec::kLz: {
+      scratch.stage.resize(info.raw_bytes);
+      lz_decompress(payload, info.payload_bytes, scratch.stage.data(),
+                    info.raw_bytes);
+      plane_merge(scratch.stage.data(), info.raw_bytes / sizeof(double),
+                  sizeof(double), out);
+      break;
+    }
+    case Codec::kFp32: {
+      QUASAR_CHECK(info.payload_bytes * 2 == info.raw_bytes,
+                   "oocore codec: fp32 frame length mismatch");
+      floats_to_doubles(payload, info.payload_bytes, out);
+      break;
+    }
+    case Codec::kFp32Lz: {
+      const std::size_t f32_bytes = info.raw_bytes / 2;
+      scratch.stage.resize(f32_bytes);
+      lz_decompress(payload, info.payload_bytes, scratch.stage.data(),
+                    f32_bytes);
+      scratch.planes.resize(f32_bytes);
+      plane_merge(scratch.stage.data(), f32_bytes / sizeof(float),
+                  sizeof(float), scratch.planes.data());
+      floats_to_doubles(scratch.planes.data(), f32_bytes, out);
+      break;
+    }
+  }
+  return info.raw_bytes;
+}
+
+}  // namespace quasar::oocore

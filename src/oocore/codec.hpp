@@ -1,0 +1,100 @@
+/// \file codec.hpp
+/// \brief Shard codecs for the out-of-core pipeline (DESIGN.md §11).
+///
+/// QSystem's compact representation (PAPERS.md) argues amplitudes carry
+/// fewer interesting bits than the 16 bytes they occupy: in a normalized
+/// n-qubit state the magnitudes cluster around 2^(-n/2), so the exponent
+/// bytes of the IEEE doubles are nearly constant while the mantissa tails
+/// are noise. The lossless codec exploits exactly that structure with a
+/// byte-plane split (byte p of every double gathered into one plane, so
+/// the near-constant sign/exponent planes become long runs) followed by a
+/// greedy LZ77 pass with LZ4-style tokens. The lossy codec truncates
+/// doubles to floats first — the same precision the fp32 engine runs at —
+/// halving the raw volume before the planes are split.
+///
+/// Every encoded buffer is a self-describing frame:
+///
+///   offset  size  field
+///        0     4  magic "QOC1"
+///        4     1  codec id (the codec actually used, see below)
+///        5     1  flags (reserved, 0)
+///        6     2  reserved (0)
+///        8     4  raw (decoded) length, little endian
+///       12     4  payload length, little endian
+///       16     4  CRC32C of the payload bytes
+///       20    12  reserved (0) — header padded to 32 bytes
+///       32     …  payload
+///
+/// Incompressible input never expands past `encoded_bound`: when the LZ
+/// pass fails to beat the identity, the frame is emitted with the raw
+/// (or fp32-truncated) payload and the codec id downgraded accordingly —
+/// the id in the frame is authoritative, the caller's choice is only an
+/// upper bound. decode() verifies magic, lengths and payload CRC and
+/// throws quasar::Error on any mismatch, so a torn or corrupted frame is
+/// detected before a single amplitude is trusted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace quasar::oocore {
+
+/// Shard codec selector.
+enum class Codec : std::uint8_t {
+  kRaw = 0,     ///< identity (frame header + verbatim bytes)
+  kLz = 1,      ///< byte-plane split + LZ77 (lossless)
+  kFp32 = 2,    ///< double -> float truncation (lossy, fp32-engine grade)
+  kFp32Lz = 3,  ///< fp32 truncation, then byte-plane + LZ77
+};
+
+/// True when round-tripping through `codec` reproduces the input bytes.
+bool codec_lossless(Codec codec) noexcept;
+
+/// "raw", "lz", "fp32", "fp32lz".
+const char* codec_name(Codec codec) noexcept;
+
+/// Inverse of codec_name; throws quasar::Error on an unknown name.
+Codec codec_from_name(const std::string& name);
+
+/// Frame header size in bytes.
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
+/// Upper bound on encode() output for `raw_bytes` of input under any
+/// codec (header + worst-case incompressible payload).
+std::size_t encoded_bound(std::size_t raw_bytes) noexcept;
+
+/// Scratch buffers reused across encode/decode calls (plane transpose and
+/// LZ staging). One instance per thread; not thread-safe.
+struct CodecScratch {
+  std::vector<std::uint8_t> planes;
+  std::vector<std::uint8_t> stage;
+};
+
+/// Encodes `raw_bytes` bytes at `src` into a frame at `dst` (capacity at
+/// least encoded_bound(raw_bytes)). `raw_bytes` must be a multiple of 8
+/// for kLz and of 16 for the fp32 codecs (whole double / complex<double>
+/// elements). Returns the total frame size (header + payload).
+std::size_t encode(Codec codec, const void* src, std::size_t raw_bytes,
+                   void* dst, CodecScratch& scratch);
+
+/// Decodes the frame at `src` (`frame_bytes` total) into `dst` (capacity
+/// `dst_bytes`). Returns the decoded length, which always equals the
+/// frame's recorded raw length. Verifies magic, lengths and payload CRC;
+/// throws quasar::Error on malformed or corrupt frames.
+std::size_t decode(const void* src, std::size_t frame_bytes, void* dst,
+                   std::size_t dst_bytes, CodecScratch& scratch);
+
+/// Peeks at a frame header without decoding. Returns false when the
+/// buffer is too small or the magic does not match.
+struct FrameInfo {
+  Codec codec = Codec::kRaw;
+  std::size_t raw_bytes = 0;
+  std::size_t payload_bytes = 0;
+};
+bool peek_frame(const void* src, std::size_t frame_bytes, FrameInfo* info);
+
+}  // namespace quasar::oocore

@@ -1,0 +1,227 @@
+#include "oocore/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/error.hpp"
+#include "obs/trace.hpp"
+
+namespace quasar::oocore {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SegmentPipeline::SegmentPipeline(SegmentStore& store, PipelineOptions options)
+    : store_(store), options_(options) {
+  options_.io_threads = std::max(1, options_.io_threads);
+  options_.depth = std::max(2, options_.depth);
+}
+
+void SegmentPipeline::sweep(const std::vector<Tile>& tiles,
+                            const ComputeFn& fn, bool writeback) {
+  if (tiles.empty()) return;
+  const std::uint64_t sweep_start = now_ns();
+  // Only this sweep touches the store until it returns, so the stats
+  // delta is exactly this sweep's transfer volume.
+  const StoreStats store_before = store_.stats();
+
+  std::size_t max_segs = 0, total_segs = 0;
+  for (const Tile& t : tiles) {
+    QUASAR_CHECK(!t.empty(), "SegmentPipeline: empty tile");
+    max_segs = std::max(max_segs, t.size());
+    total_segs += t.size();
+  }
+  const std::size_t seg_amps =
+      static_cast<std::size_t>(store_.segment_amps());
+  const std::size_t seg_bytes = store_.segment_raw_bytes();
+
+  enum class SlotState { kFree, kLoading, kReady, kStoring };
+  struct Slot {
+    IoBuffer buf;
+    std::size_t tile = 0;
+    SlotState state = SlotState::kFree;
+  };
+  struct Job {
+    bool is_store = false;
+    std::size_t slot = 0;
+  };
+
+  const std::size_t depth =
+      std::min<std::size_t>(options_.depth, tiles.size());
+  std::vector<Slot> slots(depth);
+  for (Slot& s : slots) s.buf.resize(max_segs * seg_bytes);
+
+  std::mutex mu;
+  std::condition_variable cv_worker;  // workers wait for jobs
+  std::condition_variable cv_main;    // main waits for ready/free slots
+  std::deque<Job> jobs;
+  bool shutdown = false;
+  std::exception_ptr failure;
+  std::uint64_t io_busy_ns = 0;
+  // tile -> slot holding it (set when the load is scheduled).
+  std::vector<std::size_t> slot_of(tiles.size(), SIZE_MAX);
+
+  const auto worker_body = [&] {
+    SegmentScratch scratch;
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_worker.wait(lock, [&] { return !jobs.empty() || shutdown; });
+        if (jobs.empty()) return;
+        job = jobs.front();
+        jobs.pop_front();
+      }
+      const std::uint64_t t0 = now_ns();
+      Slot& slot = slots[job.slot];
+      try {
+        const Tile& tile = tiles[slot.tile];
+        for (std::size_t i = 0; i < tile.size(); ++i) {
+          Amplitude* at = reinterpret_cast<Amplitude*>(slot.buf.data()) +
+                          i * seg_amps;
+          if (job.is_store) {
+            store_.write_segment(tile[i], at, scratch);
+          } else {
+            store_.read_segment(tile[i], at, scratch);
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        io_busy_ns += now_ns() - t0;
+        slot.state = job.is_store ? SlotState::kFree : SlotState::kReady;
+        cv_main.notify_all();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!failure) failure = std::current_exception();
+        slot.state = SlotState::kFree;
+        cv_main.notify_all();
+      }
+    }
+  };
+
+  const int num_workers =
+      static_cast<int>(std::min<std::size_t>(options_.io_threads, depth));
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) workers.emplace_back(worker_body);
+
+  std::uint64_t compute_ns = 0, stall_ns = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    std::size_t next_load = 0;
+    const auto schedule_loads = [&] {
+      while (next_load < tiles.size() && !failure) {
+        std::size_t free_slot = SIZE_MAX;
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          if (slots[s].state == SlotState::kFree) {
+            free_slot = s;
+            break;
+          }
+        }
+        if (free_slot == SIZE_MAX) break;
+        slots[free_slot].state = SlotState::kLoading;
+        slots[free_slot].tile = next_load;
+        slot_of[next_load] = free_slot;
+        jobs.push_back(Job{false, free_slot});
+        ++next_load;
+        cv_worker.notify_one();
+      }
+    };
+    schedule_loads();
+    for (std::size_t t = 0; t < tiles.size() && !failure; ++t) {
+      // The tile's load may not even be scheduled yet when every slot is
+      // busy storing; keep scheduling as slots free up, then wait for
+      // the load to land. All of it is stall time from the compute
+      // thread's point of view.
+      const std::uint64_t w0 = now_ns();
+      while (!failure) {
+        schedule_loads();
+        if (slot_of[t] != SIZE_MAX &&
+            slots[slot_of[t]].state == SlotState::kReady) {
+          break;
+        }
+        cv_main.wait(lock);
+      }
+      stall_ns += now_ns() - w0;
+      if (failure) break;
+      const std::size_t s = slot_of[t];
+      lock.unlock();
+      const std::uint64_t c0 = now_ns();
+      try {
+        fn(reinterpret_cast<Amplitude*>(slots[s].buf.data()), tiles[t], t);
+      } catch (...) {
+        // A throwing compute callback must not unwind past the joinable
+        // workers: record it, free the slot, drain and rethrow below.
+        lock.lock();
+        if (!failure) failure = std::current_exception();
+        slots[s].state = SlotState::kFree;
+        break;
+      }
+      const std::uint64_t c1 = now_ns();
+      lock.lock();
+      compute_ns += c1 - c0;
+      if (writeback) {
+        slots[s].state = SlotState::kStoring;
+        jobs.push_back(Job{true, s});
+        cv_worker.notify_one();
+      } else {
+        slots[s].state = SlotState::kFree;
+      }
+      schedule_loads();
+    }
+    // Drain: all stores finished (every slot back to kFree or kReady from
+    // a prefetch past the failure point).
+    cv_main.wait(lock, [&] {
+      for (const Slot& s : slots) {
+        if (s.state == SlotState::kLoading || s.state == SlotState::kStoring) {
+          return false;
+        }
+      }
+      return true;
+    });
+    shutdown = true;
+    cv_worker.notify_all();
+  }
+  for (std::thread& w : workers) w.join();
+  if (failure) std::rethrow_exception(failure);
+
+  const std::uint64_t sweep_ns = now_ns() - sweep_start;
+  stats_.sweeps += 1;
+  stats_.tiles += tiles.size();
+  stats_.segments += total_segs;
+  stats_.compute_ns += compute_ns;
+  stats_.stall_ns += stall_ns;
+  stats_.sweep_ns += sweep_ns;
+  stats_.io_ns += io_busy_ns;
+  if (obs::enabled()) {
+    const StoreStats after = store_.stats();
+    obs::count("oocore.sweeps");
+    obs::count("oocore.tiles", tiles.size());
+    obs::count("oocore.segments", total_segs);
+    obs::count("oocore.compute_ns", compute_ns);
+    obs::count("oocore.stall_ns", stall_ns);
+    obs::count("oocore.sweep_ns", sweep_ns);
+    obs::count("oocore.io_ns", io_busy_ns);
+    obs::count("oocore.raw_bytes",
+               (after.raw_bytes_read - store_before.raw_bytes_read) +
+                   (after.raw_bytes_written - store_before.raw_bytes_written));
+    obs::count("oocore.disk_bytes",
+               (after.disk_bytes_read - store_before.disk_bytes_read) +
+                   (after.disk_bytes_written -
+                    store_before.disk_bytes_written));
+  }
+}
+
+}  // namespace quasar::oocore

@@ -1,0 +1,189 @@
+#include "oocore/segment_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace quasar::oocore {
+
+namespace {
+
+constexpr std::size_t kSector = 4096;
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+IoBuffer::~IoBuffer() { std::free(data_); }
+
+IoBuffer::IoBuffer(IoBuffer&& other) noexcept
+    : data_(other.data_), bytes_(other.bytes_) {
+  other.data_ = nullptr;
+  other.bytes_ = 0;
+}
+
+IoBuffer& IoBuffer::operator=(IoBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  std::free(data_);
+  data_ = other.data_;
+  bytes_ = other.bytes_;
+  other.data_ = nullptr;
+  other.bytes_ = 0;
+  return *this;
+}
+
+void IoBuffer::resize(std::size_t bytes) {
+  if (bytes <= bytes_) return;
+  std::free(data_);
+  data_ = nullptr;
+  bytes_ = 0;
+  void* p = nullptr;
+  if (::posix_memalign(&p, kSector, align_up(bytes, kSector)) != 0) {
+    throw Error("oocore: cannot allocate aligned I/O buffer");
+  }
+  data_ = static_cast<std::uint8_t*>(p);
+  bytes_ = bytes;
+}
+
+SegmentStore::SegmentStore(Index count, const SegmentStoreOptions& options)
+    : options_(options), count_(count) {
+  QUASAR_CHECK(count > 0 && (count & (count - 1)) == 0,
+               "SegmentStore: amplitude count must be a power of two");
+  // Segment exponent from the byte target, clamped so a segment holds at
+  // least 4 amplitudes and at most the whole slice.
+  const std::size_t target_amps =
+      std::max<std::size_t>(4, options.segment_bytes / sizeof(Amplitude));
+  seg_exp_ = 2;
+  while ((Index{1} << (seg_exp_ + 1)) <= static_cast<Index>(target_amps) &&
+         (Index{1} << (seg_exp_ + 1)) <= count) {
+    ++seg_exp_;
+  }
+  while ((Index{1} << seg_exp_) > count) --seg_exp_;
+  num_segments_ = static_cast<std::size_t>(count >> seg_exp_);
+  slot_stride_ = align_up(encoded_bound(segment_raw_bytes()), kSector);
+  frame_bytes_.assign(num_segments_, 0);
+
+  struct ::stat st;
+  if (::stat(options.directory.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw Error("SegmentStore: storage directory '" + options.directory +
+                "' does not exist or is not a directory");
+  }
+  std::string path = options.directory + "/quasar_oocore_XXXXXX";
+  fd_ = ::mkstemp(path.data());
+  if (fd_ < 0) {
+    throw_errno("SegmentStore: cannot create backing file in '" +
+                options.directory + "'");
+  }
+  // Re-open with O_DIRECT where the filesystem supports it (mkstemp
+  // cannot pass the flag), then unlink: anonymous either way.
+  if (options.direct_io) {
+    const int dfd = ::open(path.c_str(), O_RDWR | O_DIRECT);
+    if (dfd >= 0) {
+      ::close(fd_);
+      fd_ = dfd;
+      direct_io_ = true;
+    }
+  }
+  ::unlink(path.c_str());
+  if (::ftruncate(fd_, static_cast<off_t>(num_segments_ * slot_stride_)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("SegmentStore: cannot size backing file '" + path + "' to " +
+                std::to_string(num_segments_ * slot_stride_) + " bytes");
+  }
+}
+
+SegmentStore::~SegmentStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentStore::write_segment(std::size_t segment, const Amplitude* src,
+                                 SegmentScratch& scratch) {
+  QUASAR_CHECK(segment < num_segments_,
+               "SegmentStore: segment index out of range");
+  scratch.frame.resize(slot_stride_);
+  const std::size_t raw = segment_raw_bytes();
+  const std::size_t frame =
+      encode(options_.codec, src, raw, scratch.frame.data(), scratch.codec);
+  // Direct I/O needs sector-multiple lengths; the stride always has room.
+  const std::size_t padded = align_up(frame, kSector);
+  if (padded > frame) {
+    std::memset(scratch.frame.data() + frame, 0, padded - frame);
+  }
+  const off_t at = static_cast<off_t>(segment * slot_stride_);
+  std::size_t done = 0;
+  while (done < padded) {
+    const ssize_t n = ::pwrite(fd_, scratch.frame.data() + done,
+                               padded - done, at + static_cast<off_t>(done));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("SegmentStore: pwrite failed (disk full?)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  frame_bytes_[segment] = static_cast<std::uint32_t>(frame);
+  raw_written_.fetch_add(raw, std::memory_order_relaxed);
+  disk_written_.fetch_add(frame, std::memory_order_relaxed);
+  segs_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SegmentStore::read_segment(std::size_t segment, Amplitude* dst,
+                                SegmentScratch& scratch) {
+  QUASAR_CHECK(segment < num_segments_,
+               "SegmentStore: segment index out of range");
+  const std::uint32_t frame = frame_bytes_[segment];
+  QUASAR_CHECK(frame > 0, "SegmentStore: reading a never-written segment");
+  scratch.frame.resize(slot_stride_);
+  const std::size_t padded = align_up(frame, kSector);
+  const off_t at = static_cast<off_t>(segment * slot_stride_);
+  std::size_t done = 0;
+  while (done < padded) {
+    const ssize_t n = ::pread(fd_, scratch.frame.data() + done, padded - done,
+                              at + static_cast<off_t>(done));
+    if (n < 0 && errno == EINTR) continue;
+    QUASAR_CHECK(n > 0, "SegmentStore: pread failed or truncated file");
+    done += static_cast<std::size_t>(n);
+  }
+  const std::size_t raw = segment_raw_bytes();
+  const std::size_t decoded =
+      decode(scratch.frame.data(), frame, dst, raw, scratch.codec);
+  QUASAR_CHECK(decoded == raw, "SegmentStore: frame decoded to wrong length");
+  raw_read_.fetch_add(raw, std::memory_order_relaxed);
+  disk_read_.fetch_add(frame, std::memory_order_relaxed);
+  segs_read_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SegmentStore::encoded_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint32_t f : frame_bytes_) total += f;
+  return total;
+}
+
+StoreStats SegmentStore::stats() const noexcept {
+  StoreStats s;
+  s.raw_bytes_read = raw_read_.load(std::memory_order_relaxed);
+  s.raw_bytes_written = raw_written_.load(std::memory_order_relaxed);
+  s.disk_bytes_read = disk_read_.load(std::memory_order_relaxed);
+  s.disk_bytes_written = disk_written_.load(std::memory_order_relaxed);
+  s.segments_read = segs_read_.load(std::memory_order_relaxed);
+  s.segments_written = segs_written_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace quasar::oocore

@@ -1,0 +1,139 @@
+/// \file segment_store.hpp
+/// \brief Disk-resident segmented amplitude slices (DESIGN.md §11).
+///
+/// One rank's 2^l-amplitude slice is split into 2^(l-s) segments of 2^s
+/// amplitudes. Each segment lives in a fixed-stride slot of an unlinked
+/// backing file as a codec frame (codec.hpp); the stride is the worst
+/// case encoded_bound rounded up to 4096, so compressed frames shrink
+/// the I/O volume (pread/pwrite transfer only the frame) while the file
+/// offset arithmetic stays trivial and slots never collide.
+///
+/// The file is opened with O_DIRECT when the filesystem supports it, so
+/// reads and writes bypass the page cache — an out-of-core run should
+/// measure the disk, not DRAM masquerading as disk. Direct I/O demands
+/// 4096-byte aligned buffers/offsets/lengths; the IoBuffer below provides
+/// the alignment and frames are padded up to the sector size on write.
+/// Filesystems that refuse O_DIRECT (tmpfs) silently fall back to
+/// buffered I/O — recorded in `direct_io()` so benchmarks can report
+/// which mode actually ran.
+///
+/// Thread safety: distinct segments may be read/written concurrently
+/// (pread/pwrite are positional; per-slot metadata is only touched by
+/// the thread handed that segment). The same segment must not be
+/// accessed concurrently — the pipeline guarantees that by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "oocore/codec.hpp"
+
+namespace quasar::oocore {
+
+/// 4096-byte-aligned reusable I/O staging buffer (direct-I/O grade).
+class IoBuffer {
+ public:
+  IoBuffer() = default;
+  explicit IoBuffer(std::size_t bytes) { resize(bytes); }
+  ~IoBuffer();
+  IoBuffer(IoBuffer&& other) noexcept;
+  IoBuffer& operator=(IoBuffer&& other) noexcept;
+  IoBuffer(const IoBuffer&) = delete;
+  IoBuffer& operator=(const IoBuffer&) = delete;
+
+  void resize(std::size_t bytes);
+  std::uint8_t* data() noexcept { return data_; }
+  std::size_t size() const noexcept { return bytes_; }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// Per-thread scratch for one pipeline lane: aligned frame staging plus
+/// codec transpose buffers.
+struct SegmentScratch {
+  IoBuffer frame;
+  CodecScratch codec;
+};
+
+/// Byte counters a store accumulates (monotonic; read after sweeps).
+struct StoreStats {
+  std::uint64_t raw_bytes_read = 0;
+  std::uint64_t raw_bytes_written = 0;
+  std::uint64_t disk_bytes_read = 0;
+  std::uint64_t disk_bytes_written = 0;
+  std::uint64_t segments_read = 0;
+  std::uint64_t segments_written = 0;
+};
+
+struct SegmentStoreOptions {
+  Codec codec = Codec::kRaw;
+  /// Target segment size in bytes (rounded to a power-of-two amplitude
+  /// count, clamped to [4, slice] amplitudes).
+  std::size_t segment_bytes = std::size_t{4} << 20;
+  std::string directory = "/tmp";
+  /// Attempt O_DIRECT (falls back to buffered when unsupported).
+  bool direct_io = true;
+};
+
+/// A segmented, codec-framed, disk-resident slice of `count` amplitudes.
+class SegmentStore {
+ public:
+  SegmentStore(Index count, const SegmentStoreOptions& options);
+  ~SegmentStore();
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  Index count() const noexcept { return count_; }
+  /// Segment exponent s: segments hold 2^s amplitudes.
+  int segment_exponent() const noexcept { return seg_exp_; }
+  Index segment_amps() const noexcept { return Index{1} << seg_exp_; }
+  std::size_t segment_count() const noexcept { return num_segments_; }
+  std::size_t segment_raw_bytes() const noexcept {
+    return static_cast<std::size_t>(segment_amps()) * sizeof(Amplitude);
+  }
+  Codec codec() const noexcept { return options_.codec; }
+  /// True when the backing file actually runs under O_DIRECT.
+  bool direct_io() const noexcept { return direct_io_; }
+
+  /// Encodes `segment_amps()` amplitudes at `src` into slot `segment`.
+  void write_segment(std::size_t segment, const Amplitude* src,
+                     SegmentScratch& scratch);
+  /// Decodes slot `segment` into `dst` (`segment_amps()` amplitudes).
+  /// Throws quasar::Error when the slot was never written or the frame
+  /// fails its integrity checks.
+  void read_segment(std::size_t segment, Amplitude* dst,
+                    SegmentScratch& scratch);
+
+  /// Current encoded footprint across all written slots (frame bytes,
+  /// before sector padding).
+  std::uint64_t encoded_bytes() const noexcept;
+
+  /// Snapshot of the monotonic transfer counters (atomically
+  /// accumulated, so I/O worker threads can update them concurrently).
+  StoreStats stats() const noexcept;
+
+  /// Minimum SegmentScratch::frame capacity for this store.
+  std::size_t frame_capacity() const noexcept { return slot_stride_; }
+
+ private:
+  SegmentStoreOptions options_;
+  Index count_ = 0;
+  int seg_exp_ = 0;
+  std::size_t num_segments_ = 0;
+  std::size_t slot_stride_ = 0;
+  int fd_ = -1;
+  bool direct_io_ = false;
+  /// Encoded frame size per slot; 0 = never written.
+  std::vector<std::uint32_t> frame_bytes_;
+  std::atomic<std::uint64_t> raw_read_{0}, raw_written_{0};
+  std::atomic<std::uint64_t> disk_read_{0}, disk_written_{0};
+  std::atomic<std::uint64_t> segs_read_{0}, segs_written_{0};
+};
+
+}  // namespace quasar::oocore

@@ -1,0 +1,95 @@
+#include "perfmodel/oocore_model.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace quasar {
+
+double oocore_io_seconds(const OocoreModel& model, double raw_bytes_moved) {
+  const double ratio = std::max(model.compression_ratio, 1e-9);
+  const double bw = std::max(model.disk_bw_gbs, 1e-9) * 1e9;
+  return raw_bytes_moved / (ratio * bw);
+}
+
+double oocore_sweep_seconds(const OocoreModel& model, double compute_seconds,
+                            double raw_bytes_moved) {
+  return std::max(compute_seconds, oocore_io_seconds(model, raw_bytes_moved));
+}
+
+double oocore_overlap_efficiency(double compute_seconds, double io_seconds,
+                                 double sweep_seconds) {
+  const double ideal = std::max(compute_seconds, io_seconds);
+  const double serial = compute_seconds + io_seconds;
+  if (serial <= ideal || sweep_seconds <= ideal) return 1.0;
+  if (sweep_seconds >= serial) return 0.0;
+  return (serial - sweep_seconds) / (serial - ideal);
+}
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double measure_disk_stream_gbs(const std::string& directory,
+                               std::size_t bytes) {
+  constexpr std::size_t kAlign = 4096;
+  constexpr std::size_t kChunk = std::size_t{4} << 20;
+  bytes = std::max(bytes, kChunk);
+  bytes = bytes / kChunk * kChunk;
+
+  std::string path = directory + "/quasar_diskbench_XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  QUASAR_CHECK(fd >= 0, "measure_disk_stream_gbs: cannot create a scratch "
+                        "file in '" + directory + "'");
+  ::unlink(path.c_str());
+  // Direct I/O keeps the page cache out of the measurement; tmpfs-style
+  // filesystems refuse it, in which case buffered + fsync is the honest
+  // figure for what the pipeline will see there anyway.
+  int flags = ::fcntl(fd, F_GETFL);
+  const bool direct =
+      flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_DIRECT) == 0;
+
+  void* raw = nullptr;
+  if (::posix_memalign(&raw, kAlign, kChunk) != 0) {
+    ::close(fd);
+    throw Error("measure_disk_stream_gbs: allocation failed");
+  }
+  std::memset(raw, 0x5a, kChunk);
+
+  double elapsed = 0.0;
+  std::size_t moved = 0;
+  const double t0 = now_seconds();
+  for (std::size_t off = 0; off < bytes; off += kChunk) {
+    const ssize_t w =
+        ::pwrite(fd, raw, kChunk, static_cast<off_t>(off));
+    if (w != static_cast<ssize_t>(kChunk)) break;
+    moved += kChunk;
+  }
+  if (!direct) ::fdatasync(fd);
+  for (std::size_t off = 0; off < moved; off += kChunk) {
+    if (::pread(fd, raw, kChunk, static_cast<off_t>(off)) !=
+        static_cast<ssize_t>(kChunk)) {
+      break;
+    }
+  }
+  elapsed = now_seconds() - t0;
+  std::free(raw);
+  ::close(fd);
+  if (moved == 0 || elapsed <= 0.0) return 0.0;
+  // Write + read passes: 2x the file size moved.
+  return 2.0 * static_cast<double>(moved) / elapsed * 1e-9;
+}
+
+}  // namespace quasar

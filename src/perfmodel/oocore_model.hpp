@@ -1,0 +1,54 @@
+/// \file oocore_model.hpp
+/// \brief Cost model for the out-of-core segment pipeline (DESIGN.md §11).
+///
+/// A pipelined sweep overlaps the compute on tile k with background I/O
+/// on tiles k-1 / k+1, so with enough ring depth the wall time is
+///
+///   sweep = max(compute, io)   with   io = raw_bytes / (ratio * disk_bw)
+///
+/// instead of compute + io: the codec's compression ratio multiplies the
+/// effective disk bandwidth, and whichever side is slower sets the pace.
+/// The obs run report joins this prediction against the pipeline's
+/// measured compute/stall/io counters — the out-of-core analogue of the
+/// paper's measured-vs-predicted stage tables (Sec. 4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace quasar {
+
+/// Disk-side parameters of the pipeline model.
+struct OocoreModel {
+  /// Effective streaming bandwidth of the backing device, GB/s. Measure
+  /// with measure_disk_stream_gbs() for the directory that will host the
+  /// segment files; defaults to a conservative container-SSD figure.
+  double disk_bw_gbs = 0.5;
+  /// Raw bytes / encoded bytes achieved by the shard codec (1.0 = kRaw).
+  double compression_ratio = 1.0;
+};
+
+/// Seconds the disk needs to move `raw_bytes_moved` logical bytes (reads
+/// plus writebacks) through the codec: raw volume shrunk by the ratio,
+/// streamed at the modeled bandwidth.
+double oocore_io_seconds(const OocoreModel& model, double raw_bytes_moved);
+
+/// Pipelined sweep wall time: max(compute, io) — full overlap of the
+/// slower side over the faster one.
+double oocore_sweep_seconds(const OocoreModel& model, double compute_seconds,
+                            double raw_bytes_moved);
+
+/// Fraction of the ideal overlap actually achieved by a measured sweep:
+/// 1.0 when wall == max(compute, io), 0.0 when wall == compute + io.
+/// Returns 1.0 when there was nothing to overlap.
+double oocore_overlap_efficiency(double compute_seconds, double io_seconds,
+                                 double sweep_seconds);
+
+/// Measures the streaming write+read bandwidth (GB/s) of the filesystem
+/// hosting `directory` with a short direct-I/O pass over a scratch file
+/// (buffered + fsync fallback when O_DIRECT is unsupported). The scratch
+/// file is unlinked before use and never survives the call.
+double measure_disk_stream_gbs(const std::string& directory,
+                               std::size_t bytes = std::size_t{64} << 20);
+
+}  // namespace quasar

@@ -258,8 +258,13 @@ void DistributedSimulator::validate_invariants(const char* site,
   for (int r = 0; r < cluster_.num_ranks(); ++r) {
     check::require_finite(cluster_.rank_data(r), cluster_.local_size(), site);
   }
+  // A lossy shard codec truncates amplitudes to fp32 on every segment
+  // round trip, so norm drift is bounded by the fp32 epsilon, not fp64.
+  const Real eps = oocore::codec_lossless(cluster_.storage().codec)
+                       ? check::kEps64
+                       : check::kEps32;
   check::require_norm_preserved(cluster_.norm_squared(), norm_before,
-                                check::norm_tolerance(num_qubits(), ops),
+                                check::norm_tolerance(num_qubits(), ops, eps),
                                 site);
 }
 
@@ -270,6 +275,12 @@ void DistributedSimulator::run(const Circuit& circuit,
 
 void DistributedSimulator::execute_stage(const Circuit& circuit,
                                          const Stage& stage) {
+  if (cluster_.segmented()) {
+    // Segmented storage: stream gate work through the async pipeline
+    // instead of materializing flat slices (runtime/oocore_exec.cpp).
+    execute_stage_oocore(circuit, stage);
+    return;
+  }
   const int l = num_local();
   for (const StageItem& item : stage.items) {
     if (item.kind == StageItem::Kind::kCluster) {

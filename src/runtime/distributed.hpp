@@ -145,6 +145,12 @@ class DistributedSimulator {
                            std::size_t ops) const;
   void execute_stage(const Circuit& circuit, const Stage& stage);
   void apply_global_op(const GateOp& op, const Stage& stage);
+  /// Out-of-core stage executor (runtime/oocore_exec.cpp, DESIGN.md §11):
+  /// streams each rank's segmented slice through the async pipeline
+  /// instead of materializing it, applying the stage's gate work
+  /// segment-granularly. Bit-identical to execute_stage for lossless
+  /// codecs (the differential fuzzer asserts this).
+  void execute_stage_oocore(const Circuit& circuit, const Stage& stage);
 
   VirtualCluster cluster_;
   ApplyOptions options_;

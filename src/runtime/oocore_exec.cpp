@@ -1,0 +1,300 @@
+/// \file oocore_exec.cpp
+/// \brief Out-of-core stage executor: stream segments, don't materialize.
+///
+/// DESIGN.md §11. The in-memory executor (distributed.cpp) touches every
+/// rank's flat slice once per stage item; on segmented storage that would
+/// materialize (decode) and dematerialize (encode) the whole slice per
+/// item. This executor instead *defers* the stage's gate work into
+/// per-rank gate lists and flushes each rank with as few pipelined
+/// segment sweeps as possible:
+///
+///  - cluster items and conditioned global sub-gates append to the rank's
+///    pending list (conditioned matrices are cached per global-bit
+///    pattern, exactly like apply_global_op);
+///  - pure phases multiply pending_phase_ immediately — a scalar commutes
+///    with every deferred gate;
+///  - all-global phased permutations permute the rank stores (zero
+///    decode), the deferred phases AND the pending gate lists, so each
+///    list stays attached to the slice it was recorded against;
+///  - at flush time, maximal spans of segment-eligible gates (diagonal
+///    gates at any location; dense gates entirely below the segment
+///    exponent s) run as ONE pipelined sweep per span — apply_gates_blocked
+///    per segment with base_index = segment << s so diagonal phase tables
+///    slice correctly;
+///  - a dense gate reaching location >= s runs as a grouped sweep: each
+///    tile gathers the 2^h segments one application couples and the gate
+///    is re-prepared with its high locations remapped into the packed
+///    geometry (relative qubit order preserved, so the matvec
+///    accumulation order — and its rounding — is unchanged);
+///  - a grouped tile that would cover most of the slice falls back to
+///    materializing the rank and finishing the stage on the flat scratch,
+///    which is what the ring would have amounted to anyway.
+///
+/// Bit-parity with the in-memory executor (asserted by the differential
+/// fuzzer for lossless codecs): segment sweeps disable diagonal merging
+/// and commuting hoists so every amplitude sees the same multiplies in
+/// the same order as per-gate apply_gate on the full slice.
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "core/error.hpp"
+#include "kernels/block_apply.hpp"
+#include "obs/trace.hpp"
+#include "oocore/pipeline.hpp"
+#include "runtime/conditional.hpp"
+#include "runtime/distributed.hpp"
+
+namespace quasar {
+namespace {
+
+/// One deferred gate application: matrix + local bit-locations. Both
+/// point into stage data or into the executor's arenas (std::deque keeps
+/// addresses stable).
+struct PendingGate {
+  const GateMatrix* matrix;
+  const std::vector<int>* locations;
+};
+
+/// Conditioned-gate cache entry for one global-bit pattern.
+struct CondEntry {
+  const GateMatrix* matrix = nullptr;  ///< arena-owned; null if unused
+  Amplitude phase{1.0, 0.0};
+  bool is_identity = false;
+  bool pure_phase = false;
+};
+
+}  // namespace
+
+void DistributedSimulator::execute_stage_oocore(const Circuit& circuit,
+                                                const Stage& stage) {
+  const int l = num_local();
+  const int ranks = cluster_.num_ranks();
+  QUASAR_OBS_SPAN("oocore", "stage_oocore", "items",
+                  static_cast<std::int64_t>(stage.items.size()));
+
+  // The pipeline reads/writes the segment stores directly; any resident
+  // scratch copy (left by sampling, checkpointing, a transition sweep...)
+  // must be written back first so the stores are authoritative.
+  for (int r = 0; r < ranks; ++r) cluster_.rank_storage(r).dematerialize();
+
+  // ---- Phase 1: defer the stage's work into per-rank gate lists. ----
+  std::deque<GateMatrix> matrix_arena;
+  std::deque<std::vector<int>> location_arena;
+  std::vector<std::vector<PendingGate>> pending(ranks);
+
+  for (const StageItem& item : stage.items) {
+    if (item.kind == StageItem::Kind::kCluster) {
+      const Cluster& cluster = stage.clusters[item.cluster];
+      QUASAR_ASSERT(cluster.matrix.has_value());
+      for (int r = 0; r < ranks; ++r) {
+        pending[r].push_back({&*cluster.matrix, &cluster.qubits});
+      }
+      continue;
+    }
+
+    const GateOp& op = circuit.op(item.op);
+    // Classification identical to apply_global_op.
+    std::vector<bool> fixed(op.arity(), false);
+    std::vector<int> global_bits;
+    std::vector<int> local_locations;
+    for (int j = 0; j < op.arity(); ++j) {
+      const int loc = stage.location(op.qubits[j]);
+      if (loc >= l) {
+        fixed[j] = true;
+        global_bits.push_back(loc - l);
+      } else {
+        local_locations.push_back(loc);
+      }
+    }
+    QUASAR_ASSERT(!global_bits.empty());
+
+    if (!op.diagonal && local_locations.empty()) {
+      // All-global phased permutation: renumber the rank stores (zero
+      // data decoded) and carry the deferred phases AND gate lists along
+      // with their slices.
+      const auto perm = op.matrix->phased_permutation();
+      QUASAR_CHECK(perm.has_value(),
+                   "execute_stage_oocore: a dense all-global gate reached "
+                   "the executor; the scheduler should have forced a swap");
+      std::vector<Index> source_of(ranks);
+      std::vector<Amplitude> next_phase(ranks);
+      for (int r = 0; r < ranks; ++r) {
+        Index col = 0;
+        for (std::size_t j = 0; j < global_bits.size(); ++j) {
+          col |= static_cast<Index>(
+                     get_bit(static_cast<Index>(r), global_bits[j]))
+                 << j;
+        }
+        const Index row = perm->target[col];
+        Index dest = static_cast<Index>(r);
+        for (std::size_t j = 0; j < global_bits.size(); ++j) {
+          dest = set_bit(dest, global_bits[j],
+                         get_bit(row, static_cast<int>(j)));
+        }
+        source_of[dest] = static_cast<Index>(r);
+        next_phase[dest] = pending_phase_[r] * perm->phase[col];
+      }
+      cluster_.permute_ranks(source_of);
+      pending_phase_ = std::move(next_phase);
+      std::vector<std::vector<PendingGate>> moved(ranks);
+      for (int dest = 0; dest < ranks; ++dest) {
+        moved[dest] = std::move(pending[source_of[dest]]);
+      }
+      pending = std::move(moved);
+      continue;
+    }
+
+    // Conditioned per global-bit pattern, cached like apply_global_op.
+    location_arena.push_back(std::move(local_locations));
+    const std::vector<int>* locs = &location_arena.back();
+    std::map<Index, CondEntry> cache;
+    for (int r = 0; r < ranks; ++r) {
+      Index pattern = 0;
+      for (std::size_t i = 0; i < global_bits.size(); ++i) {
+        pattern |= static_cast<Index>(
+                       get_bit(static_cast<Index>(r), global_bits[i]))
+                   << i;
+      }
+      auto it = cache.find(pattern);
+      if (it == cache.end()) {
+        ConditionalGate cond = condition_gate(*op.matrix, fixed, pattern);
+        CondEntry entry;
+        entry.is_identity = cond.is_identity;
+        entry.pure_phase = cond.matrix.num_qubits() == 0;
+        entry.phase = cond.phase;
+        if (!entry.is_identity && !entry.pure_phase) {
+          matrix_arena.push_back(std::move(cond.matrix));
+          entry.matrix = &matrix_arena.back();
+        }
+        it = cache.emplace(pattern, entry).first;
+      }
+      const CondEntry& entry = it->second;
+      if (entry.is_identity) continue;
+      if (entry.pure_phase) {
+        // A scalar commutes with every deferred gate; applying it to the
+        // phase now yields the same final value as the in-memory order.
+        pending_phase_[r] *= entry.phase;
+        continue;
+      }
+      pending[r].push_back({entry.matrix, locs});
+    }
+  }
+
+  // ---- Phase 2: flush each rank with pipelined segment sweeps. ----
+  oocore::PipelineOptions popts;
+  popts.io_threads = cluster_.storage().io_threads;
+  popts.depth = cluster_.storage().pipeline_depth;
+  // Per-gate parity: no merged diagonal tables, no commuting hoists —
+  // every amplitude sees the in-memory executor's multiplies in order.
+  ApplyOptions sweep_opts = options_;
+  sweep_opts.merge_diagonals = false;
+  sweep_opts.block_reorder = false;
+
+  for (int r = 0; r < ranks; ++r) {
+    std::vector<PendingGate>& work = pending[r];
+    if (work.empty()) continue;
+    RankStorage& rs = cluster_.rank_storage(r);
+    oocore::SegmentStore& store = *rs.store();
+    const int s = store.segment_exponent();
+    const std::size_t num_segs = store.segment_count();
+
+    std::vector<PreparedGate> preps;
+    preps.reserve(work.size());
+    std::vector<char> eligible(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      preps.push_back(prepare_gate(*work[i].matrix, *work[i].locations));
+      // Segment eligibility: diagonal gates at any location (base_index
+      // slices their tables); dense gates entirely below s.
+      eligible[i] = block_run_eligible(preps[i], s) ? 1 : 0;
+    }
+
+    std::size_t i = 0;
+    while (i < work.size()) {
+      if (rs.resident()) {
+        // A grouped sweep fell back to materialization below; finish the
+        // remaining work on the flat scratch like the in-memory executor.
+        for (; i < work.size(); ++i) {
+          apply_gate(rs.data(), l, preps[i], options_);
+        }
+        break;
+      }
+
+      if (eligible[i]) {
+        // Maximal eligible span -> one pipelined sweep, single-segment
+        // tiles in order.
+        std::vector<const PreparedGate*> run;
+        std::size_t j = i;
+        while (j < work.size() && eligible[j]) run.push_back(&preps[j++]);
+        std::vector<oocore::SegmentPipeline::Tile> tiles(num_segs);
+        for (std::size_t seg = 0; seg < num_segs; ++seg) {
+          tiles[seg] = {static_cast<std::uint32_t>(seg)};
+        }
+        oocore::SegmentPipeline pipe(store, popts);
+        pipe.sweep(tiles,
+                   [&](Amplitude* buf, const oocore::SegmentPipeline::Tile& t,
+                       std::size_t) {
+                     apply_gates_blocked(
+                         buf, s, run.data(), run.size(), sweep_opts, nullptr,
+                         static_cast<Index>(t[0]) << s);
+                   });
+        i = j;
+        continue;
+      }
+
+      // Dense gate reaching location >= s: grouped tiles of the 2^h
+      // segments one application couples. Remap the high locations into
+      // the packed geometry, preserving relative qubit order (so the
+      // matvec accumulation order — and its rounding — is unchanged).
+      const std::vector<int>& locs = *work[i].locations;
+      std::vector<int> high;      // segment-index bit positions
+      std::vector<int> remapped;  // strictly ascending by construction
+      for (const int loc : locs) {
+        if (loc < s) {
+          remapped.push_back(loc);
+        } else {
+          remapped.push_back(s + static_cast<int>(high.size()));
+          high.push_back(loc - s);
+        }
+      }
+      const int h = static_cast<int>(high.size());
+      const std::size_t group = std::size_t{1} << h;
+      if (group * 2 > num_segs) {
+        // The ring would hold most of the slice anyway; the flat scratch
+        // is simpler and no larger. data() materializes and marks dirty.
+        apply_gate(rs.data(), l, preps[i], options_);
+        ++i;
+        continue;
+      }
+      const PreparedGate prep2 = prepare_gate(*work[i].matrix, remapped);
+      std::size_t high_mask = 0;
+      for (const int b : high) high_mask |= std::size_t{1} << b;
+      std::vector<oocore::SegmentPipeline::Tile> tiles;
+      tiles.reserve(num_segs / group);
+      for (std::size_t base = 0; base < num_segs; ++base) {
+        if ((base & high_mask) != 0) continue;
+        oocore::SegmentPipeline::Tile tile;
+        tile.reserve(group);
+        for (std::size_t p = 0; p < group; ++p) {
+          std::size_t sid = base;
+          for (int k = 0; k < h; ++k) {
+            if ((p >> k) & 1) sid |= std::size_t{1} << high[k];
+          }
+          tile.push_back(static_cast<std::uint32_t>(sid));
+        }
+        tiles.push_back(std::move(tile));
+      }
+      oocore::SegmentPipeline pipe(store, popts);
+      pipe.sweep(tiles,
+                 [&](Amplitude* buf, const oocore::SegmentPipeline::Tile&,
+                     std::size_t) {
+                   apply_gate(buf, s + h, prep2, options_);
+                 });
+      ++i;
+    }
+  }
+}
+
+}  // namespace quasar

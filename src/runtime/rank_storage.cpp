@@ -2,41 +2,141 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/parse.hpp"
+#include "obs/trace.hpp"
 
 namespace quasar {
 
+namespace {
+
+/// Fails early with a diagnostic naming the path when `directory` cannot
+/// host backing files — a raw mkstemp errno ("Invalid argument") never
+/// tells the user which knob to fix.
+void require_writable_directory(const std::string& directory,
+                                const char* what) {
+  struct ::stat st;
+  if (::stat(directory.c_str(), &st) != 0) {
+    throw Error(std::string(what) + ": storage directory '" + directory +
+                "' does not exist (StorageOptions::directory)");
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    throw Error(std::string(what) + ": storage path '" + directory +
+                "' is not a directory (StorageOptions::directory)");
+  }
+  if (::access(directory.c_str(), W_OK | X_OK) != 0) {
+    throw Error(std::string(what) + ": storage directory '" + directory +
+                "' is not writable (StorageOptions::directory)");
+  }
+}
+
+}  // namespace
+
+StorageOptions storage_options_from_env(StorageOptions defaults) {
+  StorageOptions opts = std::move(defaults);
+  if (const char* v = std::getenv("QUASAR_STORAGE")) {
+    const std::string s(v);
+    if (s == "memory") {
+      opts.medium = StorageMedium::kMemory;
+    } else if (s == "disk") {
+      opts.medium = StorageMedium::kDisk;
+    } else if (s == "oocore") {
+      opts.medium = StorageMedium::kOocore;
+    } else {
+      throw Error("QUASAR_STORAGE='" + s +
+                  "' (expected memory, disk, or oocore)");
+    }
+  }
+  if (const char* v = std::getenv("QUASAR_STORAGE_DIR")) {
+    opts.directory = v;
+  }
+  if (const char* v = std::getenv("QUASAR_OOC_CODEC")) {
+    opts.codec = oocore::codec_from_name(v);
+  }
+  if (const char* v = std::getenv("QUASAR_OOC_SEGMENT_KB")) {
+    opts.segment_bytes =
+        static_cast<std::size_t>(
+            parse_int_in_range(v, 1, 1 << 22, "QUASAR_OOC_SEGMENT_KB"))
+        << 10;
+  }
+  if (const char* v = std::getenv("QUASAR_OOC_IO_THREADS")) {
+    opts.io_threads = parse_int_in_range(v, 1, 64, "QUASAR_OOC_IO_THREADS");
+  }
+  return opts;
+}
+
 RankStorage::RankStorage(Index count, const StorageOptions& options)
-    : count_(count) {
+    : count_(count), options_(options) {
   QUASAR_CHECK(count > 0, "RankStorage: empty buffer");
   if (options.medium == StorageMedium::kMemory) {
     heap_.assign(count, Amplitude{0.0, 0.0});
     data_ = heap_.data();
     return;
   }
+  if (options.medium == StorageMedium::kOocore) {
+    oocore::SegmentStoreOptions store_opts;
+    store_opts.codec = options.codec;
+    store_opts.segment_bytes = options.segment_bytes;
+    store_opts.directory = options.directory;
+    require_writable_directory(options.directory, "RankStorage");
+    store_ = std::make_unique<oocore::SegmentStore>(count, store_opts);
+    // Seed every slot with encoded zeros so reads are defined from the
+    // start, exactly like ftruncate zero-fills the kDisk mapping.
+    oocore::SegmentScratch scratch;
+    AlignedVector<Amplitude> zeros(store_->segment_amps(),
+                                   Amplitude{0.0, 0.0});
+    for (std::size_t s = 0; s < store_->segment_count(); ++s) {
+      store_->write_segment(s, zeros.data(), scratch);
+    }
+    return;
+  }
   // Disk mode: unlinked temporary file + shared mapping.
-  std::string path = options.directory + "/quasar_rank_XXXXXX";
-  const int fd = ::mkstemp(path.data());
-  QUASAR_CHECK(fd >= 0, "RankStorage: cannot create backing file in " +
-                            options.directory);
-  ::unlink(path.c_str());  // anonymous: vanishes when unmapped
   const std::size_t bytes = count * sizeof(Amplitude);
+  void* mapping = map_backing_file(bytes, "RankStorage");
+  data_ = static_cast<Amplitude*>(mapping);
+  mapped_bytes_ = bytes;
+  // ftruncate already zero-filled; declare the streaming access pattern.
+  advise_sequential();
+}
+
+void* RankStorage::map_backing_file(std::size_t bytes,
+                                    const std::string& what) {
+  require_writable_directory(options_.directory, what.c_str());
+  std::string path = options_.directory + "/quasar_rank_XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    throw Error(what + ": cannot create backing file in '" +
+                options_.directory + "': " + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // anonymous: vanishes when unmapped
   if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const std::string detail = std::strerror(errno);
     ::close(fd);
-    throw Error("RankStorage: cannot size backing file (disk full?)");
+    throw Error(what + ": cannot size backing file in '" +
+                options_.directory + "' to " + std::to_string(bytes) +
+                " bytes (disk full?): " + detail);
   }
   void* mapping =
       ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
-  QUASAR_CHECK(mapping != MAP_FAILED, "RankStorage: mmap failed");
-  data_ = static_cast<Amplitude*>(mapping);
-  mapped_bytes_ = bytes;
-  // ftruncate already zero-fills; nothing more to do.
+  if (mapping == MAP_FAILED) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    throw Error(what + ": mmap of " + std::to_string(bytes) +
+                " bytes failed: " + detail);
+  }
+  // Keep the descriptor: flush_and_evict needs it to push the page-cache
+  // copy out (posix_fadvise works on fds, not mappings).
+  map_fd_ = fd;
+  return mapping;
 }
 
 RankStorage::~RankStorage() { release(); }
@@ -49,13 +149,21 @@ RankStorage& RankStorage::operator=(RankStorage&& other) noexcept {
   if (this == &other) return *this;
   release();
   heap_ = std::move(other.heap_);
+  store_ = std::move(other.store_);
+  options_ = std::move(other.options_);
   // Moved-from heap vectors keep no storage; re-derive the pointer.
   data_ = other.mapped_bytes_ > 0 ? other.data_ : heap_.data();
   count_ = other.count_;
   mapped_bytes_ = other.mapped_bytes_;
+  map_fd_ = other.map_fd_;
+  resident_ = other.resident_;
+  dirty_ = other.dirty_;
   other.data_ = nullptr;
   other.count_ = 0;
   other.mapped_bytes_ = 0;
+  other.map_fd_ = -1;
+  other.resident_ = false;
+  other.dirty_ = false;
   return *this;
 }
 
@@ -64,9 +172,124 @@ void RankStorage::release() noexcept {
     ::munmap(data_, mapped_bytes_);
     mapped_bytes_ = 0;
   }
+  if (map_fd_ >= 0) {
+    ::close(map_fd_);
+    map_fd_ = -1;
+  }
   heap_.clear();
+  store_.reset();
   data_ = nullptr;
   count_ = 0;
+  resident_ = false;
+  dirty_ = false;
+}
+
+Amplitude* RankStorage::data() {
+  if (store_ != nullptr) {
+    if (!resident_) materialize();
+    // A mutable access may write; the next dematerialize re-encodes.
+    dirty_ = true;
+  }
+  return data_;
+}
+
+const Amplitude* RankStorage::data() const {
+  if (store_ != nullptr && !resident_) {
+    // Residency is a cache: materializing does not change the logical
+    // state this object holds.
+    const_cast<RankStorage*>(this)->materialize();
+  }
+  return data_;
+}
+
+void RankStorage::materialize() {
+  if (mapped_bytes_ == 0) {
+    const std::size_t bytes = count_ * sizeof(Amplitude);
+    data_ = static_cast<Amplitude*>(
+        map_backing_file(bytes, "RankStorage (oocore scratch)"));
+    mapped_bytes_ = bytes;
+  }
+  const std::size_t segs = store_->segment_count();
+  const Index amps = store_->segment_amps();
+#pragma omp parallel
+  {
+    oocore::SegmentScratch scratch;
+#pragma omp for schedule(dynamic)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(segs); ++s) {
+      store_->read_segment(static_cast<std::size_t>(s),
+                           data_ + static_cast<Index>(s) * amps, scratch);
+    }
+  }
+  resident_ = true;
+  dirty_ = false;
+  if (obs::enabled()) obs::count("oocore.materializations");
+}
+
+void RankStorage::dematerialize() {
+  if (store_ == nullptr || !resident_) return;
+  if (dirty_) {
+    const std::size_t segs = store_->segment_count();
+    const Index amps = store_->segment_amps();
+#pragma omp parallel
+    {
+      oocore::SegmentScratch scratch;
+#pragma omp for schedule(dynamic)
+      for (std::int64_t s = 0; s < static_cast<std::int64_t>(segs); ++s) {
+        store_->write_segment(static_cast<std::size_t>(s),
+                              data_ + static_cast<Index>(s) * amps, scratch);
+      }
+    }
+    if (obs::enabled()) obs::count("oocore.dematerializations");
+  }
+  resident_ = false;
+  dirty_ = false;
+  // Scratch pages are stale now; let the kernel drop them.
+  advise_dontneed();
+}
+
+void RankStorage::discard_resident() noexcept {
+  resident_ = false;
+  dirty_ = false;
+  advise_dontneed();
+}
+
+void RankStorage::advise_sequential() noexcept {
+  if (mapped_bytes_ > 0) {
+    ::madvise(data_, mapped_bytes_, MADV_SEQUENTIAL);
+  }
+}
+
+void RankStorage::advise_dontneed() noexcept {
+  if (mapped_bytes_ > 0) {
+    ::madvise(data_, mapped_bytes_, MADV_DONTNEED);
+  }
+}
+
+void RankStorage::flush_and_evict() noexcept {
+  flush_and_evict(0, count_);
+}
+
+void RankStorage::flush_and_evict(Index first, Index count) noexcept {
+  if (mapped_bytes_ == 0 || count <= 0) return;
+  // MADV_DONTNEED alone only drops the PTEs of a shared file mapping —
+  // the page-cache copy survives and the "cold" re-read would come from
+  // DRAM. Write the dirty pages out, then tell the kernel to drop the
+  // cached file pages too, so the next touch goes to the device.
+  const std::size_t page = 4096;
+  std::size_t begin = static_cast<std::size_t>(first) * sizeof(Amplitude);
+  std::size_t end =
+      static_cast<std::size_t>(first + count) * sizeof(Amplitude);
+  begin -= begin % page;
+  end = std::min(mapped_bytes_, end + (page - end % page) % page);
+  if (begin >= end) return;
+  char* addr = reinterpret_cast<char*>(data_) + begin;
+  const std::size_t len = end - begin;
+  ::msync(addr, len, MS_SYNC);
+  if (map_fd_ >= 0) {
+    ::posix_fadvise(map_fd_, static_cast<off_t>(begin),
+                    static_cast<off_t>(len), POSIX_FADV_DONTNEED);
+  }
+  ::madvise(addr, len, MADV_DONTNEED);
 }
 
 }  // namespace quasar

@@ -1,18 +1,34 @@
 /// \file rank_storage.hpp
-/// \brief Rank-local amplitude storage: DRAM or file-backed (Sec. 5).
+/// \brief Rank-local amplitude storage: DRAM, file-backed, or segmented
+/// out-of-core (Sec. 5).
 ///
 /// The paper's outlook: with only two all-to-alls for a whole depth-25
 /// circuit, the state vector could live on solid-state drives. This
-/// class makes that concrete — a rank's slice can be backed by an
-/// anonymous (unlinked) file on any filesystem, mmap'ed shared, so the
-/// kernels stream through the page cache to disk instead of DRAM. The
-/// VirtualCluster works identically over either medium.
+/// class makes that concrete in two grades:
+///
+///  - kDisk: the rank's slice is an anonymous (unlinked) mmap'ed file —
+///    the kernels stream through the page cache to disk. Correct, but
+///    synchronous: every page fault and writeback serializes with
+///    compute (PR 5 measured 0.13 GB/s on the container disk).
+///  - kOocore: the slice lives in a segmented, codec-framed SegmentStore
+///    (DESIGN.md §11). The distributed executor streams eligible gate
+///    work through the async pipeline without ever holding the full
+///    slice in DRAM; operations that genuinely need the flat slice
+///    (all-to-all, permutation sweeps, sampling, gather) transparently
+///    *materialize* it into a disk-backed scratch mapping on first
+///    data() access and write it back — re-encoded — before the next
+///    pipelined sweep. Every existing code path therefore stays correct
+///    unchanged; only its speed differs.
+///
+/// The VirtualCluster works identically over any medium.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/aligned.hpp"
 #include "core/types.hpp"
+#include "oocore/segment_store.hpp"
 
 namespace quasar {
 
@@ -20,12 +36,13 @@ namespace quasar {
 enum class StorageMedium {
   kMemory,  ///< cache-line-aligned heap allocation (default)
   kDisk,    ///< mmap'ed unlinked file (SSD-backed state, Sec. 5 outlook)
+  kOocore,  ///< segmented + codec-framed store, async pipeline (§11)
 };
 
 /// Storage configuration for a VirtualCluster.
 struct StorageOptions {
   StorageMedium medium = StorageMedium::kMemory;
-  /// Directory for the backing files in kDisk mode.
+  /// Directory for the backing files in kDisk/kOocore modes.
   std::string directory = "/tmp";
   /// Total bounce-buffer budget (bytes, split across threads) for the
   /// in-place chunked all-to-all and the fused permutation sweeps. This
@@ -33,7 +50,22 @@ struct StorageOptions {
   /// itself is never shadow-copied. At least one amplitude per thread is
   /// always granted.
   std::size_t bounce_buffer_bytes = std::size_t{64} << 20;
+  /// kOocore: shard codec between DRAM and disk.
+  oocore::Codec codec = oocore::Codec::kRaw;
+  /// kOocore: target segment size in bytes.
+  std::size_t segment_bytes = std::size_t{4} << 20;
+  /// kOocore: background I/O worker threads per pipelined sweep.
+  int io_threads = 2;
+  /// kOocore: DRAM ring depth in tiles (>= 2).
+  int pipeline_depth = 3;
 };
+
+/// Reads storage configuration from the environment: QUASAR_STORAGE
+/// (memory | disk | oocore), QUASAR_STORAGE_DIR, QUASAR_OOC_CODEC
+/// (raw | lz | fp32 | fp32lz), QUASAR_OOC_SEGMENT_KB,
+/// QUASAR_OOC_IO_THREADS. Unset variables keep the defaults; malformed
+/// values throw quasar::Error naming the variable.
+StorageOptions storage_options_from_env(StorageOptions defaults = {});
 
 /// A move-only buffer of amplitudes on the chosen medium. Disk-backed
 /// buffers are unlinked at creation, so they vanish when released (or if
@@ -41,7 +73,9 @@ struct StorageOptions {
 class RankStorage {
  public:
   RankStorage() = default;
-  /// Allocates and zero-fills `count` amplitudes.
+  /// Allocates and zero-fills `count` amplitudes. Throws quasar::Error
+  /// with a diagnostic naming the directory when a disk-backed medium
+  /// cannot create its backing file there.
   RankStorage(Index count, const StorageOptions& options);
   ~RankStorage();
 
@@ -50,20 +84,80 @@ class RankStorage {
   RankStorage(const RankStorage&) = delete;
   RankStorage& operator=(const RankStorage&) = delete;
 
-  Amplitude* data() noexcept { return data_; }
-  const Amplitude* data() const noexcept { return data_; }
+  /// Flat amplitude access. On kOocore this lazily materializes the
+  /// segmented slice into the scratch mapping (and the mutable overload
+  /// marks it dirty, so the next dematerialize() re-encodes); kMemory
+  /// and kDisk return their backing directly.
+  Amplitude* data();
+  const Amplitude* data() const;
+
   Index size() const noexcept { return count_; }
-  bool on_disk() const noexcept { return mapped_bytes_ > 0; }
+  /// True when the slice is backed by disk (mmap'ed file or segmented
+  /// store) rather than DRAM.
+  bool on_disk() const noexcept {
+    return mapped_bytes_ > 0 || store_ != nullptr;
+  }
+
+  /// kOocore only (null otherwise): the segmented store. The pipelined
+  /// executor reads/writes segments directly; it must only do so while
+  /// the slice is not resident (see dematerialize()).
+  oocore::SegmentStore* store() noexcept { return store_.get(); }
+  const oocore::SegmentStore* store() const noexcept { return store_.get(); }
+  /// True when this is a kOocore slice (whether or not it is resident).
+  bool segmented() const noexcept { return store_ != nullptr; }
+  /// True while the flat scratch copy is the authoritative data.
+  bool resident() const noexcept { return resident_; }
+
+  /// kOocore: if the slice is resident and dirty, re-encodes every
+  /// segment back into the store; afterwards the store is authoritative
+  /// again and pipelined sweeps may run. No-op on other media.
+  void dematerialize();
+  /// kOocore: drops residency WITHOUT writing back — caller just rewrote
+  /// the store directly (e.g. state initialization). No-op otherwise.
+  void discard_resident() noexcept;
+
+  /// Streaming-pattern hints on the mmap'ed backing (kDisk and a
+  /// materialized kOocore scratch): madvise(MADV_SEQUENTIAL) /
+  /// madvise(MADV_DONTNEED). No-ops for heap storage. advise_dontneed
+  /// drops the mapping's resident pages (cheap — the file's page-cache
+  /// copy survives, so the next touch soft-faults from DRAM).
+  void advise_sequential() noexcept;
+  void advise_dontneed() noexcept;
+  /// Synchronously writes dirty pages to the device (msync) and evicts
+  /// the file's page-cache copy (posix_fadvise(POSIX_FADV_DONTNEED) +
+  /// madvise), so the next touch hard-faults from the actual disk —
+  /// benchmarks use this to measure cold sweeps honestly. The ranged
+  /// overload flushes just `count` amplitudes starting at `first`
+  /// (rounded out to page boundaries), which is how a bounded working
+  /// set streams over a slice bigger than DRAM: write segment k back
+  /// before touching segment k+1. No-op for heap storage.
+  void flush_and_evict() noexcept;
+  void flush_and_evict(Index first, Index count) noexcept;
 
  private:
   void release() noexcept;
+  /// Maps an unlinked zero-filled file of `bytes` in options_.directory.
+  void* map_backing_file(std::size_t bytes, const std::string& what);
+  /// Decodes every segment into the scratch mapping (created on first
+  /// use). Called from both data() overloads — the const one casts away
+  /// constness, because residency is a cache, not observable state.
+  void materialize();
 
   Amplitude* data_ = nullptr;
   Index count_ = 0;
-  /// Nonzero iff mmap'ed (disk mode); the munmap length.
+  /// Nonzero iff mmap'ed (kDisk slice or kOocore scratch); munmap length.
   std::size_t mapped_bytes_ = 0;
+  /// Backing-file descriptor of the mapping, kept open so
+  /// flush_and_evict can posix_fadvise the page cache away; -1 otherwise.
+  int map_fd_ = -1;
   /// Heap storage in memory mode.
   AlignedVector<Amplitude> heap_;
+  /// Segmented store in kOocore mode.
+  std::unique_ptr<oocore::SegmentStore> store_;
+  StorageOptions options_;
+  /// kOocore residency cache state.
+  bool resident_ = false;
+  bool dirty_ = false;
 };
 
 }  // namespace quasar

@@ -33,21 +33,47 @@ VirtualCluster::VirtualCluster(int num_qubits, int num_local,
   }
 }
 
+void VirtualCluster::init_fill(Amplitude value) {
+  if (!segmented()) {
+    for (auto& buffer : buffers_) {
+      std::fill(buffer.data(), buffer.data() + buffer.size(), value);
+    }
+    return;
+  }
+  // Segmented slices: encode one constant segment and stamp it into
+  // every slot directly — the full flat slice never exists in DRAM.
+  oocore::SegmentScratch scratch;
+  for (auto& buffer : buffers_) {
+    buffer.discard_resident();
+    oocore::SegmentStore* store = buffer.store();
+    const AlignedVector<Amplitude> seg(store->segment_amps(), value);
+    for (std::size_t s = 0; s < store->segment_count(); ++s) {
+      store->write_segment(s, seg.data(), scratch);
+    }
+  }
+}
+
 void VirtualCluster::init_basis(Index index) {
   QUASAR_CHECK(index < index_pow2(num_qubits_), "basis index out of range");
-  for (auto& buffer : buffers_) {
-    std::fill(buffer.data(), buffer.data() + buffer.size(),
-              Amplitude{0.0, 0.0});
+  init_fill(Amplitude{0.0, 0.0});
+  const Index rank = index >> num_local_;
+  const Index offset = index & (local_size() - 1);
+  if (!segmented()) {
+    buffers_[rank].data()[offset] = 1.0;
+    return;
   }
-  buffers_[index >> num_local_].data()[index & (local_size() - 1)] = 1.0;
+  oocore::SegmentStore* store = buffers_[rank].store();
+  const Index seg_amps = store->segment_amps();
+  oocore::SegmentScratch scratch;
+  AlignedVector<Amplitude> seg(seg_amps, Amplitude{0.0, 0.0});
+  seg[offset & (seg_amps - 1)] = 1.0;
+  store->write_segment(static_cast<std::size_t>(offset / seg_amps),
+                       seg.data(), scratch);
 }
 
 void VirtualCluster::init_uniform() {
   const double value = std::pow(2.0, -0.5 * num_qubits_);
-  for (auto& buffer : buffers_) {
-    std::fill(buffer.data(), buffer.data() + buffer.size(),
-              Amplitude{value, 0.0});
-  }
+  init_fill(Amplitude{value, 0.0});
 }
 
 void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations) {

@@ -41,9 +41,20 @@ class VirtualCluster {
   }
   Index local_size() const noexcept { return index_pow2(num_local_); }
 
-  /// Mutable access to one rank's slice.
+  /// Mutable access to one rank's slice. On segmented (kOocore) storage
+  /// this materializes the slice into its disk-backed scratch first; the
+  /// pipelined stage executor avoids these calls and streams segments
+  /// instead (runtime/oocore_exec.cpp).
   Amplitude* rank_data(int rank) { return buffers_[rank].data(); }
   const Amplitude* rank_data(int rank) const { return buffers_[rank].data(); }
+  /// Direct access to one rank's storage object (segment store,
+  /// residency control). Used by the out-of-core executor and tests.
+  RankStorage& rank_storage(int rank) { return buffers_[rank]; }
+  const RankStorage& rank_storage(int rank) const { return buffers_[rank]; }
+  /// True when slices live in segmented out-of-core storage.
+  bool segmented() const noexcept {
+    return storage_.medium == StorageMedium::kOocore;
+  }
   /// Storage configuration in effect.
   const StorageOptions& storage() const noexcept { return storage_; }
 
@@ -104,6 +115,10 @@ class VirtualCluster {
   CommStats& stats() noexcept { return stats_; }
 
  private:
+  /// Constant fill of every slice; writes segment stores directly on
+  /// kOocore so initialization never materializes the flat slices.
+  void init_fill(Amplitude value);
+
   int num_qubits_;
   int num_local_;
   StorageOptions storage_;

@@ -290,6 +290,105 @@ TEST(Reader, FallsBackPastATornManifest) {
   EXPECT_EQ(snap->fallbacks, 1);
 }
 
+// ------------------------------------------------- compressed shards
+
+TEST(Manifest, CodecLineRoundTripsWithRawIntegrity) {
+  ckpt::Manifest m = sample_manifest();
+  m.codec = oocore::Codec::kLz;
+  m.shards = {{40, 0x1, 64, 0x5},
+              {41, 0x2, 64, 0x6},
+              {42, 0x3, 64, 0x7},
+              {43, 0x4, 64, 0x8}};
+  const std::string text = ckpt::manifest_to_string(m);
+  EXPECT_NE(text.find("codec lz"), std::string::npos);
+  const ckpt::Manifest back = ckpt::manifest_from_string(text);
+  EXPECT_EQ(back.codec, oocore::Codec::kLz);
+  ASSERT_EQ(back.shards.size(), m.shards.size());
+  for (std::size_t r = 0; r < m.shards.size(); ++r) {
+    EXPECT_EQ(back.shards[r].bytes, m.shards[r].bytes);
+    EXPECT_EQ(back.shards[r].crc, m.shards[r].crc);
+    EXPECT_EQ(back.shards[r].raw_bytes, m.shards[r].raw_bytes);
+    EXPECT_EQ(back.shards[r].raw_crc, m.shards[r].raw_crc);
+  }
+  // Legacy manifests (no codec line) stay parseable: raw integrity
+  // defaults to the on-disk values.
+  const ckpt::Manifest legacy =
+      ckpt::manifest_from_string(ckpt::manifest_to_string(sample_manifest()));
+  EXPECT_EQ(legacy.codec, oocore::Codec::kRaw);
+  EXPECT_EQ(legacy.shards[0].raw_bytes, legacy.shards[0].bytes);
+  EXPECT_EQ(legacy.shards[0].raw_crc, legacy.shards[0].crc);
+}
+
+TEST(Writer, RejectsLossyShardCodecs) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("writer_lossy");
+  opts.codec = oocore::Codec::kFp32;
+  EXPECT_THROW(ckpt::CheckpointWriter{opts}, Error);
+  opts.codec = oocore::Codec::kFp32Lz;
+  EXPECT_THROW(ckpt::CheckpointWriter{opts}, Error);
+}
+
+TEST(Writer, CompressedShardsRoundTripAndShrinkOnDisk) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("writer_lz");
+  opts.codec = oocore::Codec::kLz;
+  ckpt::CheckpointWriter writer(opts);
+  writer.wait_idle();
+  fill_snapshot(writer.staging(), 1, 0x42);
+  // Make the shards look like a normalized state: repetitive structure
+  // the byte-plane + LZ pass can exploit.
+  for (auto& shard : writer.staging().shard_bytes) {
+    shard.assign(4096, 0);
+    for (std::size_t i = 0; i < shard.size(); i += 8) shard[i] = 0x3f;
+  }
+  const std::vector<std::vector<std::uint8_t>> expected =
+      writer.staging().shard_bytes;
+  writer.commit();
+  writer.close();
+
+  // Smaller on disk than the raw amplitudes.
+  const fs::path gen = fs::path(opts.directory) / "gen-000001";
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_LT(fs::file_size(gen / ckpt::shard_file_name(r)),
+              expected[static_cast<std::size_t>(r)].size());
+  }
+
+  // And bit-exact after the decode.
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->manifest.codec, oocore::Codec::kLz);
+  EXPECT_EQ(snap->shard_bytes, expected);
+  ASSERT_EQ(snap->manifest.shards.size(), 2u);
+  EXPECT_EQ(snap->manifest.shards[0].raw_bytes, expected[0].size());
+  EXPECT_LT(snap->manifest.shards[0].bytes,
+            snap->manifest.shards[0].raw_bytes);
+}
+
+TEST(Reader, FallsBackPastACorruptCompressedShard) {
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("reader_lz_fallback");
+  opts.codec = oocore::Codec::kLz;
+  ckpt::CheckpointWriter writer(opts);
+  // The close-time fault flips a byte mid-file — inside the frame
+  // payload — so either the file CRC or the frame's own CRC must trip.
+  writer.fault().arm({ckpt::FaultKind::kCorruptShard, 1});
+  for (std::size_t cursor : {1, 2}) {
+    writer.wait_idle();
+    fill_snapshot(writer.staging(), cursor,
+                  static_cast<std::uint8_t>(cursor));
+    writer.commit();
+  }
+  writer.close();
+  EXPECT_EQ(writer.stats().injected_faults, 1u);
+  const ckpt::CheckpointReader reader(opts.directory);
+  EXPECT_THROW(reader.load("gen-000002"), check::ValidationError);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->generation, "gen-000001");
+  EXPECT_EQ(snap->fallbacks, 1);
+}
+
 TEST(Reader, EmptyDirectoryYieldsNothing) {
   const ckpt::CheckpointReader reader(test_dir("reader_empty"));
   EXPECT_TRUE(reader.generations().empty());
@@ -435,6 +534,50 @@ TEST(Recovery, CorruptShardFallsBackAndStillMatches) {
   EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
                         sizeof(Amplitude) * expected.size()),
             0);
+}
+
+TEST(Recovery, CompressedCheckpointResumesBitIdenticalPastCorruption) {
+  const Workload w = make_workload();
+  DistributedSimulator clean(w.n, w.l);
+  clean.init_uniform();
+  clean.run(w.circuit, w.schedule);
+  const StateVector expected = clean.gather();
+
+  ckpt::CheckpointOptions opts;
+  opts.directory = test_dir("recovery_lz");
+  opts.codec = oocore::Codec::kLz;
+  {
+    DistributedSimulator sim(w.n, w.l);
+    sim.init_uniform();
+    ckpt::CheckpointWriter writer(opts);
+    writer.fault().arm({ckpt::FaultKind::kCorruptShard, 2});
+    CheckpointedRun ckpt_run;
+    ckpt_run.writer = &writer;
+    sim.run(w.circuit, w.schedule, ckpt_run);
+    writer.close();  // corrupts a compressed frame in the newest gen
+  }
+
+  const ckpt::CheckpointReader reader(opts.directory);
+  const auto snap = reader.load_latest();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->fallbacks, 1);
+  EXPECT_EQ(snap->manifest.codec, oocore::Codec::kLz);
+  ASSERT_LT(snap->manifest.cursor, w.schedule.stages.size());
+
+  DistributedSimulator resumed(w.n, w.l);
+  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  ckpt::CheckpointWriter writer2(opts);
+  CheckpointedRun continue_run;
+  continue_run.writer = &writer2;
+  continue_run.first_stage = cursor;
+  resumed.run(w.circuit, w.schedule, continue_run);
+  writer2.close();
+
+  const StateVector actual = resumed.gather();
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        sizeof(Amplitude) * expected.size()),
+            0)
+      << "state restored from compressed shards differs";
 }
 
 TEST(Recovery, TornManifestFallsBackAndStillMatches) {

@@ -20,6 +20,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "oocore/codec.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/distributed.hpp"
 #include "sched/schedule.hpp"
@@ -334,6 +335,60 @@ TEST(TraceDistributed, ReportJoinsMeasuredAgainstPredicted) {
   EXPECT_NE(report.find("measured vs predicted"), std::string::npos);
   EXPECT_NE(report.find("total"), std::string::npos);
   EXPECT_NE(report.find("meas/pred"), std::string::npos);
+}
+
+TEST(TraceDistributed, OocoreRunFeedsReportAndOverlapModel) {
+  SupremacyOptions options;
+  options.rows = 3;
+  options.cols = 3;
+  options.depth = 14;
+  options.seed = 11;
+  const Circuit circuit = make_supremacy_circuit(options);
+  ScheduleOptions sched;
+  sched.num_local = 6;
+  sched.kmax = 3;
+  const Schedule schedule = make_schedule(circuit, sched);
+
+  StorageOptions storage;
+  storage.medium = StorageMedium::kOocore;
+  storage.codec = oocore::Codec::kLz;
+  storage.segment_bytes = 1024;
+
+  obs::TraceSession session;
+  {
+    SessionGuard guard(session);
+    DistributedSimulator sim(9, 6, {}, storage);
+    sim.init_basis(0);
+    sim.run(circuit, schedule);
+  }
+
+  // Stage time spent in the pipelined executor lands in the "oocore"
+  // bucket and stays covered (no unexplained stage time from it).
+  const std::vector<obs::StageBreakdown> measured =
+      obs::measured_stages(session);
+  ASSERT_EQ(measured.size(), schedule.stages.size());
+  double oocore_total = 0.0;
+  for (const obs::StageBreakdown& b : measured) {
+    oocore_total += b.oocore_seconds;
+    EXPECT_LE(b.oocore_seconds, b.total_seconds + 1e-9);
+  }
+  EXPECT_GT(oocore_total, 0.0);
+
+  // The sweep counters drive the out-of-core summary block, standalone
+  // and appended to the full report.
+  const std::string block = obs::oocore_report(session, OocoreModel{});
+  EXPECT_NE(block.find("out-of-core:"), std::string::npos);
+  EXPECT_NE(block.find("ratio"), std::string::npos);
+  EXPECT_NE(block.find("max(compute"), std::string::npos);
+
+  const std::string report =
+      obs::run_report(session, circuit, schedule, host_machine(),
+                      aries_dragonfly());
+  EXPECT_NE(report.find("out-of-core:"), std::string::npos);
+
+  // A session with no oocore sweeps reports nothing.
+  obs::TraceSession empty;
+  EXPECT_EQ(obs::oocore_report(empty, OocoreModel{}), "");
 }
 
 TEST(TraceDistributed, Fp32MirrorEmitsSpansAndTracksPermutePeak) {

@@ -1,0 +1,509 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "circuit/supremacy.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "kernels/block_apply.hpp"
+#include "oocore/codec.hpp"
+#include "oocore/pipeline.hpp"
+#include "oocore/segment_store.hpp"
+#include "runtime/distributed.hpp"
+#include "simulator/reference.hpp"
+
+namespace quasar {
+namespace {
+
+using oocore::Codec;
+
+std::vector<Amplitude> random_state(Index count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Amplitude> amps(count);
+  Real norm = 0.0;
+  for (auto& a : amps) {
+    a = {rng.uniform_real() - 0.5, rng.uniform_real() - 0.5};
+    norm += std::norm(a);
+  }
+  const Real scale = 1.0 / std::sqrt(norm);
+  for (auto& a : amps) a *= scale;
+  return amps;
+}
+
+// ---------------------------------------------------------------- codec
+
+TEST(Codec, NamesRoundTrip) {
+  for (Codec c : {Codec::kRaw, Codec::kLz, Codec::kFp32, Codec::kFp32Lz}) {
+    EXPECT_EQ(oocore::codec_from_name(oocore::codec_name(c)), c);
+  }
+  EXPECT_THROW(oocore::codec_from_name("zstd"), Error);
+  EXPECT_TRUE(oocore::codec_lossless(Codec::kRaw));
+  EXPECT_TRUE(oocore::codec_lossless(Codec::kLz));
+  EXPECT_FALSE(oocore::codec_lossless(Codec::kFp32));
+  EXPECT_FALSE(oocore::codec_lossless(Codec::kFp32Lz));
+}
+
+TEST(Codec, LosslessRoundTripIsExact) {
+  const auto amps = random_state(1 << 10, 7);
+  const std::size_t raw = amps.size() * sizeof(Amplitude);
+  std::vector<std::uint8_t> frame(oocore::encoded_bound(raw));
+  std::vector<Amplitude> out(amps.size());
+  oocore::CodecScratch scratch;
+  for (Codec c : {Codec::kRaw, Codec::kLz}) {
+    const std::size_t n =
+        oocore::encode(c, amps.data(), raw, frame.data(), scratch);
+    ASSERT_LE(n, frame.size());
+    std::fill(out.begin(), out.end(), Amplitude{0, 0});
+    const std::size_t decoded = oocore::decode(
+        frame.data(), n, out.data(), out.size() * sizeof(Amplitude), scratch);
+    EXPECT_EQ(decoded, raw);
+    EXPECT_EQ(std::memcmp(out.data(), amps.data(), raw), 0)
+        << oocore::codec_name(c);
+  }
+}
+
+TEST(Codec, Fp32RoundTripMatchesFloatTruncation) {
+  const auto amps = random_state(1 << 9, 9);
+  const std::size_t raw = amps.size() * sizeof(Amplitude);
+  std::vector<std::uint8_t> frame(oocore::encoded_bound(raw));
+  std::vector<Amplitude> out(amps.size());
+  oocore::CodecScratch scratch;
+  for (Codec c : {Codec::kFp32, Codec::kFp32Lz}) {
+    const std::size_t n =
+        oocore::encode(c, amps.data(), raw, frame.data(), scratch);
+    const std::size_t decoded = oocore::decode(
+        frame.data(), n, out.data(), out.size() * sizeof(Amplitude), scratch);
+    ASSERT_EQ(decoded, raw);
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+      // The round trip is exactly double -> float -> double.
+      EXPECT_EQ(out[i].real(),
+                static_cast<double>(static_cast<float>(amps[i].real())));
+      EXPECT_EQ(out[i].imag(),
+                static_cast<double>(static_cast<float>(amps[i].imag())));
+    }
+  }
+}
+
+TEST(Codec, NormalizedStateCompresses) {
+  // A normalized state's exponent bytes are nearly constant; the
+  // byte-plane split + LZ must beat raw by a usable margin.
+  const auto amps = random_state(1 << 12, 3);
+  const std::size_t raw = amps.size() * sizeof(Amplitude);
+  std::vector<std::uint8_t> frame(oocore::encoded_bound(raw));
+  oocore::CodecScratch scratch;
+  const std::size_t n =
+      oocore::encode(Codec::kLz, amps.data(), raw, frame.data(), scratch);
+  EXPECT_LT(n, raw);  // ratio > 1
+  oocore::FrameInfo info;
+  ASSERT_TRUE(oocore::peek_frame(frame.data(), n, &info));
+  EXPECT_EQ(info.codec, Codec::kLz);
+  EXPECT_EQ(info.raw_bytes, raw);
+}
+
+TEST(Codec, IncompressibleInputFallsBackWithoutExpansion) {
+  // Pure noise bytes (not a normalized state): LZ cannot win, the frame
+  // must fall back to a raw payload within encoded_bound, and the frame's
+  // codec id — not the caller's request — is authoritative.
+  Rng rng(11);
+  std::vector<std::uint8_t> noise(8192);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  std::vector<std::uint8_t> frame(oocore::encoded_bound(noise.size()));
+  std::vector<std::uint8_t> out(noise.size());
+  oocore::CodecScratch scratch;
+  const std::size_t n = oocore::encode(Codec::kLz, noise.data(), noise.size(),
+                                       frame.data(), scratch);
+  ASSERT_LE(n, oocore::encoded_bound(noise.size()));
+  oocore::FrameInfo info;
+  ASSERT_TRUE(oocore::peek_frame(frame.data(), n, &info));
+  EXPECT_EQ(info.codec, Codec::kRaw);
+  const std::size_t decoded =
+      oocore::decode(frame.data(), n, out.data(), out.size(), scratch);
+  EXPECT_EQ(decoded, noise.size());
+  EXPECT_EQ(out, noise);
+}
+
+TEST(Codec, CorruptFramesAreRejected) {
+  const auto amps = random_state(1 << 8, 5);
+  const std::size_t raw = amps.size() * sizeof(Amplitude);
+  std::vector<std::uint8_t> frame(oocore::encoded_bound(raw));
+  oocore::CodecScratch scratch;
+  const std::size_t n =
+      oocore::encode(Codec::kLz, amps.data(), raw, frame.data(), scratch);
+  std::vector<Amplitude> out(amps.size());
+  const std::size_t cap = out.size() * sizeof(Amplitude);
+
+  // Payload bit flip -> CRC mismatch.
+  auto bad = frame;
+  bad[oocore::kFrameHeaderBytes + 3] ^= 0x40;
+  EXPECT_THROW(oocore::decode(bad.data(), n, out.data(), cap, scratch), Error);
+  // Magic corruption.
+  bad = frame;
+  bad[0] = 'X';
+  EXPECT_THROW(oocore::decode(bad.data(), n, out.data(), cap, scratch), Error);
+  oocore::FrameInfo info;
+  EXPECT_FALSE(oocore::peek_frame(bad.data(), n, &info));
+  // Truncated frame.
+  EXPECT_THROW(oocore::decode(frame.data(), n - 7, out.data(), cap, scratch),
+               Error);
+  // Destination too small.
+  EXPECT_THROW(oocore::decode(frame.data(), n, out.data(), cap - 16, scratch),
+               Error);
+  // Intact frame still decodes after all that.
+  EXPECT_EQ(oocore::decode(frame.data(), n, out.data(), cap, scratch), raw);
+}
+
+// -------------------------------------------------------- segment store
+
+class SegmentStoreCodecs : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(SegmentStoreCodecs, WriteReadRoundTrip) {
+  oocore::SegmentStoreOptions opts;
+  opts.codec = GetParam();
+  opts.segment_bytes = 1 << 10;  // 64 amps per segment
+  const Index count = 1 << 9;
+  oocore::SegmentStore store(count, opts);
+  EXPECT_EQ(store.count(), count);
+  EXPECT_EQ(store.segment_amps() * store.segment_count(),
+            static_cast<std::size_t>(count));
+
+  const auto amps = random_state(count, 21);
+  oocore::SegmentScratch scratch;
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    store.write_segment(s, amps.data() + s * store.segment_amps(), scratch);
+  }
+  EXPECT_GT(store.encoded_bytes(), 0u);
+  std::vector<Amplitude> out(count, Amplitude{0, 0});
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    store.read_segment(s, out.data() + s * store.segment_amps(), scratch);
+  }
+  if (oocore::codec_lossless(GetParam())) {
+    EXPECT_EQ(std::memcmp(out.data(), amps.data(),
+                          count * sizeof(Amplitude)),
+              0);
+  } else {
+    for (Index i = 0; i < count; ++i) {
+      EXPECT_NEAR(std::abs(out[i] - amps[i]), 0.0, 1e-7);
+    }
+  }
+  const oocore::StoreStats st = store.stats();
+  EXPECT_EQ(st.segments_written, store.segment_count());
+  EXPECT_EQ(st.segments_read, store.segment_count());
+  EXPECT_EQ(st.raw_bytes_written, count * sizeof(Amplitude));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, SegmentStoreCodecs,
+                         ::testing::Values(Codec::kRaw, Codec::kLz,
+                                           Codec::kFp32, Codec::kFp32Lz),
+                         [](const auto& info) {
+                           return oocore::codec_name(info.param);
+                         });
+
+TEST(SegmentStore, ReadingUnwrittenSlotThrows) {
+  oocore::SegmentStoreOptions opts;
+  opts.segment_bytes = 1 << 10;
+  oocore::SegmentStore store(1 << 8, opts);
+  std::vector<Amplitude> out(store.segment_amps());
+  oocore::SegmentScratch scratch;
+  EXPECT_THROW(store.read_segment(0, out.data(), scratch), Error);
+}
+
+TEST(SegmentStore, BadDirectoryDiagnosticNamesThePath) {
+  oocore::SegmentStoreOptions opts;
+  opts.directory = "/nonexistent/quasar-oocore";
+  try {
+    oocore::SegmentStore store(1 << 8, opts);
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/quasar-oocore"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------------- pipeline
+
+TEST(SegmentPipeline, SweepVisitsEveryTileInOrderAndWritesBack) {
+  oocore::SegmentStoreOptions opts;
+  opts.codec = Codec::kLz;
+  opts.segment_bytes = 1 << 9;  // 32 amps
+  const Index count = 1 << 8;
+  oocore::SegmentStore store(count, opts);
+  const auto amps = random_state(count, 33);
+  oocore::SegmentScratch scratch;
+  const Index seg_amps = store.segment_amps();
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    store.write_segment(s, amps.data() + s * seg_amps, scratch);
+  }
+
+  oocore::PipelineOptions popts;
+  popts.io_threads = 2;
+  popts.depth = 3;
+  oocore::SegmentPipeline pipe(store, popts);
+  std::vector<oocore::SegmentPipeline::Tile> tiles(store.segment_count());
+  for (std::size_t s = 0; s < tiles.size(); ++s) {
+    tiles[s] = {static_cast<std::uint32_t>(s)};
+  }
+  std::vector<std::size_t> visit_order;
+  pipe.sweep(tiles, [&](Amplitude* data, const oocore::SegmentPipeline::Tile&,
+                        std::size_t tile_index) {
+    visit_order.push_back(tile_index);
+    for (Index i = 0; i < seg_amps; ++i) data[i] *= 2.0;
+  });
+  ASSERT_EQ(visit_order.size(), tiles.size());
+  for (std::size_t i = 0; i < visit_order.size(); ++i) {
+    EXPECT_EQ(visit_order[i], i);  // strict tile order
+  }
+  // Writeback persisted the doubling.
+  std::vector<Amplitude> out(count);
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    store.read_segment(s, out.data() + s * seg_amps, scratch);
+  }
+  for (Index i = 0; i < count; ++i) {
+    EXPECT_EQ(out[i], amps[i] * 2.0);
+  }
+  EXPECT_EQ(pipe.stats().sweeps, 1u);
+  EXPECT_EQ(pipe.stats().segments, store.segment_count());
+}
+
+TEST(SegmentPipeline, GroupedTilesPackSegmentsInListOrder) {
+  oocore::SegmentStoreOptions opts;
+  opts.segment_bytes = 1 << 9;
+  const Index count = 1 << 8;  // 8 segments of 32 amps
+  oocore::SegmentStore store(count, opts);
+  const Index seg_amps = store.segment_amps();
+  oocore::SegmentScratch scratch;
+  std::vector<Amplitude> seg(seg_amps);
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    std::fill(seg.begin(), seg.end(),
+              Amplitude{static_cast<Real>(s), 0.0});
+    store.write_segment(s, seg.data(), scratch);
+  }
+  // Tiles pairing segment s with segment s+4 (a "high bit" of 4).
+  std::vector<oocore::SegmentPipeline::Tile> tiles;
+  for (std::uint32_t s = 0; s < 4; ++s) tiles.push_back({s, s + 4});
+  oocore::SegmentPipeline pipe(store, {});
+  pipe.sweep(
+      tiles,
+      [&](Amplitude* data, const oocore::SegmentPipeline::Tile& tile,
+          std::size_t) {
+        EXPECT_EQ(data[0].real(), static_cast<Real>(tile[0]));
+        EXPECT_EQ(data[seg_amps].real(), static_cast<Real>(tile[1]));
+      },
+      /*writeback=*/false);
+  // No writeback: stores unchanged.
+  store.read_segment(3, seg.data(), scratch);
+  EXPECT_EQ(seg[0].real(), 3.0);
+}
+
+TEST(SegmentPipeline, ComputeExceptionPropagates) {
+  oocore::SegmentStoreOptions opts;
+  opts.segment_bytes = 1 << 9;
+  oocore::SegmentStore store(1 << 7, opts);
+  oocore::SegmentScratch scratch;
+  std::vector<Amplitude> zeros(store.segment_amps(), Amplitude{0, 0});
+  for (std::size_t s = 0; s < store.segment_count(); ++s) {
+    store.write_segment(s, zeros.data(), scratch);
+  }
+  oocore::SegmentPipeline pipe(store, {});
+  std::vector<oocore::SegmentPipeline::Tile> tiles(store.segment_count());
+  for (std::size_t s = 0; s < tiles.size(); ++s) {
+    tiles[s] = {static_cast<std::uint32_t>(s)};
+  }
+  EXPECT_THROW(
+      pipe.sweep(tiles,
+                 [&](Amplitude*, const oocore::SegmentPipeline::Tile&,
+                     std::size_t i) {
+                   if (i == 1) throw Error("compute failed");
+                 }),
+      Error);
+}
+
+// -------------------------------------------- segment-granular kernels
+
+TEST(SegmentKernels, BaseIndexDiagonalSliceMatchesFullApply) {
+  // A diagonal gate reaching ABOVE the segment exponent, applied segment
+  // by segment with base_index, must be bit-identical to one full-state
+  // apply_gate.
+  const int n = 10, s = 4;
+  auto full = random_state(Index{1} << n, 17);
+  auto segmented = full;
+  Rng rng(5);
+  // Diagonal on locations straddling the segment boundary.
+  const GateMatrix cz = gates::cz();
+  const PreparedGate prep = prepare_gate(cz, {3, 7});
+  apply_gate(full.data(), n, prep);
+
+  const PreparedGate* gates[] = {&prep};
+  const Index seg_amps = Index{1} << s;
+  for (Index seg = 0; seg < (Index{1} << (n - s)); ++seg) {
+    apply_gates_blocked(segmented.data() + seg * seg_amps, s, gates, 1, {},
+                        nullptr, seg << s);
+  }
+  EXPECT_EQ(std::memcmp(full.data(), segmented.data(),
+                        full.size() * sizeof(Amplitude)),
+            0);
+}
+
+TEST(SegmentKernels, BaseIndexDenseRunMatchesFullApply) {
+  // Dense gates below s plus diagonals above s in one blocked run per
+  // segment: identical to per-gate full-state application.
+  const int n = 9, s = 3;
+  auto full = random_state(Index{1} << n, 23);
+  auto segmented = full;
+  Rng rng(6);
+  const GateMatrix su2 = gates::random_su2(rng);
+  const PreparedGate dense = prepare_gate(su2, {1});
+  const PreparedGate diag = prepare_gate(gates::t(), {6});
+  apply_gate(full.data(), n, dense);
+  apply_gate(full.data(), n, diag);
+
+  ApplyOptions opts;
+  opts.merge_diagonals = false;
+  opts.block_reorder = false;
+  const PreparedGate* gates[] = {&dense, &diag};
+  const Index seg_amps = Index{1} << s;
+  for (Index seg = 0; seg < (Index{1} << (n - s)); ++seg) {
+    apply_gates_blocked(segmented.data() + seg * seg_amps, s, gates, 2, opts,
+                        nullptr, seg << s);
+  }
+  EXPECT_EQ(std::memcmp(full.data(), segmented.data(),
+                        full.size() * sizeof(Amplitude)),
+            0);
+}
+
+// --------------------------------------------------- executor parity
+
+Circuit oocore_random_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const int choice = static_cast<int>(rng.uniform_int(6));
+    const Qubit a = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit b = static_cast<Qubit>(rng.uniform_int(n));
+    while (b == a) b = static_cast<Qubit>(rng.uniform_int(n));
+    switch (choice) {
+      case 0: c.h(a); break;
+      case 1: c.t(a); break;
+      case 2: c.sqrt_x(a); break;
+      case 3: c.append_custom({a}, gates::random_su2(rng)); break;
+      case 4: c.cz(a, b); break;
+      case 5: c.cnot(a, b); break;
+    }
+  }
+  return c;
+}
+
+StorageOptions oocore_storage(Codec codec) {
+  StorageOptions so;
+  so.medium = StorageMedium::kOocore;
+  so.codec = codec;
+  so.segment_bytes = 256;  // 16 amps -> many segments even at small l
+  return so;
+}
+
+class OocoreExecutorParity : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(OocoreExecutorParity, MatchesInMemoryExecutor) {
+  const int n = 10, l = 7;
+  const Circuit c = oocore_random_circuit(n, 12 * n, 77);
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 3;
+  o.specialization = SpecializationMode::kFull;
+  const Schedule sched = make_schedule(c, o);
+
+  DistributedSimulator mem(n, l);
+  mem.init_basis(0);
+  mem.run(c, sched);
+  const StateVector expected = mem.gather();
+
+  DistributedSimulator ooc(n, l, {}, oocore_storage(GetParam()));
+  ooc.init_basis(0);
+  ooc.run(c, sched);
+  const Real diff = ooc.gather().max_abs_diff(expected);
+  if (oocore::codec_lossless(GetParam())) {
+    // Bit parity: the pipelined path applies the same multiplies in the
+    // same order as per-gate in-memory execution.
+    EXPECT_EQ(diff, 0.0);
+  } else {
+    EXPECT_LT(diff, 1e-5);  // fp32 truncation between stages
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, OocoreExecutorParity,
+                         ::testing::Values(Codec::kRaw, Codec::kLz,
+                                           Codec::kFp32Lz),
+                         [](const auto& info) {
+                           return oocore::codec_name(info.param);
+                         });
+
+TEST(OocoreExecutor, SupremacyCircuitMatchesReference) {
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 16;
+  so.seed = 4;
+  const Circuit c = make_supremacy_circuit(so);
+  StateVector expected(9);
+  reference_run(expected, c);
+
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 4;
+  DistributedSimulator sim(9, 6, {}, oocore_storage(Codec::kLz));
+  sim.init_basis(0);
+  sim.run(c, make_schedule(c, o));
+  EXPECT_LT(sim.gather().max_abs_diff(expected), 1e-10);
+  EXPECT_NEAR(sim.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(OocoreExecutor, UniformInitAndSamplingMatchInMemory) {
+  // init_uniform seeds the stores directly; sampling faults slices in
+  // through the residency cache. Both must agree bit-for-bit with the
+  // in-memory path under a lossless codec.
+  const int n = 9, l = 6;
+  const Circuit c = oocore_random_circuit(n, 60, 13);
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 3;
+  const Schedule sched = make_schedule(c, o);
+
+  DistributedSimulator mem(n, l);
+  mem.init_uniform();
+  mem.run(c, sched);
+  DistributedSimulator ooc(n, l, {}, oocore_storage(Codec::kLz));
+  ooc.init_uniform();
+  ooc.run(c, sched);
+
+  EXPECT_EQ(ooc.gather().max_abs_diff(mem.gather()), 0.0);
+  Rng rng_a(4), rng_b(4);
+  EXPECT_EQ(mem.sample(64, rng_a), ooc.sample(64, rng_b));
+}
+
+TEST(OocoreExecutor, SequentialRunsCompose) {
+  // Residency round trips: run -> gather (materializes) -> run again
+  // (dematerializes first) must compose exactly like memory storage.
+  const int n = 8, l = 5;
+  const Circuit first = oocore_random_circuit(n, 40, 19);
+  const Circuit second = oocore_random_circuit(n, 40, 20);
+  ScheduleOptions o;
+  o.num_local = l;
+  o.kmax = 3;
+
+  DistributedSimulator mem(n, l);
+  mem.init_basis(0);
+  mem.run(first, make_schedule(first, o));
+  mem.run(second, make_schedule(second, o));
+
+  DistributedSimulator ooc(n, l, {}, oocore_storage(Codec::kLz));
+  ooc.init_basis(0);
+  ooc.run(first, make_schedule(first, o));
+  ooc.gather();  // force materialization between the runs
+  ooc.run(second, make_schedule(second, o));
+  EXPECT_EQ(ooc.gather().max_abs_diff(mem.gather()), 0.0);
+}
+
+}  // namespace
+}  // namespace quasar

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cstdint>
 
 #include "circuit/supremacy.hpp"
@@ -49,6 +51,61 @@ TEST(RankStorage, DiskModeBadDirectoryThrows) {
   EXPECT_THROW(RankStorage(16, options), Error);
 }
 
+TEST(RankStorage, ZeroCountThrowsOnEveryMedium) {
+  for (StorageMedium medium : {StorageMedium::kMemory, StorageMedium::kDisk,
+                               StorageMedium::kOocore}) {
+    StorageOptions options;
+    options.medium = medium;
+    options.segment_bytes = 256;
+    EXPECT_THROW(RankStorage(0, options), Error)
+        << "medium " << static_cast<int>(medium);
+  }
+}
+
+TEST(RankStorage, MoveAssignReleasesTheLiveDiskMapping) {
+  StorageOptions options;
+  options.medium = StorageMedium::kDisk;
+  RankStorage a(128, options);
+  a.data()[7] = Amplitude{1.5, -2.5};
+  RankStorage b(256, options);
+  b.data()[0] = Amplitude{9.0, 9.0};
+  // Move-assign over b's live mmap: the old mapping must be unmapped
+  // (its file is unlinked, so a leak here pins disk space for the whole
+  // run) and a's mapping adopted intact.
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_TRUE(b.on_disk());
+  EXPECT_EQ(b.data()[7], (Amplitude{1.5, -2.5}));
+  // NOLINTNEXTLINE(bugprone-use-after-move): moved-from must read empty.
+  EXPECT_FALSE(a.on_disk());
+}
+
+TEST(RankStorage, SegmentedSliceSurvivesAMoveChain) {
+  StorageOptions options;
+  options.medium = StorageMedium::kOocore;
+  options.codec = oocore::Codec::kLz;
+  options.segment_bytes = 256;
+  RankStorage a(64, options);
+  a.data()[33] = Amplitude{0.25, 0.75};  // materializes + marks dirty
+  a.dematerialize();                     // re-encodes into the store
+  EXPECT_FALSE(a.resident());
+
+  RankStorage b = std::move(a);
+  RankStorage c(16, StorageOptions{});
+  c = std::move(b);
+  EXPECT_TRUE(c.on_disk());
+  EXPECT_TRUE(c.segmented());
+  ASSERT_NE(c.store(), nullptr);
+  EXPECT_EQ(c.data()[33], (Amplitude{0.25, 0.75}));
+  // Both moved-from shells are disarmed: no store, nothing on disk.
+  // NOLINTNEXTLINE(bugprone-use-after-move)
+  EXPECT_FALSE(a.on_disk());
+  EXPECT_FALSE(a.segmented());
+  // NOLINTNEXTLINE(bugprone-use-after-move)
+  EXPECT_FALSE(b.on_disk());
+  EXPECT_FALSE(b.segmented());
+}
+
 TEST(DiskBackedCluster, FullRunMatchesMemoryCluster) {
   // The Sec. 5 outlook made concrete: an entire distributed supremacy
   // run with every rank slice living on disk, bit-identical to DRAM.
@@ -76,6 +133,41 @@ TEST(DiskBackedCluster, FullRunMatchesMemoryCluster) {
   EXPECT_LT(on_disk.gather().max_abs_diff(in_memory.gather()), 1e-15);
   EXPECT_NEAR(on_disk.entropy(), in_memory.entropy(), 1e-12);
   EXPECT_EQ(on_disk.stats().alltoalls, in_memory.stats().alltoalls);
+}
+
+TEST(DiskBackedCluster, OneAmplitudeBounceFloorStaysExact) {
+  // bounce_buffer_bytes below one amplitude per thread: the exchange
+  // must clamp to the one-amplitude floor, not underflow to a zero-size
+  // chunk, and the run stays bit-identical to the default budget.
+  SupremacyOptions so;
+  so.rows = 3;
+  so.cols = 3;
+  so.depth = 16;
+  so.seed = 14;
+  const Circuit c = make_supremacy_circuit(so);
+  ScheduleOptions o;
+  o.num_local = 6;
+  o.kmax = 3;
+  const Schedule schedule = make_schedule(c, o);
+
+  StorageOptions tiny;
+  tiny.bounce_buffer_bytes = 1;
+  DistributedSimulator starved(9, 6, {}, tiny);
+  starved.init_basis(0);
+  starved.run(c, schedule);
+
+  DistributedSimulator roomy(9, 6);
+  roomy.init_basis(0);
+  roomy.run(c, schedule);
+
+  EXPECT_EQ(starved.gather().max_abs_diff(roomy.gather()), 0.0);
+  if (starved.stats().alltoalls > 0) {
+    // Peak bounce footprint is exactly the floor: one amplitude per
+    // OpenMP thread.
+    EXPECT_EQ(starved.stats().peak_bounce_bytes,
+              static_cast<std::uint64_t>(omp_get_max_threads()) *
+                  sizeof(Amplitude));
+  }
 }
 
 TEST(DiskBackedCluster, MatchesReference) {
