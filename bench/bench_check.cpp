@@ -1,0 +1,104 @@
+/// \file bench_check.cpp
+/// \brief CLI front-end for the perf-regression gate (obs/regress.hpp).
+///
+/// Usage:
+///   quasar_bench_check <baseline.json> <result.json>
+///       [--tol X] [--abs-floor S] [--inject F] [--verbose]
+///
+/// Compares a fresh microbench result against a committed baseline with
+/// the rules documented in obs/regress.hpp. `--inject F` multiplies the
+/// result's time leaves (and divides its throughput leaves) by F before
+/// comparing — CI runs a self-compare with --inject 2 that must exit 1,
+/// proving the gate trips on a genuine 2x slowdown.
+///
+/// Exit codes: 0 = pass, 1 = regression detected, 2 = usage/IO/parse
+/// error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/regress.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <result.json> [--tol X] "
+               "[--abs-floor S] [--inject F] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string paths[2];
+  int num_paths = 0;
+  quasar::obs::CompareOptions options;
+  double inject = 0.0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(arg, "--tol") == 0 && i + 1 < argc) {
+      options.rel_tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--abs-floor") == 0 && i + 1 < argc) {
+      options.abs_floor_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--inject") == 0 && i + 1 < argc) {
+      inject = std::atof(argv[++i]);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      return usage(argv[0]);
+    } else if (num_paths < 2) {
+      paths[num_paths++] = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (num_paths != 2) return usage(argv[0]);
+
+  std::string texts[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!read_file(paths[i], &texts[i])) {
+      std::fprintf(stderr, "cannot read %s\n", paths[i].c_str());
+      return 2;
+    }
+  }
+  std::string error;
+  auto baseline = quasar::obs::parse_json(texts[0], &error);
+  if (!baseline) {
+    std::fprintf(stderr, "%s: %s\n", paths[0].c_str(), error.c_str());
+    return 2;
+  }
+  auto result = quasar::obs::parse_json(texts[1], &error);
+  if (!result) {
+    std::fprintf(stderr, "%s: %s\n", paths[1].c_str(), error.c_str());
+    return 2;
+  }
+  if (inject > 0.0) {
+    quasar::obs::inject_slowdown(*result, inject);
+    std::printf("injected synthetic %.2fx slowdown into %s\n", inject,
+                paths[1].c_str());
+  }
+
+  const quasar::obs::CompareReport report =
+      quasar::obs::compare_bench_json(*baseline, *result, options);
+  std::fputs(quasar::obs::format_compare_report(report, verbose).c_str(),
+             stdout);
+  return report.passed() ? 0 : 1;
+}

@@ -90,4 +90,19 @@ inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Emits the shared timing triplet every microbench reports and the
+/// regression comparator (obs/regress.hpp, quasar_bench_check) keys on:
+///   "<prefix>_seconds"         best-of-reps   (gated against baseline)
+///   "<prefix>_mean_seconds"    informational
+///   "<prefix>_stddev_seconds"  informational
+/// at the given indent, with a trailing comma unless `last`.
+inline void print_timing_json(const char* prefix, const TimingStats& t,
+                              int indent = 4, bool last = false) {
+  std::printf("%*s\"%s_seconds\": %.6f,\n", indent, "", prefix, t.best);
+  std::printf("%*s\"%s_mean_seconds\": %.6f,\n", indent, "", prefix,
+              t.mean);
+  std::printf("%*s\"%s_stddev_seconds\": %.6f%s\n", indent, "", prefix,
+              t.stddev, last ? "" : ",");
+}
+
 }  // namespace quasar::bench

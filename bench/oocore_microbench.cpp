@@ -72,9 +72,7 @@ void print_sweep(const char* name, const SweepResult& r,
   const double speedup =
       r.timing.best > 0.0 ? sync_best / r.timing.best : 0.0;
   std::printf("  \"%s\": {\n", name);
-  std::printf("    \"sweep_seconds\": %.6f,\n", r.timing.best);
-  std::printf("    \"sweep_mean_seconds\": %.6f,\n", r.timing.mean);
-  std::printf("    \"sweep_stddev_seconds\": %.6f,\n", r.timing.stddev);
+  print_timing_json("sweep", r.timing);
   std::printf("    \"effective_gbs\": %.3f,\n",
               effective_gbs(slice_bytes, r.timing.best));
   std::printf("    \"compression_ratio\": %.3f,\n", r.ratio);
@@ -256,9 +254,7 @@ int main() {
   std::printf("  \"gates_per_segment\": %d,\n", num_gates);
   std::printf("  \"direct_io\": %s,\n", direct_io ? "true" : "false");
   std::printf("  \"disk_stream_gbs\": %.3f,\n", disk_gbs);
-  std::printf("  \"compute_seconds\": %.6f,\n", compute_stats.best);
-  std::printf("  \"compute_mean_seconds\": %.6f,\n", compute_stats.mean);
-  std::printf("  \"compute_stddev_seconds\": %.6f,\n", compute_stats.stddev);
+  print_timing_json("compute", compute_stats, /*indent=*/2);
   print_sweep("sync_mmap", sync_r, slice_bytes, sync_model_seconds,
               sync_r.timing.best, false, false);
   print_sweep("pipelined_raw", pipe_r[0], slice_bytes,

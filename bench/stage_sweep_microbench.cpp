@@ -87,12 +87,8 @@ void print_level(const char* name, const LevelResult& r, bool last) {
       r.blocked.best > 0.0 ? r.plain.best / r.blocked.best : 0.0;
   std::printf("  \"%s\": {\n", name);
   std::printf("    \"gates\": %zu,\n", r.gates);
-  std::printf("    \"plain_seconds\": %.6f,\n", r.plain.best);
-  std::printf("    \"plain_mean_seconds\": %.6f,\n", r.plain.mean);
-  std::printf("    \"plain_stddev_seconds\": %.6f,\n", r.plain.stddev);
-  std::printf("    \"blocked_seconds\": %.6f,\n", r.blocked.best);
-  std::printf("    \"blocked_mean_seconds\": %.6f,\n", r.blocked.mean);
-  std::printf("    \"blocked_stddev_seconds\": %.6f,\n", r.blocked.stddev);
+  print_timing_json("plain", r.plain);
+  print_timing_json("blocked", r.blocked);
   std::printf("    \"speedup\": %.3f,\n", speedup);
   std::printf("    \"meets_1p5x\": %s,\n", speedup >= 1.5 ? "true" : "false");
   std::printf("    \"runs\": %zu,\n", r.stats.runs);

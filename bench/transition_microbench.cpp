@@ -126,24 +126,16 @@ int main() {
   std::printf("  \"local_qubits\": %d,\n", l);
   std::printf("  \"transition\": {\n");
   std::printf("    \"swaps\": 3,\n");
-  std::printf("    \"swap_chain_seconds\": %.6f,\n", chain_t.best);
-  std::printf("    \"swap_chain_mean_seconds\": %.6f,\n", chain_t.mean);
-  std::printf("    \"swap_chain_stddev_seconds\": %.6f,\n", chain_t.stddev);
-  std::printf("    \"fused_sweep_seconds\": %.6f,\n", fused_t.best);
-  std::printf("    \"fused_sweep_mean_seconds\": %.6f,\n", fused_t.mean);
-  std::printf("    \"fused_sweep_stddev_seconds\": %.6f,\n", fused_t.stddev);
+  print_timing_json("swap_chain", chain_t);
+  print_timing_json("fused_sweep", fused_t);
   std::printf("    \"speedup\": %.3f,\n", kernel_speedup);
   std::printf("    \"meets_2x\": %s\n", kernel_speedup >= 2.0 ? "true"
                                                               : "false");
   std::printf("  },\n");
   std::printf("  \"alltoall\": {\n");
   std::printf("    \"ranks\": %d,\n", static_cast<int>(index_pow2(g)));
-  std::printf("    \"shadow_seconds\": %.6f,\n", shadow_t.best);
-  std::printf("    \"shadow_mean_seconds\": %.6f,\n", shadow_t.mean);
-  std::printf("    \"shadow_stddev_seconds\": %.6f,\n", shadow_t.stddev);
-  std::printf("    \"chunked_seconds\": %.6f,\n", chunked_t.best);
-  std::printf("    \"chunked_mean_seconds\": %.6f,\n", chunked_t.mean);
-  std::printf("    \"chunked_stddev_seconds\": %.6f,\n", chunked_t.stddev);
+  print_timing_json("shadow", shadow_t);
+  print_timing_json("chunked", chunked_t);
   std::printf("    \"speedup\": %.3f,\n", alltoall_speedup);
   std::printf("    \"peak_bounce_bytes\": %llu,\n",
               static_cast<unsigned long long>(

@@ -15,6 +15,7 @@
 #include "ckpt/crc32c.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_export.hpp"
 #include "perfmodel/machine.hpp"
@@ -132,9 +133,23 @@ int main() {
   }
   std::printf("\n");
 
+  // Feed the perfmodel's per-stage predictions to the progress tracker
+  // so the QUASAR_PROGRESS=1 ETA is weighted by how expensive each
+  // remaining stage *should* be, not a linear stage count.
+  {
+    std::vector<double> predicted;
+    for (const obs::StagePrediction& p :
+         obs::predict_stages(circuit, schedule, host_machine(),
+                             aries_dragonfly())) {
+      predicted.push_back(p.total_seconds());
+    }
+    obs::set_progress_predictions(std::move(predicted));
+  }
+
   DistributedSimulator ours(n, l, {}, storage);
   ours.init_basis(0);
   ours.run(circuit, schedule);
+  obs::set_progress_predictions({});
 
   // The parity oracle for CI: bit-exact state digest + scalar summaries.
   std::printf("fingerprint 0x%08x\n", state_fingerprint(ours));

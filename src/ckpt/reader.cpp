@@ -10,6 +10,7 @@
 #include "ckpt/crc32c.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "oocore/codec.hpp"
 
@@ -79,7 +80,7 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
     }
     const std::uint32_t actual = crc32c(raw.data(), raw.size());
     if (actual != info.crc) {
-      obs::count("ckpt.shard_crc_failures");
+      obs::count(obs::names::kCkptShardCrcFailures);
       char buf[160];
       std::snprintf(buf, sizeof(buf),
                     "checkpoint: %s CRC mismatch (stored %08x, computed "
@@ -101,7 +102,7 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
                                  snap.shard_bytes[r].data(), info.raw_bytes,
                                  scratch);
       } catch (const Error& e) {
-        obs::count("ckpt.shard_crc_failures");
+        obs::count(obs::names::kCkptShardCrcFailures);
         throw check::ValidationError("checkpoint: " + path.string() +
                                      " frame decode failed (" + e.what() +
                                      ") — corrupted shard");
@@ -109,7 +110,7 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
       const std::uint32_t raw_actual =
           crc32c(snap.shard_bytes[r].data(), decoded);
       if (decoded != info.raw_bytes || raw_actual != info.raw_crc) {
-        obs::count("ckpt.shard_crc_failures");
+        obs::count(obs::names::kCkptShardCrcFailures);
         throw check::ValidationError(
             "checkpoint: " + path.string() +
             " decoded shard does not match the manifest's raw size/CRC — "
@@ -117,7 +118,7 @@ LoadedSnapshot CheckpointReader::load(const std::string& generation) const {
       }
     }
   }
-  obs::count("ckpt.bytes_read", [&] {
+  obs::count(obs::names::kCkptBytesRead, [&] {
     std::uint64_t total = 0;
     for (const auto& s : snap.shard_bytes) total += s.size();
     return total;
@@ -138,7 +139,7 @@ std::optional<LoadedSnapshot> CheckpointReader::load_latest() const {
       std::fprintf(stderr,
                    "checkpoint: %s failed verification (%s); falling back\n",
                    generation.c_str(), e.what());
-      obs::count("ckpt.fallbacks");
+      obs::count(obs::names::kCkptFallbacks);
       ++fallbacks;
     }
   }

@@ -13,6 +13,8 @@
 #include "ckpt/crc32c.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "oocore/codec.hpp"
 
@@ -149,6 +151,7 @@ void CheckpointWriter::write_generation(Snapshot& snap) {
     std::vector<std::uint8_t> frame;
     oocore::CodecScratch scratch;
     for (std::size_t r = 0; r < snap.shard_bytes.size(); ++r) {
+      obs::ScopedLatency shard_latency(obs::names::kCkptShardWriteNs);
       const std::vector<std::uint8_t>& shard = snap.shard_bytes[r];
       ShardInfo info;
       info.raw_bytes = shard.size();
@@ -195,10 +198,10 @@ void CheckpointWriter::write_generation(Snapshot& snap) {
     stats_.write_ns += ns;
     latest_generation_ = name;
   }
-  obs::count("ckpt.snapshots");
-  obs::count("ckpt.bytes_written", bytes);
-  obs::count("ckpt.raw_bytes", raw_bytes);
-  obs::count("ckpt.write_ns", ns);
+  obs::count(obs::names::kCkptSnapshots);
+  obs::count(obs::names::kCkptBytesWritten, bytes);
+  obs::count(obs::names::kCkptRawBytes, raw_bytes);
+  obs::count(obs::names::kCkptWriteNs, ns);
   prune_generations();
 }
 

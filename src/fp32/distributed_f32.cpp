@@ -15,6 +15,9 @@
 #include "core/bits.hpp"
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
 #include "sched/schedule_io.hpp"
@@ -92,6 +95,7 @@ void DistributedSimulatorF::run(const Circuit& circuit,
                "run: schedule lacks fused matrices");
   QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
                   static_cast<std::int64_t>(schedule.stages.size()));
+  obs::ProgressRun progress(static_cast<int>(schedule.stages.size()));
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
@@ -109,6 +113,7 @@ void DistributedSimulatorF::run(const Circuit& circuit,
           "DistributedSimulatorF::run stage " + std::to_string(si);
       validate_invariants(site.c_str(), norm_before, ops_done);
     }
+    progress.stage_completed(static_cast<int>(si) + 1);
   }
 }
 
@@ -151,6 +156,8 @@ void DistributedSimulatorF::run(const Circuit& circuit,
   const std::size_t num_stages = schedule.stages.size();
   QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
                   static_cast<std::int64_t>(num_stages));
+  obs::ProgressRun progress(static_cast<int>(num_stages),
+                            static_cast<int>(ckpt_run.first_stage));
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
@@ -179,6 +186,7 @@ void DistributedSimulatorF::run(const Circuit& circuit,
         si + 1 == num_stages) {
       checkpoint(writer, si + 1, ckpt_run.rng, schedule_crc);
     }
+    progress.stage_completed(static_cast<int>(si) + 1);
   }
 }
 
@@ -280,7 +288,7 @@ std::size_t DistributedSimulatorF::resume(
   mapping_ = m.mapping;
   pending_phase_ = m.pending_phase;
   if (rng != nullptr && !m.rng_state.empty()) rng->restore(m.rng_state);
-  obs::count("ckpt.resumes");
+  obs::count(obs::names::kCkptResumes);
   return m.cursor;
 }
 
@@ -340,7 +348,7 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
     buffers_ = std::move(next);
     pending_phase_ = std::move(next_phase);
     ++stats_.rank_renumberings;
-    obs::count("comm.rank_renumberings");
+    obs::count(obs::names::kCommRankRenumberings);
     return;
   }
 
@@ -430,6 +438,9 @@ void DistributedSimulatorF::alltoall_swap(
   const std::int64_t num_orbits = static_cast<std::int64_t>(orbits.size());
   const std::int64_t tasks =
       static_cast<std::int64_t>(num_runs * chunks_per_run);
+  // Hoisted so the per-chunk latency probe costs nothing (not even the
+  // session load) in the untraced inner loop.
+  const bool record_latency = obs::enabled();
 #pragma omp parallel num_threads(threads)
   {
     AlignedVector<AmplitudeF> bounce(chunk);
@@ -442,9 +453,16 @@ void DistributedSimulatorF::alltoall_swap(
         AmplitudeF* pa = orbits[o].a + base;
         AmplitudeF* pb = orbits[o].b + base;
         const std::size_t bytes = chunk * sizeof(AmplitudeF);
-        std::memcpy(bounce.data(), pa, bytes);
-        std::memcpy(pa, pb, bytes);
-        std::memcpy(pb, bounce.data(), bytes);
+        if (record_latency) {
+          obs::ScopedLatency chunk_latency(obs::names::kCommExchangeChunkNs);
+          std::memcpy(bounce.data(), pa, bytes);
+          std::memcpy(pa, pb, bytes);
+          std::memcpy(pb, bounce.data(), bytes);
+        } else {
+          std::memcpy(bounce.data(), pa, bytes);
+          std::memcpy(pa, pb, bytes);
+          std::memcpy(pb, bounce.data(), bytes);
+        }
       }
     }
   }
@@ -459,9 +477,9 @@ void DistributedSimulatorF::alltoall_swap(
     stats_.peak_bounce_bytes = bounce_bytes;
   }
   obs_span.set_arg("bytes_per_rank", static_cast<std::int64_t>(sent));
-  obs::count("comm.alltoalls");
-  obs::count("comm.bytes_sent_per_rank", sent);
-  obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+  obs::count(obs::names::kCommAlltoalls);
+  obs::count(obs::names::kCommBytesSentPerRank, sent);
+  obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
 }
 
 void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
@@ -501,8 +519,8 @@ void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
 
   ++stats_.local_permutation_sweeps;
   stats_.local_permutation_bytes += sweep_bytes;
-  obs::count("comm.local_permutation_sweeps");
-  obs::count("comm.local_permutation_bytes", sweep_bytes);
+  obs::count(obs::names::kCommLocalPermutationSweeps);
+  obs::count(obs::names::kCommLocalPermutationBytes, sweep_bytes);
   if (!plan.identity) {
     // Mirror the double-precision accounting: the permutation's bounce
     // usage must fold into the peak too (it previously did not here).
@@ -514,7 +532,7 @@ void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
     if (bounce_bytes > stats_.peak_bounce_bytes) {
       stats_.peak_bounce_bytes = bounce_bytes;
     }
-    obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+    obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
   }
 }
 
@@ -607,7 +625,7 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
       buffers_ = std::move(next);
       pending_phase_ = std::move(next_phase);
       ++stats_.rank_renumberings;
-      obs::count("comm.rank_renumberings");
+      obs::count(obs::names::kCommRankRenumberings);
     }
   }
 }

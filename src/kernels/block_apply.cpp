@@ -9,6 +9,8 @@
 #include "check/invariant.hpp"
 #include "core/error.hpp"
 #include "kernels/autotune.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace quasar {
@@ -118,12 +120,12 @@ std::size_t coalesce_diagonal_spans(
 /// session's counter registry (no-op when tracing is disabled).
 void publish_block_stats(const BlockRunStats& s) {
   if (!obs::enabled()) return;
-  obs::count("block.gates", static_cast<std::int64_t>(s.gates));
-  obs::count("block.runs", static_cast<std::int64_t>(s.runs));
-  obs::count("block.run_gates", static_cast<std::int64_t>(s.run_gates));
-  obs::count("block.sweeps", static_cast<std::int64_t>(s.sweeps));
-  obs::count("block.hoisted", static_cast<std::int64_t>(s.hoisted));
-  obs::count("block.coalesced", static_cast<std::int64_t>(s.coalesced));
+  obs::count(obs::names::kBlockGates, static_cast<std::int64_t>(s.gates));
+  obs::count(obs::names::kBlockRuns, static_cast<std::int64_t>(s.runs));
+  obs::count(obs::names::kBlockRunGates, static_cast<std::int64_t>(s.run_gates));
+  obs::count(obs::names::kBlockSweeps, static_cast<std::int64_t>(s.sweeps));
+  obs::count(obs::names::kBlockHoisted, static_cast<std::int64_t>(s.hoisted));
+  obs::count(obs::names::kBlockCoalesced, static_cast<std::int64_t>(s.coalesced));
 }
 
 }  // namespace
@@ -369,6 +371,7 @@ void apply_gates_blocked_impl(Amplitude* state, int num_qubits,
       }
       QUASAR_OBS_SPAN("gate_run", "blocked_run", "gates",
                       static_cast<std::int64_t>(run_gates.size()));
+      obs::ScopedLatency run_latency(obs::names::kBlockRunNs);
       apply_gate_run(state, num_qubits, run_gates.data(), run_gates.size(),
                      b, options, base_index);
       local.runs += 1;

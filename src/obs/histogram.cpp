@@ -1,0 +1,46 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quasar::obs {
+
+std::uint64_t HistogramSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; q=0 degenerates to the
+  // first sample, q=1 to the last.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::min(latency_bucket_upper(static_cast<int>(i)), max_ns);
+    }
+  }
+  return max_ns;  // unreachable when bucket counts sum to `count`
+}
+
+namespace detail {
+
+void HistogramCell::merge_into(HistogramSnapshot& out) const {
+  for (const auto& shard : shards) {
+    for (int i = 0; i < kNumLatencyBuckets; ++i) {
+      const std::uint64_t c =
+          shard->buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+      out.buckets[static_cast<std::size_t>(i)] += c;
+      out.count += c;
+    }
+    out.total_ns += shard->total_ns.load(std::memory_order_relaxed);
+    out.max_ns = std::max(out.max_ns,
+                          shard->max_ns.load(std::memory_order_relaxed));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace quasar::obs

@@ -1,0 +1,158 @@
+/// \file histogram.hpp
+/// \brief Lock-free log-bucketed latency histograms.
+///
+/// A mean hides the one slow O_DIRECT segment write that stalls a whole
+/// pipeline sweep; the paper-scale argument needs *distributions*
+/// (qHiPSTER and mpiQulacs both report per-operation latency spreads,
+/// not totals). Each named histogram owned by a TraceSession buckets
+/// nanosecond latencies into log2 octaves with 2^kLatencySubBits
+/// sub-buckets per octave (<= ~12.5% relative bucket width; values
+/// below 2^(kLatencySubBits+1) ns are exact). Recording is wait-free
+/// after first touch: every thread gets its own shard of relaxed
+/// atomics (registered once under the session mutex, found through a
+/// thread-local cache keyed on the name literal's address), and shards
+/// are merged only at export. A disabled site costs the usual one
+/// acquire-load + branch.
+///
+/// Names must be string literals with stable addresses — use the
+/// constants in obs/names.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace quasar::obs {
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+inline constexpr int kLatencySubBits = 3;
+/// Bucket count covering the full uint64 nanosecond range: the largest
+/// index is reached at bit_width 64 (shift 64-1-kSubBits, octave
+/// 64-kSubBits) with the sub-bucket bits all set.
+inline constexpr int kNumLatencyBuckets =
+    ((64 - kLatencySubBits) << kLatencySubBits) + (1 << kLatencySubBits);
+
+/// Bucket index for a nanosecond value. Values below 2^(kSubBits+1) map
+/// to themselves (exact); larger values keep the top kSubBits+1
+/// significant bits (the leading 1 selects the octave, the next
+/// kSubBits bits the sub-bucket).
+inline int latency_bucket_index(std::uint64_t ns) {
+  if (ns < (std::uint64_t{1} << (kLatencySubBits + 1))) {
+    return static_cast<int>(ns);
+  }
+  const int shift = std::bit_width(ns) - 1 - kLatencySubBits;
+  return ((shift + 1) << kLatencySubBits) +
+         static_cast<int>((ns >> shift) & ((1u << kLatencySubBits) - 1));
+}
+
+/// Smallest nanosecond value that lands in `index`.
+inline std::uint64_t latency_bucket_lower(int index) {
+  if (index < (1 << (kLatencySubBits + 1))) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const int shift = (index >> kLatencySubBits) - 1;
+  const std::uint64_t sub = static_cast<std::uint64_t>(
+      index & ((1 << kLatencySubBits) - 1));
+  return ((std::uint64_t{1} << kLatencySubBits) | sub) << shift;
+}
+
+/// Largest nanosecond value that lands in `index` (inclusive).
+inline std::uint64_t latency_bucket_upper(int index) {
+  if (index + 1 >= kNumLatencyBuckets) return ~std::uint64_t{0};
+  return latency_bucket_lower(index + 1) - 1;
+}
+
+/// Merged (cross-shard) view of one histogram, taken at export time.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::vector<std::uint64_t> buckets;  ///< kNumLatencyBuckets counts
+
+  double mean_ns() const {
+    return count > 0 ? static_cast<double>(total_ns) /
+                           static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// The q-quantile (q in [0,1]) as the upper bound of the bucket
+  /// holding the ceil(q*count)-th sample, clamped to the observed max —
+  /// a conservative (never under-reporting) estimate that is exact for
+  /// values below 2^(kLatencySubBits+1) ns and within one sub-bucket
+  /// (~12.5%) otherwise. Returns 0 when the histogram is empty.
+  std::uint64_t quantile_ns(double q) const;
+};
+
+namespace detail {
+
+/// One thread's private slice of a histogram. Only the owning thread
+/// increments (relaxed), exporters read concurrently (relaxed loads) —
+/// a snapshot taken mid-run may lag by in-flight increments, which is
+/// fine for monitoring.
+struct HistogramShard {
+  std::thread::id owner;
+  std::array<std::atomic<std::uint64_t>, kNumLatencyBuckets> buckets{};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+
+  void record(std::uint64_t ns) {
+    buckets[latency_bucket_index(ns)].fetch_add(1,
+                                                std::memory_order_relaxed);
+    total_ns.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns.load(std::memory_order_relaxed);
+    while (seen < ns && !max_ns.compare_exchange_weak(
+                            seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// A named histogram: the registry of per-thread shards.
+struct HistogramCell {
+  std::vector<std::unique_ptr<HistogramShard>> shards;  // guarded by the
+                                                        // session mutex
+  /// Merges every shard into `out` (buckets must already be sized).
+  void merge_into(HistogramSnapshot& out) const;
+};
+
+}  // namespace detail
+
+/// Records one latency sample into the installed session's named
+/// histogram; no-op when tracing is disabled. `name` must be a string
+/// literal (obs/names.hpp).
+inline void record_latency(const char* name, std::uint64_t ns) {
+  if (TraceSession* s = global_session()) s->record_latency(name, ns);
+}
+
+/// RAII latency sample: records [construction, destruction) into the
+/// session installed at construction. One load + branch when disabled —
+/// in particular the clock is never read.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(const char* name)
+      : session_(global_session()), name_(name) {
+    if (session_ != nullptr) begin_ns_ = session_->now_ns();
+  }
+  ~ScopedLatency() {
+    if (session_ != nullptr) {
+      session_->record_latency(
+          name_, static_cast<std::uint64_t>(session_->now_ns() - begin_ns_));
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  std::int64_t begin_ns_ = 0;
+};
+
+}  // namespace quasar::obs

@@ -1,0 +1,55 @@
+/// \file json.hpp
+/// \brief Minimal dependency-free JSON parser for telemetry tooling.
+///
+/// The repo's exporters *emit* JSON by hand and validate_json() checks
+/// well-formedness without building a tree; the bench regression gate
+/// (regress.hpp) is the first consumer that must *read* values back
+/// (committed baselines vs. fresh bench output). This is a small strict
+/// recursive-descent parser for standard JSON — objects keep insertion
+/// order, numbers remember whether they were written as integers
+/// (regression rules treat integer leaves as deterministic and
+/// exact-match them). Not a general-purpose library: no streaming, no
+/// NaN/Inf extensions, inputs are small files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quasar::obs {
+
+/// One parsed JSON value (a tree; arrays/objects own their children).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// True when the literal had no '.', 'e' or 'E' and fits an int64 —
+  /// `integer` then holds the exact value.
+  bool number_is_integer = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence wins
+  /// semantics of find().
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). On failure returns nullopt and, when
+/// `error` is non-null, stores a message with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace quasar::obs

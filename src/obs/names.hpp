@@ -1,0 +1,77 @@
+/// \file names.hpp
+/// \brief The canonical registry of obs counter / histogram names.
+///
+/// Counter names are the join key between the increment sites (runtime,
+/// kernels, ckpt, oocore) and the consumers (report.cpp, progress.cpp,
+/// CI artifact scripts). Before this header they were raw string
+/// literals repeated at both ends, so a typo at either end silently
+/// dropped the metric from every report. Every increment and every
+/// lookup goes through these constants; adding a metric means adding a
+/// name here first.
+///
+/// All constants are inline char arrays (not std::string) so using them
+/// stays allocation-free on the hot path and their addresses are stable
+/// process-wide — the latency-histogram thread cache keys on the
+/// pointer (histogram.hpp).
+#pragma once
+
+namespace quasar::obs::names {
+
+// --- comm.*: VirtualCluster primitives --------------------------------
+inline constexpr char kCommAlltoalls[] = "comm.alltoalls";
+inline constexpr char kCommBytesSentPerRank[] = "comm.bytes_sent_per_rank";
+inline constexpr char kCommPeakBounceBytes[] = "comm.peak_bounce_bytes";
+inline constexpr char kCommLocalPermutationSweeps[] =
+    "comm.local_permutation_sweeps";
+inline constexpr char kCommLocalPermutationBytes[] =
+    "comm.local_permutation_bytes";
+inline constexpr char kCommLocalSwapSweeps[] = "comm.local_swap_sweeps";
+inline constexpr char kCommPairwiseExchanges[] = "comm.pairwise_exchanges";
+inline constexpr char kCommRankRenumberings[] = "comm.rank_renumberings";
+/// Latency histogram: one bounce-buffer chunk triple-copy inside an
+/// all-to-all (a -> bounce -> b -> a).
+inline constexpr char kCommExchangeChunkNs[] = "comm.exchange_chunk_ns";
+
+// --- block.*: cache-blocked stage execution ---------------------------
+inline constexpr char kBlockGates[] = "block.gates";
+inline constexpr char kBlockRuns[] = "block.runs";
+inline constexpr char kBlockRunGates[] = "block.run_gates";
+inline constexpr char kBlockSweeps[] = "block.sweeps";
+inline constexpr char kBlockHoisted[] = "block.hoisted";
+inline constexpr char kBlockCoalesced[] = "block.coalesced";
+/// Latency histogram: one blocked multi-gate run (a full DRAM sweep).
+inline constexpr char kBlockRunNs[] = "block.run_ns";
+
+// --- ckpt.*: checkpoint/restart ---------------------------------------
+inline constexpr char kCkptSnapshots[] = "ckpt.snapshots";
+inline constexpr char kCkptBytesWritten[] = "ckpt.bytes_written";
+inline constexpr char kCkptRawBytes[] = "ckpt.raw_bytes";
+inline constexpr char kCkptWriteNs[] = "ckpt.write_ns";
+inline constexpr char kCkptBytesRead[] = "ckpt.bytes_read";
+inline constexpr char kCkptShardCrcFailures[] = "ckpt.shard_crc_failures";
+inline constexpr char kCkptFallbacks[] = "ckpt.fallbacks";
+inline constexpr char kCkptResumes[] = "ckpt.resumes";
+/// Latency histogram: one shard encode + write + (optional) fsync.
+inline constexpr char kCkptShardWriteNs[] = "ckpt.shard_write_ns";
+
+// --- oocore.*: segmented out-of-core pipeline -------------------------
+inline constexpr char kOocoreSweeps[] = "oocore.sweeps";
+inline constexpr char kOocoreTiles[] = "oocore.tiles";
+inline constexpr char kOocoreSegments[] = "oocore.segments";
+inline constexpr char kOocoreComputeNs[] = "oocore.compute_ns";
+inline constexpr char kOocoreStallNs[] = "oocore.stall_ns";
+inline constexpr char kOocoreSweepNs[] = "oocore.sweep_ns";
+inline constexpr char kOocoreIoNs[] = "oocore.io_ns";
+inline constexpr char kOocoreRawBytes[] = "oocore.raw_bytes";
+inline constexpr char kOocoreDiskBytes[] = "oocore.disk_bytes";
+inline constexpr char kOocoreMaterializations[] = "oocore.materializations";
+inline constexpr char kOocoreDematerializations[] =
+    "oocore.dematerializations";
+/// Latency histograms: one segment read (pread + decode) / write
+/// (encode + pwrite), and the codec halves on their own.
+inline constexpr char kOocoreReadSegmentNs[] = "oocore.read_segment_ns";
+inline constexpr char kOocoreWriteSegmentNs[] = "oocore.write_segment_ns";
+inline constexpr char kOocoreEncodeNs[] = "oocore.encode_ns";
+inline constexpr char kOocoreDecodeNs[] = "oocore.decode_ns";
+
+}  // namespace quasar::obs::names

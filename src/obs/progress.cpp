@@ -1,0 +1,171 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
+
+namespace quasar::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TrackerState {
+  std::mutex mutex;
+  bool active = false;
+  int num_stages = 0;
+  int first_stage = 0;
+  int stages_done = 0;
+  Clock::time_point start;
+  bool print = false;  // QUASAR_PROGRESS=1 at run start
+  std::vector<double> predictions;
+  ProgressSink sink;
+};
+
+TrackerState& tracker() {
+  static TrackerState state;
+  return state;
+}
+
+bool env_progress_enabled() {
+  const char* value = std::getenv("QUASAR_PROGRESS");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+/// Builds the snapshot from tracker state; call with the lock held.
+ProgressSnapshot snapshot_locked(const TrackerState& state) {
+  ProgressSnapshot snap;
+  snap.active = state.active;
+  snap.stages_done = state.stages_done;
+  snap.num_stages = state.num_stages;
+  if (!state.active) return snap;
+  snap.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - state.start).count();
+
+  // ETA: weight by installed per-stage predictions when they cover the
+  // schedule, else extrapolate linearly. Either way only stages timed
+  // in *this* process (>= first_stage) feed the rate, so a checkpoint
+  // restart doesn't count resumed-over stages as free.
+  const int done_here = state.stages_done - state.first_stage;
+  const int remaining = state.num_stages - state.stages_done;
+  if (done_here > 0 && remaining >= 0) {
+    if (static_cast<int>(state.predictions.size()) == state.num_stages) {
+      double predicted_done = 0.0, predicted_remaining = 0.0;
+      for (int i = state.first_stage; i < state.stages_done; ++i) {
+        predicted_done += state.predictions[static_cast<std::size_t>(i)];
+      }
+      for (int i = state.stages_done; i < state.num_stages; ++i) {
+        predicted_remaining +=
+            state.predictions[static_cast<std::size_t>(i)];
+      }
+      if (predicted_done > 0.0) {
+        snap.eta_s = predicted_remaining * (snap.elapsed_s / predicted_done);
+      }
+    }
+    if (snap.eta_s < 0.0) {
+      snap.eta_s = snap.elapsed_s / done_here * remaining;
+    }
+  }
+
+  // Byte counters come from the installed trace session, if any; a run
+  // without tracing still gets stage counts and ETA.
+  if (const TraceSession* session = global_session()) {
+    const std::uint64_t oocore_disk =
+        session->counter_value(names::kOocoreDiskBytes);
+    const std::uint64_t ckpt_disk =
+        session->counter_value(names::kCkptBytesWritten);
+    snap.gb_written =
+        static_cast<double>(oocore_disk + ckpt_disk) / 1.0e9;
+    const std::uint64_t oocore_raw =
+        session->counter_value(names::kOocoreRawBytes);
+    if (oocore_disk > 0 && oocore_raw > 0) {
+      snap.ratio = static_cast<double>(oocore_raw) /
+                   static_cast<double>(oocore_disk);
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
+void set_progress_predictions(std::vector<double> seconds_per_stage) {
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.predictions = std::move(seconds_per_stage);
+}
+
+void set_progress_sink(ProgressSink sink) {
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.sink = std::move(sink);
+}
+
+ProgressSnapshot progress_snapshot() {
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return snapshot_locked(state);
+}
+
+std::string format_progress_line(const ProgressSnapshot& p) {
+  char buffer[192];
+  int n = std::snprintf(buffer, sizeof(buffer),
+                        "[quasar] stage %d/%d  elapsed %.1fs", p.stages_done,
+                        p.num_stages, p.elapsed_s);
+  if (p.eta_s >= 0.0) {
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       "  eta %.1fs", p.eta_s);
+  } else {
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       "  eta --");
+  }
+  if (p.gb_written > 0.0) {
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       "  written %.2f GB", p.gb_written);
+  }
+  if (p.ratio > 0.0) {
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       "  ratio %.1fx", p.ratio);
+  }
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+ProgressRun::ProgressRun(int num_stages, int first_stage) {
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.active) return;  // nested run: stay inert
+  state.active = true;
+  state.num_stages = num_stages;
+  state.first_stage = first_stage;
+  state.stages_done = first_stage;
+  state.start = Clock::now();
+  state.print = env_progress_enabled();
+  active_ = true;
+}
+
+ProgressRun::~ProgressRun() {
+  if (!active_) return;
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.active = false;
+  state.num_stages = 0;
+  state.first_stage = 0;
+  state.stages_done = 0;
+}
+
+void ProgressRun::stage_completed(int stages_done) {
+  if (!active_) return;
+  TrackerState& state = tracker();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.stages_done = stages_done;
+  const ProgressSnapshot snap = snapshot_locked(state);
+  if (state.print) {
+    std::fprintf(stderr, "%s\n", format_progress_line(snap).c_str());
+  }
+  if (state.sink) state.sink(snap);
+}
+
+}  // namespace quasar::obs

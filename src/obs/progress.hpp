@@ -1,0 +1,85 @@
+/// \file progress.hpp
+/// \brief Live stage progress and ETA for long runs.
+///
+/// A 0.5 PB-class circuit runs for hours; the operator's question is not
+/// "what happened" (spans, after the fact) but "where are we and when
+/// does it finish". The runtime's stage loops mark stage boundaries
+/// through a process-global tracker; at each boundary the tracker joins
+/// the live stage count with (a) per-stage duration predictions injected
+/// by whoever holds a perfmodel (obs cannot depend on perfmodel — the
+/// caller computes predict_stages() and hands the seconds down), and
+/// (b) the installed TraceSession's byte counters, to produce a
+/// ProgressSnapshot: `stage k/N, elapsed, ETA, GB written, ratio`.
+///
+/// Consumers: QUASAR_PROGRESS=1 prints one line per stage boundary to
+/// stderr; set_progress_sink() delivers the same struct programmatically
+/// (tests today, the job server of ROADMAP item 2 tomorrow). Tracking
+/// itself costs one mutex acquisition per *stage boundary* — stages are
+/// seconds-to-minutes long, so this is nowhere near a hot path.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace quasar::obs {
+
+/// The progress state at one stage boundary.
+struct ProgressSnapshot {
+  bool active = false;   ///< a ProgressRun is live
+  int stages_done = 0;   ///< completed stages
+  int num_stages = 0;    ///< total stages in the schedule
+  double elapsed_s = 0.0;
+  /// Estimated seconds remaining; < 0 when unknown (no stages done yet).
+  /// Prediction-weighted when per-stage predictions are installed
+  /// (heterogeneous stages stay honest), linear extrapolation otherwise.
+  double eta_s = -1.0;
+  double gb_written = 0.0;  ///< oocore + ckpt bytes on disk, in GB (1e9)
+  double ratio = 0.0;       ///< oocore raw/disk compression ratio; 0 = n/a
+};
+
+/// Installs per-stage predicted durations in seconds (e.g. from
+/// perfmodel predict_stages()) used to weight the ETA. Cleared by an
+/// empty vector; ignored when its length does not match the running
+/// schedule's stage count.
+void set_progress_predictions(std::vector<double> seconds_per_stage);
+
+/// Programmatic observer invoked (under the tracker lock, keep it
+/// cheap) at every stage boundary of the active run. nullptr clears.
+using ProgressSink = std::function<void(const ProgressSnapshot&)>;
+void set_progress_sink(ProgressSink sink);
+
+/// The current progress state (active=false between runs). Callable
+/// from any thread, any time — this is the job-server poll entry point.
+ProgressSnapshot progress_snapshot();
+
+/// Renders one stderr progress line, e.g.
+/// `[quasar] stage 3/12  elapsed 12.4s  eta 41.2s  written 1.25 GB  ratio 3.9x`
+/// (eta shown as `--` when unknown; written/ratio omitted when zero).
+std::string format_progress_line(const ProgressSnapshot& p);
+
+/// RAII run registration for the runtime's stage loops. Only the
+/// outermost ProgressRun in the process is live (nested runs — e.g. a
+/// driver invoking a sub-schedule — become inert observers), so stage
+/// counts never interleave. Stage boundaries are reported with
+/// stage_completed(); printing to stderr is gated on QUASAR_PROGRESS=1
+/// read at construction.
+class ProgressRun {
+ public:
+  /// `first_stage` > 0 resumes counting mid-schedule (checkpoint
+  /// restart): ETA extrapolates only from stages timed in this process.
+  explicit ProgressRun(int num_stages, int first_stage = 0);
+  ~ProgressRun();
+  ProgressRun(const ProgressRun&) = delete;
+  ProgressRun& operator=(const ProgressRun&) = delete;
+
+  /// Marks stages [0, stages_done) complete; emits to stderr/sink.
+  void stage_completed(int stages_done);
+  /// True when this is the outermost (live) run.
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace quasar::obs

@@ -1,0 +1,242 @@
+#include "obs/regress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace quasar::obs {
+
+namespace {
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+/// Leaf classes, decided by the key's last path component.
+enum class LeafClass {
+  kTimeSeconds,       // lower-better, gated
+  kTimeInformational, // _mean/_stddev companions
+  kThroughput,        // higher-better, gated
+  kStructural,        // integers: exact match
+  kInformational,
+};
+
+LeafClass classify(std::string_view key, const JsonValue& value) {
+  if (ends_with(key, "_mean_seconds") || ends_with(key, "_stddev_seconds")) {
+    return LeafClass::kTimeInformational;
+  }
+  if (ends_with(key, "_seconds")) return LeafClass::kTimeSeconds;
+  if (ends_with(key, "_gbs") || ends_with(key, "_gflops") ||
+      contains(key, "speedup") || contains(key, "ratio")) {
+    return LeafClass::kThroughput;
+  }
+  if (value.is_number() && value.number_is_integer) {
+    if (contains(key, "threads")) return LeafClass::kInformational;
+    return LeafClass::kStructural;
+  }
+  return LeafClass::kInformational;
+}
+
+std::string render(const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return value.boolean ? "true" : "false";
+    case JsonValue::Kind::kString:
+      return "\"" + value.string + "\"";
+    case JsonValue::Kind::kNumber: {
+      if (value.number_is_integer) return std::to_string(value.integer);
+      char buffer[48];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value.number);
+      return buffer;
+    }
+    case JsonValue::Kind::kArray:
+      return "[array]";
+    case JsonValue::Kind::kObject:
+      return "{object}";
+  }
+  return "?";
+}
+
+std::string percent(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buffer;
+}
+
+struct Walker {
+  const CompareOptions& options;
+  CompareReport& report;
+
+  void add(std::string path, std::string baseline, std::string result,
+           std::string note, bool failed, bool checked) {
+    if (failed) ++report.failures;
+    report.diffs.push_back(MetricDiff{std::move(path), std::move(baseline),
+                                      std::move(result), std::move(note),
+                                      failed, checked});
+  }
+
+  std::string last_component(const std::string& path) {
+    const std::size_t dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(dot + 1);
+  }
+
+  void compare_leaf(const std::string& path, const JsonValue& base,
+                    const JsonValue& res) {
+    if (base.kind != res.kind) {
+      add(path, render(base), render(res), "type changed", /*failed=*/true,
+          /*checked=*/true);
+      return;
+    }
+    const std::string key = last_component(path);
+    switch (classify(key, base)) {
+      case LeafClass::kTimeSeconds: {
+        const double b = base.number, r = res.number;
+        const double limit = b * (1.0 + options.rel_tolerance);
+        const bool failed =
+            r > limit && (r - b) > options.abs_floor_seconds;
+        char note[96];
+        std::snprintf(note, sizeof(note), "time %s (limit %+.1f%%)",
+                      b > 0.0 ? percent(r / b).c_str() : "n/a",
+                      options.rel_tolerance * 100.0);
+        add(path, render(base), render(res), note, failed, true);
+        return;
+      }
+      case LeafClass::kThroughput: {
+        const double b = base.number, r = res.number;
+        const double limit = b / (1.0 + options.rel_tolerance);
+        const bool failed = b > 0.0 && r < limit;
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "throughput %s (limit -%.1f%%)",
+                      b > 0.0 ? percent(r / b).c_str() : "n/a",
+                      options.rel_tolerance / (1.0 + options.rel_tolerance) *
+                          100.0);
+        add(path, render(base), render(res), note, failed, true);
+        return;
+      }
+      case LeafClass::kStructural: {
+        const bool failed = base.integer != res.integer;
+        add(path, render(base), render(res),
+            failed ? "structural integer changed" : "structural integer",
+            failed, true);
+        return;
+      }
+      case LeafClass::kTimeInformational:
+        add(path, render(base), render(res), "informational (mean/stddev)",
+            false, false);
+        return;
+      case LeafClass::kInformational: {
+        if (base.kind == JsonValue::Kind::kString) {
+          const bool failed = base.string != res.string;
+          add(path, render(base), render(res),
+              failed ? "config string changed" : "config string", failed,
+              true);
+          return;
+        }
+        add(path, render(base), render(res), "informational", false, false);
+        return;
+      }
+    }
+  }
+
+  void compare(const std::string& path, const JsonValue& base,
+               const JsonValue& res) {
+    if (base.is_object() && res.is_object()) {
+      for (const auto& [key, bval] : base.object) {
+        const std::string child = path.empty() ? key : path + "." + key;
+        const JsonValue* rval = res.find(key);
+        if (rval == nullptr) {
+          add(child, render(bval), "<missing>",
+              "metric present in baseline but missing from result",
+              /*failed=*/true, /*checked=*/true);
+          continue;
+        }
+        compare(child, bval, *rval);
+      }
+      for (const auto& [key, rval] : res.object) {
+        if (base.find(key) == nullptr) {
+          const std::string child = path.empty() ? key : path + "." + key;
+          add(child, "<absent>", render(rval),
+              "new metric not in baseline", false, false);
+        }
+      }
+      return;
+    }
+    if (base.is_array() && res.is_array()) {
+      if (base.array.size() != res.array.size()) {
+        add(path, std::to_string(base.array.size()) + " elements",
+            std::to_string(res.array.size()) + " elements",
+            "array length changed", /*failed=*/true, /*checked=*/true);
+        return;
+      }
+      for (std::size_t i = 0; i < base.array.size(); ++i) {
+        compare(path + "[" + std::to_string(i) + "]", base.array[i],
+                res.array[i]);
+      }
+      return;
+    }
+    compare_leaf(path, base, res);
+  }
+};
+
+}  // namespace
+
+CompareReport compare_bench_json(const JsonValue& baseline,
+                                 const JsonValue& result,
+                                 const CompareOptions& options) {
+  CompareReport report;
+  Walker walker{options, report};
+  walker.compare("", baseline, result);
+  return report;
+}
+
+std::string format_compare_report(const CompareReport& report,
+                                  bool verbose) {
+  std::string out;
+  int checked = 0;
+  for (const MetricDiff& diff : report.diffs) {
+    checked += diff.checked ? 1 : 0;
+    if (!diff.failed && !verbose) continue;
+    out += diff.failed ? "  FAIL  " : (diff.checked ? "  ok    "
+                                                    : "  info  ");
+    out += diff.path + ": baseline " + diff.baseline + ", result " +
+           diff.result + "  [" + diff.note + "]\n";
+  }
+  out += report.passed()
+             ? "PASS: " + std::to_string(checked) + " metrics checked, " +
+                   "no regressions\n"
+             : "REGRESSION: " + std::to_string(report.failures) + " of " +
+                   std::to_string(checked) + " checked metrics failed\n";
+  return out;
+}
+
+void inject_slowdown(JsonValue& value, double factor) {
+  if (value.is_object()) {
+    for (auto& [key, child] : value.object) {
+      if (child.is_number()) {
+        if (ends_with(key, "_seconds")) {
+          child.number *= factor;
+          child.number_is_integer = false;
+        } else if (ends_with(key, "_gbs") || ends_with(key, "_gflops") ||
+                   contains(key, "speedup")) {
+          child.number /= factor;
+          child.number_is_integer = false;
+        }
+      } else {
+        inject_slowdown(child, factor);
+      }
+    }
+    return;
+  }
+  if (value.is_array()) {
+    for (JsonValue& child : value.array) inject_slowdown(child, factor);
+  }
+}
+
+}  // namespace quasar::obs

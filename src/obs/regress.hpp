@@ -1,0 +1,81 @@
+/// \file regress.hpp
+/// \brief Bench baseline comparison: the CI perf-regression gate.
+///
+/// Every microbench emits the shared timing schema (bench/common.hpp):
+/// `<metric>_seconds` best-of-N leaves plus `_mean_seconds` /
+/// `_stddev_seconds` companions, throughput leaves (`*_gbs`, `*_gflops`,
+/// `*speedup*`, `*ratio*`), and deterministic structural integers
+/// (counts, block sizes). This comparator diffs a fresh result against a
+/// committed baseline by walking both trees and classifying each leaf by
+/// its name:
+///
+///  - `*_seconds` (lower-better): FAIL when result > baseline*(1+tol)
+///    AND result-baseline > abs_floor — the floor keeps sub-millisecond
+///    timings from tripping on scheduler jitter. `_mean_seconds` /
+///    `_stddev_seconds` are informational (means absorb outliers the
+///    best-of already rejects).
+///  - `*_gbs`, `*_gflops`, `*speedup*`, `*ratio*` (higher-better): FAIL
+///    when result < baseline/(1+tol).
+///  - integer leaves: exact match (these encode deterministic structure
+///    — a changed gate count is a correctness bug, not noise); keys
+///    containing "threads" are exempt (machine-dependent).
+///  - strings: exact match; bools and other doubles: informational.
+///  - baseline keys missing from the result: FAIL (a silently dropped
+///    metric must not pass the gate); extra result keys: informational.
+///
+/// CI runs two gates (see .github/workflows/ci.yml): a self-compare
+/// with --inject 2 that must FAIL (proves the gate trips on a real 2x
+/// slowdown, machine-consistent by construction) and a committed-
+/// baseline compare with a wide tolerance that absorbs runner-to-runner
+/// variance while still catching order-of-magnitude regressions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace quasar::obs {
+
+struct CompareOptions {
+  /// Relative tolerance for time/throughput leaves: a time may grow to
+  /// baseline*(1+rel_tolerance), a throughput may shrink to
+  /// baseline/(1+rel_tolerance). Default trips comfortably below a 2x
+  /// regression on a quiet host.
+  double rel_tolerance = 0.75;
+  /// Absolute floor for time leaves: differences smaller than this many
+  /// seconds never fail regardless of ratio.
+  double abs_floor_seconds = 0.005;
+};
+
+/// One compared leaf.
+struct MetricDiff {
+  std::string path;       ///< dotted path, e.g. "blocked.sweep_seconds"
+  std::string baseline;   ///< rendered baseline value
+  std::string result;     ///< rendered result value
+  std::string note;       ///< human explanation (limit, class, reason)
+  bool failed = false;
+  bool checked = false;   ///< participated in a pass/fail rule
+};
+
+struct CompareReport {
+  std::vector<MetricDiff> diffs;
+  int failures = 0;
+  bool passed() const { return failures == 0; }
+};
+
+/// Walks baseline vs. result and applies the rules above.
+CompareReport compare_bench_json(const JsonValue& baseline,
+                                 const JsonValue& result,
+                                 const CompareOptions& options = {});
+
+/// Renders the report: failures always, every leaf when `verbose`.
+std::string format_compare_report(const CompareReport& report,
+                                  bool verbose);
+
+/// Multiplies every `*_seconds` leaf by `factor` and divides every
+/// higher-better leaf by it — a synthetic uniform slowdown used by CI to
+/// prove the gate actually trips (`quasar_bench_check --inject 2`).
+void inject_slowdown(JsonValue& value, double factor);
+
+}  // namespace quasar::obs

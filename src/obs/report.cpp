@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "core/types.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
 #include "perfmodel/kernel_model.hpp"
 #include "perfmodel/run_model.hpp"
 
@@ -302,6 +304,46 @@ std::string run_report(const TraceSession& session, const Circuit& circuit,
     out += line;
   }
   out += oocore_report(session, options.oocore);
+  out += latency_report(session);
+  return out;
+}
+
+namespace {
+
+/// Human-scaled nanoseconds: "427ns", "3.2us", "18ms", "1.25s".
+void format_ns(char* dst, std::size_t size, double ns) {
+  if (ns < 1e3) std::snprintf(dst, size, "%.0fns", ns);
+  else if (ns < 1e6) std::snprintf(dst, size, "%.1fus", ns * 1e-3);
+  else if (ns < 1e9) std::snprintf(dst, size, "%.1fms", ns * 1e-6);
+  else std::snprintf(dst, size, "%.2fs", ns * 1e-9);
+}
+
+}  // namespace
+
+std::string latency_report(const TraceSession& session) {
+  const std::vector<HistogramSnapshot> histograms = session.histograms();
+  bool any = false;
+  for (const HistogramSnapshot& h : histograms) any |= h.count > 0;
+  if (!any) return "";
+
+  std::string out =
+      "latency distributions (per-thread shards merged):\n"
+      "  site                         count      p50      p90      p99"
+      "      max\n";
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.count == 0) continue;
+    char p50[16], p90[16], p99[16], max[16];
+    format_ns(p50, sizeof(p50), static_cast<double>(h.quantile_ns(0.50)));
+    format_ns(p90, sizeof(p90), static_cast<double>(h.quantile_ns(0.90)));
+    format_ns(p99, sizeof(p99), static_cast<double>(h.quantile_ns(0.99)));
+    format_ns(max, sizeof(max), static_cast<double>(h.max_ns));
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-26s %7llu %8s %8s %8s %8s\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count), p50, p90, p99,
+                  max);
+    out += line;
+  }
   return out;
 }
 
@@ -311,14 +353,14 @@ std::string oocore_report(const TraceSession& session,
   double compute_ns = 0.0, stall_ns = 0.0, sweep_ns = 0.0, io_ns = 0.0;
   double raw_bytes = 0.0, disk_bytes = 0.0;
   for (const CounterValue& c : session.counters()) {
-    if (c.name == "oocore.sweeps") sweeps = c.value;
-    else if (c.name == "oocore.segments") segments = c.value;
-    else if (c.name == "oocore.compute_ns") compute_ns = c.value;
-    else if (c.name == "oocore.stall_ns") stall_ns = c.value;
-    else if (c.name == "oocore.sweep_ns") sweep_ns = c.value;
-    else if (c.name == "oocore.io_ns") io_ns = c.value;
-    else if (c.name == "oocore.raw_bytes") raw_bytes = c.value;
-    else if (c.name == "oocore.disk_bytes") disk_bytes = c.value;
+    if (c.name == names::kOocoreSweeps) sweeps = c.value;
+    else if (c.name == names::kOocoreSegments) segments = c.value;
+    else if (c.name == names::kOocoreComputeNs) compute_ns = c.value;
+    else if (c.name == names::kOocoreStallNs) stall_ns = c.value;
+    else if (c.name == names::kOocoreSweepNs) sweep_ns = c.value;
+    else if (c.name == names::kOocoreIoNs) io_ns = c.value;
+    else if (c.name == names::kOocoreRawBytes) raw_bytes = c.value;
+    else if (c.name == names::kOocoreDiskBytes) disk_bytes = c.value;
   }
   if (sweeps <= 0.0) return "";
 

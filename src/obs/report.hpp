@@ -109,4 +109,10 @@ std::string run_report(const TraceSession& session, const Circuit& circuit,
 std::string oocore_report(const TraceSession& session,
                           const OocoreModel& model);
 
+/// The latency-distribution block: one row per recorded histogram with
+/// count, p50/p90/p99 and max in human units (histogram.hpp). Empty
+/// string when the session recorded no latency samples. Appended to
+/// run_report and exposed standalone for benches.
+std::string latency_report(const TraceSession& session);
+
 }  // namespace quasar::obs

@@ -1,0 +1,82 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace quasar::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(TraceSession& session, int period_ms,
+                                     std::size_t capacity)
+    : session_(session),
+      period_ms_(std::max(1, period_ms)),
+      capacity_(std::max<std::size_t>(2, capacity)) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+    take_sample_locked();
+  }
+  thread_ = std::thread(&TimeSeriesSampler::run_loop, this);
+}
+
+void TimeSeriesSampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  take_sample_locked();
+}
+
+void TimeSeriesSampler::run_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    // wait_for (not a fixed deadline schedule): if the host stalls past
+    // one period we take one late sample rather than a catch-up burst.
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    take_sample_locked();
+  }
+}
+
+void TimeSeriesSampler::take_sample_locked() {
+  TimeSample sample;
+  sample.t_ns = session_.now_ns();
+  sample.counters = session_.counters();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[next_slot_] = std::move(sample);
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++total_;
+}
+
+std::uint64_t TimeSeriesSampler::total_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::vector<TimeSample> TimeSeriesSampler::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimeSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: ring_ is already oldest-first
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_slot_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+}  // namespace quasar::obs

@@ -1,0 +1,81 @@
+/// \file sampler.hpp
+/// \brief Background time-series sampler over the counter registry.
+///
+/// Spans answer "what happened when"; counters answer "how much total";
+/// neither answers "was the oocore pipeline stalling early or late in
+/// the run?". The sampler closes that gap: a background thread snapshots
+/// the installed session's counter registry every `period` into a
+/// bounded ring buffer, and trace_export.cpp serialises the ring as a
+/// `timeseries` section next to the chrome://tracing JSON. Differencing
+/// consecutive samples of a monotonic counter gives a rate curve
+/// (bytes/s, stalls/s) with zero cost on the instrumented threads — the
+/// sampler only ever *reads* (relaxed loads under the registry mutex).
+///
+/// Enable from the environment with QUASAR_SAMPLE_MS=<period> (handled
+/// by EnvTraceGuard) or programmatically via start()/stop().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace quasar::obs {
+
+/// One sampler tick: session-relative capture time + the full counter
+/// registry at that instant.
+struct TimeSample {
+  std::int64_t t_ns = 0;
+  std::vector<CounterValue> counters;
+};
+
+/// Periodically snapshots `session`'s counters into a ring buffer.
+/// start()/stop() are idempotent; the destructor stops the thread. The
+/// sampled session must outlive the sampler or its stop() call.
+class TimeSeriesSampler {
+ public:
+  /// `period_ms` is clamped to >= 1; `capacity` ring slots are kept
+  /// (oldest overwritten), clamped to >= 2.
+  explicit TimeSeriesSampler(TraceSession& session, int period_ms,
+                             std::size_t capacity = 4096);
+  ~TimeSeriesSampler();
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Launches the sampling thread (no-op if already running). Takes an
+  /// immediate first sample so even a short-lived run exports >= 1 tick.
+  void start();
+  /// Stops and joins the thread, taking one final sample so the series
+  /// always covers the end of the sampled region (no-op if stopped).
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  int period_ms() const { return period_ms_; }
+  /// Total ticks taken since construction — exceeds samples().size()
+  /// once the ring has wrapped.
+  std::uint64_t total_samples() const;
+  /// The retained window, oldest first. Call after stop(), or mid-run
+  /// for a live peek.
+  std::vector<TimeSample> samples() const;
+
+ private:
+  void run_loop();
+  void take_sample_locked();
+
+  TraceSession& session_;
+  const int period_ms_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;  // ring + stop flag
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::vector<TimeSample> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace quasar::obs

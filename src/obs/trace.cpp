@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/histogram.hpp"
+
 namespace quasar::obs {
 
 namespace detail {
@@ -20,6 +22,16 @@ struct ThreadCache {
   void* buffer = nullptr;
 };
 thread_local ThreadCache t_cache;
+
+/// Per-thread cache of histogram shards, keyed on (session id, name
+/// literal address). A handful of entries per thread in practice (one
+/// per instrumented site), so a linear scan beats any map.
+struct HistCacheEntry {
+  std::uint64_t session_id = 0;
+  const char* name = nullptr;
+  void* shard = nullptr;
+};
+thread_local std::vector<HistCacheEntry> t_hist_cache;
 
 }  // namespace
 
@@ -110,6 +122,79 @@ void TraceSession::peak_counter(std::string_view name, std::uint64_t value) {
          !cell.compare_exchange_weak(seen, value,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void TraceSession::record_latency(const char* name, std::uint64_t ns) {
+  detail::HistogramShard* shard = nullptr;
+  for (const HistCacheEntry& entry : t_hist_cache) {
+    if (entry.session_id == id_ && entry.name == name) {
+      shard = static_cast<detail::HistogramShard*>(entry.shard);
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shard = static_cast<detail::HistogramShard*>(histogram_shard_slow(name));
+    // Entries from dead sessions accumulate in long-lived threads that
+    // see many sessions (tests); drop them before they make the linear
+    // scan noticeable.
+    if (t_hist_cache.size() >= 64) {
+      std::erase_if(t_hist_cache, [this](const HistCacheEntry& entry) {
+        return entry.session_id != id_;
+      });
+    }
+    t_hist_cache.push_back(HistCacheEntry{id_, name, shard});
+  }
+  shard->record(ns);
+}
+
+void* TraceSession::histogram_shard_slow(const char* name) {
+  // Keyed by string *content*: two literals with the same spelling but
+  // different addresses (e.g. across translation units before the
+  // linker merges them) must land in the same histogram. The address
+  // only serves as the per-thread cache key.
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<detail::HistogramCell>())
+             .first;
+  }
+  detail::HistogramCell& cell = *it->second;
+  for (const auto& existing : cell.shards) {
+    if (existing->owner == self) return existing.get();
+  }
+  cell.shards.push_back(std::make_unique<detail::HistogramShard>());
+  cell.shards.back()->owner = self;
+  return cell.shards.back().get();
+}
+
+std::vector<HistogramSnapshot> TraceSession::histograms() const {
+  std::vector<HistogramSnapshot> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(histograms_.size());
+    for (const auto& [name, cell] : histograms_) {
+      HistogramSnapshot snap;
+      snap.name = name;
+      snap.buckets.assign(kNumLatencyBuckets, 0);
+      cell->merge_into(snap);
+      all.push_back(std::move(snap));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return all;
+}
+
+std::uint64_t TraceSession::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) return 0;
+  return it->second->value.load(std::memory_order_relaxed);
 }
 
 std::vector<SpanEvent> TraceSession::spans() const {

@@ -57,6 +57,11 @@ struct CounterValue {
   bool is_peak = false;
 };
 
+struct HistogramSnapshot;  // histogram.hpp
+namespace detail {
+struct HistogramCell;  // histogram.hpp
+}  // namespace detail
+
 /// Collects spans and counters for one traced run. Install with
 /// set_global_session() to activate the instrumentation sites; reading
 /// (spans()/counters()) is meant for after the traced region, though it
@@ -88,11 +93,24 @@ class TraceSession {
   /// Raises the named high-water-mark counter to at least `value`.
   void peak_counter(std::string_view name, std::uint64_t value);
 
+  /// Records one nanosecond latency sample into the named log-bucketed
+  /// histogram (histogram.hpp). `name` must be a string literal with a
+  /// stable address (obs/names.hpp) — the fast path caches the calling
+  /// thread's shard keyed on that address. Wait-free after first touch.
+  void record_latency(const char* name, std::uint64_t ns);
+
   /// All recorded spans, merged across threads, sorted by begin time
   /// (ties: outer span first). Call after the traced region.
   std::vector<SpanEvent> spans() const;
   /// All counters, sorted by name.
   std::vector<CounterValue> counters() const;
+  /// The named counter's current value, or 0 if it was never touched.
+  /// Safe against concurrent increments (used by the live progress and
+  /// sampler readers).
+  std::uint64_t counter_value(std::string_view name) const;
+  /// Merged cross-thread snapshots of every latency histogram, sorted
+  /// by name. Safe to call mid-run (may lag in-flight increments).
+  std::vector<HistogramSnapshot> histograms() const;
   /// Number of threads that recorded at least one span.
   int num_threads() const;
 
@@ -112,6 +130,9 @@ class TraceSession {
   /// The calling thread's buffer, registered on first touch.
   ThreadBuffer& thread_buffer();
   CounterCell& counter_cell(std::string_view name, bool is_peak);
+  /// Slow path of record_latency: registers (or finds) the calling
+  /// thread's shard of the named histogram under mutex_.
+  void* histogram_shard_slow(const char* name);
 
   std::chrono::steady_clock::time_point start_;
   std::uint64_t id_;  ///< process-unique, distinguishes reused addresses
@@ -119,6 +140,8 @@ class TraceSession {
   mutable std::mutex mutex_;  // guards registration + counter map shape
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::unordered_map<std::string, std::unique_ptr<CounterCell>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<detail::HistogramCell>>
+      histograms_;
 };
 
 namespace detail {

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "core/error.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
 
 namespace quasar::obs {
 
@@ -90,7 +92,8 @@ std::string chrome_trace_json(const TraceSession& session) {
   return out;
 }
 
-std::string metrics_json(const TraceSession& session) {
+std::string metrics_json(const TraceSession& session,
+                         const TimeSeriesSampler* sampler) {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const CounterValue& c : session.counters()) {
@@ -125,7 +128,54 @@ std::string metrics_json(const TraceSession& session) {
                   static_cast<double>(agg.total_ns) * 1e-9);
     out += buf;
   }
-  out += "\n  }\n}\n";
+  out += "\n  },\n  \"histograms\": {";
+
+  first = true;
+  for (const HistogramSnapshot& h : session.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_escaped(out, h.name);
+    char buf[224];
+    std::snprintf(
+        buf, sizeof(buf),
+        ": {\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %llu, "
+        "\"p90_ns\": %llu, \"p99_ns\": %llu, \"max_ns\": %llu}",
+        static_cast<unsigned long long>(h.count), h.mean_ns(),
+        static_cast<unsigned long long>(h.quantile_ns(0.50)),
+        static_cast<unsigned long long>(h.quantile_ns(0.90)),
+        static_cast<unsigned long long>(h.quantile_ns(0.99)),
+        static_cast<unsigned long long>(h.max_ns));
+    out += buf;
+  }
+  out += "\n  }";
+
+  if (sampler != nullptr) {
+    out += ",\n  \"timeseries\": {\"period_ms\": " +
+           std::to_string(sampler->period_ms()) +
+           ", \"total_samples\": " +
+           std::to_string(sampler->total_samples()) + ", \"samples\": [";
+    first = true;
+    for (const TimeSample& sample : sampler->samples()) {
+      if (!first) out += ',';
+      first = false;
+      char tbuf[48];
+      std::snprintf(tbuf, sizeof(tbuf), "\n    {\"t_ms\": %.3f",
+                    static_cast<double>(sample.t_ns) * 1e-6);
+      out += tbuf;
+      out += ", \"counters\": {";
+      bool first_counter = true;
+      for (const CounterValue& c : sample.counters) {
+        if (!first_counter) out += ", ";
+        first_counter = false;
+        append_escaped(out, c.name);
+        out += ": " + std::to_string(c.value);
+      }
+      out += "}}";
+    }
+    out += "\n  ]}";
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -351,23 +401,38 @@ bool validate_json(std::string_view text, std::string* error) {
 
 EnvTraceGuard::EnvTraceGuard() {
   const char* path = std::getenv("QUASAR_TRACE");
-  if (path == nullptr || path[0] == '\0') return;
-  trace_path_ = path;
+  if (path != nullptr && path[0] != '\0') trace_path_ = path;
   const char* metrics = std::getenv("QUASAR_TRACE_METRICS");
   if (metrics != nullptr && metrics[0] != '\0') metrics_path_ = metrics;
+  // Either output alone activates tracing: a metrics-only CI capture
+  // must not be forced to also write (and then discard) a full trace.
+  if (trace_path_.empty() && metrics_path_.empty()) return;
   session_ = std::make_unique<TraceSession>();
   set_global_session(session_.get());
+  const char* sample_ms = std::getenv("QUASAR_SAMPLE_MS");
+  if (sample_ms != nullptr && sample_ms[0] != '\0') {
+    const int period = std::atoi(sample_ms);
+    if (period > 0) {
+      sampler_ = std::make_unique<TimeSeriesSampler>(*session_, period);
+      sampler_->start();
+    }
+  }
 }
 
 EnvTraceGuard::~EnvTraceGuard() {
   if (session_ == nullptr) return;
+  if (sampler_ != nullptr) sampler_->stop();
   set_global_session(nullptr);
   try {
-    write_file(trace_path_, chrome_trace_json(*session_));
-    if (!metrics_path_.empty()) {
-      write_file(metrics_path_, metrics_json(*session_));
+    if (!trace_path_.empty()) {
+      write_file(trace_path_, chrome_trace_json(*session_));
+      std::fprintf(stderr, "[obs] wrote trace to %s\n", trace_path_.c_str());
     }
-    std::fprintf(stderr, "[obs] wrote trace to %s\n", trace_path_.c_str());
+    if (!metrics_path_.empty()) {
+      write_file(metrics_path_, metrics_json(*session_, sampler_.get()));
+      std::fprintf(stderr, "[obs] wrote metrics to %s\n",
+                   metrics_path_.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[obs] trace export failed: %s\n", e.what());
   }

@@ -11,6 +11,8 @@
 
 namespace quasar::obs {
 
+class TimeSeriesSampler;  // sampler.hpp
+
 /// Serializes the session as chrome://tracing "JSON object format":
 /// {"traceEvents": [ {"name", "cat", "ph": "X", "ts", "dur", "pid",
 /// "tid", "args": {...}}, ... ], "displayTimeUnit": "ms"}. Load the file
@@ -19,9 +21,15 @@ namespace quasar::obs {
 std::string chrome_trace_json(const TraceSession& session);
 
 /// Flat metrics dump: {"counters": {name: value, ...}, "spans": {
-/// "<category>": {"count": N, "seconds": S}, ...}} — the CI-artifact
-/// companion of the chrome trace.
-std::string metrics_json(const TraceSession& session);
+/// "<category>": {"count": N, "seconds": S}, ...}, "histograms": {name:
+/// {"count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"}, ...}}
+/// — the CI-artifact companion of the chrome trace. When `sampler` is
+/// non-null its ring buffer rides along as a "timeseries" section:
+/// {"period_ms": P, "total_samples": T, "samples": [{"t_ms": X,
+/// "counters": {...}}, ...]} (stop the sampler first for a complete
+/// series).
+std::string metrics_json(const TraceSession& session,
+                         const TimeSeriesSampler* sampler = nullptr);
 
 /// Writes `text` to `path`; throws quasar::Error on I/O failure.
 void write_file(const std::string& path, std::string_view text);
@@ -33,12 +41,17 @@ void write_file(const std::string& path, std::string_view text);
 /// byte offset + reason on the first violation.
 bool validate_json(std::string_view text, std::string* error = nullptr);
 
-/// QUASAR_TRACE wiring for examples and benches: when the QUASAR_TRACE
-/// environment variable names a file, the guard installs a fresh global
-/// TraceSession for its lifetime and, on destruction, writes the chrome
-/// trace there plus the flat metrics dump to QUASAR_TRACE_METRICS (when
-/// that is also set). When QUASAR_TRACE is unset the guard does nothing
-/// and tracing stays disabled.
+/// Environment wiring for examples and benches. The guard installs a
+/// fresh global TraceSession for its lifetime when *either* output is
+/// requested, and writes on destruction:
+///   QUASAR_TRACE=<file>          chrome://tracing JSON
+///   QUASAR_TRACE_METRICS=<file>  flat metrics dump (works standalone —
+///                                it no longer requires QUASAR_TRACE)
+///   QUASAR_SAMPLE_MS=<period>    run a background TimeSeriesSampler at
+///                                that period; its ring is exported as
+///                                the metrics dump's timeseries section
+/// With none of them set the guard does nothing and tracing stays
+/// disabled.
 class EnvTraceGuard {
  public:
   EnvTraceGuard();
@@ -46,13 +59,14 @@ class EnvTraceGuard {
   EnvTraceGuard(const EnvTraceGuard&) = delete;
   EnvTraceGuard& operator=(const EnvTraceGuard&) = delete;
 
-  /// True when QUASAR_TRACE was set and tracing is active.
+  /// True when tracing was requested and a session is active.
   bool active() const { return session_ != nullptr; }
   /// The installed session (nullptr when inactive).
   TraceSession* session() { return session_.get(); }
 
  private:
   std::unique_ptr<TraceSession> session_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
   std::string trace_path_;
   std::string metrics_path_;
 };

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/error.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace quasar::oocore {
@@ -207,17 +208,17 @@ void SegmentPipeline::sweep(const std::vector<Tile>& tiles,
   stats_.io_ns += io_busy_ns;
   if (obs::enabled()) {
     const StoreStats after = store_.stats();
-    obs::count("oocore.sweeps");
-    obs::count("oocore.tiles", tiles.size());
-    obs::count("oocore.segments", total_segs);
-    obs::count("oocore.compute_ns", compute_ns);
-    obs::count("oocore.stall_ns", stall_ns);
-    obs::count("oocore.sweep_ns", sweep_ns);
-    obs::count("oocore.io_ns", io_busy_ns);
-    obs::count("oocore.raw_bytes",
+    obs::count(obs::names::kOocoreSweeps);
+    obs::count(obs::names::kOocoreTiles, tiles.size());
+    obs::count(obs::names::kOocoreSegments, total_segs);
+    obs::count(obs::names::kOocoreComputeNs, compute_ns);
+    obs::count(obs::names::kOocoreStallNs, stall_ns);
+    obs::count(obs::names::kOocoreSweepNs, sweep_ns);
+    obs::count(obs::names::kOocoreIoNs, io_busy_ns);
+    obs::count(obs::names::kOocoreRawBytes,
                (after.raw_bytes_read - store_before.raw_bytes_read) +
                    (after.raw_bytes_written - store_before.raw_bytes_written));
-    obs::count("oocore.disk_bytes",
+    obs::count(obs::names::kOocoreDiskBytes,
                (after.disk_bytes_read - store_before.disk_bytes_read) +
                    (after.disk_bytes_written -
                     store_before.disk_bytes_written));

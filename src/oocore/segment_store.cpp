@@ -10,6 +10,8 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
 
 namespace quasar::oocore {
 
@@ -117,10 +119,15 @@ void SegmentStore::write_segment(std::size_t segment, const Amplitude* src,
                                  SegmentScratch& scratch) {
   QUASAR_CHECK(segment < num_segments_,
                "SegmentStore: segment index out of range");
+  obs::ScopedLatency write_latency(obs::names::kOocoreWriteSegmentNs);
   scratch.frame.resize(slot_stride_);
   const std::size_t raw = segment_raw_bytes();
-  const std::size_t frame =
-      encode(options_.codec, src, raw, scratch.frame.data(), scratch.codec);
+  std::size_t frame;
+  {
+    obs::ScopedLatency encode_latency(obs::names::kOocoreEncodeNs);
+    frame =
+        encode(options_.codec, src, raw, scratch.frame.data(), scratch.codec);
+  }
   // Direct I/O needs sector-multiple lengths; the stride always has room.
   const std::size_t padded = align_up(frame, kSector);
   if (padded > frame) {
@@ -147,6 +154,7 @@ void SegmentStore::read_segment(std::size_t segment, Amplitude* dst,
                                 SegmentScratch& scratch) {
   QUASAR_CHECK(segment < num_segments_,
                "SegmentStore: segment index out of range");
+  obs::ScopedLatency read_latency(obs::names::kOocoreReadSegmentNs);
   const std::uint32_t frame = frame_bytes_[segment];
   QUASAR_CHECK(frame > 0, "SegmentStore: reading a never-written segment");
   scratch.frame.resize(slot_stride_);
@@ -161,8 +169,11 @@ void SegmentStore::read_segment(std::size_t segment, Amplitude* dst,
     done += static_cast<std::size_t>(n);
   }
   const std::size_t raw = segment_raw_bytes();
-  const std::size_t decoded =
-      decode(scratch.frame.data(), frame, dst, raw, scratch.codec);
+  std::size_t decoded;
+  {
+    obs::ScopedLatency decode_latency(obs::names::kOocoreDecodeNs);
+    decoded = decode(scratch.frame.data(), frame, dst, raw, scratch.codec);
+  }
   QUASAR_CHECK(decoded == raw, "SegmentStore: frame decoded to wrong length");
   raw_read_.fetch_add(raw, std::memory_order_relaxed);
   disk_read_.fetch_add(frame, std::memory_order_relaxed);

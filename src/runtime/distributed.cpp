@@ -11,6 +11,8 @@
 #include "ckpt/crc32c.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
+#include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
 #include "sched/schedule_io.hpp"
@@ -70,6 +72,7 @@ void DistributedSimulator::run(const Circuit& circuit,
                "(ScheduleOptions::build_matrices was false)");
   QUASAR_OBS_SPAN("run", "distributed_run", "stages",
                   static_cast<std::int64_t>(schedule.stages.size()));
+  obs::ProgressRun progress(static_cast<int>(schedule.stages.size()));
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
@@ -87,6 +90,7 @@ void DistributedSimulator::run(const Circuit& circuit,
           "DistributedSimulator::run stage " + std::to_string(si);
       validate_invariants(site.c_str(), norm_before, ops_done);
     }
+    progress.stage_completed(static_cast<int>(si) + 1);
   }
 }
 
@@ -110,6 +114,8 @@ void DistributedSimulator::run(const Circuit& circuit,
   const std::size_t num_stages = schedule.stages.size();
   QUASAR_OBS_SPAN("run", "distributed_run", "stages",
                   static_cast<std::int64_t>(num_stages));
+  obs::ProgressRun progress(static_cast<int>(num_stages),
+                            static_cast<int>(ckpt_run.first_stage));
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
@@ -139,6 +145,7 @@ void DistributedSimulator::run(const Circuit& circuit,
         si + 1 == num_stages) {
       checkpoint(writer, si + 1, ckpt_run.rng, schedule_crc);
     }
+    progress.stage_completed(static_cast<int>(si) + 1);
   }
 }
 
@@ -245,7 +252,7 @@ std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
   mapping_ = m.mapping;
   pending_phase_ = m.pending_phase;
   if (rng != nullptr && !m.rng_state.empty()) rng->restore(m.rng_state);
-  obs::count("ckpt.resumes");
+  obs::count(obs::names::kCkptResumes);
   return m.cursor;
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace quasar {
@@ -222,7 +223,7 @@ void RankStorage::materialize() {
   }
   resident_ = true;
   dirty_ = false;
-  if (obs::enabled()) obs::count("oocore.materializations");
+  if (obs::enabled()) obs::count(obs::names::kOocoreMaterializations);
 }
 
 void RankStorage::dematerialize() {
@@ -239,7 +240,7 @@ void RankStorage::dematerialize() {
                               data_ + static_cast<Index>(s) * amps, scratch);
       }
     }
-    if (obs::enabled()) obs::count("oocore.dematerializations");
+    if (obs::enabled()) obs::count(obs::names::kOocoreDematerializations);
   }
   resident_ = false;
   dirty_ = false;

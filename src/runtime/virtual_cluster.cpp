@@ -13,6 +13,8 @@
 #include "core/error.hpp"
 #include "kernels/permute.hpp"
 #include "kernels/swap.hpp"
+#include "obs/histogram.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace quasar {
@@ -178,6 +180,9 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
   const std::int64_t num_orbits = static_cast<std::int64_t>(orbits.size());
   const std::int64_t tasks =
       static_cast<std::int64_t>(num_runs * chunks_per_run);
+  // Hoisted so the per-chunk latency probe costs nothing (not even the
+  // session load) in the untraced inner loop.
+  const bool record_latency = obs::enabled();
 #pragma omp parallel num_threads(threads)
   {
     AlignedVector<Amplitude> bounce(chunk);
@@ -190,9 +195,16 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
         Amplitude* pa = orbits[o].a + base;
         Amplitude* pb = orbits[o].b + base;
         const std::size_t bytes = chunk * sizeof(Amplitude);
-        std::memcpy(bounce.data(), pa, bytes);
-        std::memcpy(pa, pb, bytes);
-        std::memcpy(pb, bounce.data(), bytes);
+        if (record_latency) {
+          obs::ScopedLatency chunk_latency(obs::names::kCommExchangeChunkNs);
+          std::memcpy(bounce.data(), pa, bytes);
+          std::memcpy(pa, pb, bytes);
+          std::memcpy(pb, bounce.data(), bytes);
+        } else {
+          std::memcpy(bounce.data(), pa, bytes);
+          std::memcpy(pa, pb, bytes);
+          std::memcpy(pb, bounce.data(), bytes);
+        }
       }
     }
   }
@@ -208,9 +220,9 @@ void VirtualCluster::alltoall_swap(const std::vector<int>& global_locations,
     stats_.peak_bounce_bytes = bounce_bytes;
   }
   span.set_arg("bytes_per_rank", static_cast<std::int64_t>(sent));
-  obs::count("comm.alltoalls");
-  obs::count("comm.bytes_sent_per_rank", sent);
-  obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+  obs::count(obs::names::kCommAlltoalls);
+  obs::count(obs::names::kCommBytesSentPerRank, sent);
+  obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
 
   if (validate_norm) {
     check::require_norm_preserved(norm_squared(), norm_before,
@@ -265,8 +277,8 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
   stats_.local_permutation_bytes +=
       static_cast<std::uint64_t>(num_ranks()) * local_size() *
       kBytesPerAmplitude;
-  obs::count("comm.local_permutation_sweeps");
-  obs::count("comm.local_permutation_bytes",
+  obs::count(obs::names::kCommLocalPermutationSweeps);
+  obs::count(obs::names::kCommLocalPermutationBytes,
              static_cast<std::uint64_t>(num_ranks()) * local_size() *
                  kBytesPerAmplitude);
   if (!plan.identity) {
@@ -278,7 +290,7 @@ void VirtualCluster::local_permute(const std::vector<int>& perm,
     if (bounce_bytes > stats_.peak_bounce_bytes) {
       stats_.peak_bounce_bytes = bounce_bytes;
     }
-    obs::count_peak("comm.peak_bounce_bytes", bounce_bytes);
+    obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
   }
 
   if (validate_norm) {
@@ -313,7 +325,7 @@ void VirtualCluster::renumber_ranks(const std::vector<int>& perm) {
   }
   buffers_ = std::move(next);
   ++stats_.rank_renumberings;
-  obs::count("comm.rank_renumberings");
+  obs::count(obs::names::kCommRankRenumberings);
 }
 
 void VirtualCluster::permute_ranks(const std::vector<Index>& source_of) {
@@ -333,7 +345,7 @@ void VirtualCluster::permute_ranks(const std::vector<Index>& source_of) {
   }
   buffers_ = std::move(next);
   ++stats_.rank_renumberings;
-  obs::count("comm.rank_renumberings");
+  obs::count(obs::names::kCommRankRenumberings);
 }
 
 void VirtualCluster::local_swap(int p, int q, const ApplyOptions& options) {
@@ -344,7 +356,7 @@ void VirtualCluster::local_swap(int p, int q, const ApplyOptions& options) {
     apply_bit_swap(buffer.data(), num_local_, p, q, options.num_threads);
   }
   ++stats_.local_swap_sweeps;
-  obs::count("comm.local_swap_sweeps");
+  obs::count(obs::names::kCommLocalSwapSweeps);
 }
 
 void VirtualCluster::pairwise_global_gate(const GateMatrix& gate,
@@ -380,8 +392,8 @@ void VirtualCluster::pairwise_global_gate(const GateMatrix& gate,
   }
   stats_.pairwise_exchanges += 2;
   stats_.bytes_sent_per_rank += 2 * half * kBytesPerAmplitude;
-  obs::count("comm.pairwise_exchanges", 2);
-  obs::count("comm.bytes_sent_per_rank", 2 * half * kBytesPerAmplitude);
+  obs::count(obs::names::kCommPairwiseExchanges, 2);
+  obs::count(obs::names::kCommBytesSentPerRank, 2 * half * kBytesPerAmplitude);
 }
 
 Real VirtualCluster::norm_squared() const {

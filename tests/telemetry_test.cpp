@@ -1,0 +1,588 @@
+/// \file telemetry_test.cpp
+/// \brief Live-telemetry layer: latency histogram bucket math and
+/// quantiles (including cross-thread shard merging), the time-series
+/// sampler ring, progress/ETA reporting, the JSON parser, and the bench
+/// baseline comparator that gates CI on perf regressions.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/names.hpp"
+#include "obs/progress.hpp"
+#include "obs/regress.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+namespace quasar {
+namespace {
+
+/// Installs `session` globally for the enclosing scope.
+class SessionGuard {
+ public:
+  explicit SessionGuard(obs::TraceSession& session) {
+    obs::set_global_session(&session);
+  }
+  ~SessionGuard() { obs::set_global_session(nullptr); }
+};
+
+// ---------------------------------------------------------------------
+// Histogram bucket math.
+
+TEST(LatencyHistogram, SmallValuesAreExactBuckets) {
+  // Values below 2^(kSubBits+1) = 16 map to themselves.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::latency_bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(obs::latency_bucket_lower(static_cast<int>(v)), v);
+    EXPECT_EQ(obs::latency_bucket_upper(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, BucketsPartitionTheFullRange) {
+  // lower(i) <= v <= upper(i) for i = index(v), buckets contiguous.
+  const std::uint64_t probes[] = {16,       17,         255,
+                                  256,      1000,       4095,
+                                  4096,     1u << 20,   (1u << 20) + 1,
+                                  ~0ull / 3, ~0ull - 1,  ~0ull};
+  for (const std::uint64_t v : probes) {
+    const int i = obs::latency_bucket_index(v);
+    ASSERT_GE(i, 0) << v;
+    ASSERT_LT(i, obs::kNumLatencyBuckets) << v;
+    EXPECT_LE(obs::latency_bucket_lower(i), v) << v;
+    EXPECT_GE(obs::latency_bucket_upper(i), v) << v;
+  }
+  for (int i = 0; i + 1 < obs::kNumLatencyBuckets; ++i) {
+    EXPECT_EQ(obs::latency_bucket_upper(i) + 1,
+              obs::latency_bucket_lower(i + 1))
+        << i;
+  }
+  // The top bucket must absorb the largest representable latency.
+  EXPECT_EQ(obs::latency_bucket_index(~0ull), obs::kNumLatencyBuckets - 1);
+  EXPECT_EQ(obs::latency_bucket_upper(obs::kNumLatencyBuckets - 1), ~0ull);
+}
+
+TEST(LatencyHistogram, RelativeBucketWidthIsBounded) {
+  // Log-bucketing promise: width / lower <= 1/8 = 12.5% past the exact
+  // range.
+  for (int i = 1 << (obs::kLatencySubBits + 1);
+       i < obs::kNumLatencyBuckets - 1; ++i) {
+    const double lower =
+        static_cast<double>(obs::latency_bucket_lower(i));
+    const double width =
+        static_cast<double>(obs::latency_bucket_upper(i) -
+                            obs::latency_bucket_lower(i) + 1);
+    EXPECT_LE(width / lower, 0.125 + 1e-12) << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Recording and quantiles.
+
+TEST(LatencyHistogram, KnownAnswerQuantiles) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  // 1..10 ns are all in exact buckets, so the quantiles are exact:
+  // rank = ceil(q * 10).
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    obs::record_latency("test.exact_ns", v);
+  }
+  const std::vector<obs::HistogramSnapshot> hists = session.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramSnapshot& h = hists[0];
+  EXPECT_EQ(h.name, "test.exact_ns");
+  EXPECT_EQ(h.count, 10u);
+  EXPECT_EQ(h.total_ns, 55u);
+  EXPECT_EQ(h.max_ns, 10u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 5.5);
+  EXPECT_EQ(h.quantile_ns(0.0), 1u);
+  EXPECT_EQ(h.quantile_ns(0.50), 5u);
+  EXPECT_EQ(h.quantile_ns(0.90), 9u);
+  EXPECT_EQ(h.quantile_ns(0.99), 10u);
+  EXPECT_EQ(h.quantile_ns(1.0), 10u);
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedMax) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  // One sample deep in a wide bucket: the bucket upper bound exceeds the
+  // observed max, so every quantile must clamp to max_ns. Also exercises
+  // the very top bucket (the kNumLatencyBuckets fencepost).
+  obs::record_latency("test.huge_ns", ~0ull - 5);
+  const std::vector<obs::HistogramSnapshot> hists = session.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].max_ns, ~0ull - 5);
+  EXPECT_EQ(hists[0].quantile_ns(0.5), ~0ull - 5);
+  EXPECT_EQ(hists[0].quantile_ns(0.99), ~0ull - 5);
+}
+
+TEST(LatencyHistogram, EmptyHistogramExportsZero) {
+  obs::TraceSession session;
+  EXPECT_TRUE(session.histograms().empty());
+  // Export with no recorded latencies still emits a valid document with
+  // an empty histograms section.
+  const std::string json = obs::metrics_json(session);
+  EXPECT_TRUE(obs::validate_json(json));
+  obs::HistogramSnapshot empty;
+  empty.buckets.assign(obs::kNumLatencyBuckets, 0);
+  EXPECT_EQ(empty.quantile_ns(0.5), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, MergesPerThreadShardsUnderOpenMP) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  constexpr int kIters = 20000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < kIters; ++i) {
+    obs::record_latency("test.parallel_ns",
+                        static_cast<std::uint64_t>(i % 7) + 1);
+  }
+  const std::vector<obs::HistogramSnapshot> hists = session.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramSnapshot& h = hists[0];
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kIters));
+  std::uint64_t expected_total = 0;
+  for (int i = 0; i < kIters; ++i) {
+    expected_total += static_cast<std::uint64_t>(i % 7) + 1;
+  }
+  EXPECT_EQ(h.total_ns, expected_total);
+  EXPECT_EQ(h.max_ns, 7u);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count);
+}
+
+TEST(LatencyHistogram, RecordingWithoutSessionIsANoOp) {
+  ASSERT_FALSE(obs::enabled());
+  obs::record_latency("test.nobody_ns", 42);
+  { obs::ScopedLatency scoped("test.nobody_scoped_ns"); }
+  obs::TraceSession session;
+  EXPECT_TRUE(session.histograms().empty());
+}
+
+TEST(LatencyHistogram, ScopedLatencyRecordsIntoConstructionSession) {
+  obs::TraceSession session;
+  obs::set_global_session(&session);
+  {
+    obs::ScopedLatency scoped("test.straddler_ns");
+    obs::set_global_session(nullptr);
+  }
+  const std::vector<obs::HistogramSnapshot> hists = session.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].count, 1u);
+}
+
+TEST(LatencyHistogram, SessionsDoNotShareHistograms) {
+  // The thread-local shard cache is keyed on the session id: a second
+  // session reusing the same name literal must start from zero.
+  {
+    obs::TraceSession first;
+    SessionGuard guard(first);
+    obs::record_latency("test.reuse_ns", 3);
+    ASSERT_EQ(first.histograms().size(), 1u);
+  }
+  obs::TraceSession second;
+  SessionGuard guard(second);
+  obs::record_latency("test.reuse_ns", 5);
+  const std::vector<obs::HistogramSnapshot> hists = second.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].count, 1u);
+  EXPECT_EQ(hists[0].max_ns, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Time-series sampler.
+
+TEST(TimeSeriesSampler, StartStopBracketsTheRun) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  obs::count("test.ticks", 1);
+  obs::TimeSeriesSampler sampler(session, /*period_ms=*/1);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sampler.start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  obs::count("test.ticks", 1);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+
+  // At least the immediate first sample and the final stop() sample.
+  EXPECT_GE(sampler.total_samples(), 2u);
+  const std::vector<obs::TimeSample> samples = sampler.samples();
+  EXPECT_EQ(samples.size(), sampler.total_samples());
+  ASSERT_GE(samples.size(), 2u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].t_ns, samples[i].t_ns);
+  }
+  // The final sample sees the counter registry as it stands at stop().
+  bool found = false;
+  for (const obs::CounterValue& c : samples.back().counters) {
+    if (c.name == "test.ticks") {
+      EXPECT_EQ(c.value, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TimeSeriesSampler, RingKeepsTheNewestWindow) {
+  obs::TraceSession session;
+  obs::TimeSeriesSampler sampler(session, /*period_ms=*/1,
+                                 /*capacity=*/4);
+  sampler.start();
+  // Wait until the ring has provably wrapped.
+  for (int i = 0; i < 500 && sampler.total_samples() <= 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  ASSERT_GT(sampler.total_samples(), 6u);
+  const std::vector<obs::TimeSample> samples = sampler.samples();
+  EXPECT_EQ(samples.size(), 4u);  // capacity, not total
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].t_ns, samples[i].t_ns);
+  }
+}
+
+TEST(TimeSeriesSampler, ExportsValidatedTimeseriesSection) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  obs::count(obs::names::kOocoreDiskBytes, 1000);
+  obs::TimeSeriesSampler sampler(session, /*period_ms=*/1);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+
+  const std::string json = obs::metrics_json(session, &sampler);
+  EXPECT_TRUE(obs::validate_json(json));
+  const auto doc = obs::parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* ts = doc->find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  const obs::JsonValue* period = ts->find("period_ms");
+  ASSERT_NE(period, nullptr);
+  EXPECT_EQ(period->integer, 1);
+  const obs::JsonValue* samples = ts->find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  ASSERT_GE(samples->array.size(), 2u);
+  const obs::JsonValue* counters = samples->array[0].find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* disk = counters->find(obs::names::kOocoreDiskBytes);
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->integer, 1000);
+}
+
+TEST(MetricsJson, NegativesRejectCorruptedNewSections) {
+  obs::TraceSession session;
+  {
+    SessionGuard guard(session);
+    obs::record_latency(obs::names::kOocoreReadSegmentNs, 1500);
+  }
+  obs::TimeSeriesSampler sampler(session, 1);
+  sampler.start();
+  sampler.stop();
+  const std::string good = obs::metrics_json(session, &sampler);
+  ASSERT_TRUE(obs::validate_json(good));
+  ASSERT_NE(good.find("\"histograms\""), std::string::npos);
+  ASSERT_NE(good.find("\"timeseries\""), std::string::npos);
+
+  // Truncation mid-document.
+  EXPECT_FALSE(obs::validate_json(good.substr(0, good.size() / 2)));
+  // A histogram quantile key stripped of its quotes.
+  std::string bad = good;
+  const std::size_t at = bad.find("\"p50_ns\"");
+  ASSERT_NE(at, std::string::npos);
+  bad.erase(at, 1);
+  EXPECT_FALSE(obs::validate_json(bad));
+  // Trailing garbage after the timeseries section.
+  EXPECT_FALSE(obs::validate_json(good + "}"));
+  std::string error;
+  EXPECT_FALSE(obs::validate_json(good + "}", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Progress / ETA.
+
+TEST(Progress, InactiveBetweenRuns) {
+  const obs::ProgressSnapshot snap = obs::progress_snapshot();
+  EXPECT_FALSE(snap.active);
+  EXPECT_EQ(snap.stages_done, 0);
+  EXPECT_EQ(snap.num_stages, 0);
+}
+
+TEST(Progress, TracksStageBoundariesAndSinks) {
+  std::vector<obs::ProgressSnapshot> seen;
+  obs::set_progress_sink(
+      [&seen](const obs::ProgressSnapshot& p) { seen.push_back(p); });
+  {
+    obs::ProgressRun run(3);
+    EXPECT_TRUE(run.active());
+    EXPECT_TRUE(obs::progress_snapshot().active);
+    run.stage_completed(1);
+    run.stage_completed(2);
+    run.stage_completed(3);
+  }
+  obs::set_progress_sink(nullptr);
+  EXPECT_FALSE(obs::progress_snapshot().active);
+  ASSERT_EQ(seen.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(i)].active);
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].stages_done, i + 1);
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].num_stages, 3);
+    EXPECT_GE(seen[static_cast<std::size_t>(i)].eta_s, 0.0);
+  }
+  // ETA shrinks to zero at the final stage boundary.
+  EXPECT_DOUBLE_EQ(seen.back().eta_s, 0.0);
+}
+
+TEST(Progress, NestedRunsAreInert) {
+  std::vector<obs::ProgressSnapshot> seen;
+  obs::set_progress_sink(
+      [&seen](const obs::ProgressSnapshot& p) { seen.push_back(p); });
+  {
+    obs::ProgressRun outer(5);
+    {
+      obs::ProgressRun inner(99);
+      EXPECT_FALSE(inner.active());
+      inner.stage_completed(42);  // must not disturb the outer run
+    }
+    EXPECT_EQ(obs::progress_snapshot().num_stages, 5);
+    outer.stage_completed(1);
+  }
+  obs::set_progress_sink(nullptr);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].stages_done, 1);
+  EXPECT_EQ(seen[0].num_stages, 5);
+}
+
+TEST(Progress, CheckpointRestartCountsOnlyLocalStages) {
+  // Resuming at stage 8 of 10: after one more stage the ETA must come
+  // from the one locally-timed stage, not pretend 9 stages were free.
+  obs::ProgressRun run(10, /*first_stage=*/8);
+  obs::ProgressSnapshot before = obs::progress_snapshot();
+  EXPECT_EQ(before.stages_done, 8);
+  EXPECT_LT(before.eta_s, 0.0);  // nothing timed here yet
+  run.stage_completed(9);
+  const obs::ProgressSnapshot after = obs::progress_snapshot();
+  EXPECT_EQ(after.stages_done, 9);
+  EXPECT_GE(after.eta_s, 0.0);
+}
+
+TEST(Progress, PredictionWeightedEta) {
+  // With predictions installed, the ETA scales the remaining predicted
+  // seconds by measured/predicted-so-far. Predictions say the last
+  // stage costs 99x the first; a linear ETA would be ~1x elapsed.
+  obs::set_progress_predictions({1.0, 99.0});
+  std::vector<obs::ProgressSnapshot> seen;
+  obs::set_progress_sink(
+      [&seen](const obs::ProgressSnapshot& p) { seen.push_back(p); });
+  {
+    obs::ProgressRun run(2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    run.stage_completed(1);
+  }
+  obs::set_progress_sink(nullptr);
+  obs::set_progress_predictions({});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_GT(seen[0].elapsed_s, 0.0);
+  EXPECT_NEAR(seen[0].eta_s, 99.0 * seen[0].elapsed_s,
+              5.0 * seen[0].elapsed_s);
+}
+
+TEST(Progress, FormatLineShowsAllFields) {
+  obs::ProgressSnapshot p;
+  p.active = true;
+  p.stages_done = 3;
+  p.num_stages = 12;
+  p.elapsed_s = 12.4;
+  p.eta_s = 41.2;
+  p.gb_written = 1.25;
+  p.ratio = 3.9;
+  EXPECT_EQ(obs::format_progress_line(p),
+            "[quasar] stage 3/12  elapsed 12.4s  eta 41.2s  "
+            "written 1.25 GB  ratio 3.9x");
+  p.eta_s = -1.0;
+  p.gb_written = 0.0;
+  p.ratio = 0.0;
+  EXPECT_EQ(obs::format_progress_line(p),
+            "[quasar] stage 3/12  elapsed 12.4s  eta --");
+}
+
+TEST(Progress, JoinsByteCountersFromTheSession) {
+  obs::TraceSession session;
+  SessionGuard guard(session);
+  obs::count(obs::names::kOocoreRawBytes, 4'000'000'000ull);
+  obs::count(obs::names::kOocoreDiskBytes, 1'000'000'000ull);
+  obs::count(obs::names::kCkptBytesWritten, 500'000'000ull);
+  obs::ProgressRun run(2);
+  run.stage_completed(1);
+  const obs::ProgressSnapshot snap = obs::progress_snapshot();
+  EXPECT_NEAR(snap.gb_written, 1.5, 1e-9);
+  EXPECT_NEAR(snap.ratio, 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// JSON parser.
+
+TEST(JsonParser, ParsesScalarsAndStructure) {
+  const auto doc = obs::parse_json(
+      " {\"a\": 1, \"b\": -2.5e1, \"c\": \"x\\ny\", \"d\": [true, null], "
+      "\"a\": 7} ");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const obs::JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->number_is_integer);
+  EXPECT_EQ(a->integer, 7);  // duplicate key: last wins
+  const obs::JsonValue* b = doc->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->number_is_integer);
+  EXPECT_DOUBLE_EQ(b->number, -25.0);
+  const obs::JsonValue* c = doc->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string, "x\ny");
+  const obs::JsonValue* d = doc->find("d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->array.size(), 2u);
+  EXPECT_TRUE(d->array[0].boolean);
+  EXPECT_EQ(d->array[1].kind, obs::JsonValue::Kind::kNull);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(obs::parse_json("{", &error).has_value());
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+  EXPECT_FALSE(obs::parse_json("{\"a\": 1,}").has_value());
+  EXPECT_FALSE(obs::parse_json("[1 2]").has_value());
+  EXPECT_FALSE(obs::parse_json("{\"a\": }").has_value());
+  EXPECT_FALSE(obs::parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(obs::parse_json("{} trailing").has_value());
+  EXPECT_FALSE(obs::parse_json("nan").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Bench baseline comparator (the CI perf gate).
+
+obs::JsonValue parse_or_die(const std::string& text) {
+  std::string error;
+  auto doc = obs::parse_json(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return *doc;
+}
+
+const std::string kBaseline = R"({
+  "qubits": 16,
+  "threads": 8,
+  "level": {
+    "gates": 78,
+    "sweep_seconds": 0.100,
+    "sweep_mean_seconds": 0.110,
+    "sweep_stddev_seconds": 0.004,
+    "effective_gbs": 2.0,
+    "speedup": 1.8
+  }
+})";
+
+TEST(BenchCheck, IdenticalResultPasses) {
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  const obs::CompareReport report = obs::compare_bench_json(base, base);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.failures, 0);
+  // qubits, gates, sweep_seconds, effective_gbs, speedup are checked;
+  // threads is exempt, mean/stddev informational.
+  int checked = 0;
+  for (const obs::MetricDiff& d : report.diffs) checked += d.checked;
+  EXPECT_EQ(checked, 5);
+}
+
+TEST(BenchCheck, FailsOnTimeRegressionBeyondTolerance) {
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  obs::JsonValue result = parse_or_die(kBaseline);
+  // 2x the 100 ms sweep: beyond the default 75% tolerance and the 5 ms
+  // absolute floor.
+  result.object[2].second.object[1].second.number = 0.200;
+  const obs::CompareReport report = obs::compare_bench_json(base, result);
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.failures, 1);
+  const std::string rendered = obs::format_compare_report(report, false);
+  EXPECT_NE(rendered.find("level.sweep_seconds"), std::string::npos);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCheck, AbsoluteFloorForgivesTinyTimes) {
+  // A 3x blowup on a 1 ms timing is scheduler noise, not a regression.
+  const obs::JsonValue base =
+      parse_or_die(R"({"tiny_seconds": 0.001})");
+  const obs::JsonValue result =
+      parse_or_die(R"({"tiny_seconds": 0.003})");
+  EXPECT_TRUE(obs::compare_bench_json(base, result).passed());
+  // ...unless the caller tightens the floor.
+  obs::CompareOptions tight;
+  tight.abs_floor_seconds = 0.0005;
+  EXPECT_FALSE(obs::compare_bench_json(base, result, tight).passed());
+}
+
+TEST(BenchCheck, FailsOnThroughputDrop) {
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  obs::JsonValue result = parse_or_die(kBaseline);
+  result.object[2].second.object[4].second.number = 0.5;  // effective_gbs
+  const obs::CompareReport report = obs::compare_bench_json(base, result);
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(BenchCheck, StructuralIntegerMismatchFails) {
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  obs::JsonValue result = parse_or_die(kBaseline);
+  result.object[2].second.object[0].second.integer = 77;  // gates
+  EXPECT_FALSE(obs::compare_bench_json(base, result).passed());
+  // threads is machine-dependent and exempt from the exact match.
+  obs::JsonValue threads = parse_or_die(kBaseline);
+  threads.object[1].second.integer = 64;
+  EXPECT_TRUE(obs::compare_bench_json(base, threads).passed());
+}
+
+TEST(BenchCheck, MissingMetricFailsExtraIsInformational) {
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  obs::JsonValue dropped = parse_or_die(kBaseline);
+  dropped.object[2].second.object.erase(
+      dropped.object[2].second.object.begin() + 1);  // sweep_seconds
+  EXPECT_FALSE(obs::compare_bench_json(base, dropped).passed());
+
+  obs::JsonValue extra = parse_or_die(kBaseline);
+  extra.object.emplace_back("new_metric_seconds", obs::JsonValue{});
+  extra.object.back().second.kind = obs::JsonValue::Kind::kNumber;
+  extra.object.back().second.number = 1.0;
+  EXPECT_TRUE(obs::compare_bench_json(base, extra).passed());
+}
+
+TEST(BenchCheck, InjectedSlowdownTripsTheGate) {
+  // The CI self-check: a synthetic uniform 2x slowdown of the result
+  // must fail against its own baseline.
+  const obs::JsonValue base = parse_or_die(kBaseline);
+  obs::JsonValue result = parse_or_die(kBaseline);
+  obs::inject_slowdown(result, 2.0);
+  const obs::CompareReport report = obs::compare_bench_json(base, result);
+  EXPECT_FALSE(report.passed());
+  // Times doubled, throughputs halved — both rules must trip.
+  bool time_failed = false, throughput_failed = false;
+  for (const obs::MetricDiff& d : report.diffs) {
+    if (!d.failed) continue;
+    if (d.path == "level.sweep_seconds") time_failed = true;
+    if (d.path == "level.effective_gbs") throughput_failed = true;
+  }
+  EXPECT_TRUE(time_failed);
+  EXPECT_TRUE(throughput_failed);
+}
+
+}  // namespace
+}  // namespace quasar
