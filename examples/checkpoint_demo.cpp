@@ -52,14 +52,16 @@ std::string env_str(const char* name, const char* fallback) {
 /// Order-sensitive digest of the full run state: every rank slice in
 /// rank order, then the mapping and deferred phases. Two runs print the
 /// same fingerprint iff their distributed states are bit-identical.
+/// rank_slice() works on every transport — cluster() would throw under
+/// QUASAR_TRANSPORT=proc, and the transport-smoke CI job kills and
+/// resumes this demo with real rank processes.
 std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
   using quasar::Amplitude;
   std::uint32_t crc = 0;
-  const auto& cluster = sim.cluster();
-  for (int r = 0; r < cluster.num_ranks(); ++r) {
+  for (int r = 0; r < sim.num_ranks(); ++r) {
     crc = quasar::ckpt::crc32c_extend(
-        crc, cluster.rank_data(r),
-        static_cast<std::size_t>(cluster.local_size()) * sizeof(Amplitude));
+        crc, sim.rank_slice(r),
+        static_cast<std::size_t>(sim.local_size()) * sizeof(Amplitude));
   }
   crc = quasar::ckpt::crc32c_extend(
       crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));

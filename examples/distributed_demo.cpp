@@ -48,15 +48,17 @@ const char* medium_name(quasar::StorageMedium medium) {
 /// Order-sensitive digest of the full run state (rank slices, mapping,
 /// deferred phases): two runs print the same fingerprint iff their
 /// distributed states are bit-identical. The oocore-smoke CI job diffs
-/// this line between a disk-backed compressed run and the in-memory run.
+/// this line between a disk-backed compressed run and the in-memory run;
+/// the transport-smoke job diffs it between forked rank processes and
+/// the in-process cluster. rank_slice() works on every transport —
+/// cluster() would throw under QUASAR_TRANSPORT=proc.
 std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
   using quasar::Amplitude;
   std::uint32_t crc = 0;
-  const auto& cluster = sim.cluster();
-  for (int r = 0; r < cluster.num_ranks(); ++r) {
+  for (int r = 0; r < sim.num_ranks(); ++r) {
     crc = quasar::ckpt::crc32c_extend(
-        crc, cluster.rank_data(r),
-        static_cast<std::size_t>(cluster.local_size()) * sizeof(Amplitude));
+        crc, sim.rank_slice(r),
+        static_cast<std::size_t>(sim.local_size()) * sizeof(Amplitude));
   }
   crc = quasar::ckpt::crc32c_extend(
       crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));
@@ -107,7 +109,10 @@ int main() {
   options.seed = 3;
   const Circuit circuit = make_supremacy_circuit(options);
   const int n = options.rows * options.cols;
-  const int l = n - 4;  // 16 virtual ranks
+  // QUASAR_DEMO_GLOBALS picks g (ranks = 2^g). The default 4 = 16 ranks
+  // also fits the proc transport's process cap, so the transport-smoke
+  // CI job can dial it down without changing the circuit.
+  const int l = n - env_int("QUASAR_DEMO_GLOBALS", 4);
 
   std::printf("\nWorkload: %dx%d depth-%d supremacy circuit (%zu gates), "
               "%d ranks with %d local qubits.\n",
@@ -147,6 +152,7 @@ int main() {
   }
 
   DistributedSimulator ours(n, l, {}, storage);
+  std::printf("transport: %s\n", ours.multiprocess() ? "proc" : "virtual");
   ours.init_basis(0);
   ours.run(circuit, schedule);
   obs::set_progress_predictions({});

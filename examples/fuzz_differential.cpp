@@ -12,8 +12,12 @@
 ///
 /// Exits 0 when every seed agrees, 1 on any mismatch. Combine with
 /// QUASAR_VALIDATE=1 to run the invariant guards inside every engine at
-/// the same time (a guard trip is reported as a mismatch too).
+/// the same time (a guard trip is reported as a mismatch too), and with
+/// QUASAR_FUZZ_CROSS_TRANSPORT=1 to additionally rerun every distributed
+/// geometry on forked rank processes and hold the two transports to bit
+/// parity (state and communication volumes).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -27,7 +31,11 @@ int main(int argc, char** argv) {
   std::uint64_t first_seed = 1;
   int num_seeds = 200;
   const char* out_path = nullptr;
+  check::FuzzOptions options;
   try {
+    if (const char* v = std::getenv("QUASAR_FUZZ_CROSS_TRANSPORT")) {
+      options.cross_transport = parse_flag(v, "QUASAR_FUZZ_CROSS_TRANSPORT");
+    }
     if (argc > 1) {
       first_seed = static_cast<std::uint64_t>(
           parse_int_in_range(argv[1], 0, 1'000'000'000, "first_seed"));
@@ -51,10 +59,11 @@ int main(int argc, char** argv) {
   std::cout << "fuzzing seeds [" << first_seed << ", "
             << first_seed + static_cast<std::uint64_t>(num_seeds)
             << ") across reference / simulator / fused / distributed "
-               "geometries / fp32\n";
+               "geometries / fp32"
+            << (options.cross_transport ? " / proc transport" : "") << "\n";
 
   const check::FuzzReport report =
-      check::run_fuzz(first_seed, num_seeds, {}, &std::cout);
+      check::run_fuzz(first_seed, num_seeds, options, &std::cout);
 
   if (!report.mismatches.empty() && out_path != nullptr) {
     std::ofstream out(out_path);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstring>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -46,6 +47,29 @@ std::vector<int> fuzz_geometries(int n) {
 
 std::string engine_threw(const std::exception& e) {
   return std::string("engine threw: ") + e.what();
+}
+
+/// Cross-transport parity extends to the accounting: the volume counters
+/// state what the schedule moved, so both backends must report identical
+/// values. peak_bounce_bytes is deliberately excluded — it reflects how a
+/// backend chunks an exchange, not what was exchanged.
+std::string compare_comm_volumes(const CommStats& a, const CommStats& b) {
+  std::ostringstream out;
+  const auto field = [&](const char* name, std::uint64_t x, std::uint64_t y) {
+    if (x != y && out.tellp() == 0) {
+      out << "comm volume diverged: " << name << " " << x << " vs " << y;
+    }
+  };
+  field("alltoalls", a.alltoalls, b.alltoalls);
+  field("pairwise_exchanges", a.pairwise_exchanges, b.pairwise_exchanges);
+  field("bytes_sent_per_rank", a.bytes_sent_per_rank, b.bytes_sent_per_rank);
+  field("local_swap_sweeps", a.local_swap_sweeps, b.local_swap_sweeps);
+  field("local_permutation_sweeps", a.local_permutation_sweeps,
+        b.local_permutation_sweeps);
+  field("local_permutation_bytes", a.local_permutation_bytes,
+        b.local_permutation_bytes);
+  field("rank_renumberings", a.rank_renumberings, b.rank_renumberings);
+  return out.str();
 }
 
 /// Max-|diff| comparison against the reference oracle. Works for both
@@ -268,7 +292,10 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
     const int l = n - g;
     std::ostringstream name;
     name << "distributed(l=" << l << ",ranks=" << (1 << g) << ")";
-    DistributedSimulator sim(n, l);
+    // The baseline is pinned in-process so the cross-transport twin below
+    // always compares two *different* backends, whatever QUASAR_TRANSPORT
+    // says.
+    DistributedSimulator sim(n, l, {}, {}, TransportKind::kVirtual);
     sim.init_basis(0);
     ScheduleOptions sched;
     sched.num_local = l;
@@ -301,6 +328,45 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
         return fail(name.str() + " sampling", std::move(d));
       }
     }
+    if (options.cross_transport) {
+      // Same circuit, same schedule, real rank processes: the gathered
+      // state and the volume counters must match the in-process run bit
+      // for bit (DESIGN.md §12). memcmp is stricter than a tolerance-0
+      // compare — it even distinguishes -0.0 from 0.0.
+      std::ostringstream pname;
+      pname << "distributed-proc(l=" << l << ",ranks=" << (1 << g) << ")";
+      DistributedSimulator proc_sim(n, l, {}, {}, TransportKind::kProc);
+      proc_sim.init_basis(0);
+      try {
+        proc_sim.run(circuit, sched);
+      } catch (const std::exception& e) {
+        return fail(pname.str(), engine_threw(e));
+      }
+      const StateVector proc_state = proc_sim.gather();
+      if (std::memcmp(proc_state.data(), gathered.data(),
+                      static_cast<std::size_t>(gathered.size()) *
+                          sizeof(Amplitude)) != 0) {
+        std::string d = compare_states(gathered, proc_state, 0.0);
+        if (d.empty()) d = "states differ in bit representation only";
+        Mismatch m;
+        m.seed = seed;
+        m.engine_a = name.str();
+        m.engine_b = pname.str();
+        m.detail = "transports lost bit parity: " + std::move(d);
+        m.circuit = circuit;
+        return m;
+      }
+      if (auto d = compare_comm_volumes(sim.stats(), proc_sim.stats());
+          !d.empty()) {
+        Mismatch m;
+        m.seed = seed;
+        m.engine_a = name.str();
+        m.engine_b = pname.str();
+        m.detail = std::move(d);
+        m.circuit = circuit;
+        return m;
+      }
+    }
   }
 
   // --- out-of-core distributed (segmented disk-backed storage) ----------
@@ -314,8 +380,10 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
       const Schedule schedule = make_schedule(circuit, sched);
       // The parity baseline: the in-memory distributed engine over the
       // same schedule. The lossless pipeline must match it bit for bit,
-      // which is a far stronger check than the tolerance model.
-      DistributedSimulator mem(n, l);
+      // which is a far stronger check than the tolerance model. Pinned
+      // in-process: the proc transport rejects segmented storage, so
+      // this whole section is single-process by construction.
+      DistributedSimulator mem(n, l, {}, {}, TransportKind::kVirtual);
       mem.init_basis(0);
       mem.run(circuit, schedule);
       const StateVector mem_state = mem.gather();
@@ -327,7 +395,7 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
       {
         std::ostringstream name;
         name << "oocore-lz(l=" << l << ",ranks=" << (1 << g) << ")";
-        DistributedSimulator sim(n, l, {}, storage);
+        DistributedSimulator sim(n, l, {}, storage, TransportKind::kVirtual);
         sim.init_basis(0);
         try {
           sim.run(circuit, schedule);
@@ -352,7 +420,7 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
         std::ostringstream name;
         name << "oocore-fp32lz(l=" << l << ",ranks=" << (1 << g) << ")";
         storage.codec = oocore::Codec::kFp32Lz;
-        DistributedSimulator sim(n, l, {}, storage);
+        DistributedSimulator sim(n, l, {}, storage, TransportKind::kVirtual);
         sim.init_basis(0);
         try {
           sim.run(circuit, schedule);
@@ -387,19 +455,73 @@ std::optional<Mismatch> run_differential(const Circuit& circuit,
       const int l = n - g;
       std::ostringstream name;
       name << "fp32-distributed(l=" << l << ",ranks=" << (1 << g) << ")";
-      DistributedSimulatorF sim(n, l);
+      DistributedSimulatorF sim(n, l, 0, std::size_t{64} << 20,
+                                TransportKind::kVirtual);
       sim.init_basis(0);
       ScheduleOptions sched;
       sched.num_local = l;
       sched.kmax = std::min(sched.kmax, l);
+      const Schedule schedule = make_schedule(circuit, sched);
       try {
-        sim.run(circuit, make_schedule(circuit, sched));
+        sim.run(circuit, schedule);
       } catch (const std::exception& e) {
         return fail(name.str(), engine_threw(e));
       }
-      if (auto d = compare_states(reference, sim.gather(), tol32);
-          !d.empty()) {
+      const StateVectorF gathered = sim.gather();
+      if (auto d = compare_states(reference, gathered, tol32); !d.empty()) {
         return fail(name.str(), std::move(d));
+      }
+      if (options.cross_transport) {
+        // fp32 rank processes receive matrices and deferred phases in
+        // double over the wire and cast exactly where the in-process
+        // backend casts, so bit parity holds here too.
+        std::ostringstream pname;
+        pname << "fp32-distributed-proc(l=" << l << ",ranks=" << (1 << g)
+              << ")";
+        DistributedSimulatorF proc_sim(n, l, 0, std::size_t{64} << 20,
+                                       TransportKind::kProc);
+        proc_sim.init_basis(0);
+        try {
+          proc_sim.run(circuit, schedule);
+        } catch (const std::exception& e) {
+          return fail(pname.str(), engine_threw(e));
+        }
+        const StateVectorF proc_state = proc_sim.gather();
+        if (std::memcmp(proc_state.data(), gathered.data(),
+                        static_cast<std::size_t>(gathered.size()) *
+                            sizeof(AmplitudeF)) != 0) {
+          std::string d = "states differ in bit representation only";
+          for (Index i = 0; i < gathered.size(); ++i) {
+            if (std::memcmp(&gathered[i], &proc_state[i],
+                            sizeof(AmplitudeF)) != 0) {
+              std::ostringstream os;
+              os << std::setprecision(9) << "amplitude[" << i
+                 << "]: virtual (" << gathered[i].real() << ", "
+                 << gathered[i].imag() << ") vs proc ("
+                 << proc_state[i].real() << ", " << proc_state[i].imag()
+                 << ")";
+              d = os.str();
+              break;
+            }
+          }
+          Mismatch m;
+          m.seed = seed;
+          m.engine_a = name.str();
+          m.engine_b = pname.str();
+          m.detail = "transports lost bit parity: " + std::move(d);
+          m.circuit = circuit;
+          return m;
+        }
+        if (auto d = compare_comm_volumes(sim.stats(), proc_sim.stats());
+            !d.empty()) {
+          Mismatch m;
+          m.seed = seed;
+          m.engine_a = name.str();
+          m.engine_b = pname.str();
+          m.detail = std::move(d);
+          m.circuit = circuit;
+          return m;
+        }
       }
     }
   }

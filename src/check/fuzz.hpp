@@ -59,6 +59,13 @@ struct FuzzOptions {
   /// parity with the in-memory distributed engine, the lossy fp32lz
   /// pipeline to the fp32 tolerance model.
   bool oocore = true;
+  /// Cross-transport bit parity: rerun every distributed geometry (fp64
+  /// and fp32) on the multi-process backend — real forked rank
+  /// processes exchanging slices over UNIX sockets — and require the
+  /// gathered state and the communication-volume counters to match the
+  /// in-process run bit for bit. Off by default: forking 2^g ranks per
+  /// geometry per seed costs far more than the in-process engines.
+  bool cross_transport = false;
   /// Gate-bisection minimization of failing circuits inside run_fuzz.
   bool minimize = true;
   /// Optional corruption applied to the circuit seen by the plain

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/parse.hpp"
+
 namespace quasar::check {
 
 namespace detail {
@@ -14,8 +16,10 @@ std::atomic<int> g_enabled{-1};
 
 bool init_from_env() {
   const char* value = std::getenv("QUASAR_VALIDATE");
+  // Strict: "1" on, "0"/unset/empty off, anything else is an error — a
+  // typo must not silently disable the guards it was meant to enable.
   const bool on = value != nullptr && value[0] != '\0' &&
-                  !(value[0] == '0' && value[1] == '\0');
+                  parse_flag(value, "QUASAR_VALIDATE");
   // Another thread may race the same init; both compute the same answer.
   g_enabled.store(on ? 1 : 0, std::memory_order_release);
   return on;

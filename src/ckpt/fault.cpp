@@ -82,6 +82,13 @@ bool FaultInjector::torn_manifest() const {
 }
 
 void FaultInjector::kill(std::size_t stage) const {
+  if (kill_delegate_) {
+    try {
+      kill_delegate_(stage);
+    } catch (...) {
+      // The delegate is best-effort staging for the real kill below.
+    }
+  }
   if (kill_throws_) throw SimulatedKill{stage};
   std::fprintf(stderr,
                "QUASAR_FAULT: killing process at stage %zu boundary\n",

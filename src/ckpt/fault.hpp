@@ -21,6 +21,7 @@
 /// a fault-free run (core/parse discipline).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -67,13 +68,22 @@ class FaultInjector {
   bool torn_manifest() const;
 
   /// Terminates the process with exit code 137 (the shell's code for a
-  /// SIGKILLed child), or throws SimulatedKill in kill-throws mode.
+  /// SIGKILLed child), or throws SimulatedKill in kill-throws mode. When a
+  /// kill delegate is installed it runs FIRST — under the multi-process
+  /// transport it lands the fault in a real rank process and tears the
+  /// survivors down before this process dies.
   [[noreturn]] void kill(std::size_t stage) const;
   /// Unit-test mode: kill() throws SimulatedKill instead of exiting.
   void set_kill_throws(bool throws) { kill_throws_ = throws; }
+  /// Hook run at the start of kill() (e.g. kill one rank process). A
+  /// throwing delegate does not stop the kill.
+  void set_kill_delegate(std::function<void(std::size_t)> delegate) {
+    kill_delegate_ = std::move(delegate);
+  }
 
  private:
   std::vector<FaultSpec> specs_;
+  std::function<void(std::size_t)> kill_delegate_;
   bool kill_throws_ = false;
 };
 

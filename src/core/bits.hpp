@@ -10,6 +10,7 @@
 
 #include <array>
 #include <bit>
+#include <string>
 #include <vector>
 
 #include "core/error.hpp"
@@ -30,6 +31,15 @@ constexpr bool is_pow2(Index x) noexcept { return std::has_single_bit(x); }
 constexpr Index insert_zero_bit(Index x, int pos) noexcept {
   const Index low_mask = (Index{1} << pos) - 1;
   return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/// Narrows an Index to int with a range check: counts derived from qubit
+/// geometry (rank counts, block counts) travel as Index but feed int
+/// interfaces; an absurd exponent must fail loudly, not wrap negative.
+inline int checked_int(Index value, const char* what) {
+  QUASAR_CHECK(value <= Index{2147483647},
+               std::string(what) + " exceeds int range");
+  return static_cast<int>(value);
 }
 
 /// Extracts the bit at position `pos` (0 or 1).

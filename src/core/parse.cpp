@@ -77,4 +77,10 @@ double parse_double(std::string_view token, const std::string& what,
   return value;
 }
 
+bool parse_flag(std::string_view token, const std::string& what) {
+  if (token == "0") return false;
+  if (token == "1") return true;
+  fail(token, what, std::string(), "is not a flag (expected 0 or 1)");
+}
+
 }  // namespace quasar

@@ -34,4 +34,9 @@ std::uint64_t parse_uint64(std::string_view token, const std::string& what,
 double parse_double(std::string_view token, const std::string& what,
                     const std::string& context = std::string());
 
+/// Parses an on/off switch ("0" -> false, "1" -> true). Anything else
+/// throws quasar::Error naming `what` — environment toggles must not
+/// guess at "true"/"yes"/garbage.
+bool parse_flag(std::string_view token, const std::string& what);
+
 }  // namespace quasar

@@ -1,0 +1,20 @@
+#include "core/scratch.hpp"
+
+#include <utility>
+
+namespace quasar {
+
+namespace {
+std::string& tag_storage() {
+  static std::string tag;
+  return tag;
+}
+}  // namespace
+
+void set_process_scratch_tag(std::string tag) {
+  tag_storage() = std::move(tag);
+}
+
+const std::string& process_scratch_tag() { return tag_storage(); }
+
+}  // namespace quasar

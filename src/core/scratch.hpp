@@ -1,0 +1,25 @@
+/// \file scratch.hpp
+/// \brief Process-wide scratch-file namespace tag.
+///
+/// Every temp file the simulator creates (disk-backed rank slices,
+/// out-of-core segment stores, disk benchmarks) embeds this tag in its
+/// mkstemp pattern. Single-process runs leave it empty; the multi-process
+/// transport sets it to "r<rank>." in each forked rank, so concurrent
+/// ranks sharing one scratch directory can never collide on a pattern and
+/// a leftover file (there should be none — everything is unlinked at
+/// birth) is attributable to the rank that made it.
+#pragma once
+
+#include <string>
+
+namespace quasar {
+
+/// Sets the scratch tag for this process. Pass e.g. "r3." in rank 3 of a
+/// multi-process job. Not thread-safe; call before spawning sweeps.
+void set_process_scratch_tag(std::string tag);
+
+/// Current tag ("" by default). Embedded into mkstemp patterns as
+/// <dir>/quasar_<kind>_<tag>XXXXXX.
+const std::string& process_scratch_tag();
+
+}  // namespace quasar

@@ -1,20 +1,18 @@
 #include "fp32/distributed_f32.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "check/invariant.hpp"
 #include "ckpt/crc32c.hpp"
 #include "core/bits.hpp"
 #include "core/error.hpp"
-#include "kernels/permute.hpp"
 #include "obs/histogram.hpp"
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
@@ -46,20 +44,17 @@ std::size_t ops_through_stage(const Schedule& schedule, std::size_t cursor) {
 
 DistributedSimulatorF::DistributedSimulatorF(int num_qubits, int num_local,
                                              int num_threads,
-                                             std::size_t bounce_buffer_bytes)
-    : num_qubits_(num_qubits), num_local_(num_local),
-      num_threads_(num_threads),
-      bounce_buffer_bytes_(bounce_buffer_bytes) {
+                                             std::size_t bounce_buffer_bytes,
+                                             TransportKind transport)
+    : num_qubits_(num_qubits), num_local_(num_local) {
   QUASAR_CHECK(num_local >= 1 && num_local <= num_qubits,
                "DistributedSimulatorF: num_local must be in [1, n]");
   QUASAR_CHECK(num_qubits - num_local <= 12,
                "DistributedSimulatorF: at most 2^12 simulated ranks");
   QUASAR_CHECK(num_qubits - num_local <= num_local,
                "DistributedSimulatorF: needs g <= l");
-  buffers_.resize(num_ranks());
-  for (auto& buffer : buffers_) {
-    buffer.assign(local_size(), AmplitudeF{0.0f, 0.0f});
-  }
+  comm_ = make_communicator_f32(num_qubits, num_local, num_threads,
+                                bounce_buffer_bytes, transport);
   pending_phase_.assign(num_ranks(), Amplitude{1.0, 0.0});
   mapping_.resize(num_qubits);
   std::iota(mapping_.begin(), mapping_.end(), 0);
@@ -67,20 +62,14 @@ DistributedSimulatorF::DistributedSimulatorF(int num_qubits, int num_local,
 
 void DistributedSimulatorF::init_basis(Index index) {
   QUASAR_CHECK(index < index_pow2(num_qubits_), "basis index out of range");
-  for (auto& buffer : buffers_) {
-    std::fill(buffer.begin(), buffer.end(), AmplitudeF{0.0f, 0.0f});
-  }
-  buffers_[index >> num_local_][index & (local_size() - 1)] = 1.0f;
+  comm_->init_basis(index);
   std::fill(pending_phase_.begin(), pending_phase_.end(),
             Amplitude{1.0, 0.0});
   std::iota(mapping_.begin(), mapping_.end(), 0);
 }
 
 void DistributedSimulatorF::init_uniform() {
-  const float value = static_cast<float>(std::pow(2.0, -0.5 * num_qubits_));
-  for (auto& buffer : buffers_) {
-    std::fill(buffer.begin(), buffer.end(), AmplitudeF{value, 0.0f});
-  }
+  comm_->init_uniform();
   std::fill(pending_phase_.begin(), pending_phase_.end(),
             Amplitude{1.0, 0.0});
   std::iota(mapping_.begin(), mapping_.end(), 0);
@@ -124,12 +113,7 @@ void DistributedSimulatorF::execute_stage(const Circuit& circuit,
       const Cluster& cluster = stage.clusters[item.cluster];
       QUASAR_OBS_SPAN("gate_run", "cluster", "width",
                       static_cast<std::int64_t>(cluster.width()));
-      const PreparedGateF prepared =
-          prepare_gate_f32(*cluster.matrix, cluster.qubits);
-      for (int r = 0; r < num_ranks(); ++r) {
-        apply_gate_f32(buffers_[r].data(), num_local_, prepared,
-                       num_threads_);
-      }
+      comm_->apply_gate_all(*cluster.matrix, cluster.qubits);
     } else {
       QUASAR_OBS_SPAN("gate_run", "global_op");
       apply_global_op(circuit.op(item.op), stage);
@@ -163,6 +147,13 @@ void DistributedSimulatorF::run(const Circuit& circuit,
   std::size_t ops_done = 0;
   if (validate) norm_before = norm_squared();
   const std::optional<int> kill_at = writer.fault().kill_stage();
+  if (kill_at && comm_->multiprocess()) {
+    // Injected kills must land in a real rank process under the proc
+    // transport (see DistributedSimulator::run).
+    writer.fault().set_kill_delegate([this](std::size_t stage) {
+      comm_->kill_rank_for_fault(stage);
+    });
+  }
   for (std::size_t si = ckpt_run.first_stage; si < num_stages; ++si) {
     if (kill_at && static_cast<std::size_t>(*kill_at) == si) {
       // Drain first so the newest on-disk generation at "death" is a
@@ -208,12 +199,13 @@ void DistributedSimulatorF::checkpoint(ckpt::CheckpointWriter& writer,
   m.rng_state = rng != nullptr ? rng->serialize() : std::string();
   m.pending_phase.assign(pending_phase_.begin(), pending_phase_.end());
   m.shards.clear();
+  const int ranks = num_ranks();
   const std::size_t bytes =
       static_cast<std::size_t>(local_size()) * sizeof(AmplitudeF);
-  snap.shard_bytes.resize(buffers_.size());
-  for (std::size_t r = 0; r < buffers_.size(); ++r) {
+  snap.shard_bytes.resize(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
     snap.shard_bytes[r].resize(bytes);
-    std::memcpy(snap.shard_bytes[r].data(), buffers_[r].data(), bytes);
+    std::memcpy(snap.shard_bytes[r].data(), comm().slice(r), bytes);
   }
   writer.commit();
 }
@@ -283,7 +275,8 @@ std::size_t DistributedSimulatorF::resume(
       norm, m.norm_squared,
       check::norm_tolerance(num_qubits_, ops, check::kEps32), kSite);
   for (int r = 0; r < ranks; ++r) {
-    std::memcpy(buffers_[r].data(), snapshot.shard_bytes[r].data(), bytes);
+    comm_->write_slice(r, reinterpret_cast<const AmplitudeF*>(
+                              snapshot.shard_bytes[r].data()));
   }
   mapping_ = m.mapping;
   pending_phase_ = m.pending_phase;
@@ -298,8 +291,8 @@ void DistributedSimulatorF::validate_invariants(const char* site,
   check::require_bijection(mapping_, num_qubits_, site);
   check::require_unit_phases(pending_phase_, check::phase_tolerance(ops),
                              site);
-  for (const auto& buffer : buffers_) {
-    check::require_finite(buffer.data(), buffer.size(), site);
+  for (int r = 0; r < num_ranks(); ++r) {
+    check::require_finite(comm().slice(r), local_size(), site);
   }
   check::require_norm_preserved(
       norm_squared(), norm_before,
@@ -327,9 +320,10 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
     const auto perm = op.matrix->phased_permutation();
     QUASAR_CHECK(perm.has_value(),
                  "apply_global_op: dense all-global gate in the executor");
-    std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
-    std::vector<Amplitude> next_phase(num_ranks());
-    for (int r = 0; r < num_ranks(); ++r) {
+    const int ranks = num_ranks();
+    std::vector<Index> source_of(static_cast<std::size_t>(ranks));
+    std::vector<Amplitude> next_phase(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
       Index col = 0;
       for (std::size_t j = 0; j < global_bits.size(); ++j) {
         col |= static_cast<Index>(
@@ -342,13 +336,11 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
         dest = set_bit(dest, global_bits[j],
                        get_bit(row, static_cast<int>(j)));
       }
-      next[dest] = std::move(buffers_[r]);
+      source_of[dest] = static_cast<Index>(r);
       next_phase[dest] = pending_phase_[r] * perm->phase[col];
     }
-    buffers_ = std::move(next);
+    comm_->permute_ranks(source_of);
     pending_phase_ = std::move(next_phase);
-    ++stats_.rank_renumberings;
-    obs::count(obs::names::kCommRankRenumberings);
     return;
   }
 
@@ -371,168 +363,7 @@ void DistributedSimulatorF::apply_global_op(const GateOp& op,
       pending_phase_[r] *= cond.phase;
       continue;
     }
-    const PreparedGateF prepared =
-        prepare_gate_f32(cond.matrix, local_locations);
-    apply_gate_f32(buffers_[r].data(), num_local_, prepared, num_threads_);
-  }
-}
-
-void DistributedSimulatorF::alltoall_swap(
-    const std::vector<int>& global_locations,
-    const std::vector<int>& local_positions) {
-  // In-place chunked exchange, mirroring VirtualCluster::alltoall_swap:
-  // the bit-transposition involution pairs every amplitude with a unique
-  // partner, so the state is never shadow-copied.
-  obs::ScopedSpan obs_span("exchange", "alltoall");
-  const int q = static_cast<int>(global_locations.size());
-  const int l = num_local_;
-  const Index block = index_pow2(l - q);
-  const int ranks = num_ranks();
-
-  std::vector<int> sorted_locals = local_positions;
-  std::sort(sorted_locals.begin(), sorted_locals.end());
-  const int run_bits = sorted_locals.front();
-  const Index run = index_pow2(run_bits);
-  const Index num_runs = index_pow2(l - q - run_bits);
-  const IndexExpander expander(sorted_locals);
-
-  const int threads = omp_get_max_threads();
-  Index chunk = run;
-  const Index budget_amps = std::max<std::size_t>(
-      std::size_t{1},
-      bounce_buffer_bytes_ /
-          (static_cast<std::size_t>(threads) * sizeof(AmplitudeF)));
-  if (chunk > budget_amps) chunk = Index{1} << ilog2(budget_amps);
-  const Index chunks_per_run = run / chunk;
-
-  struct Orbit {
-    AmplitudeF* a;
-    AmplitudeF* b;
-  };
-  std::vector<Orbit> orbits;
-  for (int r = 0; r < ranks; ++r) {
-    Index theirs = 0;
-    for (int i = 0; i < q; ++i) {
-      theirs |= static_cast<Index>(get_bit(static_cast<Index>(r),
-                                           global_locations[i] - l))
-                << i;
-    }
-    for (Index mine = 0; mine < theirs; ++mine) {
-      Index partner = static_cast<Index>(r);
-      for (int i = 0; i < q; ++i) {
-        partner = set_bit(partner, global_locations[i] - l,
-                          get_bit(mine, i));
-      }
-      Index off_mine = 0, off_theirs = 0;
-      for (int i = 0; i < q; ++i) {
-        off_mine |= static_cast<Index>(get_bit(mine, i))
-                    << local_positions[i];
-        off_theirs |= static_cast<Index>(get_bit(theirs, i))
-                      << local_positions[i];
-      }
-      orbits.push_back(Orbit{buffers_[r].data() + off_mine,
-                             buffers_[partner].data() + off_theirs});
-    }
-  }
-
-  const std::int64_t num_orbits = static_cast<std::int64_t>(orbits.size());
-  const std::int64_t tasks =
-      static_cast<std::int64_t>(num_runs * chunks_per_run);
-  // Hoisted so the per-chunk latency probe costs nothing (not even the
-  // session load) in the untraced inner loop.
-  const bool record_latency = obs::enabled();
-#pragma omp parallel num_threads(threads)
-  {
-    AlignedVector<AmplitudeF> bounce(chunk);
-#pragma omp for collapse(2) schedule(static)
-    for (std::int64_t o = 0; o < num_orbits; ++o) {
-      for (std::int64_t t = 0; t < tasks; ++t) {
-        const Index run_idx = static_cast<Index>(t) / chunks_per_run;
-        const Index coff = (static_cast<Index>(t) % chunks_per_run) * chunk;
-        const Index base = expander.expand(run_idx << run_bits) + coff;
-        AmplitudeF* pa = orbits[o].a + base;
-        AmplitudeF* pb = orbits[o].b + base;
-        const std::size_t bytes = chunk * sizeof(AmplitudeF);
-        if (record_latency) {
-          obs::ScopedLatency chunk_latency(obs::names::kCommExchangeChunkNs);
-          std::memcpy(bounce.data(), pa, bytes);
-          std::memcpy(pa, pb, bytes);
-          std::memcpy(pb, bounce.data(), bytes);
-        } else {
-          std::memcpy(bounce.data(), pa, bytes);
-          std::memcpy(pa, pb, bytes);
-          std::memcpy(pb, bounce.data(), bytes);
-        }
-      }
-    }
-  }
-
-  ++stats_.alltoalls;
-  // Half the bytes of the double-precision swap: the Sec. 5 win.
-  const std::uint64_t sent = (local_size() - block) * sizeof(AmplitudeF);
-  stats_.bytes_sent_per_rank += sent;
-  const std::uint64_t bounce_bytes =
-      static_cast<std::uint64_t>(threads) * chunk * sizeof(AmplitudeF);
-  if (bounce_bytes > stats_.peak_bounce_bytes) {
-    stats_.peak_bounce_bytes = bounce_bytes;
-  }
-  obs_span.set_arg("bytes_per_rank", static_cast<std::int64_t>(sent));
-  obs::count(obs::names::kCommAlltoalls);
-  obs::count(obs::names::kCommBytesSentPerRank, sent);
-  obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
-}
-
-void DistributedSimulatorF::local_permute(const std::vector<int>& perm,
-                                          bool fold_phases) {
-  const PermutePlan plan = plan_bit_permutation(num_local_, perm);
-  bool any_phase = false;
-  if (fold_phases) {
-    for (const Amplitude& p : pending_phase_) {
-      any_phase |= p != Amplitude{1.0, 0.0};
-    }
-  }
-  if (plan.identity && !any_phase) return;
-
-  const std::uint64_t sweep_bytes =
-      static_cast<std::uint64_t>(num_ranks()) * local_size() *
-      sizeof(AmplitudeF);
-  QUASAR_OBS_SPAN("permute", "local_permute", "bytes",
-                  static_cast<std::int64_t>(sweep_bytes));
-  const int threads =
-      num_threads_ > 0 ? num_threads_ : omp_get_max_threads();
-  const std::size_t scratch_bytes = std::max<std::size_t>(
-      sizeof(AmplitudeF),
-      bounce_buffer_bytes_ / static_cast<std::size_t>(threads));
-  for (int r = 0; r < num_ranks(); ++r) {
-    const AmplitudeF phase =
-        fold_phases
-            ? AmplitudeF{static_cast<float>(pending_phase_[r].real()),
-                         static_cast<float>(pending_phase_[r].imag())}
-            : AmplitudeF{1.0f, 0.0f};
-    detail::run_bit_permutation(buffers_[r].data(), plan, phase,
-                                num_threads_, scratch_bytes);
-  }
-  if (fold_phases) {
-    std::fill(pending_phase_.begin(), pending_phase_.end(),
-              Amplitude{1.0, 0.0});
-  }
-
-  ++stats_.local_permutation_sweeps;
-  stats_.local_permutation_bytes += sweep_bytes;
-  obs::count(obs::names::kCommLocalPermutationSweeps);
-  obs::count(obs::names::kCommLocalPermutationBytes, sweep_bytes);
-  if (!plan.identity) {
-    // Mirror the double-precision accounting: the permutation's bounce
-    // usage must fold into the peak too (it previously did not here).
-    const std::uint64_t brick_bytes =
-        index_pow2(plan.brick_bits) * sizeof(AmplitudeF);
-    const std::uint64_t bounce_bytes =
-        static_cast<std::uint64_t>(threads) *
-        std::min<std::uint64_t>(scratch_bytes, brick_bytes);
-    if (bounce_bytes > stats_.peak_bounce_bytes) {
-      stats_.peak_bounce_bytes = bounce_bytes;
-    }
-    obs::count_peak(obs::names::kCommPeakBounceBytes, bounce_bytes);
+    comm_->apply_gate_rank(r, cond.matrix, local_locations);
   }
 }
 
@@ -568,7 +399,11 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
     const int target = to[q] < l ? to[q] : park_location[q];
     local_perm[target] = cur[q];
   }
-  local_permute(local_perm, /*fold_phases=*/q_move > 0);
+  comm_->local_permute(local_perm, q_move > 0 ? &pending_phase_ : nullptr);
+  if (q_move > 0) {
+    std::fill(pending_phase_.begin(), pending_phase_.end(),
+              Amplitude{1.0, 0.0});
+  }
   {
     std::vector<Qubit> prev_at(at.begin(), at.begin() + l);
     for (int j = 0; j < l; ++j) {
@@ -589,7 +424,7 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
       global_locations.push_back(gloc);
       local_positions.push_back(lloc);
     }
-    alltoall_swap(global_locations, local_positions);
+    comm_->alltoall_swap(global_locations, local_positions);
     for (const auto& [gloc, lloc] : pairs) {
       const Qubit qg = at[gloc], ql = at[lloc];
       std::swap(at[gloc], at[lloc]);
@@ -611,21 +446,20 @@ void DistributedSimulatorF::transition(const std::vector<int>& from,
     bool identity = true;
     for (int j = 0; j < g; ++j) identity &= perm[j] == j;
     if (!identity) {
-      std::vector<AlignedVector<AmplitudeF>> next(num_ranks());
-      std::vector<Amplitude> next_phase(num_ranks());
-      for (int r = 0; r < num_ranks(); ++r) {
+      const int ranks = num_ranks();
+      std::vector<Index> source_of(static_cast<std::size_t>(ranks));
+      std::vector<Amplitude> next_phase(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
         Index src = 0;
         for (int j = 0; j < g; ++j) {
           src |= static_cast<Index>(get_bit(static_cast<Index>(r), j))
                  << perm[j];
         }
-        next[r] = std::move(buffers_[src]);
+        source_of[r] = src;
         next_phase[r] = pending_phase_[src];
       }
-      buffers_ = std::move(next);
+      comm_->permute_ranks(source_of);
       pending_phase_ = std::move(next_phase);
-      ++stats_.rank_renumberings;
-      obs::count(obs::names::kCommRankRenumberings);
     }
   }
 }
@@ -634,13 +468,16 @@ StateVectorF DistributedSimulatorF::gather() const {
   QUASAR_CHECK(num_qubits_ <= 28, "gather: state too large to reassemble");
   StateVectorF out(num_qubits_);
   const Index local_mask = local_size() - 1;
+  const int ranks = num_ranks();
+  std::vector<const AmplitudeF*> slices(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) slices[r] = comm().slice(r);
   for (Index p = 0; p < out.size(); ++p) {
     Index machine = 0;
     for (int q = 0; q < num_qubits_; ++q) {
       machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
     }
     const int rank = static_cast<int>(machine >> num_local_);
-    const AmplitudeF raw = buffers_[rank][machine & local_mask];
+    const AmplitudeF raw = slices[rank][machine & local_mask];
     const Amplitude phased =
         Amplitude{raw.real(), raw.imag()} * pending_phase_[rank];
     out[p] = AmplitudeF{static_cast<float>(phased.real()),
@@ -649,29 +486,15 @@ StateVectorF DistributedSimulatorF::gather() const {
   return out;
 }
 
-Real DistributedSimulatorF::norm_squared() const {
-  Real total = 0.0;
-  for (const auto& buffer : buffers_) {
-    const AmplitudeF* data = buffer.data();
-    const std::int64_t count = static_cast<std::int64_t>(buffer.size());
-#pragma omp parallel for schedule(static) reduction(+ : total)
-    for (std::int64_t i = 0; i < count; ++i) {
-      total += static_cast<Real>(data[i].real()) * data[i].real() +
-               static_cast<Real>(data[i].imag()) * data[i].imag();
-    }
-  }
-  return total;
-}
-
 Real DistributedSimulatorF::entropy() const {
   QUASAR_OBS_SPAN("measure", "entropy");
   Real total = 0.0;
-  for (const auto& buffer : buffers_) {
-    const AmplitudeF* data = buffer.data();
+  const std::int64_t count = static_cast<std::int64_t>(local_size());
+  for (int r = 0; r < num_ranks(); ++r) {
+    const AmplitudeF* data = comm().slice(r);
     Real partial = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : partial)
-    for (std::int64_t i = 0;
-         i < static_cast<std::int64_t>(buffer.size()); ++i) {
+    for (std::int64_t i = 0; i < count; ++i) {
       const Real p = static_cast<Real>(data[i].real()) * data[i].real() +
                      static_cast<Real>(data[i].imag()) * data[i].imag();
       if (p > 0.0) partial -= p * std::log(p);

@@ -5,7 +5,9 @@
 /// the multi-node global-to-local swap scheme of Sec. 3.4/3.5 over
 /// single-precision rank slices — half the memory, half the network
 /// bytes per swap. Mirrors DistributedSimulator; schedules are shared
-/// (they are precision-agnostic).
+/// (they are precision-agnostic). All amplitude motion goes through the
+/// CommunicatorF seam, so QUASAR_TRANSPORT=proc runs this engine over
+/// real forked rank processes too.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +17,7 @@
 #include "ckpt/reader.hpp"
 #include "ckpt/writer.hpp"
 #include "core/rng.hpp"
+#include "fp32/cluster_f32.hpp"
 #include "fp32/kernels_f32.hpp"
 #include "fp32/statevector_f32.hpp"
 #include "runtime/comm.hpp"
@@ -23,7 +26,7 @@
 
 namespace quasar {
 
-/// Distributed float statevector simulator over 2^(n-l) virtual ranks.
+/// Distributed float statevector simulator over 2^(n-l) ranks.
 class DistributedSimulatorF {
  public:
   /// `bounce_buffer_bytes` bounds the scratch used by the in-place
@@ -31,14 +34,18 @@ class DistributedSimulatorF {
   /// at least one amplitude per thread is always granted).
   DistributedSimulatorF(int num_qubits, int num_local, int num_threads = 0,
                         std::size_t bounce_buffer_bytes = std::size_t{64}
-                                                          << 20);
+                                                          << 20,
+                        TransportKind transport = transport_from_env());
 
   int num_qubits() const noexcept { return num_qubits_; }
   int num_local() const noexcept { return num_local_; }
-  int num_ranks() const noexcept {
-    return static_cast<int>(index_pow2(num_qubits_ - num_local_));
+  int num_ranks() const {
+    return checked_int(index_pow2(num_qubits_ - num_local_),
+                       "DistributedSimulatorF rank count");
   }
   Index local_size() const noexcept { return index_pow2(num_local_); }
+  /// True when the ranks are separate OS processes.
+  bool multiprocess() const { return comm_->multiprocess(); }
 
   void init_basis(Index index);
   void init_uniform();
@@ -66,10 +73,14 @@ class DistributedSimulatorF {
   /// Reassembles the full float state in program order.
   StateVectorF gather() const;
 
-  Real norm_squared() const;
+  /// Raw slice of logical rank `rank` (transport-agnostic; proc fetches
+  /// into a root-side cache). Deferred phases are NOT folded in.
+  const AmplitudeF* rank_slice(int rank) const { return comm().slice(rank); }
+
+  Real norm_squared() const { return comm().norm_squared(); }
   Real entropy() const;
 
-  const CommStats& stats() const noexcept { return stats_; }
+  CommStats stats() const { return comm().stats(); }
 
   /// Current program-qubit -> bit-location mapping.
   const std::vector<int>& mapping() const { return mapping_; }
@@ -85,25 +96,19 @@ class DistributedSimulatorF {
   /// deferred phases accumulate in double and use the fp64 tolerance).
   void validate_invariants(const char* site, Real norm_before,
                            std::size_t ops) const;
-  /// In-place chunked exchange of global_locations[i] with local
-  /// bit-location local_positions[i] (mirror of VirtualCluster).
-  void alltoall_swap(const std::vector<int>& global_locations,
-                     const std::vector<int>& local_positions);
-  /// One fused local permutation sweep; folds the deferred per-rank
-  /// phases into the same pass when `fold_phases` is set.
-  void local_permute(const std::vector<int>& perm, bool fold_phases);
   /// One stage's gate items (clusters + global ops), post-transition.
   void execute_stage(const Circuit& circuit, const Stage& stage);
   void apply_global_op(const GateOp& op, const Stage& stage);
 
+  /// The seam, usable from const readers (slice fetches may mutate the
+  /// proc backend's root-side cache, never the simulated state).
+  CommunicatorF& comm() const { return *comm_; }
+
   int num_qubits_;
   int num_local_;
-  int num_threads_;
-  std::size_t bounce_buffer_bytes_;
-  std::vector<AlignedVector<AmplitudeF>> buffers_;
+  std::unique_ptr<CommunicatorF> comm_;
   std::vector<Amplitude> pending_phase_;  // accumulated in double
   std::vector<int> mapping_;
-  CommStats stats_;
 };
 
 }  // namespace quasar

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "core/parse.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
 
@@ -33,7 +34,9 @@ TrackerState& tracker() {
 
 bool env_progress_enabled() {
   const char* value = std::getenv("QUASAR_PROGRESS");
-  return value != nullptr && value[0] != '\0' && value[0] != '0';
+  // Strict: "1" on, "0"/unset/empty off, anything else throws.
+  return value != nullptr && value[0] != '\0' &&
+         parse_flag(value, "QUASAR_PROGRESS");
 }
 
 /// Builds the snapshot from tracker state; call with the lock held.

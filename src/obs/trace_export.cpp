@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/error.hpp"
+#include "core/parse.hpp"
 #include "obs/histogram.hpp"
 #include "obs/sampler.hpp"
 
@@ -411,11 +412,11 @@ EnvTraceGuard::EnvTraceGuard() {
   set_global_session(session_.get());
   const char* sample_ms = std::getenv("QUASAR_SAMPLE_MS");
   if (sample_ms != nullptr && sample_ms[0] != '\0') {
-    const int period = std::atoi(sample_ms);
-    if (period > 0) {
-      sampler_ = std::make_unique<TimeSeriesSampler>(*session_, period);
-      sampler_->start();
-    }
+    // Strict: atoi would read "50x" as 50 and "x" as "sampler off".
+    const int period =
+        parse_int_in_range(sample_ms, 1, 3600000, "QUASAR_SAMPLE_MS");
+    sampler_ = std::make_unique<TimeSeriesSampler>(*session_, period);
+    sampler_->start();
   }
 }
 

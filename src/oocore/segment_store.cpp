@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "core/scratch.hpp"
 #include "obs/histogram.hpp"
 #include "obs/names.hpp"
 
@@ -83,23 +84,45 @@ SegmentStore::SegmentStore(Index count, const SegmentStoreOptions& options)
     throw Error("SegmentStore: storage directory '" + options.directory +
                 "' does not exist or is not a directory");
   }
-  std::string path = options.directory + "/quasar_oocore_XXXXXX";
-  fd_ = ::mkstemp(path.data());
-  if (fd_ < 0) {
-    throw_errno("SegmentStore: cannot create backing file in '" +
-                options.directory + "'");
-  }
-  // Re-open with O_DIRECT where the filesystem supports it (mkstemp
-  // cannot pass the flag), then unlink: anonymous either way.
+  std::string path = options.directory + "/quasar_oocore_(O_TMPFILE)";
+  // O_TMPFILE first: the file is anonymous from the instant it exists,
+  // so a crash (or fault-injected _Exit) can never strand a multi-GB
+  // backing file — mkstemp-then-unlink leaves a named orphan if the
+  // process dies in between, and the O_DIRECT re-open used to widen
+  // that window further. O_DIRECT rides along on the same open.
+  fd_ = -1;
+#ifdef O_TMPFILE
   if (options.direct_io) {
-    const int dfd = ::open(path.c_str(), O_RDWR | O_DIRECT);
-    if (dfd >= 0) {
-      ::close(fd_);
-      fd_ = dfd;
-      direct_io_ = true;
-    }
+    fd_ = ::open(options.directory.c_str(), O_TMPFILE | O_RDWR | O_DIRECT,
+                 0600);
+    if (fd_ >= 0) direct_io_ = true;
   }
-  ::unlink(path.c_str());
+  if (fd_ < 0) {
+    fd_ = ::open(options.directory.c_str(), O_TMPFILE | O_RDWR, 0600);
+  }
+#endif
+  if (fd_ < 0) {
+    // Filesystem without O_TMPFILE: named mkstemp, re-opened for
+    // O_DIRECT, unlinked as early as possible. The per-process scratch
+    // tag ("r<slot>." under the proc transport) keeps any orphan from a
+    // hard kill attributable to the rank that leaked it.
+    path = options.directory + "/quasar_oocore_" + process_scratch_tag() +
+           "XXXXXX";
+    fd_ = ::mkstemp(path.data());
+    if (fd_ < 0) {
+      throw_errno("SegmentStore: cannot create backing file in '" +
+                  options.directory + "'");
+    }
+    if (options.direct_io) {
+      const int dfd = ::open(path.c_str(), O_RDWR | O_DIRECT);
+      if (dfd >= 0) {
+        ::close(fd_);
+        fd_ = dfd;
+        direct_io_ = true;
+      }
+    }
+    ::unlink(path.c_str());
+  }
   if (::ftruncate(fd_, static_cast<off_t>(num_segments_ * slot_stride_)) !=
       0) {
     const int err = errno;

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "core/scratch.hpp"
 
 namespace quasar {
 
@@ -49,7 +50,8 @@ double measure_disk_stream_gbs(const std::string& directory,
   bytes = std::max(bytes, kChunk);
   bytes = bytes / kChunk * kChunk;
 
-  std::string path = directory + "/quasar_diskbench_XXXXXX";
+  std::string path =
+      directory + "/quasar_diskbench_" + process_scratch_tag() + "XXXXXX";
   const int fd = ::mkstemp(path.data());
   QUASAR_CHECK(fd >= 0, "measure_disk_stream_gbs: cannot create a scratch "
                         "file in '" + directory + "'");

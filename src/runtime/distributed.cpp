@@ -40,23 +40,38 @@ std::size_t ops_through_stage(const Schedule& schedule, std::size_t cursor) {
 
 DistributedSimulator::DistributedSimulator(int num_qubits, int num_local,
                                            ApplyOptions options,
-                                           StorageOptions storage)
-    : cluster_(num_qubits, num_local, std::move(storage)),
+                                           StorageOptions storage,
+                                           TransportKind transport)
+    : comm_(make_communicator(num_qubits, num_local, std::move(storage),
+                              options, transport)),
       options_(options) {
   mapping_.resize(num_qubits);
   std::iota(mapping_.begin(), mapping_.end(), 0);
-  pending_phase_.assign(cluster_.num_ranks(), Amplitude{1.0, 0.0});
+  pending_phase_.assign(comm_->num_ranks(), Amplitude{1.0, 0.0});
+}
+
+const VirtualCluster& DistributedSimulator::cluster() const {
+  return local_cluster();
+}
+
+VirtualCluster& DistributedSimulator::local_cluster() const {
+  VirtualCluster* local = comm().local_cluster();
+  QUASAR_CHECK(local != nullptr,
+               "cluster(): the active transport does not expose an "
+               "in-process cluster (QUASAR_TRANSPORT=proc); use "
+               "rank_slice()/stats() for transport-agnostic reads");
+  return *local;
 }
 
 void DistributedSimulator::init_basis(Index index) {
-  cluster_.init_basis(index);
+  comm_->init_basis(index);
   std::iota(mapping_.begin(), mapping_.end(), 0);
   std::fill(pending_phase_.begin(), pending_phase_.end(),
             Amplitude{1.0, 0.0});
 }
 
 void DistributedSimulator::init_uniform() {
-  cluster_.init_uniform();
+  comm_->init_uniform();
   std::iota(mapping_.begin(), mapping_.end(), 0);
   std::fill(pending_phase_.begin(), pending_phase_.end(),
             Amplitude{1.0, 0.0});
@@ -76,7 +91,7 @@ void DistributedSimulator::run(const Circuit& circuit,
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
-  if (validate) norm_before = cluster_.norm_squared();
+  if (validate) norm_before = comm_->norm_squared();
   for (std::size_t si = 0; si < schedule.stages.size(); ++si) {
     const Stage& stage = schedule.stages[si];
     QUASAR_OBS_SPAN("stage", "stage", "stage",
@@ -119,8 +134,16 @@ void DistributedSimulator::run(const Circuit& circuit,
   const bool validate = check::enabled();
   Real norm_before = 0.0;
   std::size_t ops_done = 0;
-  if (validate) norm_before = cluster_.norm_squared();
+  if (validate) norm_before = comm_->norm_squared();
   const std::optional<int> kill_at = writer.fault().kill_stage();
+  if (kill_at && comm_->multiprocess()) {
+    // Under the proc transport a fault must land in a real rank process
+    // first: the delegate kills one worker (exit 137) and tears down the
+    // survivors before the injector takes the root down.
+    writer.fault().set_kill_delegate([this](std::size_t stage) {
+      comm_->kill_rank_for_fault(stage);
+    });
+  }
   for (std::size_t si = ckpt_run.first_stage; si < num_stages; ++si) {
     if (kill_at && static_cast<std::size_t>(*kill_at) == si) {
       // Drain the in-flight snapshot first: the newest generation on disk
@@ -164,18 +187,18 @@ void DistributedSimulator::checkpoint(ckpt::CheckpointWriter& writer,
   m.num_local = num_local();
   m.cursor = cursor;
   m.schedule_crc = schedule_crc;
-  m.norm_squared = cluster_.norm_squared();
+  m.norm_squared = comm().norm_squared();
   m.mapping = mapping_;
   m.rng_state = rng != nullptr ? rng->serialize() : std::string();
   m.pending_phase.assign(pending_phase_.begin(), pending_phase_.end());
   m.shards.clear();
-  const int ranks = cluster_.num_ranks();
+  const int ranks = comm().num_ranks();
   const std::size_t bytes =
-      static_cast<std::size_t>(cluster_.local_size()) * sizeof(Amplitude);
+      static_cast<std::size_t>(comm().local_size()) * sizeof(Amplitude);
   snap.shard_bytes.resize(ranks);
   for (int r = 0; r < ranks; ++r) {
     snap.shard_bytes[r].resize(bytes);
-    std::memcpy(snap.shard_bytes[r].data(), cluster_.rank_data(r), bytes);
+    std::memcpy(snap.shard_bytes[r].data(), comm().slice(r), bytes);
   }
   writer.commit();
 }
@@ -216,7 +239,7 @@ std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
   const std::size_t ops = ops_through_stage(schedule, m.cursor);
   check::require_unit_phases(m.pending_phase, check::phase_tolerance(ops),
                              kSite);
-  const int ranks = cluster_.num_ranks();
+  const int ranks = comm_->num_ranks();
   if (static_cast<int>(m.pending_phase.size()) != ranks) {
     fail("snapshot carries " + std::to_string(m.pending_phase.size()) +
          " deferred phases for " + std::to_string(ranks) + " ranks");
@@ -225,7 +248,7 @@ std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
     fail("snapshot carries " + std::to_string(snapshot.shard_bytes.size()) +
          " shards for " + std::to_string(ranks) + " ranks");
   }
-  const Index count = cluster_.local_size();
+  const Index count = comm_->local_size();
   const std::size_t bytes = static_cast<std::size_t>(count) *
                             sizeof(Amplitude);
   for (int r = 0; r < ranks; ++r) {
@@ -247,7 +270,8 @@ std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
                                 kSite);
   // Everything verified — install the state.
   for (int r = 0; r < ranks; ++r) {
-    std::memcpy(cluster_.rank_data(r), snapshot.shard_bytes[r].data(), bytes);
+    comm_->write_slice(r, reinterpret_cast<const Amplitude*>(
+                              snapshot.shard_bytes[r].data()));
   }
   mapping_ = m.mapping;
   pending_phase_ = m.pending_phase;
@@ -262,15 +286,15 @@ void DistributedSimulator::validate_invariants(const char* site,
   check::require_bijection(mapping_, num_qubits(), site);
   check::require_unit_phases(pending_phase_, check::phase_tolerance(ops),
                              site);
-  for (int r = 0; r < cluster_.num_ranks(); ++r) {
-    check::require_finite(cluster_.rank_data(r), cluster_.local_size(), site);
+  for (int r = 0; r < comm().num_ranks(); ++r) {
+    check::require_finite(comm().slice(r), comm().local_size(), site);
   }
   // A lossy shard codec truncates amplitudes to fp32 on every segment
   // round trip, so norm drift is bounded by the fp32 epsilon, not fp64.
-  const Real eps = oocore::codec_lossless(cluster_.storage().codec)
+  const Real eps = oocore::codec_lossless(comm().storage().codec)
                        ? check::kEps64
                        : check::kEps32;
-  check::require_norm_preserved(cluster_.norm_squared(), norm_before,
+  check::require_norm_preserved(comm().norm_squared(), norm_before,
                                 check::norm_tolerance(num_qubits(), ops, eps),
                                 site);
 }
@@ -282,24 +306,20 @@ void DistributedSimulator::run(const Circuit& circuit,
 
 void DistributedSimulator::execute_stage(const Circuit& circuit,
                                          const Stage& stage) {
-  if (cluster_.segmented()) {
+  const VirtualCluster* local = comm_->local_cluster();
+  if (local != nullptr && local->segmented()) {
     // Segmented storage: stream gate work through the async pipeline
     // instead of materializing flat slices (runtime/oocore_exec.cpp).
     execute_stage_oocore(circuit, stage);
     return;
   }
-  const int l = num_local();
   for (const StageItem& item : stage.items) {
     if (item.kind == StageItem::Kind::kCluster) {
       const Cluster& cluster = stage.clusters[item.cluster];
       QUASAR_ASSERT(cluster.matrix.has_value());
       QUASAR_OBS_SPAN("gate_run", "cluster", "width",
                       static_cast<std::int64_t>(cluster.width()));
-      const PreparedGate prepared =
-          prepare_gate(*cluster.matrix, cluster.qubits);
-      for (int r = 0; r < cluster_.num_ranks(); ++r) {
-        apply_gate(cluster_.rank_data(r), l, prepared, options_);
-      }
+      comm_->apply_gate_all(*cluster.matrix, cluster.qubits, options_);
     } else {
       QUASAR_OBS_SPAN("gate_run", "global_op");
       apply_global_op(circuit.op(item.op), stage);
@@ -334,7 +354,7 @@ void DistributedSimulator::apply_global_op(const GateOp& op,
     QUASAR_CHECK(perm.has_value(),
                  "apply_global_op: a dense all-global gate reached the "
                  "executor; the scheduler should have forced a swap");
-    const int ranks = cluster_.num_ranks();
+    const int ranks = comm_->num_ranks();
     std::vector<Index> source_of(ranks);
     std::vector<Amplitude> next_phase(ranks);
     for (int r = 0; r < ranks; ++r) {
@@ -353,7 +373,7 @@ void DistributedSimulator::apply_global_op(const GateOp& op,
       source_of[dest] = static_cast<Index>(r);
       next_phase[dest] = pending_phase_[r] * perm->phase[col];
     }
-    cluster_.permute_ranks(source_of);
+    comm_->permute_ranks(source_of);
     pending_phase_ = std::move(next_phase);
     return;
   }
@@ -361,7 +381,7 @@ void DistributedSimulator::apply_global_op(const GateOp& op,
   // The conditioned sub-gate depends only on the rank's bits at
   // global_bits; cache per bit pattern.
   std::map<Index, ConditionalGate> cache;
-  for (int r = 0; r < cluster_.num_ranks(); ++r) {
+  for (int r = 0; r < comm_->num_ranks(); ++r) {
     Index pattern = 0;
     for (std::size_t i = 0; i < global_bits.size(); ++i) {
       pattern |= static_cast<Index>(
@@ -381,8 +401,7 @@ void DistributedSimulator::apply_global_op(const GateOp& op,
       pending_phase_[r] *= cond.phase;
       continue;
     }
-    const PreparedGate prepared = prepare_gate(cond.matrix, local_locations);
-    apply_gate(cluster_.rank_data(r), l, prepared, options_);
+    comm_->apply_gate_rank(r, cond.matrix, local_locations, options_);
   }
 }
 
@@ -397,7 +416,7 @@ void DistributedSimulator::remap(const std::vector<int>& to) {
   }
   const bool validate = check::enabled();
   Real norm_before = 0.0;
-  if (validate) norm_before = cluster_.norm_squared();
+  if (validate) norm_before = comm_->norm_squared();
   transition(mapping_, to);
   mapping_ = to;
   if (validate) {
@@ -445,11 +464,11 @@ void DistributedSimulator::transition(const std::vector<int>& from,
     local_perm[target] = cur[q];
   }
   if (q_move > 0) {
-    cluster_.local_permute(local_perm, &pending_phase_, options_);
+    comm_->local_permute(local_perm, &pending_phase_, options_);
     std::fill(pending_phase_.begin(), pending_phase_.end(),
               Amplitude{1.0, 0.0});
   } else {
-    cluster_.local_permute(local_perm, nullptr, options_);
+    comm_->local_permute(local_perm, nullptr, options_);
   }
   {
     std::vector<Qubit> prev_at(at.begin(), at.begin() + l);
@@ -473,7 +492,7 @@ void DistributedSimulator::transition(const std::vector<int>& from,
       global_locations.push_back(gloc);
       local_positions.push_back(lloc);
     }
-    cluster_.alltoall_swap(global_locations, local_positions);
+    comm_->alltoall_swap(global_locations, local_positions);
     for (const auto& [gloc, lloc] : pairs) {
       const Qubit qg = at[gloc], ql = at[lloc];
       std::swap(at[gloc], at[lloc]);
@@ -495,10 +514,10 @@ void DistributedSimulator::transition(const std::vector<int>& from,
     bool identity = true;
     for (int j = 0; j < g; ++j) identity &= perm[j] == j;
     if (!identity) {
-      cluster_.renumber_ranks(perm);
+      comm_->renumber_ranks(perm);
       // The deferred per-rank phases move with their slices.
       std::vector<Amplitude> next_phase(pending_phase_.size());
-      for (int r = 0; r < cluster_.num_ranks(); ++r) {
+      for (int r = 0; r < comm_->num_ranks(); ++r) {
         Index src = 0;
         for (int j = 0; j < g; ++j) {
           src |= static_cast<Index>(get_bit(static_cast<Index>(r), j))
@@ -517,14 +536,19 @@ StateVector DistributedSimulator::gather() const {
   const int l = num_local();
   StateVector out(n);
   const Index local_mask = index_pow2(l) - 1;
+  // Pin every slice once up front: under the proc transport slice()
+  // fetches over the wire on first touch, and the returned pointers stay
+  // valid until the next mutating collective.
+  const int ranks = comm().num_ranks();
+  std::vector<const Amplitude*> slices(ranks);
+  for (int r = 0; r < ranks; ++r) slices[r] = comm().slice(r);
   for (Index p = 0; p < out.size(); ++p) {
     Index machine = 0;
     for (int q = 0; q < n; ++q) {
       machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
     }
     const int rank = static_cast<int>(machine >> l);
-    out[p] = cluster_.rank_data(rank)[machine & local_mask] *
-             pending_phase_[rank];
+    out[p] = slices[rank][machine & local_mask] * pending_phase_[rank];
   }
   return out;
 }
@@ -538,7 +562,7 @@ Amplitude DistributedSimulator::amplitude(Index program_index) const {
     machine |= static_cast<Index>(get_bit(program_index, q)) << mapping_[q];
   }
   const int rank = static_cast<int>(machine >> l);
-  return cluster_.rank_data(rank)[machine & (cluster_.local_size() - 1)] *
+  return comm().slice(rank)[machine & (comm().local_size() - 1)] *
          pending_phase_[rank];
 }
 
@@ -564,6 +588,10 @@ std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
   for (auto& u : thresholds) u = rng.uniform_real();
   std::sort(thresholds.begin(), thresholds.end());
 
+  const int ranks = comm().num_ranks();
+  std::vector<const Amplitude*> slices(ranks);
+  for (int r = 0; r < ranks; ++r) slices[r] = comm().slice(r);
+
   std::vector<Index> outcomes;
   outcomes.reserve(count);
   Real cumulative = 0.0;
@@ -575,7 +603,7 @@ std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
       machine |= static_cast<Index>(get_bit(p, q)) << mapping_[q];
     }
     const int rank = static_cast<int>(machine >> l);
-    cumulative += std::norm(cluster_.rank_data(rank)[machine & local_mask] *
+    cumulative += std::norm(slices[rank][machine & local_mask] *
                             pending_phase_[rank]);
     while (next < thresholds.size() && thresholds[next] < cumulative) {
       outcomes.push_back(p);
@@ -591,9 +619,9 @@ std::vector<Index> DistributedSimulator::sample(int count, Rng& rng) const {
 Real DistributedSimulator::entropy() const {
   QUASAR_OBS_SPAN("measure", "entropy");
   Real total = 0.0;
-  const Index size = cluster_.local_size();
-  for (int r = 0; r < cluster_.num_ranks(); ++r) {
-    const Amplitude* data = cluster_.rank_data(r);
+  const Index size = comm().local_size();
+  for (int r = 0; r < comm().num_ranks(); ++r) {
+    const Amplitude* data = comm().slice(r);
     Real partial = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : partial)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(size); ++i) {

@@ -1,5 +1,5 @@
 /// \file distributed.hpp
-/// \brief Multi-node simulator: schedule execution over a VirtualCluster.
+/// \brief Multi-node simulator: schedule execution over a Communicator.
 ///
 /// Implements the paper's preferred multi-node scheme (Sec. 3.4): keep a
 /// stage's gates local, then perform a global-to-local swap realized as
@@ -7,16 +7,22 @@
 /// Sec. 3.5 specializations (diagonal global gates applied in place as
 /// rank-conditional phases/sub-gates, pure phases deferred and absorbed,
 /// global permutations as rank renumbering).
+///
+/// All cluster traffic goes through the Communicator seam (DESIGN.md
+/// §12): QUASAR_TRANSPORT=virtual runs the in-process VirtualCluster,
+/// QUASAR_TRANSPORT=proc runs real forked rank processes over
+/// UNIX-domain sockets. The simulator's own logic is transport-blind.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "ckpt/reader.hpp"
 #include "ckpt/writer.hpp"
 #include "core/rng.hpp"
-#include "runtime/virtual_cluster.hpp"
+#include "runtime/communicator.hpp"
 #include "sched/schedule.hpp"
 #include "simulator/statevector.hpp"
 
@@ -35,15 +41,21 @@ struct CheckpointedRun {
   int snapshot_every = 1;
 };
 
-/// Distributed statevector simulator over 2^(n-l) virtual ranks.
+/// Distributed statevector simulator over 2^(n-l) ranks (virtual or real
+/// processes, per the transport).
 class DistributedSimulator {
  public:
   DistributedSimulator(int num_qubits, int num_local,
                        ApplyOptions options = {},
-                       StorageOptions storage = {});
+                       StorageOptions storage = {},
+                       TransportKind transport = transport_from_env());
 
-  int num_qubits() const noexcept { return cluster_.num_qubits(); }
-  int num_local() const noexcept { return cluster_.num_local(); }
+  int num_qubits() const noexcept { return comm_->num_qubits(); }
+  int num_local() const noexcept { return comm_->num_local(); }
+  int num_ranks() const noexcept { return comm_->num_ranks(); }
+  Index local_size() const noexcept { return comm_->local_size(); }
+  /// True when ranks are separate OS processes (QUASAR_TRANSPORT=proc).
+  bool multiprocess() const noexcept { return comm_->multiprocess(); }
 
   /// State initialization (resets the current mapping to identity).
   void init_basis(Index index);
@@ -63,7 +75,9 @@ class DistributedSimulator {
   /// of resume() for a restarted one). If the writer's fault injector
   /// arms kill_stage:k, the process dies at the boundary *before* stage k
   /// executes, after draining any in-flight snapshot — so the newest
-  /// on-disk generation is always a fully committed one.
+  /// on-disk generation is always a fully committed one. Under the proc
+  /// transport the kill first lands in a real rank process (which exits
+  /// 137) and the remaining ranks are torn down before the root dies.
   void run(const Circuit& circuit, const Schedule& schedule,
            const CheckpointedRun& ckpt);
 
@@ -72,7 +86,9 @@ class DistributedSimulator {
   /// it to the background thread. `cursor` is the index of the first
   /// stage NOT yet executed; `schedule_crc` ties the snapshot to one
   /// schedule (0 = unknown). Blocks only while a previous snapshot is
-  /// still being written (double buffering, DESIGN.md §10).
+  /// still being written (double buffering, DESIGN.md §10). Under the
+  /// proc transport the per-rank shards are fetched from the rank
+  /// processes and reduced into the snapshot at the root.
   void checkpoint(ckpt::CheckpointWriter& writer, std::size_t cursor,
                   const Rng* rng, std::uint32_t schedule_crc) const;
 
@@ -91,13 +107,14 @@ class DistributedSimulator {
   /// deferred phases. Only for n small enough to hold twice.
   StateVector gather() const;
 
-  /// Distributed reductions.
-  Real norm_squared() const { return cluster_.norm_squared(); }
+  /// Distributed reductions, computed at the root with the same loops on
+  /// every transport (bit-identical across QUASAR_TRANSPORT values).
+  Real norm_squared() const { return comm().norm_squared(); }
   Real entropy() const;
 
   /// Amplitude of one program-order basis state (includes deferred
-  /// phases). In a real MPI deployment this is a single point-to-point
-  /// read from the owning rank.
+  /// phases). Under the proc transport this fetches (and caches) the
+  /// owning rank's slice.
   Amplitude amplitude(Index program_index) const;
   /// |amplitude|^2 of one basis state.
   Real probability(Index program_index) const {
@@ -113,8 +130,10 @@ class DistributedSimulator {
   /// for this determinism.
   std::vector<Index> sample(int count, Rng& rng) const;
 
-  /// Communication counters accumulated so far.
-  const CommStats& stats() const { return cluster_.stats(); }
+  /// Communication counters accumulated so far. Virtual transport: the
+  /// cluster's counters. Proc transport: per-rank worker counters
+  /// reduced at the root (volume fields agree across ranks).
+  CommStats stats() const { return comm().stats(); }
 
   /// Current program-qubit -> bit-location mapping.
   const std::vector<int>& mapping() const { return mapping_; }
@@ -126,16 +145,29 @@ class DistributedSimulator {
     return pending_phase_;
   }
 
+  /// Read access to logical rank r's slice on any transport (fetched and
+  /// cached over the wire under proc). Benchmarks, demos and digests use
+  /// this instead of cluster().
+  const Amplitude* rank_slice(int rank) const { return comm().slice(rank); }
+
   /// Re-arranges the distributed state so program qubit q sits at
   /// bit-location to[q]: at most one fused local permutation sweep, one
   /// group all-to-all (only if qubits cross the local/global boundary)
   /// and one rank renumbering. `to` must be a bijection on [0, n).
   void remap(const std::vector<int>& to);
 
-  /// Underlying virtual cluster (benchmarks read per-rank slices).
-  const VirtualCluster& cluster() const { return cluster_; }
+  /// Underlying in-process cluster. Throws under multi-process
+  /// transports — use rank_slice()/stats() for transport-agnostic reads.
+  const VirtualCluster& cluster() const;
 
  private:
+  /// comm_ is behaviorally const from the simulator's point of view in
+  /// const methods (slice reads mutate only the root-side fetch cache),
+  /// so const methods funnel through this accessor.
+  Communicator& comm() const { return *comm_; }
+  /// The in-process cluster behind the virtual transport; throws under
+  /// proc. Only the out-of-core executor and cluster() use it.
+  VirtualCluster& local_cluster() const;
   /// Re-arranges the distributed state from mapping `from` to `to`.
   void transition(const std::vector<int>& from, const std::vector<int>& to);
   /// QUASAR_VALIDATE guard body: mapping bijectivity, deferred-phase unit
@@ -152,7 +184,7 @@ class DistributedSimulator {
   /// codecs (the differential fuzzer asserts this).
   void execute_stage_oocore(const Circuit& circuit, const Stage& stage);
 
-  VirtualCluster cluster_;
+  std::unique_ptr<Communicator> comm_;
   ApplyOptions options_;
   std::vector<int> mapping_;
   std::vector<Amplitude> pending_phase_;

@@ -71,14 +71,17 @@ struct CondEntry {
 void DistributedSimulator::execute_stage_oocore(const Circuit& circuit,
                                                 const Stage& stage) {
   const int l = num_local();
-  const int ranks = cluster_.num_ranks();
+  // Segmented storage is in-process only (the proc factory rejects it),
+  // so the seam is guaranteed to expose the raw cluster here.
+  VirtualCluster& vc = local_cluster();
+  const int ranks = vc.num_ranks();
   QUASAR_OBS_SPAN("oocore", "stage_oocore", "items",
                   static_cast<std::int64_t>(stage.items.size()));
 
   // The pipeline reads/writes the segment stores directly; any resident
   // scratch copy (left by sampling, checkpointing, a transition sweep...)
   // must be written back first so the stores are authoritative.
-  for (int r = 0; r < ranks; ++r) cluster_.rank_storage(r).dematerialize();
+  for (int r = 0; r < ranks; ++r) vc.rank_storage(r).dematerialize();
 
   // ---- Phase 1: defer the stage's work into per-rank gate lists. ----
   std::deque<GateMatrix> matrix_arena;
@@ -137,7 +140,7 @@ void DistributedSimulator::execute_stage_oocore(const Circuit& circuit,
         source_of[dest] = static_cast<Index>(r);
         next_phase[dest] = pending_phase_[r] * perm->phase[col];
       }
-      cluster_.permute_ranks(source_of);
+      vc.permute_ranks(source_of);
       pending_phase_ = std::move(next_phase);
       std::vector<std::vector<PendingGate>> moved(ranks);
       for (int dest = 0; dest < ranks; ++dest) {
@@ -185,8 +188,8 @@ void DistributedSimulator::execute_stage_oocore(const Circuit& circuit,
 
   // ---- Phase 2: flush each rank with pipelined segment sweeps. ----
   oocore::PipelineOptions popts;
-  popts.io_threads = cluster_.storage().io_threads;
-  popts.depth = cluster_.storage().pipeline_depth;
+  popts.io_threads = vc.storage().io_threads;
+  popts.depth = vc.storage().pipeline_depth;
   // Per-gate parity: no merged diagonal tables, no commuting hoists —
   // every amplitude sees the in-memory executor's multiplies in order.
   ApplyOptions sweep_opts = options_;
@@ -196,7 +199,7 @@ void DistributedSimulator::execute_stage_oocore(const Circuit& circuit,
   for (int r = 0; r < ranks; ++r) {
     std::vector<PendingGate>& work = pending[r];
     if (work.empty()) continue;
-    RankStorage& rs = cluster_.rank_storage(r);
+    RankStorage& rs = vc.rank_storage(r);
     oocore::SegmentStore& store = *rs.store();
     const int s = store.segment_exponent();
     const std::size_t num_segs = store.segment_count();

@@ -1,0 +1,292 @@
+#include "runtime/proc_transport.hpp"
+
+#include <omp.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/scratch.hpp"
+
+namespace quasar::proc {
+
+void send_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t sent = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("proc transport: send failed: ") +
+                  std::strerror(errno));
+    }
+    p += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+}
+
+void recv_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t got = ::recv(fd, p, len, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("proc transport: recv failed: ") +
+                  std::strerror(errno));
+    }
+    if (got == 0) {
+      throw Error("proc transport: rank process closed the connection");
+    }
+    p += got;
+    len -= static_cast<std::size_t>(got);
+  }
+}
+
+void send_frame(int fd, Op op, const void* payload, std::size_t len) {
+  Frame frame;
+  frame.op = static_cast<std::uint32_t>(op);
+  frame.len = len;
+  send_all(fd, &frame, sizeof(frame));
+  if (len > 0) send_all(fd, payload, len);
+}
+
+Frame recv_frame(int fd) {
+  Frame frame;
+  recv_all(fd, &frame, sizeof(frame));
+  return frame;
+}
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void sleep_ms(int ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+ProcessGroup::ProcessGroup(int num_workers, const WorkerMain& worker_main)
+    : num_workers_(num_workers) {
+  QUASAR_CHECK(num_workers_ >= 1 && num_workers_ <= kMaxProcRanks,
+               "ProcessGroup: worker count out of range");
+  pid_.fill(-1);
+  control_.fill(-1);
+
+  // All sockets exist before the first fork, so every child inherits the
+  // full wiring and keeps only its own ends.
+  int ctrl[kMaxProcRanks][2];
+  for (auto& pair : ctrl) pair[0] = pair[1] = -1;
+  // data[i][j]: slot i's end of the (i, j) pair, i != j.
+  int data[kMaxProcRanks][kMaxProcRanks];
+  for (auto& row : data) {
+    for (int& fd : row) fd = -1;
+  }
+  bool socket_failed = false;
+  for (int s = 0; s < num_workers_ && !socket_failed; ++s) {
+    int pair[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+      socket_failed = true;
+      break;
+    }
+    ctrl[s][0] = pair[0];
+    ctrl[s][1] = pair[1];
+  }
+  for (int i = 0; i < num_workers_ && !socket_failed; ++i) {
+    for (int j = i + 1; j < num_workers_ && !socket_failed; ++j) {
+      int pair[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        socket_failed = true;
+        break;
+      }
+      data[i][j] = pair[0];
+      data[j][i] = pair[1];
+    }
+  }
+
+  const auto close_all_sockets = [&]() {
+    for (int s = 0; s < num_workers_; ++s) {
+      close_quietly(ctrl[s][0]);
+      close_quietly(ctrl[s][1]);
+      ctrl[s][0] = ctrl[s][1] = -1;
+    }
+    for (auto& row : data) {
+      for (int& fd : row) {
+        close_quietly(fd);
+        fd = -1;
+      }
+    }
+  };
+  if (socket_failed) {
+    close_all_sockets();
+    throw Error("proc transport: socketpair failed");
+  }
+
+  for (int slot = 0; slot < num_workers_; ++slot) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Kill and reap the workers already launched, release every fd.
+      for (int s = 0; s < slot; ++s) {
+        ::kill(pid_[s], SIGKILL);
+        int status = 0;
+        while (::waitpid(pid_[s], &status, 0) < 0 && errno == EINTR) {
+        }
+        pid_[s] = -1;
+      }
+      close_all_sockets();
+      throw Error("proc transport: fork failed");
+    }
+    if (pid == 0) {
+      // --- child (rank process) ---
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      if (::getppid() == 1) std::_Exit(0);  // root died before prctl took
+      ::signal(SIGPIPE, SIG_IGN);
+      WorkerEndpoints ep;
+      ep.slot = slot;
+      ep.control_fd = ctrl[slot][1];
+      ep.data_fd.fill(-1);
+      for (int s = 0; s < num_workers_; ++s) {
+        close_quietly(ctrl[s][0]);
+        if (s != slot) close_quietly(ctrl[s][1]);
+      }
+      for (int i = 0; i < num_workers_; ++i) {
+        for (int j = 0; j < num_workers_; ++j) {
+          if (data[i][j] < 0) continue;
+          if (i == slot) {
+            ep.data_fd[static_cast<std::size_t>(j)] = data[i][j];
+          } else {
+            close_quietly(data[i][j]);
+          }
+        }
+      }
+      // Workers are strictly serial: only the forking thread survives in
+      // the child, and pinning OpenMP to one thread means no region ever
+      // touches the (not inherited) pool of the parent.
+      omp_set_num_threads(1);
+      // Forked workers never export traces; drop the inherited session so
+      // instrumentation sites are no-ops (and cannot touch a mutex some
+      // parent thread held at fork time).
+      obs::set_global_session(nullptr);
+      set_process_scratch_tag("r" + std::to_string(slot) + ".");
+      try {
+        worker_main(ep);
+      } catch (...) {
+      }
+      std::_Exit(4);  // worker_main must exit the process itself
+    }
+    pid_[slot] = pid;
+  }
+
+  // --- root ---
+  for (int s = 0; s < num_workers_; ++s) {
+    control_[s] = ctrl[s][0];
+    close_quietly(ctrl[s][1]);
+  }
+  for (auto& row : data) {
+    for (int& fd : row) {
+      close_quietly(fd);
+      fd = -1;
+    }
+  }
+}
+
+ProcessGroup::~ProcessGroup() { shutdown(); }
+
+void ProcessGroup::broadcast(Op op, const void* payload, std::size_t len) {
+  // Collectives are lockstep SPMD: a dead member makes the operation
+  // meaningless, so a broadcast over a partial group is an error, never
+  // a silent no-op.
+  for (int s = 0; s < num_workers_; ++s) {
+    QUASAR_CHECK(alive(s),
+                 "proc transport: collective with a dead rank process");
+  }
+  for (int s = 0; s < num_workers_; ++s) {
+    send_frame(control_[s], op, payload, len);
+  }
+}
+
+void ProcessGroup::send(int slot, Op op, const void* payload,
+                        std::size_t len) {
+  QUASAR_CHECK(alive(slot), "proc transport: rank process is not alive");
+  send_frame(control_[slot], op, payload, len);
+}
+
+std::vector<std::uint8_t> ProcessGroup::wait_ack(int slot) {
+  const Frame frame = recv_frame(control_[slot]);
+  QUASAR_CHECK(frame.op == static_cast<std::uint32_t>(Op::kAck),
+               "proc transport: expected ack frame");
+  std::vector<std::uint8_t> payload(frame.len);
+  if (frame.len > 0) recv_all(control_[slot], payload.data(), frame.len);
+  return payload;
+}
+
+void ProcessGroup::wait_acks() {
+  for (int s = 0; s < num_workers_; ++s) {
+    if (alive(s)) wait_ack(s);
+  }
+}
+
+void ProcessGroup::kill_worker(int slot, std::size_t stage) {
+  QUASAR_CHECK(alive(slot), "kill_worker: rank process is not alive");
+  const std::uint64_t payload = stage;
+  send_frame(control_[slot], Op::kDie, &payload, sizeof(payload));
+  int status = 0;
+  while (::waitpid(pid_[slot], &status, 0) < 0 && errno == EINTR) {
+  }
+  close_quietly(control_[slot]);
+  control_[slot] = -1;
+  pid_[slot] = -1;
+  QUASAR_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 137,
+               "kill_worker: rank process did not exit with status 137");
+}
+
+void ProcessGroup::reap(int slot, bool allow_kill) noexcept {
+  if (pid_[slot] <= 0) return;
+  int status = 0;
+  for (int spin = 0; spin < 200; ++spin) {  // ~2 s of 10 ms polls
+    const pid_t got = ::waitpid(pid_[slot], &status, WNOHANG);
+    if (got == pid_[slot]) {
+      pid_[slot] = -1;
+      return;
+    }
+    if (got < 0 && errno != EINTR) {
+      pid_[slot] = -1;  // already reaped elsewhere
+      return;
+    }
+    sleep_ms(10);
+  }
+  if (allow_kill) {
+    ::kill(pid_[slot], SIGKILL);
+    while (::waitpid(pid_[slot], &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  pid_[slot] = -1;
+}
+
+void ProcessGroup::shutdown() noexcept {
+  for (int s = 0; s < num_workers_; ++s) {
+    if (!alive(s)) continue;
+    try {
+      send_frame(control_[s], Op::kShutdown, nullptr, 0);
+    } catch (...) {
+      // Worker already gone; reap below.
+    }
+  }
+  for (int s = 0; s < num_workers_; ++s) {
+    reap(s, /*allow_kill=*/true);
+    close_quietly(control_[s]);
+    control_[s] = -1;
+  }
+}
+
+}  // namespace quasar::proc

@@ -13,6 +13,7 @@
 
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "core/scratch.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
 
@@ -72,6 +73,10 @@ StorageOptions storage_options_from_env(StorageOptions defaults) {
   if (const char* v = std::getenv("QUASAR_OOC_IO_THREADS")) {
     opts.io_threads = parse_int_in_range(v, 1, 64, "QUASAR_OOC_IO_THREADS");
   }
+  if (const char* v = std::getenv("QUASAR_OOC_PIPELINE_DEPTH")) {
+    opts.pipeline_depth =
+        parse_int_in_range(v, 1, 64, "QUASAR_OOC_PIPELINE_DEPTH");
+  }
   return opts;
 }
 
@@ -112,7 +117,11 @@ RankStorage::RankStorage(Index count, const StorageOptions& options)
 void* RankStorage::map_backing_file(std::size_t bytes,
                                     const std::string& what) {
   require_writable_directory(options_.directory, what.c_str());
-  std::string path = options_.directory + "/quasar_rank_XXXXXX";
+  // The tag ("r<slot>." under the proc transport) namespaces each rank
+  // process's scratch, so concurrent ranks sharing one directory stay
+  // attributable and never contend on a pattern.
+  std::string path =
+      options_.directory + "/quasar_rank_" + process_scratch_tag() + "XXXXXX";
   const int fd = ::mkstemp(path.data());
   if (fd < 0) {
     throw Error(what + ": cannot create backing file in '" +

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
+#include "core/bits.hpp"
 #include "core/types.hpp"
 #include "gates/matrix.hpp"
 #include "kernels/apply.hpp"
@@ -36,8 +37,10 @@ class VirtualCluster {
   int num_qubits() const noexcept { return num_qubits_; }
   int num_local() const noexcept { return num_local_; }
   int num_global() const noexcept { return num_qubits_ - num_local_; }
-  int num_ranks() const noexcept {
-    return static_cast<int>(index_pow2(num_global()));
+  int num_ranks() const {
+    // checked: 2^g silently truncates through a bare static_cast once
+    // g >= 31, and every rank loop bounds itself on this value.
+    return checked_int(index_pow2(num_global()), "VirtualCluster rank count");
   }
   Index local_size() const noexcept { return index_pow2(num_local_); }
 
