@@ -23,13 +23,14 @@
 #include <string>
 
 #include "circuit/supremacy.hpp"
-#include "ckpt/crc32c.hpp"
 #include "ckpt/reader.hpp"
 #include "ckpt/writer.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
+#include "core/shutdown.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/distributed.hpp"
+#include "serve/fingerprint.hpp"
 
 namespace {
 
@@ -49,33 +50,15 @@ std::string env_str(const char* name, const char* fallback) {
   return value != nullptr && *value != '\0' ? value : fallback;
 }
 
-/// Order-sensitive digest of the full run state: every rank slice in
-/// rank order, then the mapping and deferred phases. Two runs print the
-/// same fingerprint iff their distributed states are bit-identical.
-/// rank_slice() works on every transport — cluster() would throw under
-/// QUASAR_TRANSPORT=proc, and the transport-smoke CI job kills and
-/// resumes this demo with real rank processes.
-std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
-  using quasar::Amplitude;
-  std::uint32_t crc = 0;
-  for (int r = 0; r < sim.num_ranks(); ++r) {
-    crc = quasar::ckpt::crc32c_extend(
-        crc, sim.rank_slice(r),
-        static_cast<std::size_t>(sim.local_size()) * sizeof(Amplitude));
-  }
-  crc = quasar::ckpt::crc32c_extend(
-      crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));
-  crc = quasar::ckpt::crc32c_extend(
-      crc, sim.pending_phases().data(),
-      sim.pending_phases().size() * sizeof(Amplitude));
-  return crc;
-}
-
 }  // namespace
 
 int main() {
   using namespace quasar;
   obs::EnvTraceGuard trace_guard;
+  // Ctrl-C / SIGTERM become a graceful drain: the run snapshots the next
+  // stage boundary, the writer flushes, and the process exits cleanly —
+  // re-running the command resumes from that boundary.
+  install_shutdown_handler();
 
   SupremacyOptions options;
   options.rows = env_int("QUASAR_DEMO_ROWS", 4);
@@ -110,7 +93,7 @@ int main() {
   const auto snapshot =
       ckpt::CheckpointReader(ckpt_options.directory).load_latest();
   if (snapshot.has_value()) {
-    first_stage = sim.resume(*snapshot, schedule, &rng);
+    first_stage = sim.resume(*snapshot, circuit, schedule, &rng);
     std::printf("resume: generation %s cursor %zu fallbacks %d\n",
                 snapshot->generation.c_str(), first_stage,
                 snapshot->fallbacks);
@@ -128,19 +111,25 @@ int main() {
   ckpt_run.first_stage = first_stage;
   ckpt_run.rng = &rng;
   ckpt_run.snapshot_every = env_int("QUASAR_CKPT_EVERY", 1);
-  sim.run(circuit, schedule, ckpt_run);
+  ckpt_run.stop = shutdown_flag();
+  const std::size_t cursor = sim.run(circuit, schedule, ckpt_run);
   writer.close();
+  if (cursor < schedule.stages.size()) {
+    std::printf("interrupted: snapshot committed at stage %zu/%zu; rerun "
+                "to resume\n",
+                cursor, schedule.stages.size());
+    return 130;
+  }
 
   // The lines the ckpt-smoke CI job diffs between an uninterrupted run
-  // and a killed-then-resumed one.
-  std::printf("fingerprint 0x%08x\n", state_fingerprint(sim));
-  std::printf("norm %.17g\n", sim.norm_squared());
-  std::printf("entropy %.12g\n", sim.entropy());
-  std::printf("samples");
-  for (const Index outcome : sim.sample(8, rng)) {
-    std::printf(" %llu", static_cast<unsigned long long>(outcome));
-  }
-  std::printf("\n");
+  // and a killed-then-resumed one (serve/fingerprint.hpp formats; the
+  // job server prints the same four lines for a served run).
+  std::printf("%s\n",
+              serve::format_fingerprint_line(serve::state_fingerprint(sim))
+                  .c_str());
+  std::printf("%s\n", serve::format_norm_line(sim.norm_squared()).c_str());
+  std::printf("%s\n", serve::format_entropy_line(sim.entropy()).c_str());
+  std::printf("%s\n", serve::format_samples_line(sim.sample(8, rng)).c_str());
 
   const ckpt::CheckpointStats stats = writer.stats();
   const double gb = static_cast<double>(stats.bytes_written) / 1e9;

@@ -12,7 +12,6 @@
 #include <cstdlib>
 
 #include "circuit/supremacy.hpp"
-#include "ckpt/crc32c.hpp"
 #include "core/error.hpp"
 #include "core/parse.hpp"
 #include "obs/progress.hpp"
@@ -22,6 +21,7 @@
 #include "runtime/baseline.hpp"
 #include "runtime/distributed.hpp"
 #include "sched/report.hpp"
+#include "serve/fingerprint.hpp"
 
 namespace {
 
@@ -45,28 +45,6 @@ const char* medium_name(quasar::StorageMedium medium) {
   }
 }
 
-/// Order-sensitive digest of the full run state (rank slices, mapping,
-/// deferred phases): two runs print the same fingerprint iff their
-/// distributed states are bit-identical. The oocore-smoke CI job diffs
-/// this line between a disk-backed compressed run and the in-memory run;
-/// the transport-smoke job diffs it between forked rank processes and
-/// the in-process cluster. rank_slice() works on every transport —
-/// cluster() would throw under QUASAR_TRANSPORT=proc.
-std::uint32_t state_fingerprint(const quasar::DistributedSimulator& sim) {
-  using quasar::Amplitude;
-  std::uint32_t crc = 0;
-  for (int r = 0; r < sim.num_ranks(); ++r) {
-    crc = quasar::ckpt::crc32c_extend(
-        crc, sim.rank_slice(r),
-        static_cast<std::size_t>(sim.local_size()) * sizeof(Amplitude));
-  }
-  crc = quasar::ckpt::crc32c_extend(
-      crc, sim.mapping().data(), sim.mapping().size() * sizeof(int));
-  crc = quasar::ckpt::crc32c_extend(
-      crc, sim.pending_phases().data(),
-      sim.pending_phases().size() * sizeof(Amplitude));
-  return crc;
-}
 
 }  // namespace
 
@@ -157,10 +135,19 @@ int main() {
   ours.run(circuit, schedule);
   obs::set_progress_predictions({});
 
-  // The parity oracle for CI: bit-exact state digest + scalar summaries.
-  std::printf("fingerprint 0x%08x\n", state_fingerprint(ours));
-  std::printf("norm %.17g\n", ours.norm_squared());
-  std::printf("entropy %.12f\n", ours.entropy());
+  // The parity oracle for CI: bit-exact state digest + scalar summaries
+  // (the shared serve/fingerprint.hpp formats — the oocore-smoke and
+  // transport-smoke jobs diff these lines across storage media and
+  // transports; two runs print the same fingerprint iff their
+  // distributed states are bit-identical).
+  using quasar::serve::state_fingerprint;
+  std::printf("%s\n", quasar::serve::format_fingerprint_line(
+                          state_fingerprint(ours))
+                          .c_str());
+  std::printf("%s\n",
+              quasar::serve::format_norm_line(ours.norm_squared()).c_str());
+  std::printf("%s\n",
+              quasar::serve::format_entropy_line(ours.entropy()).c_str());
 
   // When a trace is active, join the measured stage spans against the
   // performance model (Sec. 4) and print the per-stage deltas.

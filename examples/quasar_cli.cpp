@@ -8,7 +8,12 @@
 ///   quasar_cli schedule circuit.txt --local 12 [--kmax 5]
 ///                       [--mode worst|full|none] [--render]
 ///   quasar_cli run circuit.txt [--local L] [--samples N] [--seed S]
-///                       [--uniform-init] [--fp32]
+///                       [--uniform-init] [--fp32] [--digest]
+///
+/// `run --digest` prints exactly the four canonical result lines
+/// (serve/fingerprint.hpp) of a distributed run instead of the human
+/// summary — the reference output the job server must match line for
+/// line (the serve-smoke CI job diffs the two).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,11 +24,13 @@
 #include "circuit/io.hpp"
 #include "circuit/supremacy.hpp"
 #include "core/parse.hpp"
+#include "fp32/distributed_f32.hpp"
 #include "sched/schedule_io.hpp"
 #include "core/timing.hpp"
 #include "fp32/simulator_f32.hpp"
 #include "runtime/distributed.hpp"
 #include "sched/report.hpp"
+#include "serve/fingerprint.hpp"
 #include "simulator/measure.hpp"
 #include "simulator/simulator.hpp"
 
@@ -140,11 +147,61 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
+/// The four deterministic lines of `run --digest` (identical to a job
+/// server RESULT payload for the same spec).
+template <typename Sim>
+void print_digest(const Sim& sim, const std::vector<Index>& outcomes) {
+  std::cout << serve::format_fingerprint_line(serve::state_fingerprint(sim))
+            << "\n"
+            << serve::format_norm_line(sim.norm_squared()) << "\n"
+            << serve::format_entropy_line(sim.entropy()) << "\n"
+            << serve::format_samples_line(outcomes) << "\n";
+}
+
+int cmd_run_digest(const Args& args, const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  const int samples = args.get_int("samples", 0);
+  const int local = args.get_int("local", n - 2);
+  QUASAR_CHECK(local >= 1 && local < n,
+               "run --digest needs 1 <= local < qubits (distributed only)");
+  ScheduleOptions options;
+  options.num_local = local;
+  options.kmax = args.get_int("kmax", 5);
+  options.specialization = parse_mode(args.get("mode", "worst"));
+  const Schedule schedule = make_schedule(circuit, options);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
+
+  if (args.has("fp32")) {
+    QUASAR_CHECK(samples == 0,
+                 "run --digest --fp32 has no sampler; drop --samples");
+    DistributedSimulatorF sim(n, local);
+    if (args.has("uniform-init")) {
+      sim.init_uniform();
+    } else {
+      sim.init_basis(0);
+    }
+    sim.run(circuit, schedule);
+    print_digest(sim, {});
+    return 0;
+  }
+  DistributedSimulator sim(n, local);
+  if (args.has("uniform-init")) {
+    sim.init_uniform();
+  } else {
+    sim.init_basis(0);
+  }
+  sim.run(circuit, schedule);
+  print_digest(sim, samples > 0 ? sim.sample(samples, rng)
+                                : std::vector<Index>{});
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   QUASAR_CHECK(!args.positional().empty(), "run: missing circuit file");
   const Circuit circuit = load_circuit(args.positional()[0]);
   const int n = circuit.num_qubits();
   QUASAR_CHECK(n <= 28, "run: circuit too wide for this machine");
+  if (args.has("digest")) return cmd_run_digest(args, circuit);
   const int samples = args.get_int("samples", 0);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
 
@@ -222,7 +279,7 @@ int usage() {
       "  schedule <circuit.txt> --local L [--kmax K] [--mode worst|full|"
       "none] [--mapping] [--render] [--save plan.txt]\n"
       "  run <circuit.txt> [--local L] [--schedule plan.txt] [--samples N]"
-      " [--seed S] [--uniform-init] [--fp32] [--disk]\n";
+      " [--seed S] [--uniform-init] [--fp32] [--disk] [--digest]\n";
   return 2;
 }
 

@@ -1,0 +1,138 @@
+/// \file quasar_client.cpp
+/// \brief Submit circuits to a running quasar_serve daemon.
+///
+///   quasar_client --endpoint unix:/tmp/quasar.sock submit circuit.txt
+///                 [--engine fp64|fp32] [--local L] [--kmax K]
+///                 [--mode worst|full|none] [--samples N] [--seed S]
+///                 [--uniform-init] [--priority auto|interactive|batch]
+///                 [--transport virtual|proc] [--stall-ms MS]
+///   quasar_client --endpoint ... stats | ping | shutdown
+///
+/// The RESULT payload (fingerprint/norm/entropy/samples) goes verbatim
+/// to stdout; QUEUED/STATUS/artifact lines go to stderr. A served run
+/// is therefore line-diffable against `quasar_cli run --digest` with
+/// the same options.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/parse.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace quasar;
+
+int usage() {
+  std::cerr
+      << "usage: quasar_client --endpoint <unix:PATH|tcp:HOST:PORT> "
+         "<submit|stats|ping|shutdown> [circuit.txt] [options]\n"
+         "  submit options: --engine fp64|fp32 --local L --kmax K\n"
+         "    --mode worst|full|none --samples N --seed S --uniform-init\n"
+         "    --priority auto|interactive|batch --transport virtual|proc\n"
+         "    --stall-ms MS\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint_text;
+  std::string command;
+  std::string circuit_path;
+  serve::JobSpec spec;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        QUASAR_CHECK(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--endpoint") {
+        endpoint_text = value();
+      } else if (arg == "--engine") {
+        spec.engine = value();
+      } else if (arg == "--local") {
+        spec.local = parse_int_in_range(value(), 1, 62, "--local");
+      } else if (arg == "--kmax") {
+        spec.kmax = parse_int_in_range(value(), 1, 62, "--kmax");
+      } else if (arg == "--mode") {
+        spec.mode = serve::parse_specialization(value());
+      } else if (arg == "--samples") {
+        spec.samples = parse_int_in_range(value(), 0, 1 << 20, "--samples");
+      } else if (arg == "--seed") {
+        spec.seed = parse_uint64(value(), "--seed");
+      } else if (arg == "--uniform-init") {
+        spec.uniform_init = true;
+      } else if (arg == "--priority") {
+        const std::string p = value();
+        spec.priority = p == "interactive"
+                            ? serve::JobSpec::Priority::kInteractive
+                            : p == "batch" ? serve::JobSpec::Priority::kBatch
+                                           : serve::JobSpec::Priority::kAuto;
+      } else if (arg == "--transport") {
+        spec.transport = value() == "proc" ? TransportKind::kProc
+                                           : TransportKind::kVirtual;
+      } else if (arg == "--stall-ms") {
+        spec.stall_ms =
+            parse_int_in_range(value(), 0, 60 * 1000, "--stall-ms");
+      } else if (command.empty()) {
+        command = arg;
+      } else if (circuit_path.empty()) {
+        circuit_path = arg;
+      } else {
+        return usage();
+      }
+    }
+    if (endpoint_text.empty() || command.empty()) return usage();
+    serve::ServeClient client(serve::parse_endpoint(endpoint_text));
+
+    if (command == "ping") {
+      const bool ok = client.ping();
+      std::cout << (ok ? "PONG" : "no reply") << "\n";
+      return ok ? 0 : 1;
+    }
+    if (command == "stats") {
+      std::cout << client.stats() << "\n";
+      return 0;
+    }
+    if (command == "shutdown") {
+      std::cout << client.shutdown_server() << "\n";
+      return 0;
+    }
+    if (command != "submit") return usage();
+    QUASAR_CHECK(!circuit_path.empty(), "submit: missing circuit file");
+    std::ifstream in(circuit_path);
+    QUASAR_CHECK(in.good(), "cannot open circuit file: " + circuit_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const serve::SubmitOutcome outcome = client.submit(
+        spec, text.str(),
+        [](const std::string& status) { std::cerr << status << "\n"; });
+    if (!outcome.accepted) {
+      std::cerr << outcome.reject_line << "\n";
+      return 1;
+    }
+    std::cerr << outcome.queued_line << "\n";
+    if (!outcome.done) {
+      std::cerr << "ERROR msg=" << outcome.error << "\n";
+      return 1;
+    }
+    for (const std::string& line : outcome.result_lines) {
+      // Artifact pointers are host-local paths, not results; keep stdout
+      // reserved for the diffable payload.
+      if (line.rfind("metrics ", 0) == 0 || line.rfind("trace ", 0) == 0) {
+        std::cerr << line << "\n";
+      } else {
+        std::cout << line << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "quasar_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

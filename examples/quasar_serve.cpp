@@ -1,0 +1,91 @@
+/// \file quasar_serve.cpp
+/// \brief The job-server daemon (DESIGN.md §13).
+///
+///   quasar_serve --endpoint unix:/tmp/quasar.sock [--workers N]
+///                [--cache N] [--interactive-s S] [--max-job-gb G]
+///                [--scratch DIR] [--artifacts DIR]
+///
+/// Serves until SIGINT/SIGTERM (in-flight jobs checkpoint at their next
+/// stage boundary and the writers drain before exit) or a client
+/// SHUTDOWN. With QUASAR_TRACE set, the server process writes its own
+/// trace on exit (EnvTraceGuard) — that session is also where the
+/// serve.* counters land.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/parse.hpp"
+#include "core/shutdown.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace quasar;
+
+int usage() {
+  std::cerr
+      << "usage: quasar_serve --endpoint <unix:PATH|tcp:HOST:PORT>\n"
+         "                    [--workers N] [--cache N] [--interactive-s S]\n"
+         "                    [--max-job-gb G] [--scratch DIR] "
+         "[--artifacts DIR]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions options;
+  std::string endpoint_text = "unix:/tmp/quasar-serve/quasar.sock";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        QUASAR_CHECK(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--endpoint") {
+        endpoint_text = value();
+      } else if (arg == "--workers") {
+        options.workers = parse_int_in_range(value(), 1, 256, "--workers");
+      } else if (arg == "--cache") {
+        options.cache_capacity = static_cast<std::size_t>(
+            parse_int_in_range(value(), 1, 1 << 20, "--cache"));
+      } else if (arg == "--interactive-s") {
+        options.interactive_threshold_s =
+            parse_double(value(), "--interactive-s");
+      } else if (arg == "--max-job-gb") {
+        options.max_job_bytes = static_cast<std::uint64_t>(
+            parse_double(value(), "--max-job-gb") * 1e9);
+      } else if (arg == "--scratch") {
+        options.scratch_dir = value();
+      } else if (arg == "--artifacts") {
+        options.artifact_dir = value();
+      } else {
+        return usage();
+      }
+    }
+    options.endpoint = serve::parse_endpoint(endpoint_text);
+
+    // SIGINT/SIGTERM become a graceful drain: running jobs checkpoint at
+    // their next stage boundary, writers flush, then the process exits.
+    install_shutdown_handler();
+
+    obs::EnvTraceGuard trace;
+    serve::JobServer server(options);
+    server.start();
+    std::cout << "quasar_serve listening on "
+              << server.endpoint().to_string() << " (workers="
+              << options.workers << ")" << std::endl;
+    server.run_until_shutdown(shutdown_flag());
+    const serve::JobServer::Stats stats = server.stats();
+    std::cout << "quasar_serve exiting: " << stats.done << " done, "
+              << stats.preemptions << " preemptions, " << stats.cache.hits
+              << " cache hits" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "quasar_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -58,8 +58,10 @@ struct Manifest {
   int num_local = 0;
   /// First unexecuted stage of the schedule (0 = nothing ran yet).
   std::size_t cursor = 0;
-  /// CRC32C of schedule_to_string() for the schedule this snapshot
-  /// belongs to; 0 when unknown. Resume refuses a mismatched schedule.
+  /// Canonical circuit+options digest (sched::schedule_digest) for the
+  /// schedule this snapshot belongs to; 0 when unknown. Resume refuses a
+  /// mismatched circuit or option set. The job server's schedule cache
+  /// keys on the same digest, so the two schemes cannot drift.
   std::uint32_t schedule_crc = 0;
   /// Squared norm of the distributed state at snapshot time; verified
   /// against the reloaded shards before the state is trusted.

@@ -1,0 +1,52 @@
+#include "core/shutdown.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace quasar {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal_count{0};
+std::atomic<bool> g_installed{false};
+
+extern "C" void quasar_shutdown_handler(int) {
+  // Async-signal-safe: atomics and _Exit only.
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    std::_Exit(130);
+  }
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action = {};
+  action.sa_handler = quasar_shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: blocking I/O elsewhere keeps working; the stage loops
+  // and the server's poll()-with-timeout observe the flag soon enough.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+const std::atomic<bool>* shutdown_flag() { return &g_shutdown; }
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_acquire);
+}
+
+void request_shutdown() {
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+void reset_shutdown_flag() {
+  g_shutdown.store(false, std::memory_order_release);
+  g_signal_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace quasar

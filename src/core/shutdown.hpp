@@ -1,0 +1,36 @@
+/// \file shutdown.hpp
+/// \brief Cooperative SIGINT/SIGTERM shutdown for long-lived processes.
+///
+/// The job server (DESIGN.md §13) and the checkpointed demos run for
+/// minutes to hours; killing them with Ctrl-C must not tear a snapshot
+/// or orphan rank processes. This module installs an async-signal-safe
+/// handler that only sets an atomic flag; the stage loops poll the flag
+/// at stage boundaries (via CheckpointedRun::stop), checkpoint, drain
+/// the writer, and return. A second signal while the first is still
+/// draining exits immediately with the conventional 128+SIGINT status —
+/// the operator's escape hatch from a wedged drain.
+#pragma once
+
+#include <atomic>
+
+namespace quasar {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent). First signal sets
+/// the shutdown flag; a second one calls _Exit(130).
+void install_shutdown_handler();
+
+/// The flag the handler sets. Stable address for the whole process —
+/// point CheckpointedRun::stop at it to make any checkpointed run
+/// preempt itself at the next stage boundary after a signal.
+const std::atomic<bool>* shutdown_flag();
+
+/// True once a shutdown was requested (signal or programmatic).
+bool shutdown_requested();
+
+/// Programmatic shutdown request (the server's SHUTDOWN verb, tests).
+void request_shutdown();
+
+/// Clears the flag (tests re-running shutdown scenarios in-process).
+void reset_shutdown_flag();
+
+}  // namespace quasar

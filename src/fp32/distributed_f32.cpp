@@ -18,17 +18,11 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
+#include "sched/digest.hpp"
 #include "sched/schedule_io.hpp"
 
 namespace quasar {
 namespace {
-
-/// Digest tying a snapshot to one schedule (same definition as the fp64
-/// engine's, so fp64 and fp32 snapshots of one schedule carry one digest).
-std::uint32_t schedule_digest(const Schedule& schedule) {
-  const std::string text = schedule_to_string(schedule);
-  return ckpt::crc32c(text.data(), text.size());
-}
 
 /// Gate-sweep count after executing stages [0, cursor) — run()'s own
 /// per-stage accounting, reused for resume-time tolerances.
@@ -121,9 +115,9 @@ void DistributedSimulatorF::execute_stage(const Circuit& circuit,
   }
 }
 
-void DistributedSimulatorF::run(const Circuit& circuit,
-                                const Schedule& schedule,
-                                const CheckpointedRun& ckpt_run) {
+std::size_t DistributedSimulatorF::run(const Circuit& circuit,
+                                       const Schedule& schedule,
+                                       const CheckpointedRun& ckpt_run) {
   QUASAR_CHECK(ckpt_run.writer != nullptr,
                "run: CheckpointedRun requires a writer");
   QUASAR_CHECK(ckpt_run.snapshot_every >= 1,
@@ -136,7 +130,8 @@ void DistributedSimulatorF::run(const Circuit& circuit,
   QUASAR_CHECK(ckpt_run.first_stage <= schedule.stages.size(),
                "run: first_stage is beyond the end of the schedule");
   ckpt::CheckpointWriter& writer = *ckpt_run.writer;
-  const std::uint32_t schedule_crc = schedule_digest(schedule);
+  const std::uint32_t schedule_crc =
+      sched::schedule_digest(circuit, schedule.options);
   const std::size_t num_stages = schedule.stages.size();
   QUASAR_OBS_SPAN("run", "distributed_run_f32", "stages",
                   static_cast<std::int64_t>(num_stages));
@@ -154,7 +149,19 @@ void DistributedSimulatorF::run(const Circuit& circuit,
       comm_->kill_rank_for_fault(stage);
     });
   }
+  // Newest boundary already on disk (see DistributedSimulator::run).
+  std::size_t last_snapshot = ckpt_run.first_stage > 0
+                                  ? ckpt_run.first_stage
+                                  : static_cast<std::size_t>(-1);
   for (std::size_t si = ckpt_run.first_stage; si < num_stages; ++si) {
+    if (ckpt_run.stop != nullptr &&
+        ckpt_run.stop->load(std::memory_order_acquire)) {
+      if (last_snapshot != si) {
+        checkpoint(writer, si, ckpt_run.rng, schedule_crc);
+      }
+      writer.wait_idle();
+      return si;
+    }
     if (kill_at && static_cast<std::size_t>(*kill_at) == si) {
       // Drain first so the newest on-disk generation at "death" is a
       // committed boundary (see DistributedSimulator::run).
@@ -174,11 +181,13 @@ void DistributedSimulatorF::run(const Circuit& circuit,
       validate_invariants(site.c_str(), norm_before, ops_done);
     }
     if ((si + 1) % static_cast<std::size_t>(ckpt_run.snapshot_every) == 0 ||
-        si + 1 == num_stages) {
+        (si + 1 == num_stages && ckpt_run.final_snapshot)) {
       checkpoint(writer, si + 1, ckpt_run.rng, schedule_crc);
+      last_snapshot = si + 1;
     }
     progress.stage_completed(static_cast<int>(si) + 1);
   }
+  return num_stages;
 }
 
 void DistributedSimulatorF::checkpoint(ckpt::CheckpointWriter& writer,
@@ -211,8 +220,8 @@ void DistributedSimulatorF::checkpoint(ckpt::CheckpointWriter& writer,
 }
 
 std::size_t DistributedSimulatorF::resume(
-    const ckpt::LoadedSnapshot& snapshot, const Schedule& schedule,
-    Rng* rng) {
+    const ckpt::LoadedSnapshot& snapshot, const Circuit& circuit,
+    const Schedule& schedule, Rng* rng) {
   QUASAR_OBS_SPAN("checkpoint", "resume");
   constexpr const char* kSite = "DistributedSimulatorF::resume";
   const ckpt::Manifest& m = snapshot.manifest;
@@ -232,9 +241,10 @@ std::size_t DistributedSimulatorF::resume(
     fail("cursor " + std::to_string(m.cursor) + " is beyond the " +
          std::to_string(schedule.stages.size()) + "-stage schedule");
   }
-  if (m.schedule_crc != 0 && m.schedule_crc != schedule_digest(schedule)) {
-    fail("snapshot was taken against a different schedule "
-         "(schedule digest mismatch)");
+  if (m.schedule_crc != 0 &&
+      m.schedule_crc != sched::schedule_digest(circuit, schedule.options)) {
+    fail("snapshot was taken against a different circuit or scheduling "
+         "options (schedule digest mismatch)");
   }
   check::require_bijection(m.mapping, num_qubits_, kSite);
   if (m.cursor > 0 &&

@@ -54,10 +54,12 @@ class DistributedSimulatorF {
   void run(const Circuit& circuit, const Schedule& schedule);
 
   /// Checkpointed execution: mirror of DistributedSimulator's overload
-  /// (same CheckpointedRun policy struct; snapshots carry engine "fp32"
-  /// and raw AmplitudeF shards).
-  void run(const Circuit& circuit, const Schedule& schedule,
-           const CheckpointedRun& ckpt);
+  /// (same CheckpointedRun policy struct, including the preemption stop
+  /// flag; snapshots carry engine "fp32" and raw AmplitudeF shards).
+  /// Returns the cursor: stages.size() on completion, the preemption
+  /// boundary when ckpt.stop read true.
+  std::size_t run(const Circuit& circuit, const Schedule& schedule,
+                  const CheckpointedRun& ckpt);
 
   /// Snapshots the current state into `writer` (see
   /// DistributedSimulator::checkpoint; engine tag "fp32").
@@ -65,10 +67,12 @@ class DistributedSimulatorF {
                   const Rng* rng, std::uint32_t schedule_crc) const;
 
   /// Adopts a verified fp32 snapshot; same contract as
-  /// DistributedSimulator::resume (checks run unconditionally, state is
-  /// only overwritten after every check passes). Returns the cursor.
+  /// DistributedSimulator::resume (checks run unconditionally against
+  /// the canonical circuit+options digest, state is only overwritten
+  /// after every check passes). Returns the cursor.
   std::size_t resume(const ckpt::LoadedSnapshot& snapshot,
-                     const Schedule& schedule, Rng* rng = nullptr);
+                     const Circuit& circuit, const Schedule& schedule,
+                     Rng* rng = nullptr);
 
   /// Reassembles the full float state in program order.
   StateVectorF gather() const;

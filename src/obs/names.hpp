@@ -54,6 +54,16 @@ inline constexpr char kCkptResumes[] = "ckpt.resumes";
 /// Latency histogram: one shard encode + write + (optional) fsync.
 inline constexpr char kCkptShardWriteNs[] = "ckpt.shard_write_ns";
 
+// --- serve.*: the job server (DESIGN.md §13) --------------------------
+inline constexpr char kServeJobs[] = "serve.jobs";
+inline constexpr char kServeCacheHit[] = "serve.cache_hit";
+inline constexpr char kServeCacheMiss[] = "serve.cache_miss";
+inline constexpr char kServePreemptions[] = "serve.preemptions";
+inline constexpr char kServeResumes[] = "serve.resumes";
+inline constexpr char kServeRejected[] = "serve.rejected";
+/// Latency histogram: one job's queue wait (admission to first stage).
+inline constexpr char kServeQueueWaitNs[] = "serve.queue_wait_ns";
+
 // --- oocore.*: segmented out-of-core pipeline -------------------------
 inline constexpr char kOocoreSweeps[] = "oocore.sweeps";
 inline constexpr char kOocoreTiles[] = "oocore.tiles";

@@ -1,9 +1,9 @@
 #include "obs/progress.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "core/parse.hpp"
 #include "obs/names.hpp"
@@ -11,26 +11,55 @@
 
 namespace quasar::obs {
 
-namespace {
+namespace detail {
 
 using Clock = std::chrono::steady_clock;
 
-struct TrackerState {
-  std::mutex mutex;
-  bool active = false;
+/// One live run's state. Owned by its ProgressRun; registered in the
+/// global list for progress_snapshot() while alive.
+struct RunState {
+  mutable std::mutex mutex;
   int num_stages = 0;
   int first_stage = 0;
   int stages_done = 0;
   Clock::time_point start;
   bool print = false;  // QUASAR_PROGRESS=1 at run start
-  std::vector<double> predictions;
-  ProgressSink sink;
+  std::vector<double> predictions;  // adopted from the globals at start
+  ProgressScope* scope = nullptr;   // delivery target; null = global sink
+
+  ProgressSnapshot snapshot_locked() const;
+  static void deliver_to_scope(ProgressScope* scope,
+                               const ProgressSnapshot& snap) {
+    scope->deliver(snap);
+  }
 };
 
-TrackerState& tracker() {
-  static TrackerState state;
-  return state;
+}  // namespace detail
+
+namespace {
+
+using detail::Clock;
+using detail::RunState;
+
+/// Process-wide registry: delivery defaults and the live runs in
+/// creation order (progress_snapshot() reports the oldest — the
+/// single-run behavior every existing consumer expects).
+struct Globals {
+  std::mutex mutex;
+  std::vector<double> predictions;
+  ProgressSink sink;
+  std::vector<RunState*> live;  // creation order
+};
+
+Globals& globals() {
+  static Globals g;
+  return g;
 }
+
+/// Per-thread nesting and scoping state. `current` makes nested runs on
+/// one thread inert; `scope` routes runs launched from this thread.
+thread_local RunState* t_current_run = nullptr;
+thread_local ProgressScope* t_scope = nullptr;
 
 bool env_progress_enabled() {
   const char* value = std::getenv("QUASAR_PROGRESS");
@@ -39,31 +68,33 @@ bool env_progress_enabled() {
          parse_flag(value, "QUASAR_PROGRESS");
 }
 
-/// Builds the snapshot from tracker state; call with the lock held.
-ProgressSnapshot snapshot_locked(const TrackerState& state) {
+}  // namespace
+
+namespace detail {
+
+/// Builds the snapshot from run state; call with the run's lock held.
+ProgressSnapshot RunState::snapshot_locked() const {
   ProgressSnapshot snap;
-  snap.active = state.active;
-  snap.stages_done = state.stages_done;
-  snap.num_stages = state.num_stages;
-  if (!state.active) return snap;
+  snap.active = true;
+  snap.stages_done = stages_done;
+  snap.num_stages = num_stages;
   snap.elapsed_s =
-      std::chrono::duration<double>(Clock::now() - state.start).count();
+      std::chrono::duration<double>(Clock::now() - start).count();
 
   // ETA: weight by installed per-stage predictions when they cover the
   // schedule, else extrapolate linearly. Either way only stages timed
-  // in *this* process (>= first_stage) feed the rate, so a checkpoint
+  // in *this* run (>= first_stage) feed the rate, so a checkpoint
   // restart doesn't count resumed-over stages as free.
-  const int done_here = state.stages_done - state.first_stage;
-  const int remaining = state.num_stages - state.stages_done;
+  const int done_here = stages_done - first_stage;
+  const int remaining = num_stages - stages_done;
   if (done_here > 0 && remaining >= 0) {
-    if (static_cast<int>(state.predictions.size()) == state.num_stages) {
+    if (static_cast<int>(predictions.size()) == num_stages) {
       double predicted_done = 0.0, predicted_remaining = 0.0;
-      for (int i = state.first_stage; i < state.stages_done; ++i) {
-        predicted_done += state.predictions[static_cast<std::size_t>(i)];
+      for (int i = first_stage; i < stages_done; ++i) {
+        predicted_done += predictions[static_cast<std::size_t>(i)];
       }
-      for (int i = state.stages_done; i < state.num_stages; ++i) {
-        predicted_remaining +=
-            state.predictions[static_cast<std::size_t>(i)];
+      for (int i = stages_done; i < num_stages; ++i) {
+        predicted_remaining += predictions[static_cast<std::size_t>(i)];
       }
       if (predicted_done > 0.0) {
         snap.eta_s = predicted_remaining * (snap.elapsed_s / predicted_done);
@@ -74,15 +105,15 @@ ProgressSnapshot snapshot_locked(const TrackerState& state) {
     }
   }
 
-  // Byte counters come from the installed trace session, if any; a run
-  // without tracing still gets stage counts and ETA.
+  // Byte counters come from the thread-visible trace session, if any; a
+  // run without tracing still gets stage counts and ETA. Per-job
+  // sessions (ThreadSessionScope) make this per-job I/O accounting.
   if (const TraceSession* session = global_session()) {
     const std::uint64_t oocore_disk =
         session->counter_value(names::kOocoreDiskBytes);
     const std::uint64_t ckpt_disk =
         session->counter_value(names::kCkptBytesWritten);
-    snap.gb_written =
-        static_cast<double>(oocore_disk + ckpt_disk) / 1.0e9;
+    snap.gb_written = static_cast<double>(oocore_disk + ckpt_disk) / 1.0e9;
     const std::uint64_t oocore_raw =
         session->counter_value(names::kOocoreRawBytes);
     if (oocore_disk > 0 && oocore_raw > 0) {
@@ -93,24 +124,29 @@ ProgressSnapshot snapshot_locked(const TrackerState& state) {
   return snap;
 }
 
-}  // namespace
+}  // namespace detail
 
 void set_progress_predictions(std::vector<double> seconds_per_stage) {
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.predictions = std::move(seconds_per_stage);
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.predictions = std::move(seconds_per_stage);
 }
 
 void set_progress_sink(ProgressSink sink) {
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.sink = std::move(sink);
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink = std::move(sink);
 }
 
 ProgressSnapshot progress_snapshot() {
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  return snapshot_locked(state);
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.live.empty()) return ProgressSnapshot{};
+  // The oldest live run; its state cannot die while we hold g.mutex
+  // (ProgressRun's destructor deregisters under the same lock).
+  const RunState& state = *g.live.front();
+  std::lock_guard<std::mutex> run_lock(state.mutex);
+  return state.snapshot_locked();
 }
 
 std::string format_progress_line(const ProgressSnapshot& p) {
@@ -137,38 +173,81 @@ std::string format_progress_line(const ProgressSnapshot& p) {
 }
 
 ProgressRun::ProgressRun(int num_stages, int first_stage) {
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  if (state.active) return;  // nested run: stay inert
-  state.active = true;
-  state.num_stages = num_stages;
-  state.first_stage = first_stage;
-  state.stages_done = first_stage;
-  state.start = Clock::now();
-  state.print = env_progress_enabled();
-  active_ = true;
+  if (t_current_run != nullptr) return;  // nested on this thread: inert
+  auto state = std::make_unique<RunState>();
+  state->num_stages = num_stages;
+  state->first_stage = first_stage;
+  state->stages_done = first_stage;
+  state->start = Clock::now();
+  state->print = env_progress_enabled();
+  state->scope = t_scope;
+  Globals& g = globals();
+  {
+    std::lock_guard<std::mutex> lock(g.mutex);
+    state->predictions = g.predictions;
+    g.live.push_back(state.get());
+  }
+  t_current_run = state.get();
+  state_ = std::move(state);
 }
 
 ProgressRun::~ProgressRun() {
-  if (!active_) return;
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.active = false;
-  state.num_stages = 0;
-  state.first_stage = 0;
-  state.stages_done = 0;
+  if (state_ == nullptr) return;
+  Globals& g = globals();
+  {
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.live.erase(std::remove(g.live.begin(), g.live.end(), state_.get()),
+                 g.live.end());
+  }
+  if (t_current_run == state_.get()) t_current_run = nullptr;
 }
 
 void ProgressRun::stage_completed(int stages_done) {
-  if (!active_) return;
-  TrackerState& state = tracker();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.stages_done = stages_done;
-  const ProgressSnapshot snap = snapshot_locked(state);
-  if (state.print) {
+  if (state_ == nullptr) return;
+  ProgressSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stages_done = stages_done;
+    snap = state_->snapshot_locked();
+  }
+  if (state_->print) {
     std::fprintf(stderr, "%s\n", format_progress_line(snap).c_str());
   }
-  if (state.sink) state.sink(snap);
+  if (state_->scope != nullptr) {
+    RunState::deliver_to_scope(state_->scope, snap);
+    return;
+  }
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.sink) g.sink(snap);
+}
+
+ProgressSnapshot ProgressRun::snapshot() const {
+  if (state_ == nullptr) return ProgressSnapshot{};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->snapshot_locked();
+}
+
+ProgressScope::ProgressScope(ProgressSink sink) : sink_(std::move(sink)) {
+  prev_ = t_scope;
+  t_scope = this;
+}
+
+ProgressScope::~ProgressScope() { t_scope = prev_; }
+
+ProgressSnapshot ProgressScope::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_;
+}
+
+void ProgressScope::deliver(const ProgressSnapshot& snap) {
+  ProgressSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    latest_ = snap;
+    sink = sink_;
+  }
+  if (sink) sink(snap);
 }
 
 }  // namespace quasar::obs

@@ -4,21 +4,34 @@
 /// A 0.5 PB-class circuit runs for hours; the operator's question is not
 /// "what happened" (spans, after the fact) but "where are we and when
 /// does it finish". The runtime's stage loops mark stage boundaries
-/// through a process-global tracker; at each boundary the tracker joins
-/// the live stage count with (a) per-stage duration predictions injected
-/// by whoever holds a perfmodel (obs cannot depend on perfmodel — the
-/// caller computes predict_stages() and hands the seconds down), and
-/// (b) the installed TraceSession's byte counters, to produce a
+/// through a ProgressRun; at each boundary the run joins the live stage
+/// count with (a) per-stage duration predictions injected by whoever
+/// holds a perfmodel (obs cannot depend on perfmodel — the caller
+/// computes predict_stages() and hands the seconds down), and (b) the
+/// thread-visible TraceSession's byte counters, to produce a
 /// ProgressSnapshot: `stage k/N, elapsed, ETA, GB written, ratio`.
 ///
+/// Concurrency model (the job server runs many schedules at once):
+/// every ProgressRun owns its state, so two runs on different threads
+/// never interleave stage marks. A *nested* run on the same thread (a
+/// driver invoking a sub-schedule) stays inert, exactly as before.
+/// Delivery is scoped the same way: a ProgressScope installed on the
+/// launching thread captures that thread's runs exclusively (per-job
+/// progress in the server); runs launched outside any scope report to
+/// the process-global sink, and progress_snapshot() observes the oldest
+/// live run — so single-run processes behave exactly as they always
+/// have.
+///
 /// Consumers: QUASAR_PROGRESS=1 prints one line per stage boundary to
-/// stderr; set_progress_sink() delivers the same struct programmatically
-/// (tests today, the job server of ROADMAP item 2 tomorrow). Tracking
-/// itself costs one mutex acquisition per *stage boundary* — stages are
-/// seconds-to-minutes long, so this is nowhere near a hot path.
+/// stderr; set_progress_sink()/ProgressScope deliver the same struct
+/// programmatically. Tracking costs a couple of mutex acquisitions per
+/// *stage boundary* — stages are seconds-to-minutes long, so this is
+/// nowhere near a hot path.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,18 +52,20 @@ struct ProgressSnapshot {
 };
 
 /// Installs per-stage predicted durations in seconds (e.g. from
-/// perfmodel predict_stages()) used to weight the ETA. Cleared by an
-/// empty vector; ignored when its length does not match the running
-/// schedule's stage count.
+/// perfmodel predict_stages()) used to weight the ETA. Adopted by runs
+/// constructed afterwards. Cleared by an empty vector; ignored when its
+/// length does not match the running schedule's stage count.
 void set_progress_predictions(std::vector<double> seconds_per_stage);
 
-/// Programmatic observer invoked (under the tracker lock, keep it
-/// cheap) at every stage boundary of the active run. nullptr clears.
+/// Programmatic observer invoked (under the progress lock, keep it
+/// cheap) at every stage boundary of runs launched outside any
+/// ProgressScope. nullptr clears.
 using ProgressSink = std::function<void(const ProgressSnapshot&)>;
 void set_progress_sink(ProgressSink sink);
 
-/// The current progress state (active=false between runs). Callable
-/// from any thread, any time — this is the job-server poll entry point.
+/// The oldest live run's progress (active=false when no run is live).
+/// Callable from any thread, any time — the single-run poll entry
+/// point; the job server polls its per-job ProgressScope instead.
 ProgressSnapshot progress_snapshot();
 
 /// Renders one stderr progress line, e.g.
@@ -58,10 +73,15 @@ ProgressSnapshot progress_snapshot();
 /// (eta shown as `--` when unknown; written/ratio omitted when zero).
 std::string format_progress_line(const ProgressSnapshot& p);
 
-/// RAII run registration for the runtime's stage loops. Only the
-/// outermost ProgressRun in the process is live (nested runs — e.g. a
-/// driver invoking a sub-schedule — become inert observers), so stage
-/// counts never interleave. Stage boundaries are reported with
+namespace detail {
+struct RunState;
+}  // namespace detail
+
+/// RAII run registration for the runtime's stage loops. The outermost
+/// ProgressRun *per thread* is live; a nested run on the same thread
+/// becomes an inert observer, so a driver invoking a sub-schedule never
+/// interleaves stage counts. Runs on different threads are all live and
+/// fully independent. Stage boundaries are reported with
 /// stage_completed(); printing to stderr is gated on QUASAR_PROGRESS=1
 /// read at construction.
 class ProgressRun {
@@ -73,13 +93,45 @@ class ProgressRun {
   ProgressRun(const ProgressRun&) = delete;
   ProgressRun& operator=(const ProgressRun&) = delete;
 
-  /// Marks stages [0, stages_done) complete; emits to stderr/sink.
+  /// Marks stages [0, stages_done) complete; emits to stderr and the
+  /// run's delivery target (its ProgressScope, else the global sink).
   void stage_completed(int stages_done);
-  /// True when this is the outermost (live) run.
-  bool active() const { return active_; }
+  /// True when this is the outermost (live) run on its thread.
+  bool active() const { return state_ != nullptr; }
+  /// This run's progress (inactive snapshot for an inert nested run).
+  /// Callable from any thread while the run is alive.
+  ProgressSnapshot snapshot() const;
 
  private:
-  bool active_ = false;
+  std::unique_ptr<detail::RunState> state_;  // null = inert nested run
+};
+
+/// Thread-scoped progress capture for the job server: while a
+/// ProgressScope is installed on a thread, every ProgressRun *launched
+/// from that thread* delivers its boundary snapshots to this scope's
+/// sink instead of the global one, and latest() returns the most recent
+/// snapshot delivered. Scopes nest (inner shadows outer) and must
+/// outlive the runs launched under them.
+class ProgressScope {
+ public:
+  /// `sink` may be empty — latest() still captures.
+  explicit ProgressScope(ProgressSink sink = nullptr);
+  ~ProgressScope();
+  ProgressScope(const ProgressScope&) = delete;
+  ProgressScope& operator=(const ProgressScope&) = delete;
+
+  /// The most recent snapshot delivered to this scope (a default,
+  /// inactive snapshot before the first boundary).
+  ProgressSnapshot latest() const;
+
+ private:
+  friend struct detail::RunState;
+  void deliver(const ProgressSnapshot& snap);
+
+  mutable std::mutex mutex_;
+  ProgressSink sink_;
+  ProgressSnapshot latest_;
+  ProgressScope* prev_ = nullptr;  // shadowed outer scope, restored on exit
 };
 
 }  // namespace quasar::obs

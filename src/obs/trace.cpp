@@ -9,6 +9,8 @@ namespace quasar::obs {
 
 namespace detail {
 std::atomic<TraceSession*> g_session{nullptr};
+thread_local TraceSession* t_session = nullptr;
+thread_local bool t_session_override = false;
 }  // namespace detail
 
 namespace {
@@ -48,6 +50,16 @@ TraceSession::~TraceSession() {
 
 void set_global_session(TraceSession* session) {
   detail::g_session.store(session, std::memory_order_release);
+}
+
+void set_thread_session(TraceSession* session) {
+  detail::t_session = session;
+  detail::t_session_override = true;
+}
+
+void clear_thread_session() {
+  detail::t_session = nullptr;
+  detail::t_session_override = false;
 }
 
 TraceSession::ThreadBuffer& TraceSession::thread_buffer() {

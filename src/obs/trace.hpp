@@ -146,6 +146,14 @@ class TraceSession {
 
 namespace detail {
 extern std::atomic<TraceSession*> g_session;
+/// Per-thread session override (job server: one session per job, bound
+/// to the worker thread and its OpenMP team for the job's lifetime).
+/// `t_session_override` distinguishes "no override installed" (fall
+/// through to the process-global session) from "overridden to nullptr"
+/// (forked proc workers silence instrumentation on their thread even if
+/// a global session leaks across the fork).
+extern thread_local TraceSession* t_session;
+extern thread_local bool t_session_override;
 }  // namespace detail
 
 /// Installs `session` as the process-global trace sink (nullptr disables
@@ -153,11 +161,50 @@ extern std::atomic<TraceSession*> g_session;
 /// until it is uninstalled.
 void set_global_session(TraceSession* session);
 
-/// The installed session, or nullptr when tracing is disabled. This is
-/// the whole hot-path cost of a disabled instrumentation site.
+/// Installs `session` as the *calling thread's* trace sink, shadowing
+/// the global session on this thread until clear_thread_session().
+/// nullptr silences instrumentation on this thread. The caller keeps
+/// ownership. Threads the runtime spawns itself (OpenMP teams, the
+/// checkpoint writer) do not inherit the override — bind them
+/// explicitly or accept that their events land in the global session.
+void set_thread_session(TraceSession* session);
+
+/// Removes the calling thread's override; instrumentation on this
+/// thread reads the process-global session again.
+void clear_thread_session();
+
+/// The session visible to the calling thread: its override when one is
+/// installed, the process-global session otherwise. This (one TLS flag
+/// test + one load) is the whole hot-path cost of a disabled
+/// instrumentation site.
 inline TraceSession* global_session() {
+  if (detail::t_session_override) return detail::t_session;
   return detail::g_session.load(std::memory_order_acquire);
 }
+
+/// RAII thread-session override: installs `session` on the calling
+/// thread for the scope, restoring the previous override state on exit
+/// (scopes nest). The job server wraps each job's scheduling and
+/// execution in one of these so concurrent jobs trace into their own
+/// sessions instead of interleaving in the global one.
+class ThreadSessionScope {
+ public:
+  explicit ThreadSessionScope(TraceSession* session)
+      : prev_session_(detail::t_session),
+        prev_override_(detail::t_session_override) {
+    set_thread_session(session);
+  }
+  ~ThreadSessionScope() {
+    detail::t_session = prev_session_;
+    detail::t_session_override = prev_override_;
+  }
+  ThreadSessionScope(const ThreadSessionScope&) = delete;
+  ThreadSessionScope& operator=(const ThreadSessionScope&) = delete;
+
+ private:
+  TraceSession* prev_session_;
+  bool prev_override_;
+};
 
 /// True when a session is installed.
 inline bool enabled() { return global_session() != nullptr; }

@@ -15,16 +15,11 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conditional.hpp"
+#include "sched/digest.hpp"
 #include "sched/schedule_io.hpp"
 
 namespace quasar {
 namespace {
-
-/// Digest tying a snapshot to one schedule: CRC32C of its canonical text.
-std::uint32_t schedule_digest(const Schedule& schedule) {
-  const std::string text = schedule_to_string(schedule);
-  return ckpt::crc32c(text.data(), text.size());
-}
 
 /// Gate-sweep count the invariant tolerances assume after executing
 /// stages [0, cursor): the same per-stage accounting run() uses.
@@ -109,9 +104,9 @@ void DistributedSimulator::run(const Circuit& circuit,
   }
 }
 
-void DistributedSimulator::run(const Circuit& circuit,
-                               const Schedule& schedule,
-                               const CheckpointedRun& ckpt_run) {
+std::size_t DistributedSimulator::run(const Circuit& circuit,
+                                      const Schedule& schedule,
+                                      const CheckpointedRun& ckpt_run) {
   QUASAR_CHECK(ckpt_run.writer != nullptr,
                "run: CheckpointedRun requires a writer");
   QUASAR_CHECK(ckpt_run.snapshot_every >= 1,
@@ -125,7 +120,8 @@ void DistributedSimulator::run(const Circuit& circuit,
   QUASAR_CHECK(ckpt_run.first_stage <= schedule.stages.size(),
                "run: first_stage is beyond the end of the schedule");
   ckpt::CheckpointWriter& writer = *ckpt_run.writer;
-  const std::uint32_t schedule_crc = schedule_digest(schedule);
+  const std::uint32_t schedule_crc =
+      sched::schedule_digest(circuit, schedule.options);
   const std::size_t num_stages = schedule.stages.size();
   QUASAR_OBS_SPAN("run", "distributed_run", "stages",
                   static_cast<std::int64_t>(num_stages));
@@ -144,7 +140,24 @@ void DistributedSimulator::run(const Circuit& circuit,
       comm_->kill_rank_for_fault(stage);
     });
   }
+  // The newest boundary already on disk: the resumed-from snapshot for a
+  // restarted run, none for a fresh one. Preemption snapshots only when
+  // the stop boundary isn't covered yet.
+  std::size_t last_snapshot = ckpt_run.first_stage > 0
+                                  ? ckpt_run.first_stage
+                                  : static_cast<std::size_t>(-1);
   for (std::size_t si = ckpt_run.first_stage; si < num_stages; ++si) {
+    if (ckpt_run.stop != nullptr &&
+        ckpt_run.stop->load(std::memory_order_acquire)) {
+      // Preempted (job-server eviction or SIGINT/SIGTERM): persist this
+      // boundary, drain the writer, and hand the cursor back so a
+      // resume() continues bit-identically from here.
+      if (last_snapshot != si) {
+        checkpoint(writer, si, ckpt_run.rng, schedule_crc);
+      }
+      writer.wait_idle();
+      return si;
+    }
     if (kill_at && static_cast<std::size_t>(*kill_at) == si) {
       // Drain the in-flight snapshot first: the newest generation on disk
       // at the moment of "death" is then always a committed boundary, so
@@ -165,11 +178,13 @@ void DistributedSimulator::run(const Circuit& circuit,
       validate_invariants(site.c_str(), norm_before, ops_done);
     }
     if ((si + 1) % static_cast<std::size_t>(ckpt_run.snapshot_every) == 0 ||
-        si + 1 == num_stages) {
+        (si + 1 == num_stages && ckpt_run.final_snapshot)) {
       checkpoint(writer, si + 1, ckpt_run.rng, schedule_crc);
+      last_snapshot = si + 1;
     }
     progress.stage_completed(static_cast<int>(si) + 1);
   }
+  return num_stages;
 }
 
 void DistributedSimulator::checkpoint(ckpt::CheckpointWriter& writer,
@@ -204,6 +219,7 @@ void DistributedSimulator::checkpoint(ckpt::CheckpointWriter& writer,
 }
 
 std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
+                                         const Circuit& circuit,
                                          const Schedule& schedule, Rng* rng) {
   QUASAR_OBS_SPAN("checkpoint", "resume");
   constexpr const char* kSite = "DistributedSimulator::resume";
@@ -224,9 +240,10 @@ std::size_t DistributedSimulator::resume(const ckpt::LoadedSnapshot& snapshot,
     fail("cursor " + std::to_string(m.cursor) + " is beyond the " +
          std::to_string(schedule.stages.size()) + "-stage schedule");
   }
-  if (m.schedule_crc != 0 && m.schedule_crc != schedule_digest(schedule)) {
-    fail("snapshot was taken against a different schedule "
-         "(schedule digest mismatch)");
+  if (m.schedule_crc != 0 &&
+      m.schedule_crc != sched::schedule_digest(circuit, schedule.options)) {
+    fail("snapshot was taken against a different circuit or scheduling "
+         "options (schedule digest mismatch)");
   }
   // The snapshot is untrusted input: every invariant is verified before
   // any member is overwritten, unconditionally (not QUASAR_VALIDATE-gated).

@@ -14,6 +14,7 @@
 /// UNIX-domain sockets. The simulator's own logic is transport-blind.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -39,6 +40,18 @@ struct CheckpointedRun {
   std::size_t first_stage = 0;
   Rng* rng = nullptr;
   int snapshot_every = 1;
+  /// Cooperative preemption/shutdown flag (DESIGN.md §13). When set and
+  /// it reads true at a stage boundary, the run snapshots that boundary
+  /// (unless it just did), drains the writer, and returns its cursor
+  /// early instead of executing further stages. Point it at
+  /// quasar::shutdown_flag() for SIGINT/SIGTERM draining, or at a
+  /// per-job flag for job-server preemption.
+  const std::atomic<bool>* stop = nullptr;
+  /// Snapshot the final stage boundary even when snapshot_every does not
+  /// land on it (the restart contract of DESIGN.md §10). The job server
+  /// turns this off: a completed job's results are read from memory, so
+  /// a final full-state write would be pure overhead.
+  bool final_snapshot = true;
 };
 
 /// Distributed statevector simulator over 2^(n-l) ranks (virtual or real
@@ -70,16 +83,22 @@ class DistributedSimulator {
 
   /// Executes `schedule` under a checkpointing policy: snapshots the run
   /// state through `ckpt.writer` at stage boundaries (after every
-  /// `ckpt.snapshot_every`-th stage and always after the last), starting
-  /// from stage `ckpt.first_stage` (0 for a fresh run, the return value
-  /// of resume() for a restarted one). If the writer's fault injector
-  /// arms kill_stage:k, the process dies at the boundary *before* stage k
-  /// executes, after draining any in-flight snapshot — so the newest
-  /// on-disk generation is always a fully committed one. Under the proc
-  /// transport the kill first lands in a real rank process (which exits
-  /// 137) and the remaining ranks are torn down before the root dies.
-  void run(const Circuit& circuit, const Schedule& schedule,
-           const CheckpointedRun& ckpt);
+  /// `ckpt.snapshot_every`-th stage and, when `ckpt.final_snapshot`,
+  /// always after the last), starting from stage `ckpt.first_stage` (0
+  /// for a fresh run, the return value of resume() for a restarted one).
+  /// If the writer's fault injector arms kill_stage:k, the process dies
+  /// at the boundary *before* stage k executes, after draining any
+  /// in-flight snapshot — so the newest on-disk generation is always a
+  /// fully committed one. Under the proc transport the kill first lands
+  /// in a real rank process (which exits 137) and the remaining ranks
+  /// are torn down before the root dies.
+  ///
+  /// Returns the cursor (first unexecuted stage): stages.size() when the
+  /// schedule completed, or the preemption boundary when `ckpt.stop`
+  /// read true — in that case the boundary has been snapshotted and the
+  /// writer drained, so a later resume() continues bit-identically.
+  std::size_t run(const Circuit& circuit, const Schedule& schedule,
+                  const CheckpointedRun& ckpt);
 
   /// Snapshots the current state (amplitude shards + mapping + deferred
   /// phases + RNG stream + norm) into `writer`'s staging buffer and hands
@@ -93,15 +112,18 @@ class DistributedSimulator {
                   const Rng* rng, std::uint32_t schedule_crc) const;
 
   /// Adopts a verified snapshot: checks engine/geometry/schedule
-  /// consistency, mapping bijectivity, deferred-phase unit modulus,
-  /// finiteness and norm agreement before overwriting any state, then
-  /// installs the shards, mapping and phases. Restores `rng` from the
-  /// manifest when both are present. Returns the schedule cursor (first
-  /// stage to execute); throws check::ValidationError if the snapshot
-  /// fails verification. These checks run unconditionally — a snapshot
-  /// is untrusted input regardless of QUASAR_VALIDATE.
+  /// consistency (the manifest's schedule_crc against the canonical
+  /// sched::schedule_digest of `circuit` + the schedule's options),
+  /// mapping bijectivity, deferred-phase unit modulus, finiteness and
+  /// norm agreement before overwriting any state, then installs the
+  /// shards, mapping and phases. Restores `rng` from the manifest when
+  /// both are present. Returns the schedule cursor (first stage to
+  /// execute); throws check::ValidationError if the snapshot fails
+  /// verification. These checks run unconditionally — a snapshot is
+  /// untrusted input regardless of QUASAR_VALIDATE.
   std::size_t resume(const ckpt::LoadedSnapshot& snapshot,
-                     const Schedule& schedule, Rng* rng = nullptr);
+                     const Circuit& circuit, const Schedule& schedule,
+                     Rng* rng = nullptr);
 
   /// Reassembles the full state vector in program-qubit order, including
   /// deferred phases. Only for n small enough to hold twice.

@@ -175,8 +175,11 @@ ProcessGroup::ProcessGroup(int num_workers, const WorkerMain& worker_main)
       omp_set_num_threads(1);
       // Forked workers never export traces; drop the inherited session so
       // instrumentation sites are no-ops (and cannot touch a mutex some
-      // parent thread held at fork time).
+      // parent thread held at fork time). The forking thread may also
+      // carry a per-job thread override (the job server forks from a
+      // worker thread) — silence that too.
       obs::set_global_session(nullptr);
+      obs::set_thread_session(nullptr);
       set_process_scratch_tag("r" + std::to_string(slot) + ".");
       try {
         worker_main(ep);

@@ -1,0 +1,49 @@
+#include "sched/digest.hpp"
+
+#include <sstream>
+
+#include "circuit/io.hpp"
+#include "core/crc32c.hpp"
+
+namespace quasar::sched {
+
+namespace {
+
+const char* mode_token(SpecializationMode mode) {
+  switch (mode) {
+    case SpecializationMode::kNone:
+      return "none";
+    case SpecializationMode::kWorstCase:
+      return "worst";
+    case SpecializationMode::kFull:
+      return "full";
+  }
+  return "worst";
+}
+
+}  // namespace
+
+std::string schedule_key_text(const Circuit& circuit,
+                              const ScheduleOptions& options) {
+  std::ostringstream os;
+  os << "quasar-schedule-key 1\n";
+  os << "options local " << options.num_local << " kmax " << options.kmax
+     << " mode " << mode_token(options.specialization) << " swap_search "
+     << (options.swap_search ? 1 : 0) << " adjust_swaps "
+     << (options.adjust_swaps ? 1 : 0) << " qubit_mapping "
+     << (options.qubit_mapping ? 1 : 0) << " low_locations "
+     << options.mapping_low_locations << "\n";
+  os << circuit_to_string(circuit);
+  return os.str();
+}
+
+std::uint32_t schedule_digest(const Circuit& circuit,
+                              const ScheduleOptions& options) {
+  const std::string text = schedule_key_text(circuit, options);
+  const std::uint32_t crc = crc32c(text.data(), text.size());
+  // 0 is the manifest's "digest unknown" sentinel; remap the (1 in 2^32)
+  // collision so a real digest never reads as unknown.
+  return crc != 0 ? crc : 1;
+}
+
+}  // namespace quasar::sched

@@ -1,0 +1,47 @@
+/// \file digest.hpp
+/// \brief Canonical circuit+options scheduling digest.
+///
+/// Two subsystems need to answer "would scheduling this circuit with
+/// these options reproduce that schedule?": the checkpoint manifest
+/// (a snapshot must refuse to resume against a schedule it was not
+/// taken under, DESIGN.md §10) and the job server's schedule cache
+/// (two submissions may share a scheduling result only if they would
+/// schedule identically, DESIGN.md §13). Both key off the same
+/// canonical text — a versioned header, the scheduling-relevant
+/// options, and the circuit's own text serialization — so the two
+/// keying schemes cannot drift apart.
+///
+/// The key deliberately covers the circuit *text* (io.hpp): gate
+/// parameters are serialized at 17 significant digits, so circuits
+/// differing only in a rotation angle produce different keys. That is
+/// conservative for pure stage-structure reuse (the paper reuses one
+/// schedule across same-shape circuits), but it is exactly what the
+/// checkpoint consistency check needs, and the schedule cache inherits
+/// the safety: a hit can reuse the cached *stages and fused matrices*
+/// verbatim because the circuits are identical.
+///
+/// ScheduleOptions::build_matrices is excluded: it changes what is
+/// materialized, never which stages are found.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar::sched {
+
+/// The canonical key text: `quasar-schedule-key 1`, one options line,
+/// then the circuit serialization. Deterministic — no timestamps, no
+/// addresses.
+std::string schedule_key_text(const Circuit& circuit,
+                              const ScheduleOptions& options);
+
+/// CRC32C of schedule_key_text(). This is the value stored in checkpoint
+/// manifests (Manifest::schedule_crc) and used as the schedule-cache
+/// display digest; 0 is reserved for "unknown".
+std::uint32_t schedule_digest(const Circuit& circuit,
+                              const ScheduleOptions& options);
+
+}  // namespace quasar::sched

@@ -1,0 +1,88 @@
+#include "serve/admission.hpp"
+
+#include "perfmodel/comm_model.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/run_model.hpp"
+#include "runtime/proc_transport.hpp"
+
+namespace quasar::serve {
+
+std::uint64_t peak_run_bytes(int num_qubits, const std::string& engine,
+                             std::size_t bounce_buffer_bytes) {
+  const std::uint64_t amp_bytes = engine == "fp32" ? 8 : 16;
+  return (amp_bytes << num_qubits) +
+         static_cast<std::uint64_t>(bounce_buffer_bytes);
+}
+
+JobPrice price_job(const Circuit& circuit, const Schedule& schedule,
+                   const JobSpec& spec, std::size_t bounce_buffer_bytes,
+                   double interactive_threshold_s) {
+  // host_machine(false) skips the STREAM benchmark: admission pricing
+  // must stay microseconds-cheap even on the first job.
+  static const MachineModel node = host_machine(false);
+  static const InterconnectModel net = aries_dragonfly();
+  const int nodes = 1 << (circuit.num_qubits() - schedule.options.num_local);
+  const RunPrediction prediction =
+      model_run(circuit, schedule, node, net, nodes);
+
+  JobPrice price;
+  price.predicted_seconds = prediction.total_seconds();
+  // An fp32 state halves the amplitude bytes but not the model's fp64
+  // kernel estimate; the seconds stay a conservative upper bound.
+  price.peak_bytes =
+      peak_run_bytes(circuit.num_qubits(), spec.engine, bounce_buffer_bytes);
+  switch (spec.priority) {
+    case JobSpec::Priority::kInteractive:
+      price.interactive = true;
+      break;
+    case JobSpec::Priority::kBatch:
+      price.interactive = false;
+      break;
+    case JobSpec::Priority::kAuto:
+      price.interactive = price.predicted_seconds < interactive_threshold_s;
+      break;
+  }
+  return price;
+}
+
+std::string admission_error(const Circuit& circuit, const JobSpec& spec,
+                            std::uint64_t peak_bytes,
+                            std::uint64_t max_job_bytes) {
+  const int n = circuit.num_qubits();
+  const int l = spec.local;
+  if (l >= n) {
+    return "reason=local msg=local qubits (" + std::to_string(l) +
+           ") must be below the circuit width (" + std::to_string(n) +
+           "); the server only runs distributed engines";
+  }
+  const int g = n - l;
+  if (spec.engine == "fp32") {
+    if (g > 12) {
+      return "reason=geometry msg=fp32 engine supports at most 12 global "
+             "qubits, got " +
+             std::to_string(g);
+    }
+    if (g > l) {
+      return "reason=geometry msg=fp32 engine needs global <= local "
+             "qubits, got " +
+             std::to_string(g) + " > " + std::to_string(l);
+    }
+    if (spec.samples > 0) {
+      return "reason=samples msg=fp32 engine has no sampler; "
+             "submit samples=0 or engine=fp64";
+    }
+  }
+  if (spec.transport == TransportKind::kProc &&
+      (1 << g) > proc::kMaxProcRanks) {
+    return "reason=transport msg=transport=proc supports at most " +
+           std::to_string(proc::kMaxProcRanks) + " ranks, job needs " +
+           std::to_string(1 << g);
+  }
+  if (peak_bytes > max_job_bytes) {
+    return "reason=memory msg=job needs " + std::to_string(peak_bytes) +
+           " bytes, per-job budget is " + std::to_string(max_job_bytes);
+  }
+  return std::string();
+}
+
+}  // namespace quasar::serve

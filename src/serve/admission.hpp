@@ -1,0 +1,55 @@
+/// \file admission.hpp
+/// \brief Job pricing and admission control for the serve subsystem.
+///
+/// Every admitted job is priced BEFORE it queues: the performance model
+/// (perfmodel/run_model) predicts wall-clock seconds for the schedule on
+/// the host machine, and the engine geometry gives the peak resident
+/// bytes (full statevector in the job's precision plus the bounce
+/// buffer). The price drives three decisions:
+///
+///   1. reject: jobs whose peak bytes exceed the server's per-job budget
+///      never run and cannot OOM a tenant next door;
+///   2. classify: predicted seconds under the interactive threshold ->
+///      interactive class, else batch (unless the client pinned one);
+///   3. order: within a class, cheaper-predicted jobs run first.
+///
+/// Pricing uses host_machine(false) — the calibrated-but-unmeasured
+/// model — so admission costs microseconds, not a bandwidth benchmark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "sched/schedule.hpp"
+#include "serve/protocol.hpp"
+
+namespace quasar::serve {
+
+/// The job's admission price.
+struct JobPrice {
+  double predicted_seconds = 0.0;  ///< perfmodel wall-clock estimate
+  std::uint64_t peak_bytes = 0;    ///< statevector + bounce buffer
+  bool interactive = false;        ///< final class after overrides
+};
+
+/// Peak resident bytes of a run: 2^n amplitudes in the engine's
+/// precision plus the transition bounce buffer.
+std::uint64_t peak_run_bytes(int num_qubits, const std::string& engine,
+                             std::size_t bounce_buffer_bytes);
+
+/// Prices a job and resolves its queue class. `interactive_threshold_s`
+/// is the server's cutoff for auto-classified jobs.
+JobPrice price_job(const Circuit& circuit, const Schedule& schedule,
+                   const JobSpec& spec, std::size_t bounce_buffer_bytes,
+                   double interactive_threshold_s);
+
+/// Validates a spec against a circuit and the server's limits. Returns
+/// an empty string when admissible, else a one-line rejection reason
+/// (stable `reason=` token first, then prose).
+std::string admission_error(const Circuit& circuit, const JobSpec& spec,
+                            std::uint64_t peak_bytes,
+                            std::uint64_t max_job_bytes);
+
+}  // namespace quasar::serve

@@ -1,0 +1,53 @@
+#include "serve/cache.hpp"
+
+#include "core/error.hpp"
+
+namespace quasar::serve {
+
+ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
+  QUASAR_CHECK(capacity >= 1, "schedule cache capacity must be >= 1");
+}
+
+std::shared_ptr<const Schedule> ScheduleCache::lookup(
+    const std::string& key_text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key_text);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->schedule;
+}
+
+void ScheduleCache::insert(const std::string& key_text,
+                           std::shared_ptr<const Schedule> schedule) {
+  QUASAR_CHECK(schedule != nullptr, "schedule cache rejects null entries");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key_text);
+  if (it != index_.end()) {
+    it->second->schedule = std::move(schedule);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key_text, std::move(schedule)});
+  index_[key_text] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace quasar::serve

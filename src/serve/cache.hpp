@@ -1,0 +1,69 @@
+/// \file cache.hpp
+/// \brief LRU cache of built schedules, keyed on the canonical digest text.
+///
+/// Scheduling is the server's only per-shape cost that repeats across
+/// submissions of the same circuit — the swap search and cluster build
+/// are pure functions of (circuit, options). The cache keys on the FULL
+/// canonical key text from sched::schedule_key_text, not the 32-bit
+/// digest: a CRC collision must never silently reuse another circuit's
+/// schedule. The digest is still what counters and wire messages show
+/// (it is the same value checkpoint manifests carry, so a cache entry
+/// and a snapshot made from it always agree).
+///
+/// Entries are immutable shared_ptr<const Schedule>; a hit hands out the
+/// pointer without copying, so concurrent jobs can run off one entry
+/// while the cache evicts it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sched/schedule.hpp"
+
+namespace quasar::serve {
+
+/// Thread-safe LRU schedule cache.
+class ScheduleCache {
+ public:
+  /// `capacity` is the maximum number of cached schedules (>= 1).
+  explicit ScheduleCache(std::size_t capacity);
+
+  /// Looks up the schedule for a canonical key text (see
+  /// sched::schedule_key_text). A hit refreshes recency and returns the
+  /// entry; a miss returns nullptr.
+  std::shared_ptr<const Schedule> lookup(const std::string& key_text);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// one when over capacity.
+  void insert(const std::string& key_text,
+              std::shared_ptr<const Schedule> schedule);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Schedule> schedule;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace quasar::serve

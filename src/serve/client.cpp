@@ -1,0 +1,122 @@
+#include "serve/client.hpp"
+
+#include "core/error.hpp"
+#include "core/parse.hpp"
+
+namespace quasar::serve {
+
+namespace {
+
+/// Pulls `key=` from a server line's tokens; empty when absent.
+std::string token_value(const std::vector<std::string>& tokens,
+                        const std::string& key) {
+  const std::string prefix = key + "=";
+  for (const std::string& token : tokens) {
+    if (token.rfind(prefix, 0) == 0) {
+      return token.substr(prefix.size());
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const Endpoint& endpoint)
+    : channel_(connect_endpoint(endpoint)) {}
+
+SubmitOutcome ServeClient::submit(
+    const JobSpec& spec, const std::string& circuit_text,
+    const std::function<void(const std::string&)>& on_status) {
+  SubmitOutcome outcome;
+  if (!channel_.write_line("SUBMIT " + spec.to_tokens())) {
+    outcome.reject_line = "ERROR msg=connection lost during SUBMIT";
+    return outcome;
+  }
+  std::size_t start = 0;
+  while (start <= circuit_text.size()) {
+    const std::size_t newline = circuit_text.find('\n', start);
+    const std::size_t end =
+        newline == std::string::npos ? circuit_text.size() : newline;
+    if (end > start || newline != std::string::npos) {
+      if (!channel_.write_line(circuit_text.substr(start, end - start))) {
+        outcome.reject_line = "ERROR msg=connection lost sending circuit";
+        return outcome;
+      }
+    }
+    if (newline == std::string::npos) break;
+    start = newline + 1;
+  }
+  if (!channel_.write_line("END")) {
+    outcome.reject_line = "ERROR msg=connection lost sending END";
+    return outcome;
+  }
+
+  std::string line;
+  if (!channel_.read_line(line)) {
+    outcome.reject_line = "ERROR msg=connection closed before a reply";
+    return outcome;
+  }
+  std::vector<std::string> tokens = split_tokens(line);
+  if (tokens.empty() || tokens[0] != "QUEUED") {
+    outcome.reject_line = line;
+    return outcome;
+  }
+  outcome.accepted = true;
+  outcome.queued_line = line;
+  outcome.id = parse_uint64(token_value(tokens, "id"), "job id", line);
+  outcome.cache_hit = token_value(tokens, "cache") == "hit";
+
+  bool in_result = false;
+  while (channel_.read_line(line)) {
+    if (!in_result) {
+      tokens = split_tokens(line);
+      const std::string& verb = tokens.empty() ? line : tokens[0];
+      if (verb == "STATUS") {
+        outcome.status_lines.push_back(line);
+        if (on_status) on_status(line);
+        continue;
+      }
+      if (verb == "RESULT") {
+        in_result = true;
+        continue;
+      }
+      if (verb == "ERROR") {
+        const std::size_t msg = line.find("msg=");
+        outcome.error =
+            msg == std::string::npos ? line : line.substr(msg + 4);
+        return outcome;
+      }
+      throw Error("serve client: unexpected server line '" + line + "'");
+    }
+    if (split_tokens(line).size() >= 1 &&
+        line.rfind("DONE ", 0) == 0) {
+      outcome.done = true;
+      return outcome;
+    }
+    outcome.result_lines.push_back(line);
+  }
+  outcome.error = "connection closed mid-job";
+  return outcome;
+}
+
+std::string ServeClient::stats() {
+  if (!channel_.write_line("STATS")) return std::string();
+  std::string line;
+  if (!channel_.read_line(line)) return std::string();
+  return line;
+}
+
+bool ServeClient::ping() {
+  if (!channel_.write_line("PING")) return false;
+  std::string line;
+  return channel_.read_line(line) && line == "PONG";
+}
+
+std::string ServeClient::shutdown_server() {
+  if (!channel_.write_line("SHUTDOWN")) return std::string();
+  std::string line;
+  channel_.read_line(line);
+  return line;
+}
+
+}  // namespace quasar::serve

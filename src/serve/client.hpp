@@ -1,0 +1,63 @@
+/// \file client.hpp
+/// \brief Client side of the job-server protocol.
+///
+/// A thin, blocking wrapper over the line protocol: submit a circuit,
+/// collect STATUS lines (optionally streamed to a callback as they
+/// arrive) and the RESULT payload. The payload lines are returned
+/// verbatim — `quasar_client` prints them unmodified so CI can diff a
+/// served run line-exactly against `quasar_cli run --digest`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace quasar::serve {
+
+/// Everything one submission produced.
+struct SubmitOutcome {
+  /// True when the server QUEUED the job (even if it later errored).
+  bool accepted = false;
+  /// True when the RESULT/DONE section arrived.
+  bool done = false;
+  std::uint64_t id = 0;
+  bool cache_hit = false;
+  std::string queued_line;   ///< full QUEUED line (pricing, class, digest)
+  std::string reject_line;   ///< REJECTED/ERROR line when !accepted
+  std::string error;         ///< terminal ERROR msg after acceptance
+  std::vector<std::string> status_lines;
+  /// Lines between RESULT and DONE: fingerprint/norm/entropy/samples,
+  /// then any metrics/trace artifact pointers.
+  std::vector<std::string> result_lines;
+};
+
+/// One connection to a job server. Submissions on a client are
+/// sequential (the protocol interleaves one job per connection at a
+/// time); open several clients for concurrency.
+class ServeClient {
+ public:
+  /// Connects immediately; throws quasar::Error on failure.
+  explicit ServeClient(const Endpoint& endpoint);
+
+  /// Submits `circuit_text` (circuit/io.hpp format) under `spec` and
+  /// blocks until the job finishes. `on_status`, when given, sees every
+  /// STATUS line as it arrives.
+  SubmitOutcome submit(
+      const JobSpec& spec, const std::string& circuit_text,
+      const std::function<void(const std::string&)>& on_status = nullptr);
+
+  /// The server's one-line STATS reply (empty on connection loss).
+  std::string stats();
+  /// True when the server answered PONG.
+  bool ping();
+  /// Asks the server to shut down; returns its acknowledgement line.
+  std::string shutdown_server();
+
+ private:
+  LineChannel channel_;
+};
+
+}  // namespace quasar::serve

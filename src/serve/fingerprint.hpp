@@ -1,0 +1,87 @@
+/// \file fingerprint.hpp
+/// \brief The canonical run-state fingerprint and result-line formats.
+///
+/// One job's observable outcome is four deterministic lines:
+///
+///     fingerprint 0x%08x
+///     norm %.17g
+///     entropy %.12g
+///     samples <outcome> <outcome> ...
+///
+/// `quasar_cli run --digest`, the job server's RESULT section, and the
+/// checkpoint/transport demos all print them through these helpers, so
+/// "bit-identical across paths" is checkable with a line diff (the
+/// serve-smoke and ckpt-smoke CI jobs do exactly that).
+///
+/// The fingerprint is an order-sensitive CRC32C of the full distributed
+/// run state: every rank slice in rank order, then the qubit mapping
+/// and the deferred per-rank phases. Two runs print the same
+/// fingerprint iff their distributed states are bit-identical.
+/// rank_slice() works on every transport — cluster() would throw under
+/// QUASAR_TRANSPORT=proc. Header-only: demos and the CLI use it without
+/// linking the serve library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ckpt/crc32c.hpp"
+#include "core/types.hpp"
+
+namespace quasar::serve {
+
+/// Order-sensitive digest of a distributed engine's full run state.
+/// Works on DistributedSimulator and DistributedSimulatorF (the
+/// amplitude width comes from the engine's slice type, so fp64 and fp32
+/// states of "the same" run fingerprint differently, as they must).
+template <typename Sim>
+std::uint32_t state_fingerprint(const Sim& sim) {
+  using Amp = std::remove_cv_t<
+      std::remove_pointer_t<decltype(sim.rank_slice(0))>>;
+  std::uint32_t crc = 0;
+  for (int r = 0; r < sim.num_ranks(); ++r) {
+    crc = ckpt::crc32c_extend(
+        crc, sim.rank_slice(r),
+        static_cast<std::size_t>(sim.local_size()) * sizeof(Amp));
+  }
+  crc = ckpt::crc32c_extend(crc, sim.mapping().data(),
+                            sim.mapping().size() * sizeof(int));
+  crc = ckpt::crc32c_extend(
+      crc, sim.pending_phases().data(),
+      sim.pending_phases().size() * sizeof(sim.pending_phases()[0]));
+  return crc;
+}
+
+inline std::string format_fingerprint_line(std::uint32_t crc) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "fingerprint 0x%08x", crc);
+  return buffer;
+}
+
+inline std::string format_norm_line(double norm_squared) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "norm %.17g", norm_squared);
+  return buffer;
+}
+
+inline std::string format_entropy_line(double entropy) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "entropy %.12g", entropy);
+  return buffer;
+}
+
+inline std::string format_samples_line(const std::vector<Index>& outcomes) {
+  std::string line = "samples";
+  char buffer[32];
+  for (const Index outcome : outcomes) {
+    std::snprintf(buffer, sizeof(buffer), " %llu",
+                  static_cast<unsigned long long>(outcome));
+    line += buffer;
+  }
+  return line;
+}
+
+}  // namespace quasar::serve

@@ -1,0 +1,338 @@
+#include "serve/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/parse.hpp"
+
+namespace quasar::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw Error(message); }
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail("serve: " + what + ": " + std::strerror(errno));
+}
+
+int make_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail_errno("socket()");
+  }
+  return fd;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    fail("serve: UNIX socket path too long (" + std::to_string(path.size()) +
+         " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(static_cast<unsigned>(endpoint.port)));
+  const std::string host =
+      endpoint.host == "localhost" ? std::string("127.0.0.1") : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    fail("serve: tcp host must be a numeric IPv4 address or localhost, got '" +
+         endpoint.host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) {
+    return "unix:" + path;
+  }
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+  Endpoint endpoint;
+  if (text.rfind("unix:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = text.substr(5);
+    if (endpoint.path.empty()) {
+      fail("serve: empty UNIX socket path in endpoint '" + text + "'");
+    }
+    return endpoint;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      fail("serve: tcp endpoint must be tcp:<host>:<port>, got '" + text +
+           "'");
+    }
+    endpoint.kind = Endpoint::Kind::kTcp;
+    endpoint.host = rest.substr(0, colon);
+    endpoint.port = parse_int_in_range(rest.substr(colon + 1), 0, 65535,
+                                       "tcp port", text);
+    return endpoint;
+  }
+  fail("serve: endpoint must start with unix: or tcp:, got '" + text + "'");
+}
+
+int listen_endpoint(const Endpoint& endpoint, int backlog) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_address(endpoint.path);
+    ::unlink(endpoint.path.c_str());
+    const int fd = make_socket(AF_UNIX);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      fail_errno("bind(" + endpoint.path + ")");
+    }
+    if (::listen(fd, backlog) < 0) {
+      ::close(fd);
+      fail_errno("listen(" + endpoint.path + ")");
+    }
+    return fd;
+  }
+  const sockaddr_in addr = tcp_address(endpoint);
+  const int fd = make_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    fail_errno("bind(" + endpoint.to_string() + ")");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    fail_errno("listen(" + endpoint.to_string() + ")");
+  }
+  return fd;
+}
+
+int connect_endpoint(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_address(endpoint.path);
+    const int fd = make_socket(AF_UNIX);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd);
+      fail_errno("connect(" + endpoint.path + ")");
+    }
+    return fd;
+  }
+  const sockaddr_in addr = tcp_address(endpoint);
+  const int fd = make_socket(AF_INET);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    fail_errno("connect(" + endpoint.to_string() + ")");
+  }
+  return fd;
+}
+
+int bound_tcp_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail_errno("getsockname()");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+LineChannel::~LineChannel() { close(); }
+
+LineChannel::LineChannel(LineChannel&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void LineChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool LineChannel::read_line(std::string& line) {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (fd_ < 0) {
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) {
+      return false;  // clean EOF; a trailing partial line is dropped
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool LineChannel::write_line(const std::string& line) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  const char* p = framed.data();
+  std::size_t len = framed.size();
+  while (len > 0) {
+    const ssize_t sent = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) {
+      tokens.emplace_back(line, i, j - i);
+    }
+    i = j;
+  }
+  return tokens;
+}
+
+SpecializationMode parse_specialization(const std::string& token) {
+  if (token == "worst") return SpecializationMode::kWorstCase;
+  if (token == "full") return SpecializationMode::kFull;
+  if (token == "none") return SpecializationMode::kNone;
+  fail("serve: specialization mode must be worst|full|none, got '" + token +
+       "'");
+}
+
+const char* specialization_token(SpecializationMode mode) {
+  switch (mode) {
+    case SpecializationMode::kWorstCase:
+      return "worst";
+    case SpecializationMode::kFull:
+      return "full";
+    case SpecializationMode::kNone:
+      return "none";
+  }
+  return "worst";
+}
+
+std::string JobSpec::to_tokens() const {
+  std::string text;
+  text += "v=1";
+  text += " engine=" + engine;
+  text += " local=" + std::to_string(local);
+  text += " kmax=" + std::to_string(kmax);
+  text += std::string(" mode=") + specialization_token(mode);
+  text += " samples=" + std::to_string(samples);
+  text += " seed=" + std::to_string(seed);
+  text += std::string(" init=") + (uniform_init ? "uniform" : "basis");
+  text += std::string(" priority=") +
+          (priority == Priority::kInteractive
+               ? "interactive"
+               : priority == Priority::kBatch ? "batch" : "auto");
+  text += std::string(" transport=") +
+          (transport == TransportKind::kProc ? "proc" : "virtual");
+  text += " stall_ms=" + std::to_string(stall_ms);
+  return text;
+}
+
+JobSpec JobSpec::parse(const std::vector<std::string>& tokens) {
+  JobSpec spec;
+  bool saw_version = false;
+  for (const std::string& token : tokens) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("serve: SUBMIT expects key=value tokens, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "v") {
+      if (value != "1") {
+        fail("serve: unsupported protocol version '" + value + "'");
+      }
+      saw_version = true;
+    } else if (key == "engine") {
+      if (value != "fp64" && value != "fp32") {
+        fail("serve: engine must be fp64|fp32, got '" + value + "'");
+      }
+      spec.engine = value;
+    } else if (key == "local") {
+      spec.local = parse_int_in_range(value, -1, 62, "local qubits", token);
+    } else if (key == "kmax") {
+      spec.kmax = parse_int_in_range(value, 1, 62, "kmax", token);
+    } else if (key == "mode") {
+      spec.mode = parse_specialization(value);
+    } else if (key == "samples") {
+      spec.samples = parse_int_in_range(value, 0, 1 << 20, "samples", token);
+    } else if (key == "seed") {
+      spec.seed = parse_uint64(value, "seed", token);
+    } else if (key == "init") {
+      if (value == "basis") {
+        spec.uniform_init = false;
+      } else if (value == "uniform") {
+        spec.uniform_init = true;
+      } else {
+        fail("serve: init must be basis|uniform, got '" + value + "'");
+      }
+    } else if (key == "priority") {
+      if (value == "auto") {
+        spec.priority = Priority::kAuto;
+      } else if (value == "interactive") {
+        spec.priority = Priority::kInteractive;
+      } else if (value == "batch") {
+        spec.priority = Priority::kBatch;
+      } else {
+        fail("serve: priority must be auto|interactive|batch, got '" + value +
+             "'");
+      }
+    } else if (key == "transport") {
+      if (value == "virtual") {
+        spec.transport = TransportKind::kVirtual;
+      } else if (value == "proc") {
+        spec.transport = TransportKind::kProc;
+      } else {
+        fail("serve: transport must be virtual|proc, got '" + value + "'");
+      }
+    } else if (key == "stall_ms") {
+      spec.stall_ms =
+          parse_int_in_range(value, 0, 60 * 1000, "stall_ms", token);
+    } else {
+      fail("serve: unknown SUBMIT key '" + key + "'");
+    }
+  }
+  if (!saw_version) {
+    fail("serve: SUBMIT is missing the protocol version token v=1");
+  }
+  return spec;
+}
+
+}  // namespace quasar::serve

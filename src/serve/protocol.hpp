@@ -1,0 +1,131 @@
+/// \file protocol.hpp
+/// \brief The job-server wire protocol: endpoints, line channel, job spec.
+///
+/// The server speaks a line-oriented text protocol over UNIX-domain or
+/// TCP stream sockets (the same socket style as runtime/proc_transport,
+/// minus the binary frames — results must be diffable against
+/// `quasar_cli run --digest` output, so everything is text). Grammar
+/// (DESIGN.md §13):
+///
+///   client -> server:
+///     SUBMIT <key>=<value> ...      begin a job; keys are JobSpec fields
+///     <circuit text lines>          circuit/io.hpp format, verbatim
+///     END                           terminates the circuit
+///     STATS | PING | SHUTDOWN      control verbs (no body)
+///
+///   server -> client (one submission):
+///     QUEUED id=<id> digest=0x<crc> cache=<hit|miss> class=<class>
+///            predicted_s=<s> peak_bytes=<b>
+///     STATUS id=<id> state=<running|queued|preempted> stage=<k>/<N>
+///            eta=<s>              (zero or more, while the job runs)
+///     RESULT id=<id>
+///     <result lines>               fingerprint/norm/entropy/samples
+///                                  (fingerprint.hpp formats), then
+///                                  optional `metrics <path>` and
+///                                  `trace <path>` artifact pointers
+///     DONE id=<id>
+///   or:
+///     REJECTED reason=<token> msg=<text>   (admission control)
+///     ERROR msg=<text>                     (parse/run failure)
+///
+/// Strictness matches the rest of the codebase: unknown SUBMIT keys,
+/// malformed values, or a circuit that fails read_circuit() are
+/// rejected loudly — nothing is guessed at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+#include "sched/schedule.hpp"
+
+namespace quasar::serve {
+
+/// A listen/connect address: `unix:<path>` or `tcp:<host>:<port>`
+/// (numeric IPv4 or `localhost`; port 0 lets the kernel pick — read the
+/// resolved one back with bound_tcp_port()).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: socket path
+  std::string host;  ///< kTcp: numeric IPv4 or "localhost"
+  int port = 0;      ///< kTcp
+  std::string to_string() const;
+};
+
+/// Strict endpoint parser; throws quasar::Error on anything else.
+Endpoint parse_endpoint(const std::string& text);
+
+/// Creates a listening socket (unlinking a stale UNIX path first).
+/// Throws quasar::Error on failure.
+int listen_endpoint(const Endpoint& endpoint, int backlog = 16);
+
+/// Connects to a server. Throws quasar::Error on failure.
+int connect_endpoint(const Endpoint& endpoint);
+
+/// The port a tcp:...:0 listener actually bound.
+int bound_tcp_port(int fd);
+
+/// Buffered line I/O over a stream socket. Owns the fd. Reads are
+/// newline-delimited; writes append the newline. EINTR is retried and
+/// SIGPIPE suppressed (MSG_NOSIGNAL), mirroring proc_transport — a
+/// vanished peer surfaces as a false return, never a signal.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+  LineChannel(LineChannel&& other) noexcept;
+  LineChannel& operator=(LineChannel&&) = delete;
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Reads one line (without the newline). False on EOF or error.
+  bool read_line(std::string& line);
+  /// Writes one line (appends the newline). False once the peer is gone.
+  bool write_line(const std::string& line);
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Splits on runs of spaces (no empty tokens).
+std::vector<std::string> split_tokens(const std::string& line);
+
+/// Everything a submission says about how to run its circuit. The
+/// defaults match `quasar_cli run`: fp64, basis-state |0..0> init, seed
+/// 2026, worst-case specialization — so a default submission is
+/// line-diffable against a default CLI run.
+struct JobSpec {
+  std::string engine = "fp64";  ///< "fp64" | "fp32"
+  int local = -1;               ///< local qubits; -1 = auto (n - 2)
+  int kmax = 5;
+  SpecializationMode mode = SpecializationMode::kWorstCase;
+  int samples = 0;
+  std::uint64_t seed = 2026;
+  bool uniform_init = false;  ///< |+>^n instead of |0..0>
+  /// Queue class: kAuto prices the job and classifies by the server's
+  /// interactive threshold; explicit values override.
+  enum class Priority { kAuto, kInteractive, kBatch };
+  Priority priority = Priority::kAuto;
+  TransportKind transport = TransportKind::kVirtual;
+  /// Testing knob: sleep this long at every stage boundary, making a
+  /// job's duration deterministic for preemption tests (DESIGN.md §13).
+  int stall_ms = 0;
+
+  /// `key=value` tokens for the SUBMIT line (every field, canonical
+  /// order). parse(to_tokens()) round-trips.
+  std::string to_tokens() const;
+  /// Strict parse of SUBMIT tokens (sans the verb). Unknown keys and
+  /// malformed values throw quasar::Error naming the offender.
+  static JobSpec parse(const std::vector<std::string>& tokens);
+};
+
+/// Token <-> enum helpers shared with the CLI front ends.
+SpecializationMode parse_specialization(const std::string& token);
+const char* specialization_token(SpecializationMode mode);
+
+}  // namespace quasar::serve

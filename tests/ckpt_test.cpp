@@ -474,7 +474,8 @@ TEST(Recovery, KillAtStageBoundaryResumesBitIdentical) {
   EXPECT_EQ(snap->manifest.cursor, kill_at);
   DistributedSimulator resumed(w.n, w.l);
   Rng resumed_rng(1);  // wrong seed on purpose; restore must fix it
-  const std::size_t cursor = resumed.resume(*snap, w.schedule, &resumed_rng);
+  const std::size_t cursor =
+      resumed.resume(*snap, w.circuit, w.schedule, &resumed_rng);
   EXPECT_EQ(cursor, kill_at);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
@@ -522,7 +523,7 @@ TEST(Recovery, CorruptShardFallsBackAndStillMatches) {
   ASSERT_LT(snap->manifest.cursor, w.schedule.stages.size());
 
   DistributedSimulator resumed(w.n, w.l);
-  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  const std::size_t cursor = resumed.resume(*snap, w.circuit, w.schedule);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
   continue_run.writer = &writer2;
@@ -565,7 +566,7 @@ TEST(Recovery, CompressedCheckpointResumesBitIdenticalPastCorruption) {
   ASSERT_LT(snap->manifest.cursor, w.schedule.stages.size());
 
   DistributedSimulator resumed(w.n, w.l);
-  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  const std::size_t cursor = resumed.resume(*snap, w.circuit, w.schedule);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
   continue_run.writer = &writer2;
@@ -606,7 +607,7 @@ TEST(Recovery, TornManifestFallsBackAndStillMatches) {
   EXPECT_EQ(snap->fallbacks, 1);
 
   DistributedSimulator resumed(w.n, w.l);
-  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  const std::size_t cursor = resumed.resume(*snap, w.circuit, w.schedule);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
   continue_run.writer = &writer2;
@@ -650,7 +651,7 @@ TEST(Recovery, Fp32KillAtStageBoundaryResumesBitIdentical) {
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->manifest.engine, "fp32");
   DistributedSimulatorF resumed(w.n, w.l);
-  const std::size_t cursor = resumed.resume(*snap, w.schedule);
+  const std::size_t cursor = resumed.resume(*snap, w.circuit, w.schedule);
   EXPECT_EQ(cursor, kill_at);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
@@ -684,11 +685,11 @@ TEST(Recovery, ResumeRejectsCrossEngineAndWrongGeometry) {
   ASSERT_TRUE(snap.has_value());
   // fp64 snapshot into the fp32 engine: engine tag mismatch.
   DistributedSimulatorF wrong_engine(w.n, w.l);
-  EXPECT_THROW(wrong_engine.resume(*snap, w.schedule),
+  EXPECT_THROW(wrong_engine.resume(*snap, w.circuit, w.schedule),
                check::ValidationError);
   // fp64 snapshot into a differently shaped fp64 simulator.
   DistributedSimulator wrong_shape(w.n, w.l + 1);
-  EXPECT_THROW(wrong_shape.resume(*snap, w.schedule),
+  EXPECT_THROW(wrong_shape.resume(*snap, w.circuit, w.schedule),
                check::ValidationError);
 }
 
@@ -720,7 +721,8 @@ TEST(Recovery, ResumeRejectsADifferentSchedule) {
   sched.kmax = 3;
   const Schedule other = make_schedule(other_circuit, sched);
   DistributedSimulator sim(w.n, w.l);
-  EXPECT_THROW(sim.resume(*snap, other), check::ValidationError);
+  EXPECT_THROW(sim.resume(*snap, other_circuit, other),
+               check::ValidationError);
 }
 
 }  // namespace

@@ -431,6 +431,86 @@ TEST(Progress, JoinsByteCountersFromTheSession) {
   EXPECT_NEAR(snap.ratio, 4.0, 1e-9);
 }
 
+TEST(Progress, ConcurrentScopedRunsStayIsolated) {
+  // Two tenants (job-server workers) run under their own ProgressScope
+  // on separate threads: each scope must only ever see its own run's
+  // boundaries, never the neighbour's.
+  auto tenant = [](int num_stages, std::vector<int>& seen) {
+    obs::ProgressScope scope([&seen](const obs::ProgressSnapshot& p) {
+      seen.push_back(p.num_stages);
+    });
+    obs::ProgressRun run(num_stages);
+    for (int s = 1; s <= num_stages; ++s) {
+      run.stage_completed(s);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(scope.latest().num_stages, num_stages);
+    EXPECT_EQ(scope.latest().stages_done, num_stages);
+  };
+  std::vector<int> a_seen;
+  std::vector<int> b_seen;
+  std::thread a([&] { tenant(3, a_seen); });
+  std::thread b([&] { tenant(7, b_seen); });
+  a.join();
+  b.join();
+  ASSERT_EQ(a_seen.size(), 3u);
+  ASSERT_EQ(b_seen.size(), 7u);
+  for (const int n : a_seen) EXPECT_EQ(n, 3);
+  for (const int n : b_seen) EXPECT_EQ(n, 7);
+}
+
+TEST(Progress, ScopeShadowsGlobalSink) {
+  // A run under a ProgressScope must not leak boundaries to the global
+  // sink the embedding process installed.
+  int global_hits = 0;
+  obs::set_progress_sink(
+      [&global_hits](const obs::ProgressSnapshot&) { ++global_hits; });
+  {
+    obs::ProgressScope scope;
+    obs::ProgressRun run(2);
+    run.stage_completed(1);
+    run.stage_completed(2);
+    EXPECT_EQ(scope.latest().stages_done, 2);
+  }
+  obs::set_progress_sink(nullptr);
+  EXPECT_EQ(global_hits, 0);
+}
+
+TEST(ThreadSession, CountersRouteToTheThreadSession) {
+  // The job server binds each worker (and its OpenMP team) to a per-job
+  // session; counters bumped on a bound thread must land there, not in
+  // the global session.
+  obs::TraceSession global;
+  SessionGuard guard(global);
+  obs::TraceSession job;
+  std::thread worker([&job] {
+    obs::ThreadSessionScope bind(&job);
+#pragma omp parallel
+    { obs::set_thread_session(&job); }
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < 100; ++i) {
+      obs::count("test.routed", 1);
+    }
+#pragma omp parallel
+    { obs::clear_thread_session(); }
+  });
+  worker.join();
+  obs::count("test.global_only", 1);
+
+  bool routed_in_job = false;
+  for (const obs::CounterValue& c : job.counters()) {
+    if (c.name == "test.routed") {
+      EXPECT_EQ(c.value, 100u);
+      routed_in_job = true;
+    }
+    EXPECT_NE(c.name, "test.global_only");
+  }
+  EXPECT_TRUE(routed_in_job);
+  for (const obs::CounterValue& c : global.counters()) {
+    EXPECT_NE(c.name, "test.routed");
+  }
+}
+
 // ---------------------------------------------------------------------
 // JSON parser.
 

@@ -312,7 +312,7 @@ TEST(ProcTransport, CheckpointKillResumeAcrossProcesses) {
   DistributedSimulator resumed(n, l, ApplyOptions{}, StorageOptions{},
                                TransportKind::kProc);
   Rng resumed_rng(1);  // wrong seed on purpose; restore must fix it
-  const std::size_t cursor = resumed.resume(*snap, schedule, &resumed_rng);
+  const std::size_t cursor = resumed.resume(*snap, c, schedule, &resumed_rng);
   EXPECT_EQ(cursor, kill_at);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
@@ -412,7 +412,7 @@ TEST(ProcTransportF32, CheckpointKillResumeAcrossProcesses) {
   EXPECT_EQ(snap->manifest.cursor, kill_at);
   DistributedSimulatorF resumed(n, l, 0, std::size_t{64} << 20,
                                 TransportKind::kProc);
-  const std::size_t cursor = resumed.resume(*snap, schedule);
+  const std::size_t cursor = resumed.resume(*snap, c, schedule);
   EXPECT_EQ(cursor, kill_at);
   ckpt::CheckpointWriter writer2(opts);
   CheckpointedRun continue_run;
