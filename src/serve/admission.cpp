@@ -1,5 +1,8 @@
 #include "serve/admission.hpp"
 
+#include <limits>
+
+#include "core/error.hpp"
 #include "perfmodel/comm_model.hpp"
 #include "perfmodel/machine.hpp"
 #include "perfmodel/run_model.hpp"
@@ -9,9 +12,20 @@ namespace quasar::serve {
 
 std::uint64_t peak_run_bytes(int num_qubits, const std::string& engine,
                              std::size_t bounce_buffer_bytes) {
-  const std::uint64_t amp_bytes = engine == "fp32" ? 8 : 16;
-  return (amp_bytes << num_qubits) +
-         static_cast<std::uint64_t>(bounce_buffer_bytes);
+  constexpr std::uint64_t kSaturated =
+      std::numeric_limits<std::uint64_t>::max();
+  // Amplitudes are 8 bytes (fp32 pairs) or 16 (fp64 pairs), so the
+  // statevector is 2^(n + shift) bytes. A shift past 63 bits would wrap
+  // and make an exabyte-scale job look tiny to the budget check, so
+  // saturate instead: over any finite budget, always rejected.
+  const int amp_shift = engine == "fp32" ? 3 : 4;
+  if (num_qubits < 0 || num_qubits + amp_shift >= 64) {
+    return kSaturated;
+  }
+  const std::uint64_t amp_bytes = std::uint64_t{1}
+                                  << (num_qubits + amp_shift);
+  const std::uint64_t bounce = bounce_buffer_bytes;
+  return amp_bytes > kSaturated - bounce ? kSaturated : amp_bytes + bounce;
 }
 
 JobPrice price_job(const Circuit& circuit, const Schedule& schedule,
@@ -21,7 +35,15 @@ JobPrice price_job(const Circuit& circuit, const Schedule& schedule,
   // must stay microseconds-cheap even on the first job.
   static const MachineModel node = host_machine(false);
   static const InterconnectModel net = aries_dragonfly();
-  const int nodes = 1 << (circuit.num_qubits() - schedule.options.num_local);
+  const int g = circuit.num_qubits() - schedule.options.num_local;
+  // admission_error() bounds g on untrusted input before anything is
+  // priced; this check keeps the rank-count shift defined even if a
+  // caller skips admission.
+  QUASAR_CHECK(g >= 1 && g <= kMaxGlobalQubits,
+               "serve: price_job needs 1 <= global qubits <= " +
+                   std::to_string(kMaxGlobalQubits) + ", got " +
+                   std::to_string(g));
+  const int nodes = static_cast<int>(std::uint64_t{1} << g);
   const RunPrediction prediction =
       model_run(circuit, schedule, node, net, nodes);
 
@@ -56,6 +78,13 @@ std::string admission_error(const Circuit& circuit, const JobSpec& spec,
            "); the server only runs distributed engines";
   }
   const int g = n - l;
+  // Bound g first: every later check (and the pricing model) shifts by
+  // it, and circuits allow up to 62 qubits with l as low as 1.
+  if (g > kMaxGlobalQubits) {
+    return "reason=geometry msg=server caps global qubits at " +
+           std::to_string(kMaxGlobalQubits) + " (2^g ranks), got " +
+           std::to_string(g);
+  }
   if (spec.engine == "fp32") {
     if (g > 12) {
       return "reason=geometry msg=fp32 engine supports at most 12 global "
@@ -72,11 +101,12 @@ std::string admission_error(const Circuit& circuit, const JobSpec& spec,
              "submit samples=0 or engine=fp64";
     }
   }
+  const std::uint64_t ranks = std::uint64_t{1} << g;
   if (spec.transport == TransportKind::kProc &&
-      (1 << g) > proc::kMaxProcRanks) {
+      ranks > static_cast<std::uint64_t>(proc::kMaxProcRanks)) {
     return "reason=transport msg=transport=proc supports at most " +
            std::to_string(proc::kMaxProcRanks) + " ranks, job needs " +
-           std::to_string(1 << g);
+           std::to_string(ranks);
   }
   if (peak_bytes > max_job_bytes) {
     return "reason=memory msg=job needs " + std::to_string(peak_bytes) +

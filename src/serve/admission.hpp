@@ -27,6 +27,12 @@
 
 namespace quasar::serve {
 
+/// Hard ceiling on global qubits (the server runs 2^g ranks): keeps the
+/// rank count inside `int` for the pricing model and the engines, and
+/// bounds every shift in the admission math. Circuits allow n <= 62, so
+/// g could otherwise reach 61.
+constexpr int kMaxGlobalQubits = 30;
+
 /// The job's admission price.
 struct JobPrice {
   double predicted_seconds = 0.0;  ///< perfmodel wall-clock estimate
@@ -35,12 +41,17 @@ struct JobPrice {
 };
 
 /// Peak resident bytes of a run: 2^n amplitudes in the engine's
-/// precision plus the transition bounce buffer.
+/// precision plus the transition bounce buffer. Saturates to
+/// uint64-max when 2^n bytes would overflow 64 bits (n >= 60 for
+/// fp64), so an absurd submission trips the budget check instead of
+/// wrapping past it.
 std::uint64_t peak_run_bytes(int num_qubits, const std::string& engine,
                              std::size_t bounce_buffer_bytes);
 
 /// Prices a job and resolves its queue class. `interactive_threshold_s`
-/// is the server's cutoff for auto-classified jobs.
+/// is the server's cutoff for auto-classified jobs. Requires an
+/// admissible geometry (1 <= global qubits <= kMaxGlobalQubits) — run
+/// admission_error() first on untrusted input.
 JobPrice price_job(const Circuit& circuit, const Schedule& schedule,
                    const JobSpec& spec, std::size_t bounce_buffer_bytes,
                    double interactive_threshold_s);

@@ -177,6 +177,9 @@ bool LineChannel::read_line(std::string& line) {
     if (fd_ < 0) {
       return false;
     }
+    if (buffer_.size() > kMaxLineBytes) {
+      return false;  // protocol violation: a line that never ends
+    }
     char chunk[4096];
     const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (got < 0) {

@@ -33,6 +33,7 @@
 /// rejected loudly — nothing is guessed at.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,6 +74,12 @@ int bound_tcp_port(int fd);
 /// vanished peer surfaces as a false return, never a signal.
 class LineChannel {
  public:
+  /// Longest accepted incoming line. Generous because a RESULT samples
+  /// line can carry 2^20 draws (~20 MB), but finite so a peer cannot
+  /// grow the read buffer without bound by never sending a newline;
+  /// past it read_line() fails as if the connection dropped.
+  static constexpr std::size_t kMaxLineBytes = std::size_t{64} << 20;
+
   explicit LineChannel(int fd) : fd_(fd) {}
   ~LineChannel();
   LineChannel(LineChannel&& other) noexcept;

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -81,10 +82,11 @@ JobServer::~JobServer() { stop(); }
 void JobServer::start() {
   QUASAR_CHECK(!running_.load(), "serve: server already started");
   bound_ = options_.endpoint;
-  listen_fd_ = listen_endpoint(bound_);
+  const int listen_fd = listen_endpoint(bound_);
   if (bound_.kind == Endpoint::Kind::kTcp && bound_.port == 0) {
-    bound_.port = bound_tcp_port(listen_fd_);
+    bound_.port = bound_tcp_port(listen_fd);
   }
+  listen_fd_.store(listen_fd, std::memory_order_release);
   running_.store(true);
   stopping_.store(false);
   {
@@ -103,14 +105,17 @@ void JobServer::stop() {
   }
   stopping_.store(true);
 
-  // Unblock the accept thread, then every connection thread's recv().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // Unblock the accept thread; the fd is only closed after the join so
+  // accept() never races a close-and-reuse of the descriptor number.
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
   }
 
   {
@@ -145,6 +150,12 @@ void JobServer::stop() {
   }
   for (std::thread& connection : connections) {
     if (connection.joinable()) connection.join();
+  }
+  {
+    // Every joined thread deregistered itself; clear defensively so
+    // nothing stale survives a start()/stop() cycle.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.clear();
   }
   if (bound_.kind == Endpoint::Kind::kUnix) {
     ::unlink(bound_.path.c_str());
@@ -200,7 +211,9 @@ std::string JobServer::stats_line() const {
 
 void JobServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr,
+                 nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed (stop()) or fatal
@@ -251,27 +264,69 @@ void JobServer::connection_loop(int fd) {
       }
     }
   }
-  // The fd stays registered in connection_fds_ for stop() to shut down;
-  // a stale entry only costs a no-op shutdown() call.
+  // Deregister before the channel's destructor closes the fd: the
+  // kernel reuses descriptor numbers, so a stale entry would let
+  // stop() shutdown() an unrelated fd.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+}
+
+void JobServer::reject(LineChannel& channel, const std::string& reason) {
+  rejected_.fetch_add(1);
+  obs::count(obs::names::kServeRejected);
+  channel.write_line("REJECTED " + one_line(reason));
 }
 
 void JobServer::handle_submit(LineChannel& channel,
                               const std::vector<std::string>& tokens) {
-  const JobSpec spec = JobSpec::parse(tokens);
+  // Parse the spec up front but report failures only after the body is
+  // consumed: replying mid-body would make the client's remaining
+  // circuit lines parse as verbs and desync the channel permanently.
+  JobSpec spec;
+  std::string spec_error;
+  try {
+    spec = JobSpec::parse(tokens);
+  } catch (const std::exception& e) {
+    spec_error = e.what();
+  }
 
   std::string circuit_text;
   std::string line;
   bool saw_end = false;
+  bool oversized = false;
   while (channel.read_line(line)) {
     if (line == "END") {
       saw_end = true;
       break;
     }
-    circuit_text += line;
-    circuit_text += '\n';
+    if (!oversized &&
+        circuit_text.size() + line.size() + 1 > options_.max_body_bytes) {
+      // Stop buffering but keep draining to END so the channel stays
+      // request/reply aligned; the submission is rejected below.
+      oversized = true;
+      circuit_text.clear();
+      circuit_text.shrink_to_fit();
+    }
+    if (!oversized) {
+      circuit_text += line;
+      circuit_text += '\n';
+    }
   }
   if (!saw_end) {
     throw Error("serve: connection closed before END terminated the circuit");
+  }
+  if (!spec_error.empty()) {
+    throw Error(spec_error);
+  }
+  if (oversized) {
+    reject(channel, "reason=body msg=circuit body exceeds the " +
+                        std::to_string(options_.max_body_bytes) +
+                        "-byte limit");
+    return;
   }
 
   std::istringstream stream(circuit_text);
@@ -283,11 +338,23 @@ void JobServer::handle_submit(LineChannel& channel,
     resolved.local = n - 2;  // four ranks by default
   }
   if (resolved.local < 1 || resolved.local >= n) {
-    rejected_.fetch_add(1);
-    obs::count(obs::names::kServeRejected);
-    channel.write_line(
-        "REJECTED reason=local msg=need 1 <= local < qubits, got local=" +
-        std::to_string(resolved.local) + " qubits=" + std::to_string(n));
+    reject(channel,
+           "reason=local msg=need 1 <= local < qubits, got local=" +
+               std::to_string(resolved.local) +
+               " qubits=" + std::to_string(n));
+    return;
+  }
+
+  // Admission runs BEFORE scheduling and pricing: both walk the whole
+  // circuit, peak_run_bytes saturates instead of wrapping, and the
+  // pricing model's 2^g rank count is only evaluated on geometries
+  // admission already bounded — untrusted input never reaches either.
+  const std::uint64_t peak_bytes =
+      peak_run_bytes(n, resolved.engine, options_.bounce_buffer_bytes);
+  const std::string rejection =
+      admission_error(circuit, resolved, peak_bytes, options_.max_job_bytes);
+  if (!rejection.empty()) {
+    reject(channel, rejection);
     return;
   }
 
@@ -315,14 +382,6 @@ void JobServer::handle_submit(LineChannel& channel,
   const JobPrice price =
       price_job(circuit, *schedule, resolved, options_.bounce_buffer_bytes,
                 options_.interactive_threshold_s);
-  const std::string rejection = admission_error(
-      circuit, resolved, price.peak_bytes, options_.max_job_bytes);
-  if (!rejection.empty()) {
-    rejected_.fetch_add(1);
-    obs::count(obs::names::kServeRejected);
-    channel.write_line("REJECTED " + one_line(rejection));
-    return;
-  }
 
   auto job = std::make_shared<Job>(next_id_.fetch_add(1), resolved,
                                    std::move(circuit));

@@ -59,6 +59,11 @@ struct ServeOptions {
   double interactive_threshold_s = 1.0;
   /// Per-job peak-memory budget (statevector + bounce buffer).
   std::uint64_t max_job_bytes = std::uint64_t{8} << 30;
+  /// Max SUBMIT circuit-body bytes buffered per submission; anything
+  /// larger is drained through END (keeping the channel aligned) and
+  /// rejected with reason=body, so a client cannot exhaust server
+  /// memory before admission runs.
+  std::size_t max_body_bytes = std::size_t{8} << 20;
   /// Bounce-buffer budget handed to every engine instance.
   std::size_t bounce_buffer_bytes = std::size_t{16} << 20;
   /// Root for per-job checkpoint directories (preemption state).
@@ -148,6 +153,8 @@ class JobServer {
   void connection_loop(int fd);
   void handle_submit(LineChannel& channel,
                      const std::vector<std::string>& tokens);
+  /// Counts the rejection and writes the one-line REJECTED reply.
+  void reject(LineChannel& channel, const std::string& reason);
   /// Streams STATUS transitions until the job finishes, then the
   /// RESULT/DONE or ERROR section.
   void stream_job(LineChannel& channel, const std::shared_ptr<Job>& job);
@@ -168,7 +175,8 @@ class JobServer {
 
   const ServeOptions options_;
   Endpoint bound_;
-  int listen_fd_ = -1;
+  /// Atomic: the accept thread reads it while stop() retires it.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
@@ -191,6 +199,9 @@ class JobServer {
   std::vector<std::thread> workers_;
   std::mutex connections_mutex_;
   std::vector<std::thread> connection_threads_;
+  /// fds of live connections only: each connection thread deregisters
+  /// its fd before closing it, so stop() never shutdown()s a kernel fd
+  /// number that has been reused by someone else.
   std::vector<int> connection_fds_;
 };
 

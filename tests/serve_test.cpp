@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -235,6 +237,43 @@ TEST(Admission, PeakBytesCoverStateAndBounce) {
   EXPECT_EQ(serve::peak_run_bytes(10, "fp64", 1 << 20),
             (std::uint64_t{16} << 10) + (1u << 20));
   EXPECT_EQ(serve::peak_run_bytes(10, "fp32", 0), std::uint64_t{8} << 10);
+}
+
+TEST(Admission, PeakBytesSaturateInsteadOfWrapping) {
+  // 16 << n wraps uint64 at n >= 60 (fp64); the sizing must saturate so
+  // an exabyte-scale job trips the budget check instead of passing it.
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(serve::peak_run_bytes(60, "fp64", 0), max64);
+  EXPECT_EQ(serve::peak_run_bytes(62, "fp64", 1 << 20), max64);
+  EXPECT_EQ(serve::peak_run_bytes(61, "fp32", 0), max64);
+  EXPECT_EQ(serve::peak_run_bytes(59, "fp64", 0), std::uint64_t{1} << 63);
+
+  serve::JobSpec spec;
+  spec.local = 34;  // g = 28: inside the rank cap, so memory decides
+  const Circuit widest(62);
+  EXPECT_NE(serve::admission_error(widest, spec,
+                                   serve::peak_run_bytes(62, "fp64", 0),
+                                   std::uint64_t{8} << 30)
+                .find("reason=memory"),
+            std::string::npos);
+}
+
+TEST(Admission, RejectsGlobalQubitsBeyondRankCap) {
+  // g beyond kMaxGlobalQubits must be a geometry rejection (2^g ranks
+  // would overflow the pricing model's int), even under an unlimited
+  // memory budget.
+  serve::JobSpec spec;
+  spec.local = 10;
+  const Circuit wide(45);  // g = 35
+  EXPECT_NE(serve::admission_error(
+                wide, spec, 0, std::numeric_limits<std::uint64_t>::max())
+                .find("reason=geometry"),
+            std::string::npos);
+  serve::JobSpec at_cap;
+  at_cap.local = 45 - serve::kMaxGlobalQubits;  // g exactly at the cap
+  EXPECT_EQ(serve::admission_error(
+                wide, at_cap, 0, std::numeric_limits<std::uint64_t>::max()),
+            std::string());
 }
 
 TEST(Admission, RejectsImpossibleGeometry) {
@@ -562,6 +601,69 @@ TEST(JobServer, RejectsInadmissibleJobs) {
   EXPECT_NE(local.reject_line.find("reason=local"), std::string::npos);
 
   EXPECT_EQ(server.stats().rejected, 3u);
+  server.stop();
+}
+
+TEST(JobServer, BadSubmitSpecKeepsChannelAligned) {
+  // A SUBMIT whose spec fails to parse arrives with its circuit body
+  // already in flight. The server must drain the body through END, emit
+  // exactly ONE error, and keep the connection request/reply aligned —
+  // the body lines must not be parsed as verbs.
+  serve::JobServer server(server_options("serve_badspec", 1));
+  server.start();
+
+  serve::LineChannel channel(serve::connect_endpoint(server.endpoint()));
+  ASSERT_TRUE(channel.write_line("SUBMIT v=1 engine=fp16"));
+  const Circuit circuit = small_supremacy(3, 3, 6, 3);
+  std::istringstream body(circuit_text(circuit));
+  std::string line;
+  while (std::getline(body, line)) {
+    ASSERT_TRUE(channel.write_line(line));
+  }
+  ASSERT_TRUE(channel.write_line("END"));
+
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(line.rfind("ERROR ", 0), 0u) << line;
+  // Alignment check: the next reply answers the next request, not a
+  // stale per-body-line error.
+  ASSERT_TRUE(channel.write_line("PING"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(line, "PONG");
+
+  // The same connection can still run a good submission end to end.
+  ASSERT_TRUE(channel.write_line("SUBMIT v=1 local=7"));
+  std::istringstream again(circuit_text(circuit));
+  while (std::getline(again, line)) {
+    ASSERT_TRUE(channel.write_line(line));
+  }
+  ASSERT_TRUE(channel.write_line("END"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(line.rfind("QUEUED ", 0), 0u) << line;
+  server.stop();
+}
+
+TEST(JobServer, OversizedBodyIsRejectedAndDrained) {
+  serve::ServeOptions options = server_options("serve_bigbody", 1);
+  options.max_body_bytes = 256;
+  serve::JobServer server(options);
+  server.start();
+
+  serve::LineChannel channel(serve::connect_endpoint(server.endpoint()));
+  serve::JobSpec spec;
+  spec.local = 3;
+  ASSERT_TRUE(channel.write_line("SUBMIT " + spec.to_tokens()));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(channel.write_line("h 0"));  // well past the 256-byte cap
+  }
+  ASSERT_TRUE(channel.write_line("END"));
+
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(line.rfind("REJECTED reason=body", 0), 0u) << line;
+  ASSERT_TRUE(channel.write_line("PING"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(line, "PONG");
+  EXPECT_EQ(server.stats().rejected, 1u);
   server.stop();
 }
 
